@@ -1,0 +1,516 @@
+(* Hummingbird command-line interface.
+
+   Subcommands:
+     analyse   — timing-analyse a .hbn netlist against a .hbc clock spec
+     stats     — print design statistics
+     passes    — show the per-cluster analysis-pass plan
+     generate  — emit a built-in benchmark design as .hbn/.hbc files
+     optimise  — run the Algorithm 3 analysis/re-design loop
+     whatif    — sweep the overall clock period and report worst slack *)
+
+open Cmdliner
+
+let library = Hb_cell.Library.default ()
+
+let load_design path =
+  if Filename.check_suffix path ".blif" then
+    Hb_netlist.Blif.parse_file ~library path
+  else Hb_netlist.Hbn_format.parse_file ~library path
+
+let load_clocks path = Hb_clock.System.parse_file path
+
+let netlist_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "n"; "netlist" ] ~docv:"FILE.hbn" ~doc:"Netlist to analyse.")
+
+let clocks_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "c"; "clocks" ] ~docv:"FILE.hbc" ~doc:"Clock waveform description.")
+
+let handle_errors f =
+  try f () with
+  | Hb_netlist.Hbn_format.Parse_error { line; message } ->
+    Printf.eprintf "netlist parse error, line %d: %s\n" line message;
+    exit 1
+  | Hb_sta.Elements.Build_error message
+  | Hb_sta.Cluster.Cycle_error message
+  | Hb_sta.Passes.Pass_error message
+  | Failure message ->
+    Printf.eprintf "error: %s\n" message;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* analyse                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let timing_arg =
+  Arg.(value & opt (some file) None
+       & info [ "t"; "timing" ] ~docv:"FILE.hbt"
+           ~doc:"Timing constraints: port references and analysis knobs.")
+
+let load_config ?(rise_fall = false) timing =
+  let base = { Hb_sta.Config.default with Hb_sta.Config.rise_fall } in
+  match timing with
+  | None -> base
+  | Some path -> Hb_sta.Config_format.parse_file ~base path
+
+let analyse_cmd =
+  let run netlist clocks paths constraints flag_file rise_fall timing dot
+      delay_model annotations json =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let config = load_config ~rise_fall timing in
+        let base_delays =
+          match delay_model with
+          | "lumped" -> Hb_sta.Delays.lumped
+          | "rc" -> Hb_sta.Delays.rc ()
+          | "rc-chain" ->
+            Hb_sta.Delays.rc
+              ~parameters:
+                { Hb_rc.Wire_model.default with
+                  Hb_rc.Wire_model.topology = Hb_rc.Wire_model.Chain }
+              ()
+          | other ->
+            Printf.eprintf "unknown delay model %s (lumped|rc|rc-chain)\n" other;
+            exit 1
+        in
+        let delays =
+          match annotations with
+          | None -> base_delays
+          | Some path ->
+            let annotation = Hb_sta.Annotation.parse_file path in
+            (match Hb_sta.Annotation.unused annotation ~design with
+             | [] -> ()
+             | stale ->
+               Printf.eprintf "warning: annotations for unknown instances: %s\n"
+                 (String.concat ", " stale));
+            Hb_sta.Annotation.apply annotation ~base:base_delays
+        in
+        let report = Hb_sta.Engine.analyse ~design ~system ~config ~delays () in
+        if json then print_string (Hb_sta.Json_export.report report)
+        else print_string (Hb_sta.Report.summary report);
+        let ctx = report.Hb_sta.Engine.context in
+        let slacks = report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final in
+        if paths > 0 then begin
+          print_newline ();
+          print_string (Hb_sta.Report.paths_report ctx slacks ~limit:paths)
+        end;
+        (match report.Hb_sta.Engine.constraints with
+         | Some times when constraints > 0 ->
+           print_newline ();
+           print_string
+             (Hb_sta.Report.constraints_report ctx times ~limit:constraints)
+         | Some _ | None -> ());
+        (match flag_file with
+         | Some path ->
+           let oc = open_out path in
+           List.iter
+             (fun net -> output_string oc (net ^ "\n"))
+             (Hb_sta.Report.slow_nets ctx slacks);
+           close_out oc;
+           Printf.printf "slow-path nets written to %s\n" path
+         | None -> ());
+        (match dot with
+         | Some path ->
+           Hb_sta.Dot_export.write_file ~path
+             (Hb_sta.Dot_export.design_graph ctx slacks);
+           Printf.printf "design graph written to %s\n" path
+         | None -> ());
+        match report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.status with
+        | Hb_sta.Algorithm1.Meets_timing -> exit 0
+        | Hb_sta.Algorithm1.Slow_paths -> exit 2)
+  in
+  let paths =
+    Arg.(value & opt int 5 & info [ "paths" ] ~docv:"N"
+           ~doc:"Print the $(docv) most critical paths (0 disables).")
+  in
+  let constraints =
+    Arg.(value & opt int 0 & info [ "constraints" ] ~docv:"N"
+           ~doc:"Print re-synthesis constraints for the $(docv) worst modules.")
+  in
+  let flag_file =
+    Arg.(value & opt (some string) None & info [ "flag-out" ] ~docv:"FILE"
+           ~doc:"Write the names of nets on too-slow paths to $(docv).")
+  in
+  let rise_fall =
+    Arg.(value & flag & info [ "rise-fall" ]
+           ~doc:"Propagate rising and falling arrivals separately (less \
+                 pessimistic through inverting chains).")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write a Graphviz rendering with slow paths highlighted.")
+  in
+  let delay_model =
+    Arg.(value & opt string "lumped" & info [ "delay-model" ] ~docv:"MODEL"
+           ~doc:"Component-delay estimator: lumped, rc or rc-chain.")
+  in
+  let annotations =
+    Arg.(value & opt (some file) None & info [ "delays" ] ~docv:"FILE.hbd"
+           ~doc:"Per-instance delay annotations overlaying the estimator.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the machine-readable JSON report instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "analyse"
+       ~doc:"Run the full timing analysis (exit 2 when too-slow paths exist)")
+    Term.(const run $ netlist_arg $ clocks_arg $ paths $ constraints $ flag_file
+          $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run netlist =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        Format.printf "%a@." Hb_netlist.Stats.pp
+          (Hb_netlist.Stats.compute design))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print design statistics")
+    Term.(const run $ netlist_arg)
+
+(* ------------------------------------------------------------------ *)
+(* passes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let passes_cmd =
+  let run netlist clocks =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let ctx = Hb_sta.Context.make ~design ~system () in
+        let settling = Hb_sta.Baseline.settling_times ctx in
+        let rows =
+          List.map
+            (fun (id, minimized, naive) ->
+               let cluster =
+                 ctx.Hb_sta.Context.table.Hb_sta.Cluster.clusters.(id)
+               in
+               [ string_of_int id;
+                 string_of_int (List.length cluster.Hb_sta.Cluster.members);
+                 string_of_int (Array.length cluster.Hb_sta.Cluster.inputs);
+                 string_of_int (Array.length cluster.Hb_sta.Cluster.outputs);
+                 string_of_int minimized;
+                 string_of_int naive ])
+            settling.Hb_sta.Baseline.per_cluster
+        in
+        Hb_util.Table.print
+          ~header:[ "cluster"; "gates"; "inputs"; "outputs"; "passes"; "per-edge" ]
+          rows;
+        Printf.printf "total: %d minimum passes (per-edge accounting: %d)\n"
+          settling.Hb_sta.Baseline.minimized_passes
+          settling.Hb_sta.Baseline.naive_settling_times)
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"Show the minimum analysis-pass plan per cluster (paper Section 7)")
+    Term.(const run $ netlist_arg $ clocks_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let generators =
+  [ ("des", fun () -> Hb_workload.Chips.des ());
+    ("alu", fun () -> Hb_workload.Chips.alu ());
+    ("sm1f", fun () -> Hb_workload.Chips.sm1f ());
+    ("sm1h", fun () -> Hb_workload.Chips.sm1h ());
+    ("dsp", fun () -> Hb_workload.Chips.dsp ());
+    ("figure1", fun () -> Hb_workload.Figures.figure1 ());
+    ("pipeline",
+     fun () ->
+       Hb_workload.Pipelines.two_phase ~width:8 ~stages:4 ~gates_per_stage:60 ());
+    ("ring", fun () -> Hb_workload.Pipelines.latch_ring ~gates:30 ());
+  ]
+
+let generate_cmd =
+  let run which out_prefix =
+    handle_errors (fun () ->
+        match List.assoc_opt which generators with
+        | None ->
+          Printf.eprintf "unknown design %s (expected: %s)\n" which
+            (String.concat ", " (List.map fst generators));
+          exit 1
+        | Some make ->
+          let design, system = make () in
+          let hbn = out_prefix ^ ".hbn" and hbc = out_prefix ^ ".hbc" in
+          Hb_netlist.Hbn_format.write_file design hbn;
+          let oc = open_out hbc in
+          output_string oc (Hb_clock.System.to_string system);
+          close_out oc;
+          Printf.printf "wrote %s and %s\n" hbn hbc)
+  in
+  let which =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DESIGN"
+             ~doc:"One of: des, alu, dsp, sm1f, sm1h, figure1, pipeline, ring.")
+  in
+  let out_prefix =
+    Arg.(value & opt string "design" & info [ "o"; "output" ] ~docv:"PREFIX"
+           ~doc:"Output file prefix.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit a built-in benchmark design")
+    Term.(const run $ which $ out_prefix)
+
+(* ------------------------------------------------------------------ *)
+(* optimise                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let optimise_cmd =
+  let run netlist clocks iterations out =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let result =
+          Hb_resynth.Loop.optimise ~design ~system ~library
+            ~max_iterations:iterations ()
+        in
+        List.iter
+          (fun (s : Hb_resynth.Loop.step) ->
+             Printf.printf "iteration %d: worst slack %.3f ns, area %.1f, %d cells upsized\n"
+               s.Hb_resynth.Loop.iteration s.Hb_resynth.Loop.worst_slack
+               s.Hb_resynth.Loop.area
+               (List.length s.Hb_resynth.Loop.changed))
+          result.Hb_resynth.Loop.history;
+        Printf.printf "final: worst slack %.3f ns, area %.1f, timing %s\n"
+          result.Hb_resynth.Loop.final_worst_slack
+          result.Hb_resynth.Loop.final_area
+          (if result.Hb_resynth.Loop.met_timing then "met" else "NOT met");
+        (match out with
+         | Some path ->
+           Hb_netlist.Hbn_format.write_file result.Hb_resynth.Loop.design path;
+           Printf.printf "optimised netlist written to %s\n" path
+         | None -> ());
+        if result.Hb_resynth.Loop.met_timing then exit 0 else exit 2)
+  in
+  let iterations =
+    Arg.(value & opt int 50 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Iteration cap for the loop.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimised netlist to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "optimise"
+       ~doc:"Run the Algorithm 3 analysis/re-design loop (gate upsizing)")
+    Term.(const run $ netlist_arg $ clocks_arg $ iterations $ out)
+
+(* ------------------------------------------------------------------ *)
+(* whatif                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let whatif_cmd =
+  let run netlist clocks from_period to_period steps =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let base = system.Hb_clock.System.overall_period in
+        Printf.printf "period(ns)  worst-slack(ns)  verdict\n";
+        for i = 0 to steps - 1 do
+          let period =
+            from_period
+            +. (to_period -. from_period) *. float_of_int i
+               /. float_of_int (Stdlib.max 1 (steps - 1))
+          in
+          (* Waveforms scale with the period so the duty cycle is kept. *)
+          let scale = period /. base in
+          let scaled =
+            Hb_clock.System.make ~overall_period:period
+              (List.map
+                 (fun w ->
+                    Hb_clock.Waveform.make ~name:w.Hb_clock.Waveform.name
+                      ~multiplier:w.Hb_clock.Waveform.multiplier
+                      ~rise:(w.Hb_clock.Waveform.rise *. scale)
+                      ~width:(w.Hb_clock.Waveform.width *. scale))
+                 system.Hb_clock.System.waveforms)
+          in
+          let ctx = Hb_sta.Context.make ~design ~system:scaled () in
+          let outcome = Hb_sta.Algorithm1.run ctx in
+          Printf.printf "%10.1f %16.3f  %s\n" period
+            outcome.Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+            (match outcome.Hb_sta.Algorithm1.status with
+             | Hb_sta.Algorithm1.Meets_timing -> "ok"
+             | Hb_sta.Algorithm1.Slow_paths -> "TOO SLOW")
+        done)
+  in
+  let from_period =
+    Arg.(value & opt float 10.0 & info [ "from" ] ~docv:"NS" ~doc:"First period.")
+  in
+  let to_period =
+    Arg.(value & opt float 100.0 & info [ "to" ] ~docv:"NS" ~doc:"Last period.")
+  in
+  let steps =
+    Arg.(value & opt int 10 & info [ "steps" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:"Sweep the clock period (keeping duty cycles) and report worst slack")
+    Term.(const run $ netlist_arg $ clocks_arg $ from_period $ to_period $ steps)
+
+let minperiod_cmd =
+  let run netlist clocks tolerance =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let template = load_clocks clocks in
+        let result =
+          Hb_sta.Minperiod.search ~design ~template ~tolerance ()
+        in
+        Printf.printf
+          "minimum period: %.3f ns (worst slack %.3f ns, %d analyses)\n"
+          result.Hb_sta.Minperiod.min_period
+          result.Hb_sta.Minperiod.worst_slack_at_min
+          result.Hb_sta.Minperiod.evaluations)
+  in
+  let tolerance =
+    Arg.(value & opt float 0.01 & info [ "tolerance" ] ~docv:"NS"
+           ~doc:"Bisection tolerance in nanoseconds.")
+  in
+  Cmd.v
+    (Cmd.info "minperiod"
+       ~doc:"Bisect the smallest overall clock period that meets timing")
+    Term.(const run $ netlist_arg $ clocks_arg $ tolerance)
+
+let critical_cmd =
+  let run netlist clocks endpoint k =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let ctx = Hb_sta.Context.make ~design ~system () in
+        let _ = Hb_sta.Algorithm1.run ctx in
+        let inst =
+          match Hb_netlist.Design.find_instance design endpoint with
+          | Some i -> i
+          | None ->
+            Printf.eprintf "no instance named %s\n" endpoint;
+            exit 1
+        in
+        let replicas =
+          match
+            Hashtbl.find_opt
+              ctx.Hb_sta.Context.elements.Hb_sta.Elements.replicas_of_inst inst
+          with
+          | Some r -> r
+          | None ->
+            Printf.eprintf "%s is not a synchronising element\n" endpoint;
+            exit 1
+        in
+        List.iter
+          (fun element ->
+             let paths = Hb_sta.Paths.enumerate ctx ~endpoint:element ~limit:k in
+             List.iter
+               (fun path ->
+                  Format.printf "%a@." (Hb_sta.Paths.pp ctx) path)
+               paths)
+          replicas)
+  in
+  let endpoint =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"INSTANCE" ~doc:"Endpoint synchroniser instance name.")
+  in
+  let k =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"N"
+           ~doc:"Number of worst paths per replica.")
+  in
+  Cmd.v
+    (Cmd.info "critical"
+       ~doc:"Enumerate the K worst paths into one synchroniser's data input")
+    Term.(const run $ netlist_arg $ clocks_arg $ endpoint $ k)
+
+let timing_cmd =
+  let run netlist clocks endpoint =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let ctx = Hb_sta.Context.make ~design ~system () in
+        let _ = Hb_sta.Algorithm1.run ctx in
+        let inst =
+          match Hb_netlist.Design.find_instance design endpoint with
+          | Some i -> i
+          | None ->
+            Printf.eprintf "no instance named %s\n" endpoint;
+            exit 1
+        in
+        match
+          Hashtbl.find_opt
+            ctx.Hb_sta.Context.elements.Hb_sta.Elements.replicas_of_inst inst
+        with
+        | None ->
+          Printf.eprintf "%s is not a synchronising element\n" endpoint;
+          exit 1
+        | Some replicas ->
+          List.iter
+            (fun element ->
+               print_string (Hb_sta.Report.endpoint_report ctx ~endpoint:element);
+               print_newline ())
+            replicas)
+  in
+  let endpoint =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"INSTANCE" ~doc:"Endpoint synchroniser instance name.")
+  in
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Detailed per-endpoint timing report (launch/capture edges, hops)")
+    Term.(const run $ netlist_arg $ clocks_arg $ endpoint)
+
+let lint_cmd =
+  let run netlist =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let findings = Hb_netlist.Check.run design in
+        if findings = [] then begin
+          print_endline "no findings";
+          exit 0
+        end
+        else begin
+          List.iter
+            (fun f -> Format.printf "%a@." Hb_netlist.Check.pp_finding f)
+            findings;
+          let errors =
+            List.exists
+              (fun f -> f.Hb_netlist.Check.severity = Hb_netlist.Check.Error)
+              findings
+          in
+          exit (if errors then 2 else 0)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Design-rule checks (exit 2 when errors are found)")
+    Term.(const run $ netlist_arg)
+
+let corners_cmd =
+  let run netlist clocks =
+    handle_errors (fun () ->
+        let design = load_design netlist in
+        let system = load_clocks clocks in
+        let report = Hb_sta.Corners.analyse ~design ~system () in
+        print_endline (Hb_sta.Corners.to_table report);
+        if report.Hb_sta.Corners.all_corners_met then exit 0 else exit 2)
+  in
+  Cmd.v
+    (Cmd.info "corners"
+       ~doc:"Analyse at fast/nominal/slow delay corners (exit 2 on any miss)")
+    Term.(const run $ netlist_arg $ clocks_arg)
+
+let () =
+  let info =
+    Cmd.info "hummingbird" ~version:"1.0.0"
+      ~doc:"Timing analysis in a logic synthesis environment (DAC 1989 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyse_cmd; stats_cmd; passes_cmd; generate_cmd; optimise_cmd;
+            whatif_cmd; minperiod_cmd; critical_cmd; corners_cmd;
+            timing_cmd; lint_cmd ]))

@@ -1,0 +1,1 @@
+examples/blif_flow.ml: Array Hashtbl Hb_cell Hb_clock Hb_netlist Hb_sta List Printf

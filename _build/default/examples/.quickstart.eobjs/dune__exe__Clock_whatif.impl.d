@@ -1,0 +1,1 @@
+examples/clock_whatif.ml: Hb_cell Hb_clock Hb_netlist Hb_sta Hb_workload List Printf

@@ -1,0 +1,1 @@
+examples/multirate_dsp.ml: Hashtbl Hb_clock Hb_sta Hb_sync Hb_workload Option Printf

@@ -1,0 +1,1 @@
+examples/multirate_dsp.mli:

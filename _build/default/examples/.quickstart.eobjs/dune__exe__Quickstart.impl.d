@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hb_cell Hb_clock Hb_netlist Hb_sta

@@ -1,0 +1,1 @@
+examples/redesign_loop.ml: Hb_cell Hb_resynth Hb_sta Hb_workload List Printf

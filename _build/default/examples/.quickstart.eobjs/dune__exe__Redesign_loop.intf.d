@@ -1,0 +1,1 @@
+examples/redesign_loop.mli:

@@ -1,0 +1,1 @@
+examples/shared_bus.ml: Array Hb_netlist Hb_sta Hb_sync Hb_util Hb_workload List Printf String

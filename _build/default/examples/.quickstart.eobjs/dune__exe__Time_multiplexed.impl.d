@@ -1,0 +1,1 @@
+examples/time_multiplexed.ml: Array Hb_sta Hb_sync Hb_workload List Printf

@@ -1,0 +1,59 @@
+(* Quickstart: build a small two-phase transparent-latch design by hand,
+   describe its clocks, run Hummingbird, and read the results.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A cell library. The built-in one models a late-1980s CMOS
+     standard-cell kit: gates at three drive strengths plus a flip-flop, a
+     transparent latch and a tristate driver. *)
+  let library = Hb_cell.Library.default () in
+
+  (* 2. A design: din -> latch(phi1) -> three gates -> latch(phi2) -> dout.
+     Nets spring into existence when first named. *)
+  let b = Hb_netlist.Builder.create ~name:"quickstart" ~library in
+  Hb_netlist.Builder.add_port b ~name:"phi1"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"phi2"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"din"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"dout"
+    ~direction:Hb_netlist.Design.Port_out ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"l1" ~cell:"latch"
+    ~connections:[ ("d", "din"); ("ck", "phi1"); ("q", "n1") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"g1" ~cell:"nand2_x1"
+    ~connections:[ ("a", "n1"); ("b", "n1"); ("y", "n2") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"g2" ~cell:"xor2_x1"
+    ~connections:[ ("a", "n2"); ("b", "n1"); ("y", "n3") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"g3" ~cell:"inv_x2"
+    ~connections:[ ("a", "n3"); ("y", "n4") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"l2" ~cell:"latch"
+    ~connections:[ ("d", "n4"); ("ck", "phi2"); ("q", "dout") ] ();
+  let design = Hb_netlist.Builder.freeze b in
+
+  (* 3. Clock waveforms: a 100 ns period, two non-overlapping 40 ns
+     phases. Clock port names must match waveform names. *)
+  let system =
+    Hb_clock.System.make ~overall_period:100.0
+      [ Hb_clock.Waveform.make ~name:"phi1" ~multiplier:1 ~rise:0.0 ~width:40.0;
+        Hb_clock.Waveform.make ~name:"phi2" ~multiplier:1 ~rise:50.0 ~width:40.0;
+      ]
+  in
+
+  (* 4. Analyse. *)
+  let report = Hb_sta.Engine.analyse ~design ~system () in
+  print_string (Hb_sta.Report.summary report);
+
+  (* 5. Inspect the most critical paths. *)
+  let ctx = report.Hb_sta.Engine.context in
+  let slacks = report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final in
+  print_newline ();
+  print_string (Hb_sta.Report.paths_report ctx slacks ~limit:2);
+
+  (* 6. The same netlist and clocks as text, for the CLI tools. *)
+  print_newline ();
+  print_endline "--- design in .hbn syntax ---";
+  print_string (Hb_netlist.Hbn_format.write design);
+  print_endline "--- clocks in .hbc syntax ---";
+  print_string (Hb_clock.System.to_string system)

@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Delay_model Format Hb_util Kind List Printf String

@@ -1,0 +1,1 @@
+lib/cell/cell.mli: Delay_model Format Hb_util Kind

@@ -1,0 +1,1 @@
+lib/cell/delay_model.ml: Format Hb_util

@@ -1,0 +1,1 @@
+lib/cell/delay_model.mli: Format Hb_util

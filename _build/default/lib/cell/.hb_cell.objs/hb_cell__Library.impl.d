@@ -1,0 +1,1 @@
+lib/cell/library.ml: Array Cell Delay_model Kind List Map Option Printf String

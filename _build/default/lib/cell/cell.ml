@@ -1,0 +1,110 @@
+type pin_role =
+  | Data_in
+  | Data_out
+  | Control_in
+
+type pin = {
+  pin_name : string;
+  role : pin_role;
+  capacitance : float;
+}
+
+type timing_arc = {
+  from_pin : string;
+  to_pin : string;
+  delay : Delay_model.t;
+}
+
+type timing =
+  | Comb_timing of timing_arc list
+  | Sync_timing of {
+      setup : Hb_util.Time.t;
+      d_cz : Hb_util.Time.t;
+      d_dz : Hb_util.Time.t;
+    }
+
+type t = {
+  name : string;
+  kind : Kind.t;
+  pins : pin list;
+  timing : timing;
+  area : float;
+  drive : int;
+}
+
+let find_pin t name =
+  List.find_opt (fun p -> String.equal p.pin_name name) t.pins
+
+let has_pin pins name =
+  List.exists (fun p -> String.equal p.pin_name name) pins
+
+let validate ~name ~kind ~pins ~timing ~area ~drive =
+  let fail fmt = Format.kasprintf invalid_arg ("Cell.make(%s): " ^^ fmt) name in
+  if area < 0.0 then fail "negative area";
+  if drive < 1 then fail "drive must be >= 1";
+  List.iter
+    (fun p -> if p.capacitance < 0.0 then fail "pin %s: negative capacitance" p.pin_name)
+    pins;
+  let names = List.map (fun p -> p.pin_name) pins in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then fail "duplicate pin names";
+  (match kind, timing with
+   | Kind.Comb _, Comb_timing arcs ->
+     List.iter
+       (fun a ->
+          if not (has_pin pins a.from_pin) then fail "arc references unknown pin %s" a.from_pin;
+          if not (has_pin pins a.to_pin) then fail "arc references unknown pin %s" a.to_pin)
+       arcs
+   | Kind.Sync _, Sync_timing { setup; d_cz; d_dz } ->
+     if setup < 0.0 || d_cz < 0.0 || d_dz < 0.0 then
+       fail "negative synchroniser timing parameter";
+     let role_present r = List.exists (fun p -> p.role = r) pins in
+     if not (role_present Data_in) then fail "synchroniser lacks a data input pin";
+     if not (role_present Data_out) then fail "synchroniser lacks a data output pin";
+     if not (role_present Control_in) then fail "synchroniser lacks a control pin"
+   | Kind.Comb _, Sync_timing _ -> fail "combinational cell with synchroniser timing"
+   | Kind.Sync _, Comb_timing _ -> fail "synchroniser with combinational timing")
+
+let make ~name ~kind ~pins ~timing ~area ~drive =
+  validate ~name ~kind ~pins ~timing ~area ~drive;
+  { name; kind; pins; timing; area; drive }
+
+let input_pins t = List.filter (fun p -> p.role = Data_in) t.pins
+let output_pins t = List.filter (fun p -> p.role = Data_out) t.pins
+let control_pins t = List.filter (fun p -> p.role = Control_in) t.pins
+
+let arcs_to t ~output =
+  match t.timing with
+  | Sync_timing _ -> []
+  | Comb_timing arcs -> List.filter (fun a -> String.equal a.to_pin output) arcs
+
+let arc_between t ~input ~output =
+  match t.timing with
+  | Sync_timing _ -> None
+  | Comb_timing arcs ->
+    List.find_opt
+      (fun a -> String.equal a.from_pin input && String.equal a.to_pin output)
+      arcs
+
+let sync_parameters t =
+  match t.timing with
+  | Sync_timing { setup; d_cz; d_dz } -> (setup, d_cz, d_dz)
+  | Comb_timing _ ->
+    invalid_arg (Printf.sprintf "Cell.sync_parameters: %s is combinational" t.name)
+
+let with_scaled_delays t ~factor ~suffix =
+  if factor <= 0.0 then invalid_arg "Cell.with_scaled_delays: factor must be positive";
+  let timing =
+    match t.timing with
+    | Comb_timing arcs ->
+      Comb_timing
+        (List.map (fun a -> { a with delay = Delay_model.scale a.delay factor }) arcs)
+    | Sync_timing { setup; d_cz; d_dz } ->
+      Sync_timing
+        { setup = setup *. factor; d_cz = d_cz *. factor; d_dz = d_dz *. factor }
+  in
+  { t with name = t.name ^ suffix; timing; area = t.area /. factor }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%a, drive x%d, %d pins)"
+    t.name Kind.pp t.kind t.drive (List.length t.pins)

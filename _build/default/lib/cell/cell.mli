@@ -1,0 +1,83 @@
+(** Standard-cell descriptions.
+
+    A cell couples a {!Kind.t} with pins, area, and timing data. For
+    combinational cells the timing data is a set of input→output arcs with
+    {!Delay_model.t} characterisations; for synchronising elements it is the
+    parameter triple of the paper's Section 5 models ([Dsetup], [D_cz],
+    [D_dz]). *)
+
+type pin_role =
+  | Data_in
+  | Data_out
+  | Control_in  (** clock/control pin of a synchronising element *)
+
+type pin = {
+  pin_name : string;
+  role : pin_role;
+  capacitance : float;  (** pF presented to the driving net *)
+}
+
+(** One characterised combinational timing arc. *)
+type timing_arc = {
+  from_pin : string;
+  to_pin : string;
+  delay : Delay_model.t;
+}
+
+type timing =
+  | Comb_timing of timing_arc list
+  | Sync_timing of {
+      setup : Hb_util.Time.t;  (** [Dsetup]: data set-up time *)
+      d_cz : Hb_util.Time.t;   (** control-input-to-output delay *)
+      d_dz : Hb_util.Time.t;   (** data-input-to-output delay (transparent
+                                   latch and tristate only) *)
+    }
+
+type t = private {
+  name : string;
+  kind : Kind.t;
+  pins : pin list;
+  timing : timing;
+  area : float;        (** in equivalent-gate units *)
+  drive : int;         (** drive strength index: 1, 2, 4, ... *)
+}
+
+(** [make ~name ~kind ~pins ~timing ~area ~drive] validates and builds a
+    cell.
+    @raise Invalid_argument when pins referenced by arcs are missing, when a
+    combinational cell is given [Sync_timing] (or vice versa), when a
+    synchronising cell lacks the [Control_in]/[Data_in]/[Data_out] pins the
+    generic model requires, or when numeric fields are negative. *)
+val make :
+  name:string ->
+  kind:Kind.t ->
+  pins:pin list ->
+  timing:timing ->
+  area:float ->
+  drive:int ->
+  t
+
+(** [find_pin t name] looks a pin up by name. *)
+val find_pin : t -> string -> pin option
+
+val input_pins : t -> pin list
+val output_pins : t -> pin list
+val control_pins : t -> pin list
+
+(** [arcs_to t ~output] lists the combinational arcs ending at [output];
+    empty for synchronising cells. *)
+val arcs_to : t -> output:string -> timing_arc list
+
+(** [arc_between t ~input ~output] finds the arc for the given pin pair. *)
+val arc_between : t -> input:string -> output:string -> timing_arc option
+
+(** [sync_parameters t] returns [(setup, d_cz, d_dz)].
+    @raise Invalid_argument on a combinational cell. *)
+val sync_parameters : t -> Hb_util.Time.t * Hb_util.Time.t * Hb_util.Time.t
+
+(** [with_scaled_delays t ~factor ~suffix] derives a cell whose arcs (or
+    sync delays) are scaled by [factor] and whose name gains [suffix]; area
+    scales by [1/factor] to model the speed/area trade of gate sizing. *)
+val with_scaled_delays : t -> factor:float -> suffix:string -> t
+
+val pp : Format.formatter -> t -> unit

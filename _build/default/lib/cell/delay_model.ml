@@ -1,0 +1,36 @@
+type arc = {
+  intrinsic : Hb_util.Time.t;
+  slope : float;
+}
+
+type t = {
+  rise : arc;
+  fall : arc;
+}
+
+let arc ~intrinsic ~slope =
+  if intrinsic < 0.0 then invalid_arg "Delay_model.arc: negative intrinsic";
+  if slope < 0.0 then invalid_arg "Delay_model.arc: negative slope";
+  { intrinsic; slope }
+
+let make ~rise ~fall = { rise; fall }
+let symmetric a = { rise = a; fall = a }
+
+let eval_arc a ~load =
+  if load < 0.0 then invalid_arg "Delay_model.eval_arc: negative load";
+  a.intrinsic +. (a.slope *. load)
+
+let worst t ~load =
+  Hb_util.Time.max (eval_arc t.rise ~load) (eval_arc t.fall ~load)
+
+let best t ~load =
+  Hb_util.Time.min (eval_arc t.rise ~load) (eval_arc t.fall ~load)
+
+let scale t factor =
+  if factor <= 0.0 then invalid_arg "Delay_model.scale: factor must be positive";
+  let scale_arc a = { intrinsic = a.intrinsic *. factor; slope = a.slope *. factor } in
+  { rise = scale_arc t.rise; fall = scale_arc t.fall }
+
+let pp ppf t =
+  Format.fprintf ppf "rise(%.3f + %.3f*L) fall(%.3f + %.3f*L)"
+    t.rise.intrinsic t.rise.slope t.fall.intrinsic t.fall.slope

@@ -1,0 +1,54 @@
+(** Empirical propagation-delay estimation for standard cells.
+
+    The paper deliberately separates component delay estimation from system
+    timing analysis (Section 1): Hummingbird consumes per-arc maximum (and
+    minimum) propagation delays produced by "empirical delay estimation
+    formulae [that] take into account the connected loads". This module is
+    that estimator: a linear rise/fall model
+
+      delay = intrinsic + drive_resistance * load_capacitance
+
+    which is the classic standard-cell characterisation of the era. Rising
+    and falling transitions are modelled separately, following Bening et
+    al. [7] as the paper does. *)
+
+(** Delay of one timing arc for one transition direction. *)
+type arc = {
+  intrinsic : Hb_util.Time.t;  (** fixed part, ns *)
+  slope : float;               (** ns per pF of load *)
+}
+
+(** Rise/fall pair for one input-to-output arc of a cell. *)
+type t = {
+  rise : arc;  (** output rising *)
+  fall : arc;  (** output falling *)
+}
+
+(** [arc ~intrinsic ~slope] builds one direction. Both parameters must be
+    non-negative. *)
+val arc : intrinsic:Hb_util.Time.t -> slope:float -> arc
+
+(** [make ~rise ~fall] pairs the two directions. *)
+val make : rise:arc -> fall:arc -> t
+
+(** [symmetric a] uses the same characterisation for both directions. *)
+val symmetric : arc -> t
+
+(** [eval_arc a ~load] evaluates one direction at [load] pF. *)
+val eval_arc : arc -> load:float -> Hb_util.Time.t
+
+(** [worst t ~load] is the larger of the rise and fall delays at [load] —
+    the maximum component propagation delay the analyser uses for path
+    (max-delay) constraints. *)
+val worst : t -> load:float -> Hb_util.Time.t
+
+(** [best t ~load] is the smaller of the two — used for the supplementary
+    (minimum-delay) path constraints. *)
+val best : t -> load:float -> Hb_util.Time.t
+
+(** [scale t factor] multiplies both intrinsics and slopes by [factor];
+    [factor < 1] models speeding a cell up by upsizing (the re-synthesis
+    operator of Algorithm 3). [factor] must be positive. *)
+val scale : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

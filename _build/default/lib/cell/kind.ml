@@ -1,0 +1,60 @@
+type combinational =
+  | Inv
+  | Buf
+  | Nand of int
+  | Nor of int
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi22
+  | Oai22
+  | Mux2
+  | Majority3
+  | Macro of int
+
+type synchroniser =
+  | Edge_ff
+  | Transparent_latch
+  | Tristate_driver
+
+type t =
+  | Comb of combinational
+  | Sync of synchroniser
+
+let is_sync = function Sync _ -> true | Comb _ -> false
+let is_comb = function Comb _ -> true | Sync _ -> false
+
+let unate_sense = function
+  | Inv | Nand _ | Nor _ | Aoi22 | Oai22 -> `Negative
+  | Buf | And2 | Or2 -> `Positive
+  | Xor2 | Xnor2 | Mux2 | Majority3 | Macro _ -> `Non_unate
+
+let comb_fan_in = function
+  | Inv | Buf -> 1
+  | Nand n | Nor n -> n
+  | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Aoi22 | Oai22 -> 4
+  | Mux2 | Majority3 -> 3
+  | Macro n -> n
+
+let pp ppf = function
+  | Comb Inv -> Format.pp_print_string ppf "inv"
+  | Comb Buf -> Format.pp_print_string ppf "buf"
+  | Comb (Nand n) -> Format.fprintf ppf "nand%d" n
+  | Comb (Nor n) -> Format.fprintf ppf "nor%d" n
+  | Comb And2 -> Format.pp_print_string ppf "and2"
+  | Comb Or2 -> Format.pp_print_string ppf "or2"
+  | Comb Xor2 -> Format.pp_print_string ppf "xor2"
+  | Comb Xnor2 -> Format.pp_print_string ppf "xnor2"
+  | Comb Aoi22 -> Format.pp_print_string ppf "aoi22"
+  | Comb Oai22 -> Format.pp_print_string ppf "oai22"
+  | Comb Mux2 -> Format.pp_print_string ppf "mux2"
+  | Comb Majority3 -> Format.pp_print_string ppf "maj3"
+  | Comb (Macro n) -> Format.fprintf ppf "macro%d" n
+  | Sync Edge_ff -> Format.pp_print_string ppf "dff"
+  | Sync Transparent_latch -> Format.pp_print_string ppf "latch"
+  | Sync Tristate_driver -> Format.pp_print_string ppf "tsbuf"
+
+let to_string t = Format.asprintf "%a" pp t
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,56 @@
+(** Classification of standard cells.
+
+    The analyser distinguishes only combinational switching elements from
+    synchronising elements (paper, Section 3); the finer combinational
+    classification exists so workload generators can build realistic logic
+    and so reports read naturally. *)
+
+type combinational =
+  | Inv
+  | Buf
+  | Nand of int  (** fan-in, 2..4 *)
+  | Nor of int   (** fan-in, 2..4 *)
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi22        (** 2-2 and-or-invert *)
+  | Oai22        (** 2-2 or-and-invert *)
+  | Mux2
+  | Majority3    (** carry cell *)
+  | Macro of int
+      (** collapsed hierarchical module with the given fan-in; produced by
+          [Hb_netlist.Hierarchy.collapse], never found in libraries *)
+
+type synchroniser =
+  | Edge_ff
+      (** trailing-edge triggered latch: input closure and output assertion
+          both controlled by the trailing control edge (paper, Section 5) *)
+  | Transparent_latch
+      (** level-sensitive latch: leading edge asserts the output, trailing
+          edge closes the input *)
+  | Tristate_driver
+      (** clocked tristate driver, "modelled in the same way as transparent
+          latches" (paper, Section 5) *)
+
+type t =
+  | Comb of combinational
+  | Sync of synchroniser
+
+val is_sync : t -> bool
+val is_comb : t -> bool
+
+(** Unateness of a combinational function in each of its inputs, used by
+    the rise/fall-separated analysis (the paper adopts the technique of
+    Bening et al. [7], "calculating separately rising and falling signal
+    settling time"). [`Positive`]: output rises when an input rises;
+    [`Negative`]: output falls when an input rises; [`Non_unate`]: either
+    can happen (xor/mux/majority/macro). *)
+val unate_sense : combinational -> [ `Positive | `Negative | `Non_unate ]
+
+(** Number of logic data inputs the combinational function consumes. *)
+val comb_fan_in : combinational -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

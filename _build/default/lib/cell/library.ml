@@ -1,0 +1,173 @@
+module String_map = Map.Make (String)
+
+type t = {
+  by_name : Cell.t String_map.t;
+  (* Drive variants of each logical cell, sorted by increasing drive. The
+     key is the cell's base name (name without drive suffix). *)
+  families : Cell.t list String_map.t;
+}
+
+(* Drive suffixes are "_x<d>"; the base name is everything before it. *)
+let base_name name =
+  match String.rindex_opt name '_' with
+  | Some i
+    when i + 2 <= String.length name - 1
+      && name.[i + 1] = 'x'
+      && String.for_all (fun c -> c >= '0' && c <= '9')
+           (String.sub name (i + 2) (String.length name - i - 2)) ->
+    String.sub name 0 i
+  | Some _ | None -> name
+
+let create cells =
+  let by_name =
+    List.fold_left
+      (fun acc (c : Cell.t) ->
+         if String_map.mem c.Cell.name acc then
+           invalid_arg
+             (Printf.sprintf "Library.create: duplicate cell %s" c.Cell.name)
+         else String_map.add c.Cell.name c acc)
+      String_map.empty cells
+  in
+  let families =
+    List.fold_left
+      (fun acc (c : Cell.t) ->
+         let key = base_name c.Cell.name in
+         let existing = Option.value ~default:[] (String_map.find_opt key acc) in
+         String_map.add key (c :: existing) acc)
+      String_map.empty cells
+  in
+  let families =
+    String_map.map
+      (fun variants ->
+         List.sort (fun (a : Cell.t) b -> compare a.Cell.drive b.Cell.drive) variants)
+      families
+  in
+  { by_name; families }
+
+let find t name = String_map.find_opt name t.by_name
+
+let find_exn t name =
+  match find t name with
+  | Some c -> c
+  | None -> raise Not_found
+
+let names t = List.map fst (String_map.bindings t.by_name)
+let cells t = List.map snd (String_map.bindings t.by_name)
+let size t = String_map.cardinal t.by_name
+
+let family t (cell : Cell.t) =
+  Option.value ~default:[ cell ]
+    (String_map.find_opt (base_name cell.Cell.name) t.families)
+
+let upsize t cell =
+  let rec after = function
+    | [] -> None
+    | (c : Cell.t) :: rest ->
+      if c.Cell.drive > cell.Cell.drive then Some c else after rest
+  in
+  after (family t cell)
+
+let downsize t cell =
+  let rec before best = function
+    | [] -> best
+    | (c : Cell.t) :: rest ->
+      if c.Cell.drive < cell.Cell.drive then before (Some c) rest else best
+  in
+  before None (family t cell)
+
+(* ------------------------------------------------------------------ *)
+(* Default synthetic library                                          *)
+(* ------------------------------------------------------------------ *)
+
+let input_names = [| "a"; "b"; "c"; "d" |]
+
+let data_in name cap = { Cell.pin_name = name; role = Cell.Data_in; capacitance = cap }
+let data_out name = { Cell.pin_name = name; role = Cell.Data_out; capacitance = 0.0 }
+let control name cap = { Cell.pin_name = name; role = Cell.Control_in; capacitance = cap }
+
+(* One combinational cell family: three drive variants. Upsizing divides
+   the drive-dependent slope while the input capacitance grows, which is
+   how real libraries trade speed against load presented upstream. *)
+let comb_family ~kind ~name ~fan_in ~intrinsic ~slope ~area =
+  let variant drive =
+    let d = float_of_int drive in
+    let pins =
+      List.init fan_in (fun i -> data_in input_names.(i) (0.010 *. d))
+      @ [ data_out "y" ]
+    in
+    let delay =
+      Delay_model.make
+        ~rise:(Delay_model.arc ~intrinsic ~slope:(slope /. d))
+        ~fall:(Delay_model.arc ~intrinsic:(intrinsic *. 0.9) ~slope:(slope *. 0.85 /. d))
+    in
+    let arcs =
+      List.init fan_in (fun i ->
+          { Cell.from_pin = input_names.(i); to_pin = "y"; delay })
+    in
+    Cell.make
+      ~name:(Printf.sprintf "%s_x%d" name drive)
+      ~kind ~pins ~timing:(Cell.Comb_timing arcs)
+      ~area:(area *. d) ~drive
+  in
+  [ variant 1; variant 2; variant 4 ]
+
+let sync_cell ?(complementary = false) ~kind ~name ~setup ~d_cz ~d_dz ~area () =
+  let pins =
+    [ data_in "d" 0.012; control "ck" 0.020; data_out "q" ]
+    @ (if complementary then [ data_out "qb" ] else [])
+  in
+  Cell.make ~name ~kind ~pins
+    ~timing:(Cell.Sync_timing { setup; d_cz; d_dz })
+    ~area ~drive:1
+
+let default () =
+  let open Kind in
+  let comb = List.concat
+      [ comb_family ~kind:(Comb Inv) ~name:"inv" ~fan_in:1
+          ~intrinsic:0.35 ~slope:8.0 ~area:1.0;
+        comb_family ~kind:(Comb Buf) ~name:"buf" ~fan_in:1
+          ~intrinsic:0.70 ~slope:6.0 ~area:1.5;
+        comb_family ~kind:(Comb (Nand 2)) ~name:"nand2" ~fan_in:2
+          ~intrinsic:0.50 ~slope:9.0 ~area:1.5;
+        comb_family ~kind:(Comb (Nand 3)) ~name:"nand3" ~fan_in:3
+          ~intrinsic:0.65 ~slope:10.0 ~area:2.0;
+        comb_family ~kind:(Comb (Nand 4)) ~name:"nand4" ~fan_in:4
+          ~intrinsic:0.80 ~slope:11.0 ~area:2.5;
+        comb_family ~kind:(Comb (Nor 2)) ~name:"nor2" ~fan_in:2
+          ~intrinsic:0.55 ~slope:10.0 ~area:1.5;
+        comb_family ~kind:(Comb (Nor 3)) ~name:"nor3" ~fan_in:3
+          ~intrinsic:0.75 ~slope:12.0 ~area:2.0;
+        comb_family ~kind:(Comb (Nor 4)) ~name:"nor4" ~fan_in:4
+          ~intrinsic:0.95 ~slope:14.0 ~area:2.5;
+        comb_family ~kind:(Comb And2) ~name:"and2" ~fan_in:2
+          ~intrinsic:0.85 ~slope:7.0 ~area:2.0;
+        comb_family ~kind:(Comb Or2) ~name:"or2" ~fan_in:2
+          ~intrinsic:0.90 ~slope:7.0 ~area:2.0;
+        comb_family ~kind:(Comb Xor2) ~name:"xor2" ~fan_in:2
+          ~intrinsic:1.10 ~slope:10.0 ~area:3.0;
+        comb_family ~kind:(Comb Xnor2) ~name:"xnor2" ~fan_in:2
+          ~intrinsic:1.15 ~slope:10.0 ~area:3.0;
+        comb_family ~kind:(Comb Aoi22) ~name:"aoi22" ~fan_in:4
+          ~intrinsic:0.95 ~slope:11.0 ~area:2.5;
+        comb_family ~kind:(Comb Oai22) ~name:"oai22" ~fan_in:4
+          ~intrinsic:0.95 ~slope:11.0 ~area:2.5;
+        comb_family ~kind:(Comb Mux2) ~name:"mux2" ~fan_in:3
+          ~intrinsic:1.05 ~slope:9.0 ~area:3.0;
+        comb_family ~kind:(Comb Majority3) ~name:"maj3" ~fan_in:3
+          ~intrinsic:1.00 ~slope:10.0 ~area:3.0;
+      ]
+  in
+  let sync =
+    [ sync_cell ~kind:(Sync Edge_ff) ~name:"dff"
+        ~setup:0.80 ~d_cz:1.20 ~d_dz:0.0 ~area:6.0 ();
+      sync_cell ~complementary:true ~kind:(Sync Edge_ff) ~name:"dff2"
+        ~setup:0.80 ~d_cz:1.25 ~d_dz:0.0 ~area:6.5 ();
+      sync_cell ~kind:(Sync Transparent_latch) ~name:"latch"
+        ~setup:0.60 ~d_cz:0.90 ~d_dz:0.70 ~area:4.0 ();
+      sync_cell ~complementary:true ~kind:(Sync Transparent_latch)
+        ~name:"latch2" ~setup:0.60 ~d_cz:0.95 ~d_dz:0.75 ~area:4.5 ();
+      sync_cell ~kind:(Sync Tristate_driver) ~name:"tsbuf"
+        ~setup:0.40 ~d_cz:0.80 ~d_dz:0.60 ~area:2.0 ();
+    ]
+  in
+  create (comb @ sync)

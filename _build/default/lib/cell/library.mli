@@ -1,0 +1,38 @@
+(** Cell catalogues.
+
+    A library maps cell names to {!Cell.t} descriptions and knows the drive
+    variants of each logical cell so the re-synthesis loop (Algorithm 3) can
+    upsize a cell on a slow path. {!default} is a synthetic CMOS
+    standard-cell library standing in for the Berkeley/MSU library used by
+    the paper's experiments. *)
+
+type t
+
+(** [create cells] indexes the given cells by name.
+    @raise Invalid_argument on duplicate names. *)
+val create : Cell.t list -> t
+
+val find : t -> string -> Cell.t option
+
+(** @raise Not_found when the cell is absent. *)
+val find_exn : t -> string -> Cell.t
+
+val names : t -> string list
+val cells : t -> Cell.t list
+val size : t -> int
+
+(** [upsize t cell] returns the same logical cell at the next higher drive
+    strength, or [None] when [cell] is already the strongest variant. *)
+val upsize : t -> Cell.t -> Cell.t option
+
+(** [downsize t cell] is the inverse of {!upsize}. *)
+val downsize : t -> Cell.t -> Cell.t option
+
+(** The built-in synthetic CMOS library: inverters, buffers, 2–4 input
+    NAND/NOR, AND/OR/XOR/XNOR, AOI/OAI, 2:1 mux, majority (carry) cell —
+    each at drive strengths ×1, ×2 and ×4 — plus a trailing-edge flip-flop
+    ([dff], and [dff2] with complementary q/qb outputs), a transparent
+    latch ([latch]/[latch2]) and a clocked tristate driver ([tsbuf]).
+    Delays are in the single-nanosecond range, typical of late-1980s 2 µm
+    standard cells. *)
+val default : unit -> t

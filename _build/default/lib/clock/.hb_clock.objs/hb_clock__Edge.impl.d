@@ -1,0 +1,1 @@
+lib/clock/edge.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/clock/system.ml: Array Buffer Edge Format Hb_util List Printf String Waveform

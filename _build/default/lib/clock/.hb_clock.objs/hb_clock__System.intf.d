@@ -1,0 +1,1 @@
+lib/clock/system.mli: Edge Format Hb_util Waveform

@@ -1,0 +1,1 @@
+lib/clock/waveform.ml: Format Hb_util Printf

@@ -1,0 +1,1 @@
+lib/clock/waveform.mli: Format Hb_util

@@ -1,0 +1,85 @@
+type requirement = {
+  before : int;
+  after : int;
+}
+
+let position ~node_count ~cut node =
+  ((node - cut - 1) mod node_count + node_count) mod node_count
+
+let satisfies ~node_count ~cut req =
+  req.before <> req.after
+  && position ~node_count ~cut req.before < position ~node_count ~cut req.after
+
+let check_inputs ~node_count requirements =
+  if node_count < 1 then invalid_arg "Break.solve: node_count must be >= 1";
+  List.iter
+    (fun req ->
+       if req.before < 0 || req.before >= node_count
+       || req.after < 0 || req.after >= node_count then
+         invalid_arg "Break.solve: node index out of range";
+       if req.before = req.after then
+         invalid_arg "Break.solve: requirement with before = after")
+    requirements
+
+(* Exhaustive search for a minimum hitting set, as the paper does: "all
+   removal of each single original arc, then ... all possible pairs, and so
+   on". Requirement sets are tiny (one per distinct edge pair), and "very
+   seldom is it necessary to remove more than two arcs". *)
+let solve ~node_count requirements =
+  check_inputs ~node_count requirements;
+  (* Deduplicate requirements; many cluster paths share edge pairs. *)
+  let requirements = List.sort_uniq compare requirements in
+  if requirements = [] then [ node_count - 1 ]
+  else begin
+    let satisfying =
+      List.map
+        (fun req ->
+           let hits = ref [] in
+           for cut = node_count - 1 downto 0 do
+             if satisfies ~node_count ~cut req then hits := cut :: !hits
+           done;
+           if !hits = [] then
+             failwith
+               (Printf.sprintf
+                  "Break.solve: requirement %d before %d unsatisfiable"
+                  req.before req.after);
+           !hits)
+        requirements
+    in
+    (* Candidate cuts: only cuts that satisfy at least one requirement
+       matter, but a minimum set drawn from all cuts is equivalent. *)
+    let all_cuts = List.sort_uniq compare (List.concat satisfying) in
+    let covers cuts =
+      List.for_all (fun hits -> List.exists (fun c -> List.mem c cuts) hits)
+        satisfying
+    in
+    (* Enumerate subsets of [all_cuts] of the given size. *)
+    let rec subsets k items =
+      if k = 0 then [ [] ]
+      else
+        match items with
+        | [] -> []
+        | x :: rest ->
+          List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+    in
+    let rec search size =
+      if size > List.length all_cuts then
+        (* Unreachable: taking one satisfying cut per requirement always
+           covers. *)
+        all_cuts
+      else
+        match List.find_opt covers (subsets size all_cuts) with
+        | Some cuts -> List.sort compare cuts
+        | None -> search (size + 1)
+    in
+    search 1
+  end
+
+let assign ~node_count ~cuts node =
+  match cuts with
+  | [] -> invalid_arg "Break.assign: empty cut set"
+  | first :: rest ->
+    let score cut = position ~node_count ~cut node in
+    List.fold_left
+      (fun best cut -> if score cut > score best then cut else best)
+      first rest

@@ -1,0 +1,48 @@
+(** Breaking open the clock period (paper, Section 7).
+
+    The clock edges of one overall period form a circular sequence — the
+    nodes of a directed graph whose original arcs join each edge to the next
+    in time. Every way of breaking open the period corresponds to removing
+    one original arc. Combinational paths through a cluster add ordering
+    requirements ("the ideal assertion edge must precede the ideal closure
+    edge in the broken-open order"); the minimum number of analysis passes
+    is the minimum number of original arcs whose removal satisfies every
+    requirement — found, as in the paper, by exhaustive search over sets of
+    increasing size.
+
+    Nodes are integers [0 .. node_count-1] in circular time order (use
+    {!System.edges} to obtain the ordering). Arc [k] joins node [k] to node
+    [(k+1) mod node_count]; cutting arc [k] yields the linear order that
+    starts at node [k+1]. *)
+
+type requirement = {
+  before : int;  (** node that must come earlier (ideal assertion edge) *)
+  after : int;   (** node that must come later (ideal closure edge) *)
+}
+
+(** [position ~node_count ~cut node] is the index of [node] in the linear
+    order obtained by cutting arc [cut]; 0 is first. *)
+val position : node_count:int -> cut:int -> int -> int
+
+(** [satisfies ~node_count ~cut req] tests whether the given cut places
+    [req.before] strictly before [req.after]. Always false when the two
+    nodes coincide. *)
+val satisfies : node_count:int -> cut:int -> requirement -> bool
+
+(** [solve ~node_count requirements] finds a minimum-cardinality set of
+    cuts such that every requirement is satisfied by at least one cut in
+    the set. The result is sorted. With no requirements a single arbitrary
+    cut (arc [node_count - 1], making node 0 first) is returned, since at
+    least one analysis pass is always needed.
+
+    @raise Invalid_argument when [node_count < 1], when a requirement has
+    [before = after], or when a node index is out of range.
+    @raise Failure when some requirement is unsatisfiable by any single cut
+    (cannot happen for well-formed requirements). *)
+val solve : node_count:int -> requirement list -> int list
+
+(** [assign ~node_count ~cuts node] picks, among [cuts], the cut whose
+    linear order places [node] closest to the end — the pass in which a
+    cluster output with ideal closure edge [node] must be analysed.
+    @raise Invalid_argument when [cuts] is empty. *)
+val assign : node_count:int -> cuts:int list -> int -> int

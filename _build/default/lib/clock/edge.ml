@@ -1,0 +1,18 @@
+type polarity = Leading | Trailing
+
+type t = {
+  clock : string;
+  pulse : int;
+  polarity : polarity;
+}
+
+let leading ~clock ~pulse = { clock; pulse; polarity = Leading }
+let trailing ~clock ~pulse = { clock; pulse; polarity = Trailing }
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf t =
+  let symbol = match t.polarity with Leading -> "+" | Trailing -> "-" in
+  Format.fprintf ppf "%s[%d]%s" t.clock t.pulse symbol
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,23 @@
+(** Identities of clock edges within one overall period.
+
+    "Transitions at clock generator output terminals are the clock edge
+    times" (paper, Section 4). After multi-rate replication every
+    synchronising element references exactly one leading and one trailing
+    edge per overall period; these identities are the nodes of the
+    clock-edge graph of Section 7. *)
+
+type polarity = Leading | Trailing
+
+type t = {
+  clock : string;   (** waveform name *)
+  pulse : int;      (** pulse index within the overall period, 0-based *)
+  polarity : polarity;
+}
+
+val leading : clock:string -> pulse:int -> t
+val trailing : clock:string -> pulse:int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

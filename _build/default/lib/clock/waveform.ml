@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  multiplier : int;
+  rise : Hb_util.Time.t;
+  width : Hb_util.Time.t;
+}
+
+let make ~name ~multiplier ~rise ~width =
+  let fail fmt = Format.kasprintf invalid_arg ("Waveform.make(%s): " ^^ fmt) name in
+  if multiplier < 1 then fail "multiplier must be >= 1";
+  if rise < 0.0 then fail "rise must be non-negative";
+  if width <= 0.0 then fail "width must be positive";
+  { name; multiplier; rise; width }
+
+let own_period t ~overall_period = overall_period /. float_of_int t.multiplier
+
+let check t ~overall_period =
+  if overall_period <= 0.0 then
+    invalid_arg "Waveform.check: overall period must be positive";
+  let period = own_period t ~overall_period in
+  if Hb_util.Time.gt (t.rise +. t.width) period then
+    invalid_arg
+      (Printf.sprintf
+         "Waveform.check(%s): pulse [%g, %g] does not fit period %g"
+         t.name t.rise (t.rise +. t.width) period)
+
+let leading_edge t ~overall_period ~pulse =
+  if pulse < 0 || pulse >= t.multiplier then
+    invalid_arg (Printf.sprintf "Waveform.leading_edge: pulse %d out of range" pulse);
+  t.rise +. (float_of_int pulse *. own_period t ~overall_period)
+
+let trailing_edge t ~overall_period ~pulse =
+  leading_edge t ~overall_period ~pulse +. t.width
+
+let pp ppf t =
+  Format.fprintf ppf "%s (x%d, rise %a, width %a)"
+    t.name t.multiplier Hb_util.Time.pp t.rise Hb_util.Time.pp t.width

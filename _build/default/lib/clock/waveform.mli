@@ -1,0 +1,48 @@
+(** Single clock waveforms.
+
+    The paper assumes synchronous operation: "all clock waveforms have
+    harmonically related frequencies, and there is an overall period which
+    is an integer multiple of the period of each clock signal" (Section 3).
+    We encode that exactly: a waveform is declared relative to an overall
+    period [T] by an integer frequency [multiplier] [m] (its own period is
+    [T/m]) and by the leading-edge offset and pulse width within its own
+    period. *)
+
+type t = private {
+  name : string;
+  multiplier : int;       (** pulses per overall period; >= 1 *)
+  rise : Hb_util.Time.t;  (** leading-edge offset within own period *)
+  width : Hb_util.Time.t; (** pulse width; leading edge + width = trailing *)
+}
+
+(** [make ~name ~multiplier ~rise ~width] validates the waveform in the
+    abstract (bounds that do not depend on the overall period).
+    @raise Invalid_argument when [multiplier < 1], [rise < 0] or
+    [width <= 0]. *)
+val make :
+  name:string ->
+  multiplier:int ->
+  rise:Hb_util.Time.t ->
+  width:Hb_util.Time.t ->
+  t
+
+(** [own_period t ~overall_period] is [overall_period / multiplier]. *)
+val own_period : t -> overall_period:Hb_util.Time.t -> Hb_util.Time.t
+
+(** [check t ~overall_period] verifies the pulse fits its own period:
+    [rise + width <= own period] (pulses do not wrap).
+    @raise Invalid_argument otherwise. *)
+val check : t -> overall_period:Hb_util.Time.t -> unit
+
+(** [leading_edge t ~overall_period ~pulse] is the absolute time of the
+    leading edge of pulse number [pulse] (0-based) within the overall
+    period. *)
+val leading_edge :
+  t -> overall_period:Hb_util.Time.t -> pulse:int -> Hb_util.Time.t
+
+(** [trailing_edge t ~overall_period ~pulse] likewise for the trailing
+    edge. *)
+val trailing_edge :
+  t -> overall_period:Hb_util.Time.t -> pulse:int -> Hb_util.Time.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/func.ml: Fun Hb_cell List

@@ -1,0 +1,1 @@
+lib/logic/func.mli: Hb_cell

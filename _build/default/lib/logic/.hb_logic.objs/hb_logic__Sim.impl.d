@@ -1,0 +1,1 @@
+lib/logic/sim.ml: Array Func Hashtbl Hb_cell Hb_netlist Hb_util List Option

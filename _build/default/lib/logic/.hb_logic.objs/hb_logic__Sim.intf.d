@@ -1,0 +1,1 @@
+lib/logic/sim.mli: Hb_netlist

@@ -1,0 +1,47 @@
+let evaluate (kind : Hb_cell.Kind.combinational) inputs =
+  match kind, inputs with
+  | Hb_cell.Kind.Inv, [ a ] -> Some (not a)
+  | Hb_cell.Kind.Buf, [ a ] -> Some a
+  | Hb_cell.Kind.Nand _, inputs when inputs <> [] ->
+    Some (not (List.for_all Fun.id inputs))
+  | Hb_cell.Kind.Nor _, inputs when inputs <> [] ->
+    Some (not (List.exists Fun.id inputs))
+  | Hb_cell.Kind.And2, [ a; b ] -> Some (a && b)
+  | Hb_cell.Kind.Or2, [ a; b ] -> Some (a || b)
+  | Hb_cell.Kind.Xor2, [ a; b ] -> Some (a <> b)
+  | Hb_cell.Kind.Xnor2, [ a; b ] -> Some (a = b)
+  | Hb_cell.Kind.Aoi22, [ a; b; c; d ] -> Some (not ((a && b) || (c && d)))
+  | Hb_cell.Kind.Oai22, [ a; b; c; d ] -> Some (not ((a || b) && (c || d)))
+  | Hb_cell.Kind.Mux2, [ a; b; c ] -> Some (if c then b else a)
+  | Hb_cell.Kind.Majority3, [ a; b; c ] ->
+    Some ((a && b) || (a && c) || (b && c))
+  | Hb_cell.Kind.Macro _, _ -> None
+  | ( Hb_cell.Kind.Inv | Hb_cell.Kind.Buf | Hb_cell.Kind.Nand _
+    | Hb_cell.Kind.Nor _ | Hb_cell.Kind.And2 | Hb_cell.Kind.Or2
+    | Hb_cell.Kind.Xor2 | Hb_cell.Kind.Xnor2 | Hb_cell.Kind.Aoi22
+    | Hb_cell.Kind.Oai22 | Hb_cell.Kind.Mux2 | Hb_cell.Kind.Majority3 ), _ ->
+    None
+
+(* Only gates whose propagation condition is a conjunction of fixed side
+   values participate; everything else reports no requirement, which can
+   only keep (never wrongly kill) a path. *)
+let side_requirement (kind : Hb_cell.Kind.combinational) ~on_path ~side =
+  if on_path = side then None
+  else
+    match kind with
+    | Hb_cell.Kind.Nand _ | Hb_cell.Kind.And2 -> Some true
+    | Hb_cell.Kind.Nor _ | Hb_cell.Kind.Or2 -> Some false
+    | Hb_cell.Kind.Inv | Hb_cell.Kind.Buf -> None
+    | Hb_cell.Kind.Xor2 | Hb_cell.Kind.Xnor2 -> None
+    | Hb_cell.Kind.Aoi22 | Hb_cell.Kind.Oai22 -> None
+    | Hb_cell.Kind.Mux2 ->
+      (* A transition on a data input propagates only when the select
+         points at it: data input 0 needs select = false, data input 1
+         needs select = true. Transitions on the select itself have no
+         single-value side requirement. *)
+      (match on_path, side with
+       | 0, 2 -> Some false
+       | 1, 2 -> Some true
+       | _, _ -> None)
+    | Hb_cell.Kind.Majority3 -> None
+    | Hb_cell.Kind.Macro _ -> None

@@ -1,0 +1,21 @@
+(** Boolean semantics of the combinational cell kinds.
+
+    Used by the functional simulator and by static false-path analysis.
+    Input ordering follows the library's pin order (a, b, c, d); for the
+    mux, [a]/[b] are the data inputs and [c] the select ([c = false]
+    selects [a]). *)
+
+(** [evaluate kind inputs] computes the cell output; [None] for macros
+    (whose function was erased by collapsing) when the input count
+    mismatches the kind's fan-in, evaluation also returns [None]. *)
+val evaluate : Hb_cell.Kind.combinational -> bool list -> bool option
+
+(** [side_requirement kind ~on_path ~side] is the static value the side
+    input at index [side] must hold for a transition at input index
+    [on_path] to propagate to the output — [None] when no single value is
+    required (xor-like and disjunctive gates, or the gate's function is
+    unknown). Only gates whose side requirements are purely conjunctive
+    report values, so a conflict among reported requirements proves a path
+    false while absence of requirements never wrongly kills one. *)
+val side_requirement :
+  Hb_cell.Kind.combinational -> on_path:int -> side:int -> bool option

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Builder Design Format Hb_cell List Printf Stdlib String

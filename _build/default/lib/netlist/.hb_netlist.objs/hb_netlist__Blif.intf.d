@@ -1,0 +1,1 @@
+lib/netlist/blif.mli: Design Hb_cell

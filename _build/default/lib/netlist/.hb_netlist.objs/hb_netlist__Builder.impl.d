@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Design Format Hb_cell List Map Printf String

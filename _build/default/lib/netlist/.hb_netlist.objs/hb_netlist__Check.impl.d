@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Design Format Hashtbl Hb_cell List

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Format Hb_cell List String

@@ -1,0 +1,1 @@
+lib/netlist/hbn_format.ml: Array Buffer Builder Design Format Hb_cell List Printf String

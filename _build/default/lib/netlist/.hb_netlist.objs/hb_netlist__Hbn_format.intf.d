@@ -1,0 +1,1 @@
+lib/netlist/hbn_format.mli: Design Hb_cell

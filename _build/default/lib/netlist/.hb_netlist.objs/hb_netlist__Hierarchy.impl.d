@@ -1,0 +1,1 @@
+lib/netlist/hierarchy.ml: Array Builder Design Hashtbl Hb_cell Hb_util Int List Map Option Printf Set String

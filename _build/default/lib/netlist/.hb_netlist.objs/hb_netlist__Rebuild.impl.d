@@ -1,0 +1,1 @@
+lib/netlist/rebuild.ml: Array Builder Design Hb_cell List

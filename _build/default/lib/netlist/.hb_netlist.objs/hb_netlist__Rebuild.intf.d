@@ -1,0 +1,1 @@
+lib/netlist/rebuild.mli: Design Hb_cell

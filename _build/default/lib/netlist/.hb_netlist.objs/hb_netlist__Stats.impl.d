@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Design Format Hb_cell List Map Option String

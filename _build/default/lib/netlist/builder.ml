@@ -1,0 +1,199 @@
+module String_map = Map.Make (String)
+
+type pending_instance = {
+  p_name : string;
+  p_cell : Hb_cell.Cell.t;
+  p_connections : (string * string) list;
+  p_module_path : string;
+}
+
+type pending_port = {
+  q_name : string;
+  q_direction : Design.port_direction;
+  q_is_clock : bool;
+}
+
+type t = {
+  design_name : string;
+  lib : Hb_cell.Library.t;
+  mutable ports : pending_port list;    (* reversed *)
+  mutable instances : pending_instance list;  (* reversed *)
+  mutable port_names : unit String_map.t;
+  mutable instance_names : unit String_map.t;
+  mutable wire_cap : float;
+}
+
+let create ~name ~library =
+  { design_name = name;
+    lib = library;
+    ports = [];
+    instances = [];
+    port_names = String_map.empty;
+    instance_names = String_map.empty;
+    wire_cap = 0.015;
+  }
+
+let library t = t.lib
+
+let add_port t ~name ~direction ~is_clock =
+  if String_map.mem name t.port_names then
+    invalid_arg (Printf.sprintf "Builder.add_port: duplicate port %s" name);
+  t.port_names <- String_map.add name () t.port_names;
+  t.ports <- { q_name = name; q_direction = direction; q_is_clock = is_clock } :: t.ports
+
+let add_instance_of_cell t ?(module_path = "") ~name ~cell ~connections () =
+  if String_map.mem name t.instance_names then
+    invalid_arg (Printf.sprintf "Builder.add_instance: duplicate instance %s" name);
+  List.iter
+    (fun (pin, _) ->
+       match Hb_cell.Cell.find_pin cell pin with
+       | Some _ -> ()
+       | None ->
+         invalid_arg
+           (Printf.sprintf "Builder.add_instance: %s has no pin %s"
+              cell.Hb_cell.Cell.name pin))
+    connections;
+  t.instance_names <- String_map.add name () t.instance_names;
+  t.instances <-
+    { p_name = name; p_cell = cell; p_connections = connections;
+      p_module_path = module_path }
+    :: t.instances
+
+let add_instance t ?module_path ~name ~cell ~connections () =
+  match Hb_cell.Library.find t.lib cell with
+  | None -> invalid_arg (Printf.sprintf "Builder.add_instance: unknown cell %s" cell)
+  | Some c -> add_instance_of_cell t ?module_path ~name ~cell:c ~connections ()
+
+let set_wire_capacitance_per_load t cap =
+  if cap < 0.0 then invalid_arg "Builder.set_wire_capacitance_per_load: negative";
+  t.wire_cap <- cap
+
+type net_accum = {
+  mutable drivers : Design.endpoint list;
+  mutable loads : Design.endpoint list;
+  mutable cap : float;
+}
+
+let freeze t =
+  let fail fmt = Format.kasprintf failwith ("Builder.freeze(%s): " ^^ fmt) t.design_name in
+  let ports = Array.of_list (List.rev t.ports) in
+  let pending = Array.of_list (List.rev t.instances) in
+  (* Assign net ids in first-mention order. *)
+  let net_ids = ref String_map.empty in
+  let net_names = ref [] in
+  let net_count = ref 0 in
+  let net_id name =
+    match String_map.find_opt name !net_ids with
+    | Some id -> id
+    | None ->
+      let id = !net_count in
+      incr net_count;
+      net_ids := String_map.add name id !net_ids;
+      net_names := name :: !net_names;
+      id
+  in
+  (* Ports connect to the net bearing their own name. *)
+  let port_nets = Array.map (fun p -> net_id p.q_name) ports in
+  let instances =
+    Array.map
+      (fun p ->
+         { Design.inst_name = p.p_name;
+           cell = p.p_cell;
+           connections = List.map (fun (pin, net) -> (pin, net_id net)) p.p_connections;
+           module_path = p.p_module_path;
+         })
+      pending
+  in
+  let accum =
+    Array.init !net_count (fun _ -> { drivers = []; loads = []; cap = 0.0 })
+  in
+  Array.iteri
+    (fun i p ->
+       let a = accum.(port_nets.(i)) in
+       match p.q_direction with
+       | Design.Port_in -> a.drivers <- Design.Port i :: a.drivers
+       | Design.Port_out -> a.loads <- Design.Port i :: a.loads)
+    ports;
+  Array.iteri
+    (fun i inst ->
+       List.iter
+         (fun (pin_name, net) ->
+            let a = accum.(net) in
+            let pin =
+              match Hb_cell.Cell.find_pin inst.Design.cell pin_name with
+              | Some p -> p
+              | None -> assert false (* checked at add time *)
+            in
+            let endpoint = Design.Pin { inst = i; pin = pin_name } in
+            match pin.Hb_cell.Cell.role with
+            | Hb_cell.Cell.Data_out -> a.drivers <- endpoint :: a.drivers
+            | Hb_cell.Cell.Data_in | Hb_cell.Cell.Control_in ->
+              a.loads <- endpoint :: a.loads;
+              a.cap <- a.cap +. pin.Hb_cell.Cell.capacitance)
+         inst.Design.connections)
+    instances;
+  (* Every data/control input pin must be connected. *)
+  Array.iter
+    (fun inst ->
+       List.iter
+         (fun pin ->
+            match pin.Hb_cell.Cell.role with
+            | Hb_cell.Cell.Data_out -> ()
+            | Hb_cell.Cell.Data_in | Hb_cell.Cell.Control_in ->
+              if not (List.mem_assoc pin.Hb_cell.Cell.pin_name inst.Design.connections)
+              then
+                fail "instance %s: input pin %s unconnected"
+                  inst.Design.inst_name pin.Hb_cell.Cell.pin_name)
+         inst.Design.cell.Hb_cell.Cell.pins)
+    instances;
+  let net_names = Array.of_list (List.rev !net_names) in
+  let describe i =
+    Printf.sprintf "net %s" net_names.(i)
+  in
+  let is_tristate_pin = function
+    | Design.Pin { inst; pin = _ } ->
+      (match instances.(inst).Design.cell.Hb_cell.Cell.kind with
+       | Hb_cell.Kind.Sync Hb_cell.Kind.Tristate_driver -> true
+       | Hb_cell.Kind.Sync _ | Hb_cell.Kind.Comb _ -> false)
+    | Design.Port _ -> false
+  in
+  let nets =
+    Array.init !net_count (fun i ->
+        let a = accum.(i) in
+        match a.drivers with
+        | [] -> fail "%s has no driver" (describe i)
+        | [ _ ] | _ :: _ :: _ when
+            List.length a.drivers > 1
+            && not (List.for_all is_tristate_pin a.drivers) ->
+          fail "%s has multiple non-tristate drivers" (describe i)
+        | drivers ->
+          let loads = List.rev a.loads in
+          { Design.net_name = net_names.(i);
+            drivers = List.rev drivers;
+            loads;
+            load_capacitance =
+              a.cap +. (t.wire_cap *. float_of_int (List.length loads));
+          })
+  in
+  (* Output ports must be driven: their net has a driver by construction,
+     but the port itself must not be that driver. *)
+  Array.iteri
+    (fun i p ->
+       match p.q_direction with
+       | Design.Port_in -> ()
+       | Design.Port_out ->
+         (match nets.(port_nets.(i)).Design.drivers with
+          | [ Design.Port j ] when j = i ->
+            fail "output port %s is undriven" p.q_name
+          | _ :: _ | [] -> ()))
+    ports;
+  let ports =
+    Array.map
+      (fun p ->
+         { Design.port_name = p.q_name;
+           direction = p.q_direction;
+           is_clock = p.q_is_clock;
+         })
+      ports
+  in
+  Design.unsafe_make ~design_name:t.design_name ~instances ~nets ~ports

@@ -1,0 +1,53 @@
+(** Incremental construction of designs.
+
+    A builder accumulates ports, instances and net connections by name and
+    {!freeze}s into a validated {!Design.t}. Nets spring into existence the
+    first time they are named. *)
+
+type t
+
+(** [create ~name ~library] starts an empty design. Instances added later
+    name cells from [library]. *)
+val create : name:string -> library:Hb_cell.Library.t -> t
+
+val library : t -> Hb_cell.Library.t
+
+(** [add_port t ~name ~direction ~is_clock] declares a primary port and
+    implicitly attaches it to the net of the same name.
+    @raise Invalid_argument on duplicate port names. *)
+val add_port :
+  t -> name:string -> direction:Design.port_direction -> is_clock:bool -> unit
+
+(** [add_instance t ~name ~cell ~connections] instantiates library cell
+    [cell]; [connections] maps pin names to net names. Unknown cells,
+    duplicate instance names and unknown pins are rejected.
+    [module_path] defaults to [""] (top level). *)
+val add_instance :
+  t ->
+  ?module_path:string ->
+  name:string ->
+  cell:string ->
+  connections:(string * string) list ->
+  unit ->
+  unit
+
+(** [add_instance_of_cell t ~name ~cell ~connections] is {!add_instance}
+    for a cell value not present in the library (e.g. a collapsed macro). *)
+val add_instance_of_cell :
+  t ->
+  ?module_path:string ->
+  name:string ->
+  cell:Hb_cell.Cell.t ->
+  connections:(string * string) list ->
+  unit ->
+  unit
+
+(** Wire capacitance added per load on a net, pF; default 0.015. *)
+val set_wire_capacitance_per_load : t -> float -> unit
+
+(** [freeze t] validates and produces the immutable design:
+    - every net has exactly one driver (an input port or an output pin);
+    - every data/control input pin of every instance is connected;
+    - output ports are driven.
+    @raise Failure with a readable message when validation fails. *)
+val freeze : t -> Design.t

@@ -1,0 +1,196 @@
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string;
+  subject : string;
+  message : string;
+}
+
+let finding severity rule subject fmt =
+  Format.kasprintf (fun message -> { severity; rule; subject; message }) fmt
+
+let dangling_outputs design =
+  let findings = ref [] in
+  for net_id = 0 to Design.net_count design - 1 do
+    let net = Design.net design net_id in
+    if net.Design.loads = [] then begin
+      let from_cell =
+        List.exists
+          (function Design.Pin _ -> true | Design.Port _ -> false)
+          net.Design.drivers
+      in
+      if from_cell then
+        findings :=
+          finding Warning "dangling-output" net.Design.net_name
+            "net %s is driven but has no loads" net.Design.net_name
+          :: !findings
+    end
+  done;
+  List.rev !findings
+
+let unused_inputs design =
+  let findings = ref [] in
+  for p = 0 to Design.port_count design - 1 do
+    let port = Design.port design p in
+    if port.Design.direction = Design.Port_in && not port.Design.is_clock then
+      match Design.net_of_port design p with
+      | None ->
+        findings :=
+          finding Warning "unused-input" port.Design.port_name
+            "input port %s is not attached to any net" port.Design.port_name
+          :: !findings
+      | Some net_id ->
+        if (Design.net design net_id).Design.loads = [] then
+          findings :=
+            finding Warning "unused-input" port.Design.port_name
+              "input port %s drives nothing" port.Design.port_name
+            :: !findings
+  done;
+  List.rev !findings
+
+let high_fanout ?(limit = 16) design =
+  let findings = ref [] in
+  for net_id = 0 to Design.net_count design - 1 do
+    let net = Design.net design net_id in
+    let fanout = List.length net.Design.loads in
+    if fanout > limit then
+      findings :=
+        finding Warning "high-fanout" net.Design.net_name
+          "net %s has %d loads (limit %d)" net.Design.net_name fanout limit
+        :: !findings
+  done;
+  List.rev !findings
+
+(* Pin role of an endpoint, when it is a pin. *)
+let endpoint_role design = function
+  | Design.Port _ -> None
+  | Design.Pin { inst; pin } ->
+    let cell = (Design.instance design inst).Design.cell in
+    (match Hb_cell.Cell.find_pin cell pin with
+     | Some p -> Some p.Hb_cell.Cell.role
+     | None -> None)
+
+let clock_as_data design =
+  let findings = ref [] in
+  List.iter
+    (fun p ->
+       match Design.net_of_port design p with
+       | None -> ()
+       | Some net_id ->
+         let net = Design.net design net_id in
+         let data_loads =
+           List.filter
+             (fun endpoint ->
+                endpoint_role design endpoint = Some Hb_cell.Cell.Data_in)
+             net.Design.loads
+         in
+         List.iter
+           (fun endpoint ->
+              findings :=
+                finding Warning "clock-as-data"
+                  (Design.endpoint_to_string design endpoint)
+                  "clock %s feeds data pin %s (no arrival is modelled on clock nets)"
+                  (Design.port design p).Design.port_name
+                  (Design.endpoint_to_string design endpoint)
+                :: !findings)
+           data_loads)
+    (Design.clock_ports design);
+  List.rev !findings
+
+(* A tiny local cone walk: does any clock port reach the control pin? The
+   full monotonicity analysis lives in the analyser's control tracer; this
+   rule only answers reachability so the netlist library stays
+   self-contained. *)
+let clock_reaches design ~control_net =
+  let visited = Hashtbl.create 16 in
+  let rec walk net =
+    if Hashtbl.mem visited net then false
+    else begin
+      Hashtbl.add visited net ();
+      List.exists
+        (fun driver ->
+           match driver with
+           | Design.Port p -> (Design.port design p).Design.is_clock
+           | Design.Pin { inst; pin = _ } ->
+             let cell = (Design.instance design inst).Design.cell in
+             Hb_cell.Kind.is_comb cell.Hb_cell.Cell.kind
+             && List.exists
+                  (fun input ->
+                     match
+                       Design.net_of_pin design ~inst
+                         ~pin:input.Hb_cell.Cell.pin_name
+                     with
+                     | Some upstream -> walk upstream
+                     | None -> false)
+                  (Hb_cell.Cell.input_pins cell))
+        (Design.net design net).Design.drivers
+    end
+  in
+  walk control_net
+
+let data_as_control design =
+  List.filter_map
+    (fun inst ->
+       let record = Design.instance design inst in
+       let cell = record.Design.cell in
+       match Hb_cell.Cell.control_pins cell with
+       | [] -> None
+       | pin :: _ ->
+         (match
+            Design.net_of_pin design ~inst ~pin:pin.Hb_cell.Cell.pin_name
+          with
+          | None -> None
+          | Some control_net ->
+            if clock_reaches design ~control_net then None
+            else
+              Some
+                (finding Error "data-as-control" record.Design.inst_name
+                   "control cone of %s contains no clock port"
+                   record.Design.inst_name)))
+    (Design.sync_instances design)
+
+let self_loop design =
+  List.filter_map
+    (fun inst ->
+       let record = Design.instance design inst in
+       let cell = record.Design.cell in
+       let output_nets =
+         List.filter_map
+           (fun pin ->
+              Design.net_of_pin design ~inst ~pin:pin.Hb_cell.Cell.pin_name)
+           (Hb_cell.Cell.output_pins cell)
+       in
+       let feeds_itself =
+         List.exists
+           (fun pin ->
+              match
+                Design.net_of_pin design ~inst ~pin:pin.Hb_cell.Cell.pin_name
+              with
+              | Some net -> List.mem net output_nets
+              | None -> false)
+           (Hb_cell.Cell.input_pins cell)
+       in
+       if feeds_itself then
+         Some
+           (finding Error "self-loop" record.Design.inst_name
+              "combinational instance %s feeds itself" record.Design.inst_name)
+       else None)
+    (Design.comb_instances design)
+
+let run design =
+  let all =
+    data_as_control design @ self_loop design @ dangling_outputs design
+    @ unused_inputs design @ clock_as_data design @ high_fanout design
+  in
+  List.stable_sort
+    (fun a b ->
+       compare
+         (match a.severity with Error -> 0 | Warning -> 1)
+         (match b.severity with Error -> 0 | Warning -> 1))
+    all
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s [%s] %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    f.rule f.message

@@ -1,0 +1,52 @@
+(** Design-rule lint.
+
+    Structural validity (single drivers, connected inputs) is enforced at
+    {!Builder.freeze}; this pass reports the {e questionable} rest —
+    things a synthesis flow wants surfaced before timing is trusted. *)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string;      (** stable rule id, e.g. ["dangling-output"] *)
+  subject : string;   (** net/instance/port name *)
+  message : string;
+}
+
+(** The individual rules, exposed for selective use. Each returns its
+    findings on the design. *)
+
+(** [dangling_outputs design] — cell output pins driving nets with no
+    loads (dead logic, or a missing connection). *)
+val dangling_outputs : Design.t -> finding list
+
+(** [unused_inputs design] — non-clock input ports whose net has no
+    loads. *)
+val unused_inputs : Design.t -> finding list
+
+(** [high_fanout design ~limit] — nets with more than [limit] loads
+    (default 16): suspicious without buffering, and electrically dubious
+    under the linear delay model. *)
+val high_fanout : ?limit:int -> Design.t -> finding list
+
+(** [clock_as_data design] — nets driven by clock ports that reach data
+    input pins of combinational or synchronising cells other than through
+    control pins. Legal (enable gating mixes clock and data) but worth
+    flagging: the analyser assigns no arrival to clock-driven nets, so a
+    clock used as data contributes no path constraint. *)
+val clock_as_data : Design.t -> finding list
+
+(** [data_as_control design] — synchroniser control pins whose cone
+    contains no clock port: an error the analyser would also raise, but
+    reported here with a rule id instead of an exception. *)
+val data_as_control : Design.t -> finding list
+
+(** [self_loop design] — combinational instances feeding themselves
+    directly (the tightest combinational cycle; larger cycles surface
+    during cluster extraction). *)
+val self_loop : Design.t -> finding list
+
+(** [run design] — every rule with default parameters, errors first. *)
+val run : Design.t -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit

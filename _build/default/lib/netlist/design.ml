@@ -1,0 +1,100 @@
+type port_direction = Port_in | Port_out
+
+type port = {
+  port_name : string;
+  direction : port_direction;
+  is_clock : bool;
+}
+
+type endpoint =
+  | Pin of { inst : int; pin : string }
+  | Port of int
+
+type instance = {
+  inst_name : string;
+  cell : Hb_cell.Cell.t;
+  connections : (string * int) list;
+  module_path : string;
+}
+
+type net = {
+  net_name : string;
+  drivers : endpoint list;
+  loads : endpoint list;
+  load_capacitance : float;
+}
+
+type t = {
+  design_name : string;
+  instances : instance array;
+  nets : net array;
+  ports : port array;
+}
+
+let instance_count t = Array.length t.instances
+let net_count t = Array.length t.nets
+let port_count t = Array.length t.ports
+let instance t i = t.instances.(i)
+let net t i = t.nets.(i)
+let port t i = t.ports.(i)
+
+let net_of_pin t ~inst ~pin =
+  List.assoc_opt pin t.instances.(inst).connections
+
+let net_of_port t port_id =
+  let matches = function
+    | Port p -> p = port_id
+    | Pin _ -> false
+  in
+  let found = ref None in
+  Array.iteri
+    (fun i n ->
+       if !found = None
+       && (List.exists matches n.drivers || List.exists matches n.loads)
+       then found := Some i)
+    t.nets;
+  !found
+
+let find_by_name get count t name =
+  let rec loop i =
+    if i >= count t then None
+    else if String.equal (get t i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_instance =
+  find_by_name (fun t i -> t.instances.(i).inst_name) instance_count
+
+let find_port = find_by_name (fun t i -> t.ports.(i).port_name) port_count
+let find_net = find_by_name (fun t i -> t.nets.(i).net_name) net_count
+
+let filter_instances predicate t =
+  let acc = ref [] in
+  for i = Array.length t.instances - 1 downto 0 do
+    if predicate t.instances.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let sync_instances t =
+  filter_instances (fun inst -> Hb_cell.Kind.is_sync inst.cell.Hb_cell.Cell.kind) t
+
+let comb_instances t =
+  filter_instances (fun inst -> Hb_cell.Kind.is_comb inst.cell.Hb_cell.Cell.kind) t
+
+let clock_ports t =
+  let acc = ref [] in
+  for i = Array.length t.ports - 1 downto 0 do
+    if t.ports.(i).is_clock then acc := i :: !acc
+  done;
+  !acc
+
+let pp_endpoint t ppf = function
+  | Pin { inst; pin } ->
+    Format.fprintf ppf "%s.%s" t.instances.(inst).inst_name pin
+  | Port p -> Format.fprintf ppf "port %s" t.ports.(p).port_name
+
+let endpoint_to_string t e = Format.asprintf "%a" (pp_endpoint t) e
+
+let unsafe_make ~design_name ~instances ~nets ~ports =
+  { design_name; instances; nets; ports }

@@ -1,0 +1,121 @@
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokens_of_line line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+type state = {
+  mutable builder : Builder.t option;
+  mutable finished : bool;
+  library : Hb_cell.Library.t;
+}
+
+let split_binding lineno token =
+  match String.index_opt token '=' with
+  | None -> error lineno "expected <pin>=<net>, got %S" token
+  | Some i ->
+    let key = String.sub token 0 i in
+    let value = String.sub token (i + 1) (String.length token - i - 1) in
+    if key = "" || value = "" then error lineno "empty pin or net in %S" token;
+    (key, value)
+
+let builder_exn state lineno =
+  match state.builder with
+  | Some b when not state.finished -> b
+  | Some _ -> error lineno "directive after 'end'"
+  | None -> error lineno "expected 'design <name>' first"
+
+let parse_line state lineno line =
+  match tokens_of_line line with
+  | [] -> ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> ()
+  | [ "design"; name ] ->
+    (match state.builder with
+     | Some _ -> error lineno "duplicate 'design' directive"
+     | None -> state.builder <- Some (Builder.create ~name ~library:state.library))
+  | "design" :: _ -> error lineno "usage: design <name>"
+  | "port" :: rest ->
+    let b = builder_exn state lineno in
+    (match rest with
+     | [ "in"; name ] ->
+       Builder.add_port b ~name ~direction:Design.Port_in ~is_clock:false
+     | [ "in"; name; "clock" ] ->
+       Builder.add_port b ~name ~direction:Design.Port_in ~is_clock:true
+     | [ "out"; name ] ->
+       Builder.add_port b ~name ~direction:Design.Port_out ~is_clock:false
+     | _ -> error lineno "usage: port in|out <name> [clock]")
+  | "inst" :: name :: cell :: bindings ->
+    let b = builder_exn state lineno in
+    let module_path, bindings =
+      match bindings with
+      | first :: rest when String.length first > 7
+                        && String.sub first 0 7 = "module=" ->
+        (String.sub first 7 (String.length first - 7), rest)
+      | _ -> ("", bindings)
+    in
+    let connections = List.map (split_binding lineno) bindings in
+    (try Builder.add_instance b ~module_path ~name ~cell ~connections ()
+     with Invalid_argument msg -> error lineno "%s" msg)
+  | [ "end" ] ->
+    ignore (builder_exn state lineno);
+    state.finished <- true
+  | directive :: _ -> error lineno "unknown directive %S" directive
+
+let parse ~library text =
+  let state = { builder = None; finished = false; library } in
+  let lines = String.split_on_char '\n' text in
+  List.iteri (fun i line -> parse_line state (i + 1) line) lines;
+  match state.builder with
+  | None -> error 1 "empty input: no 'design' directive"
+  | Some b ->
+    if not state.finished then
+      error (List.length lines) "missing 'end' directive";
+    Builder.freeze b
+
+let parse_file ~library path =
+  let ic = open_in path in
+  let length = in_channel_length ic in
+  let text =
+    try really_input_string ic length
+    with e -> close_in ic; raise e
+  in
+  close_in ic;
+  parse ~library text
+
+let write design =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer
+    (Printf.sprintf "design %s\n" design.Design.design_name);
+  Array.iter
+    (fun p ->
+       match p.Design.direction, p.Design.is_clock with
+       | Design.Port_in, true ->
+         Buffer.add_string buffer (Printf.sprintf "port in %s clock\n" p.Design.port_name)
+       | Design.Port_in, false ->
+         Buffer.add_string buffer (Printf.sprintf "port in %s\n" p.Design.port_name)
+       | Design.Port_out, _ ->
+         Buffer.add_string buffer (Printf.sprintf "port out %s\n" p.Design.port_name))
+    design.Design.ports;
+  Array.iter
+    (fun inst ->
+       Buffer.add_string buffer
+         (Printf.sprintf "inst %s %s" inst.Design.inst_name
+            inst.Design.cell.Hb_cell.Cell.name);
+       if inst.Design.module_path <> "" then
+         Buffer.add_string buffer (Printf.sprintf " module=%s" inst.Design.module_path);
+       List.iter
+         (fun (pin, net) ->
+            Buffer.add_string buffer
+              (Printf.sprintf " %s=%s" pin (Design.net design net).Design.net_name))
+         inst.Design.connections;
+       Buffer.add_char buffer '\n')
+    design.Design.instances;
+  Buffer.add_string buffer "end\n";
+  Buffer.contents buffer
+
+let write_file design path =
+  let oc = open_out path in
+  (try output_string oc (write design)
+   with e -> close_out oc; raise e);
+  close_out oc

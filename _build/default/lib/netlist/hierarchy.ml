@@ -1,0 +1,269 @@
+module String_map = Map.Make (String)
+module Int_set = Set.Make (Int)
+
+let module_paths design =
+  let paths = ref String_map.empty in
+  Array.iter
+    (fun inst ->
+       if inst.Design.module_path <> "" then
+         paths := String_map.add inst.Design.module_path () !paths)
+    design.Design.instances;
+  List.map fst (String_map.bindings !paths)
+
+(* Worst and best propagation delay of one instance arc, evaluated at the
+   load of the net its output drives. *)
+let arc_delays design inst_id (arc : Hb_cell.Cell.timing_arc) =
+  match Design.net_of_pin design ~inst:inst_id ~pin:arc.Hb_cell.Cell.to_pin with
+  | None -> None
+  | Some net ->
+    let load = (Design.net design net).Design.load_capacitance in
+    Some
+      ( Hb_cell.Delay_model.worst arc.Hb_cell.Cell.delay ~load,
+        Hb_cell.Delay_model.best arc.Hb_cell.Cell.delay ~load )
+
+(* Longest/shortest delay from each module-input net to each module-output
+   net, by relaxation over a topological order of the module's internal
+   net graph. *)
+let module_arc_delays design ~members ~input_nets ~output_nets =
+  let member_set = Int_set.of_list members in
+  (* Map net id -> dense index over nets touching the module. *)
+  let net_index = Hashtbl.create 64 in
+  let nets = ref [] in
+  let touch net =
+    if not (Hashtbl.mem net_index net) then begin
+      Hashtbl.add net_index net (Hashtbl.length net_index);
+      nets := net :: !nets
+    end
+  in
+  List.iter touch input_nets;
+  Int_set.iter
+    (fun inst_id ->
+       List.iter (fun (_, net) -> touch net)
+         (Design.instance design inst_id).Design.connections)
+    member_set;
+  let node_count = Hashtbl.length net_index in
+  (* Edges: for each member instance, input net -> output net with delays. *)
+  let successors = Array.make node_count [] in
+  Int_set.iter
+    (fun inst_id ->
+       let inst = Design.instance design inst_id in
+       let cell = inst.Design.cell in
+       List.iter
+         (fun out_pin ->
+            List.iter
+              (fun (arc : Hb_cell.Cell.timing_arc) ->
+                 match
+                   ( Design.net_of_pin design ~inst:inst_id
+                       ~pin:arc.Hb_cell.Cell.from_pin,
+                     Design.net_of_pin design ~inst:inst_id
+                       ~pin:arc.Hb_cell.Cell.to_pin,
+                     arc_delays design inst_id arc )
+                 with
+                 | Some from_net, Some to_net, Some (worst, best) ->
+                   let from_ix = Hashtbl.find net_index from_net in
+                   let to_ix = Hashtbl.find net_index to_net in
+                   successors.(from_ix) <-
+                     (to_ix, worst, best) :: successors.(from_ix)
+                 | _, _, _ -> ())
+              (Hb_cell.Cell.arcs_to cell
+                 ~output:out_pin.Hb_cell.Cell.pin_name))
+         (Hb_cell.Cell.output_pins cell))
+    member_set;
+  let order =
+    match
+      Hb_util.Topo.sort ~nodes:node_count
+        ~successors:(fun i -> List.map (fun (s, _, _) -> s) successors.(i))
+    with
+    | Hb_util.Topo.Sorted order -> order
+    | Hb_util.Topo.Cycle _ ->
+      failwith "Hierarchy.collapse: module contains a combinational cycle"
+  in
+  (* One longest/shortest-path sweep per module input. *)
+  List.map
+    (fun input_net ->
+       let worst = Array.make node_count Hb_util.Time.neg_infinity in
+       let best = Array.make node_count Hb_util.Time.infinity in
+       let source = Hashtbl.find net_index input_net in
+       worst.(source) <- 0.0;
+       best.(source) <- 0.0;
+       Array.iter
+         (fun node ->
+            if Hb_util.Time.is_finite worst.(node) then
+              List.iter
+                (fun (succ, w, b) ->
+                   if worst.(node) +. w > worst.(succ) then
+                     worst.(succ) <- worst.(node) +. w;
+                   if best.(node) +. b < best.(succ) then
+                     best.(succ) <- best.(node) +. b)
+                successors.(node))
+         order;
+       let reachable_outputs =
+         List.filter_map
+           (fun output_net ->
+              let ix = Hashtbl.find net_index output_net in
+              if Hb_util.Time.is_finite worst.(ix) then
+                Some (output_net, worst.(ix), best.(ix))
+              else None)
+           output_nets
+       in
+       (input_net, reachable_outputs))
+    input_nets
+
+(* Boundary nets of a module: inputs are nets loaded inside but driven
+   outside; outputs are nets driven inside and loaded outside (or by an
+   output port). *)
+let module_boundary design ~members =
+  let member_set = Int_set.of_list members in
+  let inside = function
+    | Design.Pin { inst; pin = _ } -> Int_set.mem inst member_set
+    | Design.Port _ -> false
+  in
+  let inputs = ref [] and outputs = ref [] in
+  for net_id = 0 to Design.net_count design - 1 do
+    let net = Design.net design net_id in
+    let driven_inside = List.exists inside net.Design.drivers in
+    let driven_outside = List.exists (fun e -> not (inside e)) net.Design.drivers in
+    let loaded_inside = List.exists inside net.Design.loads in
+    let loaded_outside = List.exists (fun e -> not (inside e)) net.Design.loads in
+    if loaded_inside && (driven_outside || not driven_inside) then
+      inputs := net_id :: !inputs;
+    if driven_inside && loaded_outside then outputs := net_id :: !outputs
+  done;
+  (List.rev !inputs, List.rev !outputs)
+
+let macro_cell design ~path ~members ~input_nets ~output_nets =
+  let arc_table = module_arc_delays design ~members ~input_nets ~output_nets in
+  let input_pin_name = Hashtbl.create 8 and output_pin_name = Hashtbl.create 8 in
+  List.iteri
+    (fun i net -> Hashtbl.add input_pin_name net (Printf.sprintf "i%d" i))
+    input_nets;
+  List.iteri
+    (fun i net -> Hashtbl.add output_pin_name net (Printf.sprintf "o%d" i))
+    output_nets;
+  (* Input pin capacitance: sum of the member pins hanging on that net. *)
+  let member_set = Int_set.of_list members in
+  let input_cap net_id =
+    let net = Design.net design net_id in
+    List.fold_left
+      (fun acc endpoint ->
+         match endpoint with
+         | Design.Pin { inst; pin } when Int_set.mem inst member_set ->
+           (match Hb_cell.Cell.find_pin (Design.instance design inst).Design.cell pin with
+            | Some p -> acc +. p.Hb_cell.Cell.capacitance
+            | None -> acc)
+         | Design.Pin _ | Design.Port _ -> acc)
+      0.0 net.Design.loads
+  in
+  let pins =
+    List.map
+      (fun net ->
+         { Hb_cell.Cell.pin_name = Hashtbl.find input_pin_name net;
+           role = Hb_cell.Cell.Data_in;
+           capacitance = input_cap net })
+      input_nets
+    @ List.map
+        (fun net ->
+           { Hb_cell.Cell.pin_name = Hashtbl.find output_pin_name net;
+             role = Hb_cell.Cell.Data_out;
+             capacitance = 0.0 })
+        output_nets
+  in
+  let arcs =
+    List.concat_map
+      (fun (input_net, reachable) ->
+         List.map
+           (fun (output_net, worst, best) ->
+              { Hb_cell.Cell.from_pin = Hashtbl.find input_pin_name input_net;
+                to_pin = Hashtbl.find output_pin_name output_net;
+                delay =
+                  Hb_cell.Delay_model.make
+                    ~rise:(Hb_cell.Delay_model.arc ~intrinsic:worst ~slope:0.0)
+                    ~fall:(Hb_cell.Delay_model.arc ~intrinsic:best ~slope:0.0) })
+           reachable)
+      arc_table
+  in
+  let area =
+    List.fold_left
+      (fun acc inst_id ->
+         acc +. (Design.instance design inst_id).Design.cell.Hb_cell.Cell.area)
+      0.0 members
+  in
+  let cell =
+    Hb_cell.Cell.make
+      ~name:(Printf.sprintf "macro_%s" (String.map (function '/' -> '_' | c -> c) path))
+      ~kind:(Hb_cell.Kind.Comb (Hb_cell.Kind.Macro (List.length input_nets)))
+      ~pins ~timing:(Hb_cell.Cell.Comb_timing arcs) ~area ~drive:1
+  in
+  let connections =
+    List.map
+      (fun net ->
+         (Hashtbl.find input_pin_name net, (Design.net design net).Design.net_name))
+      input_nets
+    @ List.map
+        (fun net ->
+           (Hashtbl.find output_pin_name net, (Design.net design net).Design.net_name))
+        output_nets
+  in
+  (cell, connections)
+
+let collapse design =
+  let groups = ref String_map.empty in
+  Array.iteri
+    (fun i inst ->
+       let path = inst.Design.module_path in
+       if path <> "" then begin
+         (match inst.Design.cell.Hb_cell.Cell.kind with
+          | Hb_cell.Kind.Sync _ ->
+            failwith
+              (Printf.sprintf
+                 "Hierarchy.collapse: module %s contains synchroniser %s"
+                 path inst.Design.inst_name)
+          | Hb_cell.Kind.Comb _ -> ());
+         let existing = Option.value ~default:[] (String_map.find_opt path !groups) in
+         groups := String_map.add path (i :: existing) !groups
+       end)
+    design.Design.instances;
+  if String_map.is_empty !groups then design
+  else begin
+    (* Rebuild through a builder, reusing net names. *)
+    let builder =
+      Builder.create
+        ~name:design.Design.design_name
+        ~library:(Hb_cell.Library.create [])
+    in
+    Array.iter
+      (fun p ->
+         Builder.add_port builder ~name:p.Design.port_name
+           ~direction:p.Design.direction ~is_clock:p.Design.is_clock)
+      design.Design.ports;
+    let collapsed = Hashtbl.create 64 in
+    String_map.iter
+      (fun _ members -> List.iter (fun i -> Hashtbl.replace collapsed i ()) members)
+      !groups;
+    Array.iteri
+      (fun i inst ->
+         if not (Hashtbl.mem collapsed i) then
+           Builder.add_instance_of_cell builder
+             ~module_path:inst.Design.module_path
+             ~name:inst.Design.inst_name ~cell:inst.Design.cell
+             ~connections:
+               (List.map
+                  (fun (pin, net) ->
+                     (pin, (Design.net design net).Design.net_name))
+                  inst.Design.connections)
+             ())
+      design.Design.instances;
+    String_map.iter
+      (fun path members ->
+         let members = List.rev members in
+         let input_nets, output_nets = module_boundary design ~members in
+         let cell, connections =
+           macro_cell design ~path ~members ~input_nets ~output_nets
+         in
+         Builder.add_instance_of_cell builder ~module_path:path
+           ~name:(Printf.sprintf "macro_%s"
+                    (String.map (function '/' -> '_' | c -> c) path))
+           ~cell ~connections ())
+      !groups;
+    Builder.freeze builder
+  end

@@ -1,0 +1,25 @@
+(** Hierarchical abstraction of combinational modules.
+
+    The paper analyses "systems at arbitrary levels of abstraction (not just
+    at the level of the most primitive logic gates)" — Table 1 contrasts
+    SM1F, a flattened FSM, against SM1H where "the combinational logic is
+    contained in a single module". This module implements that abstraction:
+    every named module of combinational instances is collapsed into one
+    macro instance whose input→output arcs carry the module's worst (and
+    best) internal path delays, evaluated at the nets' current loads. *)
+
+(** [collapse design] replaces each group of combinational instances that
+    share a non-empty [module_path] with a single macro instance. Sync
+    elements and top-level combinational cells are kept as-is.
+
+    The macro's timing arcs encode the module's worst internal path delay in
+    the rise direction and the best (shortest) in the fall direction, so
+    [Delay_model.worst]/[best] recover max/min path delays. Arcs have zero
+    load slope because net loads are already baked in.
+
+    @raise Failure when a module contains a synchronising element or its
+    internal logic is cyclic. *)
+val collapse : Design.t -> Design.t
+
+(** [module_paths design] lists the distinct non-empty module paths, sorted. *)
+val module_paths : Design.t -> string list

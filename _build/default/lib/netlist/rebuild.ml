@@ -1,0 +1,32 @@
+let rebuild design ~cell_of ~module_path_of =
+  let builder =
+    Builder.create ~name:design.Design.design_name
+      ~library:(Hb_cell.Library.create [])
+  in
+  Array.iter
+    (fun p ->
+       Builder.add_port builder ~name:p.Design.port_name
+         ~direction:p.Design.direction ~is_clock:p.Design.is_clock)
+    design.Design.ports;
+  Array.iteri
+    (fun i inst ->
+       Builder.add_instance_of_cell builder
+         ~module_path:(module_path_of i inst)
+         ~name:inst.Design.inst_name ~cell:(cell_of i inst)
+         ~connections:
+           (List.map
+              (fun (pin, net) -> (pin, (Design.net design net).Design.net_name))
+              inst.Design.connections)
+         ())
+    design.Design.instances;
+  Builder.freeze builder
+
+let map_cells design ~f =
+  rebuild design ~cell_of:f
+    ~module_path_of:(fun _ inst -> inst.Design.module_path)
+
+let with_module_paths design ~f =
+  rebuild design
+    ~cell_of:(fun _ inst -> inst.Design.cell)
+    ~module_path_of:f
+

@@ -1,0 +1,19 @@
+(** Rebuilding a design with substituted cells.
+
+    The re-synthesis loop swaps cells for faster drive variants; this
+    helper re-threads an existing design through a fresh builder with a
+    per-instance cell mapping, preserving ports, net names, connections
+    and module paths. *)
+
+(** [map_cells design ~f] rebuilds [design] with [f inst_id instance]
+    choosing each instance's cell. The new cell must have the same pin
+    names as the old one for the connections to re-attach.
+    @raise Failure when the rebuilt design fails validation. *)
+val map_cells :
+  Design.t -> f:(int -> Design.instance -> Hb_cell.Cell.t) -> Design.t
+
+(** [with_module_paths design ~f] rebuilds [design] with [f inst_id
+    instance] choosing each instance's module path (return [""] for top
+    level) — used to impose a hierarchy before {!Hierarchy.collapse}. *)
+val with_module_paths :
+  Design.t -> f:(int -> Design.instance -> string) -> Design.t

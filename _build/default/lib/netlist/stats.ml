@@ -1,0 +1,40 @@
+module String_map = Map.Make (String)
+
+type t = {
+  cells : int;
+  combinational : int;
+  synchronisers : int;
+  nets : int;
+  ports : int;
+  area : float;
+  by_kind : (string * int) list;
+}
+
+let compute design =
+  let combinational = ref 0 and synchronisers = ref 0 and area = ref 0.0 in
+  let by_kind = ref String_map.empty in
+  for i = 0 to Design.instance_count design - 1 do
+    let inst = Design.instance design i in
+    let cell = inst.Design.cell in
+    area := !area +. cell.Hb_cell.Cell.area;
+    if Hb_cell.Kind.is_sync cell.Hb_cell.Cell.kind then incr synchronisers
+    else incr combinational;
+    let key = Hb_cell.Kind.to_string cell.Hb_cell.Cell.kind in
+    let count = Option.value ~default:0 (String_map.find_opt key !by_kind) in
+    by_kind := String_map.add key (count + 1) !by_kind
+  done;
+  { cells = Design.instance_count design;
+    combinational = !combinational;
+    synchronisers = !synchronisers;
+    nets = Design.net_count design;
+    ports = Design.port_count design;
+    area = !area;
+    by_kind = String_map.bindings !by_kind;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cells: %d (%d combinational, %d synchronising)@,nets: %d@,ports: %d@,area: %.1f@,"
+    t.cells t.combinational t.synchronisers t.nets t.ports t.area;
+  List.iter (fun (kind, n) -> Format.fprintf ppf "  %-8s %d@," kind n) t.by_kind;
+  Format.fprintf ppf "@]"

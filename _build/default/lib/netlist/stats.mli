@@ -1,0 +1,16 @@
+(** Design statistics — the "cells" and "nets" columns of the paper's
+    Table 1, plus area and composition breakdowns for reports. *)
+
+type t = {
+  cells : int;            (** total instances *)
+  combinational : int;
+  synchronisers : int;
+  nets : int;
+  ports : int;
+  area : float;           (** sum of instance areas *)
+  by_kind : (string * int) list;  (** kind name → count, sorted by name *)
+}
+
+val compute : Design.t -> t
+
+val pp : Format.formatter -> t -> unit

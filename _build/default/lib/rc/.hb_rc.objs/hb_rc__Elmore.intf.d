@@ -1,0 +1,1 @@
+lib/rc/elmore.mli: Tree

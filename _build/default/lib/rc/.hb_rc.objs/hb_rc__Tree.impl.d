@@ -1,0 +1,1 @@
+lib/rc/tree.ml: Array Printf String

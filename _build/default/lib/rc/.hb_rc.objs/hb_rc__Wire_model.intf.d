@@ -1,0 +1,1 @@
+lib/rc/wire_model.mli: Tree

@@ -1,0 +1,49 @@
+(* Subtree capacitance per node, by a reverse sweep (children have larger
+   indices than parents, so a right-to-left accumulation suffices). *)
+let subtree_capacitance (tree : Tree.t) =
+  let n = Tree.node_count tree in
+  let sub = Array.init n (fun i -> tree.Tree.nodes.(i).Tree.capacitance) in
+  for i = n - 1 downto 1 do
+    let parent = tree.Tree.nodes.(i).Tree.parent in
+    sub.(parent) <- sub.(parent) +. sub.(i)
+  done;
+  sub
+
+(* TD(i) = TD(parent) + R_i * C_sub(i), rooted at r_driver * C_total:
+   standard recursive form of the Elmore sum. *)
+let delays tree ~r_driver =
+  if r_driver < 0.0 then invalid_arg "Elmore.delays: negative driver resistance";
+  let n = Tree.node_count tree in
+  let sub = subtree_capacitance tree in
+  let td = Array.make n (r_driver *. sub.(0)) in
+  for i = 1 to n - 1 do
+    let node = tree.Tree.nodes.(i) in
+    td.(i) <- td.(node.Tree.parent) +. (node.Tree.resistance *. sub.(i))
+  done;
+  td
+
+(* RP upper-bound moment: TP(i) = r_driver * C_total + Σ_{k on path} R_k *
+   C_total(k-side)... we use the common conservative form replacing each
+   path segment's downstream cap with the total tree cap below the
+   segment's head, which reduces to the Elmore recursion with C_sub
+   replaced by the segment head's full subtree — identical here — plus the
+   second-moment spread; we expose the simple dominating bound
+   TP(i) = r_driver * C_total + path_resistance(i) * C_total. *)
+let upper_bounds tree ~r_driver =
+  if r_driver < 0.0 then invalid_arg "Elmore.upper_bounds: negative driver resistance";
+  let n = Tree.node_count tree in
+  let total = Tree.total_capacitance tree in
+  Array.init n (fun i ->
+      (r_driver *. total) +. (Tree.path_resistance tree i *. total))
+
+let worst_sink tree ~r_driver =
+  let td = delays tree ~r_driver in
+  let best = ref (-1) in
+  let consider i =
+    if !best < 0 || td.(i) > td.(!best) then best := i
+  in
+  Array.iteri
+    (fun i (node : Tree.node) -> if node.Tree.label <> "" then consider i)
+    tree.Tree.nodes;
+  if !best < 0 then Array.iteri (fun i _ -> consider i) tree.Tree.nodes;
+  (!best, td.(!best))

@@ -1,0 +1,30 @@
+(** Elmore delay and Rubinstein–Penfield bounds on RC trees.
+
+    For a step applied at the root through a driver resistance [r_driver],
+    the Elmore delay to node [i] is
+
+      TD(i) = Σ_k R(path(root→i) ∩ path(root→k)) · C_k
+
+    with the driver resistance common to every path. The
+    Rubinstein–Penfield analysis brackets the true 50% delay:
+    TP(i) ≤ t50(i) ≤ TD(i) · ln 2 ... bounds vary by formulation; here we
+    expose the two standard first-moment quantities:
+
+    - {!delays} — the Elmore first moment TD per node;
+    - {!upper_bounds} — the RP upper bound
+      [TP(i) = Σ_k R_k · C_sub(k)] summed along the path to [i] plus the
+      driver term, which dominates TD. *)
+
+(** [delays tree ~r_driver] computes the Elmore delay (ns, with kΩ·pF
+    units) from the driving source to every node. *)
+val delays : Tree.t -> r_driver:float -> float array
+
+(** [upper_bounds tree ~r_driver] computes, per node, the
+    Rubinstein–Penfield upper-bound moment: always ≥ the Elmore delay of
+    the same node. *)
+val upper_bounds : Tree.t -> r_driver:float -> float array
+
+(** [worst_sink tree ~r_driver] is the maximum Elmore delay over nodes
+    that carry a non-empty label (the sink pins), with its node index;
+    falls back to the global maximum when no node is labelled. *)
+val worst_sink : Tree.t -> r_driver:float -> int * float

@@ -1,0 +1,52 @@
+type node = {
+  parent : int;
+  resistance : float;
+  capacitance : float;
+  label : string;
+}
+
+type t = {
+  nodes : node array;
+  children : int list array;
+}
+
+let build nodes =
+  let nodes = Array.of_list nodes in
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Tree.build: empty tree";
+  if nodes.(0).parent <> -1 then invalid_arg "Tree.build: node 0 must be the root";
+  Array.iteri
+    (fun i node ->
+       if i > 0 && (node.parent < 0 || node.parent >= i) then
+         invalid_arg
+           (Printf.sprintf "Tree.build: node %d has invalid parent %d" i node.parent);
+       if node.resistance < 0.0 then
+         invalid_arg (Printf.sprintf "Tree.build: node %d has negative resistance" i);
+       if node.capacitance < 0.0 then
+         invalid_arg (Printf.sprintf "Tree.build: node %d has negative capacitance" i))
+    nodes;
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    children.(nodes.(i).parent) <- i :: children.(nodes.(i).parent)
+  done;
+  { nodes; children }
+
+let node_count t = Array.length t.nodes
+
+let total_capacitance t =
+  Array.fold_left (fun acc node -> acc +. node.capacitance) 0.0 t.nodes
+
+let path_resistance t i =
+  let rec walk i acc =
+    if i <= 0 then acc
+    else walk t.nodes.(i).parent (acc +. t.nodes.(i).resistance)
+  in
+  walk i 0.0
+
+let find t label =
+  let result = ref None in
+  Array.iteri
+    (fun i node ->
+       if !result = None && String.equal node.label label then result := Some i)
+    t.nodes;
+  !result

@@ -1,0 +1,40 @@
+(** RC trees.
+
+    The interconnect model behind switch-level delay estimation
+    (Ousterhout [2] and Rubinstein–Penfield, which the paper cites as one
+    of the pluggable component-delay estimators): a rooted tree of
+    resistive segments with capacitance hanging at every node. Node 0 is
+    the root (the driving cell's output); every other node connects to its
+    parent through a resistance. *)
+
+type node = {
+  parent : int;           (** parent node index; [-1] for the root *)
+  resistance : float;     (** kΩ from the parent; 0 for the root *)
+  capacitance : float;    (** pF at this node *)
+  label : string;         (** for reports, e.g. a sink pin name *)
+}
+
+type t = private {
+  nodes : node array;     (** indexed by node id; node 0 is the root *)
+  children : int list array;
+}
+
+(** [build nodes] validates and indexes the tree: node 0 must be the root
+    ([parent = -1]); every other node's parent must precede it; resistances
+    and capacitances must be non-negative.
+    @raise Invalid_argument otherwise. *)
+val build : node list -> t
+
+(** [node_count t]. *)
+val node_count : t -> int
+
+(** [total_capacitance t] is the sum over all nodes — the lumped load the
+    linear model would see. *)
+val total_capacitance : t -> float
+
+(** [path_resistance t i] is the resistance from the root down to node
+    [i]. *)
+val path_resistance : t -> int -> float
+
+(** [find t label] is the first node carrying [label]. *)
+val find : t -> string -> int option

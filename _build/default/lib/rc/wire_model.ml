@@ -1,0 +1,42 @@
+type topology = Star | Chain
+
+type parameters = {
+  segment_resistance : float;
+  segment_capacitance : float;
+  topology : topology;
+}
+
+let default =
+  { segment_resistance = 0.05; segment_capacitance = 0.015; topology = Star }
+
+let net_tree ~parameters ~sinks =
+  let root =
+    { Tree.parent = -1; resistance = 0.0; capacitance = 0.0; label = "" }
+  in
+  let nodes =
+    match parameters.topology with
+    | Star ->
+      root
+      :: List.map
+           (fun (label, pin_capacitance) ->
+              { Tree.parent = 0;
+                resistance = parameters.segment_resistance;
+                capacitance = pin_capacitance +. parameters.segment_capacitance;
+                label })
+           sinks
+    | Chain ->
+      let _, reversed =
+        List.fold_left
+          (fun (parent, acc) (label, pin_capacitance) ->
+             let node =
+               { Tree.parent;
+                 resistance = parameters.segment_resistance;
+                 capacitance = pin_capacitance +. parameters.segment_capacitance;
+                 label }
+             in
+             (parent + 1, node :: acc))
+          (0, []) sinks
+      in
+      root :: List.rev reversed
+  in
+  Tree.build nodes

@@ -1,0 +1,26 @@
+(** Synthetic interconnect builder.
+
+    Designs carried by [.hbn] have no layout, so interconnect is
+    synthesised from net topology: one wire segment per sink, either as a
+    {e star} (every sink hangs off the root through its own segment) or a
+    {e chain} (sinks daisy-chained, the pessimistic routing). Segment
+    parasitics are per-sink constants, mirroring the per-load wire
+    capacitance of the lumped model so the two estimators see the same
+    total capacitance. *)
+
+type topology = Star | Chain
+
+type parameters = {
+  segment_resistance : float;   (** kΩ per segment *)
+  segment_capacitance : float;  (** pF per segment (wire only) *)
+  topology : topology;
+}
+
+val default : parameters
+(** Star topology, 0.05 kΩ and 0.015 pF per segment (matching the lumped
+    model's wire capacitance per load). *)
+
+(** [net_tree ~parameters ~sinks] builds the RC tree for one net.
+    [sinks] are [(label, pin_capacitance)] pairs, one per load pin.
+    The root node carries no capacitance of its own. *)
+val net_tree : parameters:parameters -> sinks:(string * float) list -> Tree.t

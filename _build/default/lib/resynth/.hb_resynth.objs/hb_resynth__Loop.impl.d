@@ -1,0 +1,1 @@
+lib/resynth/loop.ml: Hashtbl Hb_netlist Hb_sta Hb_util List Speedup

@@ -1,0 +1,1 @@
+lib/resynth/loop.mli: Hb_cell Hb_clock Hb_netlist Hb_sta Hb_util Speedup

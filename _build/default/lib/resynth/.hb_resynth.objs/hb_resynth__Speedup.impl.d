@@ -1,0 +1,1 @@
+lib/resynth/speedup.ml: Hashtbl Hb_cell Hb_netlist List

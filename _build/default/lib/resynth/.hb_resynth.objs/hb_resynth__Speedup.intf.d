@@ -1,0 +1,1 @@
+lib/resynth/speedup.mli: Hb_cell Hb_netlist

@@ -1,0 +1,77 @@
+type step = {
+  iteration : int;
+  worst_slack : Hb_util.Time.t;
+  area : float;
+  changed : Speedup.change list;
+}
+
+type result = {
+  design : Hb_netlist.Design.t;
+  met_timing : bool;
+  iterations : int;
+  history : step list;
+  final_worst_slack : Hb_util.Time.t;
+  final_area : float;
+}
+
+(* Combinational instances on the worst critical paths, worst first. *)
+let candidates ctx slacks =
+  let paths = Hb_sta.Paths.worst_paths ctx slacks ~limit:5 in
+  let seen = Hashtbl.create 16 in
+  let ordered = ref [] in
+  List.iter
+    (fun (path : Hb_sta.Paths.path) ->
+       if Hb_util.Time.le path.Hb_sta.Paths.slack 0.0 then
+         List.iter
+           (fun (hop : Hb_sta.Paths.hop) ->
+              match hop.Hb_sta.Paths.via with
+              | Some inst when not (Hashtbl.mem seen inst) ->
+                Hashtbl.replace seen inst ();
+                ordered := inst :: !ordered
+              | Some _ | None -> ())
+           path.Hb_sta.Paths.hops)
+    paths;
+  List.rev !ordered
+
+let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
+  let rec iterate previous_ctx design iteration history =
+    (* After the first iteration only cell delays change, so the cluster
+       decomposition and pass plans are refreshed incrementally. *)
+    let ctx =
+      match previous_ctx with
+      | None -> Hb_sta.Context.make ~design ~system ?config ()
+      | Some ctx -> Hb_sta.Context.update_design ctx ~design ()
+    in
+    let outcome = Hb_sta.Algorithm1.run ctx in
+    let slacks = outcome.Hb_sta.Algorithm1.final in
+    let area = (Hb_netlist.Stats.compute design).Hb_netlist.Stats.area in
+    let finish met_timing =
+      { design;
+        met_timing;
+        iterations = iteration;
+        history = List.rev history;
+        final_worst_slack = slacks.Hb_sta.Slacks.worst;
+        final_area = area;
+      }
+    in
+    match outcome.Hb_sta.Algorithm1.status with
+    | Hb_sta.Algorithm1.Meets_timing -> finish true
+    | Hb_sta.Algorithm1.Slow_paths ->
+      if iteration >= max_iterations then finish false
+      else begin
+        match
+          Speedup.upsize_instances design ~library
+            ~instances:(candidates ctx slacks)
+        with
+        | None -> finish false
+        | Some (improved, changed) ->
+          let step =
+            { iteration;
+              worst_slack = slacks.Hb_sta.Slacks.worst;
+              area;
+              changed }
+          in
+          iterate (Some ctx) improved (iteration + 1) (step :: history)
+      end
+  in
+  iterate None design 0 []

@@ -1,0 +1,43 @@
+(** Algorithm 3 — the analysis/re-design loop (paper, Section 8).
+
+    {v
+    Synthesise initial area-optimised combinational logic modules.
+    Until all paths are fast enough:
+      Perform timing analysis to identify all paths that are too slow;
+      Provide input data ready times and output required times for all
+        combinational logic modules traversed by paths that are too slow;
+      Select one such module and speed up slow paths.
+    v}
+
+    Module selection follows the Singh-et-al. idea of "most potential for
+    speed up": each iteration takes the worst critical path, collects the
+    combinational instances on it that still have a faster drive variant,
+    and upsizes them. The loop stops when timing is met, when no candidate
+    can be improved further, or at the iteration cap. *)
+
+type step = {
+  iteration : int;
+  worst_slack : Hb_util.Time.t;  (** before this iteration's change *)
+  area : float;
+  changed : Speedup.change list; (** substitutions applied this iteration *)
+}
+
+type result = {
+  design : Hb_netlist.Design.t;   (** final (possibly improved) design *)
+  met_timing : bool;
+  iterations : int;
+  history : step list;            (** chronological *)
+  final_worst_slack : Hb_util.Time.t;
+  final_area : float;
+}
+
+(** [optimise ~design ~system ~library ?config ?max_iterations ()] runs the
+    loop. [max_iterations] defaults to 50. *)
+val optimise :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  library:Hb_cell.Library.t ->
+  ?config:Hb_sta.Config.t ->
+  ?max_iterations:int ->
+  unit ->
+  result

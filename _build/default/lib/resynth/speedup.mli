@@ -1,0 +1,24 @@
+(** The re-design operator of the analysis/re-design loop.
+
+    Stands in for the timing-optimisation program of Singh et al. ([1] in
+    the paper): speeds a set of combinational instances up by substituting
+    the next higher drive variant from the library. Upsizing shortens the
+    load-dependent part of a cell's delay at the cost of area and of extra
+    input capacitance presented upstream — the classic trade the
+    analysis/redesign loop negotiates. *)
+
+type change = {
+  inst_name : string;
+  old_cell : string;
+  new_cell : string;
+}
+
+(** [upsize_instances design ~library ~instances] replaces each listed
+    combinational instance with its next drive variant when one exists.
+    Returns the rebuilt design and the changes made; [None] when no listed
+    instance could be improved (the design is returned unchanged). *)
+val upsize_instances :
+  Hb_netlist.Design.t ->
+  library:Hb_cell.Library.t ->
+  instances:int list ->
+  (Hb_netlist.Design.t * change list) option

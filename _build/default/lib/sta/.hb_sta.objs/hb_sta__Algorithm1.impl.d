@@ -1,0 +1,1 @@
+lib/sta/algorithm1.ml: Array Config Context Elements Hb_sync Hb_util Slacks

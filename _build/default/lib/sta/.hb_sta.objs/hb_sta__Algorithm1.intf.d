@@ -1,0 +1,1 @@
+lib/sta/algorithm1.mli: Context Slacks

@@ -1,0 +1,1 @@
+lib/sta/algorithm2.ml: Array Config Context Elements Float Hb_cell Hb_netlist Hb_sync Hb_util List Option Slacks

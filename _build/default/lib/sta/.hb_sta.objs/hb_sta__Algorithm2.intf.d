@@ -1,0 +1,1 @@
+lib/sta/algorithm2.mli: Context Hb_util

@@ -1,0 +1,1 @@
+lib/sta/annotation.ml: Delays Format Hb_netlist Hb_util List Printf String

@@ -1,0 +1,1 @@
+lib/sta/annotation.mli: Delays Hb_netlist

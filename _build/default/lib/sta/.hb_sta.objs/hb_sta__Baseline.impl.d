@@ -1,0 +1,1 @@
+lib/sta/baseline.ml: Array Block Cluster Context Elements Hashtbl Hb_sync Hb_util List Passes Stdlib

@@ -1,0 +1,1 @@
+lib/sta/baseline.mli: Context Hb_util

@@ -1,0 +1,1 @@
+lib/sta/block.ml: Array Cluster Elements Hb_sync Hb_util List Passes

@@ -1,0 +1,1 @@
+lib/sta/block.mli: Cluster Elements Hb_sync Hb_util Passes

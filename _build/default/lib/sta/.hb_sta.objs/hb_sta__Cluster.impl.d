@@ -1,0 +1,1 @@
+lib/sta/cluster.ml: Array Delays Elements Hashtbl Hb_cell Hb_netlist Hb_util List Printf String

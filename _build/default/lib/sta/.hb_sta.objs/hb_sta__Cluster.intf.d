@@ -1,0 +1,1 @@
+lib/sta/cluster.mli: Delays Elements Hb_netlist Hb_util

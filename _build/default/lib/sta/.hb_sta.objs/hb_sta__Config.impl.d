@@ -1,0 +1,1 @@
+lib/sta/config.ml: Hb_clock Hb_util List Printf

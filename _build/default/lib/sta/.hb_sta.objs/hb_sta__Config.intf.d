@@ -1,0 +1,1 @@
+lib/sta/config.mli: Hb_clock Hb_util

@@ -1,0 +1,1 @@
+lib/sta/config_format.ml: Buffer Config Format Hb_clock List Printf String

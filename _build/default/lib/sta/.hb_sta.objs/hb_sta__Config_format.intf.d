@@ -1,0 +1,1 @@
+lib/sta/config_format.mli: Config

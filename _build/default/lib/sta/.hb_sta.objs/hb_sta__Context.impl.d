@@ -1,0 +1,1 @@
+lib/sta/context.ml: Cluster Config Elements Hb_clock Hb_netlist Hb_sync Passes

@@ -1,0 +1,1 @@
+lib/sta/context.mli: Cluster Config Delays Elements Hb_clock Hb_netlist Passes

@@ -1,0 +1,1 @@
+lib/sta/control.ml: Format Hashtbl Hb_cell Hb_netlist Hb_util List

@@ -1,0 +1,1 @@
+lib/sta/control.mli: Hb_netlist Hb_util

@@ -1,0 +1,1 @@
+lib/sta/corners.ml: Algorithm1 Context Delays Hb_util Holdcheck List Printf Slacks

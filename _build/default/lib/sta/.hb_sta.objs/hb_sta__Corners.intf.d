@@ -1,0 +1,1 @@
+lib/sta/corners.mli: Algorithm1 Config Delays Hb_clock Hb_netlist Hb_util

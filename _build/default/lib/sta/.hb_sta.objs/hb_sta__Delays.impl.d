@@ -1,0 +1,1 @@
+lib/sta/delays.ml: Hb_cell Hb_netlist Hb_rc Hb_util List Printf

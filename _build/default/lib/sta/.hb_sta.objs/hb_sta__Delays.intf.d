@@ -1,0 +1,1 @@
+lib/sta/delays.mli: Hb_cell Hb_netlist Hb_rc Hb_util

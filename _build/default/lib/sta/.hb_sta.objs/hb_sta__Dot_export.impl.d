@@ -1,0 +1,1 @@
+lib/sta/dot_export.ml: Array Buffer Context Elements Hb_cell Hb_netlist Hb_sync Hb_util List Paths Printf Slacks String

@@ -1,0 +1,1 @@
+lib/sta/dot_export.mli: Context Paths Slacks

@@ -1,0 +1,1 @@
+lib/sta/elements.ml: Array Config Control Format Hashtbl Hb_cell Hb_clock Hb_netlist Hb_sync List Printf

@@ -1,0 +1,1 @@
+lib/sta/elements.mli: Config Control Hashtbl Hb_clock Hb_netlist Hb_sync Hb_util

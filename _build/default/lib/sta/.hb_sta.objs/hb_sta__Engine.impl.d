@@ -1,0 +1,1 @@
+lib/sta/engine.ml: Algorithm1 Algorithm2 Context Elements Holdcheck Sys

@@ -1,0 +1,1 @@
+lib/sta/engine.mli: Algorithm1 Algorithm2 Config Context Delays Hb_clock Hb_netlist Holdcheck

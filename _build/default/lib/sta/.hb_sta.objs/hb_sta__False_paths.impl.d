@@ -1,0 +1,1 @@
+lib/sta/false_paths.ml: Context Hashtbl Hb_cell Hb_logic Hb_netlist Hb_util List Paths String

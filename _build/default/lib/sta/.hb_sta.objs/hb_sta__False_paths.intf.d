@@ -1,0 +1,1 @@
+lib/sta/false_paths.mli: Context Hb_util Paths

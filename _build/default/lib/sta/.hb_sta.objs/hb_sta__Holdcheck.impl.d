@@ -1,0 +1,1 @@
+lib/sta/holdcheck.ml: Array Cluster Context Elements Hashtbl Hb_clock Hb_sync Hb_util List

@@ -1,0 +1,1 @@
+lib/sta/holdcheck.mli: Context Hb_util

@@ -1,0 +1,1 @@
+lib/sta/json_export.ml: Algorithm1 Array Baseline Buffer Char Context Elements Engine Float Hb_clock Hb_netlist Hb_sync Hb_util Holdcheck List Printf Report Slacks String

@@ -1,0 +1,1 @@
+lib/sta/json_export.mli: Engine

@@ -1,0 +1,1 @@
+lib/sta/minperiod.ml: Algorithm1 Context Hb_clock Hb_util List Option Printf Slacks

@@ -1,0 +1,1 @@
+lib/sta/minperiod.mli: Config Hb_clock Hb_netlist Hb_util

@@ -1,0 +1,1 @@
+lib/sta/passes.ml: Array Cluster Elements Format Hashtbl Hb_clock Hb_sync Hb_util List Stdlib

@@ -1,0 +1,1 @@
+lib/sta/passes.mli: Cluster Elements Hashtbl Hb_clock Hb_util

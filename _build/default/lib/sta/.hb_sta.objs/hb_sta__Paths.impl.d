@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Array Block Cluster Config Context Elements Format Hb_netlist Hb_sync Hb_util List Passes Slacks

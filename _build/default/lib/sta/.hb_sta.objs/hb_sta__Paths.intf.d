@@ -1,0 +1,1 @@
+lib/sta/paths.mli: Context Format Hb_util Slacks

@@ -1,0 +1,1 @@
+lib/sta/report.ml: Algorithm1 Algorithm2 Array Baseline Buffer Cluster Context Elements Engine Format Hb_cell Hb_clock Hb_netlist Hb_sync Hb_util Holdcheck List Paths Printf Slacks Stdlib String

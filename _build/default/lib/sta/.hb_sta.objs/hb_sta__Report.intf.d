@@ -1,0 +1,1 @@
+lib/sta/report.mli: Algorithm2 Context Engine Slacks

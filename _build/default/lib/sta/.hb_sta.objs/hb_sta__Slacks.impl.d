@@ -1,0 +1,1 @@
+lib/sta/slacks.ml: Array Block Cluster Config Context Elements Float Hb_netlist Hb_util List Passes

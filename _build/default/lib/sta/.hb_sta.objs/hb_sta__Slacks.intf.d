@@ -1,0 +1,1 @@
+lib/sta/slacks.mli: Block Context Hb_util

@@ -1,0 +1,115 @@
+type status =
+  | Meets_timing
+  | Slow_paths
+
+type outcome = {
+  status : status;
+  final : Slacks.t;
+  forward_cycles : int;
+  backward_cycles : int;
+  capped : bool;
+}
+
+type direction = Forward | Backward
+
+(* One complete slack-transfer step across every synchronising element,
+   from a single slack snapshot. Returns whether any offset moved. *)
+let complete_transfer (ctx : Context.t) slacks direction =
+  let moved = ref false in
+  for e = 0 to Elements.count ctx.Context.elements - 1 do
+    let element = Elements.element ctx.Context.elements e in
+    let amount =
+      match direction with
+      | Forward ->
+        let node_slack = slacks.Slacks.element_input_slack.(e) in
+        let headroom = Hb_sync.Element.forward_headroom element in
+        Hb_util.Time.min node_slack headroom
+      | Backward ->
+        let node_slack = slacks.Slacks.element_output_slack.(e) in
+        let headroom = Hb_sync.Element.backward_headroom element in
+        Hb_util.Time.min node_slack headroom
+    in
+    if Hb_util.Time.is_positive amount then begin
+      moved := true;
+      (match direction with
+       | Forward -> Hb_sync.Element.shift element (-.amount)
+       | Backward -> Hb_sync.Element.shift element amount)
+    end
+  done;
+  !moved
+
+(* Partial transfer: move slack/n instead of all of it. *)
+let partial_transfer (ctx : Context.t) slacks direction =
+  let divisor = ctx.Context.config.Config.partial_transfer_divisor in
+  let divisor = if divisor > 1.0 then divisor else 2.0 in
+  for e = 0 to Elements.count ctx.Context.elements - 1 do
+    let element = Elements.element ctx.Context.elements e in
+    let amount =
+      match direction with
+      | Forward ->
+        Hb_util.Time.min
+          (slacks.Slacks.element_input_slack.(e) /. divisor)
+          (Hb_sync.Element.forward_headroom element)
+      | Backward ->
+        Hb_util.Time.min
+          (slacks.Slacks.element_output_slack.(e) /. divisor)
+          (Hb_sync.Element.backward_headroom element)
+    in
+    if Hb_util.Time.is_positive amount then
+      match direction with
+      | Forward -> Hb_sync.Element.shift element (-.amount)
+      | Backward -> Hb_sync.Element.shift element amount
+  done
+
+let transfer_step ctx direction =
+  let slacks = Slacks.compute ctx in
+  let direction = match direction with `Forward -> Forward | `Backward -> Backward in
+  complete_transfer ctx slacks direction
+
+let run (ctx : Context.t) =
+  let cap = ctx.Context.config.Config.max_transfer_iterations in
+  let capped = ref false in
+  (* Iterations 1 and 2: complete transfers to a fixed point; each returns
+     [Some slacks] when every slack went strictly positive on the way. *)
+  let complete_phase direction =
+    let cycles = ref 0 in
+    let rec loop () =
+      let slacks = Slacks.compute ctx in
+      if Slacks.all_positive slacks then (Some slacks, !cycles)
+      else if !cycles >= cap then begin
+        capped := true;
+        (None, !cycles)
+      end
+      else begin
+        incr cycles;
+        if complete_transfer ctx slacks direction then loop ()
+        else (None, !cycles)
+      end
+    in
+    loop ()
+  in
+  let finish status final forward_cycles backward_cycles =
+    { status; final; forward_cycles; backward_cycles; capped = !capped }
+  in
+  match complete_phase Forward with
+  | Some final, forward_cycles -> finish Meets_timing final forward_cycles 0
+  | None, forward_cycles ->
+    (match complete_phase Backward with
+     | Some final, backward_cycles ->
+       finish Meets_timing final forward_cycles backward_cycles
+     | None, backward_cycles ->
+       (* Iterations 3 and 4: partial transfers, once per complete cycle
+          made in the opposite direction. *)
+       for _ = 1 to backward_cycles do
+         let slacks = Slacks.compute ctx in
+         partial_transfer ctx slacks Forward
+       done;
+       for _ = 1 to forward_cycles do
+         let slacks = Slacks.compute ctx in
+         partial_transfer ctx slacks Backward
+       done;
+       let final = Slacks.compute ctx in
+       let status =
+         if Slacks.all_positive final then Meets_timing else Slow_paths
+       in
+       finish status final forward_cycles backward_cycles)

@@ -1,0 +1,43 @@
+(** Algorithm 1 — identification of slow paths (paper, Section 6).
+
+    Iterations 1 and 2 perform complete forward then backward slack
+    transfer until a fixed point, removing surplus time from paths with
+    positive slack. Iterations 3 and 4 run partial transfers (dividing the
+    moved slack by the configured [n > 1]) as many times as the complete
+    iterations cycled, returning some time to every path that is fast
+    enough so it ends with strictly positive slack. Nodes left with
+    non-positive slack lie on paths that are too slow.
+
+    Because of the simplified synchronising-element model, "nodes in paths
+    that are marginally fast enough may be identified as too slow" — the
+    verdict is safe, not exact. *)
+
+type status =
+  | Meets_timing
+      (** every node slack strictly positive: the system behaves as
+          intended *)
+  | Slow_paths
+      (** at least one node slack is non-positive; the final slacks
+          identify the slow paths *)
+
+type outcome = {
+  status : status;
+  final : Slacks.t;          (** slacks at the final offsets *)
+  forward_cycles : int;      (** complete forward transfer cycles run *)
+  backward_cycles : int;     (** complete backward transfer cycles run *)
+  capped : bool;
+      (** true when the iteration cap was hit — indicates a modelling
+          problem and pessimistic results *)
+}
+
+(** [run ctx] executes Algorithm 1 from the elements' current offsets,
+    mutating them; the final offsets witness the verdict. *)
+val run : Context.t -> outcome
+
+(** [transfer_step ctx direction] performs one complete slack-transfer
+    sweep across every synchronising element from a fresh slack snapshot
+    (steps 1a+1c / 2a+2c of the paper's Algorithm 1) and reports whether
+    any offset moved. Exposed so the monotonicity property behind the
+    algorithm — a transfer never shrinks the set of satisfied path
+    constraints — can be tested and demonstrated directly. *)
+val transfer_step : Context.t -> [ `Forward | `Backward ] -> bool

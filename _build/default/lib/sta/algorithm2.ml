@@ -1,0 +1,129 @@
+type constraint_times = {
+  ready : Hb_util.Time.t array;
+  required : Hb_util.Time.t array;
+  net_slack : Hb_util.Time.t array;
+  snatch_backward_cycles : int;
+  snatch_forward_cycles : int;
+  capped : bool;
+}
+
+type direction = Forward | Backward
+
+(* One snatching step across all elements from one slack snapshot.
+   Forward snatching takes time from upstream when the paths leaving the
+   element's output are too slow; backward snatching takes time from
+   downstream when the paths converging on its data input are too slow. *)
+let snatch (ctx : Context.t) slacks direction =
+  let moved = ref false in
+  for e = 0 to Elements.count ctx.Context.elements - 1 do
+    let element = Elements.element ctx.Context.elements e in
+    let amount =
+      match direction with
+      | Forward ->
+        let node_slack = slacks.Slacks.element_output_slack.(e) in
+        if Hb_util.Time.is_negative node_slack then
+          Hb_util.Time.min (-.node_slack) (Hb_sync.Element.forward_headroom element)
+        else 0.0
+      | Backward ->
+        let node_slack = slacks.Slacks.element_input_slack.(e) in
+        if Hb_util.Time.is_negative node_slack then
+          Hb_util.Time.min (-.node_slack) (Hb_sync.Element.backward_headroom element)
+        else 0.0
+    in
+    if Hb_util.Time.is_positive amount then begin
+      moved := true;
+      match direction with
+      | Forward -> Hb_sync.Element.shift element (-.amount)
+      | Backward -> Hb_sync.Element.shift element amount
+    end
+  done;
+  !moved
+
+let run (ctx : Context.t) =
+  let cap = ctx.Context.config.Config.max_transfer_iterations in
+  let capped = ref false in
+  let snatch_phase direction =
+    let cycles = ref 0 in
+    let rec loop () =
+      let slacks = Slacks.compute ctx in
+      if !cycles >= cap then begin
+        capped := true;
+        slacks
+      end
+      else begin
+        incr cycles;
+        if snatch ctx slacks direction then loop () else slacks
+      end
+    in
+    (loop (), !cycles)
+  in
+  (* Iteration 1: backward snatching, then record ready times. *)
+  let after_backward, snatch_backward_cycles = snatch_phase Backward in
+  let ready = Array.copy after_backward.Slacks.net_ready in
+  (* Iteration 2: forward snatching, then record required times. *)
+  let after_forward, snatch_forward_cycles = snatch_phase Forward in
+  let required = Array.copy after_forward.Slacks.net_required in
+  { ready;
+    required;
+    net_slack = Array.copy after_forward.Slacks.net_slack;
+    snatch_backward_cycles;
+    snatch_forward_cycles;
+    capped = !capped;
+  }
+
+type module_constraint = {
+  inst : int;
+  inst_name : string;
+  slack : Hb_util.Time.t;
+  input_ready : (string * Hb_util.Time.t) list;
+  output_required : (string * Hb_util.Time.t) list;
+}
+
+let module_constraints (ctx : Context.t) times =
+  let design = ctx.Context.design in
+  let constraints =
+    List.filter_map
+      (fun inst ->
+         let record = Hb_netlist.Design.instance design inst in
+         let cell = record.Hb_netlist.Design.cell in
+         let pin_net pin =
+           Hb_netlist.Design.net_of_pin design ~inst
+             ~pin:pin.Hb_cell.Cell.pin_name
+         in
+         let worst = ref Hb_util.Time.infinity in
+         let note net =
+           let slack = times.net_slack.(net) in
+           if Hb_util.Time.is_finite slack && slack < !worst then worst := slack
+         in
+         List.iter (fun p -> Option.iter note (pin_net p)) cell.Hb_cell.Cell.pins;
+         if Hb_util.Time.le !worst 0.0 then begin
+           let input_ready =
+             List.filter_map
+               (fun pin ->
+                  match pin_net pin with
+                  | Some net when Float.is_finite times.ready.(net) ->
+                    Some (pin.Hb_cell.Cell.pin_name, times.ready.(net))
+                  | Some _ | None -> None)
+               (Hb_cell.Cell.input_pins cell)
+           in
+           let output_required =
+             List.filter_map
+               (fun pin ->
+                  match pin_net pin with
+                  | Some net when Float.is_finite times.required.(net) ->
+                    Some (pin.Hb_cell.Cell.pin_name, times.required.(net))
+                  | Some _ | None -> None)
+               (Hb_cell.Cell.output_pins cell)
+           in
+           Some
+             { inst;
+               inst_name = record.Hb_netlist.Design.inst_name;
+               slack = !worst;
+               input_ready;
+               output_required;
+             }
+         end
+         else None)
+      (Hb_netlist.Design.comb_instances design)
+  in
+  List.sort (fun a b -> compare a.slack b.slack) constraints

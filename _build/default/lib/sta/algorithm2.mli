@@ -1,0 +1,50 @@
+(** Algorithm 2 — timing-constraint generation (paper, Section 6).
+
+    Starting from the offsets Algorithm 1 leaves behind:
+
+    - iteration 1 snatches time {e backward} across every synchronising
+      element whose data-input slack is negative until nothing moves, at
+      which point the signal ready times recorded at cell inputs are the
+      {e actual} times for nodes in slow paths;
+    - iteration 2 snatches time {e forward} where output slacks are
+      negative and records required times at cell outputs.
+
+    For nodes outside slow paths the recorded times are an upper bound on
+    the ready time and a lower bound on the required time with the former
+    below the latter, so the pair always brackets a legal target for
+    re-synthesis. *)
+
+type constraint_times = {
+  ready : Hb_util.Time.t array;
+      (** per global net: ready time (absolute offset in the clock period)
+          recorded after backward snatching; [nan] where no signal
+          arrives *)
+  required : Hb_util.Time.t array;
+      (** per global net: required time recorded after forward snatching *)
+  net_slack : Hb_util.Time.t array;
+      (** per global net: final slack (from the forward-snatched state) *)
+  snatch_backward_cycles : int;
+  snatch_forward_cycles : int;
+  capped : bool;
+}
+
+(** [run ctx] mutates element offsets (snapshot and restore around it if
+    the Algorithm 1 state must be preserved). *)
+val run : Context.t -> constraint_times
+
+(** [module_constraints ctx times] groups the generated times by
+    combinational instance: for every instance traversed by a slow path
+    (minimum net slack ≤ 0 on its pins), reports input-ready and
+    output-required times — the interface handed to the re-synthesis
+    program ("Provide input data ready times and output required times for
+    all combinational logic modules traversed by paths that are too slow",
+    Algorithm 3). Results are sorted by ascending slack. *)
+type module_constraint = {
+  inst : int;
+  inst_name : string;
+  slack : Hb_util.Time.t;  (** worst pin slack *)
+  input_ready : (string * Hb_util.Time.t) list;     (** pin → ready *)
+  output_required : (string * Hb_util.Time.t) list; (** pin → required *)
+}
+
+val module_constraints : Context.t -> constraint_times -> module_constraint list

@@ -1,0 +1,41 @@
+(** Delay back-annotation: the [.hbd] format.
+
+    Hummingbird's interactive mode let users make "adjustments ... to
+    component delays" (paper, Section 8). An annotation overlays a base
+    delay provider with per-instance measurements or scalings:
+
+    {v
+    # measured and what-if delays
+    delay u42 rise 1.85 fall 1.60
+    scale alu_g7 0.8
+    v}
+
+    - [delay <inst> rise <x> fall <y>] — every timing arc of the instance
+      takes exactly these delays (a measurement or a contract);
+    - [scale <inst> <f>] — the base provider's result for the instance is
+      multiplied by [f] (a what-if speed-up or slow-down).
+
+    Instance names are resolved when the annotated provider is applied to
+    a design; annotations naming instances absent from the design are
+    reported by {!unused}. *)
+
+type t
+
+(** [parse text] reads annotation directives.
+    @raise Failure with a line-numbered message on malformed input. *)
+val parse : string -> t
+
+val parse_file : string -> t
+
+val empty : t
+
+(** [count t] is the number of annotation entries. *)
+val count : t -> int
+
+(** [apply t ~base] wraps [base] so annotated instances get their
+    overridden delays. *)
+val apply : t -> base:Delays.t -> Delays.t
+
+(** [unused t ~design] lists annotated instance names that do not occur in
+    [design] — usually a sign of a stale annotation file. *)
+val unused : t -> design:Hb_netlist.Design.t -> string list

@@ -1,0 +1,39 @@
+(** Baseline analyses the paper compares against.
+
+    {b Path enumeration} — the "computationally expensive" exact
+    alternative to the block method (Section 7): every combinational path
+    is walked individually and its path constraint checked. On acyclic
+    max-delay analysis both methods agree on every verdict (neither
+    discards false paths); the benchmark suite demonstrates the runtime
+    gap, and the property tests the agreement.
+
+    {b Per-source-edge settling times} — the Wallace/Séquin-style
+    accounting ([8] in the paper) in which every node receives one
+    settling time per distinct clock edge that can cause a transition at
+    it. The paper's pre-processing instead computes the {e minimum} number
+    of analysis passes; {!settling_times} reports both counts. *)
+
+type verdict = {
+  worst_slack : Hb_util.Time.t;
+  endpoint_slacks : (int * Hb_util.Time.t) list;
+      (** element id → worst path slack into its data input, ascending *)
+  paths_examined : int;
+  truncated : bool;  (** true when [max_paths] stopped the enumeration *)
+}
+
+(** [path_enumeration ctx ?max_paths ()] analyses every cluster by
+    explicit path walking at the current offsets. [max_paths] defaults to
+    200_000. *)
+val path_enumeration : Context.t -> ?max_paths:int -> unit -> verdict
+
+type settling_report = {
+  minimized_passes : int;
+      (** total analysis passes chosen by the Section 7 pre-processing *)
+  naive_settling_times : int;
+      (** total passes a per-source-edge method would need: one per
+          distinct input assertion edge per cluster *)
+  per_cluster : (int * int * int) list;
+      (** cluster id, minimized, naive — clusters with logic only *)
+}
+
+val settling_times : Context.t -> settling_report

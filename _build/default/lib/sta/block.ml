@@ -1,0 +1,118 @@
+type mode = [ `Scalar | `Rise_fall ]
+
+type result = {
+  ready : Hb_util.Time.t array;
+  ready_rise : Hb_util.Time.t array;
+  ready_fall : Hb_util.Time.t array;
+  min_ready : Hb_util.Time.t array;
+  required : Hb_util.Time.t array;
+}
+
+let assertion_time passes (element : Hb_sync.Element.t) ~cut =
+  match element.Hb_sync.Element.assertion_edge with
+  | None -> None
+  | Some edge ->
+    let node = Passes.assertion_node passes edge in
+    Some
+      (Passes.linear_time passes ~cut ~node
+       +. Hb_sync.Element.assertion_offset element)
+
+let closure_time passes (element : Hb_sync.Element.t) ~cut =
+  match element.Hb_sync.Element.closure_edge with
+  | None -> None
+  | Some edge ->
+    let node = Passes.closure_node passes edge in
+    Some
+      (Passes.linear_time passes ~cut ~node
+       +. Hb_sync.Element.closure_offset element)
+
+let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () =
+  let n = Array.length cluster.Cluster.nets in
+  let ready_rise = Array.make n Hb_util.Time.neg_infinity in
+  let ready_fall = Array.make n Hb_util.Time.neg_infinity in
+  let min_ready = Array.make n Hb_util.Time.infinity in
+  let required = Array.make n Hb_util.Time.infinity in
+  Array.iter
+    (fun (terminal : Cluster.terminal) ->
+       let element = Elements.element elements terminal.Cluster.element in
+       match assertion_time passes element ~cut with
+       | None -> ()
+       | Some t ->
+         let net = terminal.Cluster.net in
+         if t > ready_rise.(net) then ready_rise.(net) <- t;
+         if t > ready_fall.(net) then ready_fall.(net) <- t;
+         if t < min_ready.(net) then min_ready.(net) <- t)
+    cluster.Cluster.inputs;
+  (* Forward sweep: equation (1). Under [`Scalar] both polarities carry
+     the same (worst-delay) arrival; under [`Rise_fall] arcs route each
+     polarity according to their unateness. *)
+  Array.iter
+    (fun net ->
+       let rise = ready_rise.(net) and fall = ready_fall.(net) in
+       if Hb_util.Time.is_finite rise || Hb_util.Time.is_finite fall then
+         List.iter
+           (fun arc_index ->
+              let arc = cluster.Cluster.arcs.(arc_index) in
+              let to_net = arc.Cluster.to_net in
+              (match mode with
+               | `Scalar ->
+                 let t = rise +. arc.Cluster.dmax in
+                 if t > ready_rise.(to_net) then ready_rise.(to_net) <- t;
+                 if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
+               | `Rise_fall ->
+                 let in_for_rise, in_for_fall =
+                   match arc.Cluster.sense with
+                   | `Positive -> (rise, fall)
+                   | `Negative -> (fall, rise)
+                   | `Non_unate ->
+                     let worst = Hb_util.Time.max rise fall in
+                     (worst, worst)
+                 in
+                 if Hb_util.Time.is_finite in_for_rise then begin
+                   let t = in_for_rise +. arc.Cluster.rise in
+                   if t > ready_rise.(to_net) then ready_rise.(to_net) <- t
+                 end;
+                 if Hb_util.Time.is_finite in_for_fall then begin
+                   let t = in_for_fall +. arc.Cluster.fall in
+                   if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
+                 end))
+           cluster.Cluster.succ.(net);
+       if Hb_util.Time.is_finite min_ready.(net) then
+         List.iter
+           (fun arc_index ->
+              let arc = cluster.Cluster.arcs.(arc_index) in
+              let t = min_ready.(net) +. arc.Cluster.dmin in
+              if t < min_ready.(arc.Cluster.to_net) then
+                min_ready.(arc.Cluster.to_net) <- t)
+           cluster.Cluster.succ.(net))
+    cluster.Cluster.topo;
+  let ready =
+    Array.init n (fun i -> Hb_util.Time.max ready_rise.(i) ready_fall.(i))
+  in
+  (* Closure times at the outputs assigned to this pass. *)
+  let plan = passes.Passes.plans.(cluster.Cluster.id) in
+  Array.iteri
+    (fun output_index (terminal : Cluster.terminal) ->
+       if plan.Passes.assignment.(output_index) = cut then begin
+         let element = Elements.element elements terminal.Cluster.element in
+         match closure_time passes element ~cut with
+         | None -> ()
+         | Some t ->
+           let net = terminal.Cluster.net in
+           if t < required.(net) then required.(net) <- t
+       end)
+    cluster.Cluster.outputs;
+  (* Backward sweep: equation (2), expressed through required times, with
+     worst arc delays in both modes (safe). *)
+  for i = Array.length cluster.Cluster.topo - 1 downto 0 do
+    let net = cluster.Cluster.topo.(i) in
+    if Hb_util.Time.is_finite required.(net) then
+      List.iter
+        (fun arc_index ->
+           let arc = cluster.Cluster.arcs.(arc_index) in
+           let t = required.(net) -. arc.Cluster.dmax in
+           if t < required.(arc.Cluster.from_net) then
+             required.(arc.Cluster.from_net) <- t)
+        cluster.Cluster.pred.(net)
+  done;
+  { ready; ready_rise; ready_fall; min_ready; required }

@@ -1,0 +1,57 @@
+(** Hitchcock-style block evaluation of one cluster during one pass
+    (paper, Section 7, equations (1) and (2)).
+
+    Given the broken-open time axis of a pass and the current element
+    offsets, computes per-net signal ready times (forward sweep, eq. 1),
+    required times (backward sweep) and hence node slacks. "False paths"
+    are not discarded — the paper chooses the block method's speed and
+    accepts its safe pessimism. *)
+
+(** Arrival-time model. [`Scalar] propagates one (worst) arrival per net;
+    [`Rise_fall] propagates rising and falling arrivals separately with
+    arc unateness (Bening et al. [7], which the paper adopts) — never more
+    pessimistic than [`Scalar], and strictly less so through inverting
+    chains with asymmetric rise/fall delays. *)
+type mode = [ `Scalar | `Rise_fall ]
+
+type result = {
+  ready : Hb_util.Time.t array;
+      (** latest arrival per local net — under [`Rise_fall] this is
+          [max(ready_rise, ready_fall)]; [-inf] where no signal arrives *)
+  ready_rise : Hb_util.Time.t array;
+      (** latest rising arrival; equals [ready] in [`Scalar] mode *)
+  ready_fall : Hb_util.Time.t array;
+      (** latest falling arrival; equals [ready] in [`Scalar] mode *)
+  min_ready : Hb_util.Time.t array;
+      (** earliest arrival per local net; [+inf] where none; used by the
+          supplementary (minimum-delay) checks *)
+  required : Hb_util.Time.t array;
+      (** required time per local net; [+inf] where unconstrained in this
+          pass. The backward sweep always uses worst arc delays, so
+          internal required times stay safe in both modes. *)
+}
+
+(** [evaluate ~passes ~elements ~cluster ~cut ?mode ()] runs both sweeps
+    for the given cluster in the pass identified by [cut]. Only output
+    terminals assigned to [cut] in the cluster's plan contribute required
+    times; the slack of the others is "set to a large number" exactly as
+    the paper prescribes. [mode] defaults to [`Scalar]. *)
+val evaluate :
+  passes:Passes.t ->
+  elements:Elements.t ->
+  cluster:Cluster.t ->
+  cut:int ->
+  ?mode:mode ->
+  unit ->
+  result
+
+(** [assertion_time passes element ~cut] places the element's effective
+    output assertion on the pass's time axis; [None] when the element has
+    no assertion edge. *)
+val assertion_time :
+  Passes.t -> Hb_sync.Element.t -> cut:int -> Hb_util.Time.t option
+
+(** [closure_time passes element ~cut] likewise for the effective input
+    closure. *)
+val closure_time :
+  Passes.t -> Hb_sync.Element.t -> cut:int -> Hb_util.Time.t option

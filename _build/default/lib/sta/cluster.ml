@@ -1,0 +1,287 @@
+type arc = {
+  from_net : int;
+  to_net : int;
+  dmax : Hb_util.Time.t;
+  dmin : Hb_util.Time.t;
+  rise : Hb_util.Time.t;
+  fall : Hb_util.Time.t;
+  sense : [ `Positive | `Negative | `Non_unate ];
+  inst : int;
+}
+
+type terminal = {
+  element : int;
+  net : int;
+}
+
+type t = {
+  id : int;
+  nets : int array;
+  members : int list;
+  arcs : arc array;
+  succ : int list array;
+  pred : int list array;
+  topo : int array;
+  inputs : terminal array;
+  outputs : terminal array;
+}
+
+type table = {
+  clusters : t array;
+  cluster_of_net : int array;
+  local_of_net : int array;
+}
+
+exception Cycle_error of string
+
+(* Union-find over global net ids. *)
+let find parent i =
+  let rec root i = if parent.(i) = i then i else root parent.(i) in
+  let r = root i in
+  (* Path compression. *)
+  let rec compress i =
+    if parent.(i) <> r then begin
+      let next = parent.(i) in
+      parent.(i) <- r;
+      compress next
+    end
+  in
+  compress i;
+  r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let extract ~design ~elements ?(delays = Delays.lumped) () =
+  let net_count = Hb_netlist.Design.net_count design in
+  let parent = Array.init net_count (fun i -> i) in
+  (* Union all nets touching the same combinational instance. *)
+  List.iter
+    (fun inst ->
+       let connections =
+         (Hb_netlist.Design.instance design inst).Hb_netlist.Design.connections
+       in
+       match connections with
+       | [] -> ()
+       | (_, first) :: rest ->
+         List.iter (fun (_, net) -> union parent first net) rest)
+    (Hb_netlist.Design.comb_instances design);
+  (* Assign dense cluster ids to roots. *)
+  let cluster_id_of_root = Hashtbl.create 64 in
+  let cluster_of_net = Array.make net_count 0 in
+  let cluster_count = ref 0 in
+  for net = 0 to net_count - 1 do
+    let root = find parent net in
+    let id =
+      match Hashtbl.find_opt cluster_id_of_root root with
+      | Some id -> id
+      | None ->
+        let id = !cluster_count in
+        incr cluster_count;
+        Hashtbl.add cluster_id_of_root root id;
+        id
+    in
+    cluster_of_net.(net) <- id
+  done;
+  (* Local net indices per cluster, in global net order. *)
+  let local_of_net = Array.make net_count 0 in
+  let sizes = Array.make !cluster_count 0 in
+  for net = 0 to net_count - 1 do
+    let c = cluster_of_net.(net) in
+    local_of_net.(net) <- sizes.(c);
+    sizes.(c) <- sizes.(c) + 1
+  done;
+  let nets = Array.init !cluster_count (fun c -> Array.make sizes.(c) 0) in
+  for net = 0 to net_count - 1 do
+    nets.(cluster_of_net.(net)).(local_of_net.(net)) <- net
+  done;
+  (* Members and arcs. *)
+  let members = Array.make !cluster_count [] in
+  let rev_arcs = Array.make !cluster_count [] in
+  List.iter
+    (fun inst ->
+       let record = Hb_netlist.Design.instance design inst in
+       let cell = record.Hb_netlist.Design.cell in
+       let cluster =
+         match record.Hb_netlist.Design.connections with
+         | (_, net) :: _ -> cluster_of_net.(net)
+         | [] -> -1
+       in
+       if cluster >= 0 then begin
+         members.(cluster) <- inst :: members.(cluster);
+         let sense =
+           match cell.Hb_cell.Cell.kind with
+           | Hb_cell.Kind.Comb comb -> Hb_cell.Kind.unate_sense comb
+           | Hb_cell.Kind.Sync _ -> `Non_unate
+         in
+         List.iter
+           (fun out_pin ->
+              let out_name = out_pin.Hb_cell.Cell.pin_name in
+              match Hb_netlist.Design.net_of_pin design ~inst ~pin:out_name with
+              | None -> ()
+              | Some out_net ->
+                List.iter
+                  (fun (cell_arc : Hb_cell.Cell.timing_arc) ->
+                     match
+                       Hb_netlist.Design.net_of_pin design ~inst
+                         ~pin:cell_arc.Hb_cell.Cell.from_pin
+                     with
+                     | None -> ()
+                     | Some in_net ->
+                       let rise, fall =
+                         delays.Delays.evaluate ~design ~inst ~arc:cell_arc
+                           ~out_net
+                       in
+                       rev_arcs.(cluster) <-
+                         { from_net = local_of_net.(in_net);
+                           to_net = local_of_net.(out_net);
+                           dmax = Hb_util.Time.max rise fall;
+                           dmin = Hb_util.Time.min rise fall;
+                           rise;
+                           fall;
+                           sense;
+                           inst;
+                         }
+                         :: rev_arcs.(cluster))
+                  (Hb_cell.Cell.arcs_to cell ~output:out_name))
+           (Hb_cell.Cell.output_pins cell)
+       end)
+    (Hb_netlist.Design.comb_instances design);
+  (* Terminals from the element table. *)
+  let rev_inputs = Array.make !cluster_count [] in
+  let rev_outputs = Array.make !cluster_count [] in
+  for e = 0 to Elements.count elements - 1 do
+    List.iter
+      (fun net ->
+         rev_inputs.(cluster_of_net.(net)) <-
+           { element = e; net = local_of_net.(net) }
+           :: rev_inputs.(cluster_of_net.(net)))
+      elements.Elements.drives.(e);
+    (match elements.Elements.reads.(e) with
+     | Some net ->
+       rev_outputs.(cluster_of_net.(net)) <-
+         { element = e; net = local_of_net.(net) }
+         :: rev_outputs.(cluster_of_net.(net))
+     | None -> ())
+  done;
+  let clusters =
+    Array.init !cluster_count (fun c ->
+        let arcs = Array.of_list (List.rev rev_arcs.(c)) in
+        let n = sizes.(c) in
+        let succ = Array.make n [] and pred = Array.make n [] in
+        Array.iteri
+          (fun i arc ->
+             succ.(arc.from_net) <- i :: succ.(arc.from_net);
+             pred.(arc.to_net) <- i :: pred.(arc.to_net))
+          arcs;
+        let topo =
+          match
+            Hb_util.Topo.sort ~nodes:n
+              ~successors:(fun v ->
+                  List.map (fun i -> arcs.(i).to_net) succ.(v))
+          with
+          | Hb_util.Topo.Sorted order -> order
+          | Hb_util.Topo.Cycle cycle ->
+            let path =
+              String.concat " -> "
+                (List.map
+                   (fun local ->
+                      (Hb_netlist.Design.net design nets.(c).(local))
+                        .Hb_netlist.Design.net_name)
+                   cycle)
+            in
+            raise
+              (Cycle_error
+                 (Printf.sprintf
+                    "combinational cycle in cluster %d: %s" c path))
+        in
+        { id = c;
+          nets = nets.(c);
+          members = List.rev members.(c);
+          arcs;
+          succ;
+          pred;
+          topo;
+          inputs = Array.of_list (List.rev rev_inputs.(c));
+          outputs = Array.of_list (List.rev rev_outputs.(c));
+        })
+  in
+  { clusters; cluster_of_net; local_of_net }
+
+let refresh_delays table ~design ?(delays = Delays.lumped) () =
+  let refresh_cluster (cluster : t) =
+    let arcs =
+      Array.map
+        (fun arc ->
+           if arc.inst < 0 || arc.inst >= Hb_netlist.Design.instance_count design
+           then invalid_arg "Cluster.refresh_delays: instance out of range";
+           let record = Hb_netlist.Design.instance design arc.inst in
+           let cell = record.Hb_netlist.Design.cell in
+           let from_global = cluster.nets.(arc.from_net) in
+           let to_global = cluster.nets.(arc.to_net) in
+           (* Every timing arc of the instance joining the same net pair;
+              with several (a net feeding two pins) take the worst — equal
+              to extraction's effect of emitting one graph arc per pin. *)
+           let rise = ref Hb_util.Time.neg_infinity in
+           let fall = ref Hb_util.Time.neg_infinity in
+           List.iter
+             (fun out_pin ->
+                if
+                  Hb_netlist.Design.net_of_pin design ~inst:arc.inst
+                    ~pin:out_pin.Hb_cell.Cell.pin_name
+                  = Some to_global
+                then
+                  List.iter
+                    (fun (cell_arc : Hb_cell.Cell.timing_arc) ->
+                       if
+                         Hb_netlist.Design.net_of_pin design ~inst:arc.inst
+                           ~pin:cell_arc.Hb_cell.Cell.from_pin
+                         = Some from_global
+                       then begin
+                         let r, f =
+                           delays.Delays.evaluate ~design ~inst:arc.inst
+                             ~arc:cell_arc ~out_net:to_global
+                         in
+                         if r > !rise then rise := r;
+                         if f > !fall then fall := f
+                       end)
+                    (Hb_cell.Cell.arcs_to cell
+                       ~output:out_pin.Hb_cell.Cell.pin_name))
+             (Hb_cell.Cell.output_pins cell);
+           if not (Hb_util.Time.is_finite !rise && Hb_util.Time.is_finite !fall)
+           then
+             invalid_arg
+               (Printf.sprintf
+                  "Cluster.refresh_delays: arc of %s no longer present"
+                  record.Hb_netlist.Design.inst_name);
+           { arc with
+             rise = !rise;
+             fall = !fall;
+             dmax = Hb_util.Time.max !rise !fall;
+             dmin = Hb_util.Time.min !rise !fall;
+           })
+        cluster.arcs
+    in
+    { cluster with arcs }
+  in
+  if Array.length table.cluster_of_net <> Hb_netlist.Design.net_count design
+  then invalid_arg "Cluster.refresh_delays: net count mismatch";
+  { table with clusters = Array.map refresh_cluster table.clusters }
+
+let reachable_outputs cluster ~input_terminal_index =
+  let start = cluster.inputs.(input_terminal_index).net in
+  let marked = Array.make (Array.length cluster.nets) false in
+  let rec walk net =
+    if not marked.(net) then begin
+      marked.(net) <- true;
+      List.iter (fun i -> walk cluster.arcs.(i).to_net) cluster.succ.(net)
+    end
+  in
+  walk start;
+  let hits = ref [] in
+  Array.iteri
+    (fun i (terminal : terminal) ->
+       if marked.(terminal.net) then hits := i :: !hits)
+    cluster.outputs;
+  List.rev !hits

@@ -1,0 +1,80 @@
+(** Clusters: maximal connected networks of combinational logic.
+
+    "All inputs to a cluster are synchronising element outputs and all
+    outputs from a cluster are synchronising element inputs" (paper,
+    Section 7) — extended here with primary-port boundaries and enable
+    endpoints, which are uniform {!Hb_sync.Element} values.
+
+    Every net belongs to exactly one cluster. A cluster's internal timing
+    graph has one node per net and one weighted arc per combinational cell
+    timing arc, with maximum and minimum propagation delays evaluated at
+    the driven net's load. Nets driven by clock generator ports carry no
+    signal-arrival information (their ready time stays [-inf]); the gates
+    they feed are enable/control logic whose data-side inputs are the real
+    timing sources. *)
+
+type arc = {
+  from_net : int;  (** local net index *)
+  to_net : int;    (** local net index *)
+  dmax : Hb_util.Time.t;  (** max(rise, fall) *)
+  dmin : Hb_util.Time.t;  (** min(rise, fall) *)
+  rise : Hb_util.Time.t;  (** output-rising propagation delay *)
+  fall : Hb_util.Time.t;  (** output-falling propagation delay *)
+  sense : [ `Positive | `Negative | `Non_unate ];
+      (** unateness of the arc, for rise/fall-separated sweeps *)
+  inst : int;      (** netlist instance carrying the arc *)
+}
+
+(** An element touching the cluster boundary. *)
+type terminal = {
+  element : int;  (** element id in the {!Elements.t} table *)
+  net : int;      (** local net index the element drives or reads *)
+}
+
+type t = {
+  id : int;
+  nets : int array;                (** local index → global net id *)
+  members : int list;              (** combinational instance ids *)
+  arcs : arc array;
+  succ : int list array;           (** local net → arc indices out of it *)
+  pred : int list array;           (** local net → arc indices into it *)
+  topo : int array;                (** local nets, topologically sorted *)
+  inputs : terminal array;         (** elements asserting onto cluster nets *)
+  outputs : terminal array;        (** elements whose closure constrains
+                                       cluster nets *)
+}
+
+type table = {
+  clusters : t array;
+  cluster_of_net : int array;      (** global net id → cluster id *)
+  local_of_net : int array;        (** global net id → local net index *)
+}
+
+exception Cycle_error of string
+
+(** [extract ~design ~elements ?delays ()] partitions the design into
+    clusters and builds their timing graphs. [delays] chooses the
+    component-delay estimator (default {!Delays.lumped}).
+    @raise Cycle_error when a cluster's combinational logic contains a
+    directed cycle (forbidden by the paper's Section 3 assumptions). *)
+val extract :
+  design:Hb_netlist.Design.t ->
+  elements:Elements.t ->
+  ?delays:Delays.t ->
+  unit ->
+  table
+
+(** [reachable_outputs cluster ~input_terminal_index] returns the indices
+    (into [cluster.outputs]) of output terminals reachable from the given
+    input terminal through the cluster graph. *)
+val reachable_outputs : t -> input_terminal_index:int -> int list
+
+(** [refresh_delays table ~design ~delays] re-evaluates every arc's
+    delays against [design] (same topology, possibly different cells or a
+    different estimator) without re-running extraction: graph structure,
+    terminals and topological orders are shared with the input table.
+    Used by the incremental re-analysis path of the redesign loop.
+    @raise Invalid_argument when [design]'s net/instance structure does
+    not match the table. *)
+val refresh_delays :
+  table -> design:Hb_netlist.Design.t -> ?delays:Delays.t -> unit -> table

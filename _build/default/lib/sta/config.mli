@@ -1,0 +1,51 @@
+(** Analysis configuration.
+
+    Binds the design's boundary to the clock system: which clock edge each
+    non-clock primary port is timed against, and global knobs. *)
+
+(** Timing reference of one primary port. *)
+type port_timing = {
+  edge : Hb_clock.Edge.t;      (** reference clock edge *)
+  offset : Hb_util.Time.t;
+      (** inputs: signal asserted [offset] after the edge;
+          outputs: signal required no later than [offset] after the edge *)
+}
+
+type t = {
+  io_clock : string option;
+      (** clock that times ports without an explicit entry; [None] picks
+          the first waveform of the system *)
+  default_input_arrival : Hb_util.Time.t;
+      (** default input offset after the io clock's pulse-0 leading edge *)
+  default_output_required : Hb_util.Time.t;
+      (** default output offset relative to the io clock's pulse-0 leading
+          edge (the same-edge rule then grants such paths a full period) *)
+  port_overrides : (string * port_timing) list;
+      (** per-port timing overrides, keyed by port name *)
+  max_transfer_iterations : int;
+      (** hard cap on Algorithm 1/2 sweeps; the paper argues convergence
+          in at most one more cycle than the longest element chain, so
+          hitting this cap indicates a modelling bug and is reported *)
+  partial_transfer_divisor : float;
+      (** the [n > 1] of partial slack transfer; the paper leaves it free *)
+  rise_fall : bool;
+      (** propagate rising and falling arrivals separately (Bening et
+          al. [7], used by the paper). Never more pessimistic than the
+          scalar model; default [false] so the default analysis matches
+          the exact path-enumeration baseline bit-for-bit *)
+  multicycle : (string * int) list;
+      (** multicycle exceptions: synchroniser instance name → cycle
+          count n (>= 1); the endpoint's closure gains (n-1) periods of
+          its own clock. An extension in the spirit of the interactive
+          what-if mode; hold bounds shift with the closure (document as
+          the standard endpoint-based simplification) *)
+}
+
+val default : t
+
+(** [port_timing t ~system ~port] resolves the timing reference for the
+    named port.
+    @raise Failure when the io clock cannot be resolved. *)
+val port_timing :
+  t -> system:Hb_clock.System.t -> port:string -> direction:[ `Input | `Output ] ->
+  port_timing

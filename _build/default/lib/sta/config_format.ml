@@ -1,0 +1,120 @@
+let fail_line lineno fmt =
+  Format.kasprintf
+    (fun m -> failwith (Printf.sprintf "timing spec line %d: %s" lineno m))
+    fmt
+
+let float_field lineno name value =
+  match float_of_string_opt value with
+  | Some f -> f
+  | None -> fail_line lineno "%s: expected a number, got %S" name value
+
+let int_field lineno name value =
+  match int_of_string_opt value with
+  | Some i -> i
+  | None -> fail_line lineno "%s: expected an integer, got %S" name value
+
+let polarity_field lineno value ~clock ~pulse =
+  match value with
+  | "leading" -> Hb_clock.Edge.leading ~clock ~pulse
+  | "trailing" -> Hb_clock.Edge.trailing ~clock ~pulse
+  | other -> fail_line lineno "expected 'leading' or 'trailing', got %S" other
+
+let parse ?(base = Config.default) text =
+  let config = ref base in
+  let parse_line lineno line =
+    let tokens =
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    in
+    match tokens with
+    | [] -> ()
+    | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> ()
+    | [ "io-clock"; name ] ->
+      config := { !config with Config.io_clock = Some name }
+    | [ "default-input-arrival"; v ] ->
+      config :=
+        { !config with
+          Config.default_input_arrival =
+            float_field lineno "default-input-arrival" v }
+    | [ "default-output-required"; v ] ->
+      config :=
+        { !config with
+          Config.default_output_required =
+            float_field lineno "default-output-required" v }
+    | [ "rise-fall"; flag ] ->
+      (match flag with
+       | "on" -> config := { !config with Config.rise_fall = true }
+       | "off" -> config := { !config with Config.rise_fall = false }
+       | other -> fail_line lineno "rise-fall: expected on/off, got %S" other)
+    | [ "max-iterations"; v ] ->
+      config :=
+        { !config with
+          Config.max_transfer_iterations = int_field lineno "max-iterations" v }
+    | [ "multicycle"; inst; n ] ->
+      let n = int_field lineno "multicycle" n in
+      if n < 1 then fail_line lineno "multicycle: count must be >= 1";
+      config :=
+        { !config with
+          Config.multicycle =
+            (inst, n) :: List.remove_assoc inst !config.Config.multicycle }
+    | [ "partial-divisor"; v ] ->
+      config :=
+        { !config with
+          Config.partial_transfer_divisor =
+            float_field lineno "partial-divisor" v }
+    | [ direction; port; "clock"; clock; polarity; "pulse"; pulse;
+        "offset"; offset ]
+      when direction = "input" || direction = "output" ->
+      let pulse = int_field lineno "pulse" pulse in
+      if pulse < 0 then fail_line lineno "pulse: must be non-negative";
+      let edge = polarity_field lineno polarity ~clock ~pulse in
+      let timing =
+        { Config.edge; offset = float_field lineno "offset" offset }
+      in
+      config :=
+        { !config with
+          Config.port_overrides =
+            (port, timing)
+            :: List.remove_assoc port !config.Config.port_overrides }
+    | directive :: _ -> fail_line lineno "unknown directive %S" directive
+  in
+  List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text);
+  !config
+
+let parse_file ?base path =
+  let ic = open_in path in
+  let length = in_channel_length ic in
+  let text =
+    try really_input_string ic length
+    with e -> close_in ic; raise e
+  in
+  close_in ic;
+  parse ?base text
+
+let to_string (config : Config.t) =
+  let buffer = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  (match config.Config.io_clock with
+   | Some name -> add "io-clock %s\n" name
+   | None -> ());
+  add "default-input-arrival %g\n" config.Config.default_input_arrival;
+  add "default-output-required %g\n" config.Config.default_output_required;
+  add "rise-fall %s\n" (if config.Config.rise_fall then "on" else "off");
+  add "max-iterations %d\n" config.Config.max_transfer_iterations;
+  add "partial-divisor %g\n" config.Config.partial_transfer_divisor;
+  List.iter
+    (fun (inst, n) -> add "multicycle %s %d\n" inst n)
+    config.Config.multicycle;
+  List.iter
+    (fun (port, timing) ->
+       let edge = timing.Config.edge in
+       add "%s %s clock %s %s pulse %d offset %g\n"
+         (* The direction is not recorded in [Config.port_timing]; emit
+            the override under 'input' — both directions parse the same
+            way and the design's port direction decides how it is used. *)
+         "input" port edge.Hb_clock.Edge.clock
+         (match edge.Hb_clock.Edge.polarity with
+          | Hb_clock.Edge.Leading -> "leading"
+          | Hb_clock.Edge.Trailing -> "trailing")
+         edge.Hb_clock.Edge.pulse timing.Config.offset)
+    config.Config.port_overrides;
+  Buffer.contents buffer

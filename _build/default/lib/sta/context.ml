@@ -1,0 +1,39 @@
+type t = {
+  design : Hb_netlist.Design.t;
+  system : Hb_clock.System.t;
+  config : Config.t;
+  elements : Elements.t;
+  table : Cluster.table;
+  passes : Passes.t;
+}
+
+let make ~design ~system ?(config = Config.default) ?delays () =
+  let elements = Elements.build ~design ~system ~config in
+  let table = Cluster.extract ~design ~elements ?delays () in
+  let passes = Passes.build ~system ~elements ~table in
+  { design; system; config; elements; table; passes }
+
+let same_edges a b =
+  Elements.count a = Elements.count b
+  && (let equal = ref true in
+      for i = 0 to Elements.count a - 1 do
+        let ea = Elements.element a i and eb = Elements.element b i in
+        if ea.Hb_sync.Element.assertion_edge <> eb.Hb_sync.Element.assertion_edge
+        || ea.Hb_sync.Element.closure_edge <> eb.Hb_sync.Element.closure_edge
+        then equal := false
+      done;
+      !equal)
+
+let update_design ctx ~design ?delays () =
+  if Hb_netlist.Design.instance_count design
+     <> Hb_netlist.Design.instance_count ctx.design
+  || Hb_netlist.Design.net_count design
+     <> Hb_netlist.Design.net_count ctx.design
+  then invalid_arg "Context.update_design: topology differs";
+  let elements = Elements.build ~design ~system:ctx.system ~config:ctx.config in
+  let table = Cluster.refresh_delays ctx.table ~design ?delays () in
+  let passes =
+    if same_edges elements ctx.elements then ctx.passes
+    else Passes.build ~system:ctx.system ~elements ~table
+  in
+  { ctx with design; elements; table; passes }

@@ -1,0 +1,39 @@
+(** Bundled analysis state: design, clocks, configuration, the element
+    table, cluster decomposition and pass plans.
+
+    Building a context performs all of Hummingbird's pre-processing
+    (control-cone tracing, replication, cluster generation and the
+    Section 7 pass-minimisation); the algorithms then iterate over it. *)
+
+type t = {
+  design : Hb_netlist.Design.t;
+  system : Hb_clock.System.t;
+  config : Config.t;
+  elements : Elements.t;
+  table : Cluster.table;
+  passes : Passes.t;
+}
+
+(** [make ~design ~system ?config ?delays ()] runs the pre-processing
+    stage. [delays] picks the component-delay estimator (default
+    {!Delays.lumped}).
+    @raise Elements.Build_error on control-cone violations.
+    @raise Cluster.Cycle_error on combinational cycles.
+    @raise Passes.Pass_error on clock-edge inconsistencies. *)
+val make :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
+  t
+
+(** [update_design ctx ~design ?delays ()] re-targets the context at a
+    topologically identical design (same ports, nets, instances and pin
+    connections — only cells/delays may differ, as after gate upsizing).
+    Cluster extraction is skipped (arc delays are refreshed in place) and
+    the pass plans are reused when every element's ideal edges are
+    unchanged. Falls back to full pass re-planning when they are not.
+    @raise Invalid_argument when the topology differs. *)
+val update_design :
+  t -> design:Hb_netlist.Design.t -> ?delays:Delays.t -> unit -> t

@@ -1,0 +1,162 @@
+exception Control_error of string
+
+type info = {
+  sync_inst : int;
+  clock_port : int;
+  clock : string;
+  inverted : bool;
+  control_delay : Hb_util.Time.t;
+  has_enables : bool;
+}
+
+let error fmt = Format.kasprintf (fun m -> raise (Control_error m)) fmt
+
+(* Per-net summary of the control cone behind it. *)
+type cone = {
+  (* Clock reaching this net, with control sense and worst delay. *)
+  cone_clock : (int * bool * Hb_util.Time.t) option;
+  cone_enable : bool;
+}
+
+let inverting_of_kind design inst_id = function
+  | Hb_cell.Kind.Inv | Hb_cell.Kind.Nand _ | Hb_cell.Kind.Nor _
+  | Hb_cell.Kind.Aoi22 | Hb_cell.Kind.Oai22 -> true
+  | Hb_cell.Kind.Buf | Hb_cell.Kind.And2 | Hb_cell.Kind.Or2 -> false
+  | Hb_cell.Kind.Xor2 | Hb_cell.Kind.Xnor2 | Hb_cell.Kind.Mux2
+  | Hb_cell.Kind.Majority3 | Hb_cell.Kind.Macro _ ->
+    error "non-monotonic cell %s in a control cone"
+      (Hb_netlist.Design.instance design inst_id).Hb_netlist.Design.inst_name
+
+let merge design a b =
+  let cone_clock =
+    match a.cone_clock, b.cone_clock with
+    | None, c | c, None -> c
+    | Some (pa, ia, da), Some (pb, ib, db) ->
+      if pa <> pb then
+        error "control cone reaches two clocks (%s and %s)"
+          (Hb_netlist.Design.port design pa).Hb_netlist.Design.port_name
+          (Hb_netlist.Design.port design pb).Hb_netlist.Design.port_name
+      else if ia <> ib then
+        error "control cone mixes both senses of clock %s"
+          (Hb_netlist.Design.port design pa).Hb_netlist.Design.port_name
+      else Some (pa, ia, Hb_util.Time.max da db)
+  in
+  { cone_clock; cone_enable = a.cone_enable || b.cone_enable }
+
+let no_cone = { cone_clock = None; cone_enable = false }
+
+(* Memoised depth-first walk over nets, towards the drivers. *)
+type walker = {
+  design : Hb_netlist.Design.t;
+  memo : (int, cone) Hashtbl.t;
+  in_progress : (int, unit) Hashtbl.t;
+}
+
+let rec cone_of_net w net_id =
+  match Hashtbl.find_opt w.memo net_id with
+  | Some cone -> cone
+  | None ->
+    if Hashtbl.mem w.in_progress net_id then
+      error "directed cycle in control cone at net %s"
+        (Hb_netlist.Design.net w.design net_id).Hb_netlist.Design.net_name;
+    Hashtbl.add w.in_progress net_id ();
+    let net = Hb_netlist.Design.net w.design net_id in
+    let cone =
+      List.fold_left
+        (fun acc driver -> merge w.design acc (cone_of_endpoint w net_id driver))
+        no_cone net.Hb_netlist.Design.drivers
+    in
+    Hashtbl.remove w.in_progress net_id;
+    Hashtbl.add w.memo net_id cone;
+    cone
+
+and cone_of_endpoint w net_id = function
+  | Hb_netlist.Design.Port p ->
+    if (Hb_netlist.Design.port w.design p).Hb_netlist.Design.is_clock then
+      { cone_clock = Some (p, false, 0.0); cone_enable = false }
+    else { cone_clock = None; cone_enable = true }
+  | Hb_netlist.Design.Pin { inst; pin } ->
+    let cell = (Hb_netlist.Design.instance w.design inst).Hb_netlist.Design.cell in
+    (match cell.Hb_cell.Cell.kind with
+     | Hb_cell.Kind.Sync _ -> { cone_clock = None; cone_enable = true }
+     | Hb_cell.Kind.Comb comb ->
+       let inverts = inverting_of_kind w.design inst comb in
+       let load =
+         (Hb_netlist.Design.net w.design net_id).Hb_netlist.Design.load_capacitance
+       in
+       List.fold_left
+         (fun acc (arc : Hb_cell.Cell.timing_arc) ->
+            match
+              Hb_netlist.Design.net_of_pin w.design ~inst
+                ~pin:arc.Hb_cell.Cell.from_pin
+            with
+            | None -> acc
+            | Some input_net ->
+              let child = cone_of_net w input_net in
+              let shifted =
+                match child.cone_clock with
+                | None -> child
+                | Some (p, inv, delay) ->
+                  let arc_delay = Hb_cell.Delay_model.worst arc.Hb_cell.Cell.delay ~load in
+                  { child with
+                    cone_clock = Some (p, inv <> inverts, delay +. arc_delay) }
+              in
+              merge w.design acc shifted)
+         no_cone
+         (Hb_cell.Cell.arcs_to cell ~output:pin))
+
+let control_pin_net design ~inst =
+  let cell = (Hb_netlist.Design.instance design inst).Hb_netlist.Design.cell in
+  match Hb_cell.Cell.control_pins cell with
+  | [ pin ] ->
+    (match Hb_netlist.Design.net_of_pin design ~inst ~pin:pin.Hb_cell.Cell.pin_name with
+     | Some net -> net
+     | None ->
+       error "instance %s: control pin unconnected"
+         (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name)
+  | [] ->
+    error "instance %s: synchroniser without a control pin"
+      (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+  | _ :: _ :: _ ->
+    error "instance %s: multiple control pins unsupported"
+      (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+
+let trace design ~inst =
+  let w = { design; memo = Hashtbl.create 64; in_progress = Hashtbl.create 16 } in
+  let net = control_pin_net design ~inst in
+  let cone = cone_of_net w net in
+  match cone.cone_clock with
+  | None ->
+    error "instance %s: no clock reaches the control input"
+      (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+  | Some (port, inverted, control_delay) ->
+    { sync_inst = inst;
+      clock_port = port;
+      clock = (Hb_netlist.Design.port design port).Hb_netlist.Design.port_name;
+      inverted;
+      control_delay;
+      has_enables = cone.cone_enable;
+    }
+
+let trace_all design =
+  (* Share one memo table across all instances: cones overlap heavily in
+     clock distribution trees. *)
+  let w = { design; memo = Hashtbl.create 256; in_progress = Hashtbl.create 16 } in
+  List.map
+    (fun inst ->
+       let net = control_pin_net design ~inst in
+       let cone = cone_of_net w net in
+       match cone.cone_clock with
+       | None ->
+         error "instance %s: no clock reaches the control input"
+           (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+       | Some (port, inverted, control_delay) ->
+         ( inst,
+           { sync_inst = inst;
+             clock_port = port;
+             clock = (Hb_netlist.Design.port design port).Hb_netlist.Design.port_name;
+             inverted;
+             control_delay;
+             has_enables = cone.cone_enable;
+           } ))
+    (Hb_netlist.Design.sync_instances design)

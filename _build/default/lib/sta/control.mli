@@ -1,0 +1,39 @@
+(** Control-cone tracing.
+
+    The paper assumes "the signal connected to the control input of every
+    synchronising element is a monotonic combinational logic function of
+    exactly one clock signal" (Section 3). This module verifies the
+    assumption and extracts, for every synchronising instance:
+
+    - the unique clock generator port in its control cone (by convention a
+      clock port's name names the waveform);
+    - the control sense: whether the control signal switches with or
+      against the clock (an inverted control swaps the roles of leading and
+      trailing edges);
+    - the worst clock-to-control propagation delay [O_at];
+    - whether any non-clock source (a synchronising-element output or a
+      non-clock primary input) feeds the cone — an {e enable}; such control
+      pins become enable-path endpoints in the cluster analysis. *)
+
+exception Control_error of string
+
+type info = {
+  sync_inst : int;         (** netlist instance id *)
+  clock_port : int;        (** netlist port id of the clock generator *)
+  clock : string;          (** waveform name (= the port's name) *)
+  inverted : bool;         (** control switches opposite to the clock *)
+  control_delay : Hb_util.Time.t;  (** worst clock→control-pin delay *)
+  has_enables : bool;      (** non-clock sources present in the cone *)
+}
+
+(** [trace design ~inst] analyses the control cone of the synchronising
+    instance [inst].
+    @raise Control_error when the cone violates the Section 3 assumptions:
+    no clock, more than one clock, inconsistent control sense, a
+    non-monotonic gate (xor/mux/majority/macro) in the cone, or a directed
+    cycle. *)
+val trace : Hb_netlist.Design.t -> inst:int -> info
+
+(** [trace_all design] runs {!trace} on every synchronising instance and
+    returns the results keyed by instance id. *)
+val trace_all : Hb_netlist.Design.t -> (int * info) list

@@ -1,0 +1,72 @@
+type corner = {
+  corner_name : string;
+  delay_scale : float;
+}
+
+let typical =
+  [ { corner_name = "fast"; delay_scale = 0.8 };
+    { corner_name = "nominal"; delay_scale = 1.0 };
+    { corner_name = "slow"; delay_scale = 1.25 };
+  ]
+
+type result = {
+  corner : corner;
+  status : Algorithm1.status;
+  worst_slack : Hb_util.Time.t;
+  hold_violations : int;
+}
+
+type report = {
+  results : result list;
+  all_corners_met : bool;
+  any_hold_violation : bool;
+}
+
+let scaled_delays ~base ~scale =
+  if scale <= 0.0 then invalid_arg "Corners.scaled_delays: scale must be positive";
+  { Delays.name = Printf.sprintf "%s x%g" base.Delays.name scale;
+    evaluate =
+      (fun ~design ~inst ~arc ~out_net ->
+         let rise, fall = base.Delays.evaluate ~design ~inst ~arc ~out_net in
+         (rise *. scale, fall *. scale));
+  }
+
+let analyse ~design ~system ?config ?(base = Delays.lumped)
+    ?(corners = typical) () =
+  let results =
+    List.map
+      (fun corner ->
+         let delays = scaled_delays ~base ~scale:corner.delay_scale in
+         let ctx = Context.make ~design ~system ?config ~delays () in
+         let outcome = Algorithm1.run ctx in
+         let hold = Holdcheck.check ctx in
+         { corner;
+           status = outcome.Algorithm1.status;
+           worst_slack = outcome.Algorithm1.final.Slacks.worst;
+           hold_violations = List.length hold;
+         })
+      corners
+  in
+  { results;
+    all_corners_met =
+      List.for_all (fun r -> r.status = Algorithm1.Meets_timing) results;
+    any_hold_violation = List.exists (fun r -> r.hold_violations > 0) results;
+  }
+
+let to_table report =
+  let rows =
+    List.map
+      (fun r ->
+         [ r.corner.corner_name;
+           Printf.sprintf "%.2f" r.corner.delay_scale;
+           Printf.sprintf "%.3f" r.worst_slack;
+           (match r.status with
+            | Algorithm1.Meets_timing -> "ok"
+            | Algorithm1.Slow_paths -> "TOO SLOW");
+           string_of_int r.hold_violations ])
+      report.results
+  in
+  Hb_util.Table.render
+    ~header:[ "corner"; "scale"; "worst slack"; "verdict"; "hold violations" ]
+    ~align:Hb_util.Table.[ Left; Right; Right; Left; Right ]
+    rows

@@ -1,0 +1,116 @@
+let escape name =
+  let buffer = Buffer.create (String.length name + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' | '\\' -> Buffer.add_char buffer '_'
+       | c -> Buffer.add_char buffer c)
+    name;
+  Buffer.contents buffer
+
+let design_graph (ctx : Context.t) (slacks : Slacks.t) =
+  let design = ctx.Context.design in
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "digraph %s {\n" (escape design.Hb_netlist.Design.design_name);
+  add "  rankdir=LR;\n  node [fontsize=10];\n";
+  let slow_net net =
+    let slack = slacks.Slacks.net_slack.(net) in
+    Hb_util.Time.is_finite slack && Hb_util.Time.le slack 0.0
+  in
+  (* An instance is hot when any of its nets is slow. *)
+  let hot_instance inst =
+    List.exists (fun (_, net) -> slow_net net)
+      (Hb_netlist.Design.instance design inst).Hb_netlist.Design.connections
+  in
+  for p = 0 to Hb_netlist.Design.port_count design - 1 do
+    let port = Hb_netlist.Design.port design p in
+    add "  \"port_%s\" [label=\"%s\" shape=oval%s];\n"
+      (escape port.Hb_netlist.Design.port_name)
+      (escape port.Hb_netlist.Design.port_name)
+      (if port.Hb_netlist.Design.is_clock then " style=dashed" else "")
+  done;
+  for i = 0 to Hb_netlist.Design.instance_count design - 1 do
+    let inst = Hb_netlist.Design.instance design i in
+    let shape =
+      if Hb_cell.Kind.is_sync inst.Hb_netlist.Design.cell.Hb_cell.Cell.kind
+      then "doubleoctagon"
+      else "box"
+    in
+    add "  \"i_%s\" [label=\"%s\\n%s\" shape=%s%s];\n"
+      (escape inst.Hb_netlist.Design.inst_name)
+      (escape inst.Hb_netlist.Design.inst_name)
+      (escape inst.Hb_netlist.Design.cell.Hb_cell.Cell.name)
+      shape
+      (if hot_instance i then " color=red penwidth=2" else "")
+  done;
+  (* One edge per (driver, load) pair of every net. *)
+  let node_of = function
+    | Hb_netlist.Design.Pin { inst; pin = _ } ->
+      Printf.sprintf "\"i_%s\""
+        (escape
+           (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name)
+    | Hb_netlist.Design.Port p ->
+      Printf.sprintf "\"port_%s\""
+        (escape (Hb_netlist.Design.port design p).Hb_netlist.Design.port_name)
+  in
+  for net_id = 0 to Hb_netlist.Design.net_count design - 1 do
+    let net = Hb_netlist.Design.net design net_id in
+    let attributes =
+      if slow_net net_id then
+        Printf.sprintf " [label=\"%s\" color=red penwidth=2 fontcolor=red]"
+          (escape net.Hb_netlist.Design.net_name)
+      else Printf.sprintf " [label=\"%s\"]" (escape net.Hb_netlist.Design.net_name)
+    in
+    List.iter
+      (fun driver ->
+         List.iter
+           (fun load ->
+              add "  %s -> %s%s;\n" (node_of driver) (node_of load) attributes)
+           net.Hb_netlist.Design.loads)
+      net.Hb_netlist.Design.drivers
+  done;
+  add "}\n";
+  Buffer.contents buffer
+
+let path_graph (ctx : Context.t) (path : Paths.path) =
+  let design = ctx.Context.design in
+  let elements = ctx.Context.elements in
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "digraph slow_path {\n  rankdir=LR;\n  node [fontsize=10 shape=box];\n";
+  let start = Elements.element elements path.Paths.start_element in
+  let finish = Elements.element elements path.Paths.end_element in
+  add "  \"start\" [label=\"%s\" shape=doubleoctagon];\n"
+    (escape start.Hb_sync.Element.label);
+  add "  \"end\" [label=\"%s\\nslack %.3f\" shape=doubleoctagon%s];\n"
+    (escape finish.Hb_sync.Element.label)
+    path.Paths.slack
+    (if Hb_util.Time.le path.Paths.slack 0.0 then " color=red penwidth=2" else "");
+  let previous = ref "\"start\"" in
+  List.iteri
+    (fun i (hop : Paths.hop) ->
+       let net_name =
+         (Hb_netlist.Design.net design hop.Paths.net).Hb_netlist.Design.net_name
+       in
+       match hop.Paths.via with
+       | None ->
+         add "  %s -> \"h%d\" [label=\"%s\"];\n" !previous i (escape net_name);
+         add "  \"h%d\" [label=\"@%.3f\" shape=plaintext];\n" i hop.Paths.at;
+         previous := Printf.sprintf "\"h%d\"" i
+       | Some inst ->
+         let inst_name =
+           (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+         in
+         add "  \"h%d\" [label=\"%s\\n@%.3f\"];\n" i (escape inst_name) hop.Paths.at;
+         add "  %s -> \"h%d\" [label=\"%s\"];\n" !previous i (escape net_name);
+         previous := Printf.sprintf "\"h%d\"" i)
+    path.Paths.hops;
+  add "  %s -> \"end\";\n" !previous;
+  add "}\n";
+  Buffer.contents buffer
+
+let write_file ~path text =
+  let oc = open_out path in
+  (try output_string oc text with e -> close_out oc; raise e);
+  close_out oc

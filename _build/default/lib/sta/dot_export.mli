@@ -1,0 +1,19 @@
+(** Graphviz export — the stand-in for viewing flagged slow paths in VEM.
+
+    The paper's Hummingbird wrote slow-path flags into the OCT database so
+    the VEM graphical editor could highlight them over the placed design;
+    here the same information renders as a [dot] digraph: cells and ports
+    are nodes, nets are edges, and everything lying on a too-slow path is
+    drawn red and bold. *)
+
+(** [design_graph ctx slacks] renders the whole design. Combinational
+    cells are boxes, synchronisers are double octagons, ports are ovals;
+    nets with non-positive slack (and the cells they touch) are
+    highlighted. *)
+val design_graph : Context.t -> Slacks.t -> string
+
+(** [path_graph ctx path] renders a single traced path as a chain. *)
+val path_graph : Context.t -> Paths.path -> string
+
+(** [write_file ~path text] convenience writer. *)
+val write_file : path:string -> string -> unit

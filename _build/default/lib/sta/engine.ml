@@ -1,0 +1,44 @@
+type timings = {
+  preprocess_seconds : float;
+  analysis_seconds : float;
+  constraints_seconds : float;
+}
+
+type report = {
+  context : Context.t;
+  outcome : Algorithm1.outcome;
+  constraints : Algorithm2.constraint_times option;
+  hold_violations : Holdcheck.violation list;
+  timings : timings;
+}
+
+let timed f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. start)
+
+let preprocess ~design ~system ?config ?delays () =
+  timed (fun () -> Context.make ~design ~system ?config ?delays ())
+
+let analyse ~design ~system ?config ?delays ?(generate_constraints = true)
+    ?(check_hold = true) () =
+  let context, preprocess_seconds =
+    preprocess ~design ~system ?config ?delays ()
+  in
+  let outcome, analysis_seconds = timed (fun () -> Algorithm1.run context) in
+  let constraints, constraints_seconds =
+    if generate_constraints then begin
+      let snapshot = Elements.save_offsets context.Context.elements in
+      let times, seconds = timed (fun () -> Algorithm2.run context) in
+      Elements.restore_offsets context.Context.elements snapshot;
+      (Some times, seconds)
+    end
+    else (None, 0.0)
+  in
+  let hold_violations = if check_hold then Holdcheck.check context else [] in
+  { context;
+    outcome;
+    constraints;
+    hold_violations;
+    timings = { preprocess_seconds; analysis_seconds; constraints_seconds };
+  }

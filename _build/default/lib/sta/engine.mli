@@ -1,0 +1,46 @@
+(** Top-level analysis facade: the "Hummingbird run".
+
+    Performs pre-processing (element table, clusters, Section 7 pass
+    minimisation), Algorithm 1 slow-path identification, optionally
+    Algorithm 2 constraint generation and the supplementary minimum-delay
+    checks, and reports cpu-time per phase — the quantities of the paper's
+    Table 1. *)
+
+type timings = {
+  preprocess_seconds : float;  (** cluster generation + pass minimisation *)
+  analysis_seconds : float;    (** Algorithm 1 *)
+  constraints_seconds : float; (** Algorithm 2, 0 when skipped *)
+}
+
+type report = {
+  context : Context.t;
+  outcome : Algorithm1.outcome;
+  constraints : Algorithm2.constraint_times option;
+  hold_violations : Holdcheck.violation list;
+  timings : timings;
+}
+
+(** [analyse ~design ~system ?config ?generate_constraints ?check_hold ()]
+    runs the full flow. [generate_constraints] (default true) runs
+    Algorithm 2 (element offsets are snapshotted around it so
+    [report.context] reflects Algorithm 1's final state). [check_hold]
+    (default true) runs the supplementary-constraint checks. *)
+val analyse :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  ?generate_constraints:bool ->
+  ?check_hold:bool ->
+  unit ->
+  report
+
+(** [preprocess ~design ~system ?config ()] builds just the context,
+    returning it with the elapsed cpu seconds. *)
+val preprocess :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
+  Context.t * float

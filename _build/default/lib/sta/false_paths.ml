@@ -1,0 +1,103 @@
+(* Index of a pin name within the cell's data-input pin order. *)
+let input_index cell pin_name =
+  let rec find i = function
+    | [] -> None
+    | pin :: rest ->
+      if String.equal pin.Hb_cell.Cell.pin_name pin_name then Some i
+      else find (i + 1) rest
+  in
+  find 0 (Hb_cell.Cell.input_pins cell)
+
+let statically_false (ctx : Context.t) (path : Paths.path) =
+  let design = ctx.Context.design in
+  (* Nets the transition travels through: requirements on them are not
+     static side values and are ignored. *)
+  let on_path_nets = Hashtbl.create 16 in
+  List.iter
+    (fun (hop : Paths.hop) -> Hashtbl.replace on_path_nets hop.Paths.net ())
+    path.Paths.hops;
+  (* Required static values per net. *)
+  let required : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let conflict = ref false in
+  let require net value =
+    if not (Hashtbl.mem on_path_nets net) then
+      match Hashtbl.find_opt required net with
+      | Some existing when existing <> value -> conflict := true
+      | Some _ -> ()
+      | None -> Hashtbl.replace required net value
+  in
+  let rec walk = function
+    | (previous : Paths.hop) :: (current : Paths.hop) :: rest ->
+      (match current.Paths.via with
+       | Some inst when not !conflict ->
+         let record = Hb_netlist.Design.instance design inst in
+         let cell = record.Hb_netlist.Design.cell in
+         (match cell.Hb_cell.Cell.kind with
+          | Hb_cell.Kind.Comb kind ->
+            let input_pins = Hb_cell.Cell.input_pins cell in
+            (* Pins of this instance fed by the previous hop's net. *)
+            let on_path_pins =
+              List.filter
+                (fun pin ->
+                   Hb_netlist.Design.net_of_pin design ~inst
+                     ~pin:pin.Hb_cell.Cell.pin_name
+                   = Some previous.Paths.net)
+                input_pins
+            in
+            (match on_path_pins with
+             | [ pin ] ->
+               (match input_index cell pin.Hb_cell.Cell.pin_name with
+                | None -> ()
+                | Some on_path ->
+                  List.iteri
+                    (fun side side_pin ->
+                       match
+                         Hb_logic.Func.side_requirement kind ~on_path ~side
+                       with
+                       | None -> ()
+                       | Some value ->
+                         (match
+                            Hb_netlist.Design.net_of_pin design ~inst
+                              ~pin:side_pin.Hb_cell.Cell.pin_name
+                          with
+                          | Some net -> require net value
+                          | None -> ()))
+                    input_pins)
+             | [] | _ :: _ :: _ ->
+               (* Ambiguous (same net on several pins) or untraceable:
+                  impose nothing — safe. *)
+               ())
+          | Hb_cell.Kind.Sync _ -> ())
+       | Some _ | None -> ());
+      walk (current :: rest)
+    | [ _ ] | [] -> ()
+  in
+  walk path.Paths.hops;
+  !conflict
+
+type refined = {
+  endpoint : int;
+  block_slack : Hb_util.Time.t;
+  true_slack : Hb_util.Time.t option;
+  examined : int;
+  false_skipped : int;
+}
+
+let refine_endpoint (ctx : Context.t) ~endpoint ?(limit = 64) () =
+  match Paths.enumerate ctx ~endpoint ~limit with
+  | [] -> None
+  | (first :: _) as paths ->
+    let rec find_true skipped = function
+      | [] -> (None, skipped)
+      | path :: rest ->
+        if statically_false ctx path then find_true (skipped + 1) rest
+        else (Some path.Paths.slack, skipped)
+    in
+    let true_slack, false_skipped = find_true 0 paths in
+    Some
+      { endpoint;
+        block_slack = first.Paths.slack;
+        true_slack;
+        examined = List.length paths;
+        false_skipped;
+      }

@@ -1,0 +1,38 @@
+(** Static false-path pruning — a safe refinement of the block method.
+
+    Section 7 of the paper accepts that with the block method " 'false
+    paths' (i.e. paths that can not actually be sensitised) can not be
+    discarded, and so the generated propagation delays and slacks tend to
+    be pessimistic. Pessimistic slacks are safe, however."
+
+    This module quantifies and (partially) removes that pessimism: a path
+    is {e provably} false when the static side-input values required to
+    propagate a transition along it conflict — some net would have to hold
+    both 0 and 1. Only purely conjunctive requirements are collected (see
+    {!Hb_logic.Func.side_requirement}), requirements landing on the path's
+    own nets are ignored, and gates with unknown or disjunctive behaviour
+    impose none; therefore a [true] verdict is a proof of falseness while
+    [false] just means "not provably false" — the refinement can only
+    remove pessimism, never create optimism. *)
+
+(** [statically_false ctx path] checks one traced path. *)
+val statically_false : Context.t -> Paths.path -> bool
+
+type refined = {
+  endpoint : int;
+  block_slack : Hb_util.Time.t;
+      (** slack of the worst path, false or not — what the block method
+          reports *)
+  true_slack : Hb_util.Time.t option;
+      (** slack of the worst not-provably-false path among the [limit]
+          worst; [None] when every examined path was false *)
+  examined : int;
+  false_skipped : int;
+}
+
+(** [refine_endpoint ctx ~endpoint ?limit ()] enumerates up to [limit]
+    (default 64) worst paths into the element's data input and locates the
+    worst sensitisable one. [None] when the endpoint has no constrained
+    paths. *)
+val refine_endpoint :
+  Context.t -> endpoint:int -> ?limit:int -> unit -> refined option

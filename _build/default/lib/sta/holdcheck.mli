@@ -1,0 +1,26 @@
+(** Supplementary (minimum-delay) path constraints — an extension.
+
+    Section 4 of the paper defines, for every combinational path ending at
+    a data input controlled by a clock of period [T_y], the supplementary
+    constraint [dmin_p > D_p - O_y + O_x - T_y]: "the signal at the data
+    input must not be updated more than [T_y] before the input closure
+    time". The paper's algorithms deliberately do not act on these
+    constraints; Hummingbird-in-OCaml checks and reports them, since a
+    violated one means the system misbehaves even with every max-delay
+    path fast enough (e.g. under badly asymmetric control-path delays). *)
+
+type violation = {
+  element : int;            (** endpoint element id *)
+  label : string;
+  margin : Hb_util.Time.t;  (** by how much the constraint fails
+                                (positive number = size of violation) *)
+}
+
+(** [check ctx] evaluates the supplementary constraint for every connected
+    input/output terminal pair under the current offsets. Pair enumeration
+    (rather than the merged block sweep) is essential here: with multi-rate
+    endpoints, an input paired with an early closure replica must not be
+    tested against the later replicas, or spurious violations appear.
+    Returns one violation per endpoint element (its worst pair), sorted by
+    decreasing margin. *)
+val check : Context.t -> violation list

@@ -1,0 +1,81 @@
+let escape_string s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | '\r' -> Buffer.add_string buffer "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let number f =
+  if Float.is_finite f then
+    (* %.17g round-trips doubles but is noisy; %.6f is ample for ns. *)
+    Printf.sprintf "%.6f" f
+  else "null"
+
+let report (r : Engine.report) =
+  let ctx = r.Engine.context in
+  let outcome = r.Engine.outcome in
+  let slacks = outcome.Algorithm1.final in
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "{\n";
+  add "  \"design\": \"%s\",\n"
+    (escape_string ctx.Context.design.Hb_netlist.Design.design_name);
+  add "  \"period\": %s,\n"
+    (number ctx.Context.system.Hb_clock.System.overall_period);
+  add "  \"verdict\": \"%s\",\n"
+    (match outcome.Algorithm1.status with
+     | Algorithm1.Meets_timing -> "meets_timing"
+     | Algorithm1.Slow_paths -> "slow_paths");
+  add "  \"worst_slack\": %s,\n" (number slacks.Slacks.worst);
+  let settling = Baseline.settling_times ctx in
+  add "  \"passes\": {\"minimum\": %d, \"per_edge\": %d},\n"
+    settling.Baseline.minimized_passes settling.Baseline.naive_settling_times;
+  (* Endpoints ascending by slack. *)
+  let endpoints = ref [] in
+  Array.iteri
+    (fun e slack ->
+       if Hb_util.Time.is_finite slack then
+         endpoints :=
+           ( (Elements.element ctx.Context.elements e).Hb_sync.Element.label,
+             slack )
+           :: !endpoints)
+    slacks.Slacks.element_input_slack;
+  let endpoints = List.sort (fun (_, a) (_, b) -> compare a b) !endpoints in
+  add "  \"endpoints\": [";
+  List.iteri
+    (fun i (label, slack) ->
+       add "%s\n    {\"element\": \"%s\", \"slack\": %s}"
+         (if i = 0 then "" else ",")
+         (escape_string label) (number slack))
+    endpoints;
+  add "\n  ],\n";
+  add "  \"slow_nets\": [";
+  List.iteri
+    (fun i net ->
+       add "%s\"%s\"" (if i = 0 then "" else ", ") (escape_string net))
+    (Report.slow_nets ctx slacks);
+  add "],\n";
+  add "  \"hold_violations\": [";
+  List.iteri
+    (fun i (v : Holdcheck.violation) ->
+       add "%s\n    {\"element\": \"%s\", \"margin\": %s}"
+         (if i = 0 then "" else ",")
+         (escape_string v.Holdcheck.label)
+         (number v.Holdcheck.margin))
+    r.Engine.hold_violations;
+  add "\n  ],\n";
+  add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s}\n"
+    (number r.Engine.timings.Engine.preprocess_seconds)
+    (number r.Engine.timings.Engine.analysis_seconds)
+    (number r.Engine.timings.Engine.constraints_seconds);
+  add "}\n";
+  Buffer.contents buffer

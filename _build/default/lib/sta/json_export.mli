@@ -1,0 +1,26 @@
+(** JSON rendering of analysis results, for downstream tooling.
+
+    Self-contained (no JSON library dependency): emits a stable schema —
+
+    {v
+    {
+      "design": "...", "period": 100.0,
+      "verdict": "meets_timing" | "slow_paths",
+      "worst_slack": -1.25,
+      "passes": {"minimum": 12, "per_edge": 19},
+      "endpoints": [ {"element": "ff2#0", "slack": 3.5}, ... ],
+      "slow_nets": ["n1", ...],
+      "hold_violations": [ {"element": "...", "margin": 0.4}, ... ],
+      "timings": {"preprocess_s": ..., "analysis_s": ..., "constraints_s": ...}
+    }
+    v}
+
+    Endpoint entries cover every element with a finite data-input slack,
+    ascending by slack. Non-finite numbers are rendered as [null]. *)
+
+(** [report report] renders an {!Engine.report}. *)
+val report : Engine.report -> string
+
+(** [escape_string s] is the JSON string escaping used throughout
+    (exposed for tests). *)
+val escape_string : string -> string

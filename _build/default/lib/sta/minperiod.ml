@@ -1,0 +1,57 @@
+type result = {
+  min_period : Hb_util.Time.t;
+  worst_slack_at_min : Hb_util.Time.t;
+  evaluations : int;
+}
+
+let scaled_system (template : Hb_clock.System.t) ~period =
+  let scale = period /. template.Hb_clock.System.overall_period in
+  Hb_clock.System.make ~overall_period:period
+    (List.map
+       (fun w ->
+          Hb_clock.Waveform.make ~name:w.Hb_clock.Waveform.name
+            ~multiplier:w.Hb_clock.Waveform.multiplier
+            ~rise:(w.Hb_clock.Waveform.rise *. scale)
+            ~width:(w.Hb_clock.Waveform.width *. scale))
+       template.Hb_clock.System.waveforms)
+
+let search ~design ~template ?config
+    ?lo ?hi ?(tolerance = 0.01) () =
+  let template_period = template.Hb_clock.System.overall_period in
+  let lo = Option.value ~default:(template_period /. 100.0) lo in
+  let hi = Option.value ~default:template_period hi in
+  if lo >= hi then failwith "Minperiod.search: lo must be below hi";
+  let evaluations = ref 0 in
+  let evaluate period =
+    incr evaluations;
+    let system = scaled_system template ~period in
+    let ctx = Context.make ~design ~system ?config () in
+    let outcome = Algorithm1.run ctx in
+    ( outcome.Algorithm1.status = Algorithm1.Meets_timing,
+      outcome.Algorithm1.final.Slacks.worst )
+  in
+  let ok_hi, slack_hi = evaluate hi in
+  if not ok_hi then
+    failwith
+      (Printf.sprintf
+         "Minperiod.search: design misses timing even at %g ns (worst %g)"
+         hi slack_hi);
+  let ok_lo, _ = evaluate lo in
+  if ok_lo then
+    { min_period = lo; worst_slack_at_min = snd (evaluate lo); evaluations = !evaluations }
+  else begin
+    (* Invariant: lo fails, hi passes. *)
+    let lo = ref lo and hi = ref hi in
+    let best_slack = ref slack_hi in
+    while !hi -. !lo > tolerance do
+      let mid = (!lo +. !hi) /. 2.0 in
+      let ok, slack = evaluate mid in
+      if ok then begin
+        hi := mid;
+        best_slack := slack
+      end
+      else lo := mid
+    done;
+    { min_period = !hi; worst_slack_at_min = !best_slack;
+      evaluations = !evaluations }
+  end

@@ -1,0 +1,36 @@
+(** Minimum-period search.
+
+    The interactive question behind the paper's what-if mode: how fast can
+    this design be clocked? The search scales every waveform of a template
+    clock system proportionally (keeping duty cycles and phase
+    relationships) and bisects on the verdict of Algorithm 1. Worst slack
+    is monotone in the period under proportional scaling, so bisection is
+    exact up to the tolerance. *)
+
+type result = {
+  min_period : Hb_util.Time.t;
+      (** smallest period within tolerance at which timing is met *)
+  worst_slack_at_min : Hb_util.Time.t;
+  evaluations : int;  (** Algorithm 1 runs spent *)
+}
+
+(** [search ~design ~template ?config ?lo ?hi ?tolerance ()] bisects in
+    [[lo, hi]] (defaults: [lo] = 1% of the template period, [hi] = the
+    template period). [tolerance] defaults to 0.01 ns.
+
+    @raise Failure when the design fails even at [hi], or (trivially)
+    already passes at [lo]. *)
+val search :
+  design:Hb_netlist.Design.t ->
+  template:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?lo:Hb_util.Time.t ->
+  ?hi:Hb_util.Time.t ->
+  ?tolerance:Hb_util.Time.t ->
+  unit ->
+  result
+
+(** [scaled_system template ~period] is the template with every waveform's
+    rise and width scaled by [period / template period]. *)
+val scaled_system :
+  Hb_clock.System.t -> period:Hb_util.Time.t -> Hb_clock.System.t

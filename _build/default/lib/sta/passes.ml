@@ -1,0 +1,111 @@
+type plan = {
+  cluster : int;
+  cuts : int list;
+  assignment : int array;
+}
+
+type t = {
+  system : Hb_clock.System.t;
+  node_count : int;
+  node_time : Hb_util.Time.t array;
+  plans : plan array;
+  edge_index : (Hb_clock.Edge.t, int) Hashtbl.t;
+}
+
+exception Pass_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Pass_error m)) fmt
+
+(* Shared edge-index table; rebuilt cheaply per [build] and embedded in the
+   closures below via hashtable lookup on demand. *)
+let edge_table system =
+  let edges = Hb_clock.System.edges system in
+  let index = Hashtbl.create (Array.length edges * 2) in
+  Array.iteri (fun i (edge, _) -> Hashtbl.replace index edge i) edges;
+  (edges, index)
+
+let node_lookup index edge =
+  match Hashtbl.find_opt index edge with
+  | Some i -> i
+  | None -> error "edge %s not in the clock system" (Hb_clock.Edge.to_string edge)
+
+(* Node 2i is the closure event of edge i, node 2i+1 its assertion event;
+   closure sorts first at equal instants. *)
+let closure_node_of_index i = 2 * i
+let assertion_node_of_index i = (2 * i) + 1
+
+let closure_node t edge = closure_node_of_index (node_lookup t.edge_index edge)
+let assertion_node t edge = assertion_node_of_index (node_lookup t.edge_index edge)
+
+let linear_time t ~cut ~node =
+  let n = t.node_count in
+  let first = (cut + 1) mod n in
+  let base = t.node_time.(node) -. t.node_time.(first) in
+  if node < first then base +. t.system.Hb_clock.System.overall_period else base
+
+let build ~system ~elements ~table =
+  let edges, index = edge_table system in
+  let node_count = Stdlib.max 1 (2 * Array.length edges) in
+  let node_time =
+    if Array.length edges = 0 then [| 0.0 |]
+    else
+      Array.init node_count (fun node -> snd edges.(node / 2))
+  in
+  let plans =
+    Array.map
+      (fun (cluster : Cluster.t) ->
+         (* Requirements: one per connected input/output terminal pair. *)
+         let requirements = ref [] in
+         Array.iteri
+           (fun input_index (input : Cluster.terminal) ->
+              let input_element = Elements.element elements input.Cluster.element in
+              match input_element.Hb_sync.Element.assertion_edge with
+              | None -> ()
+              | Some assertion_edge ->
+                let a_node =
+                  assertion_node_of_index (node_lookup index assertion_edge)
+                in
+                List.iter
+                  (fun output_index ->
+                     let output = cluster.Cluster.outputs.(output_index) in
+                     let output_element =
+                       Elements.element elements output.Cluster.element
+                     in
+                     match output_element.Hb_sync.Element.closure_edge with
+                     | None -> ()
+                     | Some closure_edge ->
+                       let c_node =
+                         closure_node_of_index (node_lookup index closure_edge)
+                       in
+                       requirements :=
+                         { Hb_clock.Break.before = a_node; after = c_node }
+                         :: !requirements)
+                  (Cluster.reachable_outputs cluster
+                     ~input_terminal_index:input_index))
+           cluster.Cluster.inputs;
+         let cuts = Hb_clock.Break.solve ~node_count !requirements in
+         let assignment =
+           Array.map
+             (fun (output : Cluster.terminal) ->
+                let output_element =
+                  Elements.element elements output.Cluster.element
+                in
+                match output_element.Hb_sync.Element.closure_edge with
+                | None -> -1
+                | Some closure_edge ->
+                  let c_node =
+                    closure_node_of_index (node_lookup index closure_edge)
+                  in
+                  Hb_clock.Break.assign ~node_count ~cuts c_node)
+             cluster.Cluster.outputs
+         in
+         { cluster = cluster.Cluster.id; cuts; assignment })
+      table.Cluster.clusters
+  in
+  { system; node_count; node_time; plans; edge_index = index }
+
+let total_passes t =
+  Array.fold_left (fun acc plan -> acc + List.length plan.cuts) 0 t.plans
+
+let max_passes t =
+  Array.fold_left (fun acc plan -> Stdlib.max acc (List.length plan.cuts)) 0 t.plans

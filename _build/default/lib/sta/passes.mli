@@ -1,0 +1,63 @@
+(** Pre-processing: minimum analysis passes per cluster (paper, Section 7).
+
+    The clock-edge graph is built with {e two} nodes per clock edge: a
+    closure-event node ordered immediately {e before} the assertion-event
+    node at the same instant. A combinational path whose ideal assertion
+    and closure reference the same clock edge (the ubiquitous
+    flip-flop-to-flip-flop-same-phase case) then induces the ordering
+    requirement "assertion node before closure node", which is satisfied
+    exactly by breaking the period between the two — giving the path its
+    full-period ideal constraint without a special case. The paper's
+    Figure 4 construction is recovered when assertion and closure edges
+    differ.
+
+    For each cluster, one ordering requirement is added per
+    input-terminal/output-terminal pair connected by a path, the minimum
+    cut set is found with {!Hb_clock.Break.solve}, and every output
+    terminal is assigned to the chosen cut that places its ideal closure
+    time closest to the end of the broken-open period. *)
+
+type plan = {
+  cluster : int;
+  cuts : int list;
+      (** minimal set of break-open positions = analysis passes *)
+  assignment : int array;
+      (** output terminal index → its cut (pass); [-1] for outputs without
+          a closure edge (impossible for well-formed elements) *)
+}
+
+type t = {
+  system : Hb_clock.System.t;
+  node_count : int;            (** 2 × number of clock edges (min 1) *)
+  node_time : Hb_util.Time.t array;
+  plans : plan array;          (** indexed by cluster id *)
+  edge_index : (Hb_clock.Edge.t, int) Hashtbl.t;
+      (** edge → index into the sorted edge array *)
+}
+
+exception Pass_error of string
+
+(** [closure_node t edge] / [assertion_node t edge] map an edge to its two
+    graph nodes.
+    @raise Pass_error when the edge is not part of the clock system. *)
+val closure_node : t -> Hb_clock.Edge.t -> int
+val assertion_node : t -> Hb_clock.Edge.t -> int
+
+(** [linear_time t ~cut ~node] places [node] on the broken-open time axis
+    [[0, T)) ∪ [T, 2T)) starting at the cut: nodes that wrap past the cut
+    are shifted one overall period later. *)
+val linear_time : t -> cut:int -> node:int -> Hb_util.Time.t
+
+(** [build ~system ~elements ~table] computes a plan for every cluster. *)
+val build :
+  system:Hb_clock.System.t ->
+  elements:Elements.t ->
+  table:Cluster.table ->
+  t
+
+(** [total_passes t] sums pass counts over clusters — the figure the
+    paper's "minimum number of settling times" feature minimises. *)
+val total_passes : t -> int
+
+(** [max_passes t] is the largest per-cluster pass count. *)
+val max_passes : t -> int

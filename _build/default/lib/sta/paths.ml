@@ -1,0 +1,269 @@
+type hop = {
+  net : int;
+  via : int option;
+  at : Hb_util.Time.t;
+}
+
+type path = {
+  start_element : int;
+  end_element : int;
+  cluster : int;
+  cut : int;
+  slack : Hb_util.Time.t;
+  hops : hop list;
+}
+
+let worst_endpoints (_ctx : Context.t) (slacks : Slacks.t) ~limit =
+  let all = ref [] in
+  Array.iteri
+    (fun e slack ->
+       if Hb_util.Time.is_finite slack then all := (e, slack) :: !all)
+    slacks.Slacks.element_input_slack;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !all in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take limit sorted
+
+(* The pass an output terminal is analysed in, per the cluster plan. *)
+let assigned_cut (ctx : Context.t) (cluster : Cluster.t) ~endpoint =
+  let plan = ctx.Context.passes.Passes.plans.(cluster.Cluster.id) in
+  let found = ref None in
+  Array.iteri
+    (fun output_index (terminal : Cluster.terminal) ->
+       if terminal.Cluster.element = endpoint && !found = None then
+         found := Some plan.Passes.assignment.(output_index))
+    cluster.Cluster.outputs;
+  !found
+
+let critical_path (ctx : Context.t) ~endpoint =
+  match ctx.Context.elements.Elements.reads.(endpoint) with
+  | None -> None
+  | Some global_net ->
+    let cluster_id = ctx.Context.table.Cluster.cluster_of_net.(global_net) in
+    let cluster = ctx.Context.table.Cluster.clusters.(cluster_id) in
+    (match assigned_cut ctx cluster ~endpoint with
+     | None | Some (-1) -> None
+     | Some cut ->
+       let passes = ctx.Context.passes in
+       let elements = ctx.Context.elements in
+       let mode : Block.mode =
+         if ctx.Context.config.Config.rise_fall then `Rise_fall else `Scalar
+       in
+       let result = Block.evaluate ~passes ~elements ~cluster ~cut ~mode () in
+       let end_net = ctx.Context.table.Cluster.local_of_net.(global_net) in
+       if not (Hb_util.Time.is_finite result.Block.ready.(end_net)) then None
+       else begin
+         let element = Elements.element elements endpoint in
+         let closure =
+           match Block.closure_time passes element ~cut with
+           | Some t -> t
+           | None -> Hb_util.Time.infinity
+         in
+         let slack = closure -. result.Block.ready.(end_net) in
+         (* Arrival of one polarity at a local net; [`Worst] is the scalar
+            view (both polarity arrays coincide in scalar mode). *)
+         let arrival net = function
+           | `Rise -> result.Block.ready_rise.(net)
+           | `Fall -> result.Block.ready_fall.(net)
+           | `Worst -> result.Block.ready.(net)
+         in
+         (* The source polarity and delay of an arc that could realise the
+            given output polarity. *)
+         let arc_step (arc : Cluster.arc) pol =
+           match mode, pol with
+           | `Scalar, _ | _, `Worst -> (`Worst, arc.Cluster.dmax)
+           | `Rise_fall, `Rise ->
+             ((match arc.Cluster.sense with
+               | `Positive -> `Rise
+               | `Negative -> `Fall
+               | `Non_unate -> `Worst),
+              arc.Cluster.rise)
+           | `Rise_fall, `Fall ->
+             ((match arc.Cluster.sense with
+               | `Positive -> `Fall
+               | `Negative -> `Rise
+               | `Non_unate -> `Worst),
+              arc.Cluster.fall)
+         in
+         (* Walk backwards along arcs that realise the ready time of the
+            critical polarity. *)
+         let rec backtrack net pol acc =
+           let ready = arrival net pol in
+           let source =
+             List.find_map
+               (fun arc_index ->
+                  let arc = cluster.Cluster.arcs.(arc_index) in
+                  let src_pol, delay = arc_step arc pol in
+                  let src = arrival arc.Cluster.from_net src_pol in
+                  if Hb_util.Time.is_finite src
+                  && Hb_util.Time.equal (src +. delay) ready
+                  then Some (arc, src_pol)
+                  else None)
+               cluster.Cluster.pred.(net)
+           in
+           match source with
+           | Some (arc, src_pol) ->
+             let hop =
+               { net = cluster.Cluster.nets.(net);
+                 via = Some arc.Cluster.inst;
+                 at = ready }
+             in
+             backtrack arc.Cluster.from_net src_pol (hop :: acc)
+           | None ->
+             (net, { net = cluster.Cluster.nets.(net); via = None; at = ready } :: acc)
+         in
+         let end_pol =
+           match mode with
+           | `Scalar -> `Worst
+           | `Rise_fall ->
+             if result.Block.ready_rise.(end_net)
+                >= result.Block.ready_fall.(end_net)
+             then `Rise
+             else `Fall
+         in
+         let start_net, hops = backtrack end_net end_pol [] in
+         (* Which input element launches at exactly the start ready
+            time? *)
+         let start_ready = result.Block.ready.(start_net) in
+         let launcher = ref None in
+         Array.iter
+           (fun (terminal : Cluster.terminal) ->
+              if terminal.Cluster.net = start_net && !launcher = None then begin
+                let candidate = Elements.element elements terminal.Cluster.element in
+                match Block.assertion_time passes candidate ~cut with
+                | Some t when Hb_util.Time.equal t start_ready ->
+                  launcher := Some terminal.Cluster.element
+                | Some _ | None -> ()
+              end)
+           cluster.Cluster.inputs;
+         match !launcher with
+         | None -> None
+         | Some start_element ->
+           Some { start_element; end_element = endpoint;
+                  cluster = cluster_id; cut; slack; hops }
+       end)
+
+let worst_paths ctx slacks ~limit =
+  List.filter_map
+    (fun (endpoint, _) -> critical_path ctx ~endpoint)
+    (worst_endpoints ctx slacks ~limit)
+
+let slow_paths ctx slacks ~limit =
+  List.filter_map
+    (fun (endpoint, slack) ->
+       if Hb_util.Time.le slack 0.0 then critical_path ctx ~endpoint else None)
+    (worst_endpoints ctx slacks ~limit)
+
+(* K-worst path enumeration by best-first search over partial paths: each
+   state's priority is its arrival so far plus the longest remaining delay
+   to the endpoint, so states pop in exact order of final arrival and the
+   first [limit] completed paths are the worst [limit] paths. Uses the
+   scalar (worst-delay) arrival view. *)
+let enumerate (ctx : Context.t) ~endpoint ~limit =
+  match ctx.Context.elements.Elements.reads.(endpoint) with
+  | None -> []
+  | Some global_net ->
+    let cluster_id = ctx.Context.table.Cluster.cluster_of_net.(global_net) in
+    let cluster = ctx.Context.table.Cluster.clusters.(cluster_id) in
+    (match assigned_cut ctx cluster ~endpoint with
+     | None | Some (-1) -> []
+     | Some cut ->
+       let passes = ctx.Context.passes in
+       let elements = ctx.Context.elements in
+       let end_net = ctx.Context.table.Cluster.local_of_net.(global_net) in
+       let element = Elements.element elements endpoint in
+       (match Block.closure_time passes element ~cut with
+        | None -> []
+        | Some closure ->
+          let n = Array.length cluster.Cluster.nets in
+          (* Longest delay from each net to the endpoint net. *)
+          let remaining = Array.make n Hb_util.Time.neg_infinity in
+          remaining.(end_net) <- 0.0;
+          for i = Array.length cluster.Cluster.topo - 1 downto 0 do
+            let net = cluster.Cluster.topo.(i) in
+            List.iter
+              (fun arc_index ->
+                 let arc = cluster.Cluster.arcs.(arc_index) in
+                 if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net) then begin
+                   let d = remaining.(arc.Cluster.to_net) +. arc.Cluster.dmax in
+                   if d > remaining.(net) then remaining.(net) <- d
+                 end)
+              cluster.Cluster.succ.(net)
+          done;
+          (* Best-first search; priority is negated final-arrival bound so
+             the min-heap pops worst paths first. *)
+          let heap = Hb_util.Heap.create () in
+          Array.iter
+            (fun (terminal : Cluster.terminal) ->
+               if Hb_util.Time.is_finite remaining.(terminal.Cluster.net) then begin
+                 let source = Elements.element elements terminal.Cluster.element in
+                 match Block.assertion_time passes source ~cut with
+                 | None -> ()
+                 | Some t ->
+                   let hops =
+                     [ { net = cluster.Cluster.nets.(terminal.Cluster.net);
+                         via = None; at = t } ]
+                   in
+                   Hb_util.Heap.push heap
+                     ~priority:(-.(t +. remaining.(terminal.Cluster.net)))
+                     (terminal.Cluster.element, terminal.Cluster.net, t, hops)
+               end)
+            cluster.Cluster.inputs;
+          let results = ref [] in
+          let found = ref 0 in
+          while !found < limit && not (Hb_util.Heap.is_empty heap) do
+            let _, (start_element, net, arrival, hops) = Hb_util.Heap.pop heap in
+            if net = end_net then begin
+              incr found;
+              results :=
+                { start_element;
+                  end_element = endpoint;
+                  cluster = cluster_id;
+                  cut;
+                  slack = closure -. arrival;
+                  hops = List.rev hops;
+                }
+                :: !results
+            end
+            else
+              List.iter
+                (fun arc_index ->
+                   let arc = cluster.Cluster.arcs.(arc_index) in
+                   if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net)
+                   then begin
+                     let t = arrival +. arc.Cluster.dmax in
+                     let hop =
+                       { net = cluster.Cluster.nets.(arc.Cluster.to_net);
+                         via = Some arc.Cluster.inst;
+                         at = t }
+                     in
+                     Hb_util.Heap.push heap
+                       ~priority:(-.(t +. remaining.(arc.Cluster.to_net)))
+                       (start_element, arc.Cluster.to_net, t, hop :: hops)
+                   end)
+                cluster.Cluster.succ.(net)
+          done;
+          List.rev !results))
+
+let pp (ctx : Context.t) ppf path =
+  let design = ctx.Context.design in
+  let elements = ctx.Context.elements in
+  let start = Elements.element elements path.start_element in
+  let finish = Elements.element elements path.end_element in
+  Format.fprintf ppf "@[<v 2>path (slack %a) %s -> %s:@,"
+    Hb_util.Time.pp path.slack
+    start.Hb_sync.Element.label finish.Hb_sync.Element.label;
+  List.iter
+    (fun hop ->
+       let net_name = (Hb_netlist.Design.net design hop.net).Hb_netlist.Design.net_name in
+       match hop.via with
+       | None -> Format.fprintf ppf "launch  %-20s @@ %a@," net_name Hb_util.Time.pp hop.at
+       | Some inst ->
+         Format.fprintf ppf "via %-10s -> %-12s @@ %a@,"
+           (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+           net_name Hb_util.Time.pp hop.at)
+    path.hops;
+  Format.fprintf ppf "@]"

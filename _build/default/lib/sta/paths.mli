@@ -1,0 +1,52 @@
+(** Slow-path and critical-path extraction.
+
+    Problem statement (i) of the paper: "find all paths that are too
+    slow". After Algorithm 1 has settled the offsets, every data-input
+    terminal with non-positive slack anchors at least one slow path; this
+    module traces the paths through the cluster graphs for reporting and
+    for flagging back into the netlist. *)
+
+(** One step of a path: the signal reaches [net] (global id) through
+    combinational instance [via] ([None] for the launching net). *)
+type hop = {
+  net : int;
+  via : int option;
+  at : Hb_util.Time.t;  (** ready time on the pass's broken-open axis *)
+}
+
+type path = {
+  start_element : int;  (** element id launching the path *)
+  end_element : int;    (** element id whose closure ends the path *)
+  cluster : int;
+  cut : int;            (** pass in which the path was traced *)
+  slack : Hb_util.Time.t;
+  hops : hop list;      (** launching net first *)
+}
+
+(** [worst_endpoints ctx slacks ~limit] lists up to [limit] element ids
+    with the smallest data-input slacks, ascending. *)
+val worst_endpoints : Context.t -> Slacks.t -> limit:int -> (int * Hb_util.Time.t) list
+
+(** [critical_path ctx ~endpoint] traces the single worst path converging
+    on the element's data input, at the current offsets. [None] when the
+    endpoint reads no net or no signal reaches it. *)
+val critical_path : Context.t -> endpoint:int -> path option
+
+(** [worst_paths ctx slacks ~limit] is the critical path of each of the
+    [limit] worst endpoints. *)
+val worst_paths : Context.t -> Slacks.t -> limit:int -> path list
+
+(** [slow_paths ctx slacks ~limit] is the critical path of every endpoint
+    with non-positive slack (up to [limit] endpoints). *)
+val slow_paths : Context.t -> Slacks.t -> limit:int -> path list
+
+(** [enumerate ctx ~endpoint ~limit] lists up to [limit] distinct paths
+    converging on the element's data input, worst slack first. Unlike
+    {!critical_path} (which follows only arrival-realising arcs), this
+    explores every path and ranks by true per-path slack, so
+    near-critical paths behind the worst one are visible — what a
+    designer asks right after fixing the first violation. *)
+val enumerate : Context.t -> endpoint:int -> limit:int -> path list
+
+(** [pp ctx] renders a path with instance and net names. *)
+val pp : Context.t -> Format.formatter -> path -> unit

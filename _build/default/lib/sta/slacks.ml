@@ -1,0 +1,112 @@
+type t = {
+  element_input_slack : Hb_util.Time.t array;
+  element_output_slack : Hb_util.Time.t array;
+  net_slack : Hb_util.Time.t array;
+  net_ready : Hb_util.Time.t array;
+  net_required : Hb_util.Time.t array;
+  worst : Hb_util.Time.t;
+}
+
+let compute ?mode (ctx : Context.t) =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None ->
+      if ctx.Context.config.Config.rise_fall then `Rise_fall else `Scalar
+  in
+  let element_count = Elements.count ctx.Context.elements in
+  let net_count = Hb_netlist.Design.net_count ctx.Context.design in
+  let element_input_slack = Array.make element_count Hb_util.Time.infinity in
+  let element_output_slack = Array.make element_count Hb_util.Time.infinity in
+  let net_slack = Array.make net_count Hb_util.Time.infinity in
+  let net_ready = Array.make net_count Float.nan in
+  let net_required = Array.make net_count Float.nan in
+  let passes = ctx.Context.passes in
+  Array.iter
+    (fun (cluster : Cluster.t) ->
+       let plan = passes.Passes.plans.(cluster.Cluster.id) in
+       List.iter
+         (fun cut ->
+            let result =
+              Block.evaluate ~passes ~elements:ctx.Context.elements ~cluster ~cut
+                ~mode ()
+            in
+            let first = (cut + 1) mod passes.Passes.node_count in
+            let origin = passes.Passes.node_time.(first) in
+            (* Recorded times stay on the pass's broken-open axis (offset
+               by the pass origin, NOT reduced modulo the period):
+               reducing would scramble the ready/required ordering for
+               windows that span the wrap. Subtract multiples of the
+               period to place a value inside the clock period. *)
+            let absolute t = t +. origin in
+            (* Net slacks and recorded times. *)
+            Array.iteri
+              (fun local global ->
+                 let ready = result.Block.ready.(local) in
+                 let required = result.Block.required.(local) in
+                 if Hb_util.Time.is_finite ready
+                 && Hb_util.Time.is_finite required then begin
+                   let slack = required -. ready in
+                   if slack < net_slack.(global) then begin
+                     net_slack.(global) <- slack;
+                     net_ready.(global) <- absolute ready;
+                     net_required.(global) <- absolute required
+                   end
+                 end)
+              cluster.Cluster.nets;
+            (* Output-terminal (element data-input) slacks: only in the
+               assigned pass. *)
+            Array.iteri
+              (fun output_index (terminal : Cluster.terminal) ->
+                 if plan.Passes.assignment.(output_index) = cut then begin
+                   let element =
+                     Elements.element ctx.Context.elements terminal.Cluster.element
+                   in
+                   match Block.closure_time passes element ~cut with
+                   | None -> ()
+                   | Some closure ->
+                     let ready = result.Block.ready.(terminal.Cluster.net) in
+                     if Hb_util.Time.is_finite ready then begin
+                       let slack = closure -. ready in
+                       let id = terminal.Cluster.element in
+                       if slack < element_input_slack.(id) then
+                         element_input_slack.(id) <- slack
+                     end
+                 end)
+              cluster.Cluster.outputs;
+            (* Input-terminal (element output) slacks: every pass
+               constrains the paths that emanate from the terminal. *)
+            Array.iter
+              (fun (terminal : Cluster.terminal) ->
+                 let element =
+                   Elements.element ctx.Context.elements terminal.Cluster.element
+                 in
+                 match Block.assertion_time passes element ~cut with
+                 | None -> ()
+                 | Some assertion ->
+                   let required = result.Block.required.(terminal.Cluster.net) in
+                   if Hb_util.Time.is_finite required then begin
+                     let slack = required -. assertion in
+                     let id = terminal.Cluster.element in
+                     if slack < element_output_slack.(id) then
+                       element_output_slack.(id) <- slack
+                   end)
+              cluster.Cluster.inputs)
+         plan.Passes.cuts)
+    ctx.Context.table.Cluster.clusters;
+  let worst = ref Hb_util.Time.infinity in
+  let fold slack = if Hb_util.Time.is_finite slack && slack < !worst then worst := slack in
+  Array.iter fold element_input_slack;
+  Array.iter fold element_output_slack;
+  { element_input_slack; element_output_slack;
+    net_slack; net_ready; net_required;
+    worst = !worst;
+  }
+
+let all_positive t =
+  let ok slack = not (Hb_util.Time.le slack 0.0) in
+  Array.for_all ok t.element_input_slack
+  && Array.for_all ok t.element_output_slack
+
+let element_slack t e =
+  Hb_util.Time.min t.element_input_slack.(e) t.element_output_slack.(e)

@@ -1,0 +1,44 @@
+(** Whole-design node slacks under the current element offsets.
+
+    Runs the block evaluation for every cluster and pass and aggregates:
+
+    - per synchronising-element terminal slacks — the quantities the
+      slack-transfer algorithms move around;
+    - per-net slacks, ready and required times for reports and constraint
+      generation. Pass-local times are converted back to absolute offsets
+      within the overall clock period, taken from the pass in which the
+      net's slack is worst. *)
+
+type t = {
+  element_input_slack : Hb_util.Time.t array;
+      (** per element id: node slack at its data-input terminal, i.e. the
+          minimum over all combinational paths converging there; [+inf]
+          when nothing constrains it *)
+  element_output_slack : Hb_util.Time.t array;
+      (** per element id: node slack at its output terminal — minimum over
+          the paths emanating from it *)
+  net_slack : Hb_util.Time.t array;
+      (** per global net id: worst node slack seen in any pass *)
+  net_ready : Hb_util.Time.t array;
+      (** per global net id: signal ready time on the broken-open axis of
+          the net's worst pass, offset by that pass's origin (subtract
+          multiples of the overall period to place it inside the clock
+          period); [nan] when no signal arrives *)
+  net_required : Hb_util.Time.t array;
+      (** per global net id: required time, same convention — so
+          [required - ready] is always the net slack of that pass *)
+  worst : Hb_util.Time.t;  (** minimum finite slack over all terminals *)
+}
+
+(** [compute ?mode ctx] evaluates every cluster pass at the current
+    offsets. [mode] defaults to the context configuration's arrival model
+    ([`Rise_fall] when [Config.rise_fall] is set, [`Scalar] otherwise). *)
+val compute : ?mode:Block.mode -> Context.t -> t
+
+(** [all_positive t] is true when every terminal slack is strictly
+    positive — the system "behaves as intended". *)
+val all_positive : t -> bool
+
+(** [element_slack t e] is the minimum of the element's two terminal
+    slacks. *)
+val element_slack : t -> int -> Hb_util.Time.t

@@ -1,0 +1,1 @@
+lib/sync/element.mli: Format Hb_cell Hb_clock Hb_util Model

@@ -1,0 +1,1 @@
+lib/sync/model.ml: Hb_cell Hb_util

@@ -1,0 +1,1 @@
+lib/sync/model.mli: Hb_cell Hb_util

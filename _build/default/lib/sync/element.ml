@@ -1,0 +1,105 @@
+type detail =
+  | Clocked of {
+      kind : Hb_cell.Kind.synchroniser;
+      params : Model.params;
+      mutable o_dz : Hb_util.Time.t;
+    }
+  | Fixed of {
+      assertion_offset : Hb_util.Time.t;
+      closure_offset : Hb_util.Time.t;
+    }
+
+type t = {
+  id : int;
+  inst : int;
+  label : string;
+  replica : int;
+  extra_closure_delay : Hb_util.Time.t;
+  assertion_edge : Hb_clock.Edge.t option;
+  closure_edge : Hb_clock.Edge.t option;
+  detail : detail;
+}
+
+let clocked ?(extra_closure_delay = 0.0) ~id ~inst ~label ~replica ~kind
+    ~params ~assertion_edge ~closure_edge () =
+  Model.validate params;
+  if extra_closure_delay < 0.0 then
+    invalid_arg "Element.clocked: negative extra closure delay";
+  { id; inst; label; replica; extra_closure_delay;
+    assertion_edge = Some assertion_edge;
+    closure_edge = Some closure_edge;
+    detail = Clocked { kind; params; o_dz = Model.initial_o_dz kind params };
+  }
+
+let input_boundary ~inst ~id ~label ~edge ~arrival_offset =
+  { id; inst; label; replica = 0; extra_closure_delay = 0.0;
+    assertion_edge = Some edge;
+    closure_edge = None;
+    detail = Fixed { assertion_offset = arrival_offset; closure_offset = 0.0 };
+  }
+
+let output_boundary ~inst ~id ~label ~edge ~required_offset =
+  { id; inst; label; replica = 0; extra_closure_delay = 0.0;
+    assertion_edge = None;
+    closure_edge = Some edge;
+    detail = Fixed { assertion_offset = 0.0; closure_offset = required_offset };
+  }
+
+let closure_offset t =
+  t.extra_closure_delay
+  +.
+  match t.detail with
+  | Clocked c -> Model.closure_offset c.kind c.params ~o_dz:c.o_dz
+  | Fixed f -> f.closure_offset
+
+let assertion_offset t =
+  match t.detail with
+  | Clocked c -> Model.assertion_offset c.kind c.params ~o_dz:c.o_dz
+  | Fixed f -> f.assertion_offset
+
+let forward_headroom t =
+  match t.detail with
+  | Clocked c -> Model.forward_headroom c.kind c.params ~o_dz:c.o_dz
+  | Fixed _ -> 0.0
+
+let backward_headroom t =
+  match t.detail with
+  | Clocked c -> Model.backward_headroom c.kind c.params ~o_dz:c.o_dz
+  | Fixed _ -> 0.0
+
+let shift t delta =
+  match t.detail with
+  | Fixed _ -> ()
+  | Clocked c ->
+    let interval = Model.o_dz_interval c.kind c.params in
+    c.o_dz <- Hb_util.Interval.clamp (c.o_dz +. delta) interval
+
+let reset t =
+  match t.detail with
+  | Fixed _ -> ()
+  | Clocked c -> c.o_dz <- Model.initial_o_dz c.kind c.params
+
+let o_dz t =
+  match t.detail with
+  | Clocked c -> c.o_dz
+  | Fixed _ -> 0.0
+
+let set_o_dz t v =
+  match t.detail with
+  | Fixed _ -> ()
+  | Clocked c ->
+    c.o_dz <- Hb_util.Interval.clamp v (Model.o_dz_interval c.kind c.params)
+
+let is_boundary t =
+  match t.detail with
+  | Fixed _ -> true
+  | Clocked _ -> false
+
+let pp ppf t =
+  let pp_edge ppf = function
+    | Some e -> Hb_clock.Edge.pp ppf e
+    | None -> Format.pp_print_string ppf "-"
+  in
+  Format.fprintf ppf "%s (assert %a%+.3f, close %a%+.3f)"
+    t.label pp_edge t.assertion_edge (assertion_offset t)
+    pp_edge t.closure_edge (closure_offset t)

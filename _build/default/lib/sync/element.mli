@@ -1,0 +1,98 @@
+(** Per-replica synchronising element state.
+
+    After multi-rate replication (paper, Section 4: an element clocked at
+    [n] times the base frequency "is represented by n such elements
+    connected in parallel", one per clock pulse), every element instance
+    has exactly one ideal assertion time and one ideal closure time per
+    overall period, plus the adjustable offset state of {!Model}.
+
+    Boundary elements represent primary ports: a primary input asserts its
+    signal at a fixed offset from a clock edge, a primary output requires
+    data at a fixed offset. They take part in slack bookkeeping but have no
+    adjustable offsets. *)
+
+type detail =
+  | Clocked of {
+      kind : Hb_cell.Kind.synchroniser;
+      params : Model.params;
+      mutable o_dz : Hb_util.Time.t;
+    }
+  | Fixed of {
+      assertion_offset : Hb_util.Time.t;
+      closure_offset : Hb_util.Time.t;
+    }  (** boundary (port) element *)
+
+type t = private {
+  id : int;          (** dense id across the analysed design *)
+  inst : int;        (** netlist instance id, or [-1] for boundaries *)
+  label : string;    (** readable name, e.g. ["u5#1"] or ["port din"] *)
+  replica : int;     (** pulse index this replica is tied to *)
+  extra_closure_delay : Hb_util.Time.t;
+      (** added to the effective closure offset; carries multicycle
+          exceptions ((n-1) periods of the capturing clock) *)
+  assertion_edge : Hb_clock.Edge.t option;
+      (** ideal output assertion edge; [None] when the element drives no
+          analysed logic *)
+  closure_edge : Hb_clock.Edge.t option;
+      (** ideal input closure edge; [None] when the element has no data
+          input *)
+  detail : detail;
+}
+
+(** [clocked ~id ~inst ~label ~replica ~kind ~params ~assertion_edge
+    ~closure_edge] builds a clocked element with [o_dz] at
+    {!Model.initial_o_dz}.
+    @raise Invalid_argument when [params] are invalid. *)
+val clocked :
+  ?extra_closure_delay:Hb_util.Time.t ->
+  id:int ->
+  inst:int ->
+  label:string ->
+  replica:int ->
+  kind:Hb_cell.Kind.synchroniser ->
+  params:Model.params ->
+  assertion_edge:Hb_clock.Edge.t ->
+  closure_edge:Hb_clock.Edge.t ->
+  unit ->
+  t
+
+(** [input_boundary ~inst ~id ~label ~edge ~arrival_offset] models a
+    primary input asserting [arrival_offset] after [edge]. [inst] tags the
+    boundary with a netlist instance when it stands in for one (enable
+    endpoints use the guarded instance); pass [-1] for plain ports. *)
+val input_boundary :
+  inst:int ->
+  id:int -> label:string -> edge:Hb_clock.Edge.t -> arrival_offset:Hb_util.Time.t -> t
+
+(** [output_boundary ~inst ~id ~label ~edge ~required_offset] models a
+    primary output whose data must be valid [required_offset] after [edge]
+    (negative means before). See {!input_boundary} for [inst]. *)
+val output_boundary :
+  inst:int ->
+  id:int -> label:string -> edge:Hb_clock.Edge.t -> required_offset:Hb_util.Time.t -> t
+
+(** Effective offsets under the current state (see {!Model}). *)
+val closure_offset : t -> Hb_util.Time.t
+val assertion_offset : t -> Hb_util.Time.t
+
+(** Transfer headrooms; zero for boundary elements and flip-flops. *)
+val forward_headroom : t -> Hb_util.Time.t
+val backward_headroom : t -> Hb_util.Time.t
+
+(** [shift t delta] moves [o_dz] by [delta] (negative = earlier = forward
+    transfer), clamped into the legal interval. No-op on boundaries. *)
+val shift : t -> Hb_util.Time.t -> unit
+
+(** [reset t] restores the initial offset state. *)
+val reset : t -> unit
+
+(** [o_dz t] reads the current free offset (0 for boundaries). *)
+val o_dz : t -> Hb_util.Time.t
+
+(** [set_o_dz t v] writes the free offset, clamped to the legal interval.
+    No-op on boundaries. Used to save/restore analysis state. *)
+val set_o_dz : t -> Hb_util.Time.t -> unit
+
+val is_boundary : t -> bool
+
+val pp : Format.formatter -> t -> unit

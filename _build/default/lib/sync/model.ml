@@ -1,0 +1,40 @@
+type params = {
+  setup : Hb_util.Time.t;
+  d_cz : Hb_util.Time.t;
+  d_dz : Hb_util.Time.t;
+  pulse_width : Hb_util.Time.t;
+  control_delay : Hb_util.Time.t;
+}
+
+let validate p =
+  if p.setup < 0.0 then invalid_arg "Model.validate: negative setup";
+  if p.d_cz < 0.0 then invalid_arg "Model.validate: negative d_cz";
+  if p.d_dz < 0.0 then invalid_arg "Model.validate: negative d_dz";
+  if p.pulse_width <= 0.0 then invalid_arg "Model.validate: pulse width must be positive";
+  if p.control_delay < 0.0 then invalid_arg "Model.validate: negative control delay"
+
+let is_transparent = function
+  | Hb_cell.Kind.Transparent_latch | Hb_cell.Kind.Tristate_driver -> true
+  | Hb_cell.Kind.Edge_ff -> false
+
+let o_dz_interval kind p =
+  if is_transparent kind then
+    Hb_util.Interval.make ~lo:(-.(p.pulse_width +. p.d_dz)) ~hi:(-.p.d_dz)
+  else Hb_util.Interval.point 0.0
+
+let initial_o_dz kind p = Hb_util.Interval.hi (o_dz_interval kind p)
+
+let o_zd kind p ~o_dz =
+  if is_transparent kind then p.pulse_width +. o_dz +. p.d_dz else 0.0
+
+let closure_offset kind p ~o_dz =
+  if is_transparent kind then Hb_util.Time.min (-.p.setup) o_dz else -.p.setup
+
+let assertion_offset kind p ~o_dz =
+  Hb_util.Time.max (p.control_delay +. p.d_cz) (o_zd kind p ~o_dz)
+
+let forward_headroom kind p ~o_dz =
+  Hb_util.Interval.headroom_down o_dz (o_dz_interval kind p)
+
+let backward_headroom kind p ~o_dz =
+  Hb_util.Interval.headroom_up o_dz (o_dz_interval kind p)

@@ -1,0 +1,78 @@
+(** The offset algebra of the generic synchronising-element model
+    (paper, Sections 4–5, Figures 2–3).
+
+    A synchronising element carries four terminal offsets:
+
+    - [o_dc] — input closure caused by closure control, relative to the
+      ideal input closure time;
+    - [o_dz] — input closure corresponding to output assertion, same
+      reference;
+    - [o_zd] — output assertion resulting from input timing, relative to
+      the ideal output assertion time;
+    - [o_zc] — output assertion caused by assertion control, same
+      reference.
+
+    The actual input closure offset is [min(o_dc, o_dz)] and the actual
+    output assertion offset is [max(o_zc, o_zd)]. The simplified model of
+    Figure 2(b) fixes [o_dc = -Dsetup] and, for the transparent latch,
+    couples [o_zd = W + o_dz + D_dz] (Figure 3), leaving [o_dz] as the
+    single degree of freedom that slack transfer moves.
+
+    This module is purely functional: it computes the derived offsets,
+    their legal interval, and the transfer headrooms from the element
+    parameters and the current [o_dz] value. The mutable per-replica state
+    lives in {!Element}. *)
+
+type params = {
+  setup : Hb_util.Time.t;        (** [Dsetup] *)
+  d_cz : Hb_util.Time.t;         (** control-to-output delay *)
+  d_dz : Hb_util.Time.t;         (** data-to-output delay *)
+  pulse_width : Hb_util.Time.t;  (** [W], width of the controlling pulse as
+                                     seen at the control input *)
+  control_delay : Hb_util.Time.t;
+      (** [O_at]: arrival offset of control transitions relative to the
+          clock edge (the control path delay); non-negative *)
+}
+
+(** [validate p] checks all parameters are non-negative and the pulse width
+    is positive.
+    @raise Invalid_argument otherwise. *)
+val validate : params -> unit
+
+(** [o_dz_interval kind p] is the legal interval for the free offset
+    [o_dz]:
+    - transparent latch / tristate driver: [[-(W + D_dz), -D_dz]];
+    - trailing-edge flip-flop: the degenerate interval [[0, 0]] (no
+      freedom — "the timing of the data input and output are
+      independent"). *)
+val o_dz_interval : Hb_cell.Kind.synchroniser -> params -> Hb_util.Interval.t
+
+(** [initial_o_dz kind p] is the default starting point for Algorithm 1:
+    the latest legal value (input closure at the end of the control
+    pulse). *)
+val initial_o_dz : Hb_cell.Kind.synchroniser -> params -> Hb_util.Time.t
+
+(** [o_zd kind p ~o_dz] derives the data-driven output assertion offset:
+    [W + o_dz + D_dz] for transparent elements, [0] for the flip-flop. *)
+val o_zd : Hb_cell.Kind.synchroniser -> params -> o_dz:Hb_util.Time.t -> Hb_util.Time.t
+
+(** [closure_offset kind p ~o_dz] is the effective input closure offset
+    [min(-Dsetup, o_dz)], relative to the ideal input closure time. *)
+val closure_offset :
+  Hb_cell.Kind.synchroniser -> params -> o_dz:Hb_util.Time.t -> Hb_util.Time.t
+
+(** [assertion_offset kind p ~o_dz] is the effective output assertion
+    offset [max(O_at + D_cz, o_zd)], relative to the ideal output assertion
+    time. *)
+val assertion_offset :
+  Hb_cell.Kind.synchroniser -> params -> o_dz:Hb_util.Time.t -> Hb_util.Time.t
+
+(** [forward_headroom kind p ~o_dz] is [m] for forward transfer/snatch: how
+    far [o_dz] may decrease. *)
+val forward_headroom :
+  Hb_cell.Kind.synchroniser -> params -> o_dz:Hb_util.Time.t -> Hb_util.Time.t
+
+(** [backward_headroom kind p ~o_dz] is [m] for backward transfer/snatch:
+    how far [o_dz] may increase. *)
+val backward_headroom :
+  Hb_cell.Kind.synchroniser -> params -> o_dz:Hb_util.Time.t -> Hb_util.Time.t

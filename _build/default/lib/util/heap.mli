@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by float priority.
+
+    Used by the critical-path enumerator to produce the K worst paths in
+    order of increasing slack. *)
+
+type 'a t
+
+(** [create ()] makes an empty heap. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push t ~priority value] inserts [value]. Smaller priorities pop
+    first. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-priority entry.
+    @raise Not_found when the heap is empty. *)
+val pop : 'a t -> float * 'a
+
+(** [peek t] returns the minimum-priority entry without removing it.
+    @raise Not_found when the heap is empty. *)
+val peek : 'a t -> float * 'a

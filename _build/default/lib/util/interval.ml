@@ -1,0 +1,16 @@
+type t = { lo : Time.t; hi : Time.t }
+
+let make ~lo ~hi =
+  if Time.lt hi lo then
+    invalid_arg (Printf.sprintf "Interval.make: [%g, %g] is empty" lo hi);
+  { lo; hi }
+
+let point v = { lo = v; hi = v }
+let lo t = t.lo
+let hi t = t.hi
+let mem v t = Time.ge v t.lo && Time.le v t.hi
+let width t = t.hi -. t.lo
+let clamp v t = Time.clamp ~lo:t.lo ~hi:t.hi v
+let headroom_down v t = Time.max 0.0 (v -. t.lo)
+let headroom_up v t = Time.max 0.0 (t.hi -. v)
+let pp ppf t = Format.fprintf ppf "[%a, %a]" Time.pp t.lo Time.pp t.hi

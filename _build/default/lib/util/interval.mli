@@ -1,0 +1,34 @@
+(** Closed intervals over {!Time.t}.
+
+    The synchronising-element constraints of Section 5 bound each adjustable
+    offset to a closed interval; slack transfer moves the offset inside it. *)
+
+type t = private { lo : Time.t; hi : Time.t }
+
+(** [make ~lo ~hi] builds the interval [[lo, hi]].
+    @raise Invalid_argument when [lo > hi] beyond tolerance. *)
+val make : lo:Time.t -> hi:Time.t -> t
+
+(** [point v] is the degenerate interval [[v, v]]. *)
+val point : Time.t -> t
+
+val lo : t -> Time.t
+val hi : t -> Time.t
+
+(** [mem v t] tests membership with tolerance. *)
+val mem : Time.t -> t -> bool
+
+(** [width t] is [hi - lo]. *)
+val width : t -> Time.t
+
+(** [clamp v t] is the point of [t] closest to [v]. *)
+val clamp : Time.t -> t -> Time.t
+
+(** [headroom_down v t] is how far [v] may decrease and stay inside [t]
+    (zero when [v] is at or below the lower bound). *)
+val headroom_down : Time.t -> t -> Time.t
+
+(** [headroom_up v t] is how far [v] may increase and stay inside [t]. *)
+val headroom_up : Time.t -> t -> Time.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Rng.float: bound must be positive";
+  let bits = Int64.shift_right_logical (next t) 11 in
+  (* 53 uniformly random mantissa bits. *)
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t items =
+  if Array.length items = 0 then invalid_arg "Rng.choose: empty array";
+  items.(int t (Array.length items))
+
+let shuffle t items =
+  let n = Array.length items in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = items.(i) in
+    items.(i) <- items.(j);
+    items.(j) <- tmp
+  done

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The workload generators must produce bit-identical designs across runs
+    and OCaml versions, so they use this self-contained generator rather
+    than [Stdlib.Random]. *)
+
+type t
+
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [next t] draws 64 uniformly random bits and advances the state. *)
+val next : t -> int64
+
+(** [int t bound] draws an integer in [[0, bound)). [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [float t bound] draws a float in [[0, bound)). [bound] must be
+    positive. *)
+val float : t -> float -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool
+
+(** [choose t items] picks a uniformly random element of a non-empty
+    array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t items] permutes the array in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,44 @@
+type align = Left | Right
+
+let pad align width cell =
+  let gap = width - String.length cell in
+  if gap <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+
+let render ~header ?align rows =
+  let columns = List.length header in
+  List.iteri
+    (fun i row ->
+       if List.length row <> columns then
+         invalid_arg
+           (Printf.sprintf "Table.render: row %d has %d cells, expected %d"
+              i (List.length row) columns))
+    rows;
+  let align =
+    match align with
+    | Some a when List.length a = columns -> a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> List.init columns (fun _ -> Left)
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  let note row =
+    List.iteri
+      (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  List.iter note rows;
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth align i) widths.(i) cell) row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let print ~header ?align rows =
+  print_endline (render ~header ?align rows)

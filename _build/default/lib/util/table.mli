@@ -1,0 +1,11 @@
+(** Plain-text table rendering for reports and benchmark output. *)
+
+type align = Left | Right
+
+(** [render ~header ?align rows] lays the rows out in aligned columns and
+    returns the resulting multi-line string. Each row must have as many
+    cells as [header]. [align] defaults to left-aligning every column. *)
+val render : header:string list -> ?align:align list -> string list list -> string
+
+(** [print ~header ?align rows] writes the rendered table to stdout. *)
+val print : header:string list -> ?align:align list -> string list list -> unit

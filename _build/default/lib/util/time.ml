@@ -1,0 +1,39 @@
+type t = float
+
+let eps = 1e-9
+let zero = 0.0
+let infinity = Stdlib.infinity
+let neg_infinity = Stdlib.neg_infinity
+let equal a b = Float.abs (a -. b) <= eps || (a = b)
+let lt a b = a +. eps < b
+let le a b = lt a b || equal a b
+let gt a b = lt b a
+let ge a b = le b a
+let is_negative t = lt t zero
+let is_positive t = gt t zero
+let is_finite t = Float.is_finite t
+let min = Stdlib.min
+let max = Stdlib.max
+
+let clamp ~lo ~hi t =
+  if lt hi lo then
+    invalid_arg
+      (Printf.sprintf "Time.clamp: empty interval [%g, %g]" lo hi)
+  else if t < lo then lo
+  else if t > hi then hi
+  else t
+
+let modulo t ~period =
+  if period <= 0.0 then invalid_arg "Time.modulo: period must be positive";
+  let r = Float.rem t period in
+  let r = if r < 0.0 then r +. period else r in
+  (* Guard against [Float.rem] returning exactly [period] after the
+     correction when [t] is a tiny negative number. *)
+  if r >= period then r -. period else r
+
+let pp ppf t =
+  if t = Stdlib.infinity then Format.pp_print_string ppf "+inf"
+  else if t = Stdlib.neg_infinity then Format.pp_print_string ppf "-inf"
+  else Format.fprintf ppf "%.3f ns" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,62 @@
+type result =
+  | Sorted of int array
+  | Cycle of int list
+
+type mark = White | Grey | Black
+
+(* Iterative depth-first search with colour marks; a Grey→Grey edge closes a
+   cycle, which is then reconstructed from the explicit stack. *)
+let sort ~nodes ~successors =
+  let marks = Array.make nodes White in
+  let order = Array.make nodes 0 in
+  let filled = ref nodes in
+  (* Stack frames: node and the successors not yet visited. *)
+  let stack = ref [] in
+  let cycle = ref None in
+  let find_cycle target =
+    (* The Grey nodes on the stack from [target] onwards form the cycle. *)
+    let rec collect acc = function
+      | [] -> acc
+      | (node, _) :: rest ->
+        if node = target then node :: acc else collect (node :: acc) rest
+    in
+    collect [] !stack
+  in
+  let visit start =
+    stack := [ (start, successors start) ];
+    marks.(start) <- Grey;
+    while !stack <> [] && !cycle = None do
+      match !stack with
+      | [] -> ()
+      | (node, pending) :: rest ->
+        (match pending with
+         | [] ->
+           marks.(node) <- Black;
+           decr filled;
+           order.(!filled) <- node;
+           stack := rest
+         | succ :: pending ->
+           stack := (node, pending) :: rest;
+           (match marks.(succ) with
+            | White ->
+              marks.(succ) <- Grey;
+              stack := (succ, successors succ) :: !stack
+            | Grey -> cycle := Some (find_cycle succ)
+            | Black -> ()))
+    done
+  in
+  let node = ref 0 in
+  while !node < nodes && !cycle = None do
+    if marks.(!node) = White then visit !node;
+    incr node
+  done;
+  match !cycle with
+  | Some c -> Cycle c
+  | None -> Sorted order
+
+let sort_exn ~nodes ~successors =
+  match sort ~nodes ~successors with
+  | Sorted order -> order
+  | Cycle c ->
+    let path = String.concat " -> " (List.map string_of_int c) in
+    failwith (Printf.sprintf "Topo.sort_exn: directed cycle: %s" path)

@@ -1,0 +1,22 @@
+(** Topological ordering of integer-indexed directed graphs.
+
+    Nodes are [0 .. n-1]; edges are given by a successor function. The
+    combinational portions of a design are required to be acyclic (paper,
+    Section 3), and the analyser depends on reporting an explicit cycle
+    witness when they are not. *)
+
+type result =
+  | Sorted of int array
+      (** Nodes in an order such that every edge goes from an earlier to a
+          later element. *)
+  | Cycle of int list
+      (** A directed cycle, listed in edge order; the last node has an edge
+          back to the first. *)
+
+(** [sort ~nodes ~successors] orders the graph with [nodes] vertices.
+    [successors i] must list the direct successors of node [i]. *)
+val sort : nodes:int -> successors:(int -> int list) -> result
+
+(** [sort_exn ~nodes ~successors] is [sort] but raises [Failure] with a
+    readable cycle description instead of returning [Cycle _]. *)
+val sort_exn : nodes:int -> successors:(int -> int list) -> int array

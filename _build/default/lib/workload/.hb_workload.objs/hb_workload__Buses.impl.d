@@ -1,0 +1,1 @@
+lib/workload/buses.ml: Clocks Hb_cell Hb_netlist List Printf Rtl

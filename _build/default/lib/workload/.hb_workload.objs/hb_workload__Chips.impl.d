@@ -1,0 +1,1 @@
+lib/workload/chips.ml: Clocks Cloud Hb_cell Hb_clock Hb_netlist Hb_util List Printf Rtl

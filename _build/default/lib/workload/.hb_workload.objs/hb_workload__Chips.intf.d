@@ -1,0 +1,1 @@
+lib/workload/chips.mli: Hb_clock Hb_netlist Hb_util

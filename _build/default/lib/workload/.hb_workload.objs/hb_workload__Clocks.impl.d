@@ -1,0 +1,1 @@
+lib/workload/clocks.ml: Hb_clock List Printf

@@ -1,0 +1,1 @@
+lib/workload/clocks.mli: Hb_clock Hb_util

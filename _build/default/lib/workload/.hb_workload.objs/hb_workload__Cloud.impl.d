@@ -1,0 +1,1 @@
+lib/workload/cloud.ml: Array Hb_netlist Hb_util List Printf Stdlib

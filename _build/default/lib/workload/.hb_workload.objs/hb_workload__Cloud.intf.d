@@ -1,0 +1,1 @@
+lib/workload/cloud.mli: Hb_netlist Hb_util

@@ -1,0 +1,1 @@
+lib/workload/falsey.ml: Clocks Hb_cell Hb_netlist Printf Rtl

@@ -1,0 +1,1 @@
+lib/workload/falsey.mli: Hb_clock Hb_netlist Hb_util

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Clocks Hb_cell Hb_clock Hb_netlist List Printf Rtl

@@ -1,0 +1,1 @@
+lib/workload/pipelines.ml: Clocks Cloud Hb_cell Hb_netlist Hb_util Printf Rtl

@@ -1,0 +1,1 @@
+lib/workload/pipelines.mli: Hb_clock Hb_netlist Hb_util

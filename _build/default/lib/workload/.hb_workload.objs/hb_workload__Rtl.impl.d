@@ -1,0 +1,1 @@
+lib/workload/rtl.ml: Hb_clock Hb_netlist List Printf

@@ -1,0 +1,1 @@
+lib/workload/rtl.mli: Hb_clock Hb_netlist

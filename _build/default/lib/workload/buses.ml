@@ -1,0 +1,55 @@
+let shared_bus ?(period = 100.0) ~sources ~width () =
+  if sources < 2 then invalid_arg "Buses.shared_bus: need at least 2 sources";
+  if width < 1 then invalid_arg "Buses.shared_bus: need at least 1 bit";
+  let system = Clocks.single ~period in
+  let b =
+    Hb_netlist.Builder.create ~name:"shared_bus"
+      ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports b system;
+  (* Select register: one hot line per source, driven from primary
+     inputs. *)
+  let select_in = Rtl.input_ports b ~prefix:"sel" ~count:sources in
+  let select =
+    Rtl.register_bank b ~cell:"dff" ~clock_net:"clk" ~prefix:"rsel"
+      ~data:select_in
+  in
+  (* Gated driver clocks: enable AND clock. *)
+  let gated =
+    List.mapi
+      (fun s sel ->
+         let out = Printf.sprintf "gck%d" s in
+         Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "gate%d" s)
+           ~cell:"and2_x2"
+           ~connections:[ ("a", "clk"); ("b", sel); ("y", out) ]
+           ();
+         out)
+      select
+  in
+  (* Source registers and their tristate drivers onto the bus bits. *)
+  List.iteri
+    (fun s gck ->
+       let data_in =
+         Rtl.input_ports b ~prefix:(Printf.sprintf "d%d_" s) ~count:width
+       in
+       let registered =
+         Rtl.register_bank b ~cell:"dff" ~clock_net:"clk"
+           ~prefix:(Printf.sprintf "src%d" s) ~data:data_in
+       in
+       List.iteri
+         (fun bit q ->
+            Hb_netlist.Builder.add_instance b
+              ~name:(Printf.sprintf "ts%d_%d" s bit)
+              ~cell:"tsbuf"
+              ~connections:
+                [ ("d", q); ("ck", gck); ("q", Printf.sprintf "bus%d" bit) ]
+              ())
+         registered)
+    gated;
+  (* Capture register reads the bus. *)
+  let bus = List.init width (fun bit -> Printf.sprintf "bus%d" bit) in
+  let captured =
+    Rtl.register_bank b ~cell:"dff" ~clock_net:"clk" ~prefix:"cap" ~data:bus
+  in
+  Rtl.output_ports b ~prefix:"q" captured;
+  (Hb_netlist.Builder.freeze b, system)

@@ -1,0 +1,18 @@
+(** Shared-bus designs: clocked tristate drivers with gated enables.
+
+    Exercises the parts of the model the pipelines do not: multi-driver
+    bus nets, tristate drivers (modelled like transparent latches), and
+    control cones that mix the clock with enable logic fed from
+    synchronising elements (enable paths, Section 4). *)
+
+(** [shared_bus ?period ~sources ~width ()] builds a design in which
+    [sources] register banks of [width] bits each drive a shared bus
+    through clocked tristate drivers; per-source select lines come from a
+    select register and gate the drivers' clocks; a capture register reads
+    the bus. Returns the design and its single-clock system. *)
+val shared_bus :
+  ?period:Hb_util.Time.t ->
+  sources:int ->
+  width:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t

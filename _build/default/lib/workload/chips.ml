@@ -1,0 +1,286 @@
+(* Instance counting: every construction below reports how many cells it
+   added so the totals can be padded to the exact Table 1 figures. *)
+
+type counted = {
+  builder : Hb_netlist.Builder.t;
+  mutable cells : int;
+}
+
+let fresh name =
+  { builder =
+      Hb_netlist.Builder.create ~name ~library:(Hb_cell.Library.default ());
+    cells = 0;
+  }
+
+let registers c ~cell ~clock_net ~prefix ~data =
+  c.cells <- c.cells + List.length data;
+  Rtl.register_bank c.builder ~cell ~clock_net ~prefix ~data
+
+let cloud c ~rng ~prefix ~inputs ~gates ~outputs =
+  c.cells <- c.cells + gates;
+  (Cloud.grow c.builder ~rng ~prefix ~inputs ~gates ~outputs ()).Cloud.output_nets
+
+let gate c ~name ~cell ~connections =
+  c.cells <- c.cells + 1;
+  Hb_netlist.Builder.add_instance c.builder ~name ~cell ~connections ()
+
+let outputs c ~prefix nets =
+  c.cells <- c.cells + List.length nets;
+  Rtl.output_ports c.builder ~prefix nets
+
+let pad_to c ~target ~net =
+  if c.cells > target then
+    invalid_arg
+      (Printf.sprintf "Chips: %d cells exceeds target %d" c.cells target);
+  Rtl.pad_with_buffers c.builder ~prefix:"fill" ~count:(target - c.cells) ~net;
+  c.cells <- target
+
+(* Pairwise xor of two equal-length net lists. *)
+let xor_layer c ~prefix a b =
+  List.mapi
+    (fun i (x, y) ->
+       let out = Printf.sprintf "%s_x%d" prefix i in
+       gate c ~name:(Printf.sprintf "%s_g%d" prefix i) ~cell:"xor2_x1"
+         ~connections:[ ("a", x); ("b", y); ("y", out) ];
+       out)
+    (List.combine a b)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec cycle_to n source =
+  if n <= 0 then []
+  else if n <= List.length source then take n source
+  else source @ cycle_to (n - List.length source) source
+
+let des ?(period = 100.0) () =
+  let system = Clocks.single ~period in
+  let c = fresh "des" in
+  let rng = Hb_util.Rng.create 2001L in
+  Rtl.add_clock_ports c.builder system;
+  let data_in = Rtl.input_ports c.builder ~prefix:"din" ~count:64 in
+  let key_in = Rtl.input_ports c.builder ~prefix:"kin" ~count:56 in
+  Hb_netlist.Builder.add_port c.builder ~name:"load"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  (* Input selection: load new block or iterate the round output. *)
+  let state_d =
+    List.mapi
+      (fun i din ->
+         let out = Printf.sprintf "sin%d" i in
+         gate c ~name:(Printf.sprintf "inmux%d" i) ~cell:"mux2_x1"
+           ~connections:
+             [ ("a", din); ("b", Printf.sprintf "round%d" i); ("c", "load");
+               ("y", out) ];
+         out)
+      data_in
+  in
+  let state = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"st" ~data:state_d in
+  let key_state = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"ky" ~data:key_in in
+  (* Key schedule: rotates and selects 48 round-key bits. *)
+  let round_key =
+    cloud c ~rng ~prefix:"ks" ~inputs:key_state ~gates:420 ~outputs:48
+  in
+  (* Right half expanded to 48 bits and xored with the round key. *)
+  let right = cycle_to 48 (List.filteri (fun i _ -> i >= 32) state) in
+  let expanded = xor_layer c ~prefix:"exp" right round_key in
+  (* Eight S-boxes: 6 inputs -> 4 outputs each. *)
+  let sbox_out =
+    List.concat
+      (List.init 8 (fun s ->
+           let ins = List.filteri (fun i _ -> i / 6 = s) expanded in
+           cloud c ~rng ~prefix:(Printf.sprintf "sb%d" s) ~inputs:ins
+             ~gates:330 ~outputs:4))
+  in
+  (* P permutation mixing and xor with the left half. *)
+  let mixed = cloud c ~rng ~prefix:"pp" ~inputs:sbox_out ~gates:120 ~outputs:32 in
+  let left = take 32 state in
+  let new_right = xor_layer c ~prefix:"fx" left mixed in
+  (* Round output: swapped halves feed the state muxes. *)
+  let right_named = take 32 (List.filteri (fun i _ -> i >= 32) state) in
+  List.iteri
+    (fun i net ->
+       gate c ~name:(Printf.sprintf "sw%d" i) ~cell:"buf_x1"
+         ~connections:[ ("a", net); ("y", Printf.sprintf "round%d" i) ])
+    (right_named @ new_right);
+  (* Round counter and control. The cloud consumes the very nets the
+     register bank drives (register_bank names its outputs cnt_q<i>), so
+     the counter loop closes without extra wiring. *)
+  let counter_q = List.init 5 (fun i -> Printf.sprintf "cnt_q%d" i) in
+  let counter_d =
+    cloud c ~rng ~prefix:"ctl" ~inputs:("load" :: counter_q) ~gates:55 ~outputs:5
+  in
+  let _ = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"cnt" ~data:counter_d in
+  outputs c ~prefix:"dout" (take 64 state);
+  pad_to c ~target:3681 ~net:(List.nth state 0);
+  (Hb_netlist.Builder.freeze c.builder, system)
+
+let alu ?(period = 100.0) () =
+  let system = Clocks.single ~period in
+  let c = fresh "alu" in
+  let rng = Hb_util.Rng.create 3003L in
+  Rtl.add_clock_ports c.builder system;
+  let a_in = Rtl.input_ports c.builder ~prefix:"a" ~count:32 in
+  let b_in = Rtl.input_ports c.builder ~prefix:"b" ~count:32 in
+  let op_in = Rtl.input_ports c.builder ~prefix:"op" ~count:4 in
+  let a_reg = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"ra" ~data:a_in in
+  let b_reg = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"rb" ~data:b_in in
+  let op_reg = registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"rop" ~data:op_in in
+  (* Ripple-carry adder: per bit sum xor pair + majority carry. *)
+  let carry = ref "rop_q0" in
+  let sums =
+    List.mapi
+      (fun i (x, y) ->
+         let sum1 = Printf.sprintf "add_s1_%d" i in
+         let sum = Printf.sprintf "add_s_%d" i in
+         let cout = Printf.sprintf "add_c_%d" i in
+         gate c ~name:(Printf.sprintf "add_x1_%d" i) ~cell:"xor2_x1"
+           ~connections:[ ("a", x); ("b", y); ("y", sum1) ];
+         gate c ~name:(Printf.sprintf "add_x2_%d" i) ~cell:"xor2_x1"
+           ~connections:[ ("a", sum1); ("b", !carry); ("y", sum) ];
+         gate c ~name:(Printf.sprintf "add_mj_%d" i) ~cell:"maj3_x1"
+           ~connections:[ ("a", x); ("b", y); ("c", !carry); ("y", cout) ];
+         carry := cout;
+         sum)
+      (List.combine a_reg b_reg)
+  in
+  (* Logic unit and shifter as clouds over both operands. *)
+  let logic_out =
+    cloud c ~rng ~prefix:"lu" ~inputs:(a_reg @ b_reg @ op_reg) ~gates:200
+      ~outputs:32
+  in
+  let shift_out =
+    cloud c ~rng ~prefix:"sh" ~inputs:(a_reg @ op_reg) ~gates:170 ~outputs:32
+  in
+  (* Result selection. *)
+  let result =
+    List.mapi
+      (fun i ((s, l), sh) ->
+         let m1 = Printf.sprintf "res_m1_%d" i in
+         let out = Printf.sprintf "res_%d" i in
+         gate c ~name:(Printf.sprintf "rmux1_%d" i) ~cell:"mux2_x1"
+           ~connections:[ ("a", s); ("b", l); ("c", "rop_q1"); ("y", m1) ];
+         gate c ~name:(Printf.sprintf "rmux2_%d" i) ~cell:"mux2_x1"
+           ~connections:[ ("a", m1); ("b", sh); ("c", "rop_q2"); ("y", out) ];
+         out)
+      (List.combine (List.combine sums logic_out) shift_out)
+  in
+  let result_reg =
+    registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"rr" ~data:result
+  in
+  (* Flags: zero/negative/carry summarised by a small cloud. *)
+  let flags = cloud c ~rng ~prefix:"fl" ~inputs:result ~gates:40 ~outputs:3 in
+  let flags_reg =
+    registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"rf" ~data:flags
+  in
+  outputs c ~prefix:"r" result_reg;
+  outputs c ~prefix:"f" flags_reg;
+  pad_to c ~target:899 ~net:(List.nth result_reg 0);
+  (Hb_netlist.Builder.freeze c.builder, system)
+
+let dsp ?(period = 320.0) () =
+  (* Two harmonically related clocks: the sample side at twice the base
+     rate, the accumulate side at the base rate. *)
+  let system =
+    Hb_clock.System.make ~overall_period:period
+      [ Hb_clock.Waveform.make ~name:"fck" ~multiplier:2 ~rise:0.0
+          ~width:(0.2 *. period);
+        Hb_clock.Waveform.make ~name:"sck" ~multiplier:1 ~rise:(0.7 *. period)
+          ~width:(0.25 *. period);
+      ]
+  in
+  let c = fresh "dsp" in
+  let rng = Hb_util.Rng.create 6006L in
+  Rtl.add_clock_ports c.builder system;
+  let width = 16 in
+  let sample_in = Rtl.input_ports c.builder ~prefix:"x" ~count:width in
+  (* Fast domain: a 4-deep sample delay line on the 2x clock. *)
+  let taps =
+    let rec line stage data acc =
+      if stage >= 4 then List.rev acc
+      else begin
+        let q =
+          registers c ~cell:"dff" ~clock_net:"fck"
+            ~prefix:(Printf.sprintf "dl%d" stage) ~data
+        in
+        line (stage + 1) q (q :: acc)
+      end
+    in
+    line 0 sample_in []
+  in
+  (* Per-tap coefficient multiply stand-ins: logic clouds. *)
+  let products =
+    List.mapi
+      (fun i tap ->
+         cloud c ~rng ~prefix:(Printf.sprintf "mul%d" i) ~inputs:tap
+           ~gates:60 ~outputs:width)
+      taps
+  in
+  (* Cross into the slow domain through transparent latches. *)
+  let latched =
+    List.mapi
+      (fun i product ->
+         registers c ~cell:"latch" ~clock_net:"sck"
+           ~prefix:(Printf.sprintf "xd%d" i) ~data:product)
+      products
+  in
+  (* Adder tree in the slow domain. *)
+  let rec tree level = function
+    | [] -> invalid_arg "dsp: empty tree"
+    | [ last ] -> last
+    | a :: b :: rest ->
+      let sum =
+        cloud c ~rng ~prefix:(Printf.sprintf "add%d_%d" level (List.length rest))
+          ~inputs:(a @ b) ~gates:120 ~outputs:width
+      in
+      tree (level + 1) (rest @ [ sum ])
+  in
+  let sum = tree 0 latched in
+  let accumulator_q = List.init width (fun i -> Printf.sprintf "acc_q%d" i) in
+  let next_acc =
+    cloud c ~rng ~prefix:"accadd" ~inputs:(sum @ accumulator_q) ~gates:150
+      ~outputs:width
+  in
+  (* The register bank's q nets are exactly the acc_q names the cloud
+     consumed, closing the accumulator loop directly. *)
+  let acc = registers c ~cell:"dff" ~clock_net:"sck" ~prefix:"acc" ~data:next_acc in
+  ignore accumulator_q;
+  outputs c ~prefix:"y" acc;
+  (Hb_netlist.Builder.freeze c.builder, system)
+
+let fsm ~hierarchical ?(period = 100.0) () =
+  let system = Clocks.single ~period in
+  let c = fresh (if hierarchical then "sm1h" else "sm1f") in
+  let rng = Hb_util.Rng.create 4004L in
+  Rtl.add_clock_ports c.builder system;
+  let ins = Rtl.input_ports c.builder ~prefix:"i" ~count:8 in
+  let state_q = List.init 12 (fun i -> Printf.sprintf "sq%d" i) in
+  let module_path = if hierarchical then "ns_logic" else "" in
+  let next =
+    c.cells <- c.cells + 260;
+    (Cloud.grow c.builder ~rng ~prefix:"ns" ~inputs:(ins @ state_q) ~gates:260
+       ~outputs:20 ~module_path ())
+      .Cloud.output_nets
+  in
+  let next_state = take 12 next in
+  let moore_out = List.filteri (fun i _ -> i >= 12) next in
+  let state =
+    registers c ~cell:"dff" ~clock_net:"clk" ~prefix:"st" ~data:next_state
+  in
+  (* Close the loop: buffer the register outputs onto the names the cloud
+     consumed. *)
+  List.iteri
+    (fun i q ->
+       gate c ~name:(Printf.sprintf "fb%d" i) ~cell:"buf_x1"
+         ~connections:[ ("a", List.nth state i); ("y", q) ])
+    state_q;
+  outputs c ~prefix:"o" moore_out;
+  let design = Hb_netlist.Builder.freeze c.builder in
+  let design =
+    if hierarchical then Hb_netlist.Hierarchy.collapse design else design
+  in
+  (design, system)
+
+let sm1f ?period () = fsm ~hierarchical:false ?period ()
+let sm1h ?period () = fsm ~hierarchical:true ?period ()

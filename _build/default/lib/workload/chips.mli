@@ -1,0 +1,35 @@
+(** The four designs of the paper's Table 1, rebuilt synthetically at the
+    reported cell counts.
+
+    The originals (a data-encryption chip, a CPU ALU slice, a 12-bit state
+    machine in flat and hierarchical form) are not available; these
+    generators produce deterministic designs with the same cell counts and
+    comparable structure, which is what Table 1's run times scale with. *)
+
+(** [des ?period ()] — DES-like iterative data-encryption datapath:
+    64-bit state and 56-bit key registers, input muxing, expansion/key
+    xors, eight S-box logic clouds, permutation mixing, key schedule and a
+    round-counter FSM; padded to exactly 3681 cells. Single-clock
+    flip-flop design. *)
+val des : ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [alu ?period ()] — 32-bit ALU slice: operand and opcode registers,
+    carry-propagate adder, logic unit, shifter, result selection and
+    flags; padded to exactly 899 cells. *)
+val alu : ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [dsp ?period ()] — a multirate DSP-style datapath (the paper's
+    abstract describes the 3681-cell example as "a digital signal
+    processing chip"): a 4-tap FIR-like pipeline whose input side runs on
+    a 2x clock and whose accumulator side runs on the base clock, with
+    transparent latches between the domains. Exercises multi-frequency
+    replication at four-digit cell counts. *)
+val dsp : ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [sm1f ?period ()] — 12-bit finite state machine, flattened. *)
+val sm1f : ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [sm1h ?period ()] — the same machine with its combinational logic
+    contained in a single module, then collapsed to a macro — the
+    hierarchical description of Table 1. *)
+val sm1h : ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t

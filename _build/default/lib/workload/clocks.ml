@@ -1,0 +1,31 @@
+let single ~period =
+  Hb_clock.System.make ~overall_period:period
+    [ Hb_clock.Waveform.make ~name:"clk" ~multiplier:1 ~rise:0.0
+        ~width:(0.4 *. period) ]
+
+let two_phase ~period =
+  Hb_clock.System.make ~overall_period:period
+    [ Hb_clock.Waveform.make ~name:"phi1" ~multiplier:1 ~rise:0.0
+        ~width:(0.4 *. period);
+      Hb_clock.Waveform.make ~name:"phi2" ~multiplier:1 ~rise:(0.5 *. period)
+        ~width:(0.4 *. period);
+    ]
+
+let four_phase ~period =
+  Hb_clock.System.make ~overall_period:period
+    (List.init 4 (fun i ->
+         Hb_clock.Waveform.make
+           ~name:(Printf.sprintf "c%d" (i + 1))
+           ~multiplier:1
+           ~rise:(float_of_int i *. 0.25 *. period)
+           ~width:(0.2 *. period)))
+
+let multifrequency ~period =
+  Hb_clock.System.make ~overall_period:period
+    [ Hb_clock.Waveform.make ~name:"clk1" ~multiplier:1 ~rise:0.0
+        ~width:(0.4 *. period);
+      Hb_clock.Waveform.make ~name:"clk2" ~multiplier:2 ~rise:0.0
+        ~width:(0.2 *. period);
+      Hb_clock.Waveform.make ~name:"clk4" ~multiplier:4 ~rise:0.0
+        ~width:(0.1 *. period);
+    ]

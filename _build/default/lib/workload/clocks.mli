@@ -1,0 +1,16 @@
+(** Standard clocking schemes for the generated designs. *)
+
+(** [single ~period] — one clock, 40% duty. *)
+val single : period:Hb_util.Time.t -> Hb_clock.System.t
+
+(** [two_phase ~period] — non-overlapping phi1/phi2, each 40% of the
+    period wide, phi2 half a period after phi1. *)
+val two_phase : period:Hb_util.Time.t -> Hb_clock.System.t
+
+(** [four_phase ~period] — c1..c4 at quarter-period offsets, 20% wide —
+    the clocking of the paper's Figure 1. *)
+val four_phase : period:Hb_util.Time.t -> Hb_clock.System.t
+
+(** [multifrequency ~period] — a base clock plus a 2× and a 4× clock:
+    exercises the multi-rate replication path. *)
+val multifrequency : period:Hb_util.Time.t -> Hb_clock.System.t

@@ -1,0 +1,57 @@
+type t = {
+  output_nets : string list;
+  gate_count : int;
+}
+
+(* Gate mix: (cell base name, input pin names). Drive variants are chosen
+   randomly among x1/x2/x4. *)
+let gate_mix =
+  [| ("inv", [ "a" ]);
+     ("nand2", [ "a"; "b" ]);
+     ("nand2", [ "a"; "b" ]);
+     ("nor2", [ "a"; "b" ]);
+     ("nand3", [ "a"; "b"; "c" ]);
+     ("xor2", [ "a"; "b" ]);
+     ("aoi22", [ "a"; "b"; "c"; "d" ]);
+     ("mux2", [ "a"; "b"; "c" ]);
+  |]
+
+let drives = [| 1; 2; 4 |]
+
+(* Pick an input net with a bias towards the most recent entries: index
+   drawn as max of two uniforms. *)
+let biased_pick rng pool count =
+  let a = Hb_util.Rng.int rng count in
+  let b = Hb_util.Rng.int rng count in
+  pool.(Stdlib.max a b)
+
+let grow builder ~rng ~prefix ~inputs ~gates ~outputs ?(module_path = "") () =
+  if inputs = [] then invalid_arg "Cloud.grow: no input nets";
+  if outputs < 1 then invalid_arg "Cloud.grow: outputs must be >= 1";
+  if gates < outputs then invalid_arg "Cloud.grow: gates < outputs";
+  let capacity = List.length inputs + gates in
+  let pool = Array.make capacity "" in
+  List.iteri (fun i net -> pool.(i) <- net) inputs;
+  let count = ref (List.length inputs) in
+  for g = 0 to gates - 1 do
+    let base, pins = gate_mix.(Hb_util.Rng.int rng (Array.length gate_mix)) in
+    let drive = drives.(Hb_util.Rng.int rng (Array.length drives)) in
+    let cell = Printf.sprintf "%s_x%d" base drive in
+    let out_net = Printf.sprintf "%s_n%d" prefix g in
+    let connections =
+      ("y", out_net)
+      :: List.map (fun pin -> (pin, biased_pick rng pool !count)) pins
+    in
+    Hb_netlist.Builder.add_instance builder ~module_path
+      ~name:(Printf.sprintf "%s_g%d" prefix g)
+      ~cell ~connections ();
+    pool.(!count) <- out_net;
+    incr count
+  done;
+  (* Outputs: the last [outputs] created nets, which depend on the deepest
+     logic. *)
+  let output_nets =
+    List.init outputs (fun i ->
+        Printf.sprintf "%s_n%d" prefix (gates - outputs + i))
+  in
+  { output_nets; gate_count = gates }

@@ -1,0 +1,31 @@
+(** Random combinational logic clouds.
+
+    The building block of every synthetic design: a seeded, deterministic
+    DAG of standard cells grown over a set of input nets. Gates only ever
+    consume nets that already exist, so clouds are acyclic by
+    construction. *)
+
+type t = {
+  output_nets : string list;  (** the cloud's designated outputs *)
+  gate_count : int;           (** gates actually instantiated *)
+}
+
+(** [grow builder ~rng ~prefix ~inputs ~gates ~outputs ?module_path ()]
+    adds [gates] random combinational cells to [builder]. Cell inputs are
+    drawn from [inputs] plus previously created gate outputs, with a bias
+    towards recent nets (yielding deep, narrow clouds like synthesised
+    logic). The [outputs] designated nets are drawn from the last layer.
+    [prefix] namespaces instance and net names.
+
+    @raise Invalid_argument when [inputs] is empty, or [gates < outputs],
+    or [outputs < 1]. *)
+val grow :
+  Hb_netlist.Builder.t ->
+  rng:Hb_util.Rng.t ->
+  prefix:string ->
+  inputs:string list ->
+  gates:int ->
+  outputs:int ->
+  ?module_path:string ->
+  unit ->
+  t

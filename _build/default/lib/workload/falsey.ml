@@ -1,0 +1,41 @@
+let conflict_chain ?(period = 100.0) ~head ~tail () =
+  if head < 1 || tail < 1 then
+    invalid_arg "Falsey.conflict_chain: head and tail must be >= 1";
+  let system = Clocks.single ~period in
+  let b =
+    Hb_netlist.Builder.create ~name:"false_path_demo"
+      ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports b system;
+  Hb_netlist.Builder.add_port b ~name:"din"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"sel"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"ffs" ~cell:"dff"
+    ~connections:[ ("d", "sel"); ("ck", "clk"); ("q", "s") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ff1" ~cell:"dff"
+    ~connections:[ ("d", "din"); ("ck", "clk"); ("q", "h0") ] ();
+  for i = 0 to head - 1 do
+    Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "head%d" i)
+      ~cell:"buf_x1"
+      ~connections:
+        [ ("a", Printf.sprintf "h%d" i); ("y", Printf.sprintf "h%d" (i + 1)) ]
+      ()
+  done;
+  Hb_netlist.Builder.add_instance b ~name:"g_mid1" ~cell:"nand2_x1"
+    ~connections:[ ("a", Printf.sprintf "h%d" head); ("b", "s"); ("y", "m0") ]
+    ();
+  for i = 0 to tail - 1 do
+    Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "tail%d" i)
+      ~cell:"buf_x1"
+      ~connections:
+        [ ("a", Printf.sprintf "m%d" i); ("y", Printf.sprintf "m%d" (i + 1)) ]
+      ()
+  done;
+  Hb_netlist.Builder.add_instance b ~name:"g_mid2" ~cell:"nor2_x1"
+    ~connections:
+      [ ("a", Printf.sprintf "m%d" tail); ("b", "s"); ("y", "d2") ]
+    ();
+  Hb_netlist.Builder.add_instance b ~name:"ff2" ~cell:"dff"
+    ~connections:[ ("d", "d2"); ("ck", "clk"); ("q", "qq") ] ();
+  (Hb_netlist.Builder.freeze b, system, "ff2")

@@ -1,0 +1,18 @@
+(** Designs with provably false critical paths.
+
+    The reconvergence pattern that defeats the block method's pessimism
+    bound: the launch register's only path traverses [nand(_, s)] and
+    later [nor(_, s)], so propagating along it needs the shared side net
+    both high and low — the path cannot be sensitised, yet block analysis
+    charges its full delay. Used by the false-path ablation (A7). *)
+
+(** [conflict_chain ?period ~head ~tail ()] builds the pattern with [head]
+    buffers before the conflicting pair and [tail] buffers between them.
+    Returns the design, its clock system and the name of the capture
+    register whose worst path is false ("ff2"). *)
+val conflict_chain :
+  ?period:Hb_util.Time.t ->
+  head:int ->
+  tail:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t * string

@@ -1,0 +1,64 @@
+let figure1 ?(period = 100.0) () =
+  let system = Clocks.four_phase ~period in
+  let builder =
+    Hb_netlist.Builder.create ~name:"figure1"
+      ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports builder system;
+  let inputs = Rtl.input_ports builder ~prefix:"d" ~count:4 in
+  (* One input latch per phase. *)
+  let latched =
+    List.mapi
+      (fun i data ->
+         let q = Printf.sprintf "lq%d" (i + 1) in
+         Hb_netlist.Builder.add_instance builder
+           ~name:(Printf.sprintf "lin%d" (i + 1))
+           ~cell:"latch"
+           ~connections:
+             [ ("d", data); ("ck", Printf.sprintf "c%d" (i + 1)); ("q", q) ]
+           ();
+         q)
+      inputs
+  in
+  (* The shared logic cone. *)
+  (match latched with
+   | [ q1; q2; q3; q4 ] ->
+     Hb_netlist.Builder.add_instance builder ~name:"g1" ~cell:"aoi22_x1"
+       ~connections:[ ("a", q1); ("b", q2); ("c", q3); ("d", q4); ("y", "cone1") ]
+       ();
+     Hb_netlist.Builder.add_instance builder ~name:"g2" ~cell:"inv_x1"
+       ~connections:[ ("a", "cone1"); ("y", "cone2") ]
+       ()
+   | _ -> assert false);
+  (* Output latches on phases 2 and 4: the cone must settle twice per
+     period. *)
+  Hb_netlist.Builder.add_instance builder ~name:"lout2" ~cell:"latch"
+    ~connections:[ ("d", "cone2"); ("ck", "c2"); ("q", "oq2") ]
+    ();
+  Hb_netlist.Builder.add_instance builder ~name:"lout4" ~cell:"latch"
+    ~connections:[ ("d", "cone2"); ("ck", "c4"); ("q", "oq4") ]
+    ();
+  Rtl.output_ports builder ~prefix:"out" [ "oq2"; "oq4" ];
+  (Hb_netlist.Builder.freeze builder, system)
+
+let figure4_edges () =
+  (* Two clocks at twice the base frequency give the eight edges A..H of
+     the paper's worked example, in circular time order. *)
+  let system =
+    Hb_clock.System.make ~overall_period:80.0
+      [ Hb_clock.Waveform.make ~name:"cka" ~multiplier:2 ~rise:0.0 ~width:10.0;
+        Hb_clock.Waveform.make ~name:"ckb" ~multiplier:2 ~rise:20.0 ~width:10.0;
+      ]
+  in
+  let labels =
+    [ ("A", Hb_clock.Edge.leading ~clock:"cka" ~pulse:0);
+      ("B", Hb_clock.Edge.trailing ~clock:"cka" ~pulse:0);
+      ("C", Hb_clock.Edge.leading ~clock:"ckb" ~pulse:0);
+      ("D", Hb_clock.Edge.trailing ~clock:"ckb" ~pulse:0);
+      ("E", Hb_clock.Edge.leading ~clock:"cka" ~pulse:1);
+      ("F", Hb_clock.Edge.trailing ~clock:"cka" ~pulse:1);
+      ("G", Hb_clock.Edge.leading ~clock:"ckb" ~pulse:1);
+      ("H", Hb_clock.Edge.trailing ~clock:"ckb" ~pulse:1);
+    ]
+  in
+  (system, labels)

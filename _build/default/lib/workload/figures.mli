@@ -1,0 +1,17 @@
+(** Fixed configurations reproducing the paper's illustrative figures. *)
+
+(** [figure1 ?period ()] — the paper's Figure 1: four transparent latches
+    controlled by four different clock phases feed one logic cone whose
+    output drives latches on two of the phases. The logic is "time
+    multiplexed within each overall clock period": its output must settle
+    to two different valid states per cycle, so the minimum number of
+    analysis passes for the cluster is 2 while per-source-edge accounting
+    needs 4. *)
+val figure1 :
+  ?period:Hb_util.Time.t -> unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [figure4_edges ()] — the clock waveforms of the paper's Figure 4: two
+    clocks yielding the eight edges A…H used in the worked break-open
+    example. Returns the system together with the figure's edge labels in
+    circular order. *)
+val figure4_edges : unit -> Hb_clock.System.t * (string * Hb_clock.Edge.t) list

@@ -1,0 +1,88 @@
+let build_pipeline ~seed ~system ~latch_cell ~clock_for_stage ~width ~stages
+    ~gates_per_stage ~name =
+  let rng = Hb_util.Rng.create seed in
+  let builder =
+    Hb_netlist.Builder.create ~name ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports builder system;
+  let inputs = Rtl.input_ports builder ~prefix:"din" ~count:width in
+  let rec stage index nets =
+    if index >= stages then nets
+    else begin
+      let latched =
+        Rtl.register_bank builder ~cell:latch_cell
+          ~clock_net:(clock_for_stage index)
+          ~prefix:(Printf.sprintf "s%d" index)
+          ~data:nets
+      in
+      if index = stages - 1 then latched
+      else begin
+        let cloud =
+          Cloud.grow builder ~rng
+            ~prefix:(Printf.sprintf "s%dl" index)
+            ~inputs:latched ~gates:gates_per_stage ~outputs:width ()
+        in
+        stage (index + 1) cloud.Cloud.output_nets
+      end
+    end
+  in
+  let final = stage 0 inputs in
+  Rtl.output_ports builder ~prefix:"dout" final;
+  (Hb_netlist.Builder.freeze builder, system)
+
+let two_phase ?(seed = 17L) ?(period = 100.0) ~width ~stages ~gates_per_stage () =
+  if stages < 2 then invalid_arg "Pipelines.two_phase: stages must be >= 2";
+  let system = Clocks.two_phase ~period in
+  build_pipeline ~seed ~system ~latch_cell:"latch"
+    ~clock_for_stage:(fun i -> if i mod 2 = 0 then "phi1" else "phi2")
+    ~width ~stages ~gates_per_stage ~name:"two_phase_pipeline"
+
+let edge_ff ?(seed = 23L) ?(period = 100.0) ~width ~stages ~gates_per_stage () =
+  if stages < 2 then invalid_arg "Pipelines.edge_ff: stages must be >= 2";
+  let system = Clocks.single ~period in
+  build_pipeline ~seed ~system ~latch_cell:"dff"
+    ~clock_for_stage:(fun _ -> "clk")
+    ~width ~stages ~gates_per_stage ~name:"edge_ff_pipeline"
+
+let latch_ring ?(period = 100.0) ~gates () =
+  let system = Clocks.two_phase ~period in
+  let rng = Hb_util.Rng.create 31L in
+  let builder =
+    Hb_netlist.Builder.create ~name:"latch_ring"
+      ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports builder system;
+  Hb_netlist.Builder.add_port builder ~name:"seed_in"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  Hb_netlist.Builder.add_port builder ~name:"sel"
+    ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+  (* Loop: mux(seed_in, feedback) -> latch A (phi1) -> cloud1 -> latch B
+     (phi2) -> cloud2 -> feedback. *)
+  Hb_netlist.Builder.add_instance builder ~name:"seed_mux" ~cell:"mux2_x1"
+    ~connections:[ ("a", "seed_in"); ("b", "loop_back"); ("c", "sel"); ("y", "loop_in") ]
+    ();
+  let qa =
+    Rtl.register_bank builder ~cell:"latch" ~clock_net:"phi1" ~prefix:"la"
+      ~data:[ "loop_in" ]
+  in
+  let cloud1 =
+    Cloud.grow builder ~rng ~prefix:"c1" ~inputs:qa ~gates:(gates / 2)
+      ~outputs:1 ()
+  in
+  let qb =
+    Rtl.register_bank builder ~cell:"latch" ~clock_net:"phi2" ~prefix:"lb"
+      ~data:cloud1.Cloud.output_nets
+  in
+  let cloud2 =
+    Cloud.grow builder ~rng ~prefix:"c2" ~inputs:qb
+      ~gates:(gates - (gates / 2))
+      ~outputs:1 ()
+  in
+  (match cloud2.Cloud.output_nets with
+   | [ out ] ->
+     Hb_netlist.Builder.add_instance builder ~name:"loop_buf" ~cell:"buf_x1"
+       ~connections:[ ("a", out); ("y", "loop_back") ]
+       ()
+   | _ -> assert false);
+  Rtl.output_ports builder ~prefix:"obs" [ "loop_back" ];
+  (Hb_netlist.Builder.freeze builder, system)

@@ -1,0 +1,37 @@
+(** Parameterised pipeline generators. *)
+
+(** [two_phase ?seed ?period ~width ~stages ~gates_per_stage ()] builds the
+    classic level-sensitive two-phase pipeline: primary inputs, then
+    alternating phi1/phi2 transparent-latch banks with a random logic
+    cloud between consecutive banks, then primary outputs. [stages] counts
+    latch banks (>= 2). Returns the design with its clock system. *)
+val two_phase :
+  ?seed:int64 ->
+  ?period:Hb_util.Time.t ->
+  width:int ->
+  stages:int ->
+  gates_per_stage:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [edge_ff ?seed ?period ~width ~stages ~gates_per_stage ()] is the
+    single-clock flip-flop variant. *)
+val edge_ff :
+  ?seed:int64 ->
+  ?period:Hb_util.Time.t ->
+  width:int ->
+  stages:int ->
+  gates_per_stage:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
+
+(** [latch_ring ?period ~gates ()] builds the paper's cyclic configuration:
+    two transparent latch banks on opposite phases closed into a loop
+    through two logic clouds, so the too-slow combinational paths form a
+    directed cycle traversing the latches. A primary input seeds the loop
+    through an extra mux; a primary output observes it. *)
+val latch_ring :
+  ?period:Hb_util.Time.t ->
+  gates:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t

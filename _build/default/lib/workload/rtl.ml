@@ -1,0 +1,47 @@
+let add_clock_ports builder system =
+  List.iter
+    (fun w ->
+       Hb_netlist.Builder.add_port builder ~name:w.Hb_clock.Waveform.name
+         ~direction:Hb_netlist.Design.Port_in ~is_clock:true)
+    system.Hb_clock.System.waveforms
+
+let input_ports builder ~prefix ~count =
+  List.init count (fun i ->
+      let name = Printf.sprintf "%s%d" prefix i in
+      Hb_netlist.Builder.add_port builder ~name
+        ~direction:Hb_netlist.Design.Port_in ~is_clock:false;
+      name)
+
+let output_ports builder ~prefix nets =
+  List.iteri
+    (fun i net ->
+       let port = Printf.sprintf "%s%d" prefix i in
+       Hb_netlist.Builder.add_port builder ~name:port
+         ~direction:Hb_netlist.Design.Port_out ~is_clock:false;
+       Hb_netlist.Builder.add_instance builder
+         ~name:(Printf.sprintf "%s%d_drv" prefix i)
+         ~cell:"buf_x2"
+         ~connections:[ ("a", net); ("y", port) ]
+         ())
+    nets
+
+let register_bank builder ~cell ~clock_net ~prefix ~data =
+  List.mapi
+    (fun i d ->
+       let q = Printf.sprintf "%s_q%d" prefix i in
+       Hb_netlist.Builder.add_instance builder
+         ~name:(Printf.sprintf "%s_r%d" prefix i)
+         ~cell
+         ~connections:[ ("d", d); ("ck", clock_net); ("q", q) ]
+         ();
+       q)
+    data
+
+let pad_with_buffers builder ~prefix ~count ~net =
+  for i = 0 to count - 1 do
+    Hb_netlist.Builder.add_instance builder
+      ~name:(Printf.sprintf "%s_pad%d" prefix i)
+      ~cell:"buf_x1"
+      ~connections:[ ("a", net); ("y", Printf.sprintf "%s_padn%d" prefix i) ]
+      ()
+  done

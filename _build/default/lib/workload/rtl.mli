@@ -1,0 +1,31 @@
+(** Small structural helpers shared by the design generators. *)
+
+(** [add_clock_ports builder system] declares one clock input port per
+    waveform of [system], named after it (the convention the analyser's
+    control tracing relies on). *)
+val add_clock_ports : Hb_netlist.Builder.t -> Hb_clock.System.t -> unit
+
+(** [input_ports builder ~prefix ~count] declares [count] primary inputs
+    ["<prefix><i>"] and returns their net names. *)
+val input_ports : Hb_netlist.Builder.t -> prefix:string -> count:int -> string list
+
+(** [output_ports builder ~prefix nets] declares one primary output per
+    net, buffering each through a [buf_x2] so the port net has a cell
+    driver. *)
+val output_ports : Hb_netlist.Builder.t -> prefix:string -> string list -> unit
+
+(** [register_bank builder ~cell ~clock_net ~prefix ~data] instantiates one
+    synchroniser (["dff"], ["latch"] or ["tsbuf"]) per data net and returns
+    the q-output net names. *)
+val register_bank :
+  Hb_netlist.Builder.t ->
+  cell:string ->
+  clock_net:string ->
+  prefix:string ->
+  data:string list ->
+  string list
+
+(** [pad_with_buffers builder ~prefix ~count ~net] adds [count] buffer
+    cells loading [net] (used to hit an exact cell-count target). *)
+val pad_with_buffers :
+  Hb_netlist.Builder.t -> prefix:string -> count:int -> net:string -> unit

@@ -1,0 +1,55 @@
+let random ~seed ?(phases = 3) ?(registers = 8) ?(gates = 60) ?(inputs = 4)
+    ?(outputs = 2) ?(period = 100.0) () =
+  if phases < 1 then invalid_arg "Soup.random: phases must be >= 1";
+  if registers < 1 then invalid_arg "Soup.random: registers must be >= 1";
+  let rng = Hb_util.Rng.create seed in
+  let system =
+    Hb_clock.System.make ~overall_period:period
+      (List.init phases (fun i ->
+           Hb_clock.Waveform.make
+             ~name:(Printf.sprintf "c%d" (i + 1))
+             ~multiplier:1
+             ~rise:(float_of_int i *. period /. float_of_int phases)
+             ~width:(0.7 *. period /. float_of_int phases)))
+  in
+  let b =
+    Hb_netlist.Builder.create ~name:"soup" ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports b system;
+  let primary = Rtl.input_ports b ~prefix:"pi" ~count:inputs in
+  (* Register outputs are cloud inputs; their data inputs come from cloud
+     outputs wired up afterwards. *)
+  let register_q =
+    List.init registers (fun r ->
+        let q = Printf.sprintf "rq%d" r in
+        let cell = if Hb_util.Rng.bool rng then "dff" else "latch" in
+        let phase = 1 + Hb_util.Rng.int rng phases in
+        Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "reg%d" r)
+          ~cell
+          ~connections:
+            [ ("d", Printf.sprintf "rd%d" r);
+              ("ck", Printf.sprintf "c%d" phase);
+              ("q", q) ]
+          ();
+        q)
+  in
+  let cloud_outputs = registers + outputs in
+  let cloud =
+    Cloud.grow b ~rng ~prefix:"soup" ~inputs:(primary @ register_q)
+      ~gates:(Stdlib.max gates cloud_outputs)
+      ~outputs:cloud_outputs ()
+  in
+  (* Wire cloud outputs onto register data inputs and primary outputs. *)
+  List.iteri
+    (fun i net ->
+       if i < registers then
+         Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "rdbuf%d" i)
+           ~cell:"buf_x1"
+           ~connections:[ ("a", net); ("y", Printf.sprintf "rd%d" i) ]
+           ())
+    cloud.Cloud.output_nets;
+  let output_nets =
+    List.filteri (fun i _ -> i >= registers) cloud.Cloud.output_nets
+  in
+  Rtl.output_ports b ~prefix:"po" output_nets;
+  (Hb_netlist.Builder.freeze b, system)

@@ -1,0 +1,25 @@
+(** Random mixed synchronous designs ("soups") for stress testing.
+
+    Unlike the structured pipelines, a soup places a configurable number
+    of registers of random kinds (flip-flops and transparent latches) on
+    random phases of an n-phase clock, grows one random combinational
+    cloud over all register outputs and primary inputs, and feeds every
+    register input and a few primary outputs from the cloud. The result
+    exercises multi-phase paths in arbitrary directions — including
+    same-phase latch-to-latch and backward-phase paths that need the
+    full break-open machinery — while staying acyclic in its
+    combinational logic by construction. *)
+
+(** [random ~seed ?phases ?registers ?gates ?inputs ?outputs ()] builds a
+    deterministic random design and its clock system. Defaults: 3 phases,
+    8 registers, 60 gates, 4 primary inputs, 2 primary outputs. *)
+val random :
+  seed:int64 ->
+  ?phases:int ->
+  ?registers:int ->
+  ?gates:int ->
+  ?inputs:int ->
+  ?outputs:int ->
+  ?period:Hb_util.Time.t ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t

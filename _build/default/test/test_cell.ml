@@ -1,0 +1,354 @@
+(* Tests for the hb_cell library: delay models, cell validation and the
+   default standard-cell catalogue. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Delay model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_arc_eval () =
+  let arc = Hb_cell.Delay_model.arc ~intrinsic:0.5 ~slope:10.0 in
+  check_float "no load" 0.5 (Hb_cell.Delay_model.eval_arc arc ~load:0.0);
+  check_float "loaded" 1.5 (Hb_cell.Delay_model.eval_arc arc ~load:0.1)
+
+let test_arc_rejects_negative () =
+  Alcotest.check_raises "negative intrinsic"
+    (Invalid_argument "Delay_model.arc: negative intrinsic")
+    (fun () -> ignore (Hb_cell.Delay_model.arc ~intrinsic:(-1.0) ~slope:0.0));
+  Alcotest.check_raises "negative slope"
+    (Invalid_argument "Delay_model.arc: negative slope")
+    (fun () -> ignore (Hb_cell.Delay_model.arc ~intrinsic:0.0 ~slope:(-1.0)));
+  let arc = Hb_cell.Delay_model.arc ~intrinsic:0.5 ~slope:10.0 in
+  Alcotest.check_raises "negative load"
+    (Invalid_argument "Delay_model.eval_arc: negative load")
+    (fun () -> ignore (Hb_cell.Delay_model.eval_arc arc ~load:(-0.1)))
+
+let test_worst_best () =
+  let model =
+    Hb_cell.Delay_model.make
+      ~rise:(Hb_cell.Delay_model.arc ~intrinsic:1.0 ~slope:10.0)
+      ~fall:(Hb_cell.Delay_model.arc ~intrinsic:0.5 ~slope:20.0)
+  in
+  (* Below the crossover load the rise arc dominates. *)
+  check_float "worst at low load" 1.0 (Hb_cell.Delay_model.worst model ~load:0.0);
+  check_float "best at low load" 0.5 (Hb_cell.Delay_model.best model ~load:0.0);
+  (* Above the crossover (0.05 pF) the fall arc dominates. *)
+  check_float "worst at high load" 2.5 (Hb_cell.Delay_model.worst model ~load:0.1);
+  check_float "best at high load" 2.0 (Hb_cell.Delay_model.best model ~load:0.1)
+
+let test_scale () =
+  let model =
+    Hb_cell.Delay_model.symmetric
+      (Hb_cell.Delay_model.arc ~intrinsic:1.0 ~slope:10.0)
+  in
+  let faster = Hb_cell.Delay_model.scale model 0.5 in
+  check_float "scaled worst" 1.0 (Hb_cell.Delay_model.worst faster ~load:0.1);
+  Alcotest.check_raises "zero factor"
+    (Invalid_argument "Delay_model.scale: factor must be positive")
+    (fun () -> ignore (Hb_cell.Delay_model.scale model 0.0))
+
+let prop_delay_monotonic_in_load =
+  QCheck.Test.make ~name:"worst delay is monotone in load" ~count:300
+    QCheck.(triple (float_range 0.0 5.0) (float_range 0.0 50.0)
+              (pair (float_range 0.0 2.0) (float_range 0.0 2.0)))
+    (fun (intrinsic, slope, (l1, l2)) ->
+       let model =
+         Hb_cell.Delay_model.symmetric
+           (Hb_cell.Delay_model.arc ~intrinsic ~slope)
+       in
+       let lo = Stdlib.min l1 l2 and hi = Stdlib.max l1 l2 in
+       Hb_cell.Delay_model.worst model ~load:lo
+       <= Hb_cell.Delay_model.worst model ~load:hi +. 1e-12)
+
+let prop_scale_linear =
+  QCheck.Test.make ~name:"scale multiplies delays" ~count:300
+    QCheck.(triple (float_range 0.01 3.0) (float_range 0.0 2.0)
+              (float_range 0.1 4.0))
+    (fun (factor, load, intrinsic) ->
+       let model =
+         Hb_cell.Delay_model.symmetric
+           (Hb_cell.Delay_model.arc ~intrinsic ~slope:7.0)
+       in
+       let scaled = Hb_cell.Delay_model.scale model factor in
+       Float.abs
+         (Hb_cell.Delay_model.worst scaled ~load
+          -. (factor *. Hb_cell.Delay_model.worst model ~load))
+       < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Kind                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_kind_classification () =
+  Alcotest.(check bool) "inv is comb" true
+    (Hb_cell.Kind.is_comb (Hb_cell.Kind.Comb Hb_cell.Kind.Inv));
+  Alcotest.(check bool) "dff is sync" true
+    (Hb_cell.Kind.is_sync (Hb_cell.Kind.Sync Hb_cell.Kind.Edge_ff));
+  Alcotest.(check bool) "latch is not comb" false
+    (Hb_cell.Kind.is_comb (Hb_cell.Kind.Sync Hb_cell.Kind.Transparent_latch))
+
+let test_kind_fan_in () =
+  Alcotest.(check int) "nand3" 3 (Hb_cell.Kind.comb_fan_in (Hb_cell.Kind.Nand 3));
+  Alcotest.(check int) "aoi22" 4 (Hb_cell.Kind.comb_fan_in Hb_cell.Kind.Aoi22);
+  Alcotest.(check int) "mux2" 3 (Hb_cell.Kind.comb_fan_in Hb_cell.Kind.Mux2);
+  Alcotest.(check int) "macro" 7 (Hb_cell.Kind.comb_fan_in (Hb_cell.Kind.Macro 7))
+
+let test_kind_names () =
+  Alcotest.(check string) "nand2" "nand2"
+    (Hb_cell.Kind.to_string (Hb_cell.Kind.Comb (Hb_cell.Kind.Nand 2)));
+  Alcotest.(check string) "latch" "latch"
+    (Hb_cell.Kind.to_string (Hb_cell.Kind.Sync Hb_cell.Kind.Transparent_latch));
+  Alcotest.(check string) "tsbuf" "tsbuf"
+    (Hb_cell.Kind.to_string (Hb_cell.Kind.Sync Hb_cell.Kind.Tristate_driver))
+
+(* ------------------------------------------------------------------ *)
+(* Cell validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let simple_delay =
+  Hb_cell.Delay_model.symmetric (Hb_cell.Delay_model.arc ~intrinsic:1.0 ~slope:5.0)
+
+let inv_pins =
+  [ { Hb_cell.Cell.pin_name = "a"; role = Hb_cell.Cell.Data_in; capacitance = 0.01 };
+    { Hb_cell.Cell.pin_name = "y"; role = Hb_cell.Cell.Data_out; capacitance = 0.0 } ]
+
+let inv_arcs = [ { Hb_cell.Cell.from_pin = "a"; to_pin = "y"; delay = simple_delay } ]
+
+let make_inv () =
+  Hb_cell.Cell.make ~name:"test_inv" ~kind:(Hb_cell.Kind.Comb Hb_cell.Kind.Inv)
+    ~pins:inv_pins ~timing:(Hb_cell.Cell.Comb_timing inv_arcs) ~area:1.0 ~drive:1
+
+let test_cell_ok () =
+  let cell = make_inv () in
+  Alcotest.(check int) "pin count" 2 (List.length cell.Hb_cell.Cell.pins);
+  Alcotest.(check int) "inputs" 1 (List.length (Hb_cell.Cell.input_pins cell));
+  Alcotest.(check int) "outputs" 1 (List.length (Hb_cell.Cell.output_pins cell));
+  Alcotest.(check int) "controls" 0 (List.length (Hb_cell.Cell.control_pins cell))
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_cell_rejects_bad_arc () =
+  expect_invalid "unknown pin in arc" (fun () ->
+      Hb_cell.Cell.make ~name:"bad" ~kind:(Hb_cell.Kind.Comb Hb_cell.Kind.Inv)
+        ~pins:inv_pins
+        ~timing:
+          (Hb_cell.Cell.Comb_timing
+             [ { Hb_cell.Cell.from_pin = "zz"; to_pin = "y"; delay = simple_delay } ])
+        ~area:1.0 ~drive:1)
+
+let test_cell_rejects_mismatched_timing () =
+  expect_invalid "comb cell with sync timing" (fun () ->
+      Hb_cell.Cell.make ~name:"bad" ~kind:(Hb_cell.Kind.Comb Hb_cell.Kind.Inv)
+        ~pins:inv_pins
+        ~timing:(Hb_cell.Cell.Sync_timing { setup = 1.0; d_cz = 1.0; d_dz = 0.0 })
+        ~area:1.0 ~drive:1);
+  expect_invalid "sync cell with comb timing" (fun () ->
+      Hb_cell.Cell.make ~name:"bad" ~kind:(Hb_cell.Kind.Sync Hb_cell.Kind.Edge_ff)
+        ~pins:inv_pins ~timing:(Hb_cell.Cell.Comb_timing inv_arcs) ~area:1.0
+        ~drive:1)
+
+let test_cell_rejects_duplicate_pins () =
+  expect_invalid "duplicate pins" (fun () ->
+      Hb_cell.Cell.make ~name:"bad" ~kind:(Hb_cell.Kind.Comb Hb_cell.Kind.Inv)
+        ~pins:(inv_pins @ inv_pins)
+        ~timing:(Hb_cell.Cell.Comb_timing inv_arcs) ~area:1.0 ~drive:1)
+
+let test_cell_sync_needs_pins () =
+  expect_invalid "missing control pin" (fun () ->
+      Hb_cell.Cell.make ~name:"bad" ~kind:(Hb_cell.Kind.Sync Hb_cell.Kind.Edge_ff)
+        ~pins:inv_pins
+        ~timing:(Hb_cell.Cell.Sync_timing { setup = 1.0; d_cz = 1.0; d_dz = 0.0 })
+        ~area:1.0 ~drive:1)
+
+let test_cell_arc_lookup () =
+  let cell = make_inv () in
+  Alcotest.(check int) "arcs to y" 1 (List.length (Hb_cell.Cell.arcs_to cell ~output:"y"));
+  Alcotest.(check bool) "arc between a and y" true
+    (Hb_cell.Cell.arc_between cell ~input:"a" ~output:"y" <> None);
+  Alcotest.(check bool) "no arc between y and a" true
+    (Hb_cell.Cell.arc_between cell ~input:"y" ~output:"a" = None)
+
+let test_cell_scaled () =
+  let cell = make_inv () in
+  let fast = Hb_cell.Cell.with_scaled_delays cell ~factor:0.5 ~suffix:"_fast" in
+  Alcotest.(check string) "renamed" "test_inv_fast" fast.Hb_cell.Cell.name;
+  check_float "area doubled" 2.0 fast.Hb_cell.Cell.area;
+  (match Hb_cell.Cell.arc_between fast ~input:"a" ~output:"y" with
+   | Some arc ->
+     check_float "halved delay" 0.5
+       (Hb_cell.Delay_model.worst arc.Hb_cell.Cell.delay ~load:0.0)
+   | None -> Alcotest.fail "missing arc")
+
+let test_sync_parameters () =
+  let pins =
+    [ { Hb_cell.Cell.pin_name = "d"; role = Hb_cell.Cell.Data_in; capacitance = 0.01 };
+      { Hb_cell.Cell.pin_name = "ck"; role = Hb_cell.Cell.Control_in; capacitance = 0.02 };
+      { Hb_cell.Cell.pin_name = "q"; role = Hb_cell.Cell.Data_out; capacitance = 0.0 } ]
+  in
+  let cell =
+    Hb_cell.Cell.make ~name:"ff" ~kind:(Hb_cell.Kind.Sync Hb_cell.Kind.Edge_ff)
+      ~pins ~timing:(Hb_cell.Cell.Sync_timing { setup = 0.8; d_cz = 1.2; d_dz = 0.0 })
+      ~area:6.0 ~drive:1
+  in
+  let setup, d_cz, d_dz = Hb_cell.Cell.sync_parameters cell in
+  check_float "setup" 0.8 setup;
+  check_float "d_cz" 1.2 d_cz;
+  check_float "d_dz" 0.0 d_dz;
+  expect_invalid "comb has no sync parameters" (fun () ->
+      Hb_cell.Cell.sync_parameters (make_inv ()))
+
+(* ------------------------------------------------------------------ *)
+(* Library                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_library_contents () =
+  let lib = Hb_cell.Library.default () in
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " present") true
+         (Hb_cell.Library.find lib name <> None))
+    [ "inv_x1"; "inv_x2"; "inv_x4"; "nand2_x1"; "nor4_x4"; "xor2_x2";
+      "aoi22_x1"; "mux2_x4"; "maj3_x1"; "dff"; "latch"; "tsbuf" ]
+
+let test_default_library_arc_coverage () =
+  (* Every combinational cell must have an arc from every data input to
+     its output. *)
+  let lib = Hb_cell.Library.default () in
+  List.iter
+    (fun cell ->
+       if Hb_cell.Kind.is_comb cell.Hb_cell.Cell.kind then
+         List.iter
+           (fun input ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: arc %s->y" cell.Hb_cell.Cell.name
+                   input.Hb_cell.Cell.pin_name)
+                true
+                (Hb_cell.Cell.arc_between cell
+                   ~input:input.Hb_cell.Cell.pin_name ~output:"y"
+                 <> None))
+           (Hb_cell.Cell.input_pins cell))
+    (Hb_cell.Library.cells lib)
+
+let test_upsize_chain () =
+  let lib = Hb_cell.Library.default () in
+  let x1 = Hb_cell.Library.find_exn lib "nand2_x1" in
+  (match Hb_cell.Library.upsize lib x1 with
+   | Some x2 ->
+     Alcotest.(check string) "x1 -> x2" "nand2_x2" x2.Hb_cell.Cell.name;
+     (match Hb_cell.Library.upsize lib x2 with
+      | Some x4 ->
+        Alcotest.(check string) "x2 -> x4" "nand2_x4" x4.Hb_cell.Cell.name;
+        Alcotest.(check bool) "x4 is top" true
+          (Hb_cell.Library.upsize lib x4 = None)
+      | None -> Alcotest.fail "expected x4")
+   | None -> Alcotest.fail "expected x2")
+
+let test_downsize () =
+  let lib = Hb_cell.Library.default () in
+  let x4 = Hb_cell.Library.find_exn lib "inv_x4" in
+  (match Hb_cell.Library.downsize lib x4 with
+   | Some c -> Alcotest.(check string) "x4 -> x2" "inv_x2" c.Hb_cell.Cell.name
+   | None -> Alcotest.fail "expected downsize");
+  let x1 = Hb_cell.Library.find_exn lib "inv_x1" in
+  Alcotest.(check bool) "x1 is bottom" true (Hb_cell.Library.downsize lib x1 = None)
+
+let test_upsize_is_faster () =
+  let lib = Hb_cell.Library.default () in
+  let x1 = Hb_cell.Library.find_exn lib "nand2_x1" in
+  let x4 = Hb_cell.Library.find_exn lib "nand2_x4" in
+  let delay cell =
+    match Hb_cell.Cell.arc_between cell ~input:"a" ~output:"y" with
+    | Some arc -> Hb_cell.Delay_model.worst arc.Hb_cell.Cell.delay ~load:0.1
+    | None -> Alcotest.fail "missing arc"
+  in
+  Alcotest.(check bool) "x4 faster under load" true (delay x4 < delay x1);
+  Alcotest.(check bool) "x4 larger" true
+    (x4.Hb_cell.Cell.area > x1.Hb_cell.Cell.area)
+
+let test_library_duplicate_rejected () =
+  let cell = make_inv () in
+  expect_invalid "duplicate cells" (fun () ->
+      Hb_cell.Library.create [ cell; cell ])
+
+let test_library_lookup () =
+  let lib = Hb_cell.Library.default () in
+  Alcotest.(check bool) "missing cell" true (Hb_cell.Library.find lib "nope" = None);
+  Alcotest.check_raises "find_exn raises" Not_found (fun () ->
+      ignore (Hb_cell.Library.find_exn lib "nope"));
+  Alcotest.(check bool) "size positive" true (Hb_cell.Library.size lib > 40)
+
+let test_sync_scaled () =
+  let lib = Hb_cell.Library.default () in
+  let dff = Hb_cell.Library.find_exn lib "dff" in
+  let fast = Hb_cell.Cell.with_scaled_delays dff ~factor:0.5 ~suffix:"_h" in
+  let setup, d_cz, _ = Hb_cell.Cell.sync_parameters fast in
+  check_float "setup halves" 0.4 setup;
+  check_float "d_cz halves" 0.6 d_cz
+
+let test_families_do_not_merge_names () =
+  (* "latch2" must form its own family, not upsize into "latch". *)
+  let lib = Hb_cell.Library.default () in
+  let latch2 = Hb_cell.Library.find_exn lib "latch2" in
+  Alcotest.(check bool) "latch2 has no upsize" true
+    (Hb_cell.Library.upsize lib latch2 = None);
+  let latch = Hb_cell.Library.find_exn lib "latch" in
+  Alcotest.(check bool) "latch has no upsize" true
+    (Hb_cell.Library.upsize lib latch = None)
+
+let test_macro_kind_name () =
+  Alcotest.(check string) "macro pp" "macro3"
+    (Hb_cell.Kind.to_string (Hb_cell.Kind.Comb (Hb_cell.Kind.Macro 3)))
+
+let test_unate_sense () =
+  Alcotest.(check bool) "nand negative" true
+    (Hb_cell.Kind.unate_sense (Hb_cell.Kind.Nand 2) = `Negative);
+  Alcotest.(check bool) "buf positive" true
+    (Hb_cell.Kind.unate_sense Hb_cell.Kind.Buf = `Positive);
+  Alcotest.(check bool) "xor non-unate" true
+    (Hb_cell.Kind.unate_sense Hb_cell.Kind.Xor2 = `Non_unate);
+  Alcotest.(check bool) "macro non-unate" true
+    (Hb_cell.Kind.unate_sense (Hb_cell.Kind.Macro 2) = `Non_unate)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_delay_monotonic_in_load; prop_scale_linear ]
+  in
+  Alcotest.run "hb_cell"
+    [ ("delay_model",
+       [ Alcotest.test_case "arc eval" `Quick test_arc_eval;
+         Alcotest.test_case "rejects negatives" `Quick test_arc_rejects_negative;
+         Alcotest.test_case "worst/best" `Quick test_worst_best;
+         Alcotest.test_case "scale" `Quick test_scale ]);
+      ("kind",
+       [ Alcotest.test_case "classification" `Quick test_kind_classification;
+         Alcotest.test_case "fan in" `Quick test_kind_fan_in;
+         Alcotest.test_case "names" `Quick test_kind_names ]);
+      ("cell",
+       [ Alcotest.test_case "make" `Quick test_cell_ok;
+         Alcotest.test_case "bad arc" `Quick test_cell_rejects_bad_arc;
+         Alcotest.test_case "mismatched timing" `Quick test_cell_rejects_mismatched_timing;
+         Alcotest.test_case "duplicate pins" `Quick test_cell_rejects_duplicate_pins;
+         Alcotest.test_case "sync pin roles" `Quick test_cell_sync_needs_pins;
+         Alcotest.test_case "arc lookup" `Quick test_cell_arc_lookup;
+         Alcotest.test_case "scaled variant" `Quick test_cell_scaled;
+         Alcotest.test_case "sync parameters" `Quick test_sync_parameters ]);
+      ("library",
+       [ Alcotest.test_case "default contents" `Quick test_default_library_contents;
+         Alcotest.test_case "arc coverage" `Quick test_default_library_arc_coverage;
+         Alcotest.test_case "upsize chain" `Quick test_upsize_chain;
+         Alcotest.test_case "downsize" `Quick test_downsize;
+         Alcotest.test_case "upsize is faster" `Quick test_upsize_is_faster;
+         Alcotest.test_case "duplicate rejected" `Quick test_library_duplicate_rejected;
+         Alcotest.test_case "lookup" `Quick test_library_lookup ]);
+      ("extras",
+       [ Alcotest.test_case "sync scaled" `Quick test_sync_scaled;
+         Alcotest.test_case "family boundaries" `Quick test_families_do_not_merge_names;
+         Alcotest.test_case "macro kind name" `Quick test_macro_kind_name;
+         Alcotest.test_case "unate sense" `Quick test_unate_sense ]);
+      ("properties", qsuite);
+    ]

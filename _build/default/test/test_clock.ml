@@ -1,0 +1,314 @@
+(* Tests for hb_clock: waveforms, edge enumeration, the .hbc format and the
+   break-open machinery of Section 7, including the paper's Figure 4
+   worked example. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Waveform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_waveform_edges () =
+  let w = Hb_clock.Waveform.make ~name:"c" ~multiplier:2 ~rise:5.0 ~width:10.0 in
+  check_float "own period" 50.0 (Hb_clock.Waveform.own_period w ~overall_period:100.0);
+  check_float "lead 0" 5.0 (Hb_clock.Waveform.leading_edge w ~overall_period:100.0 ~pulse:0);
+  check_float "trail 0" 15.0 (Hb_clock.Waveform.trailing_edge w ~overall_period:100.0 ~pulse:0);
+  check_float "lead 1" 55.0 (Hb_clock.Waveform.leading_edge w ~overall_period:100.0 ~pulse:1)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_waveform_validation () =
+  expect_invalid "multiplier 0" (fun () ->
+      Hb_clock.Waveform.make ~name:"c" ~multiplier:0 ~rise:0.0 ~width:1.0);
+  expect_invalid "negative rise" (fun () ->
+      Hb_clock.Waveform.make ~name:"c" ~multiplier:1 ~rise:(-1.0) ~width:1.0);
+  expect_invalid "zero width" (fun () ->
+      Hb_clock.Waveform.make ~name:"c" ~multiplier:1 ~rise:0.0 ~width:0.0);
+  let too_wide = Hb_clock.Waveform.make ~name:"c" ~multiplier:2 ~rise:10.0 ~width:45.0 in
+  expect_invalid "pulse does not fit" (fun () ->
+      Hb_clock.Waveform.check too_wide ~overall_period:100.0);
+  expect_invalid "pulse out of range" (fun () ->
+      Hb_clock.Waveform.leading_edge too_wide ~overall_period:100.0 ~pulse:2)
+
+(* ------------------------------------------------------------------ *)
+(* System                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let two_phase () =
+  Hb_clock.System.make ~overall_period:100.0
+    [ Hb_clock.Waveform.make ~name:"phi1" ~multiplier:1 ~rise:0.0 ~width:40.0;
+      Hb_clock.Waveform.make ~name:"phi2" ~multiplier:1 ~rise:50.0 ~width:40.0 ]
+
+let test_system_edges_sorted () =
+  let edges = Hb_clock.System.edges (two_phase ()) in
+  Alcotest.(check int) "edge count" 4 (Array.length edges);
+  let times = Array.map snd edges in
+  Alcotest.(check (array (float 1e-9))) "sorted times"
+    [| 0.0; 40.0; 50.0; 90.0 |] times
+
+let test_system_edge_time () =
+  let s = two_phase () in
+  check_float "phi2 trailing" 90.0
+    (Hb_clock.System.edge_time s (Hb_clock.Edge.trailing ~clock:"phi2" ~pulse:0));
+  Alcotest.check_raises "unknown clock" Not_found (fun () ->
+      ignore
+        (Hb_clock.System.edge_time s (Hb_clock.Edge.leading ~clock:"zz" ~pulse:0)))
+
+let test_system_validation () =
+  expect_invalid "duplicate names" (fun () ->
+      Hb_clock.System.make ~overall_period:100.0
+        [ Hb_clock.Waveform.make ~name:"c" ~multiplier:1 ~rise:0.0 ~width:10.0;
+          Hb_clock.Waveform.make ~name:"c" ~multiplier:1 ~rise:20.0 ~width:10.0 ]);
+  expect_invalid "non-positive period" (fun () ->
+      Hb_clock.System.make ~overall_period:0.0 [])
+
+let test_multirate_edge_count () =
+  let s =
+    Hb_clock.System.make ~overall_period:100.0
+      [ Hb_clock.Waveform.make ~name:"fast" ~multiplier:4 ~rise:0.0 ~width:10.0 ]
+  in
+  Alcotest.(check int) "4 pulses -> 8 edges" 8
+    (Array.length (Hb_clock.System.edges s))
+
+let test_hbc_round_trip () =
+  let s = two_phase () in
+  let text = Hb_clock.System.to_string s in
+  let s2 = Hb_clock.System.parse text in
+  Alcotest.(check string) "round trip" text (Hb_clock.System.to_string s2)
+
+let test_hbc_parse () =
+  let s =
+    Hb_clock.System.parse
+      "# comment\nperiod 80\nclock a multiplier 2 rise 0 width 10\n"
+  in
+  check_float "period" 80.0 s.Hb_clock.System.overall_period;
+  Alcotest.(check int) "one waveform" 1 (List.length s.Hb_clock.System.waveforms)
+
+let expect_parse_failure text =
+  match Hb_clock.System.parse text with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_hbc_errors () =
+  expect_parse_failure "clock a multiplier 1 rise 0 width 10\n";
+  expect_parse_failure "period 100\nperiod 50\n";
+  expect_parse_failure "period 100\nclock a multiplier x rise 0 width 1\n";
+  expect_parse_failure "period 100\nbogus\n";
+  expect_parse_failure "period 100\nclock a multiplier 1 rise 0 width 200\n"
+
+let test_with_overall_period () =
+  let s = two_phase () in
+  let slower = Hb_clock.System.with_overall_period s 200.0 in
+  check_float "stretched" 200.0 slower.Hb_clock.System.overall_period;
+  (* Shrinking below the pulse extents must be rejected. *)
+  expect_invalid "too small" (fun () ->
+      Hb_clock.System.with_overall_period s 80.0)
+
+(* ------------------------------------------------------------------ *)
+(* Break-open                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_position () =
+  (* 4 nodes; cutting arc 3 (between 3 and 0) keeps natural order. *)
+  List.iteri
+    (fun i expected ->
+       Alcotest.(check int) (Printf.sprintf "pos %d" i) expected
+         (Hb_clock.Break.position ~node_count:4 ~cut:3 i))
+    [ 0; 1; 2; 3 ];
+  (* Cutting arc 1 starts the order at node 2. *)
+  List.iteri
+    (fun i expected ->
+       Alcotest.(check int) (Printf.sprintf "pos %d" i) expected
+         (Hb_clock.Break.position ~node_count:4 ~cut:1 i))
+    [ 2; 3; 0; 1 ]
+
+let test_satisfies () =
+  let req = { Hb_clock.Break.before = 2; after = 0 } in
+  (* Node 2 before node 0 requires the cut in (0, 2]: arcs 0 and 1. *)
+  Alcotest.(check bool) "cut 0" true
+    (Hb_clock.Break.satisfies ~node_count:4 ~cut:0 req);
+  Alcotest.(check bool) "cut 1" true
+    (Hb_clock.Break.satisfies ~node_count:4 ~cut:1 req);
+  Alcotest.(check bool) "cut 2" false
+    (Hb_clock.Break.satisfies ~node_count:4 ~cut:2 req);
+  Alcotest.(check bool) "cut 3" false
+    (Hb_clock.Break.satisfies ~node_count:4 ~cut:3 req);
+  Alcotest.(check bool) "self requirement" false
+    (Hb_clock.Break.satisfies ~node_count:4 ~cut:0
+       { Hb_clock.Break.before = 1; after = 1 })
+
+let test_solve_trivial () =
+  Alcotest.(check (list int)) "no requirements" [ 7 ]
+    (Hb_clock.Break.solve ~node_count:8 []);
+  expect_invalid "self requirement rejected" (fun () ->
+      Hb_clock.Break.solve ~node_count:4
+        [ { Hb_clock.Break.before = 1; after = 1 } ]);
+  expect_invalid "bad node" (fun () ->
+      Hb_clock.Break.solve ~node_count:4
+        [ { Hb_clock.Break.before = 0; after = 9 } ])
+
+(* The paper's Figure 4 example: edges A..H in circular order (nodes
+   0..7); the requirement "E before C" is satisfied by removing arc D->E
+   (arc 3), giving the order E F G H A B C D. *)
+let test_figure4_example () =
+  let node = function
+    | "A" -> 0 | "B" -> 1 | "C" -> 2 | "D" -> 3
+    | "E" -> 4 | "F" -> 5 | "G" -> 6 | "H" -> 7
+    | _ -> Alcotest.fail "bad label"
+  in
+  let req = { Hb_clock.Break.before = node "E"; after = node "C" } in
+  Alcotest.(check bool) "arc D->E satisfies" true
+    (Hb_clock.Break.satisfies ~node_count:8 ~cut:(node "D") req);
+  (* The linear order after cutting D->E is E F G H A B C D. *)
+  let order =
+    List.sort
+      (fun a b ->
+         compare
+           (Hb_clock.Break.position ~node_count:8 ~cut:(node "D") (node a))
+           (Hb_clock.Break.position ~node_count:8 ~cut:(node "D") (node b)))
+      [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
+  in
+  Alcotest.(check (list string)) "order"
+    [ "E"; "F"; "G"; "H"; "A"; "B"; "C"; "D" ] order;
+  (* One cut suffices for this requirement. *)
+  Alcotest.(check int) "single pass" 1
+    (List.length (Hb_clock.Break.solve ~node_count:8 [ req ]))
+
+let test_solve_two_cuts_needed () =
+  (* Figure 1 shape: all of nodes 0,2,4,6 must precede node 3 and node 7
+     (assertions at even positions, closures at odd). One cut cannot place
+     0,2,4,6 before 3 and also before 7. *)
+  let reqs =
+    List.concat_map
+      (fun a ->
+         [ { Hb_clock.Break.before = a; after = 3 };
+           { Hb_clock.Break.before = a; after = 7 } ])
+      [ 0; 2; 4; 6 ]
+  in
+  let cuts = Hb_clock.Break.solve ~node_count:8 reqs in
+  Alcotest.(check int) "two passes" 2 (List.length cuts);
+  (* Every requirement is satisfied by some chosen cut. *)
+  List.iter
+    (fun req ->
+       Alcotest.(check bool) "covered" true
+         (List.exists
+            (fun cut -> Hb_clock.Break.satisfies ~node_count:8 ~cut req)
+            cuts))
+    reqs
+
+let test_assign_picks_latest () =
+  (* With cuts after nodes 1 and 5, node 2 sits closest to the end under
+     the cut at 1... positions: cut 1 -> order 2 3 4 5 6 7 0 1. *)
+  let cut = Hb_clock.Break.assign ~node_count:8 ~cuts:[ 1; 5 ] 5 in
+  Alcotest.(check int) "node 5 assigned to cut 5" 5 cut;
+  let cut2 = Hb_clock.Break.assign ~node_count:8 ~cuts:[ 1; 5 ] 1 in
+  Alcotest.(check int) "node 1 assigned to cut 1" 1 cut2;
+  expect_invalid "empty cuts" (fun () ->
+      ignore (Hb_clock.Break.assign ~node_count:8 ~cuts:[] 0))
+
+(* Brute-force minimal hitting set for cross-checking. *)
+let brute_force_minimum ~node_count reqs =
+  let satisfied cuts =
+    List.for_all
+      (fun req ->
+         List.exists
+           (fun cut -> Hb_clock.Break.satisfies ~node_count ~cut req)
+           cuts)
+      reqs
+  in
+  let rec subsets_of_size k from =
+    if k = 0 then [ [] ]
+    else if from >= node_count then []
+    else
+      List.map (fun s -> from :: s) (subsets_of_size (k - 1) (from + 1))
+      @ subsets_of_size k (from + 1)
+  in
+  let rec search k =
+    if k > node_count then node_count
+    else if List.exists satisfied (subsets_of_size k 0) then k
+    else search (k + 1)
+  in
+  search 1
+
+let prop_solve_covers_and_is_minimal =
+  QCheck.Test.make ~name:"Break.solve covers all requirements minimally"
+    ~count:200
+    QCheck.(pair (int_range 2 8) (small_list (pair (int_range 0 7) (int_range 0 7))))
+    (fun (node_count, raw) ->
+       let reqs =
+         List.filter_map
+           (fun (a, b) ->
+              let a = a mod node_count and b = b mod node_count in
+              if a = b then None else Some { Hb_clock.Break.before = a; after = b })
+           raw
+       in
+       let cuts = Hb_clock.Break.solve ~node_count reqs in
+       let covered =
+         List.for_all
+           (fun req ->
+              List.exists
+                (fun cut -> Hb_clock.Break.satisfies ~node_count ~cut req)
+                cuts)
+           reqs
+       in
+       let minimal =
+         reqs = [] || List.length cuts = brute_force_minimum ~node_count reqs
+       in
+       covered && minimal)
+
+let prop_position_is_permutation =
+  QCheck.Test.make ~name:"Break.position is a permutation" ~count:200
+    QCheck.(pair (int_range 1 12) (int_range 0 11))
+    (fun (node_count, cut) ->
+       let cut = cut mod node_count in
+       let positions =
+         List.init node_count (fun i ->
+             Hb_clock.Break.position ~node_count ~cut i)
+       in
+       List.sort compare positions = List.init node_count (fun i -> i))
+
+(* The workload figure4 system reproduces the A..H labels in circular
+   order. *)
+let test_workload_figure4_matches () =
+  let system, labels = Hb_workload.Figures.figure4_edges () in
+  let edges = Hb_clock.System.edges system in
+  Alcotest.(check int) "8 edges" 8 (Array.length edges);
+  List.iteri
+    (fun i (label, edge) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "label %s at position %d" label i)
+         true
+         (Hb_clock.Edge.equal (fst edges.(i)) edge))
+    labels
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_solve_covers_and_is_minimal; prop_position_is_permutation ]
+  in
+  Alcotest.run "hb_clock"
+    [ ("waveform",
+       [ Alcotest.test_case "edges" `Quick test_waveform_edges;
+         Alcotest.test_case "validation" `Quick test_waveform_validation ]);
+      ("system",
+       [ Alcotest.test_case "edges sorted" `Quick test_system_edges_sorted;
+         Alcotest.test_case "edge time" `Quick test_system_edge_time;
+         Alcotest.test_case "validation" `Quick test_system_validation;
+         Alcotest.test_case "multirate edges" `Quick test_multirate_edge_count;
+         Alcotest.test_case "hbc round trip" `Quick test_hbc_round_trip;
+         Alcotest.test_case "hbc parse" `Quick test_hbc_parse;
+         Alcotest.test_case "hbc errors" `Quick test_hbc_errors;
+         Alcotest.test_case "rescale period" `Quick test_with_overall_period ]);
+      ("break",
+       [ Alcotest.test_case "position" `Quick test_position;
+         Alcotest.test_case "satisfies" `Quick test_satisfies;
+         Alcotest.test_case "solve trivial" `Quick test_solve_trivial;
+         Alcotest.test_case "figure 4 example" `Quick test_figure4_example;
+         Alcotest.test_case "two cuts" `Quick test_solve_two_cuts_needed;
+         Alcotest.test_case "assign" `Quick test_assign_picks_latest;
+         Alcotest.test_case "workload figure4" `Quick test_workload_figure4_matches ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,311 @@
+(* Tests for hb_logic (cell semantics, simulation) and the static
+   false-path refinement built on it. *)
+
+let lib = Hb_cell.Library.default ()
+let check_time = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Func                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_evaluate_gates () =
+  let eval kind inputs = Hb_logic.Func.evaluate kind inputs in
+  Alcotest.(check (option bool)) "inv" (Some false) (eval Hb_cell.Kind.Inv [ true ]);
+  Alcotest.(check (option bool)) "nand2 11" (Some false)
+    (eval (Hb_cell.Kind.Nand 2) [ true; true ]);
+  Alcotest.(check (option bool)) "nand2 10" (Some true)
+    (eval (Hb_cell.Kind.Nand 2) [ true; false ]);
+  Alcotest.(check (option bool)) "nor3 000" (Some true)
+    (eval (Hb_cell.Kind.Nor 3) [ false; false; false ]);
+  Alcotest.(check (option bool)) "xor" (Some true)
+    (eval Hb_cell.Kind.Xor2 [ true; false ]);
+  Alcotest.(check (option bool)) "aoi22" (Some false)
+    (eval Hb_cell.Kind.Aoi22 [ true; true; false; false ]);
+  Alcotest.(check (option bool)) "oai22" (Some true)
+    (eval Hb_cell.Kind.Oai22 [ true; false; false; false ]);
+  Alcotest.(check (option bool)) "mux sel=0 picks a" (Some true)
+    (eval Hb_cell.Kind.Mux2 [ true; false; false ]);
+  Alcotest.(check (option bool)) "mux sel=1 picks b" (Some false)
+    (eval Hb_cell.Kind.Mux2 [ true; false; true ]);
+  Alcotest.(check (option bool)) "maj3" (Some true)
+    (eval Hb_cell.Kind.Majority3 [ true; true; false ]);
+  Alcotest.(check (option bool)) "macro unknown" None
+    (eval (Hb_cell.Kind.Macro 2) [ true; false ]);
+  Alcotest.(check (option bool)) "arity mismatch" None
+    (eval Hb_cell.Kind.And2 [ true ])
+
+let test_side_requirements () =
+  let req kind ~on_path ~side =
+    Hb_logic.Func.side_requirement kind ~on_path ~side
+  in
+  Alcotest.(check (option bool)) "nand side high" (Some true)
+    (req (Hb_cell.Kind.Nand 2) ~on_path:0 ~side:1);
+  Alcotest.(check (option bool)) "nor side low" (Some false)
+    (req (Hb_cell.Kind.Nor 2) ~on_path:1 ~side:0);
+  Alcotest.(check (option bool)) "self has none" None
+    (req (Hb_cell.Kind.Nand 2) ~on_path:1 ~side:1);
+  Alcotest.(check (option bool)) "xor has none" None
+    (req Hb_cell.Kind.Xor2 ~on_path:0 ~side:1);
+  Alcotest.(check (option bool)) "mux data0 needs sel=0" (Some false)
+    (req Hb_cell.Kind.Mux2 ~on_path:0 ~side:2);
+  Alcotest.(check (option bool)) "mux data1 needs sel=1" (Some true)
+    (req Hb_cell.Kind.Mux2 ~on_path:1 ~side:2);
+  Alcotest.(check (option bool)) "mux select path free" None
+    (req Hb_cell.Kind.Mux2 ~on_path:2 ~side:0)
+
+let prop_nand_demorgan =
+  QCheck.Test.make ~name:"nand = not and / nor = not or" ~count:200
+    QCheck.(pair bool bool)
+    (fun (a, b) ->
+       Hb_logic.Func.evaluate (Hb_cell.Kind.Nand 2) [ a; b ]
+       = Some (not (a && b))
+       && Hb_logic.Func.evaluate (Hb_cell.Kind.Nor 2) [ a; b ]
+          = Some (not (a || b))
+       && Hb_logic.Func.evaluate Hb_cell.Kind.Xnor2 [ a; b ] = Some (a = b))
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let counter_design () =
+  (* 1-bit toggler: q -> inv -> d; output q. *)
+  let b = Hb_netlist.Builder.create ~name:"tog" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"clk" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"q" ~direction:Hb_netlist.Design.Port_out
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"ff" ~cell:"dff"
+    ~connections:[ ("d", "nd"); ("ck", "clk"); ("q", "nq") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"u" ~cell:"inv_x1"
+    ~connections:[ ("a", "nq"); ("y", "nd") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ob" ~cell:"buf_x1"
+    ~connections:[ ("a", "nq"); ("y", "q") ] ();
+  Hb_netlist.Builder.freeze b
+
+let test_sim_toggler () =
+  let sim = Hb_logic.Sim.create (counter_design ()) in
+  let seen = ref [] in
+  for _ = 1 to 4 do
+    Hb_logic.Sim.step sim;
+    seen := Hb_logic.Sim.output_value sim ~port:"q" :: !seen
+  done;
+  (* q starts false; d = not q = true, so q alternates t f t f. *)
+  Alcotest.(check (list bool)) "alternating"
+    [ false; true; false; true ] !seen
+
+let test_sim_combinational () =
+  let b = Hb_netlist.Builder.create ~name:"comb" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"a" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"bb" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"y" ~direction:Hb_netlist.Design.Port_out
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"g" ~cell:"xor2_x1"
+    ~connections:[ ("a", "a"); ("b", "bb"); ("y", "t") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ob" ~cell:"buf_x1"
+    ~connections:[ ("a", "t"); ("y", "y") ] ();
+  let sim = Hb_logic.Sim.create (Hb_netlist.Builder.freeze b) in
+  List.iter
+    (fun (a, b_, expected) ->
+       Hb_logic.Sim.set_input sim ~port:"a" a;
+       Hb_logic.Sim.set_input sim ~port:"bb" b_;
+       Hb_logic.Sim.step sim;
+       Alcotest.(check bool)
+         (Printf.sprintf "xor %b %b" a b_)
+         expected
+         (Hb_logic.Sim.output_value sim ~port:"y"))
+    [ (false, false, false); (true, false, true); (true, true, false) ]
+
+let test_sim_workloads_are_live () =
+  (* Generated designs must actually compute: random stimulus produces
+     plenty of toggling activity. *)
+  List.iter
+    (fun (name, (design, _)) ->
+       let sim = Hb_logic.Sim.create design in
+       let rng = Hb_util.Rng.create 7L in
+       let inputs =
+         List.filter_map
+           (fun p ->
+              let port = Hb_netlist.Design.port design p in
+              match port.Hb_netlist.Design.direction, port.Hb_netlist.Design.is_clock with
+              | Hb_netlist.Design.Port_in, false ->
+                Some port.Hb_netlist.Design.port_name
+              | _, _ -> None)
+           (List.init (Hb_netlist.Design.port_count design) Fun.id)
+       in
+       for _ = 1 to 16 do
+         List.iter
+           (fun port ->
+              Hb_logic.Sim.set_input sim ~port (Hb_util.Rng.bool rng))
+           inputs;
+         Hb_logic.Sim.step sim
+       done;
+       Alcotest.(check bool) (name ^ " toggles") true
+         (Hb_logic.Sim.total_toggles sim > 50))
+    [ ("alu", Hb_workload.Chips.alu ());
+      ("sm1f", Hb_workload.Chips.sm1f ());
+      ("pipeline",
+       Hb_workload.Pipelines.edge_ff ~width:4 ~stages:3 ~gates_per_stage:20 ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* False paths                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let single_clock ?(period = 100.0) () =
+  Hb_clock.System.make ~overall_period:period
+    [ Hb_clock.Waveform.make ~name:"clk" ~multiplier:1 ~rise:0.0
+        ~width:(0.4 *. period) ]
+
+(* The classic conflicting-reconvergence false path. The launch register
+   ff1 reaches ff2 only through a long chain whose middle traverses
+   nand(_, s) and then nor(_, s): propagating a transition along it would
+   need s = 1 and s = 0 simultaneously, so ff1's (unique, worst) path is
+   provably false. The side register ffs launches true paths that skip
+   the 4-buffer head, so the worst sensitisable slack is strictly better
+   by the head delay. *)
+let false_path_design () =
+  let b = Hb_netlist.Builder.create ~name:"falsey" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"clk" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"din" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"sel" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"ffs" ~cell:"dff"
+    ~connections:[ ("d", "sel"); ("ck", "clk"); ("q", "s") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ff1" ~cell:"dff"
+    ~connections:[ ("d", "din"); ("ck", "clk"); ("q", "h0") ] ();
+  (* Head: 4 buffers only ff1's path traverses. *)
+  for i = 0 to 3 do
+    Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "head%d" i)
+      ~cell:"buf_x1"
+      ~connections:
+        [ ("a", Printf.sprintf "h%d" i); ("y", Printf.sprintf "h%d" (i + 1)) ]
+      ()
+  done;
+  Hb_netlist.Builder.add_instance b ~name:"g_mid1" ~cell:"nand2_x1"
+    ~connections:[ ("a", "h4"); ("b", "s"); ("y", "m0") ] ();
+  for i = 0 to 1 do
+    Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "tail%d" i)
+      ~cell:"buf_x1"
+      ~connections:
+        [ ("a", Printf.sprintf "m%d" i); ("y", Printf.sprintf "m%d" (i + 1)) ]
+      ()
+  done;
+  Hb_netlist.Builder.add_instance b ~name:"g_mid2" ~cell:"nor2_x1"
+    ~connections:[ ("a", "m2"); ("b", "s"); ("y", "d2") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ff2" ~cell:"dff"
+    ~connections:[ ("d", "d2"); ("ck", "clk"); ("q", "qq") ] ();
+  Hb_netlist.Builder.freeze b
+
+let endpoint_of ctx design name =
+  let inst =
+    match Hb_netlist.Design.find_instance design name with
+    | Some i -> i
+    | None -> Alcotest.fail "instance"
+  in
+  List.hd
+    (Hashtbl.find ctx.Hb_sta.Context.elements.Hb_sta.Elements.replicas_of_inst inst)
+
+let test_false_path_detected () =
+  let design = false_path_design () in
+  let ctx = Hb_sta.Context.make ~design ~system:(single_clock ()) () in
+  let endpoint = endpoint_of ctx design "ff2" in
+  let paths = Hb_sta.Paths.enumerate ctx ~endpoint ~limit:20 in
+  Alcotest.(check bool) "several paths" true (List.length paths >= 2);
+  let worst = List.hd paths in
+  Alcotest.(check bool) "worst path is provably false" true
+    (Hb_sta.False_paths.statically_false ctx worst)
+
+let test_refinement_improves_slack () =
+  let design = false_path_design () in
+  let ctx = Hb_sta.Context.make ~design ~system:(single_clock ()) () in
+  let endpoint = endpoint_of ctx design "ff2" in
+  match Hb_sta.False_paths.refine_endpoint ctx ~endpoint () with
+  | Some refined ->
+    Alcotest.(check bool) "skipped at least one false path" true
+      (refined.Hb_sta.False_paths.false_skipped >= 1);
+    (match refined.Hb_sta.False_paths.true_slack with
+     | Some true_slack ->
+       Alcotest.(check bool) "true slack better than block slack" true
+         (true_slack > refined.Hb_sta.False_paths.block_slack +. 1.0)
+     | None -> Alcotest.fail "expected a sensitisable path")
+  | None -> Alcotest.fail "expected refinement"
+
+let test_true_paths_never_pruned () =
+  (* In a pure buffer/inverter chain nothing is prunable. *)
+  let b = Hb_netlist.Builder.create ~name:"chainy" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"clk" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"din" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"ff1" ~cell:"dff"
+    ~connections:[ ("d", "din"); ("ck", "clk"); ("q", "c0") ] ();
+  for i = 0 to 3 do
+    Hb_netlist.Builder.add_instance b ~name:(Printf.sprintf "g%d" i)
+      ~cell:(if i mod 2 = 0 then "inv_x1" else "buf_x1")
+      ~connections:
+        [ ("a", Printf.sprintf "c%d" i); ("y", Printf.sprintf "c%d" (i + 1)) ]
+      ()
+  done;
+  Hb_netlist.Builder.add_instance b ~name:"ff2" ~cell:"dff"
+    ~connections:[ ("d", "c4"); ("ck", "clk"); ("q", "qq") ] ();
+  let design = Hb_netlist.Builder.freeze b in
+  let ctx = Hb_sta.Context.make ~design ~system:(single_clock ()) () in
+  let endpoint = endpoint_of ctx design "ff2" in
+  match Hb_sta.False_paths.refine_endpoint ctx ~endpoint () with
+  | Some refined ->
+    Alcotest.(check int) "nothing skipped" 0
+      refined.Hb_sta.False_paths.false_skipped;
+    (match refined.Hb_sta.False_paths.true_slack with
+     | Some t -> check_time "block slack kept" refined.Hb_sta.False_paths.block_slack t
+     | None -> Alcotest.fail "chain path must be sensitisable")
+  | None -> Alcotest.fail "expected refinement"
+
+let test_shared_net_same_requirement_ok () =
+  (* Two nands sharing the same side net both need it high: no conflict,
+     path stays true. *)
+  let b = Hb_netlist.Builder.create ~name:"agree" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"clk" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:true;
+  Hb_netlist.Builder.add_port b ~name:"din" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"en" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"ff1" ~cell:"dff"
+    ~connections:[ ("d", "din"); ("ck", "clk"); ("q", "q") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"g1" ~cell:"nand2_x1"
+    ~connections:[ ("a", "q"); ("b", "en"); ("y", "t1") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"g2" ~cell:"nand2_x1"
+    ~connections:[ ("a", "t1"); ("b", "en"); ("y", "t2") ] ();
+  Hb_netlist.Builder.add_instance b ~name:"ff2" ~cell:"dff"
+    ~connections:[ ("d", "t2"); ("ck", "clk"); ("q", "qq") ] ();
+  let design = Hb_netlist.Builder.freeze b in
+  let ctx = Hb_sta.Context.make ~design ~system:(single_clock ()) () in
+  let endpoint = endpoint_of ctx design "ff2" in
+  let paths = Hb_sta.Paths.enumerate ctx ~endpoint ~limit:5 in
+  List.iter
+    (fun path ->
+       Alcotest.(check bool) "agreeing requirements keep the path" false
+         (Hb_sta.False_paths.statically_false ctx path))
+    paths
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_nand_demorgan ] in
+  Alcotest.run "hb_logic"
+    [ ("func",
+       [ Alcotest.test_case "gate semantics" `Quick test_evaluate_gates;
+         Alcotest.test_case "side requirements" `Quick test_side_requirements ]);
+      ("sim",
+       [ Alcotest.test_case "toggler" `Quick test_sim_toggler;
+         Alcotest.test_case "combinational" `Quick test_sim_combinational;
+         Alcotest.test_case "workloads are live" `Quick test_sim_workloads_are_live ]);
+      ("false_paths",
+       [ Alcotest.test_case "detected" `Quick test_false_path_detected;
+         Alcotest.test_case "refinement improves" `Quick test_refinement_improves_slack;
+         Alcotest.test_case "true never pruned" `Quick test_true_paths_never_pruned;
+         Alcotest.test_case "agreeing requirements" `Quick test_shared_net_same_requirement_ok ]);
+      ("properties", qsuite);
+    ]

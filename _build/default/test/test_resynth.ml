@@ -1,0 +1,107 @@
+(* Tests for hb_resynth: the speed-up operator and Algorithm 3. *)
+
+let lib = Hb_cell.Library.default ()
+
+let slow_pipeline () =
+  Hb_workload.Pipelines.edge_ff ~period:14.0 ~width:4 ~stages:3
+    ~gates_per_stage:25 ()
+
+let test_upsize_applies () =
+  let design, _ = slow_pipeline () in
+  let comb = Hb_netlist.Design.comb_instances design in
+  let target = List.hd comb in
+  match Hb_resynth.Speedup.upsize_instances design ~library:lib ~instances:[ target ] with
+  | Some (rebuilt, changes) ->
+    Alcotest.(check int) "one change" 1 (List.length changes);
+    let change = List.hd changes in
+    Alcotest.(check bool) "cell name changed" true
+      (change.Hb_resynth.Speedup.old_cell <> change.Hb_resynth.Speedup.new_cell);
+    Alcotest.(check int) "same instance count"
+      (Hb_netlist.Design.instance_count design)
+      (Hb_netlist.Design.instance_count rebuilt)
+  | None -> Alcotest.fail "expected an upsize"
+
+let test_upsize_none_at_top_drive () =
+  (* A design whose only gate is already at the top drive. *)
+  let b = Hb_netlist.Builder.create ~name:"top" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"i" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_instance b ~name:"u" ~cell:"inv_x4"
+    ~connections:[ ("a", "i"); ("y", "n") ] ();
+  let design = Hb_netlist.Builder.freeze b in
+  Alcotest.(check bool) "no upsize possible" true
+    (Hb_resynth.Speedup.upsize_instances design ~library:lib ~instances:[ 0 ] = None)
+
+let test_upsize_skips_sync () =
+  let design, _ = slow_pipeline () in
+  let sync = List.hd (Hb_netlist.Design.sync_instances design) in
+  Alcotest.(check bool) "sync instances are not upsized" true
+    (Hb_resynth.Speedup.upsize_instances design ~library:lib ~instances:[ sync ] = None)
+
+let test_loop_improves_timing () =
+  let design, system = slow_pipeline () in
+  let before =
+    let ctx = Hb_sta.Context.make ~design ~system () in
+    (Hb_sta.Algorithm1.run ctx).Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+  in
+  Alcotest.(check bool) "starts too slow" true (Hb_util.Time.is_negative before);
+  let result = Hb_resynth.Loop.optimise ~design ~system ~library:lib () in
+  Alcotest.(check bool) "slack improved" true
+    (result.Hb_resynth.Loop.final_worst_slack > before);
+  Alcotest.(check bool) "history recorded" true
+    (List.length result.Hb_resynth.Loop.history >= 1);
+  (* Worst slack is non-decreasing through the history. *)
+  let slacks =
+    List.map (fun s -> s.Hb_resynth.Loop.worst_slack) result.Hb_resynth.Loop.history
+    @ [ result.Hb_resynth.Loop.final_worst_slack ]
+  in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone improvement" true (non_decreasing slacks)
+
+let test_loop_trades_area () =
+  let design, system = slow_pipeline () in
+  let area_before = (Hb_netlist.Stats.compute design).Hb_netlist.Stats.area in
+  let result = Hb_resynth.Loop.optimise ~design ~system ~library:lib () in
+  if result.Hb_resynth.Loop.met_timing then
+    Alcotest.(check bool) "area grew to buy speed" true
+      (result.Hb_resynth.Loop.final_area > area_before)
+
+let test_loop_noop_when_fast () =
+  let design, system =
+    Hb_workload.Pipelines.edge_ff ~period:100.0 ~width:3 ~stages:3
+      ~gates_per_stage:10 ()
+  in
+  let result = Hb_resynth.Loop.optimise ~design ~system ~library:lib () in
+  Alcotest.(check bool) "met" true result.Hb_resynth.Loop.met_timing;
+  Alcotest.(check int) "no iterations" 0 result.Hb_resynth.Loop.iterations
+
+let test_loop_respects_cap () =
+  (* An impossible period: the loop must stop at the cap or when no
+     further upsizing is possible, without diverging. *)
+  let design, system =
+    Hb_workload.Pipelines.edge_ff ~period:3.0 ~width:3 ~stages:3
+      ~gates_per_stage:20 ()
+  in
+  let result =
+    Hb_resynth.Loop.optimise ~design ~system ~library:lib ~max_iterations:4 ()
+  in
+  Alcotest.(check bool) "did not meet impossible timing" true
+    (not result.Hb_resynth.Loop.met_timing);
+  Alcotest.(check bool) "bounded iterations" true
+    (result.Hb_resynth.Loop.iterations <= 4)
+
+let () =
+  Alcotest.run "hb_resynth"
+    [ ("speedup",
+       [ Alcotest.test_case "applies" `Quick test_upsize_applies;
+         Alcotest.test_case "top drive" `Quick test_upsize_none_at_top_drive;
+         Alcotest.test_case "skips sync" `Quick test_upsize_skips_sync ]);
+      ("loop",
+       [ Alcotest.test_case "improves timing" `Quick test_loop_improves_timing;
+         Alcotest.test_case "trades area" `Quick test_loop_trades_area;
+         Alcotest.test_case "noop when fast" `Quick test_loop_noop_when_fast;
+         Alcotest.test_case "respects cap" `Quick test_loop_respects_cap ]);
+    ]

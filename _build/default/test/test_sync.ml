@@ -1,0 +1,198 @@
+(* Tests for hb_sync: the offset algebra of Sections 4-5 (Figures 2-3),
+   including the paper's worked transparent-latch example. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let latch_params ~setup ~d_cz ~d_dz ~width ~control_delay =
+  { Hb_sync.Model.setup; d_cz; d_dz; pulse_width = width; control_delay }
+
+let ideal = latch_params ~setup:0.0 ~d_cz:0.0 ~d_dz:0.0 ~width:20.0 ~control_delay:0.0
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_worked_example () =
+  (* "a transparent latch, with no internal delays, controlled during each
+     clock period by a 20ns clock pulse. Suppose the output is asserted
+     5ns after the beginning of the control pulse, then O_zd = 5ns and
+     O_dz = -15ns." *)
+  let kind = Hb_cell.Kind.Transparent_latch in
+  let o_dz = -15.0 in
+  check_float "O_zd" 5.0 (Hb_sync.Model.o_zd kind ideal ~o_dz);
+  (* "If there is a delay of 2ns between the clock source and the control
+     input of the latch then O_zc = 2ns" (no internal control delay). *)
+  let delayed = { ideal with Hb_sync.Model.control_delay = 2.0 } in
+  check_float "assertion offset uses O_zc when larger" 5.0
+    (Hb_sync.Model.assertion_offset kind delayed ~o_dz);
+  (* Pushing the data-driven assertion below the control floor pins the
+     effective assertion at O_zc = 2. *)
+  check_float "floor at O_zc" 2.0
+    (Hb_sync.Model.assertion_offset kind delayed ~o_dz:(-19.0))
+
+let test_latch_interval () =
+  let kind = Hb_cell.Kind.Transparent_latch in
+  let p = latch_params ~setup:0.6 ~d_cz:0.9 ~d_dz:0.7 ~width:20.0 ~control_delay:0.0 in
+  let interval = Hb_sync.Model.o_dz_interval kind p in
+  check_float "lo" (-20.7) (Hb_util.Interval.lo interval);
+  check_float "hi" (-0.7) (Hb_util.Interval.hi interval);
+  (* Initial position is the latest legal closure. *)
+  check_float "initial" (-0.7) (Hb_sync.Model.initial_o_dz kind p);
+  (* O_zd spans [0, W]. *)
+  check_float "o_zd at hi" 20.0 (Hb_sync.Model.o_zd kind p ~o_dz:(-0.7));
+  check_float "o_zd at lo" 0.0 (Hb_sync.Model.o_zd kind p ~o_dz:(-20.7))
+
+let test_ff_has_no_freedom () =
+  let kind = Hb_cell.Kind.Edge_ff in
+  let p = latch_params ~setup:0.8 ~d_cz:1.2 ~d_dz:0.0 ~width:40.0 ~control_delay:0.0 in
+  let interval = Hb_sync.Model.o_dz_interval kind p in
+  check_float "degenerate interval" 0.0 (Hb_util.Interval.width interval);
+  check_float "no forward headroom" 0.0
+    (Hb_sync.Model.forward_headroom kind p ~o_dz:0.0);
+  check_float "no backward headroom" 0.0
+    (Hb_sync.Model.backward_headroom kind p ~o_dz:0.0);
+  (* Closure at -setup; assertion at control_delay + d_cz. *)
+  check_float "closure offset" (-0.8) (Hb_sync.Model.closure_offset kind p ~o_dz:0.0);
+  check_float "assertion offset" 1.2 (Hb_sync.Model.assertion_offset kind p ~o_dz:0.0)
+
+let test_tristate_is_transparent () =
+  let kind = Hb_cell.Kind.Tristate_driver in
+  let p = latch_params ~setup:0.4 ~d_cz:0.8 ~d_dz:0.6 ~width:10.0 ~control_delay:0.0 in
+  let interval = Hb_sync.Model.o_dz_interval kind p in
+  check_float "width is pulse width" 10.0 (Hb_util.Interval.width interval)
+
+let test_headrooms () =
+  let kind = Hb_cell.Kind.Transparent_latch in
+  let o_dz = -5.0 in
+  check_float "forward headroom" 15.0
+    (Hb_sync.Model.forward_headroom kind ideal ~o_dz);
+  check_float "backward headroom" 5.0
+    (Hb_sync.Model.backward_headroom kind ideal ~o_dz)
+
+let test_validate () =
+  let bad = { ideal with Hb_sync.Model.setup = -1.0 } in
+  (match Hb_sync.Model.validate bad with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "expected invalid setup");
+  let bad = { ideal with Hb_sync.Model.pulse_width = 0.0 } in
+  (match Hb_sync.Model.validate bad with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "expected invalid width")
+
+let prop_figure3_relation =
+  (* Figure 3: O_zd = W + O_dz + D_dz everywhere inside the legal
+     interval. *)
+  QCheck.Test.make ~name:"O_zd follows the Figure 3 line" ~count:300
+    QCheck.(triple (float_range 1.0 50.0) (float_range 0.0 3.0) (float_range 0.0 1.0))
+    (fun (width, d_dz, frac) ->
+       let kind = Hb_cell.Kind.Transparent_latch in
+       let p = latch_params ~setup:0.5 ~d_cz:0.5 ~d_dz ~width ~control_delay:0.0 in
+       let interval = Hb_sync.Model.o_dz_interval kind p in
+       let o_dz =
+         Hb_util.Interval.lo interval
+         +. (frac *. Hb_util.Interval.width interval)
+       in
+       Float.abs (Hb_sync.Model.o_zd kind p ~o_dz -. (width +. o_dz +. d_dz))
+       < 1e-9)
+
+let prop_offsets_monotone =
+  (* Both effective offsets are non-decreasing in o_dz: moving the closure
+     later never moves the assertion earlier. *)
+  QCheck.Test.make ~name:"effective offsets monotone in o_dz" ~count:300
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (f1, f2) ->
+       let kind = Hb_cell.Kind.Transparent_latch in
+       let p = latch_params ~setup:0.6 ~d_cz:0.9 ~d_dz:0.7 ~width:20.0
+           ~control_delay:1.0 in
+       let interval = Hb_sync.Model.o_dz_interval kind p in
+       let at f =
+         Hb_util.Interval.lo interval +. (f *. Hb_util.Interval.width interval)
+       in
+       let lo = Stdlib.min (at f1) (at f2) and hi = Stdlib.max (at f1) (at f2) in
+       Hb_sync.Model.closure_offset kind p ~o_dz:lo
+       <= Hb_sync.Model.closure_offset kind p ~o_dz:hi +. 1e-9
+       && Hb_sync.Model.assertion_offset kind p ~o_dz:lo
+          <= Hb_sync.Model.assertion_offset kind p ~o_dz:hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Element                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let leading = Hb_clock.Edge.leading ~clock:"phi1" ~pulse:0
+let trailing = Hb_clock.Edge.trailing ~clock:"phi1" ~pulse:0
+
+let make_latch () =
+  Hb_sync.Element.clocked ~id:0 ~inst:7 ~label:"l1#0" ~replica:0
+    ~kind:Hb_cell.Kind.Transparent_latch ~params:ideal
+    ~assertion_edge:leading ~closure_edge:trailing ()
+
+let test_element_initial_state () =
+  let e = make_latch () in
+  check_float "initial o_dz at top" 0.0 (Hb_sync.Element.o_dz e);
+  check_float "assertion = W initially" 20.0 (Hb_sync.Element.assertion_offset e);
+  check_float "closure = 0 initially" 0.0 (Hb_sync.Element.closure_offset e)
+
+let test_element_shift_clamps () =
+  let e = make_latch () in
+  Hb_sync.Element.shift e (-100.0);
+  check_float "clamped at lo" (-20.0) (Hb_sync.Element.o_dz e);
+  Hb_sync.Element.shift e 100.0;
+  check_float "clamped at hi" 0.0 (Hb_sync.Element.o_dz e);
+  Hb_sync.Element.shift e (-5.0);
+  check_float "normal shift" (-5.0) (Hb_sync.Element.o_dz e);
+  Hb_sync.Element.reset e;
+  check_float "reset" 0.0 (Hb_sync.Element.o_dz e)
+
+let test_element_boundaries () =
+  let input =
+    Hb_sync.Element.input_boundary ~inst:(-1) ~id:1 ~label:"port a" ~edge:leading
+      ~arrival_offset:3.0
+  in
+  check_float "input assertion" 3.0 (Hb_sync.Element.assertion_offset input);
+  check_float "no headroom" 0.0 (Hb_sync.Element.forward_headroom input);
+  Alcotest.(check bool) "is boundary" true (Hb_sync.Element.is_boundary input);
+  Hb_sync.Element.shift input (-1.0);
+  check_float "shift is no-op" 3.0 (Hb_sync.Element.assertion_offset input);
+  let output =
+    Hb_sync.Element.output_boundary ~inst:(-1) ~id:2 ~label:"port y" ~edge:trailing
+      ~required_offset:(-2.0)
+  in
+  check_float "output closure" (-2.0) (Hb_sync.Element.closure_offset output);
+  Alcotest.(check bool) "output has no assertion edge" true
+    (output.Hb_sync.Element.assertion_edge = None)
+
+let test_element_save_restore () =
+  let e = make_latch () in
+  Hb_sync.Element.shift e (-7.5);
+  let saved = Hb_sync.Element.o_dz e in
+  Hb_sync.Element.shift e (-3.0);
+  Hb_sync.Element.set_o_dz e saved;
+  check_float "restored" (-7.5) (Hb_sync.Element.o_dz e)
+
+let test_element_headrooms_track_shift () =
+  let e = make_latch () in
+  Hb_sync.Element.shift e (-8.0);
+  check_float "forward headroom" 12.0 (Hb_sync.Element.forward_headroom e);
+  check_float "backward headroom" 8.0 (Hb_sync.Element.backward_headroom e)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_figure3_relation; prop_offsets_monotone ]
+  in
+  Alcotest.run "hb_sync"
+    [ ("model",
+       [ Alcotest.test_case "paper worked example" `Quick test_paper_worked_example;
+         Alcotest.test_case "latch interval" `Quick test_latch_interval;
+         Alcotest.test_case "ff has no freedom" `Quick test_ff_has_no_freedom;
+         Alcotest.test_case "tristate like latch" `Quick test_tristate_is_transparent;
+         Alcotest.test_case "headrooms" `Quick test_headrooms;
+         Alcotest.test_case "validate" `Quick test_validate ]);
+      ("element",
+       [ Alcotest.test_case "initial state" `Quick test_element_initial_state;
+         Alcotest.test_case "shift clamps" `Quick test_element_shift_clamps;
+         Alcotest.test_case "boundaries" `Quick test_element_boundaries;
+         Alcotest.test_case "save restore" `Quick test_element_save_restore;
+         Alcotest.test_case "headrooms track shift" `Quick test_element_headrooms_track_shift ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,309 @@
+(* Unit and property tests for the Hb_util support library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_compare () =
+  Alcotest.(check bool) "equal within eps" true (Hb_util.Time.equal 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "lt strict" true (Hb_util.Time.lt 1.0 2.0);
+  Alcotest.(check bool) "lt not within eps" false (Hb_util.Time.lt 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "le equal" true (Hb_util.Time.le 1.0 1.0);
+  Alcotest.(check bool) "ge" true (Hb_util.Time.ge 2.0 1.0);
+  Alcotest.(check bool) "negative" true (Hb_util.Time.is_negative (-0.5));
+  Alcotest.(check bool) "not negative at zero" false (Hb_util.Time.is_negative 0.0)
+
+let test_time_modulo () =
+  check_float "in range" 2.5 (Hb_util.Time.modulo 12.5 ~period:10.0);
+  check_float "negative wraps" 7.5 (Hb_util.Time.modulo (-2.5) ~period:10.0);
+  check_float "zero" 0.0 (Hb_util.Time.modulo 0.0 ~period:10.0);
+  check_float "exact period" 0.0 (Hb_util.Time.modulo 10.0 ~period:10.0)
+
+let test_time_clamp () =
+  check_float "below" 1.0 (Hb_util.Time.clamp ~lo:1.0 ~hi:2.0 0.0);
+  check_float "above" 2.0 (Hb_util.Time.clamp ~lo:1.0 ~hi:2.0 3.0);
+  check_float "inside" 1.5 (Hb_util.Time.clamp ~lo:1.0 ~hi:2.0 1.5);
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Time.clamp: empty interval [2, 1]")
+    (fun () -> ignore (Hb_util.Time.clamp ~lo:2.0 ~hi:1.0 0.0))
+
+let prop_modulo_in_range =
+  QCheck.Test.make ~name:"Time.modulo lands in [0, period)" ~count:500
+    QCheck.(pair (float_range (-1000.0) 1000.0) (float_range 0.5 100.0))
+    (fun (t, period) ->
+       let r = Hb_util.Time.modulo t ~period in
+       r >= 0.0 && r < period)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Hb_util.Rng.create 42L and b = Hb_util.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Hb_util.Rng.next a) (Hb_util.Rng.next b)
+  done
+
+let test_rng_copy () =
+  let a = Hb_util.Rng.create 7L in
+  ignore (Hb_util.Rng.next a);
+  let b = Hb_util.Rng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Hb_util.Rng.next a) (Hb_util.Rng.next b)
+
+let test_rng_bounds () =
+  let rng = Hb_util.Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Hb_util.Rng.int rng 17 in
+    Alcotest.(check bool) "int in bound" true (v >= 0 && v < 17);
+    let f = Hb_util.Rng.float rng 3.0 in
+    Alcotest.(check bool) "float in bound" true (f >= 0.0 && f < 3.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Hb_util.Rng.create 5L in
+  let items = Array.init 50 (fun i -> i) in
+  Hb_util.Rng.shuffle rng items;
+  let sorted = Array.copy items in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Topo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of_edges nodes edges =
+  let succ = Array.make nodes [] in
+  List.iter (fun (a, b) -> succ.(a) <- b :: succ.(a)) edges;
+  fun i -> succ.(i)
+
+let check_topological_order order edges =
+  let position = Array.make (Array.length order) 0 in
+  Array.iteri (fun i node -> position.(node) <- i) order;
+  List.for_all (fun (a, b) -> position.(a) < position.(b)) edges
+
+let test_topo_chain () =
+  let edges = [ (0, 1); (1, 2); (2, 3) ] in
+  match Hb_util.Topo.sort ~nodes:4 ~successors:(graph_of_edges 4 edges) with
+  | Hb_util.Topo.Sorted order ->
+    Alcotest.(check bool) "respects edges" true (check_topological_order order edges)
+  | Hb_util.Topo.Cycle _ -> Alcotest.fail "unexpected cycle"
+
+let test_topo_diamond () =
+  let edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  match Hb_util.Topo.sort ~nodes:4 ~successors:(graph_of_edges 4 edges) with
+  | Hb_util.Topo.Sorted order ->
+    Alcotest.(check bool) "respects edges" true (check_topological_order order edges)
+  | Hb_util.Topo.Cycle _ -> Alcotest.fail "unexpected cycle"
+
+let test_topo_cycle () =
+  let edges = [ (0, 1); (1, 2); (2, 0) ] in
+  match Hb_util.Topo.sort ~nodes:3 ~successors:(graph_of_edges 3 edges) with
+  | Hb_util.Topo.Sorted _ -> Alcotest.fail "expected a cycle"
+  | Hb_util.Topo.Cycle c ->
+    Alcotest.(check int) "cycle length" 3 (List.length c);
+    (* Each consecutive pair (and the wrap-around) must be an edge. *)
+    let arr = Array.of_list c in
+    let n = Array.length arr in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d exists" a b)
+        true (List.mem (a, b) edges)
+    done
+
+let test_topo_self_loop () =
+  match Hb_util.Topo.sort ~nodes:1 ~successors:(fun _ -> [ 0 ]) with
+  | Hb_util.Topo.Sorted _ -> Alcotest.fail "expected a cycle"
+  | Hb_util.Topo.Cycle c -> Alcotest.(check (list int)) "self loop" [ 0 ] c
+
+let test_topo_empty () =
+  match Hb_util.Topo.sort ~nodes:0 ~successors:(fun _ -> []) with
+  | Hb_util.Topo.Sorted order -> Alcotest.(check int) "empty" 0 (Array.length order)
+  | Hb_util.Topo.Cycle _ -> Alcotest.fail "unexpected cycle"
+
+let prop_topo_random_dag =
+  (* Random DAGs (edges only from lower to higher index) always sort. *)
+  QCheck.Test.make ~name:"Topo.sort orders random DAGs" ~count:100
+    QCheck.(pair (int_range 1 30) (small_list (pair (int_range 0 28) (int_range 1 29))))
+    (fun (nodes, raw_edges) ->
+       let edges =
+         List.filter_map
+           (fun (a, b) ->
+              let a = a mod nodes and b = b mod nodes in
+              if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+           raw_edges
+       in
+       match Hb_util.Topo.sort ~nodes ~successors:(graph_of_edges nodes edges) with
+       | Hb_util.Topo.Sorted order -> check_topological_order order edges
+       | Hb_util.Topo.Cycle _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Hb_util.Heap.create () in
+  List.iter (fun p -> Hb_util.Heap.push h ~priority:p p)
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let out = List.init 5 (fun _ -> fst (Hb_util.Heap.pop h)) in
+  Alcotest.(check (list (float 0.0))) "sorted ascending"
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ] out;
+  Alcotest.(check bool) "empty after" true (Hb_util.Heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Hb_util.Heap.create () in
+  Hb_util.Heap.push h ~priority:2.0 "b";
+  Hb_util.Heap.push h ~priority:1.0 "a";
+  Alcotest.(check string) "peek min" "a" (snd (Hb_util.Heap.peek h));
+  Alcotest.(check int) "length" 2 (Hb_util.Heap.length h)
+
+let test_heap_empty_pop () =
+  let h : int Hb_util.Heap.t = Hb_util.Heap.create () in
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Hb_util.Heap.pop h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"Heap pops in priority order" ~count:200
+    QCheck.(list (float_range (-100.0) 100.0))
+    (fun priorities ->
+       let h = Hb_util.Heap.create () in
+       List.iter (fun p -> Hb_util.Heap.push h ~priority:p ()) priorities;
+       let out = List.init (List.length priorities) (fun _ -> fst (Hb_util.Heap.pop h)) in
+       out = List.sort compare priorities)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  let i = Hb_util.Interval.make ~lo:1.0 ~hi:3.0 in
+  Alcotest.(check bool) "mem inside" true (Hb_util.Interval.mem 2.0 i);
+  Alcotest.(check bool) "mem boundary" true (Hb_util.Interval.mem 3.0 i);
+  Alcotest.(check bool) "mem outside" false (Hb_util.Interval.mem 3.5 i);
+  check_float "width" 2.0 (Hb_util.Interval.width i);
+  check_float "clamp low" 1.0 (Hb_util.Interval.clamp 0.0 i);
+  check_float "headroom down" 1.0 (Hb_util.Interval.headroom_down 2.0 i);
+  check_float "headroom up" 1.0 (Hb_util.Interval.headroom_up 2.0 i)
+
+let test_interval_point () =
+  let i = Hb_util.Interval.point 5.0 in
+  check_float "width zero" 0.0 (Hb_util.Interval.width i);
+  check_float "no headroom" 0.0 (Hb_util.Interval.headroom_down 5.0 i)
+
+let test_interval_empty () =
+  Alcotest.check_raises "rejects empty"
+    (Invalid_argument "Interval.make: [2, 1] is empty")
+    (fun () -> ignore (Hb_util.Interval.make ~lo:2.0 ~hi:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out =
+    Hb_util.Table.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  List.iter
+    (fun line ->
+       Alcotest.(check bool) "consistent width" true
+         (String.length line <= String.length (List.nth lines 0)
+          || String.length line = String.length (List.nth lines 1)))
+    lines
+
+let test_table_rejects_ragged () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Table.render: row 0 has 1 cells, expected 2")
+    (fun () -> ignore (Hb_util.Table.render ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let test_rng_choose () =
+  let rng = Hb_util.Rng.create 3L in
+  let items = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "choose picks a member" true
+      (Array.mem (Hb_util.Rng.choose rng items) items)
+  done;
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Hb_util.Rng.choose rng [||]))
+
+let test_table_no_rows () =
+  let out = Hb_util.Table.render ~header:[ "a"; "b" ] [] in
+  Alcotest.(check int) "header and rule only" 2
+    (List.length (String.split_on_char '\n' out))
+
+let test_time_boundary_comparisons () =
+  (* Values well inside eps are equal, beyond eps ordered. *)
+  Alcotest.(check bool) "half-eps apart equal" true
+    (Hb_util.Time.equal 1.0 (1.0 +. 5e-10));
+  Alcotest.(check bool) "2eps apart lt" true (Hb_util.Time.lt 1.0 (1.0 +. 2e-9));
+  Alcotest.(check bool) "le within eps" true (Hb_util.Time.le (1.0 +. 5e-10) 1.0);
+  Alcotest.(check bool) "infinite not finite" false (Hb_util.Time.is_finite infinity);
+  Alcotest.(check bool) "nan not finite" false (Hb_util.Time.is_finite Float.nan)
+
+let prop_heap_interleaved =
+  (* Pops interleaved with pushes always return the current minimum. *)
+  QCheck.Test.make ~name:"Heap pop returns current minimum" ~count:200
+    QCheck.(list (float_range 0.0 100.0))
+    (fun priorities ->
+       let h = Hb_util.Heap.create () in
+       let reference = ref [] in
+       List.for_all
+         (fun p ->
+            Hb_util.Heap.push h ~priority:p p;
+            reference := p :: !reference;
+            (* pop one when the count is even *)
+            if Hb_util.Heap.length h mod 2 = 0 then begin
+              let got, _ = Hb_util.Heap.pop h in
+              let expected = List.fold_left min infinity !reference in
+              reference := List.filter (fun x -> x <> expected) !reference
+                           @ List.init
+                               (List.length (List.filter (fun x -> x = expected) !reference) - 1)
+                               (fun _ -> expected);
+              Float.abs (got -. expected) < 1e-12
+            end
+            else true)
+         priorities)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [ prop_modulo_in_range; prop_topo_random_dag; prop_heap_sorts;
+        prop_heap_interleaved ]
+  in
+  Alcotest.run "hb_util"
+    [ ("time",
+       [ Alcotest.test_case "comparisons" `Quick test_time_compare;
+         Alcotest.test_case "modulo" `Quick test_time_modulo;
+         Alcotest.test_case "clamp" `Quick test_time_clamp ]);
+      ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "copy" `Quick test_rng_copy;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes ]);
+      ("topo",
+       [ Alcotest.test_case "chain" `Quick test_topo_chain;
+         Alcotest.test_case "diamond" `Quick test_topo_diamond;
+         Alcotest.test_case "cycle" `Quick test_topo_cycle;
+         Alcotest.test_case "self loop" `Quick test_topo_self_loop;
+         Alcotest.test_case "empty" `Quick test_topo_empty ]);
+      ("heap",
+       [ Alcotest.test_case "order" `Quick test_heap_order;
+         Alcotest.test_case "peek" `Quick test_heap_peek;
+         Alcotest.test_case "empty pop" `Quick test_heap_empty_pop ]);
+      ("interval",
+       [ Alcotest.test_case "basics" `Quick test_interval_basics;
+         Alcotest.test_case "point" `Quick test_interval_point;
+         Alcotest.test_case "empty" `Quick test_interval_empty ]);
+      ("table",
+       [ Alcotest.test_case "render" `Quick test_table_render;
+         Alcotest.test_case "ragged" `Quick test_table_rejects_ragged;
+         Alcotest.test_case "no rows" `Quick test_table_no_rows ]);
+      ("extras",
+       [ Alcotest.test_case "rng choose" `Quick test_rng_choose;
+         Alcotest.test_case "time boundaries" `Quick test_time_boundary_comparisons ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the workload generators: Table 1 cell counts, determinism,
+   structural sanity and the Figure 1 configuration. *)
+
+let lib = Hb_cell.Library.default ()
+
+let stats design = Hb_netlist.Stats.compute design
+
+(* ------------------------------------------------------------------ *)
+(* Cloud                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cloud_grows_requested_gates () =
+  let b = Hb_netlist.Builder.create ~name:"c" ~library:lib in
+  Hb_netlist.Builder.add_port b ~name:"i0" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  Hb_netlist.Builder.add_port b ~name:"i1" ~direction:Hb_netlist.Design.Port_in
+    ~is_clock:false;
+  let rng = Hb_util.Rng.create 5L in
+  let cloud =
+    Hb_workload.Cloud.grow b ~rng ~prefix:"t" ~inputs:[ "i0"; "i1" ]
+      ~gates:25 ~outputs:3 ()
+  in
+  Alcotest.(check int) "gate count" 25 cloud.Hb_workload.Cloud.gate_count;
+  Alcotest.(check int) "outputs" 3 (List.length cloud.Hb_workload.Cloud.output_nets);
+  let d = Hb_netlist.Builder.freeze b in
+  Alcotest.(check int) "instances" 25 (Hb_netlist.Design.instance_count d)
+
+let test_cloud_validation () =
+  let b = Hb_netlist.Builder.create ~name:"c" ~library:lib in
+  let rng = Hb_util.Rng.create 5L in
+  (match Hb_workload.Cloud.grow b ~rng ~prefix:"t" ~inputs:[] ~gates:5 ~outputs:1 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected empty-inputs rejection");
+  (match Hb_workload.Cloud.grow b ~rng ~prefix:"t" ~inputs:[ "x" ] ~gates:2 ~outputs:5 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected outputs > gates rejection")
+
+let test_cloud_deterministic () =
+  let build seed =
+    let b = Hb_netlist.Builder.create ~name:"c" ~library:lib in
+    Hb_netlist.Builder.add_port b ~name:"i" ~direction:Hb_netlist.Design.Port_in
+      ~is_clock:false;
+    let rng = Hb_util.Rng.create seed in
+    ignore
+      (Hb_workload.Cloud.grow b ~rng ~prefix:"t" ~inputs:[ "i" ] ~gates:30
+         ~outputs:2 ());
+    Hb_netlist.Hbn_format.write (Hb_netlist.Builder.freeze b)
+  in
+  Alcotest.(check string) "same seed same netlist" (build 9L) (build 9L);
+  Alcotest.(check bool) "different seed differs" true (build 9L <> build 10L)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 designs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_des_cell_count () =
+  let design, _ = Hb_workload.Chips.des () in
+  Alcotest.(check int) "DES has 3681 cells" 3681 (stats design).Hb_netlist.Stats.cells
+
+let test_alu_cell_count () =
+  let design, _ = Hb_workload.Chips.alu () in
+  Alcotest.(check int) "ALU has 899 cells" 899 (stats design).Hb_netlist.Stats.cells
+
+let test_sm1_designs () =
+  let flat, _ = Hb_workload.Chips.sm1f () in
+  let hier, _ = Hb_workload.Chips.sm1h () in
+  let fs = stats flat and hs = stats hier in
+  Alcotest.(check int) "SM1F state bits" 12 fs.Hb_netlist.Stats.synchronisers;
+  Alcotest.(check int) "SM1H keeps the registers" 12 hs.Hb_netlist.Stats.synchronisers;
+  Alcotest.(check bool) "hierarchical is far smaller" true
+    (hs.Hb_netlist.Stats.cells * 4 < fs.Hb_netlist.Stats.cells);
+  (* The collapsed design contains exactly one macro. *)
+  let macros =
+    List.filter
+      (fun (kind, _) ->
+         String.length kind >= 5 && String.sub kind 0 5 = "macro")
+      hs.Hb_netlist.Stats.by_kind
+  in
+  Alcotest.(check int) "one macro kind" 1 (List.length macros)
+
+let test_dsp_multirate () =
+  let design, system = Hb_workload.Chips.dsp () in
+  let s = stats design in
+  Alcotest.(check bool) "sizable cell count" true (s.Hb_netlist.Stats.cells > 700);
+  Alcotest.(check int) "two clock domains" 2
+    (List.length system.Hb_clock.System.waveforms);
+  (* The fast clock runs at twice the rate. *)
+  let fck =
+    match Hb_clock.System.find system "fck" with
+    | Some w -> w
+    | None -> Alcotest.fail "fck missing"
+  in
+  Alcotest.(check int) "2x multiplier" 2 fck.Hb_clock.Waveform.multiplier;
+  (* Latches sit between the domains. *)
+  Alcotest.(check bool) "has transparent latches" true
+    (List.exists (fun (k, _) -> k = "latch") s.Hb_netlist.Stats.by_kind)
+
+let test_chips_deterministic () =
+  let d1, _ = Hb_workload.Chips.alu () in
+  let d2, _ = Hb_workload.Chips.alu () in
+  Alcotest.(check string) "ALU generation is deterministic"
+    (Hb_netlist.Hbn_format.write d1) (Hb_netlist.Hbn_format.write d2)
+
+let test_des_round_trips () =
+  let design, _ = Hb_workload.Chips.des () in
+  let text = Hb_netlist.Hbn_format.write design in
+  let back = Hb_netlist.Hbn_format.parse ~library:lib text in
+  Alcotest.(check int) "DES round trips through .hbn" 3681
+    (Hb_netlist.Design.instance_count back)
+
+(* ------------------------------------------------------------------ *)
+(* Pipelines and figures                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_phase_structure () =
+  let design, system =
+    Hb_workload.Pipelines.two_phase ~width:4 ~stages:4 ~gates_per_stage:20 ()
+  in
+  let s = stats design in
+  (* 4 banks of 4 latches. *)
+  Alcotest.(check int) "latches" 16 s.Hb_netlist.Stats.synchronisers;
+  Alcotest.(check int) "two clocks" 2
+    (List.length system.Hb_clock.System.waveforms)
+
+let test_edge_ff_pipeline_structure () =
+  let design, system =
+    Hb_workload.Pipelines.edge_ff ~width:3 ~stages:3 ~gates_per_stage:10 ()
+  in
+  let s = stats design in
+  Alcotest.(check int) "ffs" 9 s.Hb_netlist.Stats.synchronisers;
+  Alcotest.(check int) "one clock" 1 (List.length system.Hb_clock.System.waveforms)
+
+let test_pipeline_rejects_one_stage () =
+  match Hb_workload.Pipelines.two_phase ~width:2 ~stages:1 ~gates_per_stage:5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected stages >= 2 rejection"
+
+let test_latch_ring_structure () =
+  let design, _ = Hb_workload.Pipelines.latch_ring ~gates:20 () in
+  let s = stats design in
+  Alcotest.(check int) "two latches" 2 s.Hb_netlist.Stats.synchronisers;
+  (* The loop is combinationally closed through the two latches: every
+     net is driven, so freezing succeeded, and there is a mux seeding
+     the loop. *)
+  Alcotest.(check bool) "seed mux present" true
+    (Hb_netlist.Design.find_instance design "seed_mux" <> None)
+
+let test_figure1_shape () =
+  let design, system = Hb_workload.Figures.figure1 () in
+  let s = stats design in
+  Alcotest.(check int) "six latches" 6 s.Hb_netlist.Stats.synchronisers;
+  Alcotest.(check int) "four phases" 4 (List.length system.Hb_clock.System.waveforms)
+
+let test_clocks_multifrequency () =
+  let s = Hb_workload.Clocks.multifrequency ~period:100.0 in
+  let edge_count = Array.length (Hb_clock.System.edges s) in
+  (* 1x, 2x and 4x clocks: (1+2+4)*2 = 14 edges. *)
+  Alcotest.(check int) "edges" 14 edge_count
+
+let () =
+  Alcotest.run "hb_workload"
+    [ ("cloud",
+       [ Alcotest.test_case "grows gates" `Quick test_cloud_grows_requested_gates;
+         Alcotest.test_case "validation" `Quick test_cloud_validation;
+         Alcotest.test_case "deterministic" `Quick test_cloud_deterministic ]);
+      ("chips",
+       [ Alcotest.test_case "DES cell count" `Quick test_des_cell_count;
+         Alcotest.test_case "ALU cell count" `Quick test_alu_cell_count;
+         Alcotest.test_case "SM1F vs SM1H" `Quick test_sm1_designs;
+         Alcotest.test_case "DSP multirate" `Quick test_dsp_multirate;
+         Alcotest.test_case "deterministic" `Quick test_chips_deterministic;
+         Alcotest.test_case "DES round trips" `Quick test_des_round_trips ]);
+      ("pipelines",
+       [ Alcotest.test_case "two phase structure" `Quick test_two_phase_structure;
+         Alcotest.test_case "edge ff structure" `Quick test_edge_ff_pipeline_structure;
+         Alcotest.test_case "stage validation" `Quick test_pipeline_rejects_one_stage;
+         Alcotest.test_case "latch ring" `Quick test_latch_ring_structure ]);
+      ("figures",
+       [ Alcotest.test_case "figure 1 shape" `Quick test_figure1_shape ]);
+      ("clocks",
+       [ Alcotest.test_case "multifrequency" `Quick test_clocks_multifrequency ]);
+    ]
