@@ -1,0 +1,23 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Tier-1 gate plus a fast slack-engine parity/perf smoke: the P1 bench
+# section on the two smallest Table 1 designs fails hard when the
+# incremental or parallel engine diverges from the sequential baseline.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

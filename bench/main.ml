@@ -19,13 +19,15 @@ let section title =
 
 let lib = Hb_cell.Library.default ()
 
-(* Median-of-n cpu-seconds measurement. *)
+(* Median-of-n wall-seconds measurement ([Unix.gettimeofday], monotonic
+   enough for benchmarking). Cpu seconds ([Sys.time]) would double-count
+   domain-parallel work: n domains spinning for t seconds report n*t. *)
 let measure ?(repeat = 3) f =
   let times =
     List.init repeat (fun _ ->
-        let start = Sys.time () in
+        let start = Unix.gettimeofday () in
         ignore (f ());
-        Sys.time () -. start)
+        Unix.gettimeofday () -. start)
   in
   List.nth (List.sort compare times) (repeat / 2)
 
@@ -601,6 +603,95 @@ let scaling () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* P1 — incremental + parallel slack engine                           *)
+(* ------------------------------------------------------------------ *)
+
+let slack_engine_designs =
+  [ ("DES", fun () -> Hb_workload.Chips.des ());
+    ("ALU", fun () -> Hb_workload.Chips.alu ());
+    ("SM1F", fun () -> Hb_workload.Chips.sm1f ());
+    ("SM1H", fun () -> Hb_workload.Chips.sm1h ());
+    ("DSP", fun () -> Hb_workload.Chips.dsp ());
+  ]
+
+let slack_engine ?(designs = slack_engine_designs) () =
+  section "P1: slack engine — incremental/parallel vs seed sequential";
+  Printf.printf
+    "full Algorithm 1 run (offsets reset each repetition) under three\n\
+     configurations: the seed's from-scratch sequential evaluation, the\n\
+     dirty-cluster incremental engine on one domain, and incremental\n\
+     evaluation fanned across the domain pool. All three must agree\n\
+     bit-for-bit; wall seconds, median of 3.\n\n";
+  let jobs = Stdlib.max 2 (Hb_util.Pool.recommended_jobs ()) in
+  let results =
+    List.map
+      (fun (name, make) ->
+         let design, system = make () in
+         let stats = Hb_netlist.Stats.compute design in
+         let run config =
+           let ctx = Hb_sta.Context.make ~design ~system ~config () in
+           let seconds =
+             measure ~repeat:3 (fun () ->
+                 Hb_sta.Elements.reset_offsets ctx.Hb_sta.Context.elements;
+                 Hb_sta.Algorithm1.run ctx)
+           in
+           Hb_sta.Elements.reset_offsets ctx.Hb_sta.Context.elements;
+           (seconds, Hb_sta.Algorithm1.run ctx)
+         in
+         let seq_s, seq = run Hb_sta.Config.sequential in
+         let inc_s, inc =
+           run { Hb_sta.Config.default with Hb_sta.Config.parallel_jobs = 1 }
+         in
+         let par_s, par =
+           run { Hb_sta.Config.default with Hb_sta.Config.parallel_jobs = jobs }
+         in
+         let same (a : Hb_sta.Algorithm1.outcome) (b : Hb_sta.Algorithm1.outcome) =
+           a.Hb_sta.Algorithm1.status = b.Hb_sta.Algorithm1.status
+           && a.Hb_sta.Algorithm1.forward_cycles = b.Hb_sta.Algorithm1.forward_cycles
+           && a.Hb_sta.Algorithm1.backward_cycles = b.Hb_sta.Algorithm1.backward_cycles
+           && Hb_util.Time.equal a.Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+                b.Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+         in
+         if not (same seq inc && same seq par) then
+           failwith (Printf.sprintf "P1: %s: engine outcomes disagree" name);
+         (name, stats, seq_s, inc_s, par_s))
+      designs
+  in
+  Hb_util.Table.print
+    ~header:
+      [ "design"; "cells"; "nets"; "sequential s"; "incremental s";
+        Printf.sprintf "parallel s (j=%d)" jobs; "speedup" ]
+    ~align:Hb_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun (name, stats, seq_s, inc_s, par_s) ->
+          let best = Stdlib.min inc_s par_s in
+          [ name;
+            string_of_int stats.Hb_netlist.Stats.cells;
+            string_of_int stats.Hb_netlist.Stats.nets;
+            Printf.sprintf "%.4f" seq_s;
+            Printf.sprintf "%.4f" inc_s;
+            Printf.sprintf "%.4f" par_s;
+            Printf.sprintf "%.1fx" (seq_s /. Stdlib.max 1e-9 best) ])
+       results);
+  (* Machine-readable record for regression tracking. *)
+  let out = open_out "BENCH_slack_engine.json" in
+  Printf.fprintf out "{\n  \"benchmark\": \"slack_engine\",\n  \"jobs\": %d,\n  \"designs\": [" jobs;
+  List.iteri
+    (fun i (name, (stats : Hb_netlist.Stats.t), seq_s, inc_s, par_s) ->
+       Printf.fprintf out
+         "%s\n    {\"design\": \"%s\", \"cells\": %d, \"nets\": %d, \
+          \"sequential_s\": %.6f, \"incremental_s\": %.6f, \"parallel_s\": %.6f, \
+          \"speedup\": %.2f}"
+         (if i = 0 then "" else ",")
+         name stats.Hb_netlist.Stats.cells stats.Hb_netlist.Stats.nets
+         seq_s inc_s par_s
+         (seq_s /. Stdlib.max 1e-9 (Stdlib.min inc_s par_s)))
+    results;
+  Printf.fprintf out "\n  ]\n}\n";
+  close_out out;
+  Printf.printf "\nwrote BENCH_slack_engine.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -671,18 +762,31 @@ let () =
   Printf.printf
     "Hummingbird benchmark harness — reproduces the paper's evaluation\n\
      artefacts (Weiner & Sangiovanni-Vincentelli, DAC 1989).\n";
-  table1 ();
-  figure1 ();
-  figure3 ();
-  figure4 ();
-  ablate_block_vs_paths ();
-  ablate_passes ();
-  ablate_clock_speed ();
-  redesign_convergence ();
-  ablate_rise_fall ();
-  ablate_delay_models ();
-  ablate_false_paths ();
-  ablate_incremental ();
-  scaling ();
-  bechamel_suite ();
-  print_newline ()
+  if Array.exists (fun arg -> arg = "--smoke") Sys.argv then begin
+    (* Fast smoke for `make check`: just the slack-engine comparison on
+       the two smallest Table 1 designs. *)
+    slack_engine
+      ~designs:
+        [ ("DES", fun () -> Hb_workload.Chips.des ());
+          ("ALU", fun () -> Hb_workload.Chips.alu ()) ]
+      ();
+    print_newline ()
+  end
+  else begin
+    table1 ();
+    figure1 ();
+    figure3 ();
+    figure4 ();
+    ablate_block_vs_paths ();
+    ablate_passes ();
+    ablate_clock_speed ();
+    redesign_convergence ();
+    ablate_rise_fall ();
+    ablate_delay_models ();
+    ablate_false_paths ();
+    ablate_incremental ();
+    scaling ();
+    slack_engine ();
+    bechamel_suite ();
+    print_newline ()
+  end

@@ -52,19 +52,28 @@ let timing_arg =
        & info [ "t"; "timing" ] ~docv:"FILE.hbt"
            ~doc:"Timing constraints: port references and analysis knobs.")
 
-let load_config ?(rise_fall = false) timing =
+let load_config ?(rise_fall = false) ?jobs timing =
   let base = { Hb_sta.Config.default with Hb_sta.Config.rise_fall } in
-  match timing with
-  | None -> base
-  | Some path -> Hb_sta.Config_format.parse_file ~base path
+  let config =
+    match timing with
+    | None -> base
+    | Some path -> Hb_sta.Config_format.parse_file ~base path
+  in
+  (* -j on the command line outranks the timing file's parallel-jobs. *)
+  match jobs with
+  | None -> config
+  | Some jobs when jobs >= 1 -> { config with Hb_sta.Config.parallel_jobs = jobs }
+  | Some jobs ->
+    Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+    exit 1
 
 let analyse_cmd =
   let run netlist clocks paths constraints flag_file rise_fall timing dot
-      delay_model annotations json =
+      delay_model annotations json jobs =
     handle_errors (fun () ->
         let design = load_design netlist in
         let system = load_clocks clocks in
-        let config = load_config ~rise_fall timing in
+        let config = load_config ~rise_fall ?jobs timing in
         let base_delays =
           match delay_model with
           | "lumped" -> Hb_sta.Delays.lumped
@@ -158,11 +167,17 @@ let analyse_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Emit the machine-readable JSON report instead of text.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Evaluate clusters on $(docv) domains (1 = sequential; \
+                 default: the timing file's parallel-jobs, else all cores).")
+  in
   Cmd.v
     (Cmd.info "analyse"
        ~doc:"Run the full timing analysis (exit 2 when too-slow paths exist)")
     Term.(const run $ netlist_arg $ clocks_arg $ paths $ constraints $ flag_file
-          $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json)
+          $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json
+          $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)

@@ -42,11 +42,9 @@ let path_enumeration (ctx : Context.t) ?(max_paths = 200_000) () =
            if !paths > max_paths then raise Budget_exhausted;
            note_endpoint element (deadline -. arrival))
         deadlines.(net);
-      List.iter
-        (fun arc_index ->
-           let arc = cluster.Cluster.arcs.(arc_index) in
-           walk arc.Cluster.to_net (arrival +. arc.Cluster.dmax))
-        cluster.Cluster.succ.(net)
+      Cluster.iter_succ cluster net ~f:(fun arc_index ->
+          let arc = cluster.Cluster.arcs.(arc_index) in
+          walk arc.Cluster.to_net (arrival +. arc.Cluster.dmax))
     in
     Array.iter
       (fun (terminal : Cluster.terminal) ->

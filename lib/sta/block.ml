@@ -26,12 +26,27 @@ let closure_time passes (element : Hb_sync.Element.t) ~cut =
       (Passes.linear_time passes ~cut ~node
        +. Hb_sync.Element.closure_offset element)
 
-let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () =
+let create_result ~nets:n =
+  { ready = Array.make n Hb_util.Time.neg_infinity;
+    ready_rise = Array.make n Hb_util.Time.neg_infinity;
+    ready_fall = Array.make n Hb_util.Time.neg_infinity;
+    min_ready = Array.make n Hb_util.Time.infinity;
+    required = Array.make n Hb_util.Time.infinity;
+  }
+
+let evaluate_into ~passes ~elements ~(cluster : Cluster.t) ~cut ~mode
+    (out : result) =
   let n = Array.length cluster.Cluster.nets in
-  let ready_rise = Array.make n Hb_util.Time.neg_infinity in
-  let ready_fall = Array.make n Hb_util.Time.neg_infinity in
-  let min_ready = Array.make n Hb_util.Time.infinity in
-  let required = Array.make n Hb_util.Time.infinity in
+  if Array.length out.ready <> n then
+    invalid_arg "Block.evaluate_into: result sized for a different cluster";
+  let ready_rise = out.ready_rise in
+  let ready_fall = out.ready_fall in
+  let min_ready = out.min_ready in
+  let required = out.required in
+  Array.fill ready_rise 0 n Hb_util.Time.neg_infinity;
+  Array.fill ready_fall 0 n Hb_util.Time.neg_infinity;
+  Array.fill min_ready 0 n Hb_util.Time.infinity;
+  Array.fill required 0 n Hb_util.Time.infinity;
   Array.iter
     (fun (terminal : Cluster.terminal) ->
        let element = Elements.element elements terminal.Cluster.element in
@@ -46,49 +61,50 @@ let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () 
   (* Forward sweep: equation (1). Under [`Scalar] both polarities carry
      the same (worst-delay) arrival; under [`Rise_fall] arcs route each
      polarity according to their unateness. *)
+  let succ_off = cluster.Cluster.succ_off in
+  let succ_arc = cluster.Cluster.succ_arc in
+  let arcs = cluster.Cluster.arcs in
   Array.iter
     (fun net ->
        let rise = ready_rise.(net) and fall = ready_fall.(net) in
        if Hb_util.Time.is_finite rise || Hb_util.Time.is_finite fall then
-         List.iter
-           (fun arc_index ->
-              let arc = cluster.Cluster.arcs.(arc_index) in
-              let to_net = arc.Cluster.to_net in
-              (match mode with
-               | `Scalar ->
-                 let t = rise +. arc.Cluster.dmax in
-                 if t > ready_rise.(to_net) then ready_rise.(to_net) <- t;
-                 if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
-               | `Rise_fall ->
-                 let in_for_rise, in_for_fall =
-                   match arc.Cluster.sense with
-                   | `Positive -> (rise, fall)
-                   | `Negative -> (fall, rise)
-                   | `Non_unate ->
-                     let worst = Hb_util.Time.max rise fall in
-                     (worst, worst)
-                 in
-                 if Hb_util.Time.is_finite in_for_rise then begin
-                   let t = in_for_rise +. arc.Cluster.rise in
-                   if t > ready_rise.(to_net) then ready_rise.(to_net) <- t
-                 end;
-                 if Hb_util.Time.is_finite in_for_fall then begin
-                   let t = in_for_fall +. arc.Cluster.fall in
-                   if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
-                 end))
-           cluster.Cluster.succ.(net);
+         for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+           let arc = arcs.(succ_arc.(k)) in
+           let to_net = arc.Cluster.to_net in
+           match mode with
+           | `Scalar ->
+             let t = rise +. arc.Cluster.dmax in
+             if t > ready_rise.(to_net) then ready_rise.(to_net) <- t;
+             if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
+           | `Rise_fall ->
+             let in_for_rise, in_for_fall =
+               match arc.Cluster.sense with
+               | `Positive -> (rise, fall)
+               | `Negative -> (fall, rise)
+               | `Non_unate ->
+                 let worst = Hb_util.Time.max rise fall in
+                 (worst, worst)
+             in
+             if Hb_util.Time.is_finite in_for_rise then begin
+               let t = in_for_rise +. arc.Cluster.rise in
+               if t > ready_rise.(to_net) then ready_rise.(to_net) <- t
+             end;
+             if Hb_util.Time.is_finite in_for_fall then begin
+               let t = in_for_fall +. arc.Cluster.fall in
+               if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
+             end
+         done;
        if Hb_util.Time.is_finite min_ready.(net) then
-         List.iter
-           (fun arc_index ->
-              let arc = cluster.Cluster.arcs.(arc_index) in
-              let t = min_ready.(net) +. arc.Cluster.dmin in
-              if t < min_ready.(arc.Cluster.to_net) then
-                min_ready.(arc.Cluster.to_net) <- t)
-           cluster.Cluster.succ.(net))
+         for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+           let arc = arcs.(succ_arc.(k)) in
+           let t = min_ready.(net) +. arc.Cluster.dmin in
+           if t < min_ready.(arc.Cluster.to_net) then
+             min_ready.(arc.Cluster.to_net) <- t
+         done)
     cluster.Cluster.topo;
-  let ready =
-    Array.init n (fun i -> Hb_util.Time.max ready_rise.(i) ready_fall.(i))
-  in
+  for i = 0 to n - 1 do
+    out.ready.(i) <- Hb_util.Time.max ready_rise.(i) ready_fall.(i)
+  done;
   (* Closure times at the outputs assigned to this pass. *)
   let plan = passes.Passes.plans.(cluster.Cluster.id) in
   Array.iteri
@@ -104,15 +120,20 @@ let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () 
     cluster.Cluster.outputs;
   (* Backward sweep: equation (2), expressed through required times, with
      worst arc delays in both modes (safe). *)
+  let pred_off = cluster.Cluster.pred_off in
+  let pred_arc = cluster.Cluster.pred_arc in
   for i = Array.length cluster.Cluster.topo - 1 downto 0 do
     let net = cluster.Cluster.topo.(i) in
     if Hb_util.Time.is_finite required.(net) then
-      List.iter
-        (fun arc_index ->
-           let arc = cluster.Cluster.arcs.(arc_index) in
-           let t = required.(net) -. arc.Cluster.dmax in
-           if t < required.(arc.Cluster.from_net) then
-             required.(arc.Cluster.from_net) <- t)
-        cluster.Cluster.pred.(net)
-  done;
-  { ready; ready_rise; ready_fall; min_ready; required }
+      for k = pred_off.(net) to pred_off.(net + 1) - 1 do
+        let arc = arcs.(pred_arc.(k)) in
+        let t = required.(net) -. arc.Cluster.dmax in
+        if t < required.(arc.Cluster.from_net) then
+          required.(arc.Cluster.from_net) <- t
+      done
+  done
+
+let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () =
+  let result = create_result ~nets:(Array.length cluster.Cluster.nets) in
+  evaluate_into ~passes ~elements ~cluster ~cut ~mode result;
+  result

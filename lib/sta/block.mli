@@ -45,6 +45,25 @@ val evaluate :
   unit ->
   result
 
+(** [create_result ~nets] allocates a result buffer for a cluster of
+    [nets] local nets, ready to pass to {!evaluate_into}. *)
+val create_result : nets:int -> result
+
+(** [evaluate_into ~passes ~elements ~cluster ~cut ~mode out] is
+    {!evaluate} writing into the caller-owned buffer [out] (every array
+    is fully overwritten). Reusing one buffer per (cluster, pass) across
+    relaxation iterations removes the five per-call array allocations
+    from the hot loop.
+    @raise Invalid_argument when [out] was sized for a different cluster. *)
+val evaluate_into :
+  passes:Passes.t ->
+  elements:Elements.t ->
+  cluster:Cluster.t ->
+  cut:int ->
+  mode:mode ->
+  result ->
+  unit
+
 (** [assertion_time passes element ~cut] places the element's effective
     output assertion on the pass's time axis; [None] when the element has
     no assertion edge. *)

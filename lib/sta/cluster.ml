@@ -19,12 +19,24 @@ type t = {
   nets : int array;
   members : int list;
   arcs : arc array;
-  succ : int list array;
-  pred : int list array;
+  succ_off : int array;
+  succ_arc : int array;
+  pred_off : int array;
+  pred_arc : int array;
   topo : int array;
   inputs : terminal array;
   outputs : terminal array;
 }
+
+let iter_succ cluster net ~f =
+  for k = cluster.succ_off.(net) to cluster.succ_off.(net + 1) - 1 do
+    f cluster.succ_arc.(k)
+  done
+
+let iter_pred cluster net ~f =
+  for k = cluster.pred_off.(net) to cluster.pred_off.(net + 1) - 1 do
+    f cluster.pred_arc.(k)
+  done
 
 type table = {
   clusters : t array;
@@ -165,21 +177,39 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
          :: rev_outputs.(cluster_of_net.(net))
      | None -> ())
   done;
+  (* Flat compressed-sparse-row adjacency: [off] has [n + 1] entries and
+     arc indices adjacent to local net [v] sit in [idx] at
+     [off.(v) .. off.(v + 1) - 1]. Buckets are filled from the back so
+     the within-net order is descending arc index — the same order the
+     former cons-built adjacency lists were traversed in. *)
+  let csr ~n ~(arcs : arc array) ~key =
+    let m = Array.length arcs in
+    let off = Array.make (n + 1) 0 in
+    Array.iter (fun arc -> off.(key arc + 1) <- off.(key arc + 1) + 1) arcs;
+    for v = 1 to n do
+      off.(v) <- off.(v) + off.(v - 1)
+    done;
+    let idx = Array.make m 0 in
+    let cursor = Array.sub off 0 (Stdlib.max n 1) in
+    for i = m - 1 downto 0 do
+      let v = key arcs.(i) in
+      idx.(cursor.(v)) <- i;
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    (off, idx)
+  in
   let clusters =
     Array.init !cluster_count (fun c ->
         let arcs = Array.of_list (List.rev rev_arcs.(c)) in
         let n = sizes.(c) in
-        let succ = Array.make n [] and pred = Array.make n [] in
-        Array.iteri
-          (fun i arc ->
-             succ.(arc.from_net) <- i :: succ.(arc.from_net);
-             pred.(arc.to_net) <- i :: pred.(arc.to_net))
-          arcs;
+        let succ_off, succ_arc = csr ~n ~arcs ~key:(fun arc -> arc.from_net) in
+        let pred_off, pred_arc = csr ~n ~arcs ~key:(fun arc -> arc.to_net) in
         let topo =
           match
             Hb_util.Topo.sort ~nodes:n
               ~successors:(fun v ->
-                  List.map (fun i -> arcs.(i).to_net) succ.(v))
+                  List.init (succ_off.(v + 1) - succ_off.(v)) (fun k ->
+                      arcs.(succ_arc.(succ_off.(v) + k)).to_net))
           with
           | Hb_util.Topo.Sorted order -> order
           | Hb_util.Topo.Cycle cycle ->
@@ -200,8 +230,10 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
           nets = nets.(c);
           members = List.rev members.(c);
           arcs;
-          succ;
-          pred;
+          succ_off;
+          succ_arc;
+          pred_off;
+          pred_arc;
           topo;
           inputs = Array.of_list (List.rev rev_inputs.(c));
           outputs = Array.of_list (List.rev rev_outputs.(c));
@@ -275,7 +307,7 @@ let reachable_outputs cluster ~input_terminal_index =
   let rec walk net =
     if not marked.(net) then begin
       marked.(net) <- true;
-      List.iter (fun i -> walk cluster.arcs.(i).to_net) cluster.succ.(net)
+      iter_succ cluster net ~f:(fun i -> walk cluster.arcs.(i).to_net)
     end
   in
   walk start;

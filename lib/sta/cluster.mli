@@ -36,13 +36,24 @@ type t = {
   nets : int array;                (** local index → global net id *)
   members : int list;              (** combinational instance ids *)
   arcs : arc array;
-  succ : int list array;           (** local net → arc indices out of it *)
-  pred : int list array;           (** local net → arc indices into it *)
+  succ_off : int array;            (** CSR row offsets, length [nets + 1]:
+                                       arcs out of local net [v] are
+                                       [succ_arc.(succ_off.(v)) ..
+                                        succ_arc.(succ_off.(v + 1) - 1)] *)
+  succ_arc : int array;            (** CSR targets: arc indices by source net *)
+  pred_off : int array;            (** CSR row offsets for incoming arcs *)
+  pred_arc : int array;            (** CSR targets: arc indices by sink net *)
   topo : int array;                (** local nets, topologically sorted *)
   inputs : terminal array;         (** elements asserting onto cluster nets *)
   outputs : terminal array;        (** elements whose closure constrains
                                        cluster nets *)
 }
+
+(** [iter_succ cluster net ~f] applies [f] to the index of every arc
+    leaving local [net]; [iter_pred] to every arc entering it. The flat
+    offset/target pairs can also be indexed directly in hot loops. *)
+val iter_succ : t -> int -> f:(int -> unit) -> unit
+val iter_pred : t -> int -> f:(int -> unit) -> unit
 
 type table = {
   clusters : t array;

@@ -12,6 +12,8 @@ type t = {
   partial_transfer_divisor : float;
   rise_fall : bool;
   multicycle : (string * int) list;
+  incremental : bool;
+  parallel_jobs : int;
 }
 
 let default =
@@ -23,7 +25,12 @@ let default =
     partial_transfer_divisor = 2.0;
     rise_fall = false;
     multicycle = [];
+    incremental = true;
+    parallel_jobs = Hb_util.Pool.recommended_jobs ();
   }
+
+let sequential =
+  { default with incremental = false; parallel_jobs = 1 }
 
 let port_timing t ~system ~port ~direction =
   match List.assoc_opt port t.port_overrides with

@@ -39,9 +39,26 @@ type t = {
           its own clock. An extension in the spirit of the interactive
           what-if mode; hold bounds shift with the closure (document as
           the standard endpoint-based simplification) *)
+  incremental : bool;
+      (** reuse cached per-(cluster, pass) block results across
+          {!Slacks.compute} calls, re-evaluating only clusters touched by
+          an element whose offsets moved since the last call. Results are
+          bit-for-bit identical to a full recompute; disable (with
+          [parallel_jobs = 1]) to force the paper's from-scratch
+          evaluation on every iteration *)
+  parallel_jobs : int;
+      (** number of domains evaluating clusters concurrently inside one
+          [Slacks.compute]; [1] = fully sequential, the default is
+          [Domain.recommended_domain_count ()]. Cluster evaluations are
+          independent, so any value yields identical results *)
 }
 
 val default : t
+
+(** [sequential] is {!default} with [incremental = false] and
+    [parallel_jobs = 1]: the seed's from-scratch, single-domain
+    evaluation path, kept as the parity/benchmark baseline. *)
+val sequential : t
 
 (** [port_timing t ~system ~port] resolves the timing reference for the
     named port.

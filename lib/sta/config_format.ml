@@ -61,6 +61,18 @@ let parse ?(base = Config.default) text =
         { !config with
           Config.partial_transfer_divisor =
             float_field lineno "partial-divisor" v }
+    | [ "incremental"; flag ] ->
+      (match flag with
+       | "on" -> config := { !config with Config.incremental = true }
+       | "off" -> config := { !config with Config.incremental = false }
+       | other -> fail_line lineno "incremental: expected on/off, got %S" other)
+    | [ "parallel-jobs"; v ] ->
+      let jobs =
+        if v = "auto" then Hb_util.Pool.recommended_jobs ()
+        else int_field lineno "parallel-jobs" v
+      in
+      if jobs < 1 then fail_line lineno "parallel-jobs: must be >= 1";
+      config := { !config with Config.parallel_jobs = jobs }
     | [ direction; port; "clock"; clock; polarity; "pulse"; pulse;
         "offset"; offset ]
       when direction = "input" || direction = "output" ->
@@ -101,6 +113,8 @@ let to_string (config : Config.t) =
   add "rise-fall %s\n" (if config.Config.rise_fall then "on" else "off");
   add "max-iterations %d\n" config.Config.max_transfer_iterations;
   add "partial-divisor %g\n" config.Config.partial_transfer_divisor;
+  add "incremental %s\n" (if config.Config.incremental then "on" else "off");
+  add "parallel-jobs %d\n" config.Config.parallel_jobs;
   List.iter
     (fun (inst, n) -> add "multicycle %s %d\n" inst n)
     config.Config.multicycle;

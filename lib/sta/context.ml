@@ -1,3 +1,11 @@
+type cache = {
+  cache_mode : Block.mode;
+  versions : int array;
+  results : Block.result option array array;
+  dirty : bool array;
+  arena : Hb_util.Arena.t;
+}
+
 type t = {
   design : Hb_netlist.Design.t;
   system : Hb_clock.System.t;
@@ -5,13 +13,107 @@ type t = {
   elements : Elements.t;
   table : Cluster.table;
   passes : Passes.t;
+  clusters_of_element : int array array;
+  mutable slack_cache : cache option;
 }
+
+(* Element → incident clusters: an element touches a cluster when it
+   appears among the cluster's input or output terminals. Built once per
+   context; [Slacks.compute] walks it to translate "element moved" into
+   "cluster is stale". *)
+let incidence ~elements ~(table : Cluster.table) =
+  let lists = Array.make (Elements.count elements) [] in
+  let add e c =
+    match lists.(e) with
+    | c' :: _ when c' = c -> ()
+    | rest -> lists.(e) <- c :: rest
+  in
+  Array.iter
+    (fun (cluster : Cluster.t) ->
+       Array.iter
+         (fun (terminal : Cluster.terminal) ->
+            add terminal.Cluster.element cluster.Cluster.id)
+         cluster.Cluster.inputs;
+       Array.iter
+         (fun (terminal : Cluster.terminal) ->
+            add terminal.Cluster.element cluster.Cluster.id)
+         cluster.Cluster.outputs)
+    table.Cluster.clusters;
+  Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) lists
 
 let make ~design ~system ?(config = Config.default) ?delays () =
   let elements = Elements.build ~design ~system ~config in
   let table = Cluster.extract ~design ~elements ?delays () in
   let passes = Passes.build ~system ~elements ~table in
-  { design; system; config; elements; table; passes }
+  { design; system; config; elements; table; passes;
+    clusters_of_element = incidence ~elements ~table;
+    slack_cache = None;
+  }
+
+(* The slack cache, (re)created on demand. [versions] starts one behind
+   every element (elements start at version >= 0) so the first compute
+   treats every cluster as stale. *)
+let create_cache t ~mode =
+  let release_results arena rows =
+    Array.iter
+      (fun row ->
+         Array.iter
+           (function
+             | None -> ()
+             | Some (r : Block.result) ->
+               Hb_util.Arena.release arena r.Block.ready;
+               Hb_util.Arena.release arena r.Block.ready_rise;
+               Hb_util.Arena.release arena r.Block.ready_fall;
+               Hb_util.Arena.release arena r.Block.min_ready;
+               Hb_util.Arena.release arena r.Block.required)
+           row)
+      rows
+  in
+  let arena =
+    match t.slack_cache with
+    | Some old ->
+      (* Mode switch: recycle the old buffers through the arena. *)
+      release_results old.arena old.results;
+      old.arena
+    | None -> Hb_util.Arena.create ()
+  in
+  let cache =
+    { cache_mode = mode;
+      versions = Array.make (Elements.count t.elements) (-1);
+      results =
+        Array.map
+          (fun (plan : Passes.plan) ->
+             Array.make (List.length plan.Passes.cuts) None)
+          t.passes.Passes.plans;
+      dirty = Array.make (Array.length t.table.Cluster.clusters) false;
+      arena;
+    }
+  in
+  t.slack_cache <- Some cache;
+  cache
+
+let cache t ~mode =
+  match t.slack_cache with
+  | Some cache when cache.cache_mode = mode -> cache
+  | Some _ | None -> create_cache t ~mode
+
+let invalidate_cache t = t.slack_cache <- None
+
+let cache_result cache (cluster : Cluster.t) ~cut_index =
+  match cache.results.(cluster.Cluster.id).(cut_index) with
+  | Some result -> result
+  | None ->
+    let n = Array.length cluster.Cluster.nets in
+    let result =
+      { Block.ready = Hb_util.Arena.floats cache.arena n;
+        ready_rise = Hb_util.Arena.floats cache.arena n;
+        ready_fall = Hb_util.Arena.floats cache.arena n;
+        min_ready = Hb_util.Arena.floats cache.arena n;
+        required = Hb_util.Arena.floats cache.arena n;
+      }
+    in
+    cache.results.(cluster.Cluster.id).(cut_index) <- Some result;
+    result
 
 let same_edges a b =
   Elements.count a = Elements.count b
@@ -36,4 +138,7 @@ let update_design ctx ~design ?delays () =
     if same_edges elements ctx.elements then ctx.passes
     else Passes.build ~system:ctx.system ~elements ~table
   in
-  { ctx with design; elements; table; passes }
+  (* Arc delays changed and the element table is new, so cached block
+     results and version snapshots are stale; the incidence map only
+     depends on the unchanged topology. *)
+  { ctx with design; elements; table; passes; slack_cache = None }

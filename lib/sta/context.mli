@@ -5,6 +5,21 @@
     (control-cone tracing, replication, cluster generation and the
     Section 7 pass-minimisation); the algorithms then iterate over it. *)
 
+(** Cached per-(cluster, pass) block results, owned by the incremental
+    slack engine ({!Slacks.compute}). The cache is valid for a single
+    evaluation mode; [versions] snapshots each element's
+    {!Hb_sync.Element.version} as of the last compute, so the next call
+    re-evaluates only clusters incident to an element whose version
+    moved. [dirty] is a reusable per-cluster scratch flag array. *)
+type cache = {
+  cache_mode : Block.mode;
+  versions : int array;
+  results : Block.result option array array;
+      (** indexed by cluster id, then position in the plan's cut list *)
+  dirty : bool array;
+  arena : Hb_util.Arena.t;  (** recycles result buffers across resets *)
+}
+
 type t = {
   design : Hb_netlist.Design.t;
   system : Hb_clock.System.t;
@@ -12,6 +27,10 @@ type t = {
   elements : Elements.t;
   table : Cluster.table;
   passes : Passes.t;
+  clusters_of_element : int array array;
+      (** element id → ids of clusters with a terminal on that element;
+          sorted, duplicate-free. Fixed by the topology. *)
+  mutable slack_cache : cache option;
 }
 
 (** [make ~design ~system ?config ?delays ()] runs the pre-processing
@@ -28,12 +47,30 @@ val make :
   unit ->
   t
 
+(** [cache t ~mode] returns the slack cache for [mode], creating a fresh
+    one (every cluster stale) when none exists or the cached mode
+    differs. *)
+val cache : t -> mode:Block.mode -> cache
+
+(** [invalidate_cache t] drops the slack cache; the next
+    {!Slacks.compute} re-evaluates everything. Needed only when timing
+    data changes behind the elements' backs (offset mutations are
+    tracked automatically via element versions). *)
+val invalidate_cache : t -> unit
+
+(** [cache_result cache cluster ~cut_index] returns the cached result
+    buffers for the cluster's [cut_index]-th pass, allocating them from
+    the cache's arena on first use. *)
+val cache_result : cache -> Cluster.t -> cut_index:int -> Block.result
+
 (** [update_design ctx ~design ?delays ()] re-targets the context at a
     topologically identical design (same ports, nets, instances and pin
     connections — only cells/delays may differ, as after gate upsizing).
     Cluster extraction is skipped (arc delays are refreshed in place) and
     the pass plans are reused when every element's ideal edges are
     unchanged. Falls back to full pass re-planning when they are not.
+    The slack cache is dropped: delays moved without any element version
+    changing.
     @raise Invalid_argument when the topology differs. *)
 val update_design :
   t -> design:Hb_netlist.Design.t -> ?delays:Delays.t -> unit -> t

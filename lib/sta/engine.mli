@@ -6,10 +6,19 @@
     checks, and reports cpu-time per phase — the quantities of the paper's
     Table 1. *)
 
+(** Per-phase cost on both clocks. The [_seconds] fields are cpu time
+    ([Sys.time]) summed across all domains — the paper's Table 1 unit;
+    the [_wall_seconds] fields are elapsed real time
+    ([Unix.gettimeofday]), the figure parallel cluster evaluation
+    actually improves. Under [Config.parallel_jobs = 1] the two
+    coincide up to scheduler noise. *)
 type timings = {
   preprocess_seconds : float;  (** cluster generation + pass minimisation *)
   analysis_seconds : float;    (** Algorithm 1 *)
   constraints_seconds : float; (** Algorithm 2, 0 when skipped *)
+  preprocess_wall_seconds : float;
+  analysis_wall_seconds : float;
+  constraints_wall_seconds : float;  (** 0 when skipped *)
 }
 
 type report = {

@@ -37,12 +37,10 @@ let min_delays (cluster : Cluster.t) ~source =
   Array.iter
     (fun net ->
        if Hb_util.Time.is_finite dmin.(net) then
-         List.iter
-           (fun arc_index ->
-              let arc = cluster.Cluster.arcs.(arc_index) in
-              let t = dmin.(net) +. arc.Cluster.dmin in
-              if t < dmin.(arc.Cluster.to_net) then dmin.(arc.Cluster.to_net) <- t)
-           cluster.Cluster.succ.(net))
+         Cluster.iter_succ cluster net ~f:(fun arc_index ->
+             let arc = cluster.Cluster.arcs.(arc_index) in
+             let t = dmin.(net) +. arc.Cluster.dmin in
+             if t < dmin.(arc.Cluster.to_net) then dmin.(arc.Cluster.to_net) <- t))
     cluster.Cluster.topo;
   dmin
 

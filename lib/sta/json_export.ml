@@ -73,9 +73,13 @@ let report (r : Engine.report) =
          (number v.Holdcheck.margin))
     r.Engine.hold_violations;
   add "\n  ],\n";
-  add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s}\n"
+  add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s, \
+       \"preprocess_wall_s\": %s, \"analysis_wall_s\": %s, \"constraints_wall_s\": %s}\n"
     (number r.Engine.timings.Engine.preprocess_seconds)
     (number r.Engine.timings.Engine.analysis_seconds)
-    (number r.Engine.timings.Engine.constraints_seconds);
+    (number r.Engine.timings.Engine.constraints_seconds)
+    (number r.Engine.timings.Engine.preprocess_wall_seconds)
+    (number r.Engine.timings.Engine.analysis_wall_seconds)
+    (number r.Engine.timings.Engine.constraints_wall_seconds);
   add "}\n";
   Buffer.contents buffer

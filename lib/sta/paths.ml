@@ -93,16 +93,18 @@ let critical_path (ctx : Context.t) ~endpoint =
          let rec backtrack net pol acc =
            let ready = arrival net pol in
            let source =
-             List.find_map
-               (fun arc_index ->
-                  let arc = cluster.Cluster.arcs.(arc_index) in
-                  let src_pol, delay = arc_step arc pol in
-                  let src = arrival arc.Cluster.from_net src_pol in
-                  if Hb_util.Time.is_finite src
-                  && Hb_util.Time.equal (src +. delay) ready
-                  then Some (arc, src_pol)
-                  else None)
-               cluster.Cluster.pred.(net)
+             let rec scan k =
+               if k >= cluster.Cluster.pred_off.(net + 1) then None
+               else
+                 let arc = cluster.Cluster.arcs.(cluster.Cluster.pred_arc.(k)) in
+                 let src_pol, delay = arc_step arc pol in
+                 let src = arrival arc.Cluster.from_net src_pol in
+                 if Hb_util.Time.is_finite src
+                 && Hb_util.Time.equal (src +. delay) ready
+                 then Some (arc, src_pol)
+                 else scan (k + 1)
+             in
+             scan cluster.Cluster.pred_off.(net)
            in
            match source with
            | Some (arc, src_pol) ->
@@ -184,14 +186,12 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
           remaining.(end_net) <- 0.0;
           for i = Array.length cluster.Cluster.topo - 1 downto 0 do
             let net = cluster.Cluster.topo.(i) in
-            List.iter
-              (fun arc_index ->
-                 let arc = cluster.Cluster.arcs.(arc_index) in
-                 if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net) then begin
-                   let d = remaining.(arc.Cluster.to_net) +. arc.Cluster.dmax in
-                   if d > remaining.(net) then remaining.(net) <- d
-                 end)
-              cluster.Cluster.succ.(net)
+            Cluster.iter_succ cluster net ~f:(fun arc_index ->
+                let arc = cluster.Cluster.arcs.(arc_index) in
+                if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net) then begin
+                  let d = remaining.(arc.Cluster.to_net) +. arc.Cluster.dmax in
+                  if d > remaining.(net) then remaining.(net) <- d
+                end)
           done;
           (* Best-first search; priority is negated final-arrival bound so
              the min-heap pops worst paths first. *)
@@ -229,22 +229,20 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
                 :: !results
             end
             else
-              List.iter
-                (fun arc_index ->
-                   let arc = cluster.Cluster.arcs.(arc_index) in
-                   if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net)
-                   then begin
-                     let t = arrival +. arc.Cluster.dmax in
-                     let hop =
-                       { net = cluster.Cluster.nets.(arc.Cluster.to_net);
-                         via = Some arc.Cluster.inst;
-                         at = t }
-                     in
-                     Hb_util.Heap.push heap
-                       ~priority:(-.(t +. remaining.(arc.Cluster.to_net)))
-                       (start_element, arc.Cluster.to_net, t, hop :: hops)
-                   end)
-                cluster.Cluster.succ.(net)
+              Cluster.iter_succ cluster net ~f:(fun arc_index ->
+                  let arc = cluster.Cluster.arcs.(arc_index) in
+                  if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net)
+                  then begin
+                    let t = arrival +. arc.Cluster.dmax in
+                    let hop =
+                      { net = cluster.Cluster.nets.(arc.Cluster.to_net);
+                        via = Some arc.Cluster.inst;
+                        at = t }
+                    in
+                    Hb_util.Heap.push heap
+                      ~priority:(-.(t +. remaining.(arc.Cluster.to_net)))
+                      (start_element, arc.Cluster.to_net, t, hop :: hops)
+                  end)
           done;
           List.rev !results))
 

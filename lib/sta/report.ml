@@ -41,6 +41,10 @@ let summary (report : Engine.report) =
     report.Engine.timings.Engine.preprocess_seconds
     report.Engine.timings.Engine.analysis_seconds
     report.Engine.timings.Engine.constraints_seconds;
+  add "wall: %.4f s pre-process, %.4f s analysis, %.4f s constraints\n"
+    report.Engine.timings.Engine.preprocess_wall_seconds
+    report.Engine.timings.Engine.analysis_wall_seconds
+    report.Engine.timings.Engine.constraints_wall_seconds;
   Buffer.contents buffer
 
 let paths_report ctx slacks ~limit =

@@ -7,13 +7,11 @@ type t = {
   worst : Hb_util.Time.t;
 }
 
-let compute ?mode (ctx : Context.t) =
-  let mode =
-    match mode with
-    | Some m -> m
-    | None ->
-      if ctx.Context.config.Config.rise_fall then `Rise_fall else `Scalar
-  in
+(* Aggregation over every (cluster, pass), reading the block results from
+   [result_of]. Kept sequential and in cluster order regardless of how the
+   results were produced, so incremental/parallel evaluation cannot perturb
+   the outcome. *)
+let aggregate (ctx : Context.t) ~result_of =
   let element_count = Elements.count ctx.Context.elements in
   let net_count = Hb_netlist.Design.net_count ctx.Context.design in
   let element_input_slack = Array.make element_count Hb_util.Time.infinity in
@@ -25,12 +23,9 @@ let compute ?mode (ctx : Context.t) =
   Array.iter
     (fun (cluster : Cluster.t) ->
        let plan = passes.Passes.plans.(cluster.Cluster.id) in
-       List.iter
-         (fun cut ->
-            let result =
-              Block.evaluate ~passes ~elements:ctx.Context.elements ~cluster ~cut
-                ~mode ()
-            in
+       List.iteri
+         (fun cut_index cut ->
+            let result : Block.result = result_of cluster ~cut_index ~cut in
             let first = (cut + 1) mod passes.Passes.node_count in
             let origin = passes.Passes.node_time.(first) in
             (* Recorded times stay on the pass's broken-open axis (offset
@@ -102,6 +97,100 @@ let compute ?mode (ctx : Context.t) =
     net_slack; net_ready; net_required;
     worst = !worst;
   }
+
+(* Re-evaluate the block results of stale clusters into the context's
+   cache, fanning the work across the shared domain pool when
+   [parallel_jobs > 1]. Cluster evaluations are mutually independent
+   (disjoint result buffers, read-only inputs), so both the caching and
+   the parallelism are bit-for-bit neutral. *)
+let refresh_cache ~mode ~force (ctx : Context.t) =
+  let config = ctx.Context.config in
+  let cache = Context.cache ctx ~mode in
+  let clusters = ctx.Context.table.Cluster.clusters in
+  let cluster_count = Array.length clusters in
+  let dirty = cache.Context.dirty in
+  let elements = ctx.Context.elements in
+  if force || not config.Config.incremental then
+    Array.fill dirty 0 cluster_count true
+  else begin
+    Array.fill dirty 0 cluster_count false;
+    for e = 0 to Elements.count elements - 1 do
+      if Hb_sync.Element.version (Elements.element elements e)
+         <> cache.Context.versions.(e)
+      then
+        Array.iter
+          (fun c -> dirty.(c) <- true)
+          ctx.Context.clusters_of_element.(e)
+    done;
+    (* Clusters never evaluated under this cache (fresh cache, or no
+       element terminals at all) have no result to reuse. *)
+    Array.iteri
+      (fun c row -> if Array.exists Option.is_none row then dirty.(c) <- true)
+      cache.Context.results
+  end;
+  for e = 0 to Elements.count elements - 1 do
+    cache.Context.versions.(e) <-
+      Hb_sync.Element.version (Elements.element elements e)
+  done;
+  let todo = ref [] in
+  for c = cluster_count - 1 downto 0 do
+    if dirty.(c) then todo := c :: !todo
+  done;
+  let todo = Array.of_list !todo in
+  let passes = ctx.Context.passes in
+  (* Materialise the result buffers up front: the arena and the option
+     slots are not safe to touch from worker domains. *)
+  Array.iter
+    (fun c ->
+       let cluster = clusters.(c) in
+       let plan = passes.Passes.plans.(c) in
+       List.iteri
+         (fun cut_index _ ->
+            ignore (Context.cache_result cache cluster ~cut_index : Block.result))
+         plan.Passes.cuts)
+    todo;
+  let evaluate i =
+    let cluster = clusters.(todo.(i)) in
+    let plan = passes.Passes.plans.(cluster.Cluster.id) in
+    List.iteri
+      (fun cut_index cut ->
+         let out =
+           match cache.Context.results.(cluster.Cluster.id).(cut_index) with
+           | Some out -> out
+           | None -> assert false
+         in
+         Block.evaluate_into ~passes ~elements ~cluster ~cut ~mode out)
+      plan.Passes.cuts
+  in
+  let jobs = config.Config.parallel_jobs in
+  let count = Array.length todo in
+  if jobs <= 1 || count <= 1 then
+    for i = 0 to count - 1 do evaluate i done
+  else
+    Hb_util.Pool.run (Hb_util.Pool.shared ~jobs) ~count evaluate;
+  cache
+
+let compute ?mode ?(force = false) (ctx : Context.t) =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None ->
+      if ctx.Context.config.Config.rise_fall then `Rise_fall else `Scalar
+  in
+  let config = ctx.Context.config in
+  if (not config.Config.incremental) && config.Config.parallel_jobs <= 1 then
+    (* The paper's from-scratch path: evaluate each block inline as the
+       aggregation reaches it, exactly as the original engine did. *)
+    aggregate ctx ~result_of:(fun cluster ~cut_index:_ ~cut ->
+        Block.evaluate ~passes:ctx.Context.passes ~elements:ctx.Context.elements
+          ~cluster ~cut ~mode ())
+  else begin
+    let cache = refresh_cache ~mode ~force ctx in
+    aggregate ctx ~result_of:(fun cluster ~cut_index ~cut:_ ->
+        match cache.Context.results.(cluster.Cluster.id).(cut_index) with
+        | Some result -> result
+        | None -> assert false)
+  end
 
 let all_positive t =
   let ok slack = not (Hb_util.Time.le slack 0.0) in

@@ -30,10 +30,24 @@ type t = {
   worst : Hb_util.Time.t;  (** minimum finite slack over all terminals *)
 }
 
-(** [compute ?mode ctx] evaluates every cluster pass at the current
-    offsets. [mode] defaults to the context configuration's arrival model
-    ([`Rise_fall] when [Config.rise_fall] is set, [`Scalar] otherwise). *)
-val compute : ?mode:Block.mode -> Context.t -> t
+(** [compute ?mode ?force ctx] evaluates every cluster pass at the
+    current offsets. [mode] defaults to the context configuration's
+    arrival model ([`Rise_fall] when [Config.rise_fall] is set, [`Scalar]
+    otherwise).
+
+    When [Config.incremental] is set (the default), block results are
+    cached in the context and only clusters incident to an element whose
+    offsets moved since the previous call are re-evaluated; with
+    [Config.parallel_jobs > 1] the stale clusters are evaluated
+    concurrently on a domain pool. Both optimisations are bit-for-bit
+    neutral: cluster evaluations read only immutable pass data and the
+    incident elements' offsets, write disjoint buffers, and the final
+    aggregation always runs sequentially in cluster order.
+
+    [force] (default [false]) discards any cached results and
+    re-evaluates every cluster — the escape hatch used by parity tests to
+    compare the incremental path against a from-scratch recompute. *)
+val compute : ?mode:Block.mode -> ?force:bool -> Context.t -> t
 
 (** [all_positive t] is true when every terminal slack is strictly
     positive — the system "behaves as intended". *)

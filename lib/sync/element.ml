@@ -18,6 +18,7 @@ type t = {
   assertion_edge : Hb_clock.Edge.t option;
   closure_edge : Hb_clock.Edge.t option;
   detail : detail;
+  mutable version : int;
 }
 
 let clocked ?(extra_closure_delay = 0.0) ~id ~inst ~label ~replica ~kind
@@ -29,6 +30,7 @@ let clocked ?(extra_closure_delay = 0.0) ~id ~inst ~label ~replica ~kind
     assertion_edge = Some assertion_edge;
     closure_edge = Some closure_edge;
     detail = Clocked { kind; params; o_dz = Model.initial_o_dz kind params };
+    version = 0;
   }
 
 let input_boundary ~inst ~id ~label ~edge ~arrival_offset =
@@ -36,6 +38,7 @@ let input_boundary ~inst ~id ~label ~edge ~arrival_offset =
     assertion_edge = Some edge;
     closure_edge = None;
     detail = Fixed { assertion_offset = arrival_offset; closure_offset = 0.0 };
+    version = 0;
   }
 
 let output_boundary ~inst ~id ~label ~edge ~required_offset =
@@ -43,6 +46,7 @@ let output_boundary ~inst ~id ~label ~edge ~required_offset =
     assertion_edge = None;
     closure_edge = Some edge;
     detail = Fixed { assertion_offset = 0.0; closure_offset = required_offset };
+    version = 0;
   }
 
 let closure_offset t =
@@ -67,17 +71,30 @@ let backward_headroom t =
   | Clocked c -> Model.backward_headroom c.kind c.params ~o_dz:c.o_dz
   | Fixed _ -> 0.0
 
+(* Every effective change of an element's offset state bumps [version];
+   the slack engine compares versions against its last snapshot to find
+   the clusters whose cached block results are stale. Clamped-to-equal
+   writes do not bump, so converged elements stop dirtying clusters. *)
+let write_o_dz t value =
+  match t.detail with
+  | Fixed _ -> ()
+  | Clocked c ->
+    if value <> c.o_dz then begin
+      c.o_dz <- value;
+      t.version <- t.version + 1
+    end
+
 let shift t delta =
   match t.detail with
   | Fixed _ -> ()
   | Clocked c ->
     let interval = Model.o_dz_interval c.kind c.params in
-    c.o_dz <- Hb_util.Interval.clamp (c.o_dz +. delta) interval
+    write_o_dz t (Hb_util.Interval.clamp (c.o_dz +. delta) interval)
 
 let reset t =
   match t.detail with
   | Fixed _ -> ()
-  | Clocked c -> c.o_dz <- Model.initial_o_dz c.kind c.params
+  | Clocked c -> write_o_dz t (Model.initial_o_dz c.kind c.params)
 
 let o_dz t =
   match t.detail with
@@ -88,7 +105,9 @@ let set_o_dz t v =
   match t.detail with
   | Fixed _ -> ()
   | Clocked c ->
-    c.o_dz <- Hb_util.Interval.clamp v (Model.o_dz_interval c.kind c.params)
+    write_o_dz t (Hb_util.Interval.clamp v (Model.o_dz_interval c.kind c.params))
+
+let version t = t.version
 
 let is_boundary t =
   match t.detail with

@@ -37,6 +37,10 @@ type t = private {
       (** ideal input closure edge; [None] when the element has no data
           input *)
   detail : detail;
+  mutable version : int;
+      (** dirty counter: bumped on every effective offset change
+          ({!shift}, {!set_o_dz}, {!reset}); incremental slack evaluation
+          compares it against a snapshot to find stale clusters *)
 }
 
 (** [clocked ~id ~inst ~label ~replica ~kind ~params ~assertion_edge
@@ -94,5 +98,9 @@ val o_dz : t -> Hb_util.Time.t
 val set_o_dz : t -> Hb_util.Time.t -> unit
 
 val is_boundary : t -> bool
+
+(** [version t] reads the offset-state dirty counter. Stays at [0] for
+    boundary elements, whose offsets never move. *)
+val version : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = {
+  free : (int, float array list ref) Hashtbl.t;
+  mutable outstanding : int;
+}
+
+let create () = { free = Hashtbl.create 16; outstanding = 0 }
+
+let floats t n =
+  if n < 0 then invalid_arg "Arena.floats: negative length";
+  t.outstanding <- t.outstanding + 1;
+  match Hashtbl.find_opt t.free n with
+  | Some ({ contents = buffer :: rest } as slot) ->
+    slot := rest;
+    buffer
+  | Some { contents = [] } | None -> Array.make n 0.0
+
+let release t buffer =
+  let n = Array.length buffer in
+  t.outstanding <- t.outstanding - 1;
+  match Hashtbl.find_opt t.free n with
+  | Some slot -> slot := buffer :: !slot
+  | None -> Hashtbl.replace t.free n (ref [ buffer ])
+
+let clear t =
+  Hashtbl.reset t.free;
+  t.outstanding <- 0
+
+let outstanding t = t.outstanding

@@ -1,0 +1,32 @@
+(** Scratch arena for float buffers.
+
+    A length-keyed free list of [float array]s: [floats] hands out a
+    buffer of exactly the requested length, reusing a released one when
+    available, and [release] returns a buffer for reuse. The slack
+    engine's per-(cluster, pass) result buffers cycle through an arena so
+    cache rebuilds (mode switches, design refreshes) recycle their arrays
+    instead of re-allocating them.
+
+    Buffers are handed out with unspecified contents — callers must
+    initialise what they read. Not thread-safe; confine an arena to one
+    domain (the slack engine allocates from the arena only in the
+    sequential sections of a compute). *)
+
+type t
+
+val create : unit -> t
+
+(** [floats t n] takes a buffer of length exactly [n] from the free list,
+    or allocates one. Contents are unspecified. *)
+val floats : t -> int -> float array
+
+(** [release t buffer] returns [buffer] to the free list. Releasing a
+    buffer still in use, or twice, is a caller bug. *)
+val release : t -> float array -> unit
+
+(** [clear t] drops every pooled buffer (outstanding ones stay valid but
+    will not return to this arena's accounting). *)
+val clear : t -> unit
+
+(** Number of buffers handed out and not yet released, for tests. *)
+val outstanding : t -> int

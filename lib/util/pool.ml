@@ -1,0 +1,155 @@
+type job = {
+  work : int -> unit;
+  count : int;
+  next : int Atomic.t;       (* next unclaimed item *)
+  completed : int Atomic.t;  (* items fully processed *)
+  failed : bool Atomic.t;    (* a worker raised; skip remaining items *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* new job posted, or shutting down *)
+  idle : Condition.t;  (* current job fully completed *)
+  mutable job : job option;
+  mutable epoch : int;
+  mutable stopping : bool;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+(* Claim items one at a time off the shared counter. Every claimed index
+   is counted in [completed] even after a failure, so the submitter's
+   completion wait always terminates. *)
+let drain t job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.count then begin
+      if not (Atomic.get job.failed) then begin
+        try job.work i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set job.failed true;
+          Mutex.lock t.mutex;
+          if t.error = None then t.error <- Some (e, bt);
+          Mutex.unlock t.mutex
+      end;
+      if Atomic.fetch_and_add job.completed 1 = job.count - 1 then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker t last_epoch =
+  Mutex.lock t.mutex;
+  while (not t.stopping) && t.epoch = last_epoch do
+    Condition.wait t.wake t.mutex
+  done;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let job = t.job in
+    Mutex.unlock t.mutex;
+    (match job with Some j -> drain t j | None -> ());
+    worker t epoch
+  end
+
+let create ~jobs:requested () =
+  let size = Stdlib.max 1 (Stdlib.min 64 requested) in
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      epoch = 0;
+      stopping = false;
+      error = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let run t ~count work =
+  if count > 0 then begin
+    if t.size = 1 || count = 1 then
+      for i = 0 to count - 1 do work i done
+    else begin
+      let job =
+        { work; count;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          failed = Atomic.make false;
+        }
+      in
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.error <- None;
+      t.job <- Some job;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      (* The submitter is a worker too. *)
+      drain t job;
+      Mutex.lock t.mutex;
+      while Atomic.get job.completed < job.count do
+        Condition.wait t.idle t.mutex
+      done;
+      let error = t.error in
+      t.error <- None;
+      Mutex.unlock t.mutex;
+      match error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let domains = t.domains in
+  t.stopping <- true;
+  t.domains <- [];
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Process-wide pool, lazily created and resized on demand. *)
+let shared_mutex = Mutex.create ()
+let shared_pool : t option ref = ref None
+let exit_hooked = ref false
+
+let shared ~jobs:requested =
+  let requested = Stdlib.max 1 (Stdlib.min 64 requested) in
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared_pool with
+    | Some pool when pool.size = requested -> pool
+    | existing ->
+      (match existing with Some pool -> shutdown pool | None -> ());
+      let pool = create ~jobs:requested () in
+      shared_pool := Some pool;
+      if not !exit_hooked then begin
+        exit_hooked := true;
+        at_exit (fun () ->
+            Mutex.lock shared_mutex;
+            let pool = !shared_pool in
+            shared_pool := None;
+            Mutex.unlock shared_mutex;
+            match pool with Some pool -> shutdown pool | None -> ())
+      end;
+      pool
+  in
+  Mutex.unlock shared_mutex;
+  pool

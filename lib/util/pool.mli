@@ -1,0 +1,45 @@
+(** A small fixed-size domain pool with a chunked/work-stealing
+    parallel-for, for fanning independent cluster evaluations across
+    cores.
+
+    Workers are spawned once and parked on a condition variable between
+    jobs, so a pool amortises domain start-up across the many
+    [Slacks.compute] calls of a relaxation loop. Work items are claimed
+    through a shared atomic counter, which gives dynamic load balancing
+    when item costs are skewed (cluster sizes follow a heavy-tailed
+    distribution).
+
+    A pool of [jobs = 1] never spawns domains and runs everything inline
+    in the caller, making the sequential configuration bit-for-bit
+    identical to a plain [for] loop. *)
+
+type t
+
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
+    domain is the [jobs]-th worker). [jobs] is clamped to [1, 64]. *)
+val create : jobs:int -> unit -> t
+
+(** Number of workers, including the submitting domain. *)
+val jobs : t -> int
+
+(** [run t ~count f] evaluates [f i] for every [0 <= i < count], in
+    parallel across the pool's workers. Returns when all items are done.
+    Items must be independent: [f] must not touch shared mutable state
+    without its own synchronisation. If one or more items raise, one of
+    the exceptions is re-raised in the caller after the job drains (the
+    remaining items are skipped). Jobs must not be submitted re-entrantly
+    from inside [f]. *)
+val run : t -> count:int -> (int -> unit) -> unit
+
+(** [shutdown t] stops and joins the worker domains. The pool must not be
+    used afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [recommended_jobs ()] is [Domain.recommended_domain_count ()]. *)
+val recommended_jobs : unit -> int
+
+(** [shared ~jobs] returns a process-wide pool with the given size,
+    creating it on first use and resizing (shutdown + respawn) when a
+    different size is requested. The pool is shut down automatically at
+    exit. *)
+val shared : jobs:int -> t

@@ -1,0 +1,294 @@
+(* The incremental + parallel slack engine and its supporting
+   infrastructure (domain pool, buffer arena, element version counters).
+
+   The engine's contract is exact: caching and parallelism must be
+   bit-for-bit invisible. The properties here therefore compare with
+   [Float.compare] equality, not a tolerance. *)
+
+let eq_time x y =
+  (* nan = nan (unconstrained nets record nan ready/required times). *)
+  Float.compare x y = 0
+
+let eq_array xs ys =
+  Array.length xs = Array.length ys && Array.for_all2 eq_time xs ys
+
+let same_slacks (a : Hb_sta.Slacks.t) (b : Hb_sta.Slacks.t) =
+  eq_array a.Hb_sta.Slacks.element_input_slack b.Hb_sta.Slacks.element_input_slack
+  && eq_array a.Hb_sta.Slacks.element_output_slack
+       b.Hb_sta.Slacks.element_output_slack
+  && eq_array a.Hb_sta.Slacks.net_slack b.Hb_sta.Slacks.net_slack
+  && eq_array a.Hb_sta.Slacks.net_ready b.Hb_sta.Slacks.net_ready
+  && eq_array a.Hb_sta.Slacks.net_required b.Hb_sta.Slacks.net_required
+  && eq_time a.Hb_sta.Slacks.worst b.Hb_sta.Slacks.worst
+
+let parallel_config =
+  { Hb_sta.Config.default with
+    Hb_sta.Config.incremental = true;
+    parallel_jobs = 3 }
+
+(* ------------------------------------------------------------------ *)
+(* Engine parity properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_matches_sequential =
+  (* Random soups, random element shift sequences: after every shift the
+     incremental+parallel engine, a forced full recompute on the same
+     cached context, and a from-scratch sequential context all agree
+     exactly. *)
+  QCheck.Test.make ~name:"engine: incremental+parallel = sequential" ~count:20
+    QCheck.(
+      triple (int_range 1 100_000) (int_range 1 4)
+        (list_of_size (Gen.int_range 0 12)
+           (pair (int_range 0 1_000) (int_range (-80) 80))))
+    (fun (seed, phases, shifts) ->
+       let design, system =
+         Hb_workload.Soup.random ~seed:(Int64.of_int seed) ~phases ()
+       in
+       let seq_ctx =
+         Hb_sta.Context.make ~design ~system ~config:Hb_sta.Config.sequential ()
+       in
+       let par_ctx =
+         Hb_sta.Context.make ~design ~system ~config:parallel_config ()
+       in
+       let count = Hb_sta.Elements.count seq_ctx.Hb_sta.Context.elements in
+       let apply ctx (index, tenths) =
+         Hb_sync.Element.shift
+           (Hb_sta.Elements.element ctx.Hb_sta.Context.elements (index mod count))
+           (float_of_int tenths /. 10.0)
+       in
+       let agree () =
+         let reference = Hb_sta.Slacks.compute seq_ctx in
+         let cached = Hb_sta.Slacks.compute par_ctx in
+         let forced = Hb_sta.Slacks.compute ~force:true par_ctx in
+         same_slacks reference cached && same_slacks reference forced
+       in
+       agree ()
+       && List.for_all
+            (fun op -> apply seq_ctx op; apply par_ctx op; agree ())
+            shifts)
+
+let prop_algorithm1_matches_sequential =
+  (* Full Algorithm 1 runs converge to identical outcomes under both
+     engines on random soups. *)
+  QCheck.Test.make ~name:"engine: Algorithm 1 outcome unchanged" ~count:20
+    QCheck.(pair (int_range 1 100_000) (int_range 1 4))
+    (fun (seed, phases) ->
+       let design, system =
+         Hb_workload.Soup.random ~seed:(Int64.of_int seed) ~phases ()
+       in
+       let run config =
+         let ctx = Hb_sta.Context.make ~design ~system ~config () in
+         Hb_sta.Algorithm1.run ctx
+       in
+       let a = run Hb_sta.Config.sequential in
+       let b = run parallel_config in
+       a.Hb_sta.Algorithm1.status = b.Hb_sta.Algorithm1.status
+       && a.Hb_sta.Algorithm1.forward_cycles = b.Hb_sta.Algorithm1.forward_cycles
+       && a.Hb_sta.Algorithm1.backward_cycles
+          = b.Hb_sta.Algorithm1.backward_cycles
+       && same_slacks a.Hb_sta.Algorithm1.final b.Hb_sta.Algorithm1.final)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 chip regressions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chip_regression () =
+  List.iter
+    (fun (name, make) ->
+       let design, system = make () in
+       let run config =
+         let ctx = Hb_sta.Context.make ~design ~system ~config () in
+         Hb_sta.Algorithm1.run ctx
+       in
+       let reference = run Hb_sta.Config.sequential in
+       let engine = run parallel_config in
+       Alcotest.(check bool)
+         (name ^ ": status") true
+         (reference.Hb_sta.Algorithm1.status = engine.Hb_sta.Algorithm1.status);
+       Alcotest.(check int)
+         (name ^ ": forward cycles")
+         reference.Hb_sta.Algorithm1.forward_cycles
+         engine.Hb_sta.Algorithm1.forward_cycles;
+       Alcotest.(check int)
+         (name ^ ": backward cycles")
+         reference.Hb_sta.Algorithm1.backward_cycles
+         engine.Hb_sta.Algorithm1.backward_cycles;
+       Alcotest.(check bool)
+         (name ^ ": slacks") true
+         (same_slacks reference.Hb_sta.Algorithm1.final
+            engine.Hb_sta.Algorithm1.final))
+    [ ("DES", fun () -> Hb_workload.Chips.des ());
+      ("ALU", fun () -> Hb_workload.Chips.alu ());
+      ("SM1F", fun () -> Hb_workload.Chips.sm1f ());
+      ("SM1H", fun () -> Hb_workload.Chips.sm1h ());
+    ]
+
+let test_update_design_invalidates () =
+  (* Rebinding the context to refreshed delays must drop the cache even
+     though no element version changed. *)
+  let design, system = Hb_workload.Chips.alu () in
+  let ctx = Hb_sta.Context.make ~design ~system ~config:parallel_config () in
+  let before = Hb_sta.Slacks.compute ctx in
+  let rebound =
+    Hb_sta.Context.update_design ctx ~design
+      ~delays:(Hb_sta.Delays.rc ()) ()
+  in
+  Alcotest.(check bool) "cache dropped" true
+    (rebound.Hb_sta.Context.slack_cache = None);
+  let after = Hb_sta.Slacks.compute rebound in
+  let forced = Hb_sta.Slacks.compute ~force:true rebound in
+  Alcotest.(check bool) "rebound = forced recompute" true
+    (same_slacks after forced);
+  Alcotest.(check bool) "delays actually moved the slacks" false
+    (same_slacks before after)
+
+(* ------------------------------------------------------------------ *)
+(* Element versions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_element_versions () =
+  (* A latch pipeline: transparent latches have a non-degenerate offset
+     window, so a small shift is effective (an edge flip-flop's window
+     can be a single point, which must NOT bump the version). *)
+  let design, system =
+    Hb_workload.Pipelines.two_phase ~width:4 ~stages:2 ~gates_per_stage:20 ()
+  in
+  let ctx = Hb_sta.Context.make ~design ~system () in
+  let elements = ctx.Hb_sta.Context.elements in
+  let clocked, initial =
+    let found = ref None in
+    for i = Hb_sta.Elements.count elements - 1 downto 0 do
+      let e = Hb_sta.Elements.element elements i in
+      if not (Hb_sync.Element.is_boundary e) then begin
+        let before = Hb_sync.Element.o_dz e in
+        Hb_sync.Element.shift e (-0.5);
+        if Hb_sync.Element.o_dz e = before then Hb_sync.Element.shift e 0.5;
+        if Hb_sync.Element.o_dz e <> before then found := Some (e, before)
+        else Hb_sync.Element.reset e
+      end
+    done;
+    match !found with
+    | Some pair -> pair
+    | None -> Alcotest.fail "no element with a movable offset"
+  in
+  let v0 = Hb_sync.Element.version clocked in
+  (* Halfway back toward the initial offset: both endpoints are attainable
+     values of the (convex) window, so the shift is guaranteed effective. *)
+  Hb_sync.Element.shift clocked ((initial -. Hb_sync.Element.o_dz clocked) /. 2.0);
+  Alcotest.(check bool) "effective shift bumps" true
+    (Hb_sync.Element.version clocked > v0);
+  let v1 = Hb_sync.Element.version clocked in
+  Hb_sync.Element.shift clocked 0.0;
+  Alcotest.(check int) "zero shift is free" v1 (Hb_sync.Element.version clocked);
+  Hb_sync.Element.reset clocked;
+  Alcotest.(check bool) "reset to a different offset bumps" true
+    (Hb_sync.Element.version clocked > v1);
+  let boundary = Hb_sta.Elements.element elements 0 in
+  if Hb_sync.Element.is_boundary boundary then begin
+    let vb = Hb_sync.Element.version boundary in
+    Hb_sync.Element.shift boundary 1.0;
+    Alcotest.(check int) "boundary never moves" vb
+      (Hb_sync.Element.version boundary)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_covers_all_indices () =
+  let pool = Hb_util.Pool.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Hb_util.Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "jobs" 3 (Hb_util.Pool.jobs pool);
+  let n = 1000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Hb_util.Pool.run pool ~count:n (fun i -> Atomic.incr hits.(i));
+  Alcotest.(check bool) "every index exactly once" true
+    (Array.for_all (fun a -> Atomic.get a = 1) hits);
+  (* The pool is reusable across runs, including empty and single runs. *)
+  Hb_util.Pool.run pool ~count:0 (fun _ -> Alcotest.fail "count=0 ran work");
+  let solo = ref 0 in
+  Hb_util.Pool.run pool ~count:1 (fun _ -> incr solo);
+  Alcotest.(check int) "count=1 runs inline" 1 !solo;
+  let again = Atomic.make 0 in
+  Hb_util.Pool.run pool ~count:100 (fun _ -> Atomic.incr again);
+  Alcotest.(check int) "second batch" 100 (Atomic.get again)
+
+let test_pool_propagates_exceptions () =
+  let pool = Hb_util.Pool.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Hb_util.Pool.shutdown pool) @@ fun () ->
+  let raised =
+    try
+      Hb_util.Pool.run pool ~count:50 (fun i ->
+          if i = 25 then failwith "boom");
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "worker exception re-raised" true raised;
+  (* The pool survives a failed run. *)
+  let ok = Atomic.make 0 in
+  Hb_util.Pool.run pool ~count:10 (fun _ -> Atomic.incr ok);
+  Alcotest.(check int) "usable after failure" 10 (Atomic.get ok)
+
+let test_pool_sequential () =
+  let pool = Hb_util.Pool.create ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Hb_util.Pool.shutdown pool) @@ fun () ->
+  (* jobs=1 must run inline, in order, on the calling domain. *)
+  let self = Domain.self () in
+  let order = ref [] in
+  Hb_util.Pool.run pool ~count:5 (fun i ->
+      Alcotest.(check bool) "same domain" true (Domain.self () = self);
+      order := i :: !order);
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_pool_shared () =
+  let a = Hb_util.Pool.shared ~jobs:2 in
+  let b = Hb_util.Pool.shared ~jobs:2 in
+  Alcotest.(check bool) "same jobs reuses the pool" true (a == b);
+  Alcotest.(check int) "shared size" 2 (Hb_util.Pool.jobs a);
+  let resized = Hb_util.Pool.shared ~jobs:3 in
+  Alcotest.(check int) "resized" 3 (Hb_util.Pool.jobs resized)
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_recycles () =
+  let arena = Hb_util.Arena.create () in
+  let first = Hb_util.Arena.floats arena 64 in
+  Alcotest.(check int) "length" 64 (Array.length first);
+  Alcotest.(check int) "one outstanding" 1 (Hb_util.Arena.outstanding arena);
+  Hb_util.Arena.release arena first;
+  Alcotest.(check int) "none outstanding" 0 (Hb_util.Arena.outstanding arena);
+  let second = Hb_util.Arena.floats arena 64 in
+  Alcotest.(check bool) "same buffer returned" true (first == second);
+  let other = Hb_util.Arena.floats arena 32 in
+  Alcotest.(check bool) "different length is a fresh buffer" true
+    (Array.length other = 32 && not (Obj.repr other == Obj.repr second));
+  Hb_util.Arena.release arena second;
+  Hb_util.Arena.clear arena;
+  let third = Hb_util.Arena.floats arena 64 in
+  Alcotest.(check bool) "clear drops the free list" true (not (third == second))
+
+let () =
+  Alcotest.run "perf"
+    [ ( "engine",
+        [ QCheck_alcotest.to_alcotest prop_engine_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_algorithm1_matches_sequential;
+          Alcotest.test_case "Table 1 chips: outcome unchanged" `Quick
+            test_chip_regression;
+          Alcotest.test_case "update_design invalidates the cache" `Quick
+            test_update_design_invalidates;
+          Alcotest.test_case "element version counters" `Quick
+            test_element_versions;
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "covers all indices" `Quick
+            test_pool_covers_all_indices;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exceptions;
+          Alcotest.test_case "jobs=1 is inline" `Quick test_pool_sequential;
+          Alcotest.test_case "shared pool" `Quick test_pool_shared;
+        ] );
+      ( "arena",
+        [ Alcotest.test_case "recycles buffers" `Quick test_arena_recycles ] );
+    ]
