@@ -8,9 +8,10 @@ build:
 test: build
 	dune runtest
 
-# Tier-1 gate plus a fast slack-engine parity/perf smoke: the P1 bench
-# section on the two smallest Table 1 designs fails hard when the
-# incremental or parallel engine diverges from the sequential baseline.
+# Tier-1 gate plus fast parity/perf smokes: bench section P1 (slack
+# engine, two smallest Table 1 designs) and P2 (k-worst path engine,
+# DES-scale soup) fail hard when an optimised engine diverges from its
+# sequential / seed baseline.
 check:
 	dune build
 	dune runtest

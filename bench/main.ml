@@ -692,6 +692,143 @@ let slack_engine ?(designs = slack_engine_designs) () =
   Printf.printf "\nwrote BENCH_slack_engine.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P2 — k-worst path enumeration: pooled/pruned vs seed               *)
+(* ------------------------------------------------------------------ *)
+
+(* Random register/cloud soups at the paper's DES and ALU cell counts:
+   soup clouds are far more reconvergent than the structured chips, which
+   is exactly what separates a pruning enumerator from an exhaustive
+   best-first one. *)
+let path_engine_designs =
+  [ ( "DES-soup",
+      fun () ->
+        Hb_workload.Soup.random ~seed:7L ~phases:3 ~registers:4 ~gates:3500
+          ~inputs:4 ~outputs:8 () );
+    ( "ALU-soup",
+      fun () ->
+        Hb_workload.Soup.random ~seed:7L ~phases:3 ~registers:4 ~gates:800
+          ~inputs:4 ~outputs:8 () );
+  ]
+
+let path_engine ?(designs = path_engine_designs) ?(ks = [ 10; 100; 1000 ]) () =
+  section "P2: k-worst paths — predecessor pool + pruning vs seed enumerator";
+  Printf.printf
+    "k-worst path enumeration into the 16 worst endpoints. Old: the\n\
+     seed's best-first search with a materialised hop list per state\n\
+     (Baseline.k_worst_paths). New: shared-prefix predecessor pool with\n\
+     arena scratch and admissible-bound pruning (Paths.enumerate). Both\n\
+     must return bit-identical slack sequences; wall seconds median of\n\
+     3, allocation bytes from Gc.allocated_bytes over one sweep.\n\n";
+  let results = ref [] in
+  List.iter
+    (fun (name, make) ->
+       let design, system = make () in
+       let ctx =
+         Hb_sta.Context.make ~design ~system
+           ~config:Hb_sta.Config.sequential ()
+       in
+       let outcome = Hb_sta.Algorithm1.run ctx in
+       let endpoints =
+         List.map fst
+           (Hb_sta.Paths.worst_endpoints ctx
+              outcome.Hb_sta.Algorithm1.final ~limit:16)
+       in
+       List.iter
+         (fun k ->
+            let old_sweep () =
+              List.iter
+                (fun endpoint ->
+                   ignore
+                     (Hb_sta.Baseline.k_worst_paths ctx ~endpoint ~limit:k))
+                endpoints
+            in
+            let new_sweep () =
+              List.iter
+                (fun endpoint ->
+                   ignore (Hb_sta.Paths.enumerate ctx ~endpoint ~limit:k))
+                endpoints
+            in
+            (* Parity: identical path count and bit-identical slack per
+               rank, endpoint by endpoint. *)
+            List.iter
+              (fun endpoint ->
+                 let old_paths =
+                   Hb_sta.Baseline.k_worst_paths ctx ~endpoint ~limit:k
+                 in
+                 let new_paths =
+                   Hb_sta.Paths.enumerate ctx ~endpoint ~limit:k
+                 in
+                 if List.length old_paths <> List.length new_paths then
+                   failwith
+                     (Printf.sprintf "P2: %s k=%d endpoint %d: %d vs %d paths"
+                        name k endpoint (List.length old_paths)
+                        (List.length new_paths));
+                 List.iter2
+                   (fun (o : Hb_sta.Paths.path) (n : Hb_sta.Paths.path) ->
+                      if not (Hb_util.Time.equal o.Hb_sta.Paths.slack
+                                n.Hb_sta.Paths.slack) then
+                        failwith
+                          (Printf.sprintf
+                             "P2: %s k=%d endpoint %d: slack mismatch %g vs %g"
+                             name k endpoint o.Hb_sta.Paths.slack
+                             n.Hb_sta.Paths.slack))
+                   old_paths new_paths)
+              endpoints;
+            (* Warm the per-domain scratch before measuring. *)
+            new_sweep ();
+            let old_s = measure ~repeat:3 old_sweep in
+            let new_s = measure ~repeat:3 new_sweep in
+            (* Average of 5 sweeps: the runtime folds minor-heap words
+               into the Gc counters at collection boundaries, so a single
+               sweep can alias with GC timing. *)
+            let alloc f =
+              let before = Gc.allocated_bytes () in
+              for _ = 1 to 5 do f () done;
+              (Gc.allocated_bytes () -. before) /. 5.0
+            in
+            let old_alloc = alloc old_sweep in
+            let new_alloc = alloc new_sweep in
+            results :=
+              (name, k, old_s, new_s, old_alloc, new_alloc) :: !results)
+         ks)
+    designs;
+  let results = List.rev !results in
+  Hb_util.Table.print
+    ~header:
+      [ "design"; "k"; "old s"; "new s"; "speedup"; "old alloc MB";
+        "new alloc MB"; "alloc ratio" ]
+    ~align:
+      Hb_util.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun (name, k, old_s, new_s, old_alloc, new_alloc) ->
+          [ name;
+            string_of_int k;
+            Printf.sprintf "%.4f" old_s;
+            Printf.sprintf "%.4f" new_s;
+            Printf.sprintf "%.1fx" (old_s /. Stdlib.max 1e-9 new_s);
+            Printf.sprintf "%.2f" (old_alloc /. 1e6);
+            Printf.sprintf "%.2f" (new_alloc /. 1e6);
+            Printf.sprintf "%.1fx" (old_alloc /. Stdlib.max 1.0 new_alloc) ])
+       results);
+  let out = open_out "BENCH_paths.json" in
+  Printf.fprintf out "{\n  \"benchmark\": \"paths\",\n  \"endpoints\": 16,\n  \"runs\": [";
+  List.iteri
+    (fun i (name, k, old_s, new_s, old_alloc, new_alloc) ->
+       Printf.fprintf out
+         "%s\n    {\"design\": \"%s\", \"k\": %d, \"old_s\": %.6f, \
+          \"new_s\": %.6f, \"speedup\": %.2f, \"old_alloc_bytes\": %.0f, \
+          \"new_alloc_bytes\": %.0f, \"alloc_ratio\": %.2f}"
+         (if i = 0 then "" else ",")
+         name k old_s new_s
+         (old_s /. Stdlib.max 1e-9 new_s)
+         old_alloc new_alloc
+         (old_alloc /. Stdlib.max 1.0 new_alloc))
+    results;
+  Printf.fprintf out "\n  ]\n}\n";
+  close_out out;
+  Printf.printf "\nwrote BENCH_paths.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -770,6 +907,13 @@ let () =
         [ ("DES", fun () -> Hb_workload.Chips.des ());
           ("ALU", fun () -> Hb_workload.Chips.alu ()) ]
       ();
+    path_engine
+      ~designs:
+        [ ( "DES-soup",
+            fun () ->
+              Hb_workload.Soup.random ~seed:7L ~phases:3 ~registers:4
+                ~gates:3500 ~inputs:4 ~outputs:8 () ) ]
+      ~ks:[ 10; 100 ] ();
     print_newline ()
   end
   else begin
@@ -787,6 +931,7 @@ let () =
     ablate_incremental ();
     scaling ();
     slack_engine ();
+    path_engine ();
     bechamel_suite ();
     print_newline ()
   end

@@ -101,11 +101,12 @@ let analyse_cmd =
             Hb_sta.Annotation.apply annotation ~base:base_delays
         in
         let report = Hb_sta.Engine.analyse ~design ~system ~config ~delays () in
-        if json then print_string (Hb_sta.Json_export.report report)
+        if json then
+          print_string (Hb_sta.Json_export.report ~paths report)
         else print_string (Hb_sta.Report.summary report);
         let ctx = report.Hb_sta.Engine.context in
         let slacks = report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final in
-        if paths > 0 then begin
+        if paths > 0 && not json then begin
           print_newline ();
           print_string (Hb_sta.Report.paths_report ctx slacks ~limit:paths)
         end;
@@ -420,13 +421,12 @@ let critical_cmd =
             exit 1
         in
         List.iter
-          (fun element ->
-             let paths = Hb_sta.Paths.enumerate ctx ~endpoint:element ~limit:k in
+          (fun paths ->
              List.iter
                (fun path ->
                   Format.printf "%a@." (Hb_sta.Paths.pp ctx) path)
                paths)
-          replicas)
+          (Hb_sta.Paths.enumerate_many ctx ~endpoints:replicas ~limit:k))
   in
   let endpoint =
     Arg.(required & pos 0 (some string) None

@@ -21,58 +21,193 @@ let check_inputs ~node_count requirements =
          invalid_arg "Break.solve: requirement with before = after")
     requirements
 
-(* Exhaustive search for a minimum hitting set, as the paper does: "all
-   removal of each single original arc, then ... all possible pairs, and so
-   on". Requirement sets are tiny (one per distinct edge pair), and "very
-   seldom is it necessary to remove more than two arcs". *)
+(* Bitsets over [int array] words of 63 usable bits each. *)
+let words_for n = (n + 62) / 63
+
+let bit_set b i = b.(i / 63) <- b.(i / 63) lor (1 lsl (i mod 63))
+let bit_mem b i = b.(i / 63) land (1 lsl (i mod 63)) <> 0
+let bits_empty b = Array.for_all (fun w -> w = 0) b
+
+(* a ⊆ b *)
+let bits_subset a b =
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.(i) <> 0 then ok := false) a;
+  !ok
+
+let bits_intersect a b =
+  let hit = ref false in
+  Array.iteri (fun i w -> if w land b.(i) <> 0 then hit := true) a;
+  !hit
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let bits_count b = Array.fold_left (fun acc w -> acc + popcount w) 0 b
+
+(* Minimum hitting set. The paper finds it by exhaustive search ("all
+   removal of each single original arc, then ... all possible pairs, and
+   so on"); this is the same exact search expressed as a set-cover
+   branch-and-bound over int bitsets — dominated requirements dropped, a
+   greedy cover as upper bound, and a counting bound pruning the
+   depth-first walk — so clock systems with many edges no longer pay the
+   combinatorial [subsets] materialisation. The lexicographically first
+   minimum-cardinality cover (over ascending candidate cuts) is returned,
+   exactly as the seed's subset enumeration ordered it. *)
 let solve ~node_count requirements =
   check_inputs ~node_count requirements;
   (* Deduplicate requirements; many cluster paths share edge pairs. *)
   let requirements = List.sort_uniq compare requirements in
   if requirements = [] then [ node_count - 1 ]
   else begin
-    let satisfying =
-      List.map
-        (fun req ->
-           let hits = ref [] in
-           for cut = node_count - 1 downto 0 do
-             if satisfies ~node_count ~cut req then hits := cut :: !hits
-           done;
-           if !hits = [] then
-             failwith
-               (Printf.sprintf
-                  "Break.solve: requirement %d before %d unsatisfiable"
-                  req.before req.after);
-           !hits)
-        requirements
+    (* Satisfying cuts per requirement, as bitsets over cut ids. *)
+    let cut_sets =
+      Array.of_list
+        (List.map
+           (fun req ->
+              let set = Array.make (words_for node_count) 0 in
+              for cut = 0 to node_count - 1 do
+                if satisfies ~node_count ~cut req then bit_set set cut
+              done;
+              if bits_empty set then
+                failwith
+                  (Printf.sprintf
+                     "Break.solve: requirement %d before %d unsatisfiable"
+                     req.before req.after);
+              set)
+           requirements)
     in
-    (* Candidate cuts: only cuts that satisfy at least one requirement
-       matter, but a minimum set drawn from all cuts is equivalent. *)
-    let all_cuts = List.sort_uniq compare (List.concat satisfying) in
-    let covers cuts =
-      List.for_all (fun hits -> List.exists (fun c -> List.mem c cuts) hits)
-        satisfying
+    (* A requirement whose cut set contains another's is implied by it
+       (any cut hitting the subset hits the superset) and can be dropped
+       without changing the set of covers. *)
+    let total = Array.length cut_sets in
+    let keep = Array.make total true in
+    for i = 0 to total - 1 do
+      for j = 0 to total - 1 do
+        if i <> j && keep.(i)
+        && bits_subset cut_sets.(j) cut_sets.(i)
+        && (not (bits_subset cut_sets.(i) cut_sets.(j)) || j < i)
+        then keep.(i) <- false
+      done
+    done;
+    let live = ref [] in
+    for i = total - 1 downto 0 do
+      if keep.(i) then live := cut_sets.(i) :: !live
+    done;
+    let live = Array.of_list !live in
+    let n_live = Array.length live in
+    let req_words = words_for n_live in
+    (* Per-cut coverage, as bitsets over live requirement indices; only
+       cuts covering something are candidates (a minimum cover never
+       contains a cut with no unique contribution). *)
+    let coverage = Array.make node_count [||] in
+    for cut = 0 to node_count - 1 do
+      let c = Array.make req_words 0 in
+      for r = 0 to n_live - 1 do
+        if bit_mem live.(r) cut then bit_set c r
+      done;
+      coverage.(cut) <- c
+    done;
+    let candidates =
+      let acc = ref [] in
+      for cut = node_count - 1 downto 0 do
+        if not (bits_empty coverage.(cut)) then acc := cut :: !acc
+      done;
+      Array.of_list !acc
     in
-    (* Enumerate subsets of [all_cuts] of the given size. *)
-    let rec subsets k items =
-      if k = 0 then [ [] ]
-      else
-        match items with
-        | [] -> []
-        | x :: rest ->
-          List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+    let n_candidates = Array.length candidates in
+    let max_cover =
+      Array.fold_left
+        (fun acc cut -> Stdlib.max acc (bits_count coverage.(cut)))
+        0 candidates
+    in
+    (* For the suffix-feasibility prune: the largest candidate position
+       whose cut covers requirement [r]. *)
+    let last_position = Array.make n_live (-1) in
+    Array.iteri
+      (fun k cut ->
+         for r = 0 to n_live - 1 do
+           if bit_mem coverage.(cut) r then last_position.(r) <- k
+         done)
+      candidates;
+    let all_live = Array.make req_words 0 in
+    for r = 0 to n_live - 1 do bit_set all_live r done;
+    (* Greedy cover: an upper bound on the minimum cardinality, so the
+       size-iterated search below always terminates at or before it. *)
+    let greedy_size =
+      let uncovered = Array.copy all_live in
+      let size = ref 0 in
+      while not (bits_empty uncovered) do
+        let best = ref (-1) and best_count = ref 0 in
+        Array.iter
+          (fun cut ->
+             let gain = ref 0 in
+             Array.iteri
+               (fun w bits ->
+                  gain := !gain + popcount (bits land uncovered.(w)))
+               coverage.(cut);
+             if !gain > !best_count then begin
+               best_count := !gain;
+               best := cut
+             end)
+          candidates;
+        Array.iteri
+          (fun w bits -> uncovered.(w) <- uncovered.(w) land lnot bits)
+          coverage.(!best);
+        incr size
+      done;
+      !size
+    in
+    (* Lower bound: a greedy set of pairwise cut-disjoint requirements —
+       each needs its own cut. *)
+    let lower_bound =
+      let chosen = ref [] in
+      for r = 0 to n_live - 1 do
+        if List.for_all (fun p -> not (bits_intersect live.(p) live.(r))) !chosen
+        then chosen := r :: !chosen
+      done;
+      List.length !chosen
+    in
+    (* Depth-first over candidate combinations in lexicographic order; at
+       the true minimum size the first cover found is the one the seed's
+       subset enumeration returned (skipping cuts that add no coverage is
+       sound there: in a minimum cover every cut covers some requirement
+       uniquely). *)
+    let exception Found of int list in
+    let rec dfs start uncovered size_left chosen =
+      if bits_empty uncovered then raise (Found (List.rev chosen))
+      else if size_left > 0 then begin
+        let u = bits_count uncovered in
+        if u <= size_left * max_cover then begin
+          let feasible = ref true in
+          for r = 0 to n_live - 1 do
+            if bit_mem uncovered r && last_position.(r) < start then
+              feasible := false
+          done;
+          if !feasible then
+            for k = start to n_candidates - 1 do
+              let cut = candidates.(k) in
+              if bits_intersect coverage.(cut) uncovered then begin
+                let next = Array.copy uncovered in
+                Array.iteri
+                  (fun w bits -> next.(w) <- next.(w) land lnot bits)
+                  coverage.(cut);
+                dfs (k + 1) next (size_left - 1) (cut :: chosen)
+              end
+            done
+        end
+      end
     in
     let rec search size =
-      if size > List.length all_cuts then
-        (* Unreachable: taking one satisfying cut per requirement always
-           covers. *)
-        all_cuts
+      if size > greedy_size then
+        (* Unreachable: the greedy cover exists at [greedy_size]. *)
+        Array.to_list candidates
       else
-        match List.find_opt covers (subsets size all_cuts) with
-        | Some cuts -> List.sort compare cuts
-        | None -> search (size + 1)
+        match dfs 0 (Array.copy all_live) size [] with
+        | () -> search (size + 1)
+        | exception Found cuts -> cuts
     in
-    search 1
+    search (Stdlib.max 1 lower_bound)
   end
 
 let assign ~node_count ~cuts node =

@@ -7,8 +7,12 @@
     requirements ("the ideal assertion edge must precede the ideal closure
     edge in the broken-open order"); the minimum number of analysis passes
     is the minimum number of original arcs whose removal satisfies every
-    requirement — found, as in the paper, by exhaustive search over sets of
-    increasing size.
+    requirement. The paper finds it by exhaustive search over sets of
+    increasing size; {!solve} computes the identical answer with a bitmask
+    set-cover branch-and-bound (dominated requirements dropped, greedy
+    upper bound, counting bound on the depth-first walk), which stays
+    exact but does not degrade combinatorially on clock systems with many
+    edges.
 
     Nodes are integers [0 .. node_count-1] in circular time order (use
     {!System.edges} to obtain the ordering). Arc [k] joins node [k] to node

@@ -79,10 +79,13 @@ type module_constraint = {
   output_required : (string * Hb_util.Time.t) list;
 }
 
+(* Constraint emission is independent per instance (pure reads of the
+   recorded times), so slow-path-heavy designs fan it across the domain
+   pool; results are collected in instance order and sorted exactly as
+   the sequential version, so the output is deterministic. *)
 let module_constraints (ctx : Context.t) times =
   let design = ctx.Context.design in
-  let constraints =
-    List.filter_map
+  let examine =
       (fun inst ->
          let record = Hb_netlist.Design.instance design inst in
          let cell = record.Hb_netlist.Design.cell in
@@ -124,6 +127,15 @@ let module_constraints (ctx : Context.t) times =
              }
          end
          else None)
-      (Hb_netlist.Design.comb_instances design)
   in
+  let insts = Array.of_list (Hb_netlist.Design.comb_instances design) in
+  let count = Array.length insts in
+  let jobs = Stdlib.min ctx.Context.config.Config.parallel_jobs count in
+  let examined =
+    if jobs <= 1 || count <= 1 then Array.map examine insts
+    else
+      Hb_util.Pool.map (Hb_util.Pool.shared ~jobs) ~count (fun i ->
+          examine insts.(i))
+  in
+  let constraints = List.filter_map Fun.id (Array.to_list examined) in
   List.sort (fun a b -> compare a.slack b.slack) constraints

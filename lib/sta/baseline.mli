@@ -13,6 +13,10 @@
     it. The paper's pre-processing instead computes the {e minimum} number
     of analysis passes; {!settling_times} reports both counts. *)
 
+(** Raised by {!exhaustive_paths} when the path count passes
+    [max_paths]. *)
+exception Budget_exhausted
+
 type verdict = {
   worst_slack : Hb_util.Time.t;
   endpoint_slacks : (int * Hb_util.Time.t) list;
@@ -25,6 +29,20 @@ type verdict = {
     explicit path walking at the current offsets. [max_paths] defaults to
     200_000. *)
 val path_enumeration : Context.t -> ?max_paths:int -> unit -> verdict
+
+(** [k_worst_paths ctx ~endpoint ~limit] is the seed's k-worst path
+    enumerator (best-first search with a materialised hop list per
+    state), kept as the old-vs-new baseline for bench section P2 and the
+    parity tests. Must return the same paths as {!Paths.enumerate}. *)
+val k_worst_paths : Context.t -> endpoint:int -> limit:int -> Paths.path list
+
+(** [exhaustive_paths ctx ~endpoint ?max_paths ()] walks {e every}
+    complete path into the endpoint depth-first and returns them worst
+    slack first (tie order among equal slacks unspecified) — the
+    reference the k-worst property tests compare against.
+    @raise Budget_exhausted past [max_paths] (default 1_000_000). *)
+val exhaustive_paths :
+  Context.t -> endpoint:int -> ?max_paths:int -> unit -> Paths.path list
 
 type settling_report = {
   minimized_passes : int;

@@ -20,7 +20,7 @@ let number f =
     Printf.sprintf "%.6f" f
   else "null"
 
-let report (r : Engine.report) =
+let report ?(paths = 0) (r : Engine.report) =
   let ctx = r.Engine.context in
   let outcome = r.Engine.outcome in
   let slacks = outcome.Algorithm1.final in
@@ -73,6 +73,43 @@ let report (r : Engine.report) =
          (number v.Holdcheck.margin))
     r.Engine.hold_violations;
   add "\n  ],\n";
+  if paths > 0 then begin
+    let design = ctx.Context.design in
+    let element_label e =
+      (Elements.element ctx.Context.elements e).Hb_sync.Element.label
+    in
+    add "  \"paths\": [";
+    List.iteri
+      (fun i (p : Paths.path) ->
+         add "%s\n    {\"start\": \"%s\", \"end\": \"%s\", \"slack\": %s, \
+              \"cluster\": %d, \"cut\": %d, \"hops\": ["
+           (if i = 0 then "" else ",")
+           (escape_string (element_label p.Paths.start_element))
+           (escape_string (element_label p.Paths.end_element))
+           (number p.Paths.slack) p.Paths.cluster p.Paths.cut;
+         List.iteri
+           (fun j (hop : Paths.hop) ->
+              let net_name =
+                (Hb_netlist.Design.net design hop.Paths.net)
+                  .Hb_netlist.Design.net_name
+              in
+              let via =
+                match hop.Paths.via with
+                | None -> "null"
+                | Some inst ->
+                  Printf.sprintf "\"%s\""
+                    (escape_string
+                       (Hb_netlist.Design.instance design inst)
+                         .Hb_netlist.Design.inst_name)
+              in
+              add "%s{\"net\": \"%s\", \"via\": %s, \"at\": %s}"
+                (if j = 0 then "" else ", ")
+                (escape_string net_name) via (number hop.Paths.at))
+           p.Paths.hops;
+         add "]}")
+      (Paths.worst_paths ctx slacks ~limit:paths);
+    add "\n  ],\n"
+  end;
   add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s, \
        \"preprocess_wall_s\": %s, \"analysis_wall_s\": %s, \"constraints_wall_s\": %s}\n"
     (number r.Engine.timings.Engine.preprocess_seconds)

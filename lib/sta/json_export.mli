@@ -18,8 +18,14 @@
     Endpoint entries cover every element with a finite data-input slack,
     ascending by slack. Non-finite numbers are rendered as [null]. *)
 
-(** [report report] renders an {!Engine.report}. *)
-val report : Engine.report -> string
+(** [report ?paths report] renders an {!Engine.report}. With [paths > 0]
+    a ["paths"] array is inserted before ["timings"]: the critical path
+    of each of the [paths] worst endpoints (traced in parallel when
+    configured), each as
+    [{"start", "end", "slack", "cluster", "cut", "hops": [{"net",
+    "via", "at"}]}] with ["via": null] on the launching hop. The default
+    ([paths = 0]) output is unchanged from earlier versions. *)
+val report : ?paths:int -> Engine.report -> string
 
 (** [escape_string s] is the JSON string escaping used throughout
     (exposed for tests). *)

@@ -10,6 +10,9 @@ type t = {
   node_time : Hb_util.Time.t array;
   plans : plan array;
   edge_index : (Hb_clock.Edge.t, int) Hashtbl.t;
+  endpoint_cluster : int array;
+  endpoint_output : int array;
+  endpoint_cut : int array;
 }
 
 exception Pass_error of string
@@ -102,7 +105,29 @@ let build ~system ~elements ~table =
          { cluster = cluster.Cluster.id; cuts; assignment })
       table.Cluster.clusters
   in
-  { system; node_count; node_time; plans; edge_index = index }
+  (* Endpoint → (cluster, output terminal index, assigned cut), so path
+     tracing never scans a cluster's output terminals. An element reads
+     exactly one net, hence appears among at most one cluster's outputs;
+     first-wins within a cluster mirrors the former linear scan. *)
+  let element_count = Elements.count elements in
+  let endpoint_cluster = Array.make element_count (-1) in
+  let endpoint_output = Array.make element_count (-1) in
+  let endpoint_cut = Array.make element_count (-1) in
+  Array.iter
+    (fun (cluster : Cluster.t) ->
+       let plan = plans.(cluster.Cluster.id) in
+       Array.iteri
+         (fun output_index (terminal : Cluster.terminal) ->
+            let e = terminal.Cluster.element in
+            if endpoint_cluster.(e) < 0 then begin
+              endpoint_cluster.(e) <- cluster.Cluster.id;
+              endpoint_output.(e) <- output_index;
+              endpoint_cut.(e) <- plan.assignment.(output_index)
+            end)
+         cluster.Cluster.outputs)
+    table.Cluster.clusters;
+  { system; node_count; node_time; plans; edge_index = index;
+    endpoint_cluster; endpoint_output; endpoint_cut }
 
 let total_passes t =
   Array.fold_left (fun acc plan -> acc + List.length plan.cuts) 0 t.plans

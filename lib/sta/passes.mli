@@ -33,6 +33,14 @@ type t = {
   plans : plan array;          (** indexed by cluster id *)
   edge_index : (Hb_clock.Edge.t, int) Hashtbl.t;
       (** edge → index into the sorted edge array *)
+  endpoint_cluster : int array;
+      (** element id → cluster owning its data-input terminal; [-1] when
+          the element is not a cluster output *)
+  endpoint_output : int array;
+      (** element id → its output terminal index in that cluster; [-1] *)
+  endpoint_cut : int array;
+      (** element id → the cut (pass) its output terminal is assigned
+          to; [-1] when absent or unassigned *)
 }
 
 exception Pass_error of string

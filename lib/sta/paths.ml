@@ -13,30 +13,40 @@ type path = {
   hops : hop list;
 }
 
+(* Bounded k-worst selection: a max-heap (on negated slack) of at most
+   [limit] entries replaces the seed's full sort + quadratic take. The
+   eviction rule reproduces the seed's ordering exactly — ascending
+   slack, equal slacks in descending element order (the stable sort saw
+   elements consed in descending order). *)
 let worst_endpoints (_ctx : Context.t) (slacks : Slacks.t) ~limit =
-  let all = ref [] in
-  Array.iteri
-    (fun e slack ->
-       if Hb_util.Time.is_finite slack then all := (e, slack) :: !all)
-    slacks.Slacks.element_input_slack;
-  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !all in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take limit sorted
-
-(* The pass an output terminal is analysed in, per the cluster plan. *)
-let assigned_cut (ctx : Context.t) (cluster : Cluster.t) ~endpoint =
-  let plan = ctx.Context.passes.Passes.plans.(cluster.Cluster.id) in
-  let found = ref None in
-  Array.iteri
-    (fun output_index (terminal : Cluster.terminal) ->
-       if terminal.Cluster.element = endpoint && !found = None then
-         found := Some plan.Passes.assignment.(output_index))
-    cluster.Cluster.outputs;
-  !found
+  if limit <= 0 then []
+  else begin
+    let heap = Hb_util.Heap.Ints.create () in
+    Array.iteri
+      (fun e slack ->
+         if Hb_util.Time.is_finite slack then begin
+           if Hb_util.Heap.Ints.length heap < limit then
+             Hb_util.Heap.Ints.push heap ~priority:(-.slack) e
+           else begin
+             (* Root = the kept entry ordered last: largest slack, ties
+                on the smallest element id. *)
+             let top_s = -.Hb_util.Heap.Ints.top_priority heap in
+             let top_e = Hb_util.Heap.Ints.top heap in
+             if slack < top_s || (slack = top_s && e > top_e) then begin
+               ignore (Hb_util.Heap.Ints.pop heap);
+               Hb_util.Heap.Ints.push heap ~priority:(-.slack) e
+             end
+           end
+         end)
+      slacks.Slacks.element_input_slack;
+    let acc = ref [] in
+    while not (Hb_util.Heap.Ints.is_empty heap) do
+      let s = -.Hb_util.Heap.Ints.top_priority heap in
+      let e = Hb_util.Heap.Ints.pop heap in
+      acc := (e, s) :: !acc
+    done;
+    !acc
+  end
 
 let critical_path (ctx : Context.t) ~endpoint =
   match ctx.Context.elements.Elements.reads.(endpoint) with
@@ -44,9 +54,9 @@ let critical_path (ctx : Context.t) ~endpoint =
   | Some global_net ->
     let cluster_id = ctx.Context.table.Cluster.cluster_of_net.(global_net) in
     let cluster = ctx.Context.table.Cluster.clusters.(cluster_id) in
-    (match assigned_cut ctx cluster ~endpoint with
-     | None | Some (-1) -> None
-     | Some cut ->
+    (match ctx.Context.passes.Passes.endpoint_cut.(endpoint) with
+     | cut when cut < 0 -> None
+     | cut ->
        let passes = ctx.Context.passes in
        let elements = ctx.Context.elements in
        let mode : Block.mode =
@@ -148,103 +158,379 @@ let critical_path (ctx : Context.t) ~endpoint =
                   cluster = cluster_id; cut; slack; hops }
        end)
 
+(* Deterministic parallel map over endpoints: results land in slots
+   indexed by input position, so the output order is independent of which
+   domain ran which endpoint. *)
+let map_endpoints (ctx : Context.t) endpoints f =
+  let count = Array.length endpoints in
+  let jobs = Stdlib.min ctx.Context.config.Config.parallel_jobs count in
+  if jobs <= 1 || count <= 1 then Array.map f endpoints
+  else
+    Hb_util.Pool.map (Hb_util.Pool.shared ~jobs) ~count (fun i ->
+        f endpoints.(i))
+
 let worst_paths ctx slacks ~limit =
-  List.filter_map
-    (fun (endpoint, _) -> critical_path ctx ~endpoint)
-    (worst_endpoints ctx slacks ~limit)
+  let endpoints = Array.of_list (worst_endpoints ctx slacks ~limit) in
+  let paths =
+    map_endpoints ctx endpoints (fun (endpoint, _) ->
+        critical_path ctx ~endpoint)
+  in
+  List.filter_map Fun.id (Array.to_list paths)
 
 let slow_paths ctx slacks ~limit =
-  List.filter_map
-    (fun (endpoint, slack) ->
-       if Hb_util.Time.le slack 0.0 then critical_path ctx ~endpoint else None)
-    (worst_endpoints ctx slacks ~limit)
+  let endpoints =
+    Array.of_list
+      (List.filter
+         (fun (_, slack) -> Hb_util.Time.le slack 0.0)
+         (worst_endpoints ctx slacks ~limit))
+  in
+  let paths =
+    map_endpoints ctx endpoints (fun (endpoint, _) ->
+        critical_path ctx ~endpoint)
+  in
+  List.filter_map Fun.id (Array.to_list paths)
 
 (* K-worst path enumeration by best-first search over partial paths: each
    state's priority is its arrival so far plus the longest remaining delay
    to the endpoint, so states pop in exact order of final arrival and the
    first [limit] completed paths are the worst [limit] paths. Uses the
-   scalar (worst-delay) arrival view. *)
+   scalar (worst-delay) arrival view.
+
+   Three things keep the hot loop allocation-free where the seed consed a
+   hop list per push:
+
+   - Shared-prefix predecessor pool. A search state is an index into four
+     parallel scratch arrays (net, parent state, tag, arrival); hop lists
+     are materialised only for the [limit] surviving completions by
+     walking the parent chain.
+
+   - Per-domain scratch. The pool arrays, both heaps and the [remaining]
+     buffer live in a [Domain.DLS] slot backed by an {!Hb_util.Arena}, so
+     repeated calls — including parallel fan-out from
+     {!enumerate_many} — reuse their high-water-mark buffers.
+
+   - Admissible-bound pruning. [arrival + remaining] is an *achievable*
+     completion bound (realised by an actual suffix), so a min-heap of
+     the [limit] best bounds of distinct completions gives a sound
+     threshold: a push whose bound is strictly below the k-th best is
+     skipped, keeping the frontier O(live states) instead of O(all
+     partial paths). Distinctness uses a canonical-child rule — when a
+     state expands, the child realising the largest bound continues the
+     completion already counted (at the state's root or first
+     divergence), so only the other children offer new bounds — and that
+     child is pushed without the admissibility test, since its chain is
+     exactly what the threshold is made of. Ties survive the strict
+     comparison, so the first [limit] completions are identical to the
+     unpruned search. *)
+(* Same-file finiteness test: {!Hb_util.Time.is_finite} crosses a
+   library boundary, which boxes its float argument on every call on the
+   non-flambda compiler; this runs two or three times per explored arc.
+   [x -. x] is zero exactly for finite [x] (nan or infinite otherwise). *)
+let[@inline] finite (x : float) = x -. x = 0.0
+
+(* Same-file copy of {!Hb_util.Heap.Ints}: on the non-flambda compiler,
+   a float argument crossing a compilation-unit boundary is boxed even
+   under [@inline] (measured 16 B per push), and the enumeration loop
+   below pushes once per explored arc. Within one unit the attribute
+   does inline and the priorities stay unboxed, so the hot loop keeps
+   these private clones instead of the shared module. *)
+type iheap = {
+  mutable hprio : float array;
+  mutable hpayload : int array;
+  mutable hsize : int;
+}
+
+let[@inline] hless h i j =
+  h.hprio.(i) < h.hprio.(j)
+  || (h.hprio.(i) = h.hprio.(j) && h.hpayload.(i) < h.hpayload.(j))
+
+let rec hsift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if hless h i parent then begin
+      let p = h.hprio.(i) and v = h.hpayload.(i) in
+      h.hprio.(i) <- h.hprio.(parent);
+      h.hpayload.(i) <- h.hpayload.(parent);
+      h.hprio.(parent) <- p;
+      h.hpayload.(parent) <- v;
+      hsift_up h parent
+    end
+  end
+
+let[@inline] hpush h ~priority value =
+  if h.hsize = Array.length h.hprio then begin
+    let capacity = Stdlib.max 16 (2 * h.hsize) in
+    let prio = Array.make capacity 0.0 in
+    let payload = Array.make capacity 0 in
+    Array.blit h.hprio 0 prio 0 h.hsize;
+    Array.blit h.hpayload 0 payload 0 h.hsize;
+    h.hprio <- prio;
+    h.hpayload <- payload
+  end;
+  h.hprio.(h.hsize) <- priority;
+  h.hpayload.(h.hsize) <- value;
+  h.hsize <- h.hsize + 1;
+  hsift_up h (h.hsize - 1)
+
+let rec hsift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.hsize && hless h left !smallest then smallest := left;
+  if right < h.hsize && hless h right !smallest then smallest := right;
+  if !smallest <> i then begin
+    let j = !smallest in
+    let p = h.hprio.(i) and v = h.hpayload.(i) in
+    h.hprio.(i) <- h.hprio.(j);
+    h.hpayload.(i) <- h.hpayload.(j);
+    h.hprio.(j) <- p;
+    h.hpayload.(j) <- v;
+    hsift_down h j
+  end
+
+let[@inline] hpop h =
+  let value = h.hpayload.(0) in
+  h.hsize <- h.hsize - 1;
+  if h.hsize > 0 then begin
+    h.hprio.(0) <- h.hprio.(h.hsize);
+    h.hpayload.(0) <- h.hpayload.(h.hsize);
+    hsift_down h 0
+  end;
+  value
+
+type scratch = {
+  arena : Hb_util.Arena.t;
+  frontier : iheap;                 (* live states, by negated bound *)
+  topk : iheap;                     (* best completion bounds seen *)
+  mutable state_net : int array;
+  mutable state_parent : int array; (* -1 for root states *)
+  mutable state_tag : int array;    (* root: element id; else arc index *)
+  mutable state_arrival : float array;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { arena = Hb_util.Arena.create ();
+        frontier = { hprio = [||]; hpayload = [||]; hsize = 0 };
+        topk = { hprio = [||]; hpayload = [||]; hsize = 0 };
+        state_net = [||];
+        state_parent = [||];
+        state_tag = [||];
+        state_arrival = [||];
+      })
+
 let enumerate (ctx : Context.t) ~endpoint ~limit =
-  match ctx.Context.elements.Elements.reads.(endpoint) with
-  | None -> []
-  | Some global_net ->
-    let cluster_id = ctx.Context.table.Cluster.cluster_of_net.(global_net) in
-    let cluster = ctx.Context.table.Cluster.clusters.(cluster_id) in
-    (match assigned_cut ctx cluster ~endpoint with
-     | None | Some (-1) -> []
-     | Some cut ->
-       let passes = ctx.Context.passes in
-       let elements = ctx.Context.elements in
-       let end_net = ctx.Context.table.Cluster.local_of_net.(global_net) in
-       let element = Elements.element elements endpoint in
-       (match Block.closure_time passes element ~cut with
+  if limit <= 0 then []
+  else
+    match ctx.Context.elements.Elements.reads.(endpoint) with
+    | None -> []
+    | Some global_net ->
+      let passes = ctx.Context.passes in
+      let cut = passes.Passes.endpoint_cut.(endpoint) in
+      if cut < 0 then []
+      else begin
+        let cluster_id = ctx.Context.table.Cluster.cluster_of_net.(global_net) in
+        let cluster = ctx.Context.table.Cluster.clusters.(cluster_id) in
+        let elements = ctx.Context.elements in
+        let end_net = ctx.Context.table.Cluster.local_of_net.(global_net) in
+        let element = Elements.element elements endpoint in
+        match Block.closure_time passes element ~cut with
         | None -> []
         | Some closure ->
+          let s = Domain.DLS.get scratch_key in
           let n = Array.length cluster.Cluster.nets in
           (* Longest delay from each net to the endpoint net. *)
-          let remaining = Array.make n Hb_util.Time.neg_infinity in
+          let remaining = Hb_util.Arena.floats s.arena n in
+          Array.fill remaining 0 n Hb_util.Time.neg_infinity;
           remaining.(end_net) <- 0.0;
+          (* Direct CSR walk: [iter_succ] would allocate a closure per
+             net, once per enumerate call. *)
           for i = Array.length cluster.Cluster.topo - 1 downto 0 do
             let net = cluster.Cluster.topo.(i) in
-            Cluster.iter_succ cluster net ~f:(fun arc_index ->
-                let arc = cluster.Cluster.arcs.(arc_index) in
-                if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net) then begin
-                  let d = remaining.(arc.Cluster.to_net) +. arc.Cluster.dmax in
-                  if d > remaining.(net) then remaining.(net) <- d
-                end)
+            for k = cluster.Cluster.succ_off.(net)
+                to cluster.Cluster.succ_off.(net + 1) - 1 do
+              let arc = cluster.Cluster.arcs.(cluster.Cluster.succ_arc.(k)) in
+              let r = remaining.(arc.Cluster.to_net) in
+              if finite r then begin
+                let d = r +. arc.Cluster.dmax in
+                if d > remaining.(net) then remaining.(net) <- d
+              end
+            done
           done;
-          (* Best-first search; priority is negated final-arrival bound so
-             the min-heap pops worst paths first. *)
-          let heap = Hb_util.Heap.create () in
+          s.frontier.hsize <- 0;
+          s.topk.hsize <- 0;
+          let states = ref 0 in
+          (* The arrival is written by the caller straight into
+             [state_arrival]: a float parameter here would be boxed on
+             every call (non-flambda closures are not reliably inlined),
+             and this runs once per explored arc. *)
+          let add_state ~net ~parent ~tag =
+            let i = !states in
+            if i = Array.length s.state_net then begin
+              let capacity = Stdlib.max 1024 (2 * i) in
+              let grow_ints old =
+                let fresh = Hb_util.Arena.ints s.arena capacity in
+                Array.blit old 0 fresh 0 i;
+                if Array.length old > 0 then
+                  Hb_util.Arena.release_ints s.arena old;
+                fresh
+              in
+              s.state_net <- grow_ints s.state_net;
+              s.state_parent <- grow_ints s.state_parent;
+              s.state_tag <- grow_ints s.state_tag;
+              let fresh = Hb_util.Arena.floats s.arena capacity in
+              Array.blit s.state_arrival 0 fresh 0 i;
+              if Array.length s.state_arrival > 0 then
+                Hb_util.Arena.release s.arena s.state_arrival;
+              s.state_arrival <- fresh
+            end;
+            s.state_net.(i) <- net;
+            s.state_parent.(i) <- parent;
+            s.state_tag.(i) <- tag;
+            incr states;
+            i
+          in
+          (* [offer] and [admissible] are spelled out inline below where
+             they run per arc; as local closures their float argument
+             would be boxed on every call. *)
+          let topk = s.topk in
           Array.iter
             (fun (terminal : Cluster.terminal) ->
-               if Hb_util.Time.is_finite remaining.(terminal.Cluster.net) then begin
-                 let source = Elements.element elements terminal.Cluster.element in
+               let net = terminal.Cluster.net in
+               if finite remaining.(net) then begin
+                 let source =
+                   Elements.element elements terminal.Cluster.element
+                 in
                  match Block.assertion_time passes source ~cut with
                  | None -> ()
                  | Some t ->
-                   let hops =
-                     [ { net = cluster.Cluster.nets.(terminal.Cluster.net);
-                         via = None; at = t } ]
-                   in
-                   Hb_util.Heap.push heap
-                     ~priority:(-.(t +. remaining.(terminal.Cluster.net)))
-                     (terminal.Cluster.element, terminal.Cluster.net, t, hops)
+                   let bound = t +. remaining.(net) in
+                   (* offer bound *)
+                   if topk.hsize < limit then hpush topk ~priority:bound 0
+                   else if bound > topk.hprio.(0) then begin
+                     ignore (hpop topk);
+                     hpush topk ~priority:bound 0
+                   end;
+                   (* admissible bound *)
+                   if topk.hsize < limit || bound >= topk.hprio.(0)
+                   then begin
+                     let i =
+                       add_state ~net ~parent:(-1)
+                         ~tag:terminal.Cluster.element
+                     in
+                     s.state_arrival.(i) <- t;
+                     hpush s.frontier ~priority:(-.bound) i
+                   end
                end)
             cluster.Cluster.inputs;
           let results = ref [] in
           let found = ref 0 in
-          while !found < limit && not (Hb_util.Heap.is_empty heap) do
-            let _, (start_element, net, arrival, hops) = Hb_util.Heap.pop heap in
+          while !found < limit && s.frontier.hsize > 0 do
+            let i = hpop s.frontier in
+            let net = s.state_net.(i) in
+            let arrival = s.state_arrival.(i) in
             if net = end_net then begin
               incr found;
+              let rec build j acc =
+                let hop =
+                  { net = cluster.Cluster.nets.(s.state_net.(j));
+                    via =
+                      (if s.state_parent.(j) < 0 then None
+                       else
+                         Some
+                           cluster.Cluster.arcs.(s.state_tag.(j)).Cluster.inst);
+                    at = s.state_arrival.(j);
+                  }
+                in
+                let acc = hop :: acc in
+                if s.state_parent.(j) < 0 then (s.state_tag.(j), acc)
+                else build s.state_parent.(j) acc
+              in
+              let start_element, hops = build i [] in
               results :=
                 { start_element;
                   end_element = endpoint;
                   cluster = cluster_id;
                   cut;
                   slack = closure -. arrival;
-                  hops = List.rev hops;
+                  hops;
                 }
                 :: !results
             end
-            else
-              Cluster.iter_succ cluster net ~f:(fun arc_index ->
-                  let arc = cluster.Cluster.arcs.(arc_index) in
-                  if Hb_util.Time.is_finite remaining.(arc.Cluster.to_net)
+            else begin
+              (* The canonical child continues the completion this state
+                 was counted under: the first arc realising the largest
+                 child bound (the argmax is recomputed rather than
+                 compared to the parent bound — float addition is not
+                 associative). *)
+              let canonical = ref (-1) in
+              let best = ref Hb_util.Time.neg_infinity in
+              for k = cluster.Cluster.succ_off.(net)
+                  to cluster.Cluster.succ_off.(net + 1) - 1 do
+                let arc = cluster.Cluster.arcs.(cluster.Cluster.succ_arc.(k)) in
+                let r = remaining.(arc.Cluster.to_net) in
+                if finite r then begin
+                  let b = arrival +. arc.Cluster.dmax +. r in
+                  if b > !best then begin
+                    best := b;
+                    canonical := k
+                  end
+                end
+              done;
+              for k = cluster.Cluster.succ_off.(net)
+                  to cluster.Cluster.succ_off.(net + 1) - 1 do
+                let arc_index = cluster.Cluster.succ_arc.(k) in
+                let arc = cluster.Cluster.arcs.(arc_index) in
+                let r = remaining.(arc.Cluster.to_net) in
+                if finite r then begin
+                  let t = arrival +. arc.Cluster.dmax in
+                  let b = t +. r in
+                  (* offer b — only non-canonical children count a new
+                     completion. *)
+                  if k <> !canonical then begin
+                    if topk.hsize < limit then hpush topk ~priority:b 0
+                    else if b > topk.hprio.(0) then begin
+                      ignore (hpop topk);
+                      hpush topk ~priority:b 0
+                    end
+                  end;
+                  (* The canonical child is pushed unconditionally: it
+                     continues a completion already counted in [topk],
+                     and its recomputed bound can sit a ulp below the
+                     bound that was counted (the two sums associate
+                     differently), so testing it against the threshold
+                     could starve the very chains the threshold is made
+                     of. Others face the admissibility test. *)
+                  if k = !canonical
+                  || topk.hsize < limit
+                  || b >= topk.hprio.(0)
                   then begin
-                    let t = arrival +. arc.Cluster.dmax in
-                    let hop =
-                      { net = cluster.Cluster.nets.(arc.Cluster.to_net);
-                        via = Some arc.Cluster.inst;
-                        at = t }
+                    let j =
+                      add_state ~net:arc.Cluster.to_net ~parent:i
+                        ~tag:arc_index
                     in
-                    Hb_util.Heap.push heap
-                      ~priority:(-.(t +. remaining.(arc.Cluster.to_net)))
-                      (start_element, arc.Cluster.to_net, t, hop :: hops)
-                  end)
+                    s.state_arrival.(j) <- t;
+                    hpush s.frontier ~priority:(-.b) j
+                  end
+                end
+              done
+            end
           done;
-          List.rev !results))
+          Hb_util.Arena.release s.arena remaining;
+          (* Completions pop in bound order, which can invert two
+             near-equal paths by a ulp: a child bound [(a +. d) +. r]
+             and its parent's [a +. (d +. r)] associate differently. A
+             final stable sort over the <= limit survivors makes "worst
+             slack first" exact; equal slacks keep pop order. *)
+          List.stable_sort
+            (fun (a : path) (b : path) -> Float.compare a.slack b.slack)
+            (List.rev !results)
+      end
+
+let enumerate_many (ctx : Context.t) ~endpoints ~limit =
+  let endpoints = Array.of_list endpoints in
+  Array.to_list
+    (map_endpoints ctx endpoints (fun endpoint ->
+         enumerate ctx ~endpoint ~limit))
 
 let pp (ctx : Context.t) ppf path =
   let design = ctx.Context.design in

@@ -24,7 +24,8 @@ type path = {
 }
 
 (** [worst_endpoints ctx slacks ~limit] lists up to [limit] element ids
-    with the smallest data-input slacks, ascending. *)
+    with the smallest data-input slacks, ascending. Selected with a
+    bounded heap (no full sort); [limit <= 0] yields []. *)
 val worst_endpoints : Context.t -> Slacks.t -> limit:int -> (int * Hb_util.Time.t) list
 
 (** [critical_path ctx ~endpoint] traces the single worst path converging
@@ -33,11 +34,14 @@ val worst_endpoints : Context.t -> Slacks.t -> limit:int -> (int * Hb_util.Time.
 val critical_path : Context.t -> endpoint:int -> path option
 
 (** [worst_paths ctx slacks ~limit] is the critical path of each of the
-    [limit] worst endpoints. *)
+    [limit] worst endpoints. Endpoints are traced in parallel across the
+    domain pool when [Config.parallel_jobs > 1]; the result order is
+    deterministic (worst endpoint first) either way. *)
 val worst_paths : Context.t -> Slacks.t -> limit:int -> path list
 
 (** [slow_paths ctx slacks ~limit] is the critical path of every endpoint
-    with non-positive slack (up to [limit] endpoints). *)
+    with non-positive slack (up to [limit] endpoints). Parallel and
+    deterministic as {!worst_paths}. *)
 val slow_paths : Context.t -> Slacks.t -> limit:int -> path list
 
 (** [enumerate ctx ~endpoint ~limit] lists up to [limit] distinct paths
@@ -45,8 +49,21 @@ val slow_paths : Context.t -> Slacks.t -> limit:int -> path list
     {!critical_path} (which follows only arrival-realising arcs), this
     explores every path and ranks by true per-path slack, so
     near-critical paths behind the worst one are visible — what a
-    designer asks right after fixing the first violation. *)
+    designer asks right after fixing the first violation.
+
+    Search states live in a per-domain predecessor pool (hops are
+    materialised only for the surviving paths) and pushes whose
+    arrival-plus-remaining bound falls strictly below the k-th best known
+    completion are pruned, so the frontier stays proportional to the live
+    states actually competing for the [limit] slots. *)
 val enumerate : Context.t -> endpoint:int -> limit:int -> path list
+
+(** [enumerate_many ctx ~endpoints ~limit] is [enumerate] for each
+    endpoint, fanned across the domain pool when
+    [Config.parallel_jobs > 1]. Results align with the input order and
+    are identical to the sequential ones. *)
+val enumerate_many :
+  Context.t -> endpoints:int list -> limit:int -> path list list
 
 (** [pp ctx] renders a path with instance and net names. *)
 val pp : Context.t -> Format.formatter -> path -> unit

@@ -1,9 +1,11 @@
 type t = {
   free : (int, float array list ref) Hashtbl.t;
+  free_ints : (int, int array list ref) Hashtbl.t;
   mutable outstanding : int;
 }
 
-let create () = { free = Hashtbl.create 16; outstanding = 0 }
+let create () =
+  { free = Hashtbl.create 16; free_ints = Hashtbl.create 16; outstanding = 0 }
 
 let floats t n =
   if n < 0 then invalid_arg "Arena.floats: negative length";
@@ -21,8 +23,25 @@ let release t buffer =
   | Some slot -> slot := buffer :: !slot
   | None -> Hashtbl.replace t.free n (ref [ buffer ])
 
+let ints t n =
+  if n < 0 then invalid_arg "Arena.ints: negative length";
+  t.outstanding <- t.outstanding + 1;
+  match Hashtbl.find_opt t.free_ints n with
+  | Some ({ contents = buffer :: rest } as slot) ->
+    slot := rest;
+    buffer
+  | Some { contents = [] } | None -> Array.make n 0
+
+let release_ints t buffer =
+  let n = Array.length buffer in
+  t.outstanding <- t.outstanding - 1;
+  match Hashtbl.find_opt t.free_ints n with
+  | Some slot -> slot := buffer :: !slot
+  | None -> Hashtbl.replace t.free_ints n (ref [ buffer ])
+
 let clear t =
   Hashtbl.reset t.free;
+  Hashtbl.reset t.free_ints;
   t.outstanding <- 0
 
 let outstanding t = t.outstanding

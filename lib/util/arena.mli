@@ -24,6 +24,14 @@ val floats : t -> int -> float array
     buffer still in use, or twice, is a caller bug. *)
 val release : t -> float array -> unit
 
+(** [ints t n] / [release_ints t buffer]: the same length-keyed pooling
+    for [int array]s (the path enumerator's state-pool arrays). Float and
+    int buffers live on separate free lists but share the [outstanding]
+    count. *)
+val ints : t -> int -> int array
+
+val release_ints : t -> int array -> unit
+
 (** [clear t] drops every pooled buffer (outstanding ones stay valid but
     will not return to this arena's accounting). *)
 val clear : t -> unit

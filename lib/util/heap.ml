@@ -62,3 +62,86 @@ let pop t =
 let peek t =
   if t.size = 0 then raise Not_found;
   (t.data.(0).priority, t.data.(0).value)
+
+(* Monomorphic (float priority, int payload) min-heap in two parallel
+   arrays: pushes and pops allocate nothing once the arrays have grown to
+   the high-water mark, and [clear] recycles them across searches. Ties
+   break on the smaller payload, so when payloads are assigned
+   monotonically (e.g. state-pool indices) equal priorities pop FIFO and
+   the heap is fully deterministic. *)
+module Ints = struct
+  type t = {
+    mutable prio : float array;
+    mutable payload : int array;
+    mutable size : int;
+  }
+
+  let create () = { prio = [||]; payload = [||]; size = 0 }
+  let[@inline] clear t = t.size <- 0
+  let[@inline] is_empty t = t.size = 0
+  let[@inline] length t = t.size
+
+  let[@inline] less t i j =
+    t.prio.(i) < t.prio.(j)
+    || (t.prio.(i) = t.prio.(j) && t.payload.(i) < t.payload.(j))
+
+  let swap t i j =
+    let p = t.prio.(i) and v = t.payload.(i) in
+    t.prio.(i) <- t.prio.(j);
+    t.payload.(i) <- t.payload.(j);
+    t.prio.(j) <- p;
+    t.payload.(j) <- v
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let[@inline] push t ~priority value =
+    if t.size = Array.length t.prio then begin
+      let capacity = Stdlib.max 16 (2 * t.size) in
+      let prio = Array.make capacity 0.0 in
+      let payload = Array.make capacity 0 in
+      Array.blit t.prio 0 prio 0 t.size;
+      Array.blit t.payload 0 payload 0 t.size;
+      t.prio <- prio;
+      t.payload <- payload
+    end;
+    t.prio.(t.size) <- priority;
+    t.payload.(t.size) <- value;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let rec sift_down t i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < t.size && less t left !smallest then smallest := left;
+    if right < t.size && less t right !smallest then smallest := right;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let[@inline] top_priority t =
+    if t.size = 0 then raise Not_found;
+    t.prio.(0)
+
+  let[@inline] top t =
+    if t.size = 0 then raise Not_found;
+    t.payload.(0)
+
+  let[@inline] pop t =
+    if t.size = 0 then raise Not_found;
+    let value = t.payload.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prio.(0) <- t.prio.(t.size);
+      t.payload.(0) <- t.payload.(t.size);
+      sift_down t 0
+    end;
+    value
+end

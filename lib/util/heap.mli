@@ -22,3 +22,37 @@ val pop : 'a t -> float * 'a
 (** [peek t] returns the minimum-priority entry without removing it.
     @raise Not_found when the heap is empty. *)
 val peek : 'a t -> float * 'a
+
+(** Allocation-free min-heap over (float priority, int payload) pairs.
+
+    Stored as two parallel arrays, so pushing never boxes an entry; the
+    arrays persist across [clear], which makes a long-lived [Ints.t] a
+    zero-allocation scratch structure at its high-water mark. Ordering is
+    lexicographic on (priority, payload): equal priorities pop in
+    ascending payload order, so monotonically assigned payloads give
+    deterministic FIFO tie-breaking. *)
+module Ints : sig
+  type t
+
+  val create : unit -> t
+
+  (** [clear t] empties the heap, keeping its capacity. *)
+  val clear : t -> unit
+
+  val is_empty : t -> bool
+  val length : t -> int
+
+  (** [push t ~priority value] inserts [value]; smaller (priority,
+      value) pairs pop first. *)
+  val push : t -> priority:float -> int -> unit
+
+  (** Root priority. @raise Not_found when empty. *)
+  val top_priority : t -> float
+
+  (** Root payload. @raise Not_found when empty. *)
+  val top : t -> int
+
+  (** [pop t] removes the root and returns its payload.
+      @raise Not_found when empty. *)
+  val pop : t -> int
+end

@@ -114,6 +114,16 @@ let run t ~count work =
     end
   end
 
+let map t ~count f =
+  if count = 0 then [||]
+  else begin
+    let slots = Array.make count None in
+    run t ~count (fun i -> slots.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: missing slot")
+      slots
+  end
+
 let shutdown t =
   Mutex.lock t.mutex;
   let domains = t.domains in

@@ -31,6 +31,12 @@ val jobs : t -> int
     from inside [f]. *)
 val run : t -> count:int -> (int -> unit) -> unit
 
+(** [map t ~count f] evaluates [f i] for every [0 <= i < count] across
+    the pool (same contract as {!run}) and returns the results indexed by
+    [i] — the output order is deterministic regardless of which worker
+    ran which item. *)
+val map : t -> count:int -> (int -> 'a) -> 'a array
+
 (** [shutdown t] stops and joins the worker domains. The pool must not be
     used afterwards. Idempotent. *)
 val shutdown : t -> unit

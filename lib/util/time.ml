@@ -4,14 +4,14 @@ let eps = 1e-9
 let zero = 0.0
 let infinity = Stdlib.infinity
 let neg_infinity = Stdlib.neg_infinity
-let equal a b = Float.abs (a -. b) <= eps || (a = b)
-let lt a b = a +. eps < b
-let le a b = lt a b || equal a b
-let gt a b = lt b a
-let ge a b = le b a
-let is_negative t = lt t zero
-let is_positive t = gt t zero
-let is_finite t = Float.is_finite t
+let[@inline] equal a b = Float.abs (a -. b) <= eps || (a = b)
+let[@inline] lt a b = a +. eps < b
+let[@inline] le a b = lt a b || equal a b
+let[@inline] gt a b = lt b a
+let[@inline] ge a b = le b a
+let[@inline] is_negative t = lt t zero
+let[@inline] is_positive t = gt t zero
+let[@inline] is_finite t = Float.is_finite t
 let min = Stdlib.min
 let max = Stdlib.max
 

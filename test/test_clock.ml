@@ -259,6 +259,53 @@ let prop_solve_covers_and_is_minimal =
        in
        covered && minimal)
 
+(* The seed's exhaustive solver — enumerate subsets of each size in
+   lexicographic order, return the first that satisfies everything — kept
+   here verbatim as the reference the branch-and-bound rewrite must
+   reproduce exactly (same cuts, same order, not just same cardinality). *)
+let exhaustive_solve ~node_count reqs =
+  if reqs = [] then [ node_count - 1 ]
+  else begin
+    let satisfied cuts =
+      List.for_all
+        (fun req ->
+           List.exists
+             (fun cut -> Hb_clock.Break.satisfies ~node_count ~cut req)
+             cuts)
+        reqs
+    in
+    let rec subsets_of_size k from =
+      if k = 0 then [ [] ]
+      else if from >= node_count then []
+      else
+        List.map (fun s -> from :: s) (subsets_of_size (k - 1) (from + 1))
+        @ subsets_of_size k (from + 1)
+    in
+    let rec search k =
+      if k > node_count then Alcotest.fail "unsatisfiable requirement set"
+      else
+        match List.find_opt satisfied (subsets_of_size k 0) with
+        | Some cuts -> cuts
+        | None -> search (k + 1)
+    in
+    search 1
+  end
+
+let prop_solve_matches_exhaustive =
+  QCheck.Test.make ~name:"Break.solve = exhaustive subset search" ~count:300
+    QCheck.(
+      pair (int_range 2 9) (small_list (pair (int_range 0 8) (int_range 0 8))))
+    (fun (node_count, raw) ->
+       let reqs =
+         List.filter_map
+           (fun (a, b) ->
+              let a = a mod node_count and b = b mod node_count in
+              if a = b then None
+              else Some { Hb_clock.Break.before = a; after = b })
+           raw
+       in
+       Hb_clock.Break.solve ~node_count reqs = exhaustive_solve ~node_count reqs)
+
 let prop_position_is_permutation =
   QCheck.Test.make ~name:"Break.position is a permutation" ~count:200
     QCheck.(pair (int_range 1 12) (int_range 0 11))
@@ -287,7 +334,8 @@ let test_workload_figure4_matches () =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_solve_covers_and_is_minimal; prop_position_is_permutation ]
+      [ prop_solve_covers_and_is_minimal; prop_solve_matches_exhaustive;
+        prop_position_is_permutation ]
   in
   Alcotest.run "hb_clock"
     [ ("waveform",
