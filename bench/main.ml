@@ -829,6 +829,127 @@ let path_engine ?(designs = path_engine_designs) ?(ks = [ 10; 100; 1000 ]) () =
   Printf.printf "\nwrote BENCH_paths.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P3 — telemetry: disabled overhead and enabled counters             *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_bench () =
+  section "P3: telemetry — disabled overhead and enabled counters";
+  Printf.printf
+    "full DES analysis with the telemetry registry disabled (the default)\n\
+     and enabled. Every instrumentation site is one Atomic.get plus a\n\
+     branch when disabled, so the off column must stay at the P1/P2-era\n\
+     cost; the on column prices the per-domain counter shards and phase\n\
+     spans. Wall seconds, median of 5.\n\n";
+  let design, system = Hb_workload.Chips.des () in
+  let analyse config =
+    ignore (Hb_sta.Engine.analyse ~design ~system ~config ())
+  in
+  let off_config = Hb_sta.Config.default in
+  let on_config =
+    { Hb_sta.Config.default with Hb_sta.Config.telemetry = true }
+  in
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.reset ();
+  let off_s = measure ~repeat:5 (fun () -> analyse off_config) in
+  Hb_util.Telemetry.set_enabled true;
+  Hb_util.Telemetry.reset ();
+  let on_s = measure ~repeat:5 (fun () -> analyse on_config) in
+  (* A k-worst sweep while the registry is live, so the Paths counters
+     appear in the same snapshot. *)
+  let ctx = Hb_sta.Context.make ~design ~system ~config:on_config () in
+  let outcome = Hb_sta.Algorithm1.run ctx in
+  let endpoints =
+    List.map fst
+      (Hb_sta.Paths.worst_endpoints ctx outcome.Hb_sta.Algorithm1.final
+         ~limit:8)
+  in
+  List.iter
+    (fun endpoint -> ignore (Hb_sta.Paths.enumerate ctx ~endpoint ~limit:100))
+    endpoints;
+  (* A deliberately over-constrained pipeline: Algorithm 1 must transfer
+     slack between clusters, so the transfer counters are exercised too
+     (DES meets timing without relaxation). *)
+  let t_design, t_system =
+    Hb_workload.Pipelines.edge_ff ~period:3.0 ~width:4 ~stages:3
+      ~gates_per_stage:20 ()
+  in
+  ignore (Hb_sta.Engine.analyse ~design:t_design ~system:t_system
+            ~config:on_config ());
+  let snap = Hb_util.Telemetry.snapshot () in
+  let overhead_pct = (on_s -. off_s) /. Stdlib.max 1e-9 off_s *. 100.0 in
+  Hb_util.Table.print
+    ~header:[ "design"; "telemetry off s"; "telemetry on s"; "overhead" ]
+    ~align:Hb_util.Table.[ Left; Right; Right; Right ]
+    [ [ "DES";
+        Printf.sprintf "%.4f" off_s;
+        Printf.sprintf "%.4f" on_s;
+        Printf.sprintf "%+.1f%%" overhead_pct ] ];
+  Printf.printf "\ncounters (5 analysis repetitions + path sweep):\n";
+  Hb_util.Table.print ~header:[ "counter"; "value" ]
+    ~align:Hb_util.Table.[ Left; Right ]
+    (List.map
+       (fun (name, value) -> [ name; string_of_int value ])
+       (List.sort compare snap.Hb_util.Telemetry.counters));
+  Printf.printf "\nphase spans:\n";
+  Hb_util.Table.print ~header:[ "span"; "count"; "wall s"; "cpu s" ]
+    ~align:Hb_util.Table.[ Left; Right; Right; Right ]
+    (List.map
+       (fun (name, count, wall, cpu) ->
+          [ name; string_of_int count;
+            Printf.sprintf "%.4f" wall; Printf.sprintf "%.4f" cpu ])
+       (Hb_util.Telemetry.aggregate_spans snap));
+  (* The instrumentation has to actually count: a silently dead counter
+     is a regression even when the timings look fine. *)
+  let counter name =
+    match List.assoc_opt name snap.Hb_util.Telemetry.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  List.iter
+    (fun name ->
+       if counter name <= 0 then
+         failwith (Printf.sprintf "P3: counter %s never incremented" name))
+    [ "algorithm1.relaxation_iterations";
+      "algorithm1.complete_forward_transfers";
+      "slacks.block_evaluations";
+      "paths.states_expanded";
+      "paths.heap_pushes" ];
+  let out = open_out "BENCH_telemetry.json" in
+  Printf.fprintf out
+    "{\n  \"benchmark\": \"telemetry\",\n  \"design\": \"DES\",\n  \
+     \"off_s\": %.6f,\n  \"on_s\": %.6f,\n  \"overhead_pct\": %.2f,\n  \
+     \"counters\": {"
+    off_s on_s overhead_pct;
+  List.iteri
+    (fun i (name, value) ->
+       Printf.fprintf out "%s\n    \"%s\": %d"
+         (if i = 0 then "" else ",") name value)
+    (List.sort compare snap.Hb_util.Telemetry.counters);
+  Printf.fprintf out "\n  }\n}\n";
+  close_out out;
+  Printf.printf "\nwrote BENCH_telemetry.json\n";
+  (* Optional Chrome trace of the instrumented runs: --trace FILE. *)
+  let trace_path =
+    let argv = Sys.argv in
+    let rec scan i =
+      if i + 1 >= Array.length argv then None
+      else if argv.(i) = "--trace" then Some argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  (match trace_path with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Hb_util.Telemetry.trace_json snap);
+     close_out oc;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
+  (* Leave the registry as the later sections expect it: off and empty. *)
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -914,6 +1035,7 @@ let () =
               Hb_workload.Soup.random ~seed:7L ~phases:3 ~registers:4
                 ~gates:3500 ~inputs:4 ~outputs:8 () ) ]
       ~ks:[ 10; 100 ] ();
+    telemetry_bench ();
     print_newline ()
   end
   else begin
@@ -932,6 +1054,7 @@ let () =
     scaling ();
     slack_engine ();
     path_engine ();
+    telemetry_bench ();
     bechamel_suite ();
     print_newline ()
   end

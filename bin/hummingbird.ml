@@ -36,11 +36,20 @@ let handle_errors f =
   | Hb_netlist.Hbn_format.Parse_error { line; message } ->
     Printf.eprintf "netlist parse error, line %d: %s\n" line message;
     exit 1
+  | Hb_netlist.Blif.Parse_error { line; message } ->
+    Printf.eprintf "blif parse error, line %d: %s\n" line message;
+    exit 1
   | Hb_sta.Elements.Build_error message
   | Hb_sta.Cluster.Cycle_error message
   | Hb_sta.Passes.Pass_error message
   | Failure message ->
     Printf.eprintf "error: %s\n" message;
+    exit 1
+  | Sys_error message ->
+    Printf.eprintf "error: %s\n" message;
+    exit 1
+  | Invalid_argument message ->
+    Printf.eprintf "internal error: %s\n" message;
     exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -69,11 +78,17 @@ let load_config ?(rise_fall = false) ?jobs timing =
 
 let analyse_cmd =
   let run netlist clocks paths constraints flag_file rise_fall timing dot
-      delay_model annotations json jobs =
+      delay_model annotations json jobs telemetry trace =
     handle_errors (fun () ->
         let design = load_design netlist in
         let system = load_clocks clocks in
         let config = load_config ~rise_fall ?jobs timing in
+        (* --trace needs the spans, so it implies --telemetry. *)
+        let config =
+          if telemetry || trace <> None then
+            { config with Hb_sta.Config.telemetry = true }
+          else config
+        in
         let base_delays =
           match delay_model with
           | "lumped" -> Hb_sta.Delays.lumped
@@ -131,6 +146,14 @@ let analyse_cmd =
              (Hb_sta.Dot_export.design_graph ctx slacks);
            Printf.printf "design graph written to %s\n" path
          | None -> ());
+        (match trace with
+         | Some path ->
+           let oc = open_out path in
+           output_string oc
+             (Hb_util.Telemetry.trace_json (Hb_util.Telemetry.snapshot ()));
+           close_out oc;
+           Printf.eprintf "trace written to %s\n" path
+         | None -> ());
         match report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.status with
         | Hb_sta.Algorithm1.Meets_timing -> exit 0
         | Hb_sta.Algorithm1.Slow_paths -> exit 2)
@@ -173,12 +196,24 @@ let analyse_cmd =
            ~doc:"Evaluate clusters on $(docv) domains (1 = sequential; \
                  default: the timing file's parallel-jobs, else all cores).")
   in
+  let telemetry =
+    Arg.(value & flag & info [ "telemetry" ]
+           ~doc:"Record internal work counters and phase spans; adds a \
+                 metrics section to the report (a \"metrics\" block with \
+                 $(b,--json)).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the phase spans as Chrome trace-event JSON to \
+                 $(docv) (open in chrome://tracing or Perfetto; one track \
+                 per domain). Implies $(b,--telemetry).")
+  in
   Cmd.v
     (Cmd.info "analyse"
        ~doc:"Run the full timing analysis (exit 2 when too-slow paths exist)")
     Term.(const run $ netlist_arg $ clocks_arg $ paths $ constraints $ flag_file
           $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json
-          $ jobs)
+          $ jobs $ telemetry $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)

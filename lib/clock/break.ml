@@ -3,6 +3,10 @@ type requirement = {
   after : int;
 }
 
+let c_nodes_visited = Hb_util.Telemetry.counter "break.nodes_visited"
+let c_dominance_eliminations =
+  Hb_util.Telemetry.counter "break.dominance_eliminations"
+
 let position ~node_count ~cut node =
   ((node - cut - 1) mod node_count + node_count) mod node_count
 
@@ -87,7 +91,10 @@ let solve ~node_count requirements =
         if i <> j && keep.(i)
         && bits_subset cut_sets.(j) cut_sets.(i)
         && (not (bits_subset cut_sets.(i) cut_sets.(j)) || j < i)
-        then keep.(i) <- false
+        then begin
+          keep.(i) <- false;
+          Hb_util.Telemetry.incr c_dominance_eliminations
+        end
       done
     done;
     let live = ref [] in
@@ -175,6 +182,7 @@ let solve ~node_count requirements =
        uniquely). *)
     let exception Found of int list in
     let rec dfs start uncovered size_left chosen =
+      Hb_util.Telemetry.incr c_nodes_visited;
       if bits_empty uncovered then raise (Found (List.rev chosen))
       else if size_left > 0 then begin
         let u = bits_count uncovered in

@@ -75,7 +75,10 @@ let evaluate_comb t inst =
   let kind =
     match cell.Hb_cell.Cell.kind with
     | Hb_cell.Kind.Comb k -> k
-    | Hb_cell.Kind.Sync _ -> assert false
+    | Hb_cell.Kind.Sync _ ->
+      invalid_arg
+        (Printf.sprintf "Sim.evaluate_comb: %s is a synchronising cell"
+           cell.Hb_cell.Cell.name)
   in
   let inputs =
     List.map

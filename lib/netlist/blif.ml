@@ -162,8 +162,8 @@ let parse ~library text =
         (match rest with
          | [ input; output; kind; control ]
          | [ input; output; kind; control; _ ] ->
-           if not (List.mem kind [ "re"; "fe"; "ah"; "al" ]) then
-             error line "unsupported latch type %S" kind;
+           (* The trigger type is validated where it is consumed, in the
+              latch builder below — one positioned diagnostic site. *)
            model.latches <-
              { l_line = line; l_input = input; l_output = output;
                l_kind = kind; l_control = control }
@@ -200,11 +200,19 @@ let parse ~library text =
       | _ -> error line "unrecognised line"
   in
   List.iter handle (logical_lines text);
-  if not model.ended then failwith "blif: missing .end";
+  let last_line =
+    let physical = String.split_on_char '\n' text in
+    let n = List.length physical in
+    (* A trailing newline produces an empty final fragment, not a line. *)
+    match List.rev physical with
+    | "" :: _ when n > 1 -> n - 1
+    | _ -> n
+  in
+  if not model.ended then error last_line "missing .end";
   let name =
     match model.name with
     | Some n -> n
-    | None -> failwith "blif: missing .model"
+    | None -> error last_line "missing .model"
   in
   (* Clock nets: latch controls (after accounting for al-inversion) that
      are either declared inputs (flagged as clocks) or undeclared (new
@@ -268,7 +276,10 @@ let parse ~library text =
              ~connections:[ ("a", latch.l_control); ("y", inverted) ]
              ();
            ("latch", inverted)
-         | _ -> assert false
+         | other ->
+           error latch.l_line
+             "unsupported latch trigger type %S (expected re, fe, ah or al)"
+             other
        in
        Builder.add_instance builder
          ~name:(Printf.sprintf "blif_l%d" i)

@@ -122,7 +122,14 @@ let freeze t =
             let pin =
               match Hb_cell.Cell.find_pin inst.Design.cell pin_name with
               | Some p -> p
-              | None -> assert false (* checked at add time *)
+              | None ->
+                (* Bindings are validated against the cell in
+                   [add_instance]; reaching this means the cell record
+                   mutated after the fact. *)
+                invalid_arg
+                  (Printf.sprintf
+                     "Builder.freeze: instance %s binds unknown pin %s"
+                     inst.Design.inst_name pin_name)
             in
             let endpoint = Design.Pin { inst = i; pin = pin_name } in
             match pin.Hb_cell.Cell.role with

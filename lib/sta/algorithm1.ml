@@ -2,6 +2,17 @@ type status =
   | Meets_timing
   | Slow_paths
 
+let c_relaxation_iterations =
+  Hb_util.Telemetry.counter "algorithm1.relaxation_iterations"
+let c_complete_forward =
+  Hb_util.Telemetry.counter "algorithm1.complete_forward_transfers"
+let c_complete_backward =
+  Hb_util.Telemetry.counter "algorithm1.complete_backward_transfers"
+let c_partial_forward =
+  Hb_util.Telemetry.counter "algorithm1.partial_forward_transfers"
+let c_partial_backward =
+  Hb_util.Telemetry.counter "algorithm1.partial_backward_transfers"
+
 type outcome = {
   status : status;
   final : Slacks.t;
@@ -15,6 +26,10 @@ type direction = Forward | Backward
 (* One complete slack-transfer step across every synchronising element,
    from a single slack snapshot. Returns whether any offset moved. *)
 let complete_transfer (ctx : Context.t) slacks direction =
+  Hb_util.Telemetry.incr
+    (match direction with
+     | Forward -> c_complete_forward
+     | Backward -> c_complete_backward);
   let moved = ref false in
   for e = 0 to Elements.count ctx.Context.elements - 1 do
     let element = Elements.element ctx.Context.elements e in
@@ -40,6 +55,10 @@ let complete_transfer (ctx : Context.t) slacks direction =
 
 (* Partial transfer: move slack/n instead of all of it. *)
 let partial_transfer (ctx : Context.t) slacks direction =
+  Hb_util.Telemetry.incr
+    (match direction with
+     | Forward -> c_partial_forward
+     | Backward -> c_partial_backward);
   let divisor = ctx.Context.config.Config.partial_transfer_divisor in
   let divisor = if divisor > 1.0 then divisor else 2.0 in
   for e = 0 to Elements.count ctx.Context.elements - 1 do
@@ -82,6 +101,7 @@ let run (ctx : Context.t) =
       end
       else begin
         incr cycles;
+        Hb_util.Telemetry.incr c_relaxation_iterations;
         if complete_transfer ctx slacks direction then loop ()
         else (None, !cycles)
       end
@@ -101,10 +121,12 @@ let run (ctx : Context.t) =
        (* Iterations 3 and 4: partial transfers, once per complete cycle
           made in the opposite direction. *)
        for _ = 1 to backward_cycles do
+         Hb_util.Telemetry.incr c_relaxation_iterations;
          let slacks = Slacks.compute ctx in
          partial_transfer ctx slacks Forward
        done;
        for _ = 1 to forward_cycles do
+         Hb_util.Telemetry.incr c_relaxation_iterations;
          let slacks = Slacks.compute ctx in
          partial_transfer ctx slacks Backward
        done;

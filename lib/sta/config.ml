@@ -14,6 +14,7 @@ type t = {
   multicycle : (string * int) list;
   incremental : bool;
   parallel_jobs : int;
+  telemetry : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     multicycle = [];
     incremental = true;
     parallel_jobs = Hb_util.Pool.recommended_jobs ();
+    telemetry = false;
   }
 
 let sequential =

@@ -51,6 +51,12 @@ type t = {
           [Slacks.compute]; [1] = fully sequential, the default is
           [Domain.recommended_domain_count ()]. Cluster evaluations are
           independent, so any value yields identical results *)
+  telemetry : bool;
+      (** record {!Hb_util.Telemetry} counters, gauges and phase spans
+          during analysis; default [false]. Disabled instrumentation
+          costs one atomic flag read per site. Surfaced in the JSON
+          report's ["metrics"] block, {!Report.summary}, and the CLI's
+          [--trace] Chrome trace output *)
 }
 
 val default : t

@@ -66,6 +66,11 @@ let parse ?(base = Config.default) text =
        | "on" -> config := { !config with Config.incremental = true }
        | "off" -> config := { !config with Config.incremental = false }
        | other -> fail_line lineno "incremental: expected on/off, got %S" other)
+    | [ "telemetry"; flag ] ->
+      (match flag with
+       | "on" -> config := { !config with Config.telemetry = true }
+       | "off" -> config := { !config with Config.telemetry = false }
+       | other -> fail_line lineno "telemetry: expected on/off, got %S" other)
     | [ "parallel-jobs"; v ] ->
       let jobs =
         if v = "auto" then Hb_util.Pool.recommended_jobs ()
@@ -115,6 +120,7 @@ let to_string (config : Config.t) =
   add "partial-divisor %g\n" config.Config.partial_transfer_divisor;
   add "incremental %s\n" (if config.Config.incremental then "on" else "off");
   add "parallel-jobs %d\n" config.Config.parallel_jobs;
+  add "telemetry %s\n" (if config.Config.telemetry then "on" else "off");
   List.iter
     (fun (inst, n) -> add "multicycle %s %d\n" inst n)
     config.Config.multicycle;

@@ -90,7 +90,11 @@ let build ~design ~system ~config =
        let kind =
          match cell.Hb_cell.Cell.kind with
          | Hb_cell.Kind.Sync k -> k
-         | Hb_cell.Kind.Comb _ -> assert false
+         | Hb_cell.Kind.Comb _ ->
+           invalid_arg
+             (Printf.sprintf
+                "Elements.build: control trace reached combinational cell %s"
+                cell.Hb_cell.Cell.name)
        in
        let waveform =
          match Hb_clock.System.find system info.Control.clock with

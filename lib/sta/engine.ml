@@ -31,24 +31,40 @@ let preprocess ~design ~system ?config ?delays () =
   in
   (context, cpu)
 
-let analyse ~design ~system ?config ?delays ?(generate_constraints = true)
-    ?(check_hold = true) () =
+let analyse ~design ~system ?(config = Config.default) ?delays
+    ?(generate_constraints = true) ?(check_hold = true) () =
+  (* Opt-in only: a config with telemetry on switches recording on and
+     starts from clean counters, but telemetry already enabled by the
+     caller (tests, bench) is left untouched. *)
+  if config.Config.telemetry && not (Hb_util.Telemetry.enabled ()) then begin
+    Hb_util.Telemetry.set_enabled true;
+    Hb_util.Telemetry.reset ()
+  end;
+  let span = Hb_util.Telemetry.span in
   let context, preprocess_seconds, preprocess_wall_seconds =
-    timed (fun () -> Context.make ~design ~system ?config ?delays ())
+    timed (fun () ->
+        span "engine.preprocess" (fun () ->
+            Context.make ~design ~system ~config ?delays ()))
   in
   let outcome, analysis_seconds, analysis_wall_seconds =
-    timed (fun () -> Algorithm1.run context)
+    timed (fun () -> span "engine.analysis" (fun () -> Algorithm1.run context))
   in
   let constraints, constraints_seconds, constraints_wall_seconds =
     if generate_constraints then begin
       let snapshot = Elements.save_offsets context.Context.elements in
-      let times, cpu, wall = timed (fun () -> Algorithm2.run context) in
+      let times, cpu, wall =
+        timed (fun () ->
+            span "engine.constraints" (fun () -> Algorithm2.run context))
+      in
       Elements.restore_offsets context.Context.elements snapshot;
       (Some times, cpu, wall)
     end
     else (None, 0.0, 0.0)
   in
-  let hold_violations = if check_hold then Holdcheck.check context else [] in
+  let hold_violations =
+    if check_hold then span "engine.holdcheck" (fun () -> Holdcheck.check context)
+    else []
+  in
   { context;
     outcome;
     constraints;

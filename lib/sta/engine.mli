@@ -33,7 +33,13 @@ type report = {
     runs the full flow. [generate_constraints] (default true) runs
     Algorithm 2 (element offsets are snapshotted around it so
     [report.context] reflects Algorithm 1's final state). [check_hold]
-    (default true) runs the supplementary-constraint checks. *)
+    (default true) runs the supplementary-constraint checks.
+
+    When [config.telemetry] is set and {!Hb_util.Telemetry} is not
+    already enabled, recording is switched on and counters reset before
+    the run; the phases then record [engine.*] spans alongside the layer
+    counters, readable through [Hb_util.Telemetry.snapshot] after the
+    call (and surfaced by {!Json_export.report} / {!Report.summary}). *)
 val analyse :
   design:Hb_netlist.Design.t ->
   system:Hb_clock.System.t ->

@@ -108,7 +108,66 @@ let report ?(paths = 0) (r : Engine.report) =
            p.Paths.hops;
          add "]}")
       (Paths.worst_paths ctx slacks ~limit:paths);
+    add "\n  ],\n";
+    (* Near-critical density per worst endpoint: how many distinct paths
+       compete within the top [paths], and how far the k-th sits behind
+       the worst. Uses the bounded enumeration, so with telemetry on the
+       paths.* counters below reflect this very block. *)
+    let endpoints = Paths.worst_endpoints ctx slacks ~limit:paths in
+    let enumerations =
+      Paths.enumerate_many ctx
+        ~endpoints:(List.map fst endpoints) ~limit:paths
+    in
+    add "  \"near_critical\": [";
+    List.iteri
+      (fun i ((endpoint, _), enumerated) ->
+         let worst, kth =
+           match enumerated with
+           | [] -> (None, None)
+           | (first : Paths.path) :: _ ->
+             let rec last = function
+               | [ (p : Paths.path) ] -> p
+               | _ :: rest -> last rest
+               | [] -> first
+             in
+             (Some first.Paths.slack, Some (last enumerated).Paths.slack)
+         in
+         let opt = function Some v -> number v | None -> "null" in
+         add "%s\n    {\"endpoint\": \"%s\", \"count\": %d, \
+              \"worst_slack\": %s, \"kth_slack\": %s}"
+           (if i = 0 then "" else ",")
+           (escape_string (element_label endpoint))
+           (List.length enumerated) (opt worst) (opt kth))
+      (List.combine endpoints enumerations);
     add "\n  ],\n"
+  end;
+  if ctx.Context.config.Config.telemetry then begin
+    let snapshot = Hb_util.Telemetry.snapshot () in
+    add "  \"metrics\": {\n";
+    add "    \"counters\": {";
+    List.iteri
+      (fun i (name, v) ->
+         add "%s\n      \"%s\": %d" (if i = 0 then "" else ",")
+           (escape_string name) v)
+      snapshot.Hb_util.Telemetry.counters;
+    add "\n    },\n";
+    add "    \"gauges\": {";
+    List.iteri
+      (fun i (name, v) ->
+         add "%s\n      \"%s\": %s" (if i = 0 then "" else ",")
+           (escape_string name) (number v))
+      snapshot.Hb_util.Telemetry.gauges;
+    add "\n    },\n";
+    add "    \"spans\": [";
+    List.iteri
+      (fun i (name, count, wall, cpu) ->
+         add "%s\n      {\"name\": \"%s\", \"count\": %d, \"wall_s\": %s, \
+              \"cpu_s\": %s}"
+           (if i = 0 then "" else ",")
+           (escape_string name) count (number wall) (number cpu))
+      (Hb_util.Telemetry.aggregate_spans snapshot);
+    add "\n    ]\n";
+    add "  },\n"
   end;
   add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s, \
        \"preprocess_wall_s\": %s, \"analysis_wall_s\": %s, \"constraints_wall_s\": %s}\n"

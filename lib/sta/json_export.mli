@@ -23,8 +23,19 @@
     of each of the [paths] worst endpoints (traced in parallel when
     configured), each as
     [{"start", "end", "slack", "cluster", "cut", "hops": [{"net",
-    "via", "at"}]}] with ["via": null] on the launching hop. The default
-    ([paths = 0]) output is unchanged from earlier versions. *)
+    "via", "at"}]}] with ["via": null] on the launching hop; a
+    ["near_critical"] array follows, summarising the bounded k-worst
+    enumeration per worst endpoint as
+    [{"endpoint", "count", "worst_slack", "kth_slack"}].
+
+    When the analysis ran with [Config.telemetry] set, a ["metrics"]
+    object is inserted before ["timings"]:
+    [{"counters": {name: int, ...}, "gauges": {name: float, ...},
+    "spans": [{"name", "count", "wall_s", "cpu_s"}]}] — the merged
+    {!Hb_util.Telemetry} snapshot of the run.
+
+    The default ([paths = 0], telemetry off) output is unchanged from
+    earlier versions. *)
 val report : ?paths:int -> Engine.report -> string
 
 (** [escape_string s] is the JSON string escaping used throughout

@@ -4,6 +4,12 @@ type hop = {
   at : Hb_util.Time.t;
 }
 
+let c_states_expanded = Hb_util.Telemetry.counter "paths.states_expanded"
+let c_heap_pushes = Hb_util.Telemetry.counter "paths.heap_pushes"
+let c_bound_prunes = Hb_util.Telemetry.counter "paths.bound_prunes"
+let c_topk_evictions = Hb_util.Telemetry.counter "paths.topk_evictions"
+let g_state_pool = Hb_util.Telemetry.gauge "paths.state_pool_capacity"
+
 type path = {
   start_element : int;
   end_element : int;
@@ -166,8 +172,8 @@ let map_endpoints (ctx : Context.t) endpoints f =
   let jobs = Stdlib.min ctx.Context.config.Config.parallel_jobs count in
   if jobs <= 1 || count <= 1 then Array.map f endpoints
   else
-    Hb_util.Pool.map (Hb_util.Pool.shared ~jobs) ~count (fun i ->
-        f endpoints.(i))
+    Hb_util.Pool.map ~label:"paths.endpoints" (Hb_util.Pool.shared ~jobs)
+      ~count (fun i -> f endpoints.(i))
 
 let worst_paths ctx slacks ~limit =
   let endpoints = Array.of_list (worst_endpoints ctx slacks ~limit) in
@@ -337,6 +343,13 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
         | None -> []
         | Some closure ->
           let s = Domain.DLS.get scratch_key in
+          (* Counter deltas accumulate in local refs and flush once at the
+             end: per-arc [Telemetry.add] calls (a DLS lookup each) would
+             be measurable here. One hoisted flag read keeps the disabled
+             path at its PR 2 cost. *)
+          let t_on = Hb_util.Telemetry.enabled () in
+          let n_expanded = ref 0 and n_pushes = ref 0 in
+          let n_prunes = ref 0 and n_evictions = ref 0 in
           let n = Array.length cluster.Cluster.nets in
           (* Longest delay from each net to the endpoint net. *)
           let remaining = Hb_util.Arena.floats s.arena n in
@@ -408,6 +421,7 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
                    if topk.hsize < limit then hpush topk ~priority:bound 0
                    else if bound > topk.hprio.(0) then begin
                      ignore (hpop topk);
+                     if t_on then Stdlib.incr n_evictions;
                      hpush topk ~priority:bound 0
                    end;
                    (* admissible bound *)
@@ -418,14 +432,17 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
                          ~tag:terminal.Cluster.element
                      in
                      s.state_arrival.(i) <- t;
+                     if t_on then Stdlib.incr n_pushes;
                      hpush s.frontier ~priority:(-.bound) i
                    end
+                   else if t_on then Stdlib.incr n_prunes
                end)
             cluster.Cluster.inputs;
           let results = ref [] in
           let found = ref 0 in
           while !found < limit && s.frontier.hsize > 0 do
             let i = hpop s.frontier in
+            if t_on then Stdlib.incr n_expanded;
             let net = s.state_net.(i) in
             let arrival = s.state_arrival.(i) in
             if net = end_net then begin
@@ -490,6 +507,7 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
                     if topk.hsize < limit then hpush topk ~priority:b 0
                     else if b > topk.hprio.(0) then begin
                       ignore (hpop topk);
+                      if t_on then Stdlib.incr n_evictions;
                       hpush topk ~priority:b 0
                     end
                   end;
@@ -509,13 +527,23 @@ let enumerate (ctx : Context.t) ~endpoint ~limit =
                         ~tag:arc_index
                     in
                     s.state_arrival.(j) <- t;
+                    if t_on then Stdlib.incr n_pushes;
                     hpush s.frontier ~priority:(-.b) j
                   end
+                  else if t_on then Stdlib.incr n_prunes
                 end
               done
             end
           done;
           Hb_util.Arena.release s.arena remaining;
+          if t_on then begin
+            Hb_util.Telemetry.add c_states_expanded !n_expanded;
+            Hb_util.Telemetry.add c_heap_pushes !n_pushes;
+            Hb_util.Telemetry.add c_bound_prunes !n_prunes;
+            Hb_util.Telemetry.add c_topk_evictions !n_evictions;
+            Hb_util.Telemetry.set_gauge g_state_pool
+              (float_of_int (Array.length s.state_net))
+          end;
           (* Completions pop in bound order, which can invert two
              near-equal paths by a ulp: a child bound [(a +. d) +. r]
              and its parent's [a +. (d +. r)] associate differently. A

@@ -1,3 +1,26 @@
+(* Human-readable rendering of the merged telemetry snapshot, appended to
+   the summary when the analysis ran with [Config.telemetry]. *)
+let metrics_section () =
+  let snapshot = Hb_util.Telemetry.snapshot () in
+  let buffer = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "\nmetrics:\n";
+  List.iter
+    (fun (name, value) -> add "  %-40s %12d\n" name value)
+    snapshot.Hb_util.Telemetry.counters;
+  List.iter
+    (fun (name, value) -> add "  %-40s %12.0f\n" name value)
+    snapshot.Hb_util.Telemetry.gauges;
+  (match Hb_util.Telemetry.aggregate_spans snapshot with
+   | [] -> ()
+   | spans ->
+     add "phase spans (count, wall s, cpu s):\n";
+     List.iter
+       (fun (name, count, wall, cpu) ->
+          add "  %-40s %6dx %10.4f %10.4f\n" name count wall cpu)
+       spans);
+  Buffer.contents buffer
+
 let summary (report : Engine.report) =
   let ctx = report.Engine.context in
   let outcome = report.Engine.outcome in
@@ -32,11 +55,11 @@ let summary (report : Engine.report) =
    | None -> ());
   (match report.Engine.hold_violations with
    | [] -> add "supplementary (min-delay) constraints: all satisfied\n"
-   | violations ->
+   | worst :: _ as violations ->
      add "supplementary (min-delay) VIOLATIONS: %d (worst %s at %s)\n"
        (List.length violations)
-       (Hb_util.Time.to_string (List.hd violations).Holdcheck.margin)
-       (List.hd violations).Holdcheck.label);
+       (Hb_util.Time.to_string worst.Holdcheck.margin)
+       worst.Holdcheck.label);
   add "cpu: %.4f s pre-process, %.4f s analysis, %.4f s constraints\n"
     report.Engine.timings.Engine.preprocess_seconds
     report.Engine.timings.Engine.analysis_seconds
@@ -45,6 +68,8 @@ let summary (report : Engine.report) =
     report.Engine.timings.Engine.preprocess_wall_seconds
     report.Engine.timings.Engine.analysis_wall_seconds
     report.Engine.timings.Engine.constraints_wall_seconds;
+  if ctx.Context.config.Config.telemetry then
+    Buffer.add_string buffer (metrics_section ());
   Buffer.contents buffer
 
 let paths_report ctx slacks ~limit =

@@ -7,6 +7,11 @@ type t = {
   worst : Hb_util.Time.t;
 }
 
+let c_clusters_evaluated = Hb_util.Telemetry.counter "slacks.clusters_evaluated"
+let c_cluster_cache_hits = Hb_util.Telemetry.counter "slacks.cluster_cache_hits"
+let c_block_evaluations = Hb_util.Telemetry.counter "slacks.block_evaluations"
+let g_dirty_clusters = Hb_util.Telemetry.gauge "slacks.dirty_clusters"
+
 (* Aggregation over every (cluster, pass), reading the block results from
    [result_of]. Kept sequential and in cluster order regardless of how the
    results were produced, so incremental/parallel evaluation cannot perturb
@@ -157,17 +162,25 @@ let refresh_cache ~mode ~force (ctx : Context.t) =
          let out =
            match cache.Context.results.(cluster.Cluster.id).(cut_index) with
            | Some out -> out
-           | None -> assert false
+           | None ->
+             invalid_arg
+               "Slacks.refresh_cache: result buffer missing for a dirty \
+                cluster (buffers must be materialised before evaluation)"
          in
+         Hb_util.Telemetry.incr c_block_evaluations;
          Block.evaluate_into ~passes ~elements ~cluster ~cut ~mode out)
       plan.Passes.cuts
   in
   let jobs = config.Config.parallel_jobs in
   let count = Array.length todo in
+  Hb_util.Telemetry.add c_clusters_evaluated count;
+  Hb_util.Telemetry.add c_cluster_cache_hits (cluster_count - count);
+  Hb_util.Telemetry.set_gauge g_dirty_clusters (float_of_int count);
   if jobs <= 1 || count <= 1 then
     for i = 0 to count - 1 do evaluate i done
   else
-    Hb_util.Pool.run (Hb_util.Pool.shared ~jobs) ~count evaluate;
+    Hb_util.Pool.run ~label:"slacks.clusters" (Hb_util.Pool.shared ~jobs)
+      ~count evaluate;
   cache
 
 let compute ?mode ?(force = false) (ctx : Context.t) =
@@ -182,6 +195,7 @@ let compute ?mode ?(force = false) (ctx : Context.t) =
     (* The paper's from-scratch path: evaluate each block inline as the
        aggregation reaches it, exactly as the original engine did. *)
     aggregate ctx ~result_of:(fun cluster ~cut_index:_ ~cut ->
+        Hb_util.Telemetry.incr c_block_evaluations;
         Block.evaluate ~passes:ctx.Context.passes ~elements:ctx.Context.elements
           ~cluster ~cut ~mode ())
   else begin
@@ -189,7 +203,9 @@ let compute ?mode ?(force = false) (ctx : Context.t) =
     aggregate ctx ~result_of:(fun cluster ~cut_index ~cut:_ ->
         match cache.Context.results.(cluster.Cluster.id).(cut_index) with
         | Some result -> result
-        | None -> assert false)
+        | None ->
+          invalid_arg
+            "Slacks.compute: cluster result missing after cache refresh")
   end
 
 let all_positive t =

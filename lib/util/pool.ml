@@ -1,4 +1,5 @@
 type job = {
+  label : string;            (* telemetry span name for each worker's drain *)
   work : int -> unit;
   count : int;
   next : int Atomic.t;       (* next unclaimed item *)
@@ -24,27 +25,41 @@ let jobs t = t.size
    is counted in [completed] even after a failure, so the submitter's
    completion wait always terminates. *)
 let drain t job =
+  let process i =
+    if not (Atomic.get job.failed) then begin
+      try job.work i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set job.failed true;
+        Mutex.lock t.mutex;
+        if t.error = None then t.error <- Some (e, bt);
+        Mutex.unlock t.mutex
+    end;
+    if Atomic.fetch_and_add job.completed 1 = job.count - 1 then begin
+      Mutex.lock t.mutex;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.mutex
+    end
+  in
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.count then begin
-      if not (Atomic.get job.failed) then begin
-        try job.work i
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Atomic.set job.failed true;
-          Mutex.lock t.mutex;
-          if t.error = None then t.error <- Some (e, bt);
-          Mutex.unlock t.mutex
-      end;
-      if Atomic.fetch_and_add job.completed 1 = job.count - 1 then begin
-        Mutex.lock t.mutex;
-        Condition.broadcast t.idle;
-        Mutex.unlock t.mutex
-      end;
+      process i;
       loop ()
     end
   in
-  loop ()
+  (* A span per participating domain (late workers that claim nothing
+     record none), which is what gives one trace track per domain. *)
+  let first = Atomic.fetch_and_add job.next 1 in
+  if first < job.count then
+    if Telemetry.enabled () then
+      Telemetry.span job.label (fun () ->
+          process first;
+          loop ())
+    else begin
+      process first;
+      loop ()
+    end
 
 let rec worker t last_epoch =
   Mutex.lock t.mutex;
@@ -77,13 +92,17 @@ let create ~jobs:requested () =
   t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
   t
 
-let run t ~count work =
+let run ?(label = "pool.job") t ~count work =
   if count > 0 then begin
     if t.size = 1 || count = 1 then
-      for i = 0 to count - 1 do work i done
+      if Telemetry.enabled () then
+        Telemetry.span label (fun () ->
+            for i = 0 to count - 1 do work i done)
+      else
+        for i = 0 to count - 1 do work i done
     else begin
       let job =
-        { work; count;
+        { label; work; count;
           next = Atomic.make 0;
           completed = Atomic.make 0;
           failed = Atomic.make false;
@@ -114,11 +133,11 @@ let run t ~count work =
     end
   end
 
-let map t ~count f =
+let map ?label t ~count f =
   if count = 0 then [||]
   else begin
     let slots = Array.make count None in
-    run t ~count (fun i -> slots.(i) <- Some (f i));
+    run ?label t ~count (fun i -> slots.(i) <- Some (f i));
     Array.map
       (function Some v -> v | None -> invalid_arg "Pool.map: missing slot")
       slots

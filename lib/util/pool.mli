@@ -28,14 +28,18 @@ val jobs : t -> int
     without its own synchronisation. If one or more items raise, one of
     the exceptions is re-raised in the caller after the job drains (the
     remaining items are skipped). Jobs must not be submitted re-entrantly
-    from inside [f]. *)
-val run : t -> count:int -> (int -> unit) -> unit
+    from inside [f].
+
+    When {!Telemetry} is enabled, each domain that claims at least one
+    item records a [label] span covering its share of the job (default
+    label ["pool.job"]). *)
+val run : ?label:string -> t -> count:int -> (int -> unit) -> unit
 
 (** [map t ~count f] evaluates [f i] for every [0 <= i < count] across
-    the pool (same contract as {!run}) and returns the results indexed by
-    [i] — the output order is deterministic regardless of which worker
-    ran which item. *)
-val map : t -> count:int -> (int -> 'a) -> 'a array
+    the pool (same contract as {!run}, including the [?label] telemetry
+    span) and returns the results indexed by [i] — the output order is
+    deterministic regardless of which worker ran which item. *)
+val map : ?label:string -> t -> count:int -> (int -> 'a) -> 'a array
 
 (** [shutdown t] stops and joins the worker domains. The pool must not be
     used afterwards. Idempotent. *)

@@ -1,0 +1,252 @@
+(* Per-domain shards merged on read. Metric registration happens at
+   module-initialisation time under [registry_lock]; the hot paths
+   ([add], [set_gauge], span bodies) touch only the calling domain's
+   shard, reached through [Domain.DLS], so enabled-mode writes never
+   contend. The [enabled] flag is the only shared state the disabled
+   path reads. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type counter = int
+type gauge = int
+
+(* Registration and the shard list share one lock: both are cold. *)
+let registry_lock = Mutex.create ()
+let counter_names : string array ref = ref [||]
+let counter_count = ref 0
+let gauge_names : string array ref = ref [||]
+let gauge_count = ref 0
+
+type span_record = {
+  span_name : string;
+  domain : int;
+  start_s : float;
+  wall_s : float;
+  cpu_s : float;
+}
+
+type shard = {
+  shard_domain : int;
+  mutable counts : int array;
+  mutable gauge_values : float array; (* nan = never set on this domain *)
+  mutable spans : span_record list;   (* newest first *)
+}
+
+let shards : shard list ref = ref []
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let shard =
+        {
+          shard_domain = (Domain.self () :> int);
+          counts = Array.make (max 8 !counter_count) 0;
+          gauge_values = Array.make (max 8 !gauge_count) nan;
+          spans = [];
+        }
+      in
+      locked (fun () -> shards := shard :: !shards);
+      shard)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let intern names count name =
+  locked (fun () ->
+      let rec find i =
+        if i >= !count then None
+        else if String.equal !names.(i) name then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some id -> id
+      | None ->
+          let id = !count in
+          if id >= Array.length !names then begin
+            let grown = Array.make (max 8 (2 * id)) "" in
+            Array.blit !names 0 grown 0 id;
+            names := grown
+          end;
+          !names.(id) <- name;
+          incr count;
+          id)
+
+let counter name = intern counter_names counter_count name
+let gauge name = intern gauge_names gauge_count name
+
+let add c n =
+  if Atomic.get enabled_flag then begin
+    let shard = my_shard () in
+    if c >= Array.length shard.counts then begin
+      let grown = Array.make (max 8 (2 * (c + 1))) 0 in
+      Array.blit shard.counts 0 grown 0 (Array.length shard.counts);
+      shard.counts <- grown
+    end;
+    shard.counts.(c) <- shard.counts.(c) + n
+  end
+
+let incr c = add c 1
+
+let set_gauge g v =
+  if Atomic.get enabled_flag then begin
+    let shard = my_shard () in
+    if g >= Array.length shard.gauge_values then begin
+      let grown = Array.make (max 8 (2 * (g + 1))) nan in
+      Array.blit shard.gauge_values 0 grown 0 (Array.length shard.gauge_values);
+      shard.gauge_values <- grown
+    end;
+    shard.gauge_values.(g) <- v
+  end
+
+let record_span shard span_name start_s cpu0 =
+  let wall_s = Unix.gettimeofday () -. start_s in
+  let cpu_s = Sys.time () -. cpu0 in
+  shard.spans <-
+    { span_name; domain = shard.shard_domain; start_s; wall_s; cpu_s }
+    :: shard.spans
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let shard = my_shard () in
+    let start_s = Unix.gettimeofday () in
+    let cpu0 = Sys.time () in
+    match f () with
+    | result ->
+        record_span shard name start_s cpu0;
+        result
+    | exception e ->
+        record_span shard name start_s cpu0;
+        raise e
+  end
+
+let reset () =
+  locked (fun () ->
+      List.iter
+        (fun shard ->
+          Array.fill shard.counts 0 (Array.length shard.counts) 0;
+          Array.fill shard.gauge_values 0 (Array.length shard.gauge_values) nan;
+          shard.spans <- [])
+        !shards)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : span_record list;
+}
+
+let snapshot () =
+  locked (fun () ->
+      let n_counters = !counter_count and n_gauges = !gauge_count in
+      let counts = Array.make n_counters 0 in
+      let gauge_values = Array.make n_gauges nan in
+      let spans = ref [] in
+      List.iter
+        (fun shard ->
+          for c = 0 to min n_counters (Array.length shard.counts) - 1 do
+            counts.(c) <- counts.(c) + shard.counts.(c)
+          done;
+          for g = 0 to min n_gauges (Array.length shard.gauge_values) - 1 do
+            let v = shard.gauge_values.(g) in
+            if not (Float.is_nan v) then
+              gauge_values.(g) <-
+                (if Float.is_nan gauge_values.(g) then v
+                 else Float.max gauge_values.(g) v)
+          done;
+          spans := List.rev_append shard.spans !spans)
+        !shards;
+      let counters =
+        List.init n_counters (fun c -> (!counter_names.(c), counts.(c)))
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let gauges =
+        List.init n_gauges (fun g -> (!gauge_names.(g), gauge_values.(g)))
+        |> List.filter (fun (_, v) -> not (Float.is_nan v))
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let spans =
+        List.sort (fun a b -> Float.compare a.start_s b.start_s) !spans
+      in
+      { counters; gauges; spans })
+
+let aggregate_spans snapshot =
+  let order = ref [] in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt totals s.span_name with
+      | Some (count, wall, cpu) ->
+          Hashtbl.replace totals s.span_name
+            (count + 1, wall +. s.wall_s, cpu +. s.cpu_s)
+      | None ->
+          order := s.span_name :: !order;
+          Hashtbl.add totals s.span_name (1, s.wall_s, s.cpu_s))
+    snapshot.spans;
+  List.rev_map
+    (fun name ->
+      let count, wall, cpu = Hashtbl.find totals name in
+      (name, count, wall, cpu))
+    !order
+
+(* Chrome trace-event JSON (the object form). Timestamps are microseconds
+   relative to the earliest span so traces start at t=0 in the viewer. *)
+let trace_json snapshot =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  in
+  let origin =
+    List.fold_left
+      (fun acc s -> Float.min acc s.start_s)
+      infinity snapshot.spans
+  in
+  let micros seconds = Printf.sprintf "%.3f" (seconds *. 1e6) in
+  let domains =
+    List.sort_uniq compare (List.map (fun s -> s.domain) snapshot.spans)
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n  "
+  in
+  List.iter
+    (fun d ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           d d))
+    domains;
+  List.iter
+    (fun s ->
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      escape s.span_name;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s"
+           s.domain
+           (micros (s.start_s -. origin))
+           (micros s.wall_s));
+      Buffer.add_string buf
+        (Printf.sprintf ",\"args\":{\"cpu_s\":%.6f}}" s.cpu_s))
+    snapshot.spans;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

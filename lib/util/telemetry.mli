@@ -1,0 +1,92 @@
+(** Domain-safe metrics: monotonic counters, gauges and cpu+wall phase
+    spans, collected in per-domain shards and merged on read.
+
+    Instrumented code calls {!incr}/{!add}/{!set_gauge}/{!span}
+    unconditionally; every write is guarded by a single global enabled
+    flag, so with telemetry disabled (the default) the cost is one atomic
+    load and a predictable branch — cheap enough for the relaxation and
+    path-enumeration hot loops. When enabled, each domain writes only its
+    own shard (registered once through [Domain.DLS]), so instrumentation
+    is safe inside {!Pool} parallel regions without contending on shared
+    cells; {!snapshot} merges the shards: counters sum, gauges take the
+    maximum over the domains that set them, spans concatenate in
+    chronological order.
+
+    {!reset} and {!snapshot} are meant to run at quiescent points (no
+    parallel job in flight). Calling them mid-job is memory-safe but can
+    observe partially accumulated values. *)
+
+(** Whether metric writes are recorded. Global to the process. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Zero every counter, clear every gauge and drop every recorded span,
+    across all domains. Metric registrations are kept. *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+(** A monotonic counter, interned by name: registering the same name
+    twice yields the same counter. Intended to be created once at module
+    initialisation. *)
+type counter
+
+val counter : string -> counter
+
+(** [add c n] adds [n] (>= 0) to the calling domain's shard of [c];
+    no-op when disabled. *)
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+(** {1 Gauges} *)
+
+(** A last-written-value-per-domain metric, merged by maximum on read —
+    suited to high-water marks (pool capacities, dirty-set sizes). *)
+type gauge
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+(** {1 Phase spans} *)
+
+(** One completed span: wall-clock start plus wall and cpu durations,
+    tagged with the recording domain. [cpu_s] is the process-wide
+    processor time elapsed during the span ([Sys.time]), so spans that
+    overlap parallel work attribute the cpu of all running domains. *)
+type span_record = {
+  span_name : string;
+  domain : int;     (** recording domain id — one trace track per domain *)
+  start_s : float;  (** wall clock, absolute seconds *)
+  wall_s : float;
+  cpu_s : float;
+}
+
+(** [span name f] runs [f ()], recording a span on the calling domain's
+    shard (also when [f] raises). When disabled, [f] is called directly
+    with no timing taken. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** {1 Reading} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** every registered counter, by name *)
+  gauges : (string * float) list;  (** only gauges that were set *)
+  spans : span_record list;        (** chronological *)
+}
+
+val snapshot : unit -> snapshot
+
+(** [aggregate_spans snapshot] folds spans by name, preserving first-seen
+    order: [(name, count, total_wall_s, total_cpu_s)]. *)
+val aggregate_spans : snapshot -> (string * int * float * float) list
+
+(** [trace_json snapshot] renders the spans as Chrome trace-event JSON
+    (the [{"traceEvents": [...]}] object form) loadable in
+    [chrome://tracing] or Perfetto: one complete ("ph": "X") event per
+    span with microsecond timestamps relative to the earliest span, one
+    named thread track per domain, and the cpu time of each span under
+    ["args"]. *)
+val trace_json : snapshot -> string

@@ -29,7 +29,10 @@ let figure1 ?(period = 100.0) () =
      Hb_netlist.Builder.add_instance builder ~name:"g2" ~cell:"inv_x1"
        ~connections:[ ("a", "cone1"); ("y", "cone2") ]
        ()
-   | _ -> assert false);
+   | qs ->
+     invalid_arg
+       (Printf.sprintf "Figures.figure1: expected 4 latch outputs, got %d"
+          (List.length qs)));
   (* Output latches on phases 2 and 4: the cone must settle twice per
      period. *)
   Hb_netlist.Builder.add_instance builder ~name:"lout2" ~cell:"latch"

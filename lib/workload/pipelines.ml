@@ -83,6 +83,9 @@ let latch_ring ?(period = 100.0) ~gates () =
      Hb_netlist.Builder.add_instance builder ~name:"loop_buf" ~cell:"buf_x1"
        ~connections:[ ("a", out); ("y", "loop_back") ]
        ()
-   | _ -> assert false);
+   | outs ->
+     invalid_arg
+       (Printf.sprintf "Pipelines.latch_ring: cloud grew %d outputs, wanted 1"
+          (List.length outs)));
   Rtl.output_ports builder ~prefix:"obs" [ "loop_back" ];
   (Hb_netlist.Builder.freeze builder, system)

@@ -106,6 +106,40 @@ let test_blif_errors () =
   expect_error ".model x\n.inputs a\n";                 (* missing .end *)
   expect_error "11 1\n.end\n"                           (* cover outside names *)
 
+(* Malformed inputs must surface as [Parse_error] with the offending
+   line — never as an assertion or an anonymous exception. *)
+let expect_error_at ~line:expected ~contains text =
+  match Hb_netlist.Blif.parse ~library:lib text with
+  | exception Hb_netlist.Blif.Parse_error { line; message } ->
+    Alcotest.(check int) ("line of: " ^ contains) expected line;
+    let has_fragment =
+      let n = String.length contains and h = String.length message in
+      let rec scan i =
+        i + n <= h && (String.sub message i n = contains || scan (i + 1))
+      in
+      scan 0
+    in
+    if not has_fragment then
+      Alcotest.fail
+        (Printf.sprintf "message %S does not mention %S" message contains)
+  | exception e ->
+    Alcotest.fail ("expected Parse_error, got " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error, parse succeeded"
+
+let test_positioned_errors () =
+  (* Unknown .latch trigger type: diagnosed at the .latch line. *)
+  expect_error_at ~line:3 ~contains:"latch trigger type"
+    ".model x\n.inputs a\n.latch a q as ck 0\n.end\n";
+  (* Missing .end: diagnosed at the last line of the text. *)
+  expect_error_at ~line:3 ~contains:".end"
+    ".model x\n.inputs a\n.outputs a\n";
+  (* Missing .model: the rest parsed fine, last line blamed. *)
+  expect_error_at ~line:5 ~contains:".model"
+    ".inputs a\n.outputs o\n.names a o\n1 1\n.end\n";
+  (* Cover-row width mismatch: diagnosed at the row. *)
+  expect_error_at ~line:3 ~contains:"width"
+    ".model x\n.names a b o\n111 1\n.end\n"
+
 let test_blif_analyses_end_to_end () =
   (* A two-stage BLIF design through the whole analyser. *)
   let text =
@@ -153,6 +187,7 @@ let () =
          Alcotest.test_case "gate directive" `Quick test_gate_directive;
          Alcotest.test_case "continuations" `Quick test_continuation_lines;
          Alcotest.test_case "errors" `Quick test_blif_errors;
+         Alcotest.test_case "positioned errors" `Quick test_positioned_errors;
          Alcotest.test_case "constants" `Quick test_constant_names ]);
       ("integration",
        [ Alcotest.test_case "end to end" `Quick test_blif_analyses_end_to_end ]);

@@ -168,6 +168,45 @@ let test_json_endpoint_sorted () =
      | _ -> Alcotest.fail "endpoints must be an array")
   | _ -> Alcotest.fail "object expected"
 
+let test_json_metrics_block () =
+  (* Tight clock: Algorithm 1 must actually transfer slack (a design
+     meeting timing on the first sweep never calls complete_transfer). *)
+  let design, system =
+    Hb_workload.Pipelines.edge_ff ~period:3.0 ~width:4 ~stages:3
+      ~gates_per_stage:20 ()
+  in
+  let config = { Hb_sta.Config.default with Hb_sta.Config.telemetry = true } in
+  let report = Hb_sta.Engine.analyse ~design ~system ~config () in
+  let json = Hb_sta.Json_export.report ~paths:4 report in
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.reset ();
+  match parse_json json with
+  | Object members ->
+    (match List.assoc_opt "near_critical" members with
+     | Some (Array (_ :: _)) -> ()
+     | _ -> Alcotest.fail "near_critical must be a non-empty array");
+    (match List.assoc_opt "metrics" members with
+     | Some (Object metrics) ->
+       (match List.assoc_opt "counters" metrics with
+        | Some (Object counters) ->
+          let value name =
+            match List.assoc_opt name counters with
+            | Some (Number v) -> int_of_float v
+            | _ -> Alcotest.fail ("missing counter " ^ name)
+          in
+          Alcotest.(check bool) "block evaluations counted" true
+            (value "slacks.block_evaluations" > 0);
+          Alcotest.(check bool) "transfers counted" true
+            (value "algorithm1.complete_forward_transfers" > 0);
+          Alcotest.(check bool) "path states counted" true
+            (value "paths.states_expanded" > 0)
+        | _ -> Alcotest.fail "metrics.counters must be an object");
+       (match List.assoc_opt "spans" metrics with
+        | Some (Array (_ :: _)) -> ()
+        | _ -> Alcotest.fail "metrics.spans must be non-empty")
+     | _ -> Alcotest.fail "metrics block missing")
+  | _ -> Alcotest.fail "object expected"
+
 (* ------------------------------------------------------------------ *)
 (* Pretty printers                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -371,7 +410,8 @@ let () =
   Alcotest.run "misc"
     [ ("json",
        [ Alcotest.test_case "well formed" `Quick test_json_well_formed;
-         Alcotest.test_case "endpoints sorted" `Quick test_json_endpoint_sorted ]);
+         Alcotest.test_case "endpoints sorted" `Quick test_json_endpoint_sorted;
+         Alcotest.test_case "metrics block" `Quick test_json_metrics_block ]);
       ("printers",
        [ Alcotest.test_case "time" `Quick test_time_pp;
          Alcotest.test_case "interval" `Quick test_interval_pp;

@@ -845,6 +845,32 @@ let test_engine_report () =
   Alcotest.(check bool) "summary mentions design" true
     (String.length summary > 0 && contains ~needle:"chain" summary)
 
+(* The hold-violation section must render for any list shape: "all
+   satisfied" on empty, and the worst entry (head of the sorted list)
+   without crashing when present. *)
+let test_summary_hold_violation_rendering () =
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  let design = ff_chain_design ~gates:2 () in
+  let report = Hb_sta.Engine.analyse ~design ~system:(single_clock ()) () in
+  let empty = { report with Hb_sta.Engine.hold_violations = [] } in
+  Alcotest.(check bool) "empty list renders satisfied" true
+    (contains ~needle:"all satisfied" (Hb_sta.Report.summary empty));
+  let forged =
+    { report with
+      Hb_sta.Engine.hold_violations =
+        [ { Hb_sta.Holdcheck.element = 0; label = "ffX#0"; margin = 1.25 };
+          { Hb_sta.Holdcheck.element = 1; label = "ffY#0"; margin = 0.5 } ] }
+  in
+  let summary = Hb_sta.Report.summary forged in
+  Alcotest.(check bool) "worst entry named" true
+    (contains ~needle:"ffX#0" summary);
+  Alcotest.(check bool) "count rendered" true
+    (contains ~needle:"VIOLATIONS: 2" summary)
+
 let test_report_slow_nets () =
   let design = ff_chain_design ~gates:2 () in
   let ctx = context_of design (single_clock ~period:3.0 ()) in
@@ -951,6 +977,8 @@ let () =
          Alcotest.test_case "multirate no false positive" `Quick test_hold_multirate_no_false_positive ]);
       ("engine",
        [ Alcotest.test_case "report" `Quick test_engine_report;
+         Alcotest.test_case "hold rendering" `Quick
+           test_summary_hold_violation_rendering;
          Alcotest.test_case "slow nets" `Quick test_report_slow_nets ]);
       ("properties", qsuite);
     ]

@@ -269,6 +269,135 @@ let prop_heap_interleaved =
             else true)
          priorities)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_telemetry f =
+  Hb_util.Telemetry.set_enabled true;
+  Hb_util.Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+        Hb_util.Telemetry.set_enabled false;
+        Hb_util.Telemetry.reset ())
+    f
+
+let counter_value snapshot name =
+  match List.assoc_opt name snapshot.Hb_util.Telemetry.counters with
+  | Some v -> v
+  | None -> Alcotest.fail ("counter not registered: " ^ name)
+
+let test_telemetry_counters () =
+  let c = Hb_util.Telemetry.counter "test.counter_basic" in
+  (* Disabled: writes are dropped. *)
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.incr c;
+  with_telemetry (fun () ->
+      let s0 = Hb_util.Telemetry.snapshot () in
+      Alcotest.(check int) "reset to zero" 0 (counter_value s0 "test.counter_basic");
+      Hb_util.Telemetry.incr c;
+      Hb_util.Telemetry.add c 41;
+      let s = Hb_util.Telemetry.snapshot () in
+      Alcotest.(check int) "accumulated" 42 (counter_value s "test.counter_basic");
+      (* Interning: the same name yields the same counter. *)
+      let c' = Hb_util.Telemetry.counter "test.counter_basic" in
+      Hb_util.Telemetry.incr c';
+      let s' = Hb_util.Telemetry.snapshot () in
+      Alcotest.(check int) "interned" 43 (counter_value s' "test.counter_basic"))
+
+let test_telemetry_gauges () =
+  let g = Hb_util.Telemetry.gauge "test.gauge_max" in
+  with_telemetry (fun () ->
+      let unset = Hb_util.Telemetry.snapshot () in
+      Alcotest.(check bool) "unset gauge hidden" true
+        (List.assoc_opt "test.gauge_max" unset.Hb_util.Telemetry.gauges = None);
+      Hb_util.Telemetry.set_gauge g 7.0;
+      Hb_util.Telemetry.set_gauge g 3.0;
+      let s = Hb_util.Telemetry.snapshot () in
+      match List.assoc_opt "test.gauge_max" s.Hb_util.Telemetry.gauges with
+      | Some v -> check_float "last write on one domain" 3.0 v
+      | None -> Alcotest.fail "gauge missing from snapshot")
+
+let test_telemetry_spans () =
+  with_telemetry (fun () ->
+      let result =
+        Hb_util.Telemetry.span "test.span_outer" (fun () ->
+            Hb_util.Telemetry.span "test.span_inner" (fun () -> ());
+            17)
+      in
+      Alcotest.(check int) "span returns" 17 result;
+      (match Hb_util.Telemetry.span "test.span_raise" (fun () -> failwith "boom") with
+       | _ -> Alcotest.fail "expected raise"
+       | exception Failure _ -> ());
+      let s = Hb_util.Telemetry.snapshot () in
+      let names =
+        List.map
+          (fun sp -> sp.Hb_util.Telemetry.span_name)
+          s.Hb_util.Telemetry.spans
+      in
+      Alcotest.(check bool) "all spans recorded (raising included)" true
+        (List.mem "test.span_outer" names
+         && List.mem "test.span_inner" names
+         && List.mem "test.span_raise" names);
+      List.iter
+        (fun sp ->
+           Alcotest.(check bool) "non-negative wall" true
+             (sp.Hb_util.Telemetry.wall_s >= 0.0))
+        s.Hb_util.Telemetry.spans;
+      let aggregated = Hb_util.Telemetry.aggregate_spans s in
+      Alcotest.(check int) "three aggregate rows" 3 (List.length aggregated))
+
+let test_telemetry_parallel_merge () =
+  (* Counter sums are deterministic no matter how a pool splits the
+     work: every participating domain writes its own shard and the
+     snapshot merges them. *)
+  let c = Hb_util.Telemetry.counter "test.parallel_sum" in
+  let expected = 1000 * 999 / 2 in
+  let totals =
+    List.map
+      (fun jobs ->
+         with_telemetry (fun () ->
+             let pool = Hb_util.Pool.create ~jobs () in
+             Hb_util.Pool.run ~label:"test.parallel_job" pool ~count:1000
+               (fun i -> Hb_util.Telemetry.add c i);
+             let s = Hb_util.Telemetry.snapshot () in
+             Hb_util.Pool.shutdown pool;
+             counter_value s "test.parallel_sum"))
+      [ 1; 2; 4 ]
+  in
+  List.iteri
+    (fun i total ->
+       Alcotest.(check int)
+         (Printf.sprintf "jobs run %d sums exactly" i)
+         expected total)
+    totals
+
+let test_telemetry_trace_json () =
+  let trace =
+    with_telemetry (fun () ->
+        Hb_util.Telemetry.span "test.trace_span" (fun () -> ());
+        Hb_util.Telemetry.trace_json (Hb_util.Telemetry.snapshot ()))
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length trace in
+    let rec scan i =
+      i + n <= h && (String.sub trace i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "traceEvents wrapper" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "complete event" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "thread metadata" true (contains "\"thread_name\"");
+  Alcotest.(check bool) "span name present" true (contains "\"test.trace_span\"");
+  Alcotest.(check bool) "balanced braces" true
+    (let depth = ref 0 in
+     String.iter
+       (fun ch ->
+          if ch = '{' then incr depth
+          else if ch = '}' then decr depth)
+       trace;
+     !depth = 0)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ prop_modulo_in_range; prop_topo_random_dag; prop_heap_sorts;
@@ -305,5 +434,11 @@ let () =
       ("extras",
        [ Alcotest.test_case "rng choose" `Quick test_rng_choose;
          Alcotest.test_case "time boundaries" `Quick test_time_boundary_comparisons ]);
+      ("telemetry",
+       [ Alcotest.test_case "counters" `Quick test_telemetry_counters;
+         Alcotest.test_case "gauges" `Quick test_telemetry_gauges;
+         Alcotest.test_case "spans" `Quick test_telemetry_spans;
+         Alcotest.test_case "parallel merge" `Quick test_telemetry_parallel_merge;
+         Alcotest.test_case "trace json" `Quick test_telemetry_trace_json ]);
       ("properties", qsuite);
     ]
