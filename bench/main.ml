@@ -950,6 +950,111 @@ let telemetry_bench () =
   Hb_util.Telemetry.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* P4 — session engine: what-if query throughput                      *)
+(* ------------------------------------------------------------------ *)
+
+let session_bench () =
+  section "P4: session engine — N-query what-if throughput";
+  let queries = 20 in
+  Printf.printf
+    "%d what-if queries on DES, each scaling one instance's delay and\n\
+     re-reading the worst slack. The one-shot column rebuilds the whole\n\
+     engine per query (Engine.analyse with an annotation); the session\n\
+     column mutates a persistent Session, re-evaluating only the clusters\n\
+     the edit touched. Slacks must agree bit-for-bit per query; wall\n\
+     seconds for the full sweep, median of 3.\n\n"
+    queries;
+  let design, system = Hb_workload.Chips.des () in
+  (* Edit target: a combinational instance on the worst path, so the
+     edit genuinely moves timing. *)
+  let probe = Hb_sta.Session.create ~design ~system () in
+  let instance =
+    let path =
+      match Hb_sta.Session.worst_paths probe ~limit:1 with
+      | path :: _ -> path
+      | [] -> failwith "P4: no paths on DES"
+    in
+    let inst =
+      List.find_map (fun (hop : Hb_sta.Paths.hop) -> hop.Hb_sta.Paths.via)
+        path.Hb_sta.Paths.hops
+    in
+    match inst with
+    | Some inst ->
+      (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+    | None -> failwith "P4: worst path has no combinational hop"
+  in
+  Hb_sta.Session.close probe;
+  let factor i = 0.85 +. (0.015 *. float_of_int i) in
+  let worst (report : Hb_sta.Engine.report) =
+    report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+  in
+  (* One-shot: full preprocess per query, the seed's only option. *)
+  let one_shot_slacks = Array.make queries 0.0 in
+  let one_shot_sweep () =
+    for i = 0 to queries - 1 do
+      let annotation =
+        Hb_sta.Annotation.of_entries
+          [ (instance, Hb_sta.Annotation.Scaled (factor i)) ]
+      in
+      let delays =
+        Hb_sta.Annotation.apply annotation ~base:Hb_sta.Delays.lumped
+      in
+      let report =
+        Hb_sta.Engine.analyse ~design ~system ~delays
+          ~generate_constraints:false ~check_hold:false ()
+      in
+      one_shot_slacks.(i) <- worst report
+    done
+  in
+  let one_shot_s = measure ~repeat:3 one_shot_sweep in
+  (* Session: one preprocess, then mutate-and-query. *)
+  let session = Hb_sta.Session.create ~design ~system () in
+  let session_slacks = Array.make queries 0.0 in
+  let session_sweep () =
+    for i = 0 to queries - 1 do
+      Hb_sta.Session.scale_delay session ~instance ~factor:(factor i);
+      let report =
+        Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
+          session
+      in
+      session_slacks.(i) <- worst report
+    done
+  in
+  let session_s = measure ~repeat:3 session_sweep in
+  Hb_sta.Session.close session;
+  for i = 0 to queries - 1 do
+    if not (Hb_util.Time.equal one_shot_slacks.(i) session_slacks.(i)) then
+      failwith
+        (Printf.sprintf
+           "P4: query %d: session slack %g != one-shot slack %g" i
+           session_slacks.(i) one_shot_slacks.(i))
+  done;
+  let speedup = one_shot_s /. Stdlib.max 1e-9 session_s in
+  Hb_util.Table.print
+    ~header:
+      [ "design"; "queries"; "edited instance"; "one-shot s"; "session s";
+        "speedup" ]
+    ~align:Hb_util.Table.[ Left; Right; Left; Right; Right; Right ]
+    [ [ "DES"; string_of_int queries; instance;
+        Printf.sprintf "%.4f" one_shot_s;
+        Printf.sprintf "%.4f" session_s;
+        Printf.sprintf "%.1fx" speedup ] ];
+  let out = open_out "BENCH_session.json" in
+  Printf.fprintf out
+    "{\n  \"benchmark\": \"session\",\n  \"design\": \"DES\",\n  \
+     \"queries\": %d,\n  \"instance\": \"%s\",\n  \
+     \"one_shot_s\": %.6f,\n  \"session_s\": %.6f,\n  \
+     \"speedup\": %.2f\n}\n"
+    queries instance one_shot_s session_s speedup;
+  close_out out;
+  Printf.printf "\nwrote BENCH_session.json\n";
+  (* The acceptance bar: a persistent session must beat rebuilding the
+     engine per query by a wide margin, or the subsystem is pointless. *)
+  if speedup < 3.0 then
+    failwith
+      (Printf.sprintf "P4: session speedup %.2fx is below the 3x bar" speedup)
+
+(* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1036,6 +1141,7 @@ let () =
                 ~gates:3500 ~inputs:4 ~outputs:8 () ) ]
       ~ks:[ 10; 100 ] ();
     telemetry_bench ();
+    session_bench ();
     print_newline ()
   end
   else begin
@@ -1055,6 +1161,7 @@ let () =
     slack_engine ();
     path_engine ();
     telemetry_bench ();
+    session_bench ();
     bechamel_suite ();
     print_newline ()
   end

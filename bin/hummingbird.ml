@@ -31,26 +31,16 @@ let clocks_arg =
     & opt (some file) None
     & info [ "c"; "clocks" ] ~docv:"FILE.hbc" ~doc:"Clock waveform description.")
 
+(* One classifier for every analysis failure (see Hb_sta.Error); anything
+   it does not recognise is a genuine bug and keeps its backtrace. *)
 let handle_errors f =
   try f () with
-  | Hb_netlist.Hbn_format.Parse_error { line; message } ->
-    Printf.eprintf "netlist parse error, line %d: %s\n" line message;
-    exit 1
-  | Hb_netlist.Blif.Parse_error { line; message } ->
-    Printf.eprintf "blif parse error, line %d: %s\n" line message;
-    exit 1
-  | Hb_sta.Elements.Build_error message
-  | Hb_sta.Cluster.Cycle_error message
-  | Hb_sta.Passes.Pass_error message
-  | Failure message ->
-    Printf.eprintf "error: %s\n" message;
-    exit 1
-  | Sys_error message ->
-    Printf.eprintf "error: %s\n" message;
-    exit 1
-  | Invalid_argument message ->
-    Printf.eprintf "internal error: %s\n" message;
-    exit 1
+  | e ->
+    (match Hb_sta.Error.of_exn e with
+     | Some err ->
+       Printf.eprintf "%s\n" (Hb_sta.Error.to_string err);
+       exit 1
+     | None -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* analyse                                                            *)
@@ -553,6 +543,87 @@ let corners_cmd =
        ~doc:"Analyse at fast/nominal/slow delay corners (exit 2 on any miss)")
     Term.(const run $ netlist_arg $ clocks_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pump one channel pair through the daemon. Unlike [Serve.run] this
+   does not tear the session down at end of input, so a socket daemon
+   keeps its loaded design across client connections. *)
+let serve_channel daemon ic oc =
+  try
+    let rec loop () =
+      if not (Hb_sta.Serve.finished daemon) then begin
+        let line = input_line ic in
+        if String.trim line <> "" then begin
+          output_string oc (Hb_sta.Serve.handle_line daemon line);
+          output_char oc '\n';
+          flush oc
+        end;
+        loop ()
+      end
+    in
+    loop ()
+  with
+  | End_of_file -> ()
+  | Sys_error _ -> () (* client went away mid-reply *)
+
+let serve_cmd =
+  let run timeout socket =
+    handle_errors (fun () ->
+        let daemon = Hb_sta.Serve.create ~timeout_seconds:timeout () in
+        match socket with
+        | None -> Hb_sta.Serve.run daemon stdin stdout
+        | Some path ->
+          (* A broken client pipe must be an error reply path, not a
+             process death. *)
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Unix.bind sock (Unix.ADDR_UNIX path);
+          Unix.listen sock 8;
+          let rec accept_loop () =
+            if not (Hb_sta.Serve.finished daemon) then begin
+              let client, _ = Unix.accept sock in
+              let ic = Unix.in_channel_of_descr client in
+              let oc = Unix.out_channel_of_descr client in
+              serve_channel daemon ic oc;
+              (try Unix.close client with Unix.Unix_error _ -> ());
+              accept_loop ()
+            end
+          in
+          accept_loop ();
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          (try Unix.unlink path with Unix.Unix_error _ -> ()))
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall-clock budget; a request still running after \
+             this long is answered with a structured timeout error. 0 \
+             disables the limit.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of stdin/stdout; \
+             clients are served one connection at a time and the loaded \
+             design persists across connections.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch/daemon front end: newline-delimited JSON requests \
+          (load/annotate/analyse/paths/shutdown) against one persistent \
+          analysis session")
+    Term.(const run $ timeout_arg $ socket_arg)
+
 let () =
   let info =
     Cmd.info "hummingbird" ~version:"1.0.0"
@@ -563,4 +634,4 @@ let () =
        (Cmd.group info
           [ analyse_cmd; stats_cmd; passes_cmd; generate_cmd; optimise_cmd;
             whatif_cmd; minperiod_cmd; critical_cmd; corners_cmd;
-            timing_cmd; lint_cmd ]))
+            timing_cmd; lint_cmd; serve_cmd ]))

@@ -15,8 +15,7 @@ type result = {
 }
 
 (* Combinational instances on the worst critical paths, worst first. *)
-let candidates ctx slacks =
-  let paths = Hb_sta.Paths.worst_paths ctx slacks ~limit:5 in
+let candidates paths =
   let seen = Hashtbl.create 16 in
   let ordered = ref [] in
   List.iter
@@ -34,18 +33,21 @@ let candidates ctx slacks =
   List.rev !ordered
 
 let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
-  let rec iterate previous_ctx design iteration history =
-    (* After the first iteration only cell delays change, so the cluster
-       decomposition and pass plans are refreshed incrementally. *)
-    let ctx =
-      match previous_ctx with
-      | None -> Hb_sta.Context.make ~design ~system ?config ()
-      | Some ctx -> Hb_sta.Context.update_design ctx ~design ()
+  (* One persistent session for the whole loop: preprocessing runs once,
+     and after each upsizing round [update_design] refreshes arc delays
+     in place (the decomposition and pass plans are reused — only cell
+     variants change between iterations). *)
+  let session = Hb_sta.Session.create ~design ~system ?config () in
+  let rec iterate design iteration history =
+    let report =
+      Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
+        session
     in
-    let outcome = Hb_sta.Algorithm1.run ctx in
+    let outcome = report.Hb_sta.Session.outcome in
     let slacks = outcome.Hb_sta.Algorithm1.final in
     let area = (Hb_netlist.Stats.compute design).Hb_netlist.Stats.area in
     let finish met_timing =
+      Hb_sta.Session.close session;
       { design;
         met_timing;
         iterations = iteration;
@@ -59,9 +61,10 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
     | Hb_sta.Algorithm1.Slow_paths ->
       if iteration >= max_iterations then finish false
       else begin
+        let paths = Hb_sta.Session.worst_paths session ~limit:5 in
         match
           Speedup.upsize_instances design ~library
-            ~instances:(candidates ctx slacks)
+            ~instances:(candidates paths)
         with
         | None -> finish false
         | Some (improved, changed) ->
@@ -71,7 +74,8 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
               area;
               changed }
           in
-          iterate (Some ctx) improved (iteration + 1) (step :: history)
+          Hb_sta.Session.update_design session ~design:improved;
+          iterate improved (iteration + 1) (step :: history)
       end
   in
-  iterate None design 0 []
+  iterate design 0 []

@@ -4,6 +4,9 @@ type entry =
 
 type t = (string * entry) list
 
+let entries t = t
+let of_entries pairs = pairs
+
 let fail_line lineno fmt =
   Format.kasprintf
     (fun m -> failwith (Printf.sprintf "delay annotation line %d: %s" lineno m))

@@ -19,7 +19,21 @@
     a design; annotations naming instances absent from the design are
     reported by {!unused}. *)
 
+type entry =
+  | Fixed of { rise : Hb_util.Time.t; fall : Hb_util.Time.t }
+      (** every arc of the instance takes exactly these delays *)
+  | Scaled of float
+      (** the base provider's result is multiplied by this factor *)
+
 type t
+
+(** [entries t] lists the [(instance_name, entry)] pairs in file order —
+    the raw material a {!Session} folds into its own override table so
+    file-sourced and programmatic what-if edits share one code path. *)
+val entries : t -> (string * entry) list
+
+(** [of_entries pairs] packages programmatic overrides as an annotation. *)
+val of_entries : (string * entry) list -> t
 
 (** [parse text] reads annotation directives.
     @raise Failure with a line-numbered message on malformed input. *)

@@ -241,58 +241,59 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
   in
   { clusters; cluster_of_net; local_of_net }
 
+let refresh_arc ~caller ~design ~delays (cluster : t) arc =
+  if arc.inst < 0 || arc.inst >= Hb_netlist.Design.instance_count design
+  then invalid_arg (Printf.sprintf "Cluster.%s: instance out of range" caller);
+  let record = Hb_netlist.Design.instance design arc.inst in
+  let cell = record.Hb_netlist.Design.cell in
+  let from_global = cluster.nets.(arc.from_net) in
+  let to_global = cluster.nets.(arc.to_net) in
+  (* Every timing arc of the instance joining the same net pair;
+     with several (a net feeding two pins) take the worst — equal
+     to extraction's effect of emitting one graph arc per pin. *)
+  let rise = ref Hb_util.Time.neg_infinity in
+  let fall = ref Hb_util.Time.neg_infinity in
+  List.iter
+    (fun out_pin ->
+       if
+         Hb_netlist.Design.net_of_pin design ~inst:arc.inst
+           ~pin:out_pin.Hb_cell.Cell.pin_name
+         = Some to_global
+       then
+         List.iter
+           (fun (cell_arc : Hb_cell.Cell.timing_arc) ->
+              if
+                Hb_netlist.Design.net_of_pin design ~inst:arc.inst
+                  ~pin:cell_arc.Hb_cell.Cell.from_pin
+                = Some from_global
+              then begin
+                let r, f =
+                  delays.Delays.evaluate ~design ~inst:arc.inst
+                    ~arc:cell_arc ~out_net:to_global
+                in
+                if r > !rise then rise := r;
+                if f > !fall then fall := f
+              end)
+           (Hb_cell.Cell.arcs_to cell
+              ~output:out_pin.Hb_cell.Cell.pin_name))
+    (Hb_cell.Cell.output_pins cell);
+  if not (Hb_util.Time.is_finite !rise && Hb_util.Time.is_finite !fall)
+  then
+    invalid_arg
+      (Printf.sprintf "Cluster.%s: arc of %s no longer present" caller
+         record.Hb_netlist.Design.inst_name);
+  { arc with
+    rise = !rise;
+    fall = !fall;
+    dmax = Hb_util.Time.max !rise !fall;
+    dmin = Hb_util.Time.min !rise !fall;
+  }
+
 let refresh_delays table ~design ?(delays = Delays.lumped) () =
   let refresh_cluster (cluster : t) =
     let arcs =
       Array.map
-        (fun arc ->
-           if arc.inst < 0 || arc.inst >= Hb_netlist.Design.instance_count design
-           then invalid_arg "Cluster.refresh_delays: instance out of range";
-           let record = Hb_netlist.Design.instance design arc.inst in
-           let cell = record.Hb_netlist.Design.cell in
-           let from_global = cluster.nets.(arc.from_net) in
-           let to_global = cluster.nets.(arc.to_net) in
-           (* Every timing arc of the instance joining the same net pair;
-              with several (a net feeding two pins) take the worst — equal
-              to extraction's effect of emitting one graph arc per pin. *)
-           let rise = ref Hb_util.Time.neg_infinity in
-           let fall = ref Hb_util.Time.neg_infinity in
-           List.iter
-             (fun out_pin ->
-                if
-                  Hb_netlist.Design.net_of_pin design ~inst:arc.inst
-                    ~pin:out_pin.Hb_cell.Cell.pin_name
-                  = Some to_global
-                then
-                  List.iter
-                    (fun (cell_arc : Hb_cell.Cell.timing_arc) ->
-                       if
-                         Hb_netlist.Design.net_of_pin design ~inst:arc.inst
-                           ~pin:cell_arc.Hb_cell.Cell.from_pin
-                         = Some from_global
-                       then begin
-                         let r, f =
-                           delays.Delays.evaluate ~design ~inst:arc.inst
-                             ~arc:cell_arc ~out_net:to_global
-                         in
-                         if r > !rise then rise := r;
-                         if f > !fall then fall := f
-                       end)
-                    (Hb_cell.Cell.arcs_to cell
-                       ~output:out_pin.Hb_cell.Cell.pin_name))
-             (Hb_cell.Cell.output_pins cell);
-           if not (Hb_util.Time.is_finite !rise && Hb_util.Time.is_finite !fall)
-           then
-             invalid_arg
-               (Printf.sprintf
-                  "Cluster.refresh_delays: arc of %s no longer present"
-                  record.Hb_netlist.Design.inst_name);
-           { arc with
-             rise = !rise;
-             fall = !fall;
-             dmax = Hb_util.Time.max !rise !fall;
-             dmin = Hb_util.Time.min !rise !fall;
-           })
+        (refresh_arc ~caller:"refresh_delays" ~design ~delays cluster)
         cluster.arcs
     in
     { cluster with arcs }
@@ -300,6 +301,28 @@ let refresh_delays table ~design ?(delays = Delays.lumped) () =
   if Array.length table.cluster_of_net <> Hb_netlist.Design.net_count design
   then invalid_arg "Cluster.refresh_delays: net count mismatch";
   { table with clusters = Array.map refresh_cluster table.clusters }
+
+let refresh_instance_delays table ~design ~insts ?(delays = Delays.lumped) () =
+  if Array.length table.cluster_of_net <> Hb_netlist.Design.net_count design
+  then invalid_arg "Cluster.refresh_instance_delays: net count mismatch";
+  let wanted = Hashtbl.create (List.length insts * 2 + 1) in
+  List.iter (fun inst -> Hashtbl.replace wanted inst ()) insts;
+  let touched = ref [] in
+  Array.iter
+    (fun (cluster : t) ->
+       let hit = ref false in
+       Array.iteri
+         (fun i arc ->
+            if Hashtbl.mem wanted arc.inst then begin
+              cluster.arcs.(i) <-
+                refresh_arc ~caller:"refresh_instance_delays" ~design ~delays
+                  cluster arc;
+              hit := true
+            end)
+         cluster.arcs;
+       if !hit then touched := cluster.id :: !touched)
+    table.clusters;
+  List.rev !touched
 
 let reachable_outputs cluster ~input_terminal_index =
   let start = cluster.inputs.(input_terminal_index).net in

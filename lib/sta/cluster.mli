@@ -89,3 +89,20 @@ val reachable_outputs : t -> input_terminal_index:int -> int list
     not match the table. *)
 val refresh_delays :
   table -> design:Hb_netlist.Design.t -> ?delays:Delays.t -> unit -> table
+
+(** [refresh_instance_delays table ~design ~insts ~delays ()] re-evaluates,
+    {e in place}, only the arcs carried by the instances in [insts] and
+    returns the ids of the clusters whose arcs changed (deduplicated,
+    ascending). The narrow companion to {!refresh_delays} for what-if
+    queries: a session editing one instance's delay touches one or two
+    clusters and leaves every other cluster's cached slack results valid —
+    pair the returned ids with [Context.invalidate_clusters].
+    @raise Invalid_argument under the same mismatch conditions as
+    {!refresh_delays}. *)
+val refresh_instance_delays :
+  table ->
+  design:Hb_netlist.Design.t ->
+  insts:int list ->
+  ?delays:Delays.t ->
+  unit ->
+  int list

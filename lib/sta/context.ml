@@ -99,6 +99,32 @@ let cache t ~mode =
 
 let invalidate_cache t = t.slack_cache <- None
 
+let release_result arena (r : Block.result) =
+  Hb_util.Arena.release arena r.Block.ready;
+  Hb_util.Arena.release arena r.Block.ready_rise;
+  Hb_util.Arena.release arena r.Block.ready_fall;
+  Hb_util.Arena.release arena r.Block.min_ready;
+  Hb_util.Arena.release arena r.Block.required
+
+let invalidate_clusters t ids =
+  match t.slack_cache with
+  | None -> ()
+  | Some cache ->
+    List.iter
+      (fun id ->
+         if id < 0 || id >= Array.length cache.results then
+           invalid_arg "Context.invalidate_clusters: cluster id out of range";
+         let row = cache.results.(id) in
+         Array.iteri
+           (fun cut slot ->
+              match slot with
+              | None -> ()
+              | Some result ->
+                release_result cache.arena result;
+                row.(cut) <- None)
+           row)
+      ids
+
 let cache_result cache (cluster : Cluster.t) ~cut_index =
   match cache.results.(cluster.Cluster.id).(cut_index) with
   | Some result -> result

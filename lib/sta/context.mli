@@ -58,6 +58,15 @@ val cache : t -> mode:Block.mode -> cache
     tracked automatically via element versions). *)
 val invalidate_cache : t -> unit
 
+(** [invalidate_clusters t ids] drops only the named clusters' cached
+    results (buffers recycled through the arena): the next
+    {!Slacks.compute} re-evaluates exactly those clusters and serves the
+    rest from cache. The targeted counterpart of {!invalidate_cache},
+    paired with [Cluster.refresh_instance_delays] when a session edits
+    one instance's delay in place. No-op when no cache exists.
+    @raise Invalid_argument on a cluster id outside the table. *)
+val invalidate_clusters : t -> int list -> unit
+
 (** [cache_result cache cluster ~cut_index] returns the cached result
     buffers for the cluster's [cut_index]-th pass, allocating them from
     the cache's arena on first use. *)

@@ -1,4 +1,4 @@
-type timings = {
+type timings = Session.timings = {
   preprocess_seconds : float;
   analysis_seconds : float;
   constraints_seconds : float;
@@ -7,7 +7,7 @@ type timings = {
   constraints_wall_seconds : float;
 }
 
-type report = {
+type report = Session.report = {
   context : Context.t;
   outcome : Algorithm1.outcome;
   constraints : Algorithm2.constraint_times option;
@@ -26,50 +26,34 @@ let timed f =
   (result, Sys.time () -. start_cpu, Unix.gettimeofday () -. start_wall)
 
 let preprocess ~design ~system ?config ?delays () =
-  let context, cpu, _wall =
+  let context, cpu, wall =
     timed (fun () -> Context.make ~design ~system ?config ?delays ())
   in
-  (context, cpu)
+  ( context,
+    { preprocess_seconds = cpu;
+      analysis_seconds = 0.0;
+      constraints_seconds = 0.0;
+      preprocess_wall_seconds = wall;
+      analysis_wall_seconds = 0.0;
+      constraints_wall_seconds = 0.0;
+    } )
 
-let analyse ~design ~system ?(config = Config.default) ?delays
-    ?(generate_constraints = true) ?(check_hold = true) () =
-  (* Opt-in only: a config with telemetry on switches recording on and
-     starts from clean counters, but telemetry already enabled by the
-     caller (tests, bench) is left untouched. *)
-  if config.Config.telemetry && not (Hb_util.Telemetry.enabled ()) then begin
-    Hb_util.Telemetry.set_enabled true;
-    Hb_util.Telemetry.reset ()
-  end;
-  let span = Hb_util.Telemetry.span in
-  let context, preprocess_seconds, preprocess_wall_seconds =
-    timed (fun () ->
-        span "engine.preprocess" (fun () ->
-            Context.make ~design ~system ~config ?delays ()))
-  in
-  let outcome, analysis_seconds, analysis_wall_seconds =
-    timed (fun () -> span "engine.analysis" (fun () -> Algorithm1.run context))
-  in
-  let constraints, constraints_seconds, constraints_wall_seconds =
-    if generate_constraints then begin
-      let snapshot = Elements.save_offsets context.Context.elements in
-      let times, cpu, wall =
-        timed (fun () ->
-            span "engine.constraints" (fun () -> Algorithm2.run context))
-      in
-      Elements.restore_offsets context.Context.elements snapshot;
-      (Some times, cpu, wall)
-    end
-    else (None, 0.0, 0.0)
-  in
-  let hold_violations =
-    if check_hold then span "engine.holdcheck" (fun () -> Holdcheck.check context)
-    else []
-  in
-  { context;
-    outcome;
-    constraints;
-    hold_violations;
-    timings = { preprocess_seconds; analysis_seconds; constraints_seconds;
-                preprocess_wall_seconds; analysis_wall_seconds;
-                constraints_wall_seconds };
-  }
+let preprocess_cpu ~design ~system ?config ?delays () =
+  let context, timings = preprocess ~design ~system ?config ?delays () in
+  (context, timings.preprocess_seconds)
+
+(* One-shot runs are a session with a single query: the session path is
+   the only implementation of the analysis flow, so the incremental and
+   batch front ends cannot drift apart. The session is not closed — the
+   report keeps its context (and warm slack cache) alive for callers
+   that keep computing on it. *)
+let analyse ~design ~system ?config ?delays ?generate_constraints
+    ?check_hold () =
+  let session = Session.create ~design ~system ?config ?delays () in
+  Session.analyse ?generate_constraints ?check_hold session
+
+let analyse_r ~design ~system ?config ?delays ?generate_constraints
+    ?check_hold () =
+  Error.wrap (fun () ->
+      analyse ~design ~system ?config ?delays ?generate_constraints
+        ?check_hold ())

@@ -4,7 +4,11 @@
     minimisation), Algorithm 1 slow-path identification, optionally
     Algorithm 2 constraint generation and the supplementary minimum-delay
     checks, and reports cpu-time per phase — the quantities of the paper's
-    Table 1. *)
+    Table 1.
+
+    [analyse] is the one-shot entry point; it is implemented as a
+    single-query {!Session}, which is the persistent handle to reach for
+    when the same design will be queried repeatedly. *)
 
 (** Per-phase cost on both clocks. The [_seconds] fields are cpu time
     ([Sys.time]) summed across all domains — the paper's Table 1 unit;
@@ -12,7 +16,7 @@
     ([Unix.gettimeofday]), the figure parallel cluster evaluation
     actually improves. Under [Config.parallel_jobs = 1] the two
     coincide up to scheduler noise. *)
-type timings = {
+type timings = Session.timings = {
   preprocess_seconds : float;  (** cluster generation + pass minimisation *)
   analysis_seconds : float;    (** Algorithm 1 *)
   constraints_seconds : float; (** Algorithm 2, 0 when skipped *)
@@ -21,7 +25,7 @@ type timings = {
   constraints_wall_seconds : float;  (** 0 when skipped *)
 }
 
-type report = {
+type report = Session.report = {
   context : Context.t;
   outcome : Algorithm1.outcome;
   constraints : Algorithm2.constraint_times option;
@@ -50,12 +54,35 @@ val analyse :
   unit ->
   report
 
+(** Result-typed [analyse]; see {!Error.wrap}. *)
+val analyse_r :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  ?generate_constraints:bool ->
+  ?check_hold:bool ->
+  unit ->
+  (report, Error.t) result
+
 (** [preprocess ~design ~system ?config ()] builds just the context,
-    returning it with the elapsed cpu seconds. *)
+    returning it with a {!timings} record whose [preprocess_*] fields
+    carry the cost (both clocks) and whose other phases are 0. *)
 val preprocess :
   design:Hb_netlist.Design.t ->
   system:Hb_clock.System.t ->
   ?config:Config.t ->
   ?delays:Delays.t ->
   unit ->
+  Context.t * timings
+
+val preprocess_cpu :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
   Context.t * float
+[@@alert deprecated
+    "preprocess_cpu returns cpu seconds only; use preprocess, whose \
+     timings record carries both clocks."]

@@ -20,6 +20,8 @@ let number f =
     Printf.sprintf "%.6f" f
   else "null"
 
+let schema_version = 1
+
 let report ?(paths = 0) (r : Engine.report) =
   let ctx = r.Engine.context in
   let outcome = r.Engine.outcome in
@@ -27,6 +29,7 @@ let report ?(paths = 0) (r : Engine.report) =
   let buffer = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
   add "{\n";
+  add "  \"schema_version\": %d,\n" schema_version;
   add "  \"design\": \"%s\",\n"
     (escape_string ctx.Context.design.Hb_netlist.Design.design_name);
   add "  \"period\": %s,\n"

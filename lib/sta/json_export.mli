@@ -4,6 +4,7 @@
 
     {v
     {
+      "schema_version": 1,
       "design": "...", "period": 100.0,
       "verdict": "meets_timing" | "slow_paths",
       "worst_slack": -1.25,
@@ -35,8 +36,12 @@
     {!Hb_util.Telemetry} snapshot of the run.
 
     The default ([paths = 0], telemetry off) output is unchanged from
-    earlier versions. *)
+    earlier versions apart from the leading ["schema_version"] field. *)
 val report : ?paths:int -> Engine.report -> string
+
+(** Version stamped into every report (and every serve-loop reply);
+    consumers reject or warn on versions they don't know. *)
+val schema_version : int
 
 (** [escape_string s] is the JSON string escaping used throughout
     (exposed for tests). *)

@@ -1,0 +1,378 @@
+module Json = Hb_util.Json
+
+type t = {
+  timeout_seconds : float;
+  library : Hb_cell.Library.t;
+  mutable session : Session.t option;
+  mutable stopping : bool;
+}
+
+let c_requests = Hb_util.Telemetry.counter "serve.requests"
+let c_errors = Hb_util.Telemetry.counter "serve.errors"
+let c_timeouts = Hb_util.Telemetry.counter "serve.timeouts"
+
+(* Serve-layer failures that are not analysis errors: protocol problems
+   get their own codes so clients can tell a bad request from a bad
+   design. *)
+exception Request_error of { code : string; message : string }
+
+let bad_request fmt =
+  Format.kasprintf
+    (fun message -> raise (Request_error { code = "bad_request"; message }))
+    fmt
+
+let create ?(timeout_seconds = 0.0) ?library () =
+  let library =
+    match library with Some l -> l | None -> Hb_cell.Library.default ()
+  in
+  { timeout_seconds; library; session = None; stopping = false }
+
+let finished t = t.stopping
+
+(* --- request plumbing ------------------------------------------------ *)
+
+let params request =
+  match Json.member "params" request with
+  | Some (Json.Obj _ as p) -> p
+  | Some Json.Null | None -> Json.Obj []
+  | Some _ -> bad_request "params must be an object"
+
+let field name accessor kind p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some v ->
+    (match accessor v with
+     | Some v -> Some v
+     | None -> bad_request "%s must be a %s" name kind)
+
+let opt_float name p = field name Json.to_float "number" p
+let opt_int name p = field name Json.to_int "integer" p
+let opt_bool name p = field name Json.to_bool "boolean" p
+let opt_text name p = field name Json.to_text "string" p
+
+let req_text name p =
+  match opt_text name p with
+  | Some v -> v
+  | None -> bad_request "missing required parameter %S" name
+
+let req_float name p =
+  match opt_float name p with
+  | Some v -> v
+  | None -> bad_request "missing required parameter %S" name
+
+let session t =
+  match t.session with
+  | Some session -> session
+  | None ->
+    raise
+      (Request_error
+         { code = "no_design"; message = "no design loaded; call load first" })
+
+(* --- method handlers: each returns the "result" value --------------- *)
+
+(* Attach the file name to parse errors so the reply pinpoints which of
+   the loaded files was bad. *)
+let loading path f =
+  try f () with
+  | e ->
+    (match Error.of_exn e with
+     | Some err -> raise (Error.Error (Error.in_file path err))
+     | None -> raise e)
+
+let handle_load t p =
+  let netlist = req_text "netlist" p in
+  let clocks = req_text "clocks" p in
+  let design =
+    loading netlist (fun () ->
+        if Filename.check_suffix netlist ".blif" then
+          Hb_netlist.Blif.parse_file ~library:t.library netlist
+        else Hb_netlist.Hbn_format.parse_file ~library:t.library netlist)
+  in
+  let system = loading clocks (fun () -> Hb_clock.System.parse_file clocks) in
+  let config =
+    match opt_text "timing" p with
+    | None -> Config.default
+    | Some path ->
+      loading path (fun () ->
+          Config_format.parse_file ~base:Config.default path)
+  in
+  let config =
+    match opt_int "jobs" p with
+    | None -> config
+    | Some jobs when jobs >= 1 -> { config with Config.parallel_jobs = jobs }
+    | Some jobs -> bad_request "jobs must be >= 1 (got %d)" jobs
+  in
+  let config =
+    match opt_bool "telemetry" p with
+    | None -> config
+    | Some telemetry -> { config with Config.telemetry }
+  in
+  let delays =
+    match opt_text "delay_model" p with
+    | None | Some "lumped" -> Delays.lumped
+    | Some "rc" -> Delays.rc ()
+    | Some other -> bad_request "unknown delay model %S (lumped|rc)" other
+  in
+  (match t.session with Some old -> Session.close old | None -> ());
+  let fresh = Session.create ~design ~system ~config ~delays () in
+  t.session <- Some fresh;
+  let ctx = Session.context fresh in
+  Json.Obj
+    [ ("design", Json.String design.Hb_netlist.Design.design_name);
+      ( "instances",
+        Json.Number (float_of_int (Hb_netlist.Design.instance_count design)) );
+      ("nets", Json.Number (float_of_int (Hb_netlist.Design.net_count design)));
+      ( "elements",
+        Json.Number (float_of_int (Elements.count ctx.Context.elements)) );
+      ( "clusters",
+        Json.Number
+          (float_of_int (Array.length ctx.Context.table.Cluster.clusters)) );
+    ]
+
+let handle_analyse t p =
+  let generate_constraints =
+    Option.value ~default:true (opt_bool "constraints" p)
+  in
+  let check_hold = Option.value ~default:true (opt_bool "hold" p) in
+  let paths = Option.value ~default:0 (opt_int "paths" p) in
+  let report = Session.analyse ~generate_constraints ~check_hold (session t) in
+  (* The report renderer emits a multi-line document; re-parse so it
+     nests compactly inside the one-line reply envelope. *)
+  Json.parse (Json_export.report ~paths report)
+
+let handle_set_delay t p =
+  let instance = req_text "instance" p in
+  let rise = req_float "rise" p in
+  let fall = req_float "fall" p in
+  Session.set_delay (session t) ~instance ~rise ~fall;
+  Json.Obj [ ("instance", Json.String instance) ]
+
+let handle_scale_delay t p =
+  let instance = req_text "instance" p in
+  let factor = req_float "factor" p in
+  Session.scale_delay (session t) ~instance ~factor;
+  Json.Obj [ ("instance", Json.String instance) ]
+
+let handle_annotate t p =
+  let annotation =
+    match opt_text "text" p, opt_text "file" p with
+    | Some text, None -> Annotation.parse text
+    | None, Some file -> loading file (fun () -> Annotation.parse_file file)
+    | Some _, Some _ -> bad_request "give either text or file, not both"
+    | None, None -> bad_request "missing required parameter: text or file"
+  in
+  let unused = Session.annotate (session t) annotation in
+  Json.Obj
+    [ ("entries", Json.Number (float_of_int (Annotation.count annotation)));
+      ("unused", Json.List (List.map (fun n -> Json.String n) unused));
+    ]
+
+let handle_set_offset t p =
+  let element =
+    match opt_int "element" p with
+    | Some e -> e
+    | None -> bad_request "missing required parameter \"element\""
+  in
+  let value = req_float "value" p in
+  let s = session t in
+  Session.set_offset s ~element value;
+  let actual =
+    Hb_sync.Element.o_dz
+      (Elements.element (Session.context s).Context.elements element)
+  in
+  Json.Obj
+    [ ("element", Json.Number (float_of_int element));
+      ("offset", Json.Number actual);
+    ]
+
+let handle_paths t p =
+  let limit = Option.value ~default:5 (opt_int "limit" p) in
+  let s = session t in
+  let paths = Session.worst_paths s ~limit in
+  let elements = (Session.context s).Context.elements in
+  let label e = (Elements.element elements e).Hb_sync.Element.label in
+  Json.Obj
+    [ ( "paths",
+        Json.List
+          (List.map
+             (fun (path : Paths.path) ->
+                Json.Obj
+                  [ ("start", Json.String (label path.Paths.start_element));
+                    ("end", Json.String (label path.Paths.end_element));
+                    ("slack", Json.Number path.Paths.slack);
+                    ("cluster", Json.Number (float_of_int path.Paths.cluster));
+                    ("cut", Json.Number (float_of_int path.Paths.cut));
+                    ( "hops",
+                      Json.Number
+                        (float_of_int (List.length path.Paths.hops)) );
+                  ])
+             paths) );
+    ]
+
+let handle_constraints t =
+  let times = Session.constraints (session t) in
+  let finite a =
+    Array.fold_left
+      (fun n v -> if Hb_util.Time.is_finite v then n + 1 else n)
+      0 a
+  in
+  Json.Obj
+    [ ( "snatch_backward_cycles",
+        Json.Number (float_of_int times.Algorithm2.snatch_backward_cycles) );
+      ( "snatch_forward_cycles",
+        Json.Number (float_of_int times.Algorithm2.snatch_forward_cycles) );
+      ("capped", Json.Bool times.Algorithm2.capped);
+      ("ready_nets", Json.Number (float_of_int (finite times.Algorithm2.ready)));
+    ]
+
+let handle_hold t =
+  let violations = Session.hold (session t) in
+  Json.Obj
+    [ ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Holdcheck.violation) ->
+                Json.Obj
+                  [ ("element", Json.String v.Holdcheck.label);
+                    ("margin", Json.Number v.Holdcheck.margin);
+                  ])
+             violations) );
+    ]
+
+let handle_metrics () =
+  let snapshot = Hb_util.Telemetry.snapshot () in
+  Json.Obj
+    [ ( "counters",
+        Json.Obj
+          (List.map
+             (fun (name, value) -> (name, Json.Number (float_of_int value)))
+             snapshot.Hb_util.Telemetry.counters) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (name, value) -> (name, Json.Number value))
+             snapshot.Hb_util.Telemetry.gauges) );
+    ]
+
+(* Busy-wait so the timeout signal is delivered at an OCaml safe point
+   regardless of how the platform treats interrupted sleeps — this is a
+   test hook for exercising the timeout path, not a scheduler. *)
+let handle_sleep p =
+  let seconds = req_float "seconds" p in
+  let deadline = Unix.gettimeofday () +. seconds in
+  while Unix.gettimeofday () < deadline do
+    ignore (Sys.opaque_identity (Unix.gettimeofday ()))
+  done;
+  Json.Obj [ ("slept", Json.Number seconds) ]
+
+let handle_shutdown t =
+  (match t.session with Some s -> Session.close ~shutdown_pool:true s | None -> ());
+  t.session <- None;
+  t.stopping <- true;
+  Json.Obj [ ("stopping", Json.Bool true) ]
+
+let dispatch t ~meth p =
+  match meth with
+  | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
+  | "load" -> handle_load t p
+  | "analyse" -> handle_analyse t p
+  | "set_delay" -> handle_set_delay t p
+  | "scale_delay" -> handle_scale_delay t p
+  | "annotate" -> handle_annotate t p
+  | "set_offset" -> handle_set_offset t p
+  | "paths" -> handle_paths t p
+  | "constraints" -> handle_constraints t
+  | "hold" -> handle_hold t
+  | "metrics" -> handle_metrics ()
+  | "sleep" -> handle_sleep p
+  | "shutdown" -> handle_shutdown t
+  | other -> bad_request "unknown method %S" other
+
+(* --- the envelope ---------------------------------------------------- *)
+
+let reply ~id body =
+  Json.to_string
+    (Json.Obj
+       (("schema_version", Json.Number (float_of_int Json_export.schema_version))
+        :: ("id", id)
+        :: body))
+
+let ok ~id result = reply ~id [ ("status", Json.String "ok"); ("result", result) ]
+
+let error ~id ~code message =
+  Hb_util.Telemetry.incr c_errors;
+  if code = "timeout" then Hb_util.Telemetry.incr c_timeouts;
+  reply ~id
+    [ ("status", Json.String "error");
+      ( "error",
+        Json.Obj
+          [ ("code", Json.String code); ("message", Json.String message) ] );
+    ]
+
+let handle_line t line =
+  Hb_util.Telemetry.incr c_requests;
+  match Json.parse line with
+  | exception Json.Parse_error { position; message } ->
+    error ~id:Json.Null ~code:"bad_request"
+      (Printf.sprintf "malformed request at byte %d: %s" position message)
+  | request ->
+    let id = Option.value ~default:Json.Null (Json.member "id" request) in
+    (try
+       (match Json.member "schema_version" request with
+        | None | Some Json.Null -> ()
+        | Some v ->
+          (match Json.to_int v with
+           | Some version when version = Json_export.schema_version -> ()
+           | Some version ->
+             raise
+               (Request_error
+                  { code = "schema_version";
+                    message =
+                      Printf.sprintf
+                        "unsupported schema version %d (server speaks %d)"
+                        version Json_export.schema_version;
+                  })
+           | None -> bad_request "schema_version must be an integer"));
+       let meth =
+         match Json.member "method" request with
+         | Some (Json.String m) -> m
+         | Some _ -> bad_request "method must be a string"
+         | None -> bad_request "missing method"
+       in
+       let p = params request in
+       let seconds =
+         Option.value ~default:t.timeout_seconds (opt_float "timeout" request)
+       in
+       let result =
+         Hb_util.Timeout.with_timeout ~seconds (fun () ->
+             dispatch t ~meth p)
+       in
+       ok ~id result
+     with
+     | Request_error { code; message } -> error ~id ~code message
+     | Hb_util.Timeout.Timeout seconds ->
+       error ~id ~code:"timeout"
+         (Printf.sprintf "request exceeded its %gs budget" seconds)
+     | e ->
+       (match Error.of_exn e with
+        | Some err -> error ~id ~code:(Error.code err) (Error.to_string err)
+        | None ->
+          (* Unrecognised exceptions must not kill the daemon either. *)
+          error ~id ~code:"internal" (Printexc.to_string e)))
+
+let run t ic oc =
+  let rec loop () =
+    if not t.stopping then
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+  in
+  loop ();
+  (* End-of-input without shutdown: tear the session down anyway. *)
+  (match t.session with Some s -> Session.close ~shutdown_pool:true s | None -> ());
+  t.session <- None

@@ -1,0 +1,57 @@
+(** The batch/daemon front end: newline-delimited JSON requests over a
+    channel, one {!Session} behind them.
+
+    Protocol (version {!Json_export.schema_version}): each request is a
+    single-line JSON object
+
+    {v
+    {"id": 7, "method": "analyse", "params": {"paths": 3}}
+    v}
+
+    and each reply a single line
+
+    {v
+    {"schema_version": 1, "id": 7, "status": "ok", "result": {...}}
+    {"schema_version": 1, "id": 8, "status": "error",
+     "error": {"code": "timeout", "message": "..."}}
+    v}
+
+    Methods: [ping], [load] (netlist/clocks/timing paths — replaces the
+    current session), [annotate] ([text] or [file]), [set_delay],
+    [scale_delay], [set_offset], [analyse], [paths], [constraints],
+    [hold], [metrics], [sleep] (test hook) and [shutdown]. A request may
+    carry ["schema_version"]: a value the server doesn't speak is
+    rejected with code ["schema_version"]; absent means current. A
+    request-level ["timeout"] (seconds) overrides the server default.
+
+    The loop is exit-free by construction: {e every} failure — malformed
+    JSON ([bad_request]), a query before [load] ([no_design]), analysis
+    errors (codes from {!Error.code}), a request exceeding its
+    wall-clock budget ([timeout]), even an unrecognised exception
+    ([internal]) — becomes a structured error reply, never a backtrace
+    or an exit. A timed-out analysis leaves the session consistent (its
+    slack cache is invalidated and baseline offsets restored by
+    {!Session}); the daemon keeps serving.
+
+    Telemetry: [serve.requests], [serve.errors] and [serve.timeouts]
+    count the request stream. *)
+
+type t
+
+(** [create ?timeout_seconds ?library ()] prepares a daemon with no
+    design loaded. [timeout_seconds] (default 0 = unlimited) bounds each
+    request; [library] (default [Hb_cell.Library.default ()]) resolves
+    cells for [load]. *)
+val create : ?timeout_seconds:float -> ?library:Hb_cell.Library.t -> unit -> t
+
+(** [handle_line t line] processes one request line and returns the
+    reply line (no trailing newline). Never raises. *)
+val handle_line : t -> string -> string
+
+(** [finished t] is true once a [shutdown] request has been served. *)
+val finished : t -> bool
+
+(** [run t ic oc] reads requests from [ic] and writes one flushed reply
+    line each to [oc], until [shutdown] or end of input; the session (if
+    any) and the shared domain pool are torn down on the way out. *)
+val run : t -> in_channel -> out_channel -> unit

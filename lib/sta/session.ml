@@ -1,0 +1,326 @@
+type timings = {
+  preprocess_seconds : float;
+  analysis_seconds : float;
+  constraints_seconds : float;
+  preprocess_wall_seconds : float;
+  analysis_wall_seconds : float;
+  constraints_wall_seconds : float;
+}
+
+type report = {
+  context : Context.t;
+  outcome : Algorithm1.outcome;
+  constraints : Algorithm2.constraint_times option;
+  hold_violations : Holdcheck.violation list;
+  timings : timings;
+}
+
+(* Cached Algorithm 1 state, plus the phase costs of the run that
+   produced it (the preprocess cost consumed from the pending slot). *)
+type analysed = {
+  outcome : Algorithm1.outcome;
+  preprocess_seconds : float;
+  preprocess_wall_seconds : float;
+  analysis_seconds : float;
+  analysis_wall_seconds : float;
+}
+
+type t = {
+  mutable ctx : Context.t;
+  base_delays : Delays.t;
+  delays : Delays.t;  (* base wrapped with the override table *)
+  overrides : (string, Annotation.entry) Hashtbl.t;
+  mutable baseline : Hb_util.Time.t array;
+      (* offsets every analysis starts from: initial offsets + set_offset
+         edits. Restored before each Algorithm 1 run so a re-query after
+         relaxation moved offsets matches a fresh engine run. *)
+  mutable pending_preprocess : float * float;  (* cpu, wall *)
+  mutable analysed : analysed option;
+  mutable constraints_cache :
+    (Algorithm2.constraint_times * float * float) option;
+  mutable hold_cache : Holdcheck.violation list option;
+  mutable closed : bool;
+}
+
+let c_analyses = Hb_util.Telemetry.counter "session.analyses"
+let c_report_reuses = Hb_util.Telemetry.counter "session.report_reuses"
+let c_mutations = Hb_util.Telemetry.counter "session.mutations"
+
+let invalid fmt =
+  Format.kasprintf (fun m -> raise (Error.Error (Error.Invalid m))) fmt
+
+let check_open t = if t.closed then invalid "session is closed"
+
+let timed f =
+  let start_cpu = Sys.time () in
+  let start_wall = Unix.gettimeofday () in
+  let result = f () in
+  (result, Sys.time () -. start_cpu, Unix.gettimeofday () -. start_wall)
+
+(* Same lookup and arithmetic as [Annotation.apply], so a session with
+   overrides is bit-for-bit a fresh context built with the equivalent
+   annotation wrapped around the base provider. *)
+let override_provider overrides (base : Delays.t) =
+  { Delays.name = base.Delays.name ^ "+session";
+    evaluate =
+      (fun ~design ~inst ~arc ~out_net ->
+         let inst_name =
+           (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+         in
+         match Hashtbl.find_opt overrides inst_name with
+         | Some (Annotation.Fixed { rise; fall }) -> (rise, fall)
+         | Some (Annotation.Scaled f) ->
+           let rise, fall =
+             base.Delays.evaluate ~design ~inst ~arc ~out_net
+           in
+           (rise *. f, fall *. f)
+         | None -> base.Delays.evaluate ~design ~inst ~arc ~out_net);
+  }
+
+let create ~design ~system ?(config = Config.default)
+    ?(delays = Delays.lumped) () =
+  if config.Config.telemetry && not (Hb_util.Telemetry.enabled ()) then begin
+    Hb_util.Telemetry.set_enabled true;
+    Hb_util.Telemetry.reset ()
+  end;
+  let overrides = Hashtbl.create 16 in
+  let provider = override_provider overrides delays in
+  let ctx, cpu, wall =
+    timed (fun () ->
+        Hb_util.Telemetry.span "engine.preprocess" (fun () ->
+            Context.make ~design ~system ~config ~delays:provider ()))
+  in
+  { ctx;
+    base_delays = delays;
+    delays = provider;
+    overrides;
+    baseline = Elements.save_offsets ctx.Context.elements;
+    pending_preprocess = (cpu, wall);
+    analysed = None;
+    constraints_cache = None;
+    hold_cache = None;
+    closed = false;
+  }
+
+let create_r ~design ~system ?config ?delays () =
+  Error.wrap (fun () -> create ~design ~system ?config ?delays ())
+
+let context t = t.ctx
+
+let drop_queries t =
+  t.analysed <- None;
+  t.constraints_cache <- None;
+  t.hold_cache <- None
+
+let invalidate t =
+  check_open t;
+  drop_queries t;
+  Context.invalidate_cache t.ctx
+
+(* Apply a batch of overrides. [pairs] must already be deduplicated
+   (first occurrence wins) and name only instances present in the
+   design. *)
+let apply_overrides t pairs =
+  if pairs <> [] then begin
+    let insts =
+      List.map
+        (fun (name, _) ->
+           match Hb_netlist.Design.find_instance t.ctx.Context.design name with
+           | Some inst -> inst
+           | None -> invalid "unknown instance %S" name)
+        pairs
+    in
+    List.iter
+      (fun (name, entry) -> Hashtbl.replace t.overrides name entry)
+      pairs;
+    let touched =
+      Cluster.refresh_instance_delays t.ctx.Context.table
+        ~design:t.ctx.Context.design ~insts ~delays:t.delays ()
+    in
+    Context.invalidate_clusters t.ctx touched;
+    Hb_util.Telemetry.incr c_mutations;
+    drop_queries t
+  end
+
+let set_delay t ~instance ~rise ~fall =
+  check_open t;
+  if not (rise >= 0.0 && fall >= 0.0) then
+    invalid "set_delay %s: delays must be non-negative" instance;
+  if Hb_netlist.Design.find_instance t.ctx.Context.design instance = None then
+    invalid "unknown instance %S" instance;
+  apply_overrides t [ (instance, Annotation.Fixed { rise; fall }) ]
+
+let scale_delay t ~instance ~factor =
+  check_open t;
+  if not (factor > 0.0) then
+    invalid "scale_delay %s: factor must be positive" instance;
+  if Hb_netlist.Design.find_instance t.ctx.Context.design instance = None then
+    invalid "unknown instance %S" instance;
+  apply_overrides t [ (instance, Annotation.Scaled factor) ]
+
+let annotate t annotation =
+  check_open t;
+  let seen = Hashtbl.create 16 in
+  let known = ref [] in
+  let unknown = ref [] in
+  List.iter
+    (fun (name, entry) ->
+       if not (Hashtbl.mem seen name) then begin
+         Hashtbl.add seen name ();
+         match Hb_netlist.Design.find_instance t.ctx.Context.design name with
+         | Some _ -> known := (name, entry) :: !known
+         | None -> unknown := name :: !unknown
+       end)
+    (Annotation.entries annotation);
+  apply_overrides t (List.rev !known);
+  List.rev !unknown
+
+let set_offset t ~element offset =
+  check_open t;
+  let elements = t.ctx.Context.elements in
+  if element < 0 || element >= Elements.count elements then
+    invalid "set_offset: element %d out of range" element;
+  let e = Elements.element elements element in
+  Hb_sync.Element.set_o_dz e offset;
+  (* Read back: set_o_dz clamps, and boundaries ignore writes. *)
+  t.baseline.(element) <- Hb_sync.Element.o_dz e;
+  Hb_util.Telemetry.incr c_mutations;
+  drop_queries t
+
+let update_design t ~design =
+  check_open t;
+  let ctx, cpu, wall =
+    timed (fun () ->
+        Hb_util.Telemetry.span "engine.preprocess" (fun () ->
+            Context.update_design t.ctx ~design ~delays:t.delays ()))
+  in
+  t.ctx <- ctx;
+  t.baseline <- Elements.save_offsets ctx.Context.elements;
+  let pending_cpu, pending_wall = t.pending_preprocess in
+  t.pending_preprocess <- (pending_cpu +. cpu, pending_wall +. wall);
+  drop_queries t
+
+(* Run Algorithm 1 (or reuse the cached run). Any exception — a timeout
+   tearing down a parallel slack evaluation included — drops the slack
+   cache (refresh_cache snapshots element versions before evaluating, so
+   a partial run would otherwise be trusted as clean) and puts the
+   baseline offsets back before propagating. *)
+let ensure_analysis t =
+  check_open t;
+  match t.analysed with
+  | Some a -> a
+  | None ->
+    Elements.restore_offsets t.ctx.Context.elements t.baseline;
+    let preprocess_seconds, preprocess_wall_seconds = t.pending_preprocess in
+    let outcome, analysis_seconds, analysis_wall_seconds =
+      try
+        timed (fun () ->
+            Hb_util.Telemetry.span "engine.analysis" (fun () ->
+                Algorithm1.run t.ctx))
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Context.invalidate_cache t.ctx;
+        Elements.restore_offsets t.ctx.Context.elements t.baseline;
+        Printexc.raise_with_backtrace e bt
+    in
+    t.pending_preprocess <- (0.0, 0.0);
+    Hb_util.Telemetry.incr c_analyses;
+    let a =
+      { outcome;
+        preprocess_seconds;
+        preprocess_wall_seconds;
+        analysis_seconds;
+        analysis_wall_seconds;
+      }
+    in
+    t.analysed <- Some a;
+    a
+
+let ensure_constraints t =
+  match t.constraints_cache with
+  | Some entry -> entry
+  | None ->
+    let _ = ensure_analysis t in
+    let snapshot = Elements.save_offsets t.ctx.Context.elements in
+    let times, cpu, wall =
+      try
+        timed (fun () ->
+            Hb_util.Telemetry.span "engine.constraints" (fun () ->
+                Algorithm2.run t.ctx))
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Context.invalidate_cache t.ctx;
+        Elements.restore_offsets t.ctx.Context.elements snapshot;
+        Printexc.raise_with_backtrace e bt
+    in
+    Elements.restore_offsets t.ctx.Context.elements snapshot;
+    let entry = (times, cpu, wall) in
+    t.constraints_cache <- Some entry;
+    entry
+
+let ensure_hold t =
+  match t.hold_cache with
+  | Some violations -> violations
+  | None ->
+    let _ = ensure_analysis t in
+    let violations =
+      Hb_util.Telemetry.span "engine.holdcheck" (fun () ->
+          Holdcheck.check t.ctx)
+    in
+    t.hold_cache <- Some violations;
+    violations
+
+let analyse ?(generate_constraints = true) ?(check_hold = true) t =
+  check_open t;
+  let reused = t.analysed <> None in
+  let a = ensure_analysis t in
+  if reused then Hb_util.Telemetry.incr c_report_reuses;
+  let constraints, constraints_seconds, constraints_wall_seconds =
+    if generate_constraints then
+      let times, cpu, wall = ensure_constraints t in
+      (Some times, cpu, wall)
+    else (None, 0.0, 0.0)
+  in
+  let hold_violations = if check_hold then ensure_hold t else [] in
+  { context = t.ctx;
+    outcome = a.outcome;
+    constraints;
+    hold_violations;
+    timings =
+      { preprocess_seconds = a.preprocess_seconds;
+        analysis_seconds = a.analysis_seconds;
+        constraints_seconds;
+        preprocess_wall_seconds = a.preprocess_wall_seconds;
+        analysis_wall_seconds = a.analysis_wall_seconds;
+        constraints_wall_seconds;
+      };
+  }
+
+let analyse_r ?generate_constraints ?check_hold t =
+  Error.wrap (fun () -> analyse ?generate_constraints ?check_hold t)
+
+let worst_paths t ~limit =
+  check_open t;
+  let reused = t.analysed <> None in
+  let a = ensure_analysis t in
+  if reused then Hb_util.Telemetry.incr c_report_reuses;
+  Paths.worst_paths t.ctx a.outcome.Algorithm1.final ~limit
+
+let worst_paths_r t ~limit = Error.wrap (fun () -> worst_paths t ~limit)
+
+let constraints t =
+  check_open t;
+  let times, _, _ = ensure_constraints t in
+  times
+
+let hold t =
+  check_open t;
+  ensure_hold t
+
+let close ?(shutdown_pool = false) t =
+  if not t.closed then begin
+    t.closed <- true;
+    drop_queries t;
+    Context.invalidate_cache t.ctx
+  end;
+  if shutdown_pool then Hb_util.Pool.shutdown_shared ()

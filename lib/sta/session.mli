@@ -1,0 +1,168 @@
+(** Persistent analysis sessions: build once, query many times.
+
+    {!Engine.analyse} rebuilds the element table, re-extracts clusters
+    and re-plans passes on every call — the right shape for a one-shot
+    CLI run, and exactly the wrong one for interactive use, where the
+    paper's Section 8 workflow ("adjustments may be made to component
+    delays ... and the analysis rerun") asks the same design hundreds of
+    what-if questions. A session is the persistent handle that workflow
+    wants: it owns the {!Context.t} (elements, clusters, pass plans),
+    the incremental slack cache, its delay-override table and the
+    process-wide domain pool for the lifetime of a design, so a
+    mutate-then-query cycle costs one targeted cluster refresh instead
+    of a full preprocess.
+
+    {2 Mutators and queries}
+
+    Mutators ({!set_delay}, {!scale_delay}, {!annotate}, {!set_offset})
+    edit timing data in place: delay edits re-evaluate only the arcs of
+    the touched instances and invalidate only the clusters carrying
+    them; offset edits bump the owning element's version. Queries
+    ({!analyse}, {!worst_paths}, {!constraints}, {!hold}) share one
+    cached Algorithm 1 state — repeated queries without intervening
+    mutations are served from cache, and after a mutation the next query
+    re-runs analysis through the dirty-cluster path, re-evaluating only
+    what the edit disturbed.
+
+    Every analysis starts from the session's {e baseline} offsets (the
+    design's initial offsets, plus any {!set_offset} edits), so a
+    session query returns bit-for-bit the report a fresh
+    {!Engine.analyse} would produce on the equivalently edited design —
+    the parity the test-suite asserts.
+
+    {2 Errors}
+
+    Entry points ending in [_r] return [(_, Error.t) result] and raise
+    nothing the classifier knows about; the plain forms are thin
+    wrappers that raise {!Error.Error}. Exceptions thrown mid-analysis
+    (including {!Hb_util.Timeout.Timeout}) leave the session usable: the
+    slack cache is dropped and offsets restored before the exception
+    propagates.
+
+    {2 Telemetry}
+
+    Sessions feed the [session.*] counters: [session.analyses] (actual
+    Algorithm 1 runs), [session.report_reuses] (queries served from the
+    cached analysis), [session.mutations] (delay/offset edits). *)
+
+(** Per-phase cost on both clocks; see {!Engine.timings}. In a session
+    the preprocess cost is paid at {!create} and charged to the first
+    {!analyse} report; later reports show 0 unless {!update_design}
+    re-preprocessed. *)
+type timings = {
+  preprocess_seconds : float;
+  analysis_seconds : float;
+  constraints_seconds : float;
+  preprocess_wall_seconds : float;
+  analysis_wall_seconds : float;
+  constraints_wall_seconds : float;
+}
+
+type report = {
+  context : Context.t;
+  outcome : Algorithm1.outcome;
+  constraints : Algorithm2.constraint_times option;
+  hold_violations : Holdcheck.violation list;
+  timings : timings;
+}
+
+type t
+
+(** [create ~design ~system ?config ?delays ()] preprocesses the design
+    (element table, clusters, pass plans) and returns the live handle.
+    [delays] is the {e base} provider; the session wraps it so later
+    delay overrides apply on top, exactly as {!Annotation.apply} would.
+    Honours [config.telemetry] the same way {!Engine.analyse} does. *)
+val create :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
+  t
+
+val create_r :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
+  (t, Error.t) result
+
+(** The live context. Mutators may swap it ({!update_design}); don't
+    cache it across session calls. *)
+val context : t -> Context.t
+
+(** {2 Mutators} *)
+
+(** [set_delay t ~instance ~rise ~fall] pins every timing arc of
+    [instance] to exactly these delays (an [Annotation.Fixed] override).
+    Only the clusters carrying the instance's arcs are re-evaluated and
+    invalidated. Raises {!Error.Error} ([Invalid _]) on an unknown
+    instance name or negative delay. *)
+val set_delay : t -> instance:string -> rise:float -> fall:float -> unit
+
+(** [scale_delay t ~instance ~factor] multiplies the base provider's
+    delays for [instance] by [factor] (an [Annotation.Scaled] override,
+    replacing any previous override for the instance). *)
+val scale_delay : t -> instance:string -> factor:float -> unit
+
+(** [annotate t annotation] folds a parsed [.hbd] annotation into the
+    override table (first entry per instance wins within the annotation,
+    matching {!Annotation.apply}; the batch replaces previous session
+    overrides for the instances it names). Returns the annotated names
+    not present in the design, which are skipped — {!Annotation.unused}
+    semantics. *)
+val annotate : t -> Annotation.t -> string list
+
+(** [set_offset t ~element offset] writes element [element]'s free
+    offset (clamped to its legal interval, like
+    [Hb_sync.Element.set_o_dz]) and records it in the session baseline,
+    so every later analysis starts from it. Boundary elements are
+    unaffected. Raises {!Error.Error} ([Invalid _]) when [element] is
+    out of range. *)
+val set_offset : t -> element:int -> Hb_util.Time.t -> unit
+
+(** [update_design t ~design] re-targets the session at a topologically
+    identical design (see {!Context.update_design}); overrides and
+    telemetry survive, the baseline is re-seeded from the new design's
+    initial offsets and every cached query is dropped. *)
+val update_design : t -> design:Hb_netlist.Design.t -> unit
+
+(** [invalidate t] drops every cached query result and the slack cache —
+    the escape hatch for timing data changed behind the session's back. *)
+val invalidate : t -> unit
+
+(** {2 Queries} *)
+
+(** [analyse ?generate_constraints ?check_hold t] returns the same
+    report {!Engine.analyse} would: Algorithm 1 (cached across calls),
+    optionally Algorithm 2 (offsets snapshotted around it) and the hold
+    checks. Repeated calls without intervening mutations reuse every
+    cached phase. *)
+val analyse : ?generate_constraints:bool -> ?check_hold:bool -> t -> report
+
+val analyse_r :
+  ?generate_constraints:bool ->
+  ?check_hold:bool ->
+  t ->
+  (report, Error.t) result
+
+(** [worst_paths t ~limit] traces the [limit] worst slack paths of the
+    current analysis (running it if needed). *)
+val worst_paths : t -> limit:int -> Paths.path list
+
+val worst_paths_r : t -> limit:int -> (Paths.path list, Error.t) result
+
+(** [constraints t] returns Algorithm 2's constraint times (cached). *)
+val constraints : t -> Algorithm2.constraint_times
+
+(** [hold t] returns the supplementary minimum-delay check results
+    (cached). *)
+val hold : t -> Holdcheck.violation list
+
+(** [close ?shutdown_pool t] releases the session's caches; further use
+    raises {!Error.Error} ([Invalid _]). [shutdown_pool] (default
+    [false]) also tears down the process-wide domain pool — for daemon
+    shutdown, where the session is the pool's only client. Idempotent. *)
+val close : ?shutdown_pool:bool -> t -> unit

@@ -1,0 +1,227 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+
+let fail position fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos >= n || text.[!pos] <> c then
+      fail !pos "expected %C" c
+    else incr pos
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail !pos "expected %s" word
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail !pos "unterminated string"
+      else
+        match text.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail !pos "unterminated escape";
+          (match text.[!pos] with
+           | '"' -> Buffer.add_char buffer '"'; incr pos
+           | '\\' -> Buffer.add_char buffer '\\'; incr pos
+           | '/' -> Buffer.add_char buffer '/'; incr pos
+           | 'b' -> Buffer.add_char buffer '\b'; incr pos
+           | 'f' -> Buffer.add_char buffer '\012'; incr pos
+           | 'n' -> Buffer.add_char buffer '\n'; incr pos
+           | 'r' -> Buffer.add_char buffer '\r'; incr pos
+           | 't' -> Buffer.add_char buffer '\t'; incr pos
+           | 'u' ->
+             if !pos + 4 >= n then fail !pos "truncated \\u escape";
+             let hex = String.sub text (!pos + 1) 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail !pos "bad \\u escape %S" hex
+              | Some code ->
+                (* Encode the scalar as UTF-8; surrogate pairs are not
+                   recombined (the daemon protocol is ASCII in practice). *)
+                if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buffer
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                pos := !pos + 5)
+           | c -> fail !pos "bad escape \\%c" c);
+          loop ()
+        | c -> Buffer.add_char buffer c; incr pos; loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin incr pos; List [] end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          items := parse_value () :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; loop ()
+          | Some ']' -> incr pos
+          | _ -> fail !pos "expected ',' or ']'"
+        in
+        loop ();
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin incr pos; Obj [] end
+      else begin
+        let members = ref [] in
+        let rec loop () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          members := (key, parse_value ()) :: !members;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; loop ()
+          | Some '}' -> incr pos
+          | _ -> fail !pos "expected ',' or '}'"
+        in
+        loop ();
+        Obj (List.rev !members)
+      end
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match text.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      (match float_of_string_opt (String.sub text start (!pos - start)) with
+       | Some f -> Number f
+       | None -> fail start "malformed number")
+    | Some c -> fail !pos "unexpected character %C" c
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing garbage after value";
+  value
+
+let parse_result text =
+  match parse text with
+  | value -> Ok value
+  | exception Parse_error { position; message } ->
+    Error (Printf.sprintf "at byte %d: %s" position message)
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | '\r' -> Buffer.add_string buffer "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let number f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f <= 9.007199254740992e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that still round-trips a double. *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string value =
+  let buffer = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Number f -> Buffer.add_string buffer (number f)
+    | String s ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer (escape s);
+      Buffer.add_char buffer '"'
+    | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+           if i > 0 then Buffer.add_char buffer ',';
+           emit item)
+        items;
+      Buffer.add_char buffer ']'
+    | Obj members ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, item) ->
+           if i > 0 then Buffer.add_char buffer ',';
+           Buffer.add_char buffer '"';
+           Buffer.add_string buffer (escape key);
+           Buffer.add_string buffer "\":";
+           emit item)
+        members;
+      Buffer.add_char buffer '}'
+  in
+  emit value;
+  Buffer.contents buffer
+
+let member name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+
+let to_int = function
+  | Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_text = function String s -> Some s | _ -> None

@@ -1,0 +1,44 @@
+(** A minimal self-contained JSON value type with a strict parser and a
+    compact single-line printer.
+
+    Exists for the daemon front end: requests arrive as newline-delimited
+    JSON and replies must leave as one line each, so multi-line documents
+    (like {!Hb_sta.Json_export} reports) are parsed and re-emitted
+    compactly inside a reply envelope. Deliberately tiny — no streaming,
+    no number-precision preservation beyond [float] — and free of
+    third-party dependencies, like the rest of the repo. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** first-seen key order is preserved *)
+
+exception Parse_error of { position : int; message : string }
+(** [position] is a 0-based byte offset into the input. *)
+
+(** [parse text] reads exactly one JSON value spanning the whole input
+    (surrounding whitespace allowed).
+    @raise Parse_error on malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** [parse_result text] is {!parse} with the error as data. *)
+val parse_result : string -> (t, string) result
+
+(** [to_string v] renders [v] on a single line with no spaces after
+    separators. Numbers that are integral (and within [2^53]) print
+    without a fractional part; non-finite numbers print as [null]. *)
+val to_string : t -> string
+
+(** {1 Accessors} *)
+
+(** [member name v] is the value of field [name] when [v] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_text : t -> string option

@@ -182,3 +182,10 @@ let shared ~jobs:requested =
   in
   Mutex.unlock shared_mutex;
   pool
+
+let shutdown_shared () =
+  Mutex.lock shared_mutex;
+  let pool = !shared_pool in
+  shared_pool := None;
+  Mutex.unlock shared_mutex;
+  match pool with Some pool -> shutdown pool | None -> ()

@@ -53,3 +53,11 @@ val recommended_jobs : unit -> int
     different size is requested. The pool is shut down automatically at
     exit. *)
 val shared : jobs:int -> t
+
+(** [shutdown_shared ()] stops and joins the process-wide pool now (if
+    one exists); the next {!shared} call respawns it. Long-lived hosts —
+    the analysis daemon, sessions being closed — use this for
+    deterministic teardown (and as a recovery hammer after a request
+    was torn down mid-parallel-job by a timeout). Waits for in-flight
+    work to drain. *)
+val shutdown_shared : unit -> unit

@@ -1,0 +1,33 @@
+exception Timeout of float
+
+(* [armed] gates the handler so a signal that fires in the hole between
+   [f] returning and the timer being cleared cannot leak a Timeout into
+   the caller's subsequent code. *)
+let armed = ref false
+
+let with_timeout ~seconds f =
+  if (not (Float.is_finite seconds)) || seconds <= 0.0 then f ()
+  else begin
+    let previous =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle
+           (fun _ -> if !armed then raise (Timeout seconds)))
+    in
+    let disarm () =
+      armed := false;
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm previous
+    in
+    armed := true;
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = seconds });
+    match f () with
+    | result -> disarm (); result
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      disarm ();
+      Printexc.raise_with_backtrace e bt
+  end

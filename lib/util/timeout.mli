@@ -1,0 +1,28 @@
+(** Best-effort wall-clock timeouts for long-running analysis calls.
+
+    Built on [ITIMER_REAL]/[SIGALRM]: the handler raises {!Timeout} at
+    the next OCaml safe point of the domain that receives the signal, so
+    a guarded computation is interrupted mid-flight without polling
+    hooks in the analysis kernels. Two consequences to be aware of:
+
+    - delivery is {e best effort}: a domain blocked in C code or a
+      condition wait only sees the exception once it returns to OCaml
+      (the {!Pool} submitter, for instance, observes it after the
+      in-flight parallel job drains);
+    - the guarded code must be exception-safe. The timing-analysis entry
+      points are (the session invalidates its slack cache when an
+      analysis is torn down mid-run), but arbitrary callbacks may not
+      be.
+
+    Nesting [with_timeout] inside [with_timeout] is not supported: the
+    inner call would clobber the outer timer. The daemon applies one
+    timeout per request, which is the intended shape. *)
+
+exception Timeout of float
+(** Carries the configured budget in seconds. *)
+
+(** [with_timeout ~seconds f] runs [f ()], raising {!Timeout} (inside
+    [f]) when it is still running after [seconds] of wall-clock time.
+    The previous [SIGALRM] disposition and timer are restored on exit.
+    [seconds <= 0] or non-finite runs [f] unguarded. *)
+val with_timeout : seconds:float -> (unit -> 'a) -> 'a

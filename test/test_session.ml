@@ -1,0 +1,535 @@
+(* Session engine semantics: what-if parity against the one-shot engine,
+   cache reuse observed through telemetry counters, the serve-loop
+   transcript (including malformed requests and timeouts), the unified
+   error type, and the util-layer pieces (Json, Timeout) underneath. *)
+
+module Json = Hb_util.Json
+
+(* [Time.equal nan nan] is false; report arrays carry nan for
+   unconstrained slots, so parity checks need a nan-aware equality. *)
+let time_eq a b =
+  Hb_util.Time.equal a b || (Float.is_nan a && Float.is_nan b)
+
+let time = Alcotest.testable Hb_util.Time.pp time_eq
+
+let pipeline ?period () =
+  Hb_workload.Pipelines.edge_ff ?period ~width:4 ~stages:3
+    ~gates_per_stage:20 ()
+
+(* An instance whose edit genuinely moves timing: prefer one on a worst
+   path; when the worst endpoints are direct register-to-register hops
+   (common on relaxed designs), fall back to any instance carrying a
+   cluster timing arc. *)
+let path_instance session =
+  let ctx = Hb_sta.Session.context session in
+  let design = ctx.Hb_sta.Context.design in
+  let name inst =
+    (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+  in
+  let on_paths =
+    List.find_map
+      (fun (path : Hb_sta.Paths.path) ->
+         List.find_map
+           (fun (hop : Hb_sta.Paths.hop) -> hop.Hb_sta.Paths.via)
+           path.Hb_sta.Paths.hops)
+      (Hb_sta.Session.worst_paths session ~limit:10)
+  in
+  match on_paths with
+  | Some inst -> name inst
+  | None ->
+    let clusters = ctx.Hb_sta.Context.table.Hb_sta.Cluster.clusters in
+    let arc_inst =
+      Array.find_map
+        (fun (cluster : Hb_sta.Cluster.t) ->
+           if Array.length cluster.Hb_sta.Cluster.arcs > 0 then
+             Some cluster.Hb_sta.Cluster.arcs.(0).Hb_sta.Cluster.inst
+           else None)
+        clusters
+    in
+    (match arc_inst with
+     | Some inst -> name inst
+     | None -> Alcotest.fail "design has no timing arcs")
+
+let check_reports_equal label (a : Hb_sta.Engine.report)
+    (b : Hb_sta.Engine.report) =
+  let sa = a.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final in
+  let sb = b.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final in
+  Alcotest.check time (label ^ ": worst slack") sa.Hb_sta.Slacks.worst
+    sb.Hb_sta.Slacks.worst;
+  Alcotest.(check bool)
+    (label ^ ": status") true
+    (a.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.status
+     = b.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.status);
+  Alcotest.(check int)
+    (label ^ ": forward cycles")
+    a.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.forward_cycles
+    b.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.forward_cycles;
+  Alcotest.check
+    Alcotest.(array time)
+    (label ^ ": element input slacks")
+    sa.Hb_sta.Slacks.element_input_slack sb.Hb_sta.Slacks.element_input_slack;
+  Alcotest.check
+    Alcotest.(array time)
+    (label ^ ": net slacks")
+    sa.Hb_sta.Slacks.net_slack sb.Hb_sta.Slacks.net_slack;
+  Alcotest.(check int)
+    (label ^ ": hold violations")
+    (List.length a.Hb_sta.Engine.hold_violations)
+    (List.length b.Hb_sta.Engine.hold_violations);
+  match a.Hb_sta.Engine.constraints, b.Hb_sta.Engine.constraints with
+  | Some ca, Some cb ->
+    Alcotest.check
+      Alcotest.(array time)
+      (label ^ ": constraint ready times")
+      ca.Hb_sta.Algorithm2.ready cb.Hb_sta.Algorithm2.ready
+  | None, None -> ()
+  | _ -> Alcotest.fail (label ^ ": constraints presence differs")
+
+(* ------------------------------------------------------------------ *)
+(* what-if parity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_whatif_scale_parity () =
+  let design, system = pipeline ~period:3.0 () in
+  let session = Hb_sta.Session.create ~design ~system () in
+  let instance = path_instance session in
+  Hb_sta.Session.scale_delay session ~instance ~factor:0.7;
+  let via_session = Hb_sta.Session.analyse session in
+  let delays =
+    Hb_sta.Annotation.apply
+      (Hb_sta.Annotation.of_entries
+         [ (instance, Hb_sta.Annotation.Scaled 0.7) ])
+      ~base:Hb_sta.Delays.lumped
+  in
+  let fresh = Hb_sta.Engine.analyse ~design ~system ~delays () in
+  check_reports_equal "scaled" via_session fresh;
+  (* Override the override: a fixed-delay edit replaces the scaling. *)
+  Hb_sta.Session.set_delay session ~instance ~rise:0.9 ~fall:1.1;
+  let via_session = Hb_sta.Session.analyse session in
+  let delays =
+    Hb_sta.Annotation.apply
+      (Hb_sta.Annotation.of_entries
+         [ (instance, Hb_sta.Annotation.Fixed { rise = 0.9; fall = 1.1 }) ])
+      ~base:Hb_sta.Delays.lumped
+  in
+  let fresh = Hb_sta.Engine.analyse ~design ~system ~delays () in
+  check_reports_equal "fixed" via_session fresh;
+  Hb_sta.Session.close session
+
+let test_whatif_annotation_parity () =
+  let design, system = pipeline ~period:3.0 () in
+  let session = Hb_sta.Session.create ~design ~system () in
+  let instance = path_instance session in
+  let text = Printf.sprintf "scale %s 0.6\ndelay ghost rise 1 fall 1" instance in
+  let annotation = Hb_sta.Annotation.parse text in
+  let unused = Hb_sta.Session.annotate session annotation in
+  Alcotest.(check (list string)) "unused names" [ "ghost" ] unused;
+  let via_session = Hb_sta.Session.analyse session in
+  let fresh =
+    Hb_sta.Engine.analyse ~design ~system
+      ~delays:(Hb_sta.Annotation.apply annotation ~base:Hb_sta.Delays.lumped)
+      ()
+  in
+  check_reports_equal "annotation" via_session fresh;
+  Hb_sta.Session.close session
+
+let test_repeated_queries_stable () =
+  let design, system = pipeline ~period:3.0 () in
+  let session = Hb_sta.Session.create ~design ~system () in
+  let first = Hb_sta.Session.analyse session in
+  let second = Hb_sta.Session.analyse session in
+  check_reports_equal "idempotent" first second;
+  let p1 = Hb_sta.Session.worst_paths session ~limit:3 in
+  let p2 = Hb_sta.Session.worst_paths session ~limit:3 in
+  Alcotest.(check int) "same path count" (List.length p1) (List.length p2);
+  List.iter2
+    (fun (a : Hb_sta.Paths.path) (b : Hb_sta.Paths.path) ->
+       Alcotest.check time "same path slack" a.Hb_sta.Paths.slack
+         b.Hb_sta.Paths.slack)
+    p1 p2;
+  Hb_sta.Session.close session
+
+let test_set_offset_deterministic () =
+  let design, system = pipeline ~period:3.0 () in
+  let run () =
+    let session = Hb_sta.Session.create ~design ~system () in
+    let elements = (Hb_sta.Session.context session).Hb_sta.Context.elements in
+    (* First adjustable (non-boundary) element. *)
+    let element = ref (-1) in
+    for e = Hb_sta.Elements.count elements - 1 downto 0 do
+      if not (Hb_sync.Element.is_boundary (Hb_sta.Elements.element elements e))
+      then element := e
+    done;
+    if !element < 0 then Alcotest.fail "no adjustable element";
+    Hb_sta.Session.set_offset session ~element:!element 0.25;
+    let report = Hb_sta.Session.analyse session in
+    Hb_sta.Session.close session;
+    report
+  in
+  check_reports_equal "offset edit" (run ()) (run ())
+
+let test_session_errors () =
+  let design, system = pipeline () in
+  let session = Hb_sta.Session.create ~design ~system () in
+  let expect_invalid label f =
+    match f () with
+    | _ -> Alcotest.fail (label ^ ": expected Error.Error")
+    | exception Hb_sta.Error.Error (Hb_sta.Error.Invalid _) -> ()
+  in
+  expect_invalid "unknown instance" (fun () ->
+      Hb_sta.Session.set_delay session ~instance:"no-such-instance" ~rise:1.0
+        ~fall:1.0);
+  expect_invalid "negative delay" (fun () ->
+      Hb_sta.Session.set_delay session ~instance:"whatever" ~rise:(-1.0)
+        ~fall:1.0);
+  expect_invalid "offset out of range" (fun () ->
+      Hb_sta.Session.set_offset session ~element:99999 0.0);
+  (match Hb_sta.Session.analyse_r session with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Hb_sta.Error.to_string e));
+  Hb_sta.Session.close session;
+  expect_invalid "use after close" (fun () -> Hb_sta.Session.analyse session);
+  (* close is idempotent *)
+  Hb_sta.Session.close session
+
+(* ------------------------------------------------------------------ *)
+(* cache reuse, observed through the telemetry counters               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_reuse_counters () =
+  Hb_util.Telemetry.set_enabled true;
+  Hb_util.Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+        Hb_util.Telemetry.set_enabled false;
+        Hb_util.Telemetry.reset ())
+    (fun () ->
+       let counter name =
+         let snap = Hb_util.Telemetry.snapshot () in
+         Option.value ~default:0
+           (List.assoc_opt name snap.Hb_util.Telemetry.counters)
+       in
+       (* Default period: the pipeline meets timing, so analysis cost is
+          dominated by cluster evaluation and the dirty-set accounting is
+          deterministic. *)
+       let design, system = pipeline () in
+       let session = Hb_sta.Session.create ~design ~system () in
+       let analyse () =
+         ignore
+           (Hb_sta.Session.analyse ~generate_constraints:false
+              ~check_hold:false session)
+       in
+       analyse ();
+       Alcotest.(check int) "one analysis" 1 (counter "session.analyses");
+       let evaluated_full = counter "slacks.clusters_evaluated" in
+       Alcotest.(check bool) "first run evaluated clusters" true
+         (evaluated_full > 0);
+       analyse ();
+       analyse ();
+       Alcotest.(check int) "still one analysis" 1 (counter "session.analyses");
+       Alcotest.(check int) "reuses counted" 2
+         (counter "session.report_reuses");
+       Alcotest.(check int) "no new cluster evaluations" evaluated_full
+         (counter "slacks.clusters_evaluated");
+       (* One-instance edit: only the touched clusters are re-evaluated. *)
+       let instance = path_instance session in
+       Hb_sta.Session.scale_delay session ~instance ~factor:0.8;
+       Alcotest.(check int) "mutation counted" 1 (counter "session.mutations");
+       analyse ();
+       Alcotest.(check int) "edit forced a new analysis" 2
+         (counter "session.analyses");
+       let evaluated_incremental =
+         counter "slacks.clusters_evaluated" - evaluated_full
+       in
+       Alcotest.(check bool) "incremental re-analysis evaluated something"
+         true
+         (evaluated_incremental > 0);
+       Alcotest.(check bool)
+         (Printf.sprintf
+            "incremental evaluations (%d) below the full sweep (%d)"
+            evaluated_incremental evaluated_full)
+         true
+         (evaluated_incremental < evaluated_full);
+       Alcotest.(check bool) "cache hits recorded" true
+         (counter "slacks.cluster_cache_hits" > 0);
+       Hb_sta.Session.close session)
+
+(* ------------------------------------------------------------------ *)
+(* serve loop transcript                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_workload_files () =
+  let design, system = pipeline ~period:3.0 () in
+  let hbn = Filename.temp_file "hb_session" ".hbn" in
+  Hb_netlist.Hbn_format.write_file design hbn;
+  let hbc = Filename.temp_file "hb_session" ".hbc" in
+  let oc = open_out hbc in
+  output_string oc (Hb_clock.System.to_string system);
+  close_out oc;
+  (hbn, hbc)
+
+let reply_status reply =
+  match Json.member "status" (Json.parse reply) with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail ("reply without status: " ^ reply)
+
+let reply_error_code reply =
+  match Json.member "error" (Json.parse reply) with
+  | Some error ->
+    (match Json.member "code" error with
+     | Some (Json.String code) -> code
+     | _ -> Alcotest.fail ("error without code: " ^ reply))
+  | None -> Alcotest.fail ("expected an error reply: " ^ reply)
+
+let reply_result reply =
+  match Json.member "result" (Json.parse reply) with
+  | Some result -> result
+  | None -> Alcotest.fail ("expected a result: " ^ reply)
+
+let test_serve_transcript () =
+  let hbn, hbc = write_workload_files () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove hbn; Sys.remove hbc)
+    (fun () ->
+       let daemon = Hb_sta.Serve.create () in
+       let send line = Hb_sta.Serve.handle_line daemon line in
+       (* Every reply is a single line carrying the schema version. *)
+       let check_envelope reply =
+         Alcotest.(check bool) "single line" false (String.contains reply '\n');
+         match Json.member "schema_version" (Json.parse reply) with
+         | Some (Json.Number v) ->
+           Alcotest.(check int) "schema version"
+             Hb_sta.Json_export.schema_version (int_of_float v)
+         | _ -> Alcotest.fail "reply without schema_version"
+       in
+       let ok line =
+         let reply = send line in
+         check_envelope reply;
+         Alcotest.(check string) ("ok: " ^ line) "ok" (reply_status reply);
+         reply
+       in
+       let error ~code line =
+         let reply = send line in
+         check_envelope reply;
+         Alcotest.(check string) ("error: " ^ line) "error"
+           (reply_status reply);
+         Alcotest.(check string) ("code: " ^ line) code
+           (reply_error_code reply);
+         reply
+       in
+       ignore (ok {|{"id":1,"method":"ping"}|});
+       (* Malformed JSON, unknown methods, bad schema versions and
+          queries before load are structured errors, not crashes. *)
+       ignore (error ~code:"bad_request" "this is not json");
+       ignore (error ~code:"bad_request" {|{"id":2,"method":"frobnicate"}|});
+       ignore (error ~code:"bad_request" {|{"id":3}|});
+       ignore
+         (error ~code:"schema_version"
+            {|{"id":4,"method":"ping","schema_version":99}|});
+       ignore (error ~code:"no_design" {|{"id":5,"method":"analyse"}|});
+       ignore
+         (error ~code:"io"
+            {|{"id":6,"method":"load","params":{"netlist":"/nonexistent.hbn","clocks":"/nonexistent.hbc"}}|});
+       let load =
+         Printf.sprintf
+           {|{"id":7,"method":"load","params":{"netlist":"%s","clocks":"%s"}}|}
+           hbn hbc
+       in
+       let loaded = reply_result (ok load) in
+       Alcotest.(check bool) "clusters reported" true
+         (match Json.member "clusters" loaded with
+          | Some (Json.Number n) -> n > 0.0
+          | _ -> false);
+       let analysed = reply_result (ok {|{"id":8,"method":"analyse"}|}) in
+       (match Json.member "verdict" analysed with
+        | Some (Json.String ("meets_timing" | "slow_paths")) -> ()
+        | _ -> Alcotest.fail "analyse result lacks a verdict");
+       (match Json.member "schema_version" analysed with
+        | Some (Json.Number v) ->
+          Alcotest.(check int) "report schema version"
+            Hb_sta.Json_export.schema_version (int_of_float v)
+        | _ -> Alcotest.fail "report lacks schema_version");
+       ignore (ok {|{"id":9,"method":"paths","params":{"limit":2}}|});
+       ignore
+         (error ~code:"invalid"
+            {|{"id":10,"method":"set_delay","params":{"instance":"ghost","rise":1,"fall":1}}|});
+       (* A timed-out request is answered in a structured way and the
+          daemon keeps serving the same session afterwards. *)
+       ignore
+         (error ~code:"timeout"
+            {|{"id":11,"method":"sleep","params":{"seconds":10},"timeout":0.2}|});
+       ignore (ok {|{"id":12,"method":"analyse"}|});
+       ignore (ok {|{"id":13,"method":"metrics"}|});
+       Alcotest.(check bool) "not finished before shutdown" false
+         (Hb_sta.Serve.finished daemon);
+       ignore (ok {|{"id":14,"method":"shutdown"}|});
+       Alcotest.(check bool) "finished after shutdown" true
+         (Hb_sta.Serve.finished daemon))
+
+let test_serve_run_channel () =
+  let hbn, hbc = write_workload_files () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove hbn; Sys.remove hbc)
+    (fun () ->
+       let requests =
+         String.concat "\n"
+           [ {|{"id":1,"method":"ping"}|};
+             Printf.sprintf
+               {|{"id":2,"method":"load","params":{"netlist":"%s","clocks":"%s"}}|}
+               hbn hbc;
+             {|{"id":3,"method":"analyse","params":{"constraints":false,"hold":false}}|};
+             {|{"id":4,"method":"shutdown"}|};
+             {|{"id":5,"method":"ping"}|} (* after shutdown: must not run *)
+           ]
+       in
+       let in_path = Filename.temp_file "hb_serve" ".in" in
+       let out_path = Filename.temp_file "hb_serve" ".out" in
+       Fun.protect
+         ~finally:(fun () -> Sys.remove in_path; Sys.remove out_path)
+         (fun () ->
+            let oc = open_out in_path in
+            output_string oc requests;
+            output_char oc '\n';
+            close_out oc;
+            let ic = open_in in_path in
+            let oc = open_out out_path in
+            let daemon = Hb_sta.Serve.create () in
+            Hb_sta.Serve.run daemon ic oc;
+            close_in ic;
+            close_out oc;
+            let ic = open_in out_path in
+            let lines = ref [] in
+            (try
+               while true do
+                 lines := input_line ic :: !lines
+               done
+             with End_of_file -> ());
+            close_in ic;
+            let lines = List.rev !lines in
+            Alcotest.(check int) "four replies (none past shutdown)" 4
+              (List.length lines);
+            List.iter
+              (fun reply ->
+                 Alcotest.(check string) "all ok" "ok" (reply_status reply))
+              lines))
+
+(* ------------------------------------------------------------------ *)
+(* Error, Timeout, Engine.preprocess, Json                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_classifier () =
+  let check_code label expected exn =
+    match Hb_sta.Error.of_exn exn with
+    | Some err ->
+      Alcotest.(check string) label expected (Hb_sta.Error.code err)
+    | None -> Alcotest.fail (label ^ ": not classified")
+  in
+  check_code "failure" "invalid" (Failure "boom");
+  check_code "sys_error" "io" (Sys_error "gone");
+  check_code "build" "build" (Hb_sta.Elements.Build_error "b");
+  check_code "cycle" "cycle" (Hb_sta.Cluster.Cycle_error "c");
+  check_code "pass" "pass" (Hb_sta.Passes.Pass_error "p");
+  check_code "timeout" "timeout" (Hb_util.Timeout.Timeout 1.5);
+  check_code "parse" "parse"
+    (Hb_netlist.Hbn_format.Parse_error { line = 3; message = "bad" });
+  Alcotest.(check bool) "unknown exceptions stay unknown" true
+    (Hb_sta.Error.of_exn Not_found = None);
+  let located =
+    Hb_sta.Error.in_file "des.hbn"
+      (Hb_sta.Error.Parse { file = None; line = 12; message = "unknown cell" })
+  in
+  Alcotest.(check string) "file attached"
+    "parse error: des.hbn:12: unknown cell"
+    (Hb_sta.Error.to_string located);
+  (match Hb_sta.Error.wrap (fun () -> 41 + 1) with
+   | Ok v -> Alcotest.(check int) "wrap ok" 42 v
+   | Error _ -> Alcotest.fail "wrap should succeed");
+  (match Hb_sta.Error.wrap (fun () -> failwith "nope") with
+   | Ok _ -> Alcotest.fail "wrap should classify"
+   | Error err ->
+     Alcotest.(check string) "wrap code" "invalid" (Hb_sta.Error.code err))
+
+let busy_wait seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  while Unix.gettimeofday () < deadline do
+    ignore (Sys.opaque_identity 0)
+  done
+
+let test_timeout_helper () =
+  Alcotest.(check int) "fast call unaffected" 7
+    (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 7));
+  Alcotest.(check int) "non-positive budget means no limit" 9
+    (Hb_util.Timeout.with_timeout ~seconds:0.0 (fun () -> 9));
+  (match
+     Hb_util.Timeout.with_timeout ~seconds:0.1 (fun () ->
+         busy_wait 10.0;
+         "finished")
+   with
+   | _ -> Alcotest.fail "expected a timeout"
+   | exception Hb_util.Timeout.Timeout s ->
+     Alcotest.(check bool) "budget carried" true (s = 0.1));
+  (* The timer is disarmed afterwards: slow work outside the guard is
+     safe, and a second guarded call still works. *)
+  busy_wait 0.15;
+  Alcotest.(check int) "reusable after firing" 3
+    (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 3))
+
+let test_preprocess_shape () =
+  let design, system = pipeline () in
+  let ctx, timings = Hb_sta.Engine.preprocess ~design ~system () in
+  Alcotest.(check bool) "context built" true
+    (Hb_sta.Elements.count ctx.Hb_sta.Context.elements > 0);
+  Alcotest.(check bool) "preprocess time recorded" true
+    (timings.Hb_sta.Engine.preprocess_seconds >= 0.0
+     && timings.Hb_sta.Engine.preprocess_wall_seconds >= 0.0);
+  Alcotest.check time "no analysis cost" 0.0
+    timings.Hb_sta.Engine.analysis_seconds;
+  Alcotest.check time "no constraints cost" 0.0
+    timings.Hb_sta.Engine.constraints_seconds
+
+let test_json_round_trip () =
+  let text =
+    {|{"a":[1,2.5,"x",null,true,false],"b":{"nested":"q\"uo\\te"},"n":-0.125}|}
+  in
+  let value = Json.parse text in
+  Alcotest.(check string) "compact round trip" text (Json.to_string value);
+  let reparsed = Json.parse (Json.to_string value) in
+  Alcotest.(check bool) "stable" true (reparsed = value);
+  (match Json.member "n" value with
+   | Some (Json.Number n) ->
+     Alcotest.(check bool) "number read" true (n = -0.125)
+   | _ -> Alcotest.fail "missing member");
+  (match Json.parse_result "{\"a\": }" with
+   | Ok _ -> Alcotest.fail "should reject"
+   | Error _ -> ());
+  (match Json.parse_result "[1,2] trailing" with
+   | Ok _ -> Alcotest.fail "should reject trailing garbage"
+   | Error _ -> ());
+  Alcotest.(check string) "unicode escape decodes to utf8"
+    {|["é"]|}
+    (Json.to_string (Json.parse {|["é"]|}))
+
+let () =
+  Alcotest.run "session"
+    [ ("parity",
+       [ Alcotest.test_case "scale and fixed edits" `Quick
+           test_whatif_scale_parity;
+         Alcotest.test_case "annotation batch" `Quick
+           test_whatif_annotation_parity;
+         Alcotest.test_case "repeated queries stable" `Quick
+           test_repeated_queries_stable;
+         Alcotest.test_case "offset edits deterministic" `Quick
+           test_set_offset_deterministic ]);
+      ("errors",
+       [ Alcotest.test_case "session misuse" `Quick test_session_errors;
+         Alcotest.test_case "classifier" `Quick test_error_classifier ]);
+      ("cache",
+       [ Alcotest.test_case "reuse counters" `Quick test_cache_reuse_counters ]);
+      ("serve",
+       [ Alcotest.test_case "transcript" `Quick test_serve_transcript;
+         Alcotest.test_case "run channel" `Quick test_serve_run_channel ]);
+      ("util",
+       [ Alcotest.test_case "timeout helper" `Quick test_timeout_helper;
+         Alcotest.test_case "preprocess shape" `Quick test_preprocess_shape;
+         Alcotest.test_case "json round trip" `Quick test_json_round_trip ]);
+    ]
