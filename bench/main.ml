@@ -851,6 +851,38 @@ let telemetry_bench () =
   Hb_util.Telemetry.set_enabled false;
   Hb_util.Telemetry.reset ();
   let off_s = measure ~repeat:5 (fun () -> analyse off_config) in
+  (* The logging-off budget gate: a disabled log site and a disabled
+     histogram observation must cost what a disabled counter costs — one
+     atomic load and a branch, no allocation, no formatting. Measured
+     here while the registry is off. *)
+  let ns_per op =
+    let iters = 5_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do op () done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let c_probe = Hb_util.Telemetry.counter "bench.p3_probe" in
+  let h_probe = Hb_util.Telemetry.histogram "bench.p3_probe_seconds" in
+  let counter_ns = ns_per (fun () -> Hb_util.Telemetry.incr c_probe) in
+  let observe_ns = ns_per (fun () -> Hb_util.Telemetry.observe h_probe 1.0) in
+  let log_ns =
+    ns_per (fun () ->
+        if Hb_util.Log.on Hb_util.Log.Debug then
+          Hb_util.Log.debug "bench.p3_probe" [])
+  in
+  Printf.printf
+    "disabled-site cost: counter %.1f ns, histogram %.1f ns, log guard \
+     %.1f ns per call\n\n"
+    counter_ns observe_ns log_ns;
+  let budget = Stdlib.max 50.0 (10.0 *. counter_ns) in
+  List.iter
+    (fun (what, ns) ->
+       if ns > budget then
+         failwith
+           (Printf.sprintf
+              "P3: disabled %s site costs %.1f ns/call — over the %.1f ns \
+               telemetry-off budget" what ns budget))
+    [ ("histogram", observe_ns); ("log", log_ns) ];
   Hb_util.Telemetry.set_enabled true;
   Hb_util.Telemetry.reset ();
   let on_s = measure ~repeat:5 (fun () -> analyse on_config) in
@@ -875,6 +907,79 @@ let telemetry_bench () =
   in
   ignore (Hb_sta.Engine.analyse ~design:t_design ~system:t_system
             ~config:on_config ());
+  (* Drive the serve front end so the request histograms and the
+     observability log sites fire in the same snapshot, and so a forced
+     error reply produces a flight-recorder dump. *)
+  let hbn = Filename.temp_file "hb_p3" ".hbn" in
+  Hb_netlist.Hbn_format.write_file design hbn;
+  let hbc = Filename.temp_file "hb_p3" ".hbc" in
+  let oc = open_out hbc in
+  output_string oc (Hb_clock.System.to_string system);
+  close_out oc;
+  Hb_util.Log.reset ();
+  Hb_util.Log.set_level Hb_util.Log.Debug;
+  Hb_util.Log.set_sink (fun _ -> ());
+  let flight = ref "" in
+  let daemon = Hb_sta.Serve.create ~dump:(fun doc -> flight := doc) () in
+  let request fields =
+    ignore
+      (Hb_sta.Serve.handle_line daemon
+         (Hb_util.Json.to_string (Hb_util.Json.Obj fields)))
+  in
+  request
+    [ ("id", Hb_util.Json.Number 1.0);
+      ("method", Hb_util.Json.String "load");
+      ( "params",
+        Hb_util.Json.Obj
+          [ ("netlist", Hb_util.Json.String hbn);
+            ("clocks", Hb_util.Json.String hbc);
+          ] );
+    ];
+  request
+    [ ("id", Hb_util.Json.Number 2.0);
+      ("method", Hb_util.Json.String "analyse");
+      ("request_id", Hb_util.Json.String "bench-p3");
+    ];
+  request
+    [ ("id", Hb_util.Json.Number 3.0);
+      ("method", Hb_util.Json.String "paths");
+      ("params", Hb_util.Json.Obj [ ("limit", Hb_util.Json.Number 10.0) ]);
+    ];
+  request
+    [ ("id", Hb_util.Json.Number 4.0);
+      ("method", Hb_util.Json.String "scale_delay");
+      ( "params",
+        Hb_util.Json.Obj
+          [ ( "instance",
+              Hb_util.Json.String
+                (Hb_netlist.Design.instance design 0).Hb_netlist.Design.inst_name );
+            ("factor", Hb_util.Json.Number 1.05);
+          ] );
+    ];
+  request
+    [ ("id", Hb_util.Json.Number 5.0);
+      ("method", Hb_util.Json.String "scale_delay");
+      ( "params",
+        Hb_util.Json.Obj
+          [ ("instance", Hb_util.Json.String "no-such-instance");
+            ("factor", Hb_util.Json.Number 1.1);
+          ] );
+    ];
+  request
+    [ ("id", Hb_util.Json.Number 6.0);
+      ("method", Hb_util.Json.String "shutdown");
+    ];
+  Sys.remove hbn;
+  Sys.remove hbc;
+  if !flight = "" then
+    failwith "P3: error reply did not produce a flight-recorder dump";
+  (match Hb_util.Json.parse !flight with
+   | exception Hb_util.Json.Parse_error _ ->
+     failwith "P3: flight-recorder dump is not valid JSON"
+   | _ -> ());
+  let log_sites = Hb_util.Log.emitted_sites () in
+  Hb_util.Log.set_level Hb_util.Log.Off;
+  Hb_util.Log.set_sink_default ();
   let snap = Hb_util.Telemetry.snapshot () in
   let overhead_pct = (on_s -. off_s) /. Stdlib.max 1e-9 off_s *. 100.0 in
   Hb_util.Table.print
@@ -913,18 +1018,72 @@ let telemetry_bench () =
       "algorithm1.complete_forward_transfers";
       "slacks.block_evaluations";
       "paths.states_expanded";
-      "paths.heap_pushes" ];
+      "paths.heap_pushes";
+      "serve.requests";
+      "serve.errors";
+      "session.analyses" ];
+  (* Same hard-fail for the newer instrumentation layers: a renamed
+     histogram or log site must not go silently dark. *)
+  Printf.printf "\nhistograms:\n";
+  Hb_util.Table.print ~header:[ "histogram"; "count"; "sum" ]
+    ~align:Hb_util.Table.[ Left; Right; Right ]
+    (List.map
+       (fun (h : Hb_util.Telemetry.histogram_snapshot) ->
+          [ h.Hb_util.Telemetry.h_name;
+            string_of_int h.Hb_util.Telemetry.total;
+            Printf.sprintf "%.4f" h.Hb_util.Telemetry.sum ])
+       snap.Hb_util.Telemetry.histograms);
+  let histogram_total name =
+    match
+      List.find_opt
+        (fun (h : Hb_util.Telemetry.histogram_snapshot) ->
+           h.Hb_util.Telemetry.h_name = name)
+        snap.Hb_util.Telemetry.histograms
+    with
+    | Some h -> h.Hb_util.Telemetry.total
+    | None -> 0
+  in
+  List.iter
+    (fun name ->
+       if histogram_total name <= 0 then
+         failwith (Printf.sprintf "P3: histogram %s never observed" name))
+    [ "serve.request_seconds";
+      "serve.clusters_evaluated";
+      "serve.paths_enumerated" ];
+  let log_count site =
+    match List.assoc_opt site log_sites with Some n -> n | None -> 0
+  in
+  List.iter
+    (fun site ->
+       if log_count site <= 0 then
+         failwith (Printf.sprintf "P3: log site %s never emitted" site))
+    [ "serve.request"; "session.create"; "session.analyse"; "session.mutate" ];
   let out = open_out "BENCH_telemetry.json" in
   Printf.fprintf out
     "{\n  \"benchmark\": \"telemetry\",\n  \"design\": \"DES\",\n  \
      \"off_s\": %.6f,\n  \"on_s\": %.6f,\n  \"overhead_pct\": %.2f,\n  \
-     \"counters\": {"
-    off_s on_s overhead_pct;
+     \"disabled_counter_ns\": %.2f,\n  \"disabled_histogram_ns\": %.2f,\n  \
+     \"disabled_log_ns\": %.2f,\n  \"counters\": {"
+    off_s on_s overhead_pct counter_ns observe_ns log_ns;
   List.iteri
     (fun i (name, value) ->
        Printf.fprintf out "%s\n    \"%s\": %d"
          (if i = 0 then "" else ",") name value)
     (List.sort compare snap.Hb_util.Telemetry.counters);
+  Printf.fprintf out "\n  },\n  \"histograms\": {";
+  List.iteri
+    (fun i (h : Hb_util.Telemetry.histogram_snapshot) ->
+       Printf.fprintf out "%s\n    \"%s\": {\"count\": %d, \"sum\": %.6f}"
+         (if i = 0 then "" else ",")
+         h.Hb_util.Telemetry.h_name h.Hb_util.Telemetry.total
+         h.Hb_util.Telemetry.sum)
+    snap.Hb_util.Telemetry.histograms;
+  Printf.fprintf out "\n  },\n  \"log_sites\": {";
+  List.iteri
+    (fun i (site, n) ->
+       Printf.fprintf out "%s\n    \"%s\": %d" (if i = 0 then "" else ",")
+         site n)
+    log_sites;
   Printf.fprintf out "\n  }\n}\n";
   close_out out;
   Printf.printf "\nwrote BENCH_telemetry.json\n";

@@ -19,6 +19,41 @@ let load_design path =
 
 let load_clocks path = Hb_clock.System.parse_file path
 
+(* Temp-and-rename so readers (and a kill mid-write) never see a
+   truncated trace/metrics/flight document. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc content
+   with e -> close_out_noerr oc; raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let log_level_arg =
+  Arg.(value & opt string "off"
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Structured-log threshold: off, error, warn, info or debug.")
+
+let log_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-file" ] ~docv:"FILE"
+           ~doc:"Write log events to $(docv) as JSON lines instead of \
+                 human-readable lines on stderr.")
+
+let setup_logging level file =
+  (match Hb_util.Log.level_of_string level with
+   | Some l -> Hb_util.Log.set_level l
+   | None ->
+     Printf.eprintf "error: unknown log level %s (off|error|warn|info|debug)\n"
+       level;
+     exit 1);
+  match file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+    Hb_util.Log.set_sink_channel ~format:Hb_util.Log.Json oc
+
 let netlist_arg =
   Arg.(
     required
@@ -68,8 +103,9 @@ let load_config ?(rise_fall = false) ?jobs timing =
 
 let analyse_cmd =
   let run netlist clocks paths constraints flag_file rise_fall timing dot
-      delay_model annotations json jobs telemetry trace =
+      delay_model annotations json jobs telemetry trace log_level log_file =
     handle_errors (fun () ->
+        setup_logging log_level log_file;
         let design = load_design netlist in
         let system = load_clocks clocks in
         let config = load_config ~rise_fall ?jobs timing in
@@ -138,10 +174,8 @@ let analyse_cmd =
          | None -> ());
         (match trace with
          | Some path ->
-           let oc = open_out path in
-           output_string oc
+           write_file_atomic path
              (Hb_util.Telemetry.trace_json (Hb_util.Telemetry.snapshot ()));
-           close_out oc;
            Printf.eprintf "trace written to %s\n" path
          | None -> ());
         match report.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.status with
@@ -203,7 +237,7 @@ let analyse_cmd =
        ~doc:"Run the full timing analysis (exit 2 when too-slow paths exist)")
     Term.(const run $ netlist_arg $ clocks_arg $ paths $ constraints $ flag_file
           $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json
-          $ jobs $ telemetry $ trace)
+          $ jobs $ telemetry $ trace $ log_level_arg $ log_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -307,29 +341,93 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let optimise_cmd =
-  let run netlist clocks iterations out =
+  let module Json = Hb_util.Json in
+  let step_json (s : Hb_resynth.Loop.step) =
+    Json.Obj
+      [ ("iteration", Json.Number (float_of_int s.Hb_resynth.Loop.iteration));
+        ("worst_slack", Json.Number s.Hb_resynth.Loop.worst_slack);
+        ( "total_negative_slack",
+          Json.Number s.Hb_resynth.Loop.total_negative_slack );
+        ( "slow_endpoints",
+          Json.Number (float_of_int s.Hb_resynth.Loop.slow_endpoints) );
+        ("delta_worst_slack", Json.Number s.Hb_resynth.Loop.delta_worst_slack);
+        ("area", Json.Number s.Hb_resynth.Loop.area);
+        ( "changed",
+          Json.List
+            (List.map
+               (fun (c : Hb_resynth.Speedup.change) ->
+                  Json.Obj
+                    [ ("instance", Json.String c.Hb_resynth.Speedup.inst_name);
+                      ("from", Json.String c.Hb_resynth.Speedup.old_cell);
+                      ("to", Json.String c.Hb_resynth.Speedup.new_cell);
+                    ])
+               s.Hb_resynth.Loop.changed) );
+      ]
+  in
+  let run netlist clocks iterations out json log_level log_file =
     handle_errors (fun () ->
+        setup_logging log_level log_file;
         let design = load_design netlist in
         let system = load_clocks clocks in
         let result =
           Hb_resynth.Loop.optimise ~design ~system ~library
             ~max_iterations:iterations ()
         in
-        List.iter
-          (fun (s : Hb_resynth.Loop.step) ->
-             Printf.printf "iteration %d: worst slack %.3f ns, area %.1f, %d cells upsized\n"
-               s.Hb_resynth.Loop.iteration s.Hb_resynth.Loop.worst_slack
-               s.Hb_resynth.Loop.area
-               (List.length s.Hb_resynth.Loop.changed))
-          result.Hb_resynth.Loop.history;
-        Printf.printf "final: worst slack %.3f ns, area %.1f, timing %s\n"
-          result.Hb_resynth.Loop.final_worst_slack
-          result.Hb_resynth.Loop.final_area
-          (if result.Hb_resynth.Loop.met_timing then "met" else "NOT met");
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ ( "schema_version",
+                      Json.Number
+                        (float_of_int Hb_sta.Json_export.schema_version) );
+                    ("met_timing", Json.Bool result.Hb_resynth.Loop.met_timing);
+                    ( "iterations",
+                      Json.Number
+                        (float_of_int result.Hb_resynth.Loop.iterations) );
+                    ( "journal",
+                      Json.List
+                        (List.map step_json result.Hb_resynth.Loop.history) );
+                    ( "final",
+                      Json.Obj
+                        [ ( "worst_slack",
+                            Json.Number
+                              result.Hb_resynth.Loop.final_worst_slack );
+                          ( "total_negative_slack",
+                            Json.Number
+                              result.Hb_resynth.Loop.final_total_negative_slack );
+                          ( "slow_endpoints",
+                            Json.Number
+                              (float_of_int
+                                 result.Hb_resynth.Loop.final_slow_endpoints) );
+                          ("area", Json.Number result.Hb_resynth.Loop.final_area);
+                        ] );
+                  ]))
+        else begin
+          List.iter
+            (fun (s : Hb_resynth.Loop.step) ->
+               Printf.printf
+                 "iteration %d: worst slack %.3f ns (%+.3f), tns %.3f ns, %d \
+                  slow endpoints, area %.1f, %d cells upsized\n"
+                 s.Hb_resynth.Loop.iteration s.Hb_resynth.Loop.worst_slack
+                 s.Hb_resynth.Loop.delta_worst_slack
+                 s.Hb_resynth.Loop.total_negative_slack
+                 s.Hb_resynth.Loop.slow_endpoints
+                 s.Hb_resynth.Loop.area
+                 (List.length s.Hb_resynth.Loop.changed))
+            result.Hb_resynth.Loop.history;
+          Printf.printf
+            "final: worst slack %.3f ns, tns %.3f ns, %d slow endpoints, \
+             area %.1f, timing %s\n"
+            result.Hb_resynth.Loop.final_worst_slack
+            result.Hb_resynth.Loop.final_total_negative_slack
+            result.Hb_resynth.Loop.final_slow_endpoints
+            result.Hb_resynth.Loop.final_area
+            (if result.Hb_resynth.Loop.met_timing then "met" else "NOT met")
+        end;
         (match out with
          | Some path ->
            Hb_netlist.Hbn_format.write_file result.Hb_resynth.Loop.design path;
-           Printf.printf "optimised netlist written to %s\n" path
+           if not json then Printf.printf "optimised netlist written to %s\n" path
          | None -> ());
         if result.Hb_resynth.Loop.met_timing then exit 0 else exit 2)
   in
@@ -341,10 +439,15 @@ let optimise_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the optimised netlist to $(docv).")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the QoR journal and final figures as one JSON document.")
+  in
   Cmd.v
     (Cmd.info "optimise"
        ~doc:"Run the Algorithm 3 analysis/re-design loop (gate upsizing)")
-    Term.(const run $ netlist_arg $ clocks_arg $ iterations $ out)
+    Term.(const run $ netlist_arg $ clocks_arg $ iterations $ out $ json
+          $ log_level_arg $ log_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* whatif                                                             *)
@@ -569,32 +672,90 @@ let serve_channel daemon ic oc =
   | Sys_error _ -> () (* client went away mid-reply *)
 
 let serve_cmd =
-  let run timeout socket =
+  let run timeout socket telemetry trace prometheus metrics_file flight_file
+      log_level log_file =
     handle_errors (fun () ->
-        let daemon = Hb_sta.Serve.create ~timeout_seconds:timeout () in
-        match socket with
-        | None -> Hb_sta.Serve.run daemon stdin stdout
-        | Some path ->
-          (* A broken client pipe must be an error reply path, not a
-             process death. *)
-          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (try Unix.unlink path with Unix.Unix_error _ -> ());
-          Unix.bind sock (Unix.ADDR_UNIX path);
-          Unix.listen sock 8;
-          let rec accept_loop () =
-            if not (Hb_sta.Serve.finished daemon) then begin
-              let client, _ = Unix.accept sock in
-              let ic = Unix.in_channel_of_descr client in
-              let oc = Unix.out_channel_of_descr client in
-              serve_channel daemon ic oc;
-              (try Unix.close client with Unix.Unix_error _ -> ());
-              accept_loop ()
-            end
-          in
-          accept_loop ();
-          (try Unix.close sock with Unix.Unix_error _ -> ());
-          (try Unix.unlink path with Unix.Unix_error _ -> ()))
+        setup_logging log_level log_file;
+        (* Spans for --trace and observations for the metrics outputs
+           both need the registry recording. *)
+        if telemetry || trace <> None || prometheus || metrics_file <> None
+        then begin
+          Hb_util.Telemetry.set_enabled true;
+          Hb_util.Telemetry.reset ()
+        end;
+        let dump =
+          match flight_file with
+          | None -> None
+          | Some path ->
+            Some
+              (fun doc ->
+                try write_file_atomic path doc with Sys_error _ -> ())
+        in
+        let daemon =
+          Hb_sta.Serve.create ~timeout_seconds:timeout ~prometheus ?dump ()
+        in
+        (* Write trace/metrics exactly once on the way out, whatever the
+           exit path: normal return, handle_errors' exit 1, SIGTERM (the
+           handler exits, so at_exit runs), or an uncaught exception
+           (at_exit runs before the runtime reports it). A killed daemon
+           used to leave a truncated, unparseable trace file. *)
+        let dumped = ref false in
+        let dump_outputs () =
+          if not !dumped then begin
+            dumped := true;
+            let snapshot = Hb_util.Telemetry.snapshot () in
+            (match trace with
+             | Some path ->
+               (try
+                  write_file_atomic path (Hb_util.Telemetry.trace_json snapshot)
+                with Sys_error _ -> ())
+             | None -> ());
+            match metrics_file with
+            | Some path ->
+              (try
+                 write_file_atomic path (Hb_util.Telemetry.prometheus snapshot)
+               with Sys_error _ -> ())
+            | None -> ()
+          end
+        in
+        at_exit dump_outputs;
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
+         with Invalid_argument _ | Sys_error _ -> ());
+        (* SIGUSR1: flight-recorder dump on demand, without stopping. *)
+        (try
+           Sys.set_signal Sys.sigusr1
+             (Sys.Signal_handle
+                (fun _ ->
+                  let doc = Hb_sta.Serve.flight_json daemon in
+                  match flight_file with
+                  | Some path ->
+                    (try write_file_atomic path doc with Sys_error _ -> ())
+                  | None -> prerr_endline doc))
+         with Invalid_argument _ | Sys_error _ -> ());
+        (match socket with
+         | None -> Hb_sta.Serve.run daemon stdin stdout
+         | Some path ->
+           (* A broken client pipe must be an error reply path, not a
+              process death. *)
+           Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+           let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.unlink path with Unix.Unix_error _ -> ());
+           Unix.bind sock (Unix.ADDR_UNIX path);
+           Unix.listen sock 8;
+           let rec accept_loop () =
+             if not (Hb_sta.Serve.finished daemon) then begin
+               let client, _ = Unix.accept sock in
+               let ic = Unix.in_channel_of_descr client in
+               let oc = Unix.out_channel_of_descr client in
+               serve_channel daemon ic oc;
+               (try Unix.close client with Unix.Unix_error _ -> ());
+               accept_loop ()
+             end
+           in
+           accept_loop ();
+           (try Unix.close sock with Unix.Unix_error _ -> ());
+           (try Unix.unlink path with Unix.Unix_error _ -> ()));
+        dump_outputs ())
   in
   let timeout_arg =
     Arg.(
@@ -616,13 +777,45 @@ let serve_cmd =
              clients are served one connection at a time and the loaded \
              design persists across connections.")
   in
+  let telemetry_arg =
+    Arg.(value & flag & info [ "telemetry" ]
+           ~doc:"Record work counters, request histograms and phase spans \
+                 (implied by $(b,--trace), $(b,--prometheus) and \
+                 $(b,--metrics-file)).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"On exit, write every phase span as Chrome trace-event \
+                 JSON to $(docv); spans recorded while serving a request \
+                 carry its request id. Written atomically, also on fatal \
+                 errors and SIGTERM.")
+  in
+  let prometheus_arg =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Make Prometheus text exposition the default format of \
+                 the $(b,metrics) request (clients can still ask for \
+                 \"format\": \"json\").")
+  in
+  let metrics_file_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE"
+           ~doc:"On exit, dump all counters, gauges and histograms to \
+                 $(docv) in Prometheus text exposition format.")
+  in
+  let flight_file_arg =
+    Arg.(value & opt (some string) None & info [ "flight-file" ] ~docv:"FILE"
+           ~doc:"Write the flight-recorder JSON (recent requests + log \
+                 events) to $(docv) after every error reply and on \
+                 SIGUSR1 (without it, SIGUSR1 dumps to stderr).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the batch/daemon front end: newline-delimited JSON requests \
           (load/annotate/analyse/paths/shutdown) against one persistent \
           analysis session")
-    Term.(const run $ timeout_arg $ socket_arg)
+    Term.(const run $ timeout_arg $ socket_arg $ telemetry_arg $ trace_arg
+          $ prometheus_arg $ metrics_file_arg $ flight_file_arg
+          $ log_level_arg $ log_file_arg)
 
 let () =
   let info =

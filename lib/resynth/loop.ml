@@ -1,6 +1,9 @@
 type step = {
   iteration : int;
   worst_slack : Hb_util.Time.t;
+  total_negative_slack : Hb_util.Time.t;
+  slow_endpoints : int;
+  delta_worst_slack : Hb_util.Time.t;
   area : float;
   changed : Speedup.change list;
 }
@@ -11,8 +14,23 @@ type result = {
   iterations : int;
   history : step list;
   final_worst_slack : Hb_util.Time.t;
+  final_total_negative_slack : Hb_util.Time.t;
+  final_slow_endpoints : int;
   final_area : float;
 }
+
+(* QoR scalars of one analysis: TNS is the sum of the finite negative
+   element input slacks, slow endpoints their count. *)
+let qor (slacks : Hb_sta.Slacks.t) =
+  let tns = ref 0.0 and slow = ref 0 in
+  Array.iter
+    (fun s ->
+      if Hb_util.Time.is_finite s && s < 0.0 then begin
+        tns := !tns +. s;
+        incr slow
+      end)
+    slacks.Hb_sta.Slacks.element_input_slack;
+  (!tns, !slow)
 
 (* Combinational instances on the worst critical paths, worst first. *)
 let candidates paths =
@@ -38,13 +56,22 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
      in place (the decomposition and pass plans are reused — only cell
      variants change between iterations). *)
   let session = Hb_sta.Session.create ~design ~system ?config () in
-  let rec iterate design iteration history =
+  let rec iterate design iteration previous_worst history =
     let report =
       Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
         session
     in
     let outcome = report.Hb_sta.Session.outcome in
     let slacks = outcome.Hb_sta.Algorithm1.final in
+    let worst = slacks.Hb_sta.Slacks.worst in
+    let tns, slow = qor slacks in
+    let delta =
+      match previous_worst with
+      | None -> 0.0
+      | Some p when Hb_util.Time.is_finite p && Hb_util.Time.is_finite worst ->
+        worst -. p
+      | Some _ -> 0.0
+    in
     let area = (Hb_netlist.Stats.compute design).Hb_netlist.Stats.area in
     let finish met_timing =
       Hb_sta.Session.close session;
@@ -52,7 +79,9 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
         met_timing;
         iterations = iteration;
         history = List.rev history;
-        final_worst_slack = slacks.Hb_sta.Slacks.worst;
+        final_worst_slack = worst;
+        final_total_negative_slack = tns;
+        final_slow_endpoints = slow;
         final_area = area;
       }
     in
@@ -70,12 +99,31 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
         | Some (improved, changed) ->
           let step =
             { iteration;
-              worst_slack = slacks.Hb_sta.Slacks.worst;
+              worst_slack = worst;
+              total_negative_slack = tns;
+              slow_endpoints = slow;
+              delta_worst_slack = delta;
               area;
               changed }
           in
+          (* The QoR journal: one line per iteration of Algorithm 3. *)
+          if Hb_util.Log.on Hb_util.Log.Info then
+            Hb_util.Log.info "resynth.iteration"
+              [ ("iteration", Hb_util.Log.Int iteration);
+                ("worst_slack", Hb_util.Log.Float worst);
+                ("total_negative_slack", Hb_util.Log.Float tns);
+                ("slow_endpoints", Hb_util.Log.Int slow);
+                ("delta_worst_slack", Hb_util.Log.Float delta);
+                ("area", Hb_util.Log.Float area);
+                ( "module",
+                  Hb_util.Log.String
+                    (match changed with
+                     | c :: _ -> c.Speedup.inst_name
+                     | [] -> "") );
+                ("changes", Hb_util.Log.Int (List.length changed));
+              ];
           Hb_sta.Session.update_design session ~design:improved;
-          iterate improved (iteration + 1) (step :: history)
+          iterate improved (iteration + 1) (Some worst) (step :: history)
       end
   in
-  iterate design 0 []
+  iterate design 0 None []

@@ -18,6 +18,13 @@
 type step = {
   iteration : int;
   worst_slack : Hb_util.Time.t;  (** before this iteration's change *)
+  total_negative_slack : Hb_util.Time.t;
+      (** sum of the finite negative element input slacks (<= 0) *)
+  slow_endpoints : int;
+      (** elements whose input slack is finite and negative *)
+  delta_worst_slack : Hb_util.Time.t;
+      (** worst slack gained since the previous iteration (0 on the
+          first, and when either side is infinite) *)
   area : float;
   changed : Speedup.change list; (** substitutions applied this iteration *)
 }
@@ -26,8 +33,11 @@ type result = {
   design : Hb_netlist.Design.t;   (** final (possibly improved) design *)
   met_timing : bool;
   iterations : int;
-  history : step list;            (** chronological *)
+  history : step list;            (** chronological — the QoR journal;
+      each iteration is also emitted as a [resynth.iteration] log line *)
   final_worst_slack : Hb_util.Time.t;
+  final_total_negative_slack : Hb_util.Time.t;
+  final_slow_endpoints : int;
   final_area : float;
 }
 

@@ -15,6 +15,7 @@ type t = {
   incremental : bool;
   parallel_jobs : int;
   telemetry : bool;
+  log_level : Hb_util.Log.level;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     incremental = true;
     parallel_jobs = Hb_util.Pool.recommended_jobs ();
     telemetry = false;
+    log_level = Hb_util.Log.Off;
   }
 
 let sequential =

@@ -57,6 +57,11 @@ type t = {
           costs one atomic flag read per site. Surfaced in the JSON
           report's ["metrics"] block, {!Report.summary}, and the CLI's
           [--trace] Chrome trace output *)
+  log_level : Hb_util.Log.level;
+      (** structured-log threshold applied when a {!Session} is created
+          with this config; default [Off]. Like [telemetry], a session
+          only ever raises the process level (an explicit CLI
+          [--log-level] is never silently lowered) *)
 }
 
 val default : t

@@ -71,6 +71,12 @@ let parse ?(base = Config.default) text =
        | "on" -> config := { !config with Config.telemetry = true }
        | "off" -> config := { !config with Config.telemetry = false }
        | other -> fail_line lineno "telemetry: expected on/off, got %S" other)
+    | [ "log-level"; name ] ->
+      (match Hb_util.Log.level_of_string name with
+       | Some l -> config := { !config with Config.log_level = l }
+       | None ->
+         fail_line lineno
+           "log-level: expected off/error/warn/info/debug, got %S" name)
     | [ "parallel-jobs"; v ] ->
       let jobs =
         if v = "auto" then Hb_util.Pool.recommended_jobs ()
@@ -121,6 +127,7 @@ let to_string (config : Config.t) =
   add "incremental %s\n" (if config.Config.incremental then "on" else "off");
   add "parallel-jobs %d\n" config.Config.parallel_jobs;
   add "telemetry %s\n" (if config.Config.telemetry then "on" else "off");
+  add "log-level %s\n" (Hb_util.Log.level_name config.Config.log_level);
   List.iter
     (fun (inst, n) -> add "multicycle %s %d\n" inst n)
     config.Config.multicycle;

@@ -1,15 +1,48 @@
 module Json = Hb_util.Json
+module Log = Hb_util.Log
+module Telemetry = Hb_util.Telemetry
+
+(* One completed request, as kept in the flight-recorder ring. *)
+type summary = {
+  rs_ts : float;
+  rs_id : string;       (* request id (client-supplied or generated) *)
+  rs_method : string;
+  rs_outcome : string;  (* "ok" or the error code *)
+  rs_wall_ms : float;
+  rs_cpu_ms : float;
+}
+
+let summary_capacity = 64
 
 type t = {
   timeout_seconds : float;
   library : Hb_cell.Library.t;
+  prometheus : bool;  (* default metrics exposition format *)
+  dump : (string -> unit) option;  (* flight-recorder sink *)
   mutable session : Session.t option;
   mutable stopping : bool;
+  mutable rid_seq : int;
+  summaries : summary option array;
+  mutable summary_next : int;
 }
 
 let c_requests = Hb_util.Telemetry.counter "serve.requests"
 let c_errors = Hb_util.Telemetry.counter "serve.errors"
 let c_timeouts = Hb_util.Telemetry.counter "serve.timeouts"
+
+(* Same interned counters the engine layers bump; before/after deltas
+   size the per-request work for the histograms below. *)
+let c_clusters_evaluated = Hb_util.Telemetry.counter "slacks.clusters_evaluated"
+
+let h_request_seconds = Hb_util.Telemetry.histogram "serve.request_seconds"
+
+let h_clusters =
+  Hb_util.Telemetry.histogram ~buckets:Hb_util.Telemetry.count_buckets
+    "serve.clusters_evaluated"
+
+let h_paths =
+  Hb_util.Telemetry.histogram ~buckets:Hb_util.Telemetry.count_buckets
+    "serve.paths_enumerated"
 
 (* Serve-layer failures that are not analysis errors: protocol problems
    get their own codes so clients can tell a bad request from a bad
@@ -21,13 +54,78 @@ let bad_request fmt =
     (fun message -> raise (Request_error { code = "bad_request"; message }))
     fmt
 
-let create ?(timeout_seconds = 0.0) ?library () =
+let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump () =
   let library =
     match library with Some l -> l | None -> Hb_cell.Library.default ()
   in
-  { timeout_seconds; library; session = None; stopping = false }
+  { timeout_seconds; library; prometheus; dump;
+    session = None; stopping = false;
+    rid_seq = 0;
+    summaries = Array.make summary_capacity None;
+    summary_next = 0;
+  }
 
 let finished t = t.stopping
+
+(* --- flight recorder ------------------------------------------------- *)
+
+let push_summary t s =
+  t.summaries.(t.summary_next mod summary_capacity) <- Some s;
+  t.summary_next <- t.summary_next + 1
+
+let recent_summaries t =
+  let out = ref [] in
+  let count = Stdlib.min t.summary_next summary_capacity in
+  for i = 1 to count do
+    match
+      t.summaries.((t.summary_next - i + (summary_capacity * 2))
+                   mod summary_capacity)
+    with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  !out
+
+let json_of_log_event (e : Log.event) =
+  Json.Obj
+    (("ts", Json.Number e.Log.ts)
+     :: ("level", Json.String (Log.level_name e.Log.event_level))
+     :: ("site", Json.String e.Log.site)
+     :: ("domain", Json.Number (float_of_int e.Log.domain))
+     :: List.map
+          (fun (key, v) ->
+            ( key,
+              match v with
+              | Log.Bool b -> Json.Bool b
+              | Log.Int i -> Json.Number (float_of_int i)
+              | Log.Float f -> Json.Number f
+              | Log.String s -> Json.String s ))
+          e.Log.fields)
+
+let json_of_summary s =
+  Json.Obj
+    [ ("ts", Json.Number s.rs_ts);
+      ("request_id", Json.String s.rs_id);
+      ("method", Json.String s.rs_method);
+      ("outcome", Json.String s.rs_outcome);
+      ("wall_ms", Json.Number s.rs_wall_ms);
+      ("cpu_ms", Json.Number s.rs_cpu_ms);
+    ]
+
+let flight_json t =
+  Json.to_string
+    (Json.Obj
+       [ ("schema_version",
+          Json.Number (float_of_int Json_export.schema_version));
+         ("generated_ts", Json.Number (Unix.gettimeofday ()));
+         ("requests", Json.List (List.map json_of_summary (recent_summaries t)));
+         ("log", Json.List (List.map json_of_log_event (Log.recent ())));
+       ])
+
+let dump_flight t =
+  match t.dump with
+  | None -> ()
+  | Some sink -> ( try sink (flight_json t) with _ -> ())
 
 (* --- request plumbing ------------------------------------------------ *)
 
@@ -189,6 +287,7 @@ let handle_paths t p =
   let limit = Option.value ~default:5 (opt_int "limit" p) in
   let s = session t in
   let paths = Session.worst_paths s ~limit in
+  Hb_util.Telemetry.observe h_paths (float_of_int (List.length paths));
   let elements = (Session.context s).Context.elements in
   let label e = (Elements.element elements e).Hb_sync.Element.label in
   Json.Obj
@@ -239,20 +338,55 @@ let handle_hold t =
              violations) );
     ]
 
-let handle_metrics () =
+let handle_metrics t p =
   let snapshot = Hb_util.Telemetry.snapshot () in
-  Json.Obj
-    [ ( "counters",
-        Json.Obj
-          (List.map
-             (fun (name, value) -> (name, Json.Number (float_of_int value)))
-             snapshot.Hb_util.Telemetry.counters) );
-      ( "gauges",
-        Json.Obj
-          (List.map
-             (fun (name, value) -> (name, Json.Number value))
-             snapshot.Hb_util.Telemetry.gauges) );
-    ]
+  let format =
+    match opt_text "format" p with
+    | Some f -> f
+    | None -> if t.prometheus then "prometheus" else "json"
+  in
+  match format with
+  | "prometheus" -> Json.String (Hb_util.Telemetry.prometheus snapshot)
+  | "json" ->
+    Json.Obj
+      [ ( "counters",
+          Json.Obj
+            (List.map
+               (fun (name, value) -> (name, Json.Number (float_of_int value)))
+               snapshot.Hb_util.Telemetry.counters) );
+        ( "gauges",
+          Json.Obj
+            (List.map
+               (fun (name, value) -> (name, Json.Number value))
+               snapshot.Hb_util.Telemetry.gauges) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (h : Hb_util.Telemetry.histogram_snapshot) ->
+                 ( h.Hb_util.Telemetry.h_name,
+                   Json.Obj
+                     [ ( "bounds",
+                         Json.List
+                           (Array.to_list
+                              (Array.map
+                                 (fun b -> Json.Number b)
+                                 h.Hb_util.Telemetry.upper_bounds)) );
+                       ( "counts",
+                         Json.List
+                           (Array.to_list
+                              (Array.map
+                                 (fun c -> Json.Number (float_of_int c))
+                                 h.Hb_util.Telemetry.bucket_counts)) );
+                       ("sum", Json.Number h.Hb_util.Telemetry.sum);
+                       ( "count",
+                         Json.Number
+                           (float_of_int h.Hb_util.Telemetry.total) );
+                     ] ))
+               snapshot.Hb_util.Telemetry.histograms) );
+      ]
+  | other -> bad_request "unknown metrics format %S (json|prometheus)" other
+
+let handle_flight t = Json.parse (flight_json t)
 
 (* Busy-wait so the timeout signal is delivered at an OCaml safe point
    regardless of how the platform treats interrupted sleeps — this is a
@@ -283,82 +417,149 @@ let dispatch t ~meth p =
   | "paths" -> handle_paths t p
   | "constraints" -> handle_constraints t
   | "hold" -> handle_hold t
-  | "metrics" -> handle_metrics ()
+  | "metrics" -> handle_metrics t p
+  | "flight" -> handle_flight t
   | "sleep" -> handle_sleep p
   | "shutdown" -> handle_shutdown t
   | other -> bad_request "unknown method %S" other
 
 (* --- the envelope ---------------------------------------------------- *)
 
-let reply ~id body =
+let reply ~rid ~id body =
   Json.to_string
     (Json.Obj
        (("schema_version", Json.Number (float_of_int Json_export.schema_version))
         :: ("id", id)
+        :: ("request_id", Json.String rid)
         :: body))
 
-let ok ~id result = reply ~id [ ("status", Json.String "ok"); ("result", result) ]
+let ok ~rid ~id result =
+  reply ~rid ~id [ ("status", Json.String "ok"); ("result", result) ]
 
-let error ~id ~code message =
+let error ~rid ~id ~code message =
   Hb_util.Telemetry.incr c_errors;
   if code = "timeout" then Hb_util.Telemetry.incr c_timeouts;
-  reply ~id
+  reply ~rid ~id
     [ ("status", Json.String "error");
       ( "error",
         Json.Obj
           [ ("code", Json.String code); ("message", Json.String message) ] );
     ]
 
+let next_rid t =
+  t.rid_seq <- t.rid_seq + 1;
+  Printf.sprintf "r%d" t.rid_seq
+
 let handle_line t line =
   Hb_util.Telemetry.incr c_requests;
-  match Json.parse line with
-  | exception Json.Parse_error { position; message } ->
-    error ~id:Json.Null ~code:"bad_request"
-      (Printf.sprintf "malformed request at byte %d: %s" position message)
-  | request ->
-    let id = Option.value ~default:Json.Null (Json.member "id" request) in
-    (try
-       (match Json.member "schema_version" request with
-        | None | Some Json.Null -> ()
-        | Some v ->
-          (match Json.to_int v with
-           | Some version when version = Json_export.schema_version -> ()
-           | Some version ->
-             raise
-               (Request_error
-                  { code = "schema_version";
-                    message =
-                      Printf.sprintf
-                        "unsupported schema version %d (server speaks %d)"
-                        version Json_export.schema_version;
-                  })
-           | None -> bad_request "schema_version must be an integer"));
-       let meth =
-         match Json.member "method" request with
-         | Some (Json.String m) -> m
-         | Some _ -> bad_request "method must be a string"
-         | None -> bad_request "missing method"
-       in
-       let p = params request in
-       let seconds =
-         Option.value ~default:t.timeout_seconds (opt_float "timeout" request)
-       in
-       let result =
-         Hb_util.Timeout.with_timeout ~seconds (fun () ->
-             dispatch t ~meth p)
-       in
-       ok ~id result
-     with
-     | Request_error { code; message } -> error ~id ~code message
-     | Hb_util.Timeout.Timeout seconds ->
-       error ~id ~code:"timeout"
-         (Printf.sprintf "request exceeded its %gs budget" seconds)
-     | e ->
-       (match Error.of_exn e with
-        | Some err -> error ~id ~code:(Error.code err) (Error.to_string err)
-        | None ->
-          (* Unrecognised exceptions must not kill the daemon either. *)
-          error ~id ~code:"internal" (Printexc.to_string e)))
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let observing = Hb_util.Telemetry.enabled () in
+  let clusters0 =
+    if observing then Hb_util.Telemetry.read_counter c_clusters_evaluated else 0
+  in
+  let parsed =
+    match Json.parse line with
+    | request -> Ok request
+    | exception Json.Parse_error { position; message } ->
+      Error (Printf.sprintf "malformed request at byte %d: %s" position message)
+  in
+  (* The request id threads the whole observation chain: reply envelope,
+     access-log line, span tags in the trace, flight-recorder summary. *)
+  let rid =
+    match parsed with
+    | Ok request ->
+      (match Json.member "request_id" request with
+       | Some (Json.String s) when s <> "" -> s
+       | _ -> next_rid t)
+    | Error _ -> next_rid t
+  in
+  let meth_seen = ref "?" in
+  let outcome = ref "ok" in
+  let fail ~id ~code message =
+    outcome := code;
+    error ~rid ~id ~code message
+  in
+  let text =
+    match parsed with
+    | Error message -> fail ~id:Json.Null ~code:"bad_request" message
+    | Ok request ->
+      let id = Option.value ~default:Json.Null (Json.member "id" request) in
+      (try
+         (match Json.member "schema_version" request with
+          | None | Some Json.Null -> ()
+          | Some v ->
+            (match Json.to_int v with
+             | Some version when version = Json_export.schema_version -> ()
+             | Some version ->
+               raise
+                 (Request_error
+                    { code = "schema_version";
+                      message =
+                        Printf.sprintf
+                          "unsupported schema version %d (server speaks %d)"
+                          version Json_export.schema_version;
+                    })
+             | None -> bad_request "schema_version must be an integer"));
+         let meth =
+           match Json.member "method" request with
+           | Some (Json.String m) -> m
+           | Some _ -> bad_request "method must be a string"
+           | None -> bad_request "missing method"
+         in
+         meth_seen := meth;
+         let p = params request in
+         let seconds =
+           Option.value ~default:t.timeout_seconds (opt_float "timeout" request)
+         in
+         let result =
+           Hb_util.Telemetry.with_tag rid (fun () ->
+               Hb_util.Timeout.with_timeout ~seconds (fun () ->
+                   dispatch t ~meth p))
+         in
+         ok ~rid ~id result
+       with
+       | Request_error { code; message } -> fail ~id ~code message
+       | Hb_util.Timeout.Timeout seconds ->
+         fail ~id ~code:"timeout"
+           (Printf.sprintf "request exceeded its %gs budget" seconds)
+       | e ->
+         (match Error.of_exn e with
+          | Some err -> fail ~id ~code:(Error.code err) (Error.to_string err)
+          | None ->
+            (* Unrecognised exceptions must not kill the daemon either. *)
+            fail ~id ~code:"internal" (Printexc.to_string e)))
+  in
+  let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  let cpu_ms = (Sys.time () -. cpu0) *. 1000.0 in
+  if observing then begin
+    Hb_util.Telemetry.observe h_request_seconds (wall_ms /. 1000.0);
+    let clusters =
+      Hb_util.Telemetry.read_counter c_clusters_evaluated - clusters0
+    in
+    if clusters > 0 then
+      Hb_util.Telemetry.observe h_clusters (float_of_int clusters)
+  end;
+  (* The access log: one Info line per request, id first. *)
+  if Log.on Log.Info then
+    Log.info "serve.request"
+      [ ("request_id", Log.String rid);
+        ("method", Log.String !meth_seen);
+        ("outcome", Log.String !outcome);
+        ("wall_ms", Log.Float wall_ms);
+        ("cpu_ms", Log.Float cpu_ms);
+      ];
+  push_summary t
+    { rs_ts = wall0;
+      rs_id = rid;
+      rs_method = !meth_seen;
+      rs_outcome = !outcome;
+      rs_wall_ms = wall_ms;
+      rs_cpu_ms = cpu_ms;
+    };
+  (* Any structured error reply is a post-mortem trigger. *)
+  if !outcome <> "ok" then dump_flight t;
+  text
 
 let run t ic oc =
   let rec loop () =
@@ -372,7 +573,19 @@ let run t ic oc =
         flush oc;
         loop ()
   in
-  loop ();
-  (* End-of-input without shutdown: tear the session down anyway. *)
-  (match t.session with Some s -> Session.close ~shutdown_pool:true s | None -> ());
-  t.session <- None
+  let teardown () =
+    (* End-of-input without shutdown: tear the session down anyway. *)
+    (match t.session with
+     | Some s -> Session.close ~shutdown_pool:true s
+     | None -> ());
+    t.session <- None
+  in
+  (* handle_line never raises, but channel IO can: leave a flight dump
+     behind before the exception escapes. *)
+  match loop () with
+  | () -> teardown ()
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    dump_flight t;
+    teardown ();
+    Printexc.raise_with_backtrace e bt

@@ -19,10 +19,30 @@
     Methods: [ping], [load] (netlist/clocks/timing paths — replaces the
     current session), [annotate] ([text] or [file]), [set_delay],
     [scale_delay], [set_offset], [analyse], [paths], [constraints],
-    [hold], [metrics], [sleep] (test hook) and [shutdown]. A request may
-    carry ["schema_version"]: a value the server doesn't speak is
-    rejected with code ["schema_version"]; absent means current. A
-    request-level ["timeout"] (seconds) overrides the server default.
+    [hold], [metrics], [flight], [sleep] (test hook) and [shutdown]. A
+    request may carry ["schema_version"]: a value the server doesn't
+    speak is rejected with code ["schema_version"]; absent means
+    current. A request-level ["timeout"] (seconds) overrides the server
+    default.
+
+    Every request has a request id — the top-level ["request_id"] string
+    when the client supplies one, else a generated ["r<n>"] — echoed in
+    the reply envelope, carried by the [serve.request] access-log line
+    (request_id/method/outcome/wall_ms/cpu_ms at Info), stamped onto
+    every telemetry span the request records (so [--trace] output ties
+    phases back to requests), and kept in the flight-recorder ring.
+
+    [metrics] takes an optional ["format"] param: ["json"] (the
+    counters/gauges/histograms object) or ["prometheus"] (the result is
+    one string of Prometheus text exposition); the default is chosen by
+    [create]'s [prometheus] flag. [flight] returns the flight-recorder
+    document (recent request summaries plus recent log events).
+
+    With telemetry enabled, each request feeds the
+    [serve.request_seconds] latency histogram,
+    [serve.clusters_evaluated] (before/after delta of the engine's
+    cluster-evaluation counter) and [serve.paths_enumerated] (paths
+    returned by each [paths] request).
 
     The loop is exit-free by construction: {e every} failure — malformed
     JSON ([bad_request]), a query before [load] ([no_design]), analysis
@@ -38,11 +58,27 @@
 
 type t
 
-(** [create ?timeout_seconds ?library ()] prepares a daemon with no
-    design loaded. [timeout_seconds] (default 0 = unlimited) bounds each
-    request; [library] (default [Hb_cell.Library.default ()]) resolves
-    cells for [load]. *)
-val create : ?timeout_seconds:float -> ?library:Hb_cell.Library.t -> unit -> t
+(** [create ?timeout_seconds ?library ?prometheus ?dump ()] prepares a
+    daemon with no design loaded. [timeout_seconds] (default 0 =
+    unlimited) bounds each request; [library] (default
+    [Hb_cell.Library.default ()]) resolves cells for [load];
+    [prometheus] (default false) makes Prometheus text the default
+    [metrics] exposition; [dump] receives the flight-recorder JSON
+    document after every error reply and on IO failure in {!run}
+    (exceptions from [dump] are swallowed). *)
+val create :
+  ?timeout_seconds:float ->
+  ?library:Hb_cell.Library.t ->
+  ?prometheus:bool ->
+  ?dump:(string -> unit) ->
+  unit ->
+  t
+
+(** The flight-recorder document, on demand: ring of the last 64 request
+    summaries (oldest first: ts/request_id/method/outcome/wall_ms/cpu_ms)
+    plus the last 256 structured-log events, as one JSON string. Also
+    what [dump] receives and the [flight] method returns. *)
+val flight_json : t -> string
 
 (** [handle_line t line] processes one request line and returns the
     reply line (no trailing newline). Never raises. *)

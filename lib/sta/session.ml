@@ -83,6 +83,11 @@ let create ~design ~system ?(config = Config.default)
     Hb_util.Telemetry.set_enabled true;
     Hb_util.Telemetry.reset ()
   end;
+  (* Only ever raise the process threshold: a CLI --log-level that
+     already enabled logging is never lowered by a config file. *)
+  if config.Config.log_level <> Hb_util.Log.Off
+     && Hb_util.Log.level () = Hb_util.Log.Off
+  then Hb_util.Log.set_level config.Config.log_level;
   let overrides = Hashtbl.create 16 in
   let provider = override_provider overrides delays in
   let ctx, cpu, wall =
@@ -90,6 +95,11 @@ let create ~design ~system ?(config = Config.default)
         Hb_util.Telemetry.span "engine.preprocess" (fun () ->
             Context.make ~design ~system ~config ~delays:provider ()))
   in
+  if Hb_util.Log.on Hb_util.Log.Info then
+    Hb_util.Log.info "session.create"
+      [ ("design", Hb_util.Log.String design.Hb_netlist.Design.design_name);
+        ("elements", Hb_util.Log.Int (Elements.count ctx.Context.elements));
+        ("preprocess_wall_s", Hb_util.Log.Float wall) ];
   { ctx;
     base_delays = delays;
     delays = provider;
@@ -139,6 +149,10 @@ let apply_overrides t pairs =
     in
     Context.invalidate_clusters t.ctx touched;
     Hb_util.Telemetry.incr c_mutations;
+    if Hb_util.Log.on Hb_util.Log.Debug then
+      Hb_util.Log.debug "session.mutate"
+        [ ("instances", Hb_util.Log.Int (List.length pairs));
+          ("clusters_invalidated", Hb_util.Log.Int (List.length touched)) ];
     drop_queries t
   end
 
@@ -198,6 +212,10 @@ let update_design t ~design =
   t.baseline <- Elements.save_offsets ctx.Context.elements;
   let pending_cpu, pending_wall = t.pending_preprocess in
   t.pending_preprocess <- (pending_cpu +. cpu, pending_wall +. wall);
+  if Hb_util.Log.on Hb_util.Log.Info then
+    Hb_util.Log.info "session.update_design"
+      [ ("design", Hb_util.Log.String design.Hb_netlist.Design.design_name);
+        ("preprocess_wall_s", Hb_util.Log.Float wall) ];
   drop_queries t
 
 (* Run Algorithm 1 (or reuse the cached run). Any exception — a timeout
@@ -225,6 +243,15 @@ let ensure_analysis t =
     in
     t.pending_preprocess <- (0.0, 0.0);
     Hb_util.Telemetry.incr c_analyses;
+    if Hb_util.Log.on Hb_util.Log.Info then
+      Hb_util.Log.info "session.analyse"
+        [ ("status", Hb_util.Log.String
+             (match outcome.Algorithm1.status with
+              | Algorithm1.Meets_timing -> "meets_timing"
+              | Algorithm1.Slow_paths -> "slow_paths"));
+          ("forward_cycles", Hb_util.Log.Int outcome.Algorithm1.forward_cycles);
+          ("capped", Hb_util.Log.Bool outcome.Algorithm1.capped);
+          ("wall_s", Hb_util.Log.Float analysis_wall_seconds) ];
     let a =
       { outcome;
         preprocess_seconds;
@@ -321,6 +348,8 @@ let close ?(shutdown_pool = false) t =
   if not t.closed then begin
     t.closed <- true;
     drop_queries t;
-    Context.invalidate_cache t.ctx
+    Context.invalidate_cache t.ctx;
+    if Hb_util.Log.on Hb_util.Log.Debug then
+      Hb_util.Log.debug "session.close" []
   end;
   if shutdown_pool then Hb_util.Pool.shutdown_shared ()

@@ -1,0 +1,100 @@
+(** Leveled, domain-safe structured logging.
+
+    Call sites emit events — a site name plus key/value fields — and a
+    single process-wide sink renders them as human-readable lines or
+    JSON-lines. The level check {!on} is one atomic load and a compare,
+    so instrumented hot paths guard with [if Log.on Log.Debug then ...]
+    and pay nothing (no field-list allocation, no formatting) while
+    logging is off, mirroring the {!Telemetry} discipline.
+
+    Every emitted event is also appended to a bounded in-memory ring
+    ({!recent}) — the flight recorder — and counted per site
+    ({!emitted}), so a post-mortem dump can replay the recent past and
+    the bench dead-site audit can prove an instrumentation point still
+    fires. Emission takes one global mutex: logging is for control-path
+    events (requests, analyses, iterations), not per-gate work. *)
+
+type level = Off | Error | Warn | Info | Debug
+
+val level_name : level -> string
+
+(** Case-insensitive; recognises ["off"], ["error"], ["warn"],
+    ["warning"], ["info"], ["debug"]. *)
+val level_of_string : string -> level option
+
+(** {1 Level} *)
+
+(** Process-wide threshold; default {!Off}. Events at or above the
+    threshold severity (Error is most severe) are emitted. *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** [on l] is true when an event at level [l] would be emitted now. One
+    atomic load; never true for [Off]. *)
+val on : level -> bool
+
+(** {1 Events} *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type event = {
+  ts : float;            (** wall clock, absolute seconds *)
+  event_level : level;
+  site : string;         (** dotted site name, e.g. ["serve.request"] *)
+  fields : (string * value) list;
+  domain : int;          (** emitting domain id *)
+}
+
+(** [emit level site fields] builds and delivers one event when [on
+    level]; otherwise does nothing (but the caller already paid for
+    [fields] — guard with {!on} first on hot paths). Sink exceptions are
+    swallowed: logging must never take the analysis down. *)
+val emit : level -> string -> (string * value) list -> unit
+
+val error : string -> (string * value) list -> unit
+val warn : string -> (string * value) list -> unit
+val info : string -> (string * value) list -> unit
+val debug : string -> (string * value) list -> unit
+
+(** {1 Sinks} *)
+
+type format = Human | Json
+
+(** [render_json e] is one line of JSON: the standard keys ["ts"],
+    ["level"], ["site"], ["domain"] followed by the event's fields. *)
+val render_json : event -> string
+
+(** [render_human e] is ["<iso8601> LEVEL site key=value ..."]. *)
+val render_human : event -> string
+
+(** [set_sink f] replaces the process sink. The default sink renders
+    {!Human} to [stderr]. *)
+val set_sink : (event -> unit) -> unit
+
+(** [set_sink_channel ~format oc] renders each event to [oc] (one line,
+    flushed). *)
+val set_sink_channel : ?format:format -> out_channel -> unit
+
+(** Restore the default stderr sink. *)
+val set_sink_default : unit -> unit
+
+(** {1 Flight recorder and site audit} *)
+
+(** Last emitted events (bounded ring of 256), oldest first. *)
+val recent : unit -> event list
+
+(** [emitted site] is how many events [site] has emitted since the last
+    {!reset} — the log-site analogue of a telemetry counter, consumed by
+    the bench dead-site audit. *)
+val emitted : string -> int
+
+(** All sites that have emitted, with counts, sorted by name. *)
+val emitted_sites : unit -> (string * int) list
+
+(** Clear the ring and the per-site counts (level and sink are kept). *)
+val reset : unit -> unit

@@ -31,6 +31,11 @@ let drain t job =
       with e ->
         let bt = Printexc.get_raw_backtrace () in
         Atomic.set job.failed true;
+        if Log.on Log.Warn then
+          Log.warn "pool.job_failed"
+            [ ("label", Log.String job.label);
+              ("item", Log.Int i);
+              ("exn", Log.String (Printexc.to_string e)) ];
         Mutex.lock t.mutex;
         if t.error = None then t.error <- Some (e, bt);
         Mutex.unlock t.mutex
@@ -90,6 +95,9 @@ let create ~jobs:requested () =
     }
   in
   t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  if Log.on Log.Debug then
+    Log.debug "pool.create"
+      [ ("jobs", Log.Int size); ("requested", Log.Int requested) ];
   t
 
 let run ?(label = "pool.job") t ~count work =

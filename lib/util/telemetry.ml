@@ -19,12 +19,29 @@ let counter_count = ref 0
 let gauge_names : string array ref = ref [||]
 let gauge_count = ref 0
 
+type histogram = int
+
+(* Histogram upper bounds are fixed at registration and shared by every
+   shard; [histogram_bounds] grows in lock-step with [histogram_names]. *)
+let histogram_names : string array ref = ref [||]
+let histogram_count = ref 0
+let histogram_bounds : float array array ref = ref [||]
+
+let latency_buckets =
+  [| 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25;
+     0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+let count_buckets =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0;
+     5000.0; 10_000.0; 20_000.0; 50_000.0; 100_000.0 |]
+
 type span_record = {
   span_name : string;
   domain : int;
   start_s : float;
   wall_s : float;
   cpu_s : float;
+  tag : string option;
 }
 
 type shard = {
@@ -32,6 +49,8 @@ type shard = {
   mutable counts : int array;
   mutable gauge_values : float array; (* nan = never set on this domain *)
   mutable spans : span_record list;   (* newest first *)
+  mutable histo_counts : int array array; (* per histogram, bounds + 1 slots *)
+  mutable histo_sums : float array;
 }
 
 let shards : shard list ref = ref []
@@ -48,6 +67,8 @@ let shard_key =
           counts = Array.make (max 8 !counter_count) 0;
           gauge_values = Array.make (max 8 !gauge_count) nan;
           spans = [];
+          histo_counts = [||];
+          histo_sums = [||];
         }
       in
       locked (fun () -> shards := shard :: !shards);
@@ -78,6 +99,41 @@ let intern names count name =
 let counter name = intern counter_names counter_count name
 let gauge name = intern gauge_names gauge_count name
 
+let histogram ?(buckets = latency_buckets) name =
+  let ok = ref (Array.length buckets > 0) in
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then ok := false;
+      if i > 0 && not (buckets.(i - 1) < b) then ok := false)
+    buckets;
+  if not !ok then
+    invalid_arg
+      (Printf.sprintf
+         "Telemetry.histogram %s: buckets must be finite and strictly \
+          increasing" name);
+  locked (fun () ->
+      let rec find i =
+        if i >= !histogram_count then None
+        else if String.equal !histogram_names.(i) name then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some id -> id
+      | None ->
+          let id = !histogram_count in
+          if id >= Array.length !histogram_names then begin
+            let grown_names = Array.make (max 8 (2 * (id + 1))) "" in
+            Array.blit !histogram_names 0 grown_names 0 id;
+            histogram_names := grown_names;
+            let grown_bounds = Array.make (max 8 (2 * (id + 1))) [||] in
+            Array.blit !histogram_bounds 0 grown_bounds 0 id;
+            histogram_bounds := grown_bounds
+          end;
+          !histogram_names.(id) <- name;
+          !histogram_bounds.(id) <- Array.copy buckets;
+          incr histogram_count;
+          id)
+
 let add c n =
   if Atomic.get enabled_flag then begin
     let shard = my_shard () in
@@ -102,11 +158,60 @@ let set_gauge g v =
     shard.gauge_values.(g) <- v
   end
 
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let shard = my_shard () in
+    if h >= Array.length shard.histo_counts then begin
+      let n = !histogram_count in
+      let grown_counts = Array.make (max 8 n) [||] in
+      Array.blit shard.histo_counts 0 grown_counts 0
+        (Array.length shard.histo_counts);
+      for i = Array.length shard.histo_counts to n - 1 do
+        grown_counts.(i) <- Array.make (Array.length !histogram_bounds.(i) + 1) 0
+      done;
+      shard.histo_counts <- grown_counts;
+      let grown_sums = Array.make (max 8 n) 0.0 in
+      Array.blit shard.histo_sums 0 grown_sums 0
+        (Array.length shard.histo_sums);
+      shard.histo_sums <- grown_sums
+    end;
+    let bounds = !histogram_bounds.(h) in
+    (* Slots past the histogram count at grow time are left empty; fill
+       them the first time a later-registered histogram is observed. *)
+    if Array.length shard.histo_counts.(h) = 0 then
+      shard.histo_counts.(h) <- Array.make (Array.length bounds + 1) 0;
+    let counts = shard.histo_counts.(h) in
+    let n = Array.length bounds in
+    let rec bucket i = if i >= n || v <= bounds.(i) then i else bucket (i + 1) in
+    counts.(bucket 0) <- counts.(bucket 0) + 1;
+    shard.histo_sums.(h) <- shard.histo_sums.(h) +. v
+  end
+
+(* Per-domain request tag, inherited by every span the domain records
+   while the tag is set (the serve loop tags each request's spans with
+   its request id; [trace_json] surfaces it in the span args). *)
+let tag_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_tag tag f =
+  let previous = Domain.DLS.get tag_key in
+  Domain.DLS.set tag_key (Some tag);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set tag_key previous) f
+
+let current_tag () = Domain.DLS.get tag_key
+
+let read_counter c =
+  locked (fun () ->
+      List.fold_left
+        (fun acc shard ->
+          if c < Array.length shard.counts then acc + shard.counts.(c) else acc)
+        0 !shards)
+
 let record_span shard span_name start_s cpu0 =
   let wall_s = Unix.gettimeofday () -. start_s in
   let cpu_s = Sys.time () -. cpu0 in
   shard.spans <-
-    { span_name; domain = shard.shard_domain; start_s; wall_s; cpu_s }
+    { span_name; domain = shard.shard_domain; start_s; wall_s; cpu_s;
+      tag = Domain.DLS.get tag_key }
     :: shard.spans
 
 let span name f =
@@ -130,21 +235,41 @@ let reset () =
         (fun shard ->
           Array.fill shard.counts 0 (Array.length shard.counts) 0;
           Array.fill shard.gauge_values 0 (Array.length shard.gauge_values) nan;
+          Array.iter
+            (fun counts -> Array.fill counts 0 (Array.length counts) 0)
+            shard.histo_counts;
+          Array.fill shard.histo_sums 0 (Array.length shard.histo_sums) 0.0;
           shard.spans <- [])
         !shards)
+
+type histogram_snapshot = {
+  h_name : string;
+  upper_bounds : float array;  (* finite bounds; an implicit +Inf follows *)
+  bucket_counts : int array;   (* length = Array.length upper_bounds + 1 *)
+  sum : float;
+  total : int;
+}
 
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * float) list;
+  histograms : histogram_snapshot list;
   spans : span_record list;
 }
 
 let snapshot () =
   locked (fun () ->
-      let n_counters = !counter_count and n_gauges = !gauge_count in
+      let n_counters = !counter_count
+      and n_gauges = !gauge_count
+      and n_histograms = !histogram_count in
       let counts = Array.make n_counters 0 in
       let gauge_values = Array.make n_gauges nan in
       let spans = ref [] in
+      (* Float sums are merged in fixed (domain-id) order so the result
+         is deterministic regardless of shard registration order. *)
+      let ordered_shards =
+        List.sort (fun a b -> compare a.shard_domain b.shard_domain) !shards
+      in
       List.iter
         (fun shard ->
           for c = 0 to min n_counters (Array.length shard.counts) - 1 do
@@ -158,7 +283,28 @@ let snapshot () =
                  else Float.max gauge_values.(g) v)
           done;
           spans := List.rev_append shard.spans !spans)
-        !shards;
+        ordered_shards;
+      let histograms =
+        List.init n_histograms (fun h ->
+            let upper_bounds = Array.copy !histogram_bounds.(h) in
+            let bucket_counts = Array.make (Array.length upper_bounds + 1) 0 in
+            let sum = ref 0.0 in
+            List.iter
+              (fun shard ->
+                if h < Array.length shard.histo_counts then begin
+                  let sc = shard.histo_counts.(h) in
+                  for b = 0 to Array.length bucket_counts - 1 do
+                    if b < Array.length sc then
+                      bucket_counts.(b) <- bucket_counts.(b) + sc.(b)
+                  done;
+                  sum := !sum +. shard.histo_sums.(h)
+                end)
+              ordered_shards;
+            let total = Array.fold_left ( + ) 0 bucket_counts in
+            { h_name = !histogram_names.(h); upper_bounds; bucket_counts;
+              sum = !sum; total })
+        |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+      in
       let counters =
         List.init n_counters (fun c -> (!counter_names.(c), counts.(c)))
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -171,7 +317,7 @@ let snapshot () =
       let spans =
         List.sort (fun a b -> Float.compare a.start_s b.start_s) !spans
       in
-      { counters; gauges; spans })
+      { counters; gauges; histograms; spans })
 
 let aggregate_spans snapshot =
   let order = ref [] in
@@ -191,6 +337,57 @@ let aggregate_spans snapshot =
       let count, wall, cpu = Hashtbl.find totals name in
       (name, count, wall, cpu))
     !order
+
+(* Prometheus text exposition (version 0.0.4). Metric names get an
+   [hb_] prefix and dots sanitised to underscores; counters gain the
+   conventional [_total] suffix, histogram buckets are cumulative with
+   the required [+Inf] bound. *)
+let prometheus snapshot =
+  let buf = Buffer.create 2048 in
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  let metric name = "hb_" ^ sanitize name in
+  let number v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+  in
+  List.iter
+    (fun (name, v) ->
+      let m = metric name ^ "_total" in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" m v))
+    snapshot.counters;
+  List.iter
+    (fun (name, v) ->
+      let m = metric name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" m (number v)))
+    snapshot.gauges;
+  List.iter
+    (fun h ->
+      let m = metric h.h_name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.bucket_counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m (number bound)
+               !cumulative))
+        h.upper_bounds;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m h.total);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" m h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m h.total))
+    snapshot.histograms;
+  Buffer.contents buf
 
 (* Chrome trace-event JSON (the object form). Timestamps are microseconds
    relative to the earliest span so traces start at t=0 in the viewer. *)
@@ -245,8 +442,13 @@ let trace_json snapshot =
            s.domain
            (micros (s.start_s -. origin))
            (micros s.wall_s));
-      Buffer.add_string buf
-        (Printf.sprintf ",\"args\":{\"cpu_s\":%.6f}}" s.cpu_s))
+      Buffer.add_string buf (Printf.sprintf ",\"args\":{\"cpu_s\":%.6f" s.cpu_s);
+      (match s.tag with
+       | Some tag ->
+           Buffer.add_string buf ",\"request_id\":";
+           escape tag
+       | None -> ());
+      Buffer.add_string buf "}}")
     snapshot.spans;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

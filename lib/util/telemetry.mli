@@ -50,6 +50,46 @@ val gauge : string -> gauge
 
 val set_gauge : gauge -> float -> unit
 
+(** {1 Histograms} *)
+
+(** A fixed-bucket histogram, interned by name. Buckets are upper bounds
+    (finite, strictly increasing), fixed at first registration; an
+    implicit +Inf bucket catches everything above the last bound. Each
+    domain accumulates into its own shard; {!snapshot} merges by exact
+    integer bucket-count sum (deterministic) and sums the observation
+    totals in domain-id order. *)
+type histogram
+
+(** [histogram ?buckets name] registers (or re-finds) [name]. Buckets
+    from a later registration of the same name are ignored. Raises
+    [Invalid_argument] when [buckets] is empty, non-finite, or not
+    strictly increasing. Default buckets: {!latency_buckets}. *)
+val histogram : ?buckets:float array -> string -> histogram
+
+(** Upper bounds suited to request latencies in seconds: 100µs .. 10s. *)
+val latency_buckets : float array
+
+(** Upper bounds suited to work counts (clusters evaluated, paths
+    enumerated): 1 .. 100&nbsp;000, roughly log-spaced. *)
+val count_buckets : float array
+
+(** [observe h v] records one observation on the calling domain's shard;
+    no-op when disabled. *)
+val observe : histogram -> float -> unit
+
+(** {1 Request tags} *)
+
+(** [with_tag tag f] runs [f ()] with the calling domain's current span
+    tag set to [tag] (restored afterwards, also on raise). Every span
+    recorded on this domain while the tag is set — including spans from
+    nested engine phases — carries it; {!trace_json} emits it as the
+    ["request_id"] span argument. Tags do not cross into {!Pool} worker
+    domains. *)
+val with_tag : string -> (unit -> 'a) -> 'a
+
+(** The calling domain's current span tag, if any. *)
+val current_tag : unit -> string option
+
 (** {1 Phase spans} *)
 
 (** One completed span: wall-clock start plus wall and cpu durations,
@@ -62,6 +102,7 @@ type span_record = {
   start_s : float;  (** wall clock, absolute seconds *)
   wall_s : float;
   cpu_s : float;
+  tag : string option;  (** request tag active when the span closed *)
 }
 
 (** [span name f] runs [f ()], recording a span on the calling domain's
@@ -71,13 +112,37 @@ val span : string -> (unit -> 'a) -> 'a
 
 (** {1 Reading} *)
 
+(** [read_counter c] sums [c] across all shards right now (takes the
+    registry lock; works whether or not a snapshot is due). Serve uses
+    before/after deltas of engine counters to size per-request work. *)
+val read_counter : counter -> int
+
+type histogram_snapshot = {
+  h_name : string;
+  upper_bounds : float array;
+      (** the finite bounds; an implicit +Inf bucket follows *)
+  bucket_counts : int array;
+      (** per-bucket (non-cumulative) counts; length = bounds + 1 *)
+  sum : float;   (** sum of all observations *)
+  total : int;   (** number of observations *)
+}
+
 type snapshot = {
   counters : (string * int) list;  (** every registered counter, by name *)
   gauges : (string * float) list;  (** only gauges that were set *)
+  histograms : histogram_snapshot list;  (** every registered histogram *)
   spans : span_record list;        (** chronological *)
 }
 
 val snapshot : unit -> snapshot
+
+(** [prometheus snapshot] renders the counters, gauges and histograms in
+    Prometheus text exposition format (version 0.0.4): names prefixed
+    [hb_] with non-identifier characters mapped to [_], counters
+    suffixed [_total], histograms as cumulative [_bucket{le="..."}]
+    series ending in [+Inf] plus [_sum]/[_count]. Spans are not
+    exposed. *)
+val prometheus : snapshot -> string
 
 (** [aggregate_spans snapshot] folds spans by name, preserving first-seen
     order: [(name, count, total_wall_s, total_cpu_s)]. *)
@@ -87,6 +152,6 @@ val aggregate_spans : snapshot -> (string * int * float * float) list
     (the [{"traceEvents": [...]}] object form) loadable in
     [chrome://tracing] or Perfetto: one complete ("ph": "X") event per
     span with microsecond timestamps relative to the earliest span, one
-    named thread track per domain, and the cpu time of each span under
-    ["args"]. *)
+    named thread track per domain, and the cpu time (plus the request
+    tag, when one was set) of each span under ["args"]. *)
 val trace_json : snapshot -> string

@@ -93,6 +93,64 @@ let test_loop_respects_cap () =
   Alcotest.(check bool) "bounded iterations" true
     (result.Hb_resynth.Loop.iterations <= 4)
 
+(* The QoR journal: every step carries consistent slack aggregates, the
+   loop also emits one [resynth.iteration] log line per step, and a met
+   run ends with a clean final QoR. *)
+let test_qor_journal () =
+  let design, system = slow_pipeline () in
+  Hb_util.Log.reset ();
+  Hb_util.Log.set_level Hb_util.Log.Info;
+  let events = ref [] in
+  Hb_util.Log.set_sink (fun e -> events := e :: !events);
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+          Hb_util.Log.set_level Hb_util.Log.Off;
+          Hb_util.Log.set_sink_default ())
+      (fun () -> Hb_resynth.Loop.optimise ~design ~system ~library:lib ())
+  in
+  let history = result.Hb_resynth.Loop.history in
+  Alcotest.(check bool) "journal non-empty" true (List.length history >= 1);
+  List.iteri
+    (fun i step ->
+       let label fmt = Printf.sprintf "step %d: %s" i fmt in
+       Alcotest.(check int) (label "iteration numbering") i
+         step.Hb_resynth.Loop.iteration;
+       Alcotest.(check bool) (label "tns non-positive") true
+         (step.Hb_resynth.Loop.total_negative_slack <= 0.0);
+       Alcotest.(check bool) (label "slow endpoints count") true
+         (step.Hb_resynth.Loop.slow_endpoints >= 0);
+       (* Negative slack somewhere implies at least one slow endpoint,
+          and vice versa. *)
+       Alcotest.(check bool) (label "tns and endpoint count agree") true
+         ((step.Hb_resynth.Loop.total_negative_slack < 0.0)
+          = (step.Hb_resynth.Loop.slow_endpoints > 0));
+       if i = 0 then
+         Alcotest.(check (float 0.0)) (label "first delta is zero") 0.0
+           step.Hb_resynth.Loop.delta_worst_slack
+       else
+         Alcotest.(check bool) (label "delta finite") true
+           (Float.is_finite step.Hb_resynth.Loop.delta_worst_slack))
+    history;
+  (* While iterating, the design is slow: every step saw slow endpoints. *)
+  (match history with
+   | step :: _ ->
+     Alcotest.(check bool) "first step sees slow endpoints" true
+       (step.Hb_resynth.Loop.slow_endpoints > 0)
+   | [] -> ());
+  if result.Hb_resynth.Loop.met_timing then begin
+    Alcotest.(check int) "met: no slow endpoints left" 0
+      result.Hb_resynth.Loop.final_slow_endpoints;
+    Alcotest.(check (float 0.0)) "met: tns cleared" 0.0
+      result.Hb_resynth.Loop.final_total_negative_slack
+  end;
+  let journal_lines =
+    List.filter (fun e -> e.Hb_util.Log.site = "resynth.iteration") !events
+  in
+  Alcotest.(check int) "one log line per iteration"
+    (List.length history) (List.length journal_lines);
+  Hb_util.Log.reset ()
+
 let () =
   Alcotest.run "hb_resynth"
     [ ("speedup",
@@ -103,5 +161,6 @@ let () =
        [ Alcotest.test_case "improves timing" `Quick test_loop_improves_timing;
          Alcotest.test_case "trades area" `Quick test_loop_trades_area;
          Alcotest.test_case "noop when fast" `Quick test_loop_noop_when_fast;
-         Alcotest.test_case "respects cap" `Quick test_loop_respects_cap ]);
+         Alcotest.test_case "respects cap" `Quick test_loop_respects_cap;
+         Alcotest.test_case "qor journal" `Quick test_qor_journal ]);
     ]

@@ -413,6 +413,146 @@ let test_serve_run_channel () =
                  Alcotest.(check string) "all ok" "ok" (reply_status reply))
               lines))
 
+(* One request id, followed end to end: client-supplied ["request_id"]
+   must surface in the reply envelope, the [serve.request] access-log
+   event, the telemetry spans the request recorded, and — when the
+   request fails — the flight-recorder dump. *)
+let test_serve_observability () =
+  let hbn, hbc = write_workload_files () in
+  let events = ref [] in
+  let dumps = ref [] in
+  Hb_util.Telemetry.set_enabled true;
+  Hb_util.Telemetry.reset ();
+  Hb_util.Log.reset ();
+  Hb_util.Log.set_level Hb_util.Log.Info;
+  Hb_util.Log.set_sink (fun e -> events := e :: !events);
+  Fun.protect
+    ~finally:(fun () ->
+        Hb_util.Log.set_level Hb_util.Log.Off;
+        Hb_util.Log.set_sink_default ();
+        Hb_util.Log.reset ();
+        Hb_util.Telemetry.set_enabled false;
+        Hb_util.Telemetry.reset ();
+        Sys.remove hbn;
+        Sys.remove hbc)
+    (fun () ->
+       let daemon =
+         Hb_sta.Serve.create ~dump:(fun doc -> dumps := doc :: !dumps) ()
+       in
+       let send line = Hb_sta.Serve.handle_line daemon line in
+       let reply_rid reply =
+         match Json.member "request_id" (Json.parse reply) with
+         | Some (Json.String rid) -> rid
+         | _ -> Alcotest.fail ("reply without request_id: " ^ reply)
+       in
+       (* Generated ids when the client sends none. *)
+       let ping = send {|{"id":1,"method":"ping"}|} in
+       let generated = reply_rid ping in
+       Alcotest.(check bool) "generated id shape" true
+         (String.length generated > 1 && generated.[0] = 'r');
+       ignore
+         (send
+            (Printf.sprintf
+               {|{"id":2,"method":"load","params":{"netlist":"%s","clocks":"%s"}}|}
+               hbn hbc));
+       let analyse =
+         send {|{"id":3,"method":"analyse","request_id":"obs-1"}|}
+       in
+       Alcotest.(check string) "client id echoed" "obs-1" (reply_rid analyse);
+       Alcotest.(check string) "analyse ok" "ok" (reply_status analyse);
+       (* Access log: a serve.request event tagged with the same id. *)
+       let field name e =
+         match List.assoc_opt name e.Hb_util.Log.fields with
+         | Some (Hb_util.Log.String s) -> Some s
+         | _ -> None
+       in
+       let access =
+         List.find_opt
+           (fun e ->
+              e.Hb_util.Log.site = "serve.request"
+              && field "request_id" e = Some "obs-1")
+           !events
+       in
+       (match access with
+        | None -> Alcotest.fail "no serve.request access-log line for obs-1"
+        | Some e ->
+          Alcotest.(check (option string)) "access log outcome" (Some "ok")
+            (field "outcome" e);
+          Alcotest.(check (option string)) "access log method"
+            (Some "analyse") (field "method" e));
+       (* Trace spans recorded while serving obs-1 carry its id. *)
+       let spans = (Hb_util.Telemetry.snapshot ()).Hb_util.Telemetry.spans in
+       Alcotest.(check bool) "some span tagged with obs-1" true
+         (List.exists
+            (fun sp -> sp.Hb_util.Telemetry.tag = Some "obs-1")
+            spans);
+       (* An error reply triggers a flight dump naming the failed request. *)
+       Alcotest.(check int) "no dump while healthy" 0 (List.length !dumps);
+       let failed =
+         send
+           {|{"id":4,"method":"scale_delay","request_id":"obs-bad","params":{"instance":"no-such-instance","factor":1.1}}|}
+       in
+       Alcotest.(check string) "error reply" "error" (reply_status failed);
+       Alcotest.(check string) "error echoes id" "obs-bad" (reply_rid failed);
+       (match !dumps with
+        | [ doc ] ->
+          let flight = Json.parse doc in
+          let requests =
+            match Json.member "requests" flight with
+            | Some (Json.List rs) -> rs
+            | _ -> Alcotest.fail "flight dump lacks requests"
+          in
+          let entry rid =
+            List.find_opt
+              (fun r -> Json.member "request_id" r = Some (Json.String rid))
+              requests
+          in
+          (match entry "obs-bad" with
+           | None -> Alcotest.fail "flight dump misses the failing request"
+           | Some r ->
+             (match Json.member "outcome" r with
+              | Some (Json.String "ok") | None ->
+                Alcotest.fail "failing request not marked as an error"
+              | Some _ -> ()));
+          Alcotest.(check bool) "earlier request retained" true
+            (entry "obs-1" <> None);
+          (match Json.member "log" flight with
+           | Some (Json.List _) -> ()
+           | _ -> Alcotest.fail "flight dump lacks log events")
+        | dumps ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly one dump, got %d"
+               (List.length dumps)));
+       (* Prometheus exposition through the wire. *)
+       let metrics =
+         send {|{"id":5,"method":"metrics","params":{"format":"prometheus"}}|}
+       in
+       (match reply_result metrics with
+        | Json.String text ->
+          Alcotest.(check bool) "request histogram exposed" true
+            (let needle = "# TYPE hb_serve_request_seconds histogram" in
+             let n = String.length needle and h = String.length text in
+             let rec scan i =
+               i + n <= h && (String.sub text i n = needle || scan (i + 1))
+             in
+             scan 0);
+          String.split_on_char '\n' text
+          |> List.iter (fun line ->
+              if line <> "" && not (String.length line > 0 && line.[0] = '#')
+              then
+                match String.index_opt line ' ' with
+                | None ->
+                  Alcotest.fail ("exposition line without value: " ^ line)
+                | Some i ->
+                  let v = String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  (match float_of_string_opt v with
+                   | Some _ -> ()
+                   | None ->
+                     Alcotest.fail ("unparseable sample value: " ^ line)))
+        | _ -> Alcotest.fail "prometheus metrics result is not a string");
+       ignore (send {|{"id":6,"method":"shutdown"}|}))
+
 (* ------------------------------------------------------------------ *)
 (* Error, Timeout, Engine.preprocess, Json                             *)
 (* ------------------------------------------------------------------ *)
@@ -527,7 +667,8 @@ let () =
        [ Alcotest.test_case "reuse counters" `Quick test_cache_reuse_counters ]);
       ("serve",
        [ Alcotest.test_case "transcript" `Quick test_serve_transcript;
-         Alcotest.test_case "run channel" `Quick test_serve_run_channel ]);
+         Alcotest.test_case "run channel" `Quick test_serve_run_channel;
+         Alcotest.test_case "observability" `Quick test_serve_observability ]);
       ("util",
        [ Alcotest.test_case "timeout helper" `Quick test_timeout_helper;
          Alcotest.test_case "preprocess shape" `Quick test_preprocess_shape;

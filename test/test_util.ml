@@ -398,6 +398,263 @@ let test_telemetry_trace_json () =
        trace;
      !depth = 0)
 
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i =
+    i + n <= h && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_histogram_basic () =
+  let h =
+    Hb_util.Telemetry.histogram ~buckets:[| 1.0; 2.0; 5.0 |]
+      "test.histo_basic"
+  in
+  (* Disabled: observations are dropped. *)
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.observe h 1.0;
+  with_telemetry (fun () ->
+      List.iter
+        (Hb_util.Telemetry.observe h)
+        [ 0.5; 1.0; 1.5; 2.0; 4.0; 100.0 ];
+      let s = Hb_util.Telemetry.snapshot () in
+      let histo =
+        match
+          List.find_opt
+            (fun (x : Hb_util.Telemetry.histogram_snapshot) ->
+               x.Hb_util.Telemetry.h_name = "test.histo_basic")
+            s.Hb_util.Telemetry.histograms
+        with
+        | Some x -> x
+        | None -> Alcotest.fail "histogram missing from snapshot"
+      in
+      (* le is inclusive: 1.0 lands in the first bucket, 2.0 in the
+         second; 100.0 overflows into the implicit +Inf slot. *)
+      Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |]
+        histo.Hb_util.Telemetry.bucket_counts;
+      Alcotest.(check int) "total" 6 histo.Hb_util.Telemetry.total;
+      check_float "sum" 109.0 histo.Hb_util.Telemetry.sum;
+      (* Re-registration with different buckets keeps the original. *)
+      let h' = Hb_util.Telemetry.histogram ~buckets:[| 9.0 |] "test.histo_basic" in
+      Hb_util.Telemetry.observe h' 0.1;
+      let s' = Hb_util.Telemetry.snapshot () in
+      let histo' =
+        List.find
+          (fun (x : Hb_util.Telemetry.histogram_snapshot) ->
+             x.Hb_util.Telemetry.h_name = "test.histo_basic")
+          s'.Hb_util.Telemetry.histograms
+      in
+      Alcotest.(check int) "interned, buckets kept" 4
+        (Array.length histo'.Hb_util.Telemetry.bucket_counts));
+  (* Bad bucket arrays are rejected at registration. *)
+  List.iter
+    (fun buckets ->
+       match Hb_util.Telemetry.histogram ~buckets "test.histo_invalid" with
+       | _ -> Alcotest.fail "expected Invalid_argument"
+       | exception Invalid_argument _ -> ())
+    [ [||]; [| 2.0; 1.0 |]; [| 1.0; 1.0 |]; [| 0.0; Float.infinity |] ]
+
+let test_histogram_parallel_merge () =
+  (* Same observations, any pool split: bucket counts are exact integer
+     sums and the float sum merges in fixed domain order, so the whole
+     histogram snapshot is deterministic. *)
+  let h =
+    Hb_util.Telemetry.histogram
+      ~buckets:[| 10.0; 100.0; 500.0 |] "test.histo_parallel"
+  in
+  let runs =
+    List.map
+      (fun jobs ->
+         with_telemetry (fun () ->
+             let pool = Hb_util.Pool.create ~jobs () in
+             Hb_util.Pool.run ~label:"test.histo_job" pool ~count:1000
+               (fun i -> Hb_util.Telemetry.observe h (float_of_int i));
+             let s = Hb_util.Telemetry.snapshot () in
+             Hb_util.Pool.shutdown pool;
+             List.find
+               (fun (x : Hb_util.Telemetry.histogram_snapshot) ->
+                  x.Hb_util.Telemetry.h_name = "test.histo_parallel")
+               s.Hb_util.Telemetry.histograms))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | first :: rest ->
+    Alcotest.(check (array int)) "sequential buckets" [| 11; 90; 400; 499 |]
+      first.Hb_util.Telemetry.bucket_counts;
+    Alcotest.(check int) "sequential total" 1000 first.Hb_util.Telemetry.total;
+    check_float "sequential sum" (float_of_int (1000 * 999 / 2))
+      first.Hb_util.Telemetry.sum;
+    List.iteri
+      (fun i run ->
+         Alcotest.(check (array int))
+           (Printf.sprintf "run %d buckets match sequential" (i + 1))
+           first.Hb_util.Telemetry.bucket_counts
+           run.Hb_util.Telemetry.bucket_counts;
+         check_float
+           (Printf.sprintf "run %d sum matches sequential" (i + 1))
+           first.Hb_util.Telemetry.sum run.Hb_util.Telemetry.sum)
+      rest
+  | [] -> Alcotest.fail "no runs"
+
+let test_prometheus_exposition () =
+  with_telemetry (fun () ->
+      let c = Hb_util.Telemetry.counter "promtest.requests" in
+      let g = Hb_util.Telemetry.gauge "promtest.dirty-set" in
+      let h =
+        Hb_util.Telemetry.histogram ~buckets:[| 1.0; 2.0; 5.0 |]
+          "promtest.latency_seconds"
+      in
+      Hb_util.Telemetry.add c 7;
+      Hb_util.Telemetry.set_gauge g 3.5;
+      List.iter (Hb_util.Telemetry.observe h) [ 0.5; 1.5; 1.5; 3.0; 9.0 ];
+      let text = Hb_util.Telemetry.prometheus (Hb_util.Telemetry.snapshot ()) in
+      (* Golden lines for this test's uniquely-prefixed metrics (the
+         global registry contributes other lines around them). *)
+      List.iter
+        (fun line ->
+           Alcotest.(check bool) ("exposition has: " ^ line) true
+             (string_contains text (line ^ "\n")))
+        [ "# TYPE hb_promtest_requests_total counter";
+          "hb_promtest_requests_total 7";
+          "# TYPE hb_promtest_dirty_set gauge";
+          "hb_promtest_dirty_set 3.5";
+          "# TYPE hb_promtest_latency_seconds histogram";
+          "hb_promtest_latency_seconds_bucket{le=\"1\"} 1";
+          "hb_promtest_latency_seconds_bucket{le=\"2\"} 3";
+          "hb_promtest_latency_seconds_bucket{le=\"5\"} 4";
+          "hb_promtest_latency_seconds_bucket{le=\"+Inf\"} 5";
+          "hb_promtest_latency_seconds_sum 15.5";
+          "hb_promtest_latency_seconds_count 5" ];
+      (* Bucket monotonicity: every histogram's cumulative counts must be
+         non-decreasing and end at its _count. *)
+      List.iter
+        (fun (hs : Hb_util.Telemetry.histogram_snapshot) ->
+           let cumulative = ref 0 in
+           Array.iter
+             (fun n ->
+                Alcotest.(check bool) "bucket count non-negative" true (n >= 0);
+                cumulative := !cumulative + n)
+             hs.Hb_util.Telemetry.bucket_counts;
+           Alcotest.(check int)
+             (hs.Hb_util.Telemetry.h_name ^ " count consistent")
+             hs.Hb_util.Telemetry.total !cumulative)
+        (Hb_util.Telemetry.snapshot ()).Hb_util.Telemetry.histograms)
+
+let test_telemetry_tags () =
+  with_telemetry (fun () ->
+      Hb_util.Telemetry.span "test.untagged" (fun () -> ());
+      Hb_util.Telemetry.with_tag "req-42" (fun () ->
+          Alcotest.(check (option string)) "tag visible inside" (Some "req-42")
+            (Hb_util.Telemetry.current_tag ());
+          Hb_util.Telemetry.span "test.tagged_outer" (fun () ->
+              Hb_util.Telemetry.span "test.tagged_inner" (fun () -> ())));
+      Alcotest.(check (option string)) "tag restored" None
+        (Hb_util.Telemetry.current_tag ());
+      let s = Hb_util.Telemetry.snapshot () in
+      let tag_of name =
+        (List.find
+           (fun sp -> sp.Hb_util.Telemetry.span_name = name)
+           s.Hb_util.Telemetry.spans)
+          .Hb_util.Telemetry.tag
+      in
+      Alcotest.(check (option string)) "outer tagged" (Some "req-42")
+        (tag_of "test.tagged_outer");
+      Alcotest.(check (option string)) "nested span inherits" (Some "req-42")
+        (tag_of "test.tagged_inner");
+      Alcotest.(check (option string)) "untagged span clean" None
+        (tag_of "test.untagged");
+      let trace = Hb_util.Telemetry.trace_json s in
+      Alcotest.(check bool) "trace carries request id" true
+        (string_contains trace "\"request_id\":\"req-42\""))
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_log level f =
+  Hb_util.Log.reset ();
+  Hb_util.Log.set_level level;
+  let events = ref [] in
+  Hb_util.Log.set_sink (fun e -> events := e :: !events);
+  Fun.protect
+    ~finally:(fun () ->
+        Hb_util.Log.set_level Hb_util.Log.Off;
+        Hb_util.Log.set_sink_default ();
+        Hb_util.Log.reset ())
+    (fun () -> f events)
+
+let test_log_levels () =
+  Alcotest.(check bool) "off emits nothing" false
+    (Hb_util.Log.level () <> Hb_util.Log.Off || Hb_util.Log.on Hb_util.Log.Error);
+  List.iter
+    (fun (name, expected) ->
+       Alcotest.(check bool) ("parse " ^ name) true
+         (Hb_util.Log.level_of_string name = expected))
+    [ ("off", Some Hb_util.Log.Off); ("error", Some Hb_util.Log.Error);
+      ("WARN", Some Hb_util.Log.Warn); ("warning", Some Hb_util.Log.Warn);
+      ("info", Some Hb_util.Log.Info); ("debug", Some Hb_util.Log.Debug);
+      ("verbose", None) ];
+  with_log Hb_util.Log.Info (fun events ->
+      Alcotest.(check bool) "info on" true (Hb_util.Log.on Hb_util.Log.Info);
+      Alcotest.(check bool) "debug gated" false
+        (Hb_util.Log.on Hb_util.Log.Debug);
+      Hb_util.Log.debug "test.dropped" [];
+      Hb_util.Log.info "test.kept" [ ("n", Hb_util.Log.Int 1) ];
+      Hb_util.Log.error "test.kept" [];
+      Alcotest.(check int) "only enabled events reach the sink" 2
+        (List.length !events);
+      Alcotest.(check int) "per-site count" 2 (Hb_util.Log.emitted "test.kept");
+      Alcotest.(check int) "dropped not counted" 0
+        (Hb_util.Log.emitted "test.dropped"))
+
+let test_log_render () =
+  with_log Hb_util.Log.Debug (fun events ->
+      Hb_util.Log.info "test.render"
+        [ ("flag", Hb_util.Log.Bool true);
+          ("n", Hb_util.Log.Int 42);
+          ("x", Hb_util.Log.Float 1.5);
+          ("who", Hb_util.Log.String "a \"quoted\" name") ];
+      let e = List.hd !events in
+      let json = Hb_util.Log.render_json e in
+      List.iter
+        (fun needle ->
+           Alcotest.(check bool) ("json has " ^ needle) true
+             (string_contains json needle))
+        [ "\"site\":\"test.render\""; "\"level\":\"info\"";
+          "\"flag\":true"; "\"n\":42"; "\"x\":1.5";
+          "\"who\":\"a \\\"quoted\\\" name\"" ];
+      (match Hb_util.Json.parse json with
+       | exception Hb_util.Json.Parse_error _ ->
+         Alcotest.fail "render_json must be parseable JSON"
+       | _ -> ());
+      let human = Hb_util.Log.render_human e in
+      Alcotest.(check bool) "human has site" true
+        (string_contains human "test.render");
+      Alcotest.(check bool) "human has field" true
+        (string_contains human "n=42"))
+
+let test_log_ring () =
+  with_log Hb_util.Log.Debug (fun _ ->
+      for i = 1 to 300 do
+        Hb_util.Log.info "test.ring" [ ("i", Hb_util.Log.Int i) ]
+      done;
+      let recent = Hb_util.Log.recent () in
+      Alcotest.(check int) "ring bounded at 256" 256 (List.length recent);
+      let value_of e =
+        match e.Hb_util.Log.fields with
+        | [ ("i", Hb_util.Log.Int i) ] -> i
+        | _ -> Alcotest.fail "unexpected fields"
+      in
+      Alcotest.(check int) "oldest surviving event" 45
+        (value_of (List.hd recent));
+      Alcotest.(check int) "newest event last" 300
+        (value_of (List.nth recent 255));
+      Alcotest.(check int) "site count unbounded" 300
+        (Hb_util.Log.emitted "test.ring");
+      (* A raising sink must not take the caller down. *)
+      Hb_util.Log.set_sink (fun _ -> failwith "sink boom");
+      Hb_util.Log.info "test.ring" [])
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ prop_modulo_in_range; prop_topo_random_dag; prop_heap_sorts;
@@ -439,6 +696,16 @@ let () =
          Alcotest.test_case "gauges" `Quick test_telemetry_gauges;
          Alcotest.test_case "spans" `Quick test_telemetry_spans;
          Alcotest.test_case "parallel merge" `Quick test_telemetry_parallel_merge;
-         Alcotest.test_case "trace json" `Quick test_telemetry_trace_json ]);
+         Alcotest.test_case "trace json" `Quick test_telemetry_trace_json;
+         Alcotest.test_case "histograms" `Quick test_histogram_basic;
+         Alcotest.test_case "histogram parallel merge" `Quick
+           test_histogram_parallel_merge;
+         Alcotest.test_case "prometheus exposition" `Quick
+           test_prometheus_exposition;
+         Alcotest.test_case "request tags" `Quick test_telemetry_tags ]);
+      ("log",
+       [ Alcotest.test_case "levels" `Quick test_log_levels;
+         Alcotest.test_case "render" `Quick test_log_render;
+         Alcotest.test_case "ring and sites" `Quick test_log_ring ]);
       ("properties", qsuite);
     ]
