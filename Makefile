@@ -11,7 +11,8 @@ test: build
 # Tier-1 gate plus fast parity/perf smokes: bench section P1 (slack
 # engine, two smallest Table 1 designs) and P2 (k-worst path engine,
 # DES-scale soup) fail hard when an optimised engine diverges from its
-# sequential / seed baseline.
+# sequential / seed baseline, and S2 (scale) asserts macro-vs-flat
+# slack parity on the 10k-cell tiled-Feistel design.
 check:
 	dune build
 	dune runtest

@@ -19,6 +19,17 @@ let section title =
 
 let lib = Hb_cell.Library.default ()
 
+(* Temp-and-rename so a crash (or ctrl-C) mid-write never leaves a
+   truncated BENCH_*.json for the regression harness to parse; readers
+   see either the old document or the complete new one. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc content with e -> close_out_noerr oc; raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+
 (* Median-of-n wall-seconds measurement ([Unix.gettimeofday], monotonic
    enough for benchmarking). Cpu seconds ([Sys.time]) would double-count
    domain-parallel work: n domains spinning for t seconds report n*t. *)
@@ -674,11 +685,11 @@ let slack_engine ?(designs = slack_engine_designs) () =
             Printf.sprintf "%.1fx" (seq_s /. Stdlib.max 1e-9 best) ])
        results);
   (* Machine-readable record for regression tracking. *)
-  let out = open_out "BENCH_slack_engine.json" in
-  Printf.fprintf out "{\n  \"benchmark\": \"slack_engine\",\n  \"jobs\": %d,\n  \"designs\": [" jobs;
+  let out = Buffer.create 4096 in
+  Printf.bprintf out "{\n  \"benchmark\": \"slack_engine\",\n  \"jobs\": %d,\n  \"designs\": [" jobs;
   List.iteri
     (fun i (name, (stats : Hb_netlist.Stats.t), seq_s, inc_s, par_s) ->
-       Printf.fprintf out
+       Printf.bprintf out
          "%s\n    {\"design\": \"%s\", \"cells\": %d, \"nets\": %d, \
           \"sequential_s\": %.6f, \"incremental_s\": %.6f, \"parallel_s\": %.6f, \
           \"speedup\": %.2f}"
@@ -687,8 +698,8 @@ let slack_engine ?(designs = slack_engine_designs) () =
          seq_s inc_s par_s
          (seq_s /. Stdlib.max 1e-9 (Stdlib.min inc_s par_s)))
     results;
-  Printf.fprintf out "\n  ]\n}\n";
-  close_out out;
+  Printf.bprintf out "\n  ]\n}\n";
+  write_file_atomic "BENCH_slack_engine.json" (Buffer.contents out);
   Printf.printf "\nwrote BENCH_slack_engine.json\n"
 
 (* ------------------------------------------------------------------ *)
@@ -810,11 +821,11 @@ let path_engine ?(designs = path_engine_designs) ?(ks = [ 10; 100; 1000 ]) () =
             Printf.sprintf "%.2f" (new_alloc /. 1e6);
             Printf.sprintf "%.1fx" (old_alloc /. Stdlib.max 1.0 new_alloc) ])
        results);
-  let out = open_out "BENCH_paths.json" in
-  Printf.fprintf out "{\n  \"benchmark\": \"paths\",\n  \"endpoints\": 16,\n  \"runs\": [";
+  let out = Buffer.create 4096 in
+  Printf.bprintf out "{\n  \"benchmark\": \"paths\",\n  \"endpoints\": 16,\n  \"runs\": [";
   List.iteri
     (fun i (name, k, old_s, new_s, old_alloc, new_alloc) ->
-       Printf.fprintf out
+       Printf.bprintf out
          "%s\n    {\"design\": \"%s\", \"k\": %d, \"old_s\": %.6f, \
           \"new_s\": %.6f, \"speedup\": %.2f, \"old_alloc_bytes\": %.0f, \
           \"new_alloc_bytes\": %.0f, \"alloc_ratio\": %.2f}"
@@ -824,8 +835,8 @@ let path_engine ?(designs = path_engine_designs) ?(ks = [ 10; 100; 1000 ]) () =
          old_alloc new_alloc
          (old_alloc /. Stdlib.max 1.0 new_alloc))
     results;
-  Printf.fprintf out "\n  ]\n}\n";
-  close_out out;
+  Printf.bprintf out "\n  ]\n}\n";
+  write_file_atomic "BENCH_paths.json" (Buffer.contents out);
   Printf.printf "\nwrote BENCH_paths.json\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1058,8 +1069,8 @@ let telemetry_bench () =
        if log_count site <= 0 then
          failwith (Printf.sprintf "P3: log site %s never emitted" site))
     [ "serve.request"; "session.create"; "session.analyse"; "session.mutate" ];
-  let out = open_out "BENCH_telemetry.json" in
-  Printf.fprintf out
+  let out = Buffer.create 4096 in
+  Printf.bprintf out
     "{\n  \"benchmark\": \"telemetry\",\n  \"design\": \"DES\",\n  \
      \"off_s\": %.6f,\n  \"on_s\": %.6f,\n  \"overhead_pct\": %.2f,\n  \
      \"disabled_counter_ns\": %.2f,\n  \"disabled_histogram_ns\": %.2f,\n  \
@@ -1067,25 +1078,25 @@ let telemetry_bench () =
     off_s on_s overhead_pct counter_ns observe_ns log_ns;
   List.iteri
     (fun i (name, value) ->
-       Printf.fprintf out "%s\n    \"%s\": %d"
+       Printf.bprintf out "%s\n    \"%s\": %d"
          (if i = 0 then "" else ",") name value)
     (List.sort compare snap.Hb_util.Telemetry.counters);
-  Printf.fprintf out "\n  },\n  \"histograms\": {";
+  Printf.bprintf out "\n  },\n  \"histograms\": {";
   List.iteri
     (fun i (h : Hb_util.Telemetry.histogram_snapshot) ->
-       Printf.fprintf out "%s\n    \"%s\": {\"count\": %d, \"sum\": %.6f}"
+       Printf.bprintf out "%s\n    \"%s\": {\"count\": %d, \"sum\": %.6f}"
          (if i = 0 then "" else ",")
          h.Hb_util.Telemetry.h_name h.Hb_util.Telemetry.total
          h.Hb_util.Telemetry.sum)
     snap.Hb_util.Telemetry.histograms;
-  Printf.fprintf out "\n  },\n  \"log_sites\": {";
+  Printf.bprintf out "\n  },\n  \"log_sites\": {";
   List.iteri
     (fun i (site, n) ->
-       Printf.fprintf out "%s\n    \"%s\": %d" (if i = 0 then "" else ",")
+       Printf.bprintf out "%s\n    \"%s\": %d" (if i = 0 then "" else ",")
          site n)
     log_sites;
-  Printf.fprintf out "\n  }\n}\n";
-  close_out out;
+  Printf.bprintf out "\n  }\n}\n";
+  write_file_atomic "BENCH_telemetry.json" (Buffer.contents out);
   Printf.printf "\nwrote BENCH_telemetry.json\n";
   (* Optional Chrome trace of the instrumented runs: --trace FILE. *)
   let trace_path =
@@ -1099,9 +1110,7 @@ let telemetry_bench () =
   in
   (match trace_path with
    | Some path ->
-     let oc = open_out path in
-     output_string oc (Hb_util.Telemetry.trace_json snap);
-     close_out oc;
+     write_file_atomic path (Hb_util.Telemetry.trace_json snap);
      Printf.printf "wrote %s\n" path
    | None -> ());
   (* Leave the registry as the later sections expect it: off and empty. *)
@@ -1198,20 +1207,180 @@ let session_bench () =
         Printf.sprintf "%.4f" one_shot_s;
         Printf.sprintf "%.4f" session_s;
         Printf.sprintf "%.1fx" speedup ] ];
-  let out = open_out "BENCH_session.json" in
-  Printf.fprintf out
+  let out = Buffer.create 4096 in
+  Printf.bprintf out
     "{\n  \"benchmark\": \"session\",\n  \"design\": \"DES\",\n  \
      \"queries\": %d,\n  \"instance\": \"%s\",\n  \
      \"one_shot_s\": %.6f,\n  \"session_s\": %.6f,\n  \
      \"speedup\": %.2f\n}\n"
     queries instance one_shot_s session_s speedup;
-  close_out out;
+  write_file_atomic "BENCH_session.json" (Buffer.contents out);
   Printf.printf "\nwrote BENCH_session.json\n";
   (* The acceptance bar: a persistent session must beat rebuilding the
      engine per query by a wide margin, or the subsystem is pointless. *)
   if speedup < 3.0 then
     failwith
       (Printf.sprintf "P4: session speedup %.2fx is below the 3x bar" speedup)
+
+(* ------------------------------------------------------------------ *)
+(* S2 — million-cell scale: macro vs flat relaxation                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole measurement: on the tiled-Feistel scale designs, run
+   Algorithm 1 with flat per-cluster re-evaluation and with hierarchical
+   timing macros, assert the results are bit-identical, and require the
+   macro path to win by >= 3x at the 100k preset. The 1M preset runs
+   macro-only (a flat 1M sweep per relaxation iteration is exactly the
+   cost this subsystem exists to avoid) and records wall time plus the
+   process peak RSS. [smoke] keeps just the 10k preset — parity and
+   plumbing, not the performance gate. *)
+let scale_bench ?(smoke = false) () =
+  section "S2: scale — hierarchical timing macros vs flat relaxation";
+  let presets =
+    if smoke then
+      [ ("scale10k", (fun () -> Hb_workload.Scale.scale10k ()), `Both, 3) ]
+    else
+      [ ("scale10k", (fun () -> Hb_workload.Scale.scale10k ()), `Both, 3);
+        ("scale100k", (fun () -> Hb_workload.Scale.scale100k ()), `Both, 3);
+        ("scale1m", (fun () -> Hb_workload.Scale.scale1m ()), `Macro_only, 1);
+      ]
+  in
+  let run_mode ~macro ~repeat ~design ~system =
+    let config = { Hb_sta.Config.default with Hb_sta.Config.macro } in
+    let ctx = Hb_sta.Context.make ~design ~system ~config () in
+    let outcome = ref None in
+    (* Cache and macro store are dropped each repeat, so every measured
+       run pays extraction (macro) or a cold sweep (flat) — the honest
+       one-shot comparison. *)
+    let wall =
+      measure ~repeat (fun () ->
+          Hb_sta.Context.invalidate_cache ctx;
+          Hb_sta.Elements.reset_offsets ctx.Hb_sta.Context.elements;
+          outcome := Some (Hb_sta.Algorithm1.run ctx))
+    in
+    match !outcome with
+    | Some outcome -> (wall, outcome, ctx)
+    | None -> assert false
+  in
+  let results =
+    List.map
+      (fun (name, make, mode, repeat) ->
+         let design, system = make () in
+         let stats = Hb_netlist.Stats.compute design in
+         let macro_s, macro_outcome, macro_ctx =
+           run_mode ~macro:true ~repeat ~design ~system
+         in
+         let flat =
+           match mode with
+           | `Macro_only -> None
+           | `Both -> Some (run_mode ~macro:false ~repeat ~design ~system)
+         in
+         (* Parity is part of the measurement, not a separate test: the
+            macro run must reproduce the flat slacks bit-for-bit. *)
+         (match flat with
+          | None -> ()
+          | Some (_, flat_outcome, _) ->
+            let fs = flat_outcome.Hb_sta.Algorithm1.final in
+            let ms = macro_outcome.Hb_sta.Algorithm1.final in
+            if
+              Int64.bits_of_float fs.Hb_sta.Slacks.worst
+              <> Int64.bits_of_float ms.Hb_sta.Slacks.worst
+            then
+              failwith
+                (Printf.sprintf "S2: %s: macro worst %h != flat worst %h"
+                   name ms.Hb_sta.Slacks.worst fs.Hb_sta.Slacks.worst);
+            Array.iteri
+              (fun e flat_slack ->
+                 if
+                   Int64.bits_of_float flat_slack
+                   <> Int64.bits_of_float
+                       ms.Hb_sta.Slacks.element_input_slack.(e)
+                 then
+                   failwith
+                     (Printf.sprintf
+                        "S2: %s: element %d slack diverges (macro %h, flat %h)"
+                        name e ms.Hb_sta.Slacks.element_input_slack.(e)
+                        flat_slack))
+              fs.Hb_sta.Slacks.element_input_slack);
+         let clusters =
+           Array.length macro_ctx.Hb_sta.Context.table.Hb_sta.Cluster.clusters
+         in
+         let rss = Hb_util.Rss.peak_bytes () in
+         (name, stats, clusters, flat, macro_s, macro_outcome, rss))
+      presets
+  in
+  Hb_util.Table.print
+    ~header:
+      [ "design"; "cells"; "clusters"; "cycles"; "flat s"; "macro s";
+        "speedup"; "peak rss MB" ]
+    ~align:
+      Hb_util.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun (name, stats, clusters, flat, macro_s, outcome, rss) ->
+          [ name;
+            string_of_int stats.Hb_netlist.Stats.cells;
+            string_of_int clusters;
+            Printf.sprintf "%d+%d" outcome.Hb_sta.Algorithm1.forward_cycles
+              outcome.Hb_sta.Algorithm1.backward_cycles;
+            (match flat with
+             | Some (flat_s, _, _) -> Printf.sprintf "%.4f" flat_s
+             | None -> "-");
+            Printf.sprintf "%.4f" macro_s;
+            (match flat with
+             | Some (flat_s, _, _) ->
+               Printf.sprintf "%.1fx" (flat_s /. Stdlib.max 1e-9 macro_s)
+             | None -> "-");
+            (match rss with
+             | Some bytes ->
+               Printf.sprintf "%.1f" (float_of_int bytes /. 1048576.0)
+             | None -> "-") ])
+       results);
+  let out = Buffer.create 4096 in
+  Printf.bprintf out "{\n  \"benchmark\": \"scale\",\n  \"presets\": [";
+  List.iteri
+    (fun i (name, (stats : Hb_netlist.Stats.t), clusters, flat, macro_s,
+            outcome, rss) ->
+       Printf.bprintf out
+         "%s\n    {\"design\": \"%s\", \"cells\": %d, \"clusters\": %d, \
+          \"forward_cycles\": %d, \"backward_cycles\": %d, \
+          \"worst_slack\": %.6f, \"flat_s\": %s, \"macro_s\": %.6f, \
+          \"speedup\": %s, \"parity\": %s, \"peak_rss_bytes\": %s}"
+         (if i = 0 then "" else ",")
+         name stats.Hb_netlist.Stats.cells clusters
+         outcome.Hb_sta.Algorithm1.forward_cycles
+         outcome.Hb_sta.Algorithm1.backward_cycles
+         outcome.Hb_sta.Algorithm1.final.Hb_sta.Slacks.worst
+         (match flat with
+          | Some (flat_s, _, _) -> Printf.sprintf "%.6f" flat_s
+          | None -> "null")
+         macro_s
+         (match flat with
+          | Some (flat_s, _, _) ->
+            Printf.sprintf "%.2f" (flat_s /. Stdlib.max 1e-9 macro_s)
+          | None -> "null")
+         (match flat with
+          | Some _ -> "\"bit_identical\""
+          | None -> "null")
+         (match rss with Some b -> string_of_int b | None -> "null"))
+    results;
+  Printf.bprintf out "\n  ]\n}\n";
+  write_file_atomic "BENCH_scale.json" (Buffer.contents out);
+  Printf.printf "\nwrote BENCH_scale.json\n";
+  (* The acceptance bar: at 100k cells, macro-level relaxation must beat
+     flat by >= 3x (cold runs, extraction included). *)
+  if not smoke then
+    List.iter
+      (fun (name, _, _, flat, macro_s, _, _) ->
+         match (name, flat) with
+         | "scale100k", Some (flat_s, _, _) ->
+           let speedup = flat_s /. Stdlib.max 1e-9 macro_s in
+           if speedup < 3.0 then
+             failwith
+               (Printf.sprintf
+                  "S2: macro speedup %.2fx at 100k is below the 3x bar"
+                  speedup)
+         | _ -> ())
+      results
 
 (* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
@@ -1301,6 +1470,7 @@ let () =
       ~ks:[ 10; 100 ] ();
     telemetry_bench ();
     session_bench ();
+    scale_bench ~smoke:true ();
     print_newline ()
   end
   else begin
@@ -1321,6 +1491,7 @@ let () =
     path_engine ();
     telemetry_bench ();
     session_bench ();
+    scale_bench ();
     bechamel_suite ();
     print_newline ()
   end

@@ -102,13 +102,17 @@ let load_config ?(rise_fall = false) ?jobs timing =
     exit 1
 
 let analyse_cmd =
-  let run netlist clocks paths constraints flag_file rise_fall timing dot
-      delay_model annotations json jobs telemetry trace log_level log_file =
+  let run netlist clocks paths constraints flag_file rise_fall macro timing
+      dot delay_model annotations json jobs telemetry trace log_level
+      log_file =
     handle_errors (fun () ->
         setup_logging log_level log_file;
         let design = load_design netlist in
         let system = load_clocks clocks in
         let config = load_config ~rise_fall ?jobs timing in
+        let config =
+          if macro then { config with Hb_sta.Config.macro = true } else config
+        in
         (* --trace needs the spans, so it implies --telemetry. *)
         let config =
           if telemetry || trace <> None then
@@ -199,6 +203,13 @@ let analyse_cmd =
            ~doc:"Propagate rising and falling arrivals separately (less \
                  pessimistic through inverting chains).")
   in
+  let macro =
+    Arg.(value & flag & info [ "macro" ]
+           ~doc:"Condense verified clusters into interface timing macros \
+                 during Algorithm 1 relaxation (scalar mode only; the \
+                 final slacks are always computed at full detail and are \
+                 bit-identical to a flat run).")
+  in
   let dot =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
            ~doc:"Write a Graphviz rendering with slow paths highlighted.")
@@ -236,8 +247,8 @@ let analyse_cmd =
     (Cmd.info "analyse"
        ~doc:"Run the full timing analysis (exit 2 when too-slow paths exist)")
     Term.(const run $ netlist_arg $ clocks_arg $ paths $ constraints $ flag_file
-          $ rise_fall $ timing_arg $ dot $ delay_model $ annotations $ json
-          $ jobs $ telemetry $ trace $ log_level_arg $ log_file_arg)
+          $ rise_fall $ macro $ timing_arg $ dot $ delay_model $ annotations
+          $ json $ jobs $ telemetry $ trace $ log_level_arg $ log_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -294,18 +305,7 @@ let passes_cmd =
 (* generate                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let generators =
-  [ ("des", fun () -> Hb_workload.Chips.des ());
-    ("alu", fun () -> Hb_workload.Chips.alu ());
-    ("sm1f", fun () -> Hb_workload.Chips.sm1f ());
-    ("sm1h", fun () -> Hb_workload.Chips.sm1h ());
-    ("dsp", fun () -> Hb_workload.Chips.dsp ());
-    ("figure1", fun () -> Hb_workload.Figures.figure1 ());
-    ("pipeline",
-     fun () ->
-       Hb_workload.Pipelines.two_phase ~width:8 ~stages:4 ~gates_per_stage:60 ());
-    ("ring", fun () -> Hb_workload.Pipelines.latch_ring ~gates:30 ());
-  ]
+let generators = Hb_workload.Catalog.generators
 
 let generate_cmd =
   let run which out_prefix =
@@ -327,7 +327,8 @@ let generate_cmd =
   let which =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"DESIGN"
-             ~doc:"One of: des, alu, dsp, sm1f, sm1h, figure1, pipeline, ring.")
+             ~doc:(Printf.sprintf "One of: %s."
+                     (String.concat ", " Hb_workload.Catalog.names)))
   in
   let out_prefix =
     Arg.(value & opt string "design" & info [ "o"; "output" ] ~docv:"PREFIX"
@@ -692,7 +693,8 @@ let serve_cmd =
                 try write_file_atomic path doc with Sys_error _ -> ())
         in
         let daemon =
-          Hb_sta.Serve.create ~timeout_seconds:timeout ~prometheus ?dump ()
+          Hb_sta.Serve.create ~timeout_seconds:timeout ~prometheus ?dump
+            ~generators:Hb_workload.Catalog.generators ()
         in
         (* Write trace/metrics exactly once on the way out, whatever the
            exit path: normal return, handle_errors' exit 1, SIGTERM (the

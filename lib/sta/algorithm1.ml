@@ -23,62 +23,72 @@ type outcome = {
 
 type direction = Forward | Backward
 
-(* One complete slack-transfer step across every synchronising element,
-   from a single slack snapshot. Returns whether any offset moved. *)
-let complete_transfer (ctx : Context.t) slacks direction =
-  Hb_util.Telemetry.incr
-    (match direction with
-     | Forward -> c_complete_forward
-     | Backward -> c_complete_backward);
-  let moved = ref false in
-  for e = 0 to Elements.count ctx.Context.elements - 1 do
-    let element = Elements.element ctx.Context.elements e in
-    let amount =
+(* Transfer steps run in two flat passes over a structure-of-arrays
+   amounts buffer: a gather pass folding the slack snapshot's element
+   arrays against the headrooms, then an apply pass issuing the shifts.
+   [divisor] is [None] for complete transfers and [Some n] for partial
+   ones. *)
+let gather_amounts (ctx : Context.t) slacks direction ~divisor ~amounts =
+  let elements = ctx.Context.elements in
+  let slack_of =
+    match direction with
+    | Forward -> slacks.Slacks.element_input_slack
+    | Backward -> slacks.Slacks.element_output_slack
+  in
+  for e = 0 to Elements.count elements - 1 do
+    let element = Elements.element elements e in
+    let headroom =
       match direction with
-      | Forward ->
-        let node_slack = slacks.Slacks.element_input_slack.(e) in
-        let headroom = Hb_sync.Element.forward_headroom element in
-        Hb_util.Time.min node_slack headroom
-      | Backward ->
-        let node_slack = slacks.Slacks.element_output_slack.(e) in
-        let headroom = Hb_sync.Element.backward_headroom element in
-        Hb_util.Time.min node_slack headroom
+      | Forward -> Hb_sync.Element.forward_headroom element
+      | Backward -> Hb_sync.Element.backward_headroom element
     in
+    let slack =
+      match divisor with
+      | None -> slack_of.(e)
+      | Some n -> slack_of.(e) /. n
+    in
+    amounts.(e) <- Hb_util.Time.min slack headroom
+  done
+
+let apply_amounts (ctx : Context.t) direction ~amounts =
+  let elements = ctx.Context.elements in
+  let moved = ref false in
+  for e = 0 to Elements.count elements - 1 do
+    let amount = amounts.(e) in
     if Hb_util.Time.is_positive amount then begin
       moved := true;
-      (match direction with
-       | Forward -> Hb_sync.Element.shift element (-.amount)
-       | Backward -> Hb_sync.Element.shift element amount)
+      let element = Elements.element elements e in
+      match direction with
+      | Forward -> Hb_sync.Element.shift element (-.amount)
+      | Backward -> Hb_sync.Element.shift element amount
     end
   done;
   !moved
 
+(* One complete slack-transfer step across every synchronising element,
+   from a single slack snapshot. Returns whether any offset moved. *)
+let complete_transfer_into (ctx : Context.t) slacks direction ~amounts =
+  Hb_util.Telemetry.incr
+    (match direction with
+     | Forward -> c_complete_forward
+     | Backward -> c_complete_backward);
+  gather_amounts ctx slacks direction ~divisor:None ~amounts;
+  apply_amounts ctx direction ~amounts
+
+let complete_transfer (ctx : Context.t) slacks direction =
+  let amounts = Array.make (Elements.count ctx.Context.elements) 0.0 in
+  complete_transfer_into ctx slacks direction ~amounts
+
 (* Partial transfer: move slack/n instead of all of it. *)
-let partial_transfer (ctx : Context.t) slacks direction =
+let partial_transfer_into (ctx : Context.t) slacks direction ~amounts =
   Hb_util.Telemetry.incr
     (match direction with
      | Forward -> c_partial_forward
      | Backward -> c_partial_backward);
   let divisor = ctx.Context.config.Config.partial_transfer_divisor in
   let divisor = if divisor > 1.0 then divisor else 2.0 in
-  for e = 0 to Elements.count ctx.Context.elements - 1 do
-    let element = Elements.element ctx.Context.elements e in
-    let amount =
-      match direction with
-      | Forward ->
-        Hb_util.Time.min
-          (slacks.Slacks.element_input_slack.(e) /. divisor)
-          (Hb_sync.Element.forward_headroom element)
-      | Backward ->
-        Hb_util.Time.min
-          (slacks.Slacks.element_output_slack.(e) /. divisor)
-          (Hb_sync.Element.backward_headroom element)
-    in
-    if Hb_util.Time.is_positive amount then
-      match direction with
-      | Forward -> Hb_sync.Element.shift element (-.amount)
-      | Backward -> Hb_sync.Element.shift element amount
-  done
+  gather_amounts ctx slacks direction ~divisor:(Some divisor) ~amounts;
+  ignore (apply_amounts ctx direction ~amounts : bool)
 
 let transfer_step ctx direction =
   let slacks = Slacks.compute ctx in
@@ -88,13 +98,26 @@ let transfer_step ctx direction =
 let run (ctx : Context.t) =
   let cap = ctx.Context.config.Config.max_transfer_iterations in
   let capped = ref false in
+  (* Intermediate snapshots go through the (possibly macro-level)
+     transfer path; the outcome's [final] is always a full flat compute
+     so net-level data, paths and reports are unaffected by macro mode. *)
+  let macro_snapshots =
+    ctx.Context.config.Config.macro
+    && not ctx.Context.config.Config.rise_fall
+  in
+  let arena = Hb_util.Arena.create () in
+  let amounts =
+    Hb_util.Arena.floats arena (Elements.count ctx.Context.elements)
+  in
   (* Iterations 1 and 2: complete transfers to a fixed point; each returns
      [Some slacks] when every slack went strictly positive on the way. *)
   let complete_phase direction =
     let cycles = ref 0 in
     let rec loop () =
-      let slacks = Slacks.compute ctx in
-      if Slacks.all_positive slacks then (Some slacks, !cycles)
+      let slacks = Slacks.compute_transfer ctx in
+      if Slacks.all_positive slacks then
+        (Some (if macro_snapshots then Slacks.compute ctx else slacks),
+         !cycles)
       else if !cycles >= cap then begin
         capped := true;
         (None, !cycles)
@@ -102,13 +125,14 @@ let run (ctx : Context.t) =
       else begin
         incr cycles;
         Hb_util.Telemetry.incr c_relaxation_iterations;
-        if complete_transfer ctx slacks direction then loop ()
+        if complete_transfer_into ctx slacks direction ~amounts then loop ()
         else (None, !cycles)
       end
     in
     loop ()
   in
   let finish status final forward_cycles backward_cycles =
+    Hb_util.Arena.release arena amounts;
     { status; final; forward_cycles; backward_cycles; capped = !capped }
   in
   match complete_phase Forward with
@@ -122,13 +146,13 @@ let run (ctx : Context.t) =
           made in the opposite direction. *)
        for _ = 1 to backward_cycles do
          Hb_util.Telemetry.incr c_relaxation_iterations;
-         let slacks = Slacks.compute ctx in
-         partial_transfer ctx slacks Forward
+         let slacks = Slacks.compute_transfer ctx in
+         partial_transfer_into ctx slacks Forward ~amounts
        done;
        for _ = 1 to forward_cycles do
          Hb_util.Telemetry.incr c_relaxation_iterations;
-         let slacks = Slacks.compute ctx in
-         partial_transfer ctx slacks Backward
+         let slacks = Slacks.compute_transfer ctx in
+         partial_transfer_into ctx slacks Backward ~amounts
        done;
        let final = Slacks.compute ctx in
        let status =

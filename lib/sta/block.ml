@@ -34,78 +34,41 @@ let create_result ~nets:n =
     required = Array.make n Hb_util.Time.infinity;
   }
 
+(* Sweeps carry each net's time as a source-tagged pair (base, acc): the
+   winning boundary assertion (or closure) time plus a delay accumulator
+   folded along the winning path, with the absolute time rounded as
+   fl(base + acc) (forward) / fl(base - acc) (backward). Rounding the sum
+   this way makes the full sweep agree bit-for-bit with {!Macro}'s
+   condensed interface arcs, which fold path delays with no boundary time
+   mixed in. [ready_rise]/[ready_fall] double as (base, acc) scratch for
+   the backward and scalar-forward phases; the rise/fall-separated forward
+   sweep still uses them as genuine per-polarity absolute arrivals. *)
 let evaluate_into ~passes ~elements ~(cluster : Cluster.t) ~cut ~mode
     (out : result) =
   let n = Array.length cluster.Cluster.nets in
   if Array.length out.ready <> n then
     invalid_arg "Block.evaluate_into: result sized for a different cluster";
+  let ready = out.ready in
   let ready_rise = out.ready_rise in
   let ready_fall = out.ready_fall in
   let min_ready = out.min_ready in
   let required = out.required in
-  Array.fill ready_rise 0 n Hb_util.Time.neg_infinity;
-  Array.fill ready_fall 0 n Hb_util.Time.neg_infinity;
-  Array.fill min_ready 0 n Hb_util.Time.infinity;
-  Array.fill required 0 n Hb_util.Time.infinity;
-  Array.iter
-    (fun (terminal : Cluster.terminal) ->
-       let element = Elements.element elements terminal.Cluster.element in
-       match assertion_time passes element ~cut with
-       | None -> ()
-       | Some t ->
-         let net = terminal.Cluster.net in
-         if t > ready_rise.(net) then ready_rise.(net) <- t;
-         if t > ready_fall.(net) then ready_fall.(net) <- t;
-         if t < min_ready.(net) then min_ready.(net) <- t)
-    cluster.Cluster.inputs;
-  (* Forward sweep: equation (1). Under [`Scalar] both polarities carry
-     the same (worst-delay) arrival; under [`Rise_fall] arcs route each
-     polarity according to their unateness. *)
   let succ_off = cluster.Cluster.succ_off in
   let succ_arc = cluster.Cluster.succ_arc in
+  let pred_off = cluster.Cluster.pred_off in
+  let pred_arc = cluster.Cluster.pred_arc in
+  let arc_to = cluster.Cluster.arc_to in
+  let arc_from = cluster.Cluster.arc_from in
+  let arc_dmax = cluster.Cluster.arc_dmax in
+  let arc_dmin = cluster.Cluster.arc_dmin in
   let arcs = cluster.Cluster.arcs in
-  Array.iter
-    (fun net ->
-       let rise = ready_rise.(net) and fall = ready_fall.(net) in
-       if Hb_util.Time.is_finite rise || Hb_util.Time.is_finite fall then
-         for k = succ_off.(net) to succ_off.(net + 1) - 1 do
-           let arc = arcs.(succ_arc.(k)) in
-           let to_net = arc.Cluster.to_net in
-           match mode with
-           | `Scalar ->
-             let t = rise +. arc.Cluster.dmax in
-             if t > ready_rise.(to_net) then ready_rise.(to_net) <- t;
-             if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
-           | `Rise_fall ->
-             let in_for_rise, in_for_fall =
-               match arc.Cluster.sense with
-               | `Positive -> (rise, fall)
-               | `Negative -> (fall, rise)
-               | `Non_unate ->
-                 let worst = Hb_util.Time.max rise fall in
-                 (worst, worst)
-             in
-             if Hb_util.Time.is_finite in_for_rise then begin
-               let t = in_for_rise +. arc.Cluster.rise in
-               if t > ready_rise.(to_net) then ready_rise.(to_net) <- t
-             end;
-             if Hb_util.Time.is_finite in_for_fall then begin
-               let t = in_for_fall +. arc.Cluster.fall in
-               if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
-             end
-         done;
-       if Hb_util.Time.is_finite min_ready.(net) then
-         for k = succ_off.(net) to succ_off.(net + 1) - 1 do
-           let arc = arcs.(succ_arc.(k)) in
-           let t = min_ready.(net) +. arc.Cluster.dmin in
-           if t < min_ready.(arc.Cluster.to_net) then
-             min_ready.(arc.Cluster.to_net) <- t
-         done)
-    cluster.Cluster.topo;
-  for i = 0 to n - 1 do
-    out.ready.(i) <- Hb_util.Time.max ready_rise.(i) ready_fall.(i)
-  done;
-  (* Closure times at the outputs assigned to this pass. *)
+  let topo = cluster.Cluster.topo in
+  (* Backward sweep first — equation (2), expressed through required
+     times, with worst arc delays in both modes (safe). Runs before the
+     forward phase so ready_rise/ready_fall are free to serve as its
+     (base, acc) scratch. *)
+  let base = ready_rise and acc = ready_fall in
+  Array.fill required 0 n Hb_util.Time.infinity;
   let plan = passes.Passes.plans.(cluster.Cluster.id) in
   Array.iteri
     (fun output_index (terminal : Cluster.terminal) ->
@@ -115,23 +78,128 @@ let evaluate_into ~passes ~elements ~(cluster : Cluster.t) ~cut ~mode
          | None -> ()
          | Some t ->
            let net = terminal.Cluster.net in
-           if t < required.(net) then required.(net) <- t
+           if t < required.(net) then begin
+             required.(net) <- t;
+             base.(net) <- t;
+             acc.(net) <- 0.0
+           end
        end)
     cluster.Cluster.outputs;
-  (* Backward sweep: equation (2), expressed through required times, with
-     worst arc delays in both modes (safe). *)
-  let pred_off = cluster.Cluster.pred_off in
-  let pred_arc = cluster.Cluster.pred_arc in
-  for i = Array.length cluster.Cluster.topo - 1 downto 0 do
-    let net = cluster.Cluster.topo.(i) in
-    if Hb_util.Time.is_finite required.(net) then
+  for i = Array.length topo - 1 downto 0 do
+    let net = topo.(i) in
+    if Hb_util.Time.is_finite required.(net) then begin
+      let b = base.(net) and a = acc.(net) in
       for k = pred_off.(net) to pred_off.(net + 1) - 1 do
-        let arc = arcs.(pred_arc.(k)) in
-        let t = required.(net) -. arc.Cluster.dmax in
-        if t < required.(arc.Cluster.from_net) then
-          required.(arc.Cluster.from_net) <- t
+        let j = pred_arc.(k) in
+        let a' = a +. arc_dmax.(j) in
+        let t = b -. a' in
+        let from_net = arc_from.(j) in
+        if t < required.(from_net) then begin
+          required.(from_net) <- t;
+          base.(from_net) <- b;
+          acc.(from_net) <- a'
+        end
       done
-  done
+    end
+  done;
+  (* Boundary assertions seed the forward phases. *)
+  Array.fill ready 0 n Hb_util.Time.neg_infinity;
+  Array.fill min_ready 0 n Hb_util.Time.infinity;
+  (match mode with
+   | `Scalar ->
+     Array.iter
+       (fun (terminal : Cluster.terminal) ->
+          let element = Elements.element elements terminal.Cluster.element in
+          match assertion_time passes element ~cut with
+          | None -> ()
+          | Some t ->
+            let net = terminal.Cluster.net in
+            if t > ready.(net) then begin
+              ready.(net) <- t;
+              ready_rise.(net) <- t;
+              ready_fall.(net) <- 0.0
+            end;
+            if t < min_ready.(net) then min_ready.(net) <- t)
+       cluster.Cluster.inputs
+   | `Rise_fall ->
+     Array.fill ready_rise 0 n Hb_util.Time.neg_infinity;
+     Array.fill ready_fall 0 n Hb_util.Time.neg_infinity;
+     Array.iter
+       (fun (terminal : Cluster.terminal) ->
+          let element = Elements.element elements terminal.Cluster.element in
+          match assertion_time passes element ~cut with
+          | None -> ()
+          | Some t ->
+            let net = terminal.Cluster.net in
+            if t > ready_rise.(net) then ready_rise.(net) <- t;
+            if t > ready_fall.(net) then ready_fall.(net) <- t;
+            if t < min_ready.(net) then min_ready.(net) <- t)
+       cluster.Cluster.inputs);
+  (* Earliest-arrival sweep (hold analysis), an absolute min-delay fold. *)
+  Array.iter
+    (fun net ->
+       let t0 = min_ready.(net) in
+       if Hb_util.Time.is_finite t0 then
+         for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+           let j = succ_arc.(k) in
+           let t = t0 +. arc_dmin.(j) in
+           if t < min_ready.(arc_to.(j)) then min_ready.(arc_to.(j)) <- t
+         done)
+    topo;
+  (* Forward sweep: equation (1). Under [`Scalar] one worst-delay arrival
+     is propagated as a (base, acc) pair; under [`Rise_fall] arcs route
+     each polarity according to their unateness. *)
+  (match mode with
+   | `Scalar ->
+     Array.iter
+       (fun net ->
+          if Hb_util.Time.is_finite ready.(net) then begin
+            let b = ready_rise.(net) and a = ready_fall.(net) in
+            for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+              let j = succ_arc.(k) in
+              let a' = a +. arc_dmax.(j) in
+              let t = b +. a' in
+              let to_net = arc_to.(j) in
+              if t > ready.(to_net) then begin
+                ready.(to_net) <- t;
+                ready_rise.(to_net) <- b;
+                ready_fall.(to_net) <- a'
+              end
+            done
+          end)
+       topo;
+     (* Scalar invariant: both polarity views equal the worst arrival. *)
+     Array.blit ready 0 ready_rise 0 n;
+     Array.blit ready 0 ready_fall 0 n
+   | `Rise_fall ->
+     Array.iter
+       (fun net ->
+          let rise = ready_rise.(net) and fall = ready_fall.(net) in
+          if Hb_util.Time.is_finite rise || Hb_util.Time.is_finite fall then
+            for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+              let arc = arcs.(succ_arc.(k)) in
+              let to_net = arc.Cluster.to_net in
+              let in_for_rise, in_for_fall =
+                match arc.Cluster.sense with
+                | `Positive -> (rise, fall)
+                | `Negative -> (fall, rise)
+                | `Non_unate ->
+                  let worst = Hb_util.Time.max rise fall in
+                  (worst, worst)
+              in
+              if Hb_util.Time.is_finite in_for_rise then begin
+                let t = in_for_rise +. arc.Cluster.rise in
+                if t > ready_rise.(to_net) then ready_rise.(to_net) <- t
+              end;
+              if Hb_util.Time.is_finite in_for_fall then begin
+                let t = in_for_fall +. arc.Cluster.fall in
+                if t > ready_fall.(to_net) then ready_fall.(to_net) <- t
+              end
+            done)
+       topo;
+     for i = 0 to n - 1 do
+       ready.(i) <- Hb_util.Time.max ready_rise.(i) ready_fall.(i)
+     done)
 
 let evaluate ~passes ~elements ~(cluster : Cluster.t) ~cut ?(mode = `Scalar) () =
   let result = create_result ~nets:(Array.length cluster.Cluster.nets) in

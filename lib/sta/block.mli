@@ -5,7 +5,12 @@
     offsets, computes per-net signal ready times (forward sweep, eq. 1),
     required times (backward sweep) and hence node slacks. "False paths"
     are not discarded — the paper chooses the block method's speed and
-    accepts its safe pessimism. *)
+    accepts its safe pessimism.
+
+    Worst-delay sweeps associate each net's time as a source-tagged
+    (boundary time, accumulated path delay) pair rounded once per step,
+    so per-net results agree bit-for-bit with evaluating the same cluster
+    through {!Macro}'s condensed interface arcs. *)
 
 (** Arrival-time model. [`Scalar] propagates one (worst) arrival per net;
     [`Rise_fall] propagates rising and falling arrivals separately with

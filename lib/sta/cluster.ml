@@ -19,6 +19,13 @@ type t = {
   nets : int array;
   members : int list;
   arcs : arc array;
+  (* Structure-of-arrays mirror of [arcs], indexed by arc id. The hot
+     sweeps in Block and Macro read these flat arrays instead of chasing
+     boxed arc records; every arc mutation must write both views. *)
+  arc_from : int array;
+  arc_to : int array;
+  arc_dmax : float array;
+  arc_dmin : float array;
   succ_off : int array;
   succ_arc : int array;
   pred_off : int array;
@@ -27,6 +34,21 @@ type t = {
   inputs : terminal array;
   outputs : terminal array;
 }
+
+let soa_of_arcs (arcs : arc array) =
+  let m = Array.length arcs in
+  let arc_from = Array.make m 0 in
+  let arc_to = Array.make m 0 in
+  let arc_dmax = Array.make m 0.0 in
+  let arc_dmin = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let arc = arcs.(i) in
+    arc_from.(i) <- arc.from_net;
+    arc_to.(i) <- arc.to_net;
+    arc_dmax.(i) <- arc.dmax;
+    arc_dmin.(i) <- arc.dmin
+  done;
+  (arc_from, arc_to, arc_dmax, arc_dmin)
 
 let iter_succ cluster net ~f =
   for k = cluster.succ_off.(net) to cluster.succ_off.(net + 1) - 1 do
@@ -226,10 +248,15 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
                  (Printf.sprintf
                     "combinational cycle in cluster %d: %s" c path))
         in
+        let arc_from, arc_to, arc_dmax, arc_dmin = soa_of_arcs arcs in
         { id = c;
           nets = nets.(c);
           members = List.rev members.(c);
           arcs;
+          arc_from;
+          arc_to;
+          arc_dmax;
+          arc_dmin;
           succ_off;
           succ_arc;
           pred_off;
@@ -296,7 +323,8 @@ let refresh_delays table ~design ?(delays = Delays.lumped) () =
         (refresh_arc ~caller:"refresh_delays" ~design ~delays cluster)
         cluster.arcs
     in
-    { cluster with arcs }
+    let arc_from, arc_to, arc_dmax, arc_dmin = soa_of_arcs arcs in
+    { cluster with arcs; arc_from; arc_to; arc_dmax; arc_dmin }
   in
   if Array.length table.cluster_of_net <> Hb_netlist.Design.net_count design
   then invalid_arg "Cluster.refresh_delays: net count mismatch";
@@ -314,9 +342,13 @@ let refresh_instance_delays table ~design ~insts ?(delays = Delays.lumped) () =
        Array.iteri
          (fun i arc ->
             if Hashtbl.mem wanted arc.inst then begin
-              cluster.arcs.(i) <-
+              let fresh =
                 refresh_arc ~caller:"refresh_instance_delays" ~design ~delays
-                  cluster arc;
+                  cluster arc
+              in
+              cluster.arcs.(i) <- fresh;
+              cluster.arc_dmax.(i) <- fresh.dmax;
+              cluster.arc_dmin.(i) <- fresh.dmin;
               hit := true
             end)
          cluster.arcs;

@@ -36,6 +36,13 @@ type t = {
   nets : int array;                (** local index → global net id *)
   members : int list;              (** combinational instance ids *)
   arcs : arc array;
+  arc_from : int array;            (** SoA mirror of [arcs]: source local net *)
+  arc_to : int array;              (** SoA mirror of [arcs]: sink local net *)
+  arc_dmax : float array;          (** SoA mirror of [arcs]: max(rise, fall).
+                                       The scalar sweeps in {!Block} and
+                                       {!Macro} read the SoA views only;
+                                       arc mutations keep both in sync *)
+  arc_dmin : float array;          (** SoA mirror of [arcs]: min(rise, fall) *)
   succ_off : int array;            (** CSR row offsets, length [nets + 1]:
                                        arcs out of local net [v] are
                                        [succ_arc.(succ_off.(v)) ..

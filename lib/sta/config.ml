@@ -14,6 +14,7 @@ type t = {
   multicycle : (string * int) list;
   incremental : bool;
   parallel_jobs : int;
+  macro : bool;
   telemetry : bool;
   log_level : Hb_util.Log.level;
 }
@@ -29,6 +30,7 @@ let default =
     multicycle = [];
     incremental = true;
     parallel_jobs = Hb_util.Pool.recommended_jobs ();
+    macro = false;
     telemetry = false;
     log_level = Hb_util.Log.Off;
   }

@@ -51,6 +51,14 @@ type t = {
           [Slacks.compute]; [1] = fully sequential, the default is
           [Domain.recommended_domain_count ()]. Cluster evaluations are
           independent, so any value yields identical results *)
+  macro : bool;
+      (** evaluate the intermediate slack snapshots of Algorithm 1 through
+          per-cluster interface-arc timing macros ({!Macro}) instead of
+          full block sweeps. Element slacks — the only data the transfer
+          loop reads — are bit-identical to flat evaluation; the final
+          slack picture, paths and reports are always computed flat.
+          Applies to the scalar delay model only (rise/fall analysis
+          falls back to flat evaluation). Default [false] *)
   telemetry : bool;
       (** record {!Hb_util.Telemetry} counters, gauges and phase spans
           during analysis; default [false]. Disabled instrumentation

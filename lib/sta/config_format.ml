@@ -66,6 +66,11 @@ let parse ?(base = Config.default) text =
        | "on" -> config := { !config with Config.incremental = true }
        | "off" -> config := { !config with Config.incremental = false }
        | other -> fail_line lineno "incremental: expected on/off, got %S" other)
+    | [ "macro"; flag ] ->
+      (match flag with
+       | "on" -> config := { !config with Config.macro = true }
+       | "off" -> config := { !config with Config.macro = false }
+       | other -> fail_line lineno "macro: expected on/off, got %S" other)
     | [ "telemetry"; flag ] ->
       (match flag with
        | "on" -> config := { !config with Config.telemetry = true }
@@ -126,6 +131,7 @@ let to_string (config : Config.t) =
   add "partial-divisor %g\n" config.Config.partial_transfer_divisor;
   add "incremental %s\n" (if config.Config.incremental then "on" else "off");
   add "parallel-jobs %d\n" config.Config.parallel_jobs;
+  add "macro %s\n" (if config.Config.macro then "on" else "off");
   add "telemetry %s\n" (if config.Config.telemetry then "on" else "off");
   add "log-level %s\n" (Hb_util.Log.level_name config.Config.log_level);
   List.iter

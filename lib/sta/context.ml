@@ -15,6 +15,10 @@ type t = {
   passes : Passes.t;
   clusters_of_element : int array array;
   mutable slack_cache : cache option;
+  (* Per-cluster timing macros (Macro.t), extracted lazily by the macro
+     slack path. Macros depend only on arc delays, so offset-moving
+     iterations keep them; delay mutations evict the touched slots. *)
+  mutable macro_cache : Macro.t option array option;
 }
 
 (* Element → incident clusters: an element touches a cluster when it
@@ -48,6 +52,7 @@ let make ~design ~system ?(config = Config.default) ?delays () =
   { design; system; config; elements; table; passes;
     clusters_of_element = incidence ~elements ~table;
     slack_cache = None;
+    macro_cache = None;
   }
 
 (* The slack cache, (re)created on demand. [versions] starts one behind
@@ -97,7 +102,17 @@ let cache t ~mode =
   | Some cache when cache.cache_mode = mode -> cache
   | Some _ | None -> create_cache t ~mode
 
-let invalidate_cache t = t.slack_cache <- None
+let invalidate_cache t =
+  t.slack_cache <- None;
+  t.macro_cache <- None
+
+let macros t =
+  match t.macro_cache with
+  | Some store -> store
+  | None ->
+    let store = Array.make (Array.length t.table.Cluster.clusters) None in
+    t.macro_cache <- Some store;
+    store
 
 let release_result arena (r : Block.result) =
   Hb_util.Arena.release arena r.Block.ready;
@@ -107,13 +122,20 @@ let release_result arena (r : Block.result) =
   Hb_util.Arena.release arena r.Block.required
 
 let invalidate_clusters t ids =
+  let cluster_count = Array.length t.table.Cluster.clusters in
+  List.iter
+    (fun id ->
+       if id < 0 || id >= cluster_count then
+         invalid_arg "Context.invalidate_clusters: cluster id out of range")
+    ids;
+  (match t.macro_cache with
+   | None -> ()
+   | Some store -> List.iter (fun id -> store.(id) <- None) ids);
   match t.slack_cache with
   | None -> ()
   | Some cache ->
     List.iter
       (fun id ->
-         if id < 0 || id >= Array.length cache.results then
-           invalid_arg "Context.invalidate_clusters: cluster id out of range";
          let row = cache.results.(id) in
          Array.iteri
            (fun cut slot ->
@@ -165,6 +187,7 @@ let update_design ctx ~design ?delays () =
     else Passes.build ~system:ctx.system ~elements ~table
   in
   (* Arc delays changed and the element table is new, so cached block
-     results and version snapshots are stale; the incidence map only
-     depends on the unchanged topology. *)
-  { ctx with design; elements; table; passes; slack_cache = None }
+     results, version snapshots and timing macros are stale; the incidence
+     map only depends on the unchanged topology. *)
+  { ctx with design; elements; table; passes;
+             slack_cache = None; macro_cache = None }

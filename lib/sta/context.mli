@@ -31,6 +31,9 @@ type t = {
       (** element id → ids of clusters with a terminal on that element;
           sorted, duplicate-free. Fixed by the topology. *)
   mutable slack_cache : cache option;
+  mutable macro_cache : Macro.t option array option;
+      (** per-cluster timing macros, extracted lazily by the macro slack
+          path ({!Slacks.compute_transfer}); see {!macros} *)
 }
 
 (** [make ~design ~system ?config ?delays ()] runs the pre-processing
@@ -52,20 +55,28 @@ val make :
     differs. *)
 val cache : t -> mode:Block.mode -> cache
 
-(** [invalidate_cache t] drops the slack cache; the next
-    {!Slacks.compute} re-evaluates everything. Needed only when timing
-    data changes behind the elements' backs (offset mutations are
-    tracked automatically via element versions). *)
+(** [invalidate_cache t] drops the slack cache and every timing macro;
+    the next {!Slacks.compute} re-evaluates everything. Needed only when
+    timing data changes behind the elements' backs (offset mutations are
+    tracked automatically via element versions and never stale a
+    macro). *)
 val invalidate_cache : t -> unit
 
 (** [invalidate_clusters t ids] drops only the named clusters' cached
-    results (buffers recycled through the arena): the next
-    {!Slacks.compute} re-evaluates exactly those clusters and serves the
-    rest from cache. The targeted counterpart of {!invalidate_cache},
-    paired with [Cluster.refresh_instance_delays] when a session edits
-    one instance's delay in place. No-op when no cache exists.
+    results (buffers recycled through the arena) and timing macros: the
+    next {!Slacks.compute} re-evaluates exactly those clusters and serves
+    the rest from cache, and the macro path re-extracts exactly those
+    macros. The targeted counterpart of {!invalidate_cache}, paired with
+    [Cluster.refresh_instance_delays] when a session edits one instance's
+    delay in place.
     @raise Invalid_argument on a cluster id outside the table. *)
 val invalidate_clusters : t -> int list -> unit
+
+(** [macros t] returns the per-cluster macro store (indexed by cluster
+    id), creating an all-empty one on first use. Slots are filled lazily
+    by the macro slack path and evicted by {!invalidate_clusters} /
+    {!invalidate_cache} / {!update_design}. *)
+val macros : t -> Macro.t option array
 
 (** [cache_result cache cluster ~cut_index] returns the cached result
     buffers for the cluster's [cut_index]-th pass, allocating them from

@@ -5,6 +5,7 @@ type timings = Session.timings = {
   preprocess_wall_seconds : float;
   analysis_wall_seconds : float;
   constraints_wall_seconds : float;
+  peak_rss_bytes : int option;
 }
 
 type report = Session.report = {
@@ -36,6 +37,7 @@ let preprocess ~design ~system ?config ?delays () =
       preprocess_wall_seconds = wall;
       analysis_wall_seconds = 0.0;
       constraints_wall_seconds = 0.0;
+      peak_rss_bytes = Hb_util.Rss.peak_bytes ();
     } )
 
 let preprocess_cpu ~design ~system ?config ?delays () =

@@ -23,6 +23,9 @@ type timings = Session.timings = {
   preprocess_wall_seconds : float;
   analysis_wall_seconds : float;
   constraints_wall_seconds : float;  (** 0 when skipped *)
+  peak_rss_bytes : int option;
+      (** process peak resident set size when the record was built
+          ({!Hb_util.Rss.peak_bytes}); [None] off Linux *)
 }
 
 type report = Session.report = {

@@ -173,12 +173,16 @@ let report ?(paths = 0) (r : Engine.report) =
     add "  },\n"
   end;
   add "  \"timings\": {\"preprocess_s\": %s, \"analysis_s\": %s, \"constraints_s\": %s, \
-       \"preprocess_wall_s\": %s, \"analysis_wall_s\": %s, \"constraints_wall_s\": %s}\n"
+       \"preprocess_wall_s\": %s, \"analysis_wall_s\": %s, \"constraints_wall_s\": %s, \
+       \"peak_rss_bytes\": %s}\n"
     (number r.Engine.timings.Engine.preprocess_seconds)
     (number r.Engine.timings.Engine.analysis_seconds)
     (number r.Engine.timings.Engine.constraints_seconds)
     (number r.Engine.timings.Engine.preprocess_wall_seconds)
     (number r.Engine.timings.Engine.analysis_wall_seconds)
-    (number r.Engine.timings.Engine.constraints_wall_seconds);
+    (number r.Engine.timings.Engine.constraints_wall_seconds)
+    (match r.Engine.timings.Engine.peak_rss_bytes with
+     | Some bytes -> string_of_int bytes
+     | None -> "null");
   add "}\n";
   Buffer.contents buffer

@@ -1,0 +1,208 @@
+type t = {
+  (* Interface arcs in CSR form, both directions. The forward table is
+     keyed by output-terminal index: row [o] holds (input-terminal index,
+     accumulated worst delay) pairs for every input reaching [o]. The
+     backward table is keyed by input-terminal index with (output-terminal
+     index, delay) pairs. Forward delays fold along paths in topological
+     order and backward delays in reverse order — the same association the
+     full block sweeps use — so the two tables differ in the last ulp and
+     are both needed for bit-identity. *)
+  fwd_off : int array;
+  fwd_in : int array;
+  fwd_d : Hb_util.Time.t array;
+  bwd_off : int array;
+  bwd_out : int array;
+  bwd_d : Hb_util.Time.t array;
+  (* Boundary lookups hoisted out of the evaluation loop: element ids and
+     pass-graph node indices (-1 when the terminal carries no edge),
+     replacing the per-call hashtable lookups inside Passes. *)
+  in_elt : int array;
+  in_node : int array;
+  out_elt : int array;
+  out_node : int array;
+}
+
+let c_extractions = Hb_util.Telemetry.counter "macro.extractions"
+let c_evaluations = Hb_util.Telemetry.counter "macro.evaluations"
+
+(* Rows accumulate as reversed (index, delay) lists; flatten into CSR
+   preserving ascending terminal order (ties in the evaluation folds then
+   resolve in the same order as the block sweeps' seed loops). *)
+let csr_of_rows rows =
+  let nrows = Array.length rows in
+  let off = Array.make (nrows + 1) 0 in
+  for r = 0 to nrows - 1 do
+    off.(r + 1) <- off.(r) + List.length rows.(r)
+  done;
+  let m = off.(nrows) in
+  let idx = Array.make m 0 in
+  let d = Array.make m 0.0 in
+  for r = 0 to nrows - 1 do
+    let k = ref (off.(r + 1) - 1) in
+    List.iter
+      (fun (i, v) ->
+         idx.(!k) <- i;
+         d.(!k) <- v;
+         decr k)
+      rows.(r)
+  done;
+  (off, idx, d)
+
+let extract ~passes ~elements (cluster : Cluster.t) =
+  Hb_util.Telemetry.incr c_extractions;
+  let n = Array.length cluster.Cluster.nets in
+  let inputs = cluster.Cluster.inputs in
+  let outputs = cluster.Cluster.outputs in
+  let ni = Array.length inputs in
+  let no = Array.length outputs in
+  let in_elt = Array.make ni 0 in
+  let in_node = Array.make ni (-1) in
+  let out_elt = Array.make no 0 in
+  let out_node = Array.make no (-1) in
+  for i = 0 to ni - 1 do
+    let terminal = inputs.(i) in
+    in_elt.(i) <- terminal.Cluster.element;
+    match
+      (Elements.element elements terminal.Cluster.element)
+        .Hb_sync.Element.assertion_edge
+    with
+    | Some edge -> in_node.(i) <- Passes.assertion_node passes edge
+    | None -> ()
+  done;
+  for o = 0 to no - 1 do
+    let terminal = outputs.(o) in
+    out_elt.(o) <- terminal.Cluster.element;
+    match
+      (Elements.element elements terminal.Cluster.element)
+        .Hb_sync.Element.closure_edge
+    with
+    | Some edge -> out_node.(o) <- Passes.closure_node passes edge
+    | None -> ()
+  done;
+  let topo = cluster.Cluster.topo in
+  let succ_off = cluster.Cluster.succ_off in
+  let succ_arc = cluster.Cluster.succ_arc in
+  let pred_off = cluster.Cluster.pred_off in
+  let pred_arc = cluster.Cluster.pred_arc in
+  let arc_from = cluster.Cluster.arc_from in
+  let arc_to = cluster.Cluster.arc_to in
+  let arc_dmax = cluster.Cluster.arc_dmax in
+  let value = Array.make n Hb_util.Time.neg_infinity in
+  (* Forward: one sweep per asserting input terminal, seeded with delay
+     0 at the input's net — which also records the zero-delay self arc
+     when an output terminal sits on the very same net. *)
+  let fwd_rows = Array.make no [] in
+  for i = 0 to ni - 1 do
+    if in_node.(i) >= 0 then begin
+      Array.fill value 0 n Hb_util.Time.neg_infinity;
+      value.(inputs.(i).Cluster.net) <- 0.0;
+      Array.iter
+        (fun net ->
+           let v = value.(net) in
+           if Hb_util.Time.is_finite v then
+             for k = succ_off.(net) to succ_off.(net + 1) - 1 do
+               let j = succ_arc.(k) in
+               let c = v +. arc_dmax.(j) in
+               if c > value.(arc_to.(j)) then value.(arc_to.(j)) <- c
+             done)
+        topo;
+      for o = 0 to no - 1 do
+        let v = value.(outputs.(o).Cluster.net) in
+        if Hb_util.Time.is_finite v then fwd_rows.(o) <- (i, v) :: fwd_rows.(o)
+      done
+    end
+  done;
+  (* Backward: one reverse sweep per closing output terminal. *)
+  let bwd_rows = Array.make ni [] in
+  for o = 0 to no - 1 do
+    if out_node.(o) >= 0 then begin
+      Array.fill value 0 n Hb_util.Time.neg_infinity;
+      value.(outputs.(o).Cluster.net) <- 0.0;
+      for t = Array.length topo - 1 downto 0 do
+        let net = topo.(t) in
+        let v = value.(net) in
+        if Hb_util.Time.is_finite v then
+          for k = pred_off.(net) to pred_off.(net + 1) - 1 do
+            let j = pred_arc.(k) in
+            let c = v +. arc_dmax.(j) in
+            if c > value.(arc_from.(j)) then value.(arc_from.(j)) <- c
+          done
+      done;
+      for i = 0 to ni - 1 do
+        let v = value.(inputs.(i).Cluster.net) in
+        if Hb_util.Time.is_finite v then bwd_rows.(i) <- (o, v) :: bwd_rows.(i)
+      done
+    end
+  done;
+  let fwd_off, fwd_in, fwd_d = csr_of_rows fwd_rows in
+  let bwd_off, bwd_out, bwd_d = csr_of_rows bwd_rows in
+  { fwd_off; fwd_in; fwd_d; bwd_off; bwd_out; bwd_d;
+    in_elt; in_node; out_elt; out_node;
+  }
+
+let evaluate macro ~passes ~elements ~(plan : Passes.plan) ~cut
+    ~input_slack ~output_slack ~scratch_assert ~scratch_close =
+  Hb_util.Telemetry.incr c_evaluations;
+  let node_count = passes.Passes.node_count in
+  let node_time = passes.Passes.node_time in
+  let period = passes.Passes.system.Hb_clock.System.overall_period in
+  let first = (cut + 1) mod node_count in
+  let origin = node_time.(first) in
+  let linear node =
+    let base = node_time.(node) -. origin in
+    if node < first then base +. period else base
+  in
+  let ni = Array.length macro.in_node in
+  let no = Array.length macro.out_node in
+  let assignment = plan.Passes.assignment in
+  (* Absolute boundary times of this pass; offsets are re-read on every
+     call because the relaxation loop moves them between snapshots. *)
+  for i = 0 to ni - 1 do
+    let node = macro.in_node.(i) in
+    scratch_assert.(i) <-
+      (if node < 0 then Hb_util.Time.neg_infinity
+       else
+         linear node
+         +. Hb_sync.Element.assertion_offset
+              (Elements.element elements macro.in_elt.(i)))
+  done;
+  (* Output side: ready-time folds and data-input slacks for the outputs
+     assigned to this cut; closures stay +inf elsewhere so the backward
+     folds ignore them. *)
+  for o = 0 to no - 1 do
+    if assignment.(o) = cut && macro.out_node.(o) >= 0 then begin
+      let closure =
+        linear macro.out_node.(o)
+        +. Hb_sync.Element.closure_offset
+             (Elements.element elements macro.out_elt.(o))
+      in
+      scratch_close.(o) <- closure;
+      let ready = ref Hb_util.Time.neg_infinity in
+      for k = macro.fwd_off.(o) to macro.fwd_off.(o + 1) - 1 do
+        let t = scratch_assert.(macro.fwd_in.(k)) +. macro.fwd_d.(k) in
+        if t > !ready then ready := t
+      done;
+      if Hb_util.Time.is_finite !ready then begin
+        let slack = closure -. !ready in
+        let e = macro.out_elt.(o) in
+        if slack < input_slack.(e) then input_slack.(e) <- slack
+      end
+    end
+    else scratch_close.(o) <- Hb_util.Time.infinity
+  done;
+  (* Input side: required-time folds and element output slacks; every
+     pass constrains the paths emanating from an input terminal. *)
+  for i = 0 to ni - 1 do
+    if macro.in_node.(i) >= 0 then begin
+      let required = ref Hb_util.Time.infinity in
+      for k = macro.bwd_off.(i) to macro.bwd_off.(i + 1) - 1 do
+        let t = scratch_close.(macro.bwd_out.(k)) -. macro.bwd_d.(k) in
+        if t < !required then required := t
+      done;
+      if Hb_util.Time.is_finite !required then begin
+        let slack = !required -. scratch_assert.(i) in
+        let e = macro.in_elt.(i) in
+        if slack < output_slack.(e) then output_slack.(e) <- slack
+      end
+    end
+  done

@@ -68,6 +68,9 @@ let summary (report : Engine.report) =
     report.Engine.timings.Engine.preprocess_wall_seconds
     report.Engine.timings.Engine.analysis_wall_seconds
     report.Engine.timings.Engine.constraints_wall_seconds;
+  (match report.Engine.timings.Engine.peak_rss_bytes with
+   | Some bytes -> add "peak rss: %.1f MB\n" (float_of_int bytes /. 1048576.0)
+   | None -> ());
   if ctx.Context.config.Config.telemetry then
     Buffer.add_string buffer (metrics_section ());
   Buffer.contents buffer

@@ -19,6 +19,9 @@ type t = {
   library : Hb_cell.Library.t;
   prometheus : bool;  (* default metrics exposition format *)
   dump : (string -> unit) option;  (* flight-recorder sink *)
+  generators :
+    (string * (unit -> Hb_netlist.Design.t * Hb_clock.System.t)) list;
+      (* named built-in designs servable without files on disk *)
   mutable session : Session.t option;
   mutable stopping : bool;
   mutable rid_seq : int;
@@ -54,11 +57,12 @@ let bad_request fmt =
     (fun message -> raise (Request_error { code = "bad_request"; message }))
     fmt
 
-let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump () =
+let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump
+    ?(generators = []) () =
   let library =
     match library with Some l -> l | None -> Hb_cell.Library.default ()
   in
-  { timeout_seconds; library; prometheus; dump;
+  { timeout_seconds; library; prometheus; dump; generators;
     session = None; stopping = false;
     rid_seq = 0;
     summaries = Array.make summary_capacity None;
@@ -178,15 +182,36 @@ let loading path f =
      | None -> raise e)
 
 let handle_load t p =
-  let netlist = req_text "netlist" p in
-  let clocks = req_text "clocks" p in
-  let design =
-    loading netlist (fun () ->
-        if Filename.check_suffix netlist ".blif" then
-          Hb_netlist.Blif.parse_file ~library:t.library netlist
-        else Hb_netlist.Hbn_format.parse_file ~library:t.library netlist)
+  (* Either a registered generator name, or netlist/clocks file paths. *)
+  let design, system =
+    match opt_text "generator" p with
+    | Some name ->
+      (match opt_text "netlist" p, opt_text "clocks" p with
+       | None, None -> ()
+       | _ -> bad_request "generator excludes netlist/clocks");
+      (match List.assoc_opt name t.generators with
+       | Some make -> make ()
+       | None ->
+         bad_request "unknown generator %S%s" name
+           (match t.generators with
+            | [] -> " (this server registered no generators)"
+            | gs ->
+              Printf.sprintf " (expected one of: %s)"
+                (String.concat ", " (List.map fst gs))))
+    | None ->
+      let netlist = req_text "netlist" p in
+      let clocks = req_text "clocks" p in
+      let design =
+        loading netlist (fun () ->
+            if Filename.check_suffix netlist ".blif" then
+              Hb_netlist.Blif.parse_file ~library:t.library netlist
+            else Hb_netlist.Hbn_format.parse_file ~library:t.library netlist)
+      in
+      let system =
+        loading clocks (fun () -> Hb_clock.System.parse_file clocks)
+      in
+      (design, system)
   in
-  let system = loading clocks (fun () -> Hb_clock.System.parse_file clocks) in
   let config =
     match opt_text "timing" p with
     | None -> Config.default
@@ -204,6 +229,11 @@ let handle_load t p =
     match opt_bool "telemetry" p with
     | None -> config
     | Some telemetry -> { config with Config.telemetry }
+  in
+  let config =
+    match opt_bool "macro" p with
+    | None -> config
+    | Some macro -> { config with Config.macro }
   in
   let delays =
     match opt_text "delay_model" p with

@@ -16,8 +16,9 @@
      "error": {"code": "timeout", "message": "..."}}
     v}
 
-    Methods: [ping], [load] (netlist/clocks/timing paths — replaces the
-    current session), [annotate] ([text] or [file]), [set_delay],
+    Methods: [ping], [load] (netlist/clocks/timing paths, or the name
+    of a registered ["generator"] — replaces the current session),
+    [annotate] ([text] or [file]), [set_delay],
     [scale_delay], [set_offset], [analyse], [paths], [constraints],
     [hold], [metrics], [flight], [sleep] (test hook) and [shutdown]. A
     request may carry ["schema_version"]: a value the server doesn't
@@ -58,19 +59,25 @@
 
 type t
 
-(** [create ?timeout_seconds ?library ?prometheus ?dump ()] prepares a
-    daemon with no design loaded. [timeout_seconds] (default 0 =
-    unlimited) bounds each request; [library] (default
+(** [create ?timeout_seconds ?library ?prometheus ?dump ?generators ()]
+    prepares a daemon with no design loaded. [timeout_seconds] (default
+    0 = unlimited) bounds each request; [library] (default
     [Hb_cell.Library.default ()]) resolves cells for [load];
     [prometheus] (default false) makes Prometheus text the default
     [metrics] exposition; [dump] receives the flight-recorder JSON
     document after every error reply and on IO failure in {!run}
-    (exceptions from [dump] are swallowed). *)
+    (exceptions from [dump] are swallowed). [generators] (default [[]])
+    registers named built-in designs [load] can build in-process via its
+    ["generator"] param instead of reading netlist/clocks files — the
+    CLI passes the workload catalog here, keeping this library free of a
+    dependency on the generators. [load] also accepts a boolean
+    ["macro"] param selecting hierarchical timing-macro analysis. *)
 val create :
   ?timeout_seconds:float ->
   ?library:Hb_cell.Library.t ->
   ?prometheus:bool ->
   ?dump:(string -> unit) ->
+  ?generators:(string * (unit -> Hb_netlist.Design.t * Hb_clock.System.t)) list ->
   unit ->
   t
 

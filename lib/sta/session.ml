@@ -5,6 +5,7 @@ type timings = {
   preprocess_wall_seconds : float;
   analysis_wall_seconds : float;
   constraints_wall_seconds : float;
+  peak_rss_bytes : int option;
 }
 
 type report = {
@@ -320,6 +321,7 @@ let analyse ?(generate_constraints = true) ?(check_hold = true) t =
         preprocess_wall_seconds = a.preprocess_wall_seconds;
         analysis_wall_seconds = a.analysis_wall_seconds;
         constraints_wall_seconds;
+        peak_rss_bytes = Hb_util.Rss.peak_bytes ();
       };
   }
 

@@ -56,6 +56,9 @@ type timings = {
   preprocess_wall_seconds : float;
   analysis_wall_seconds : float;
   constraints_wall_seconds : float;
+  peak_rss_bytes : int option;
+      (** process peak RSS sampled when the report was built; [None]
+          when the platform exposes no high-water mark *)
 }
 
 type report = {

@@ -208,6 +208,67 @@ let compute ?mode ?(force = false) (ctx : Context.t) =
             "Slacks.compute: cluster result missing after cache refresh")
   end
 
+(* Macro-level snapshot: element slacks only, evaluated through the
+   per-cluster interface-arc macros. The transfer loop of Algorithm 1
+   reads nothing else, and the element slacks are bit-identical to flat
+   evaluation (see Macro), so intermediate iterations can skip the per-net
+   sweeps and the three per-net result arrays entirely. Net-level fields
+   are left empty — callers needing them use {!compute}. *)
+let compute_macro (ctx : Context.t) =
+  let elements = ctx.Context.elements in
+  let passes = ctx.Context.passes in
+  let element_count = Elements.count elements in
+  let element_input_slack = Array.make element_count Hb_util.Time.infinity in
+  let element_output_slack = Array.make element_count Hb_util.Time.infinity in
+  let clusters = ctx.Context.table.Cluster.clusters in
+  let store = Context.macros ctx in
+  let max_in = ref 1 and max_out = ref 1 in
+  Array.iter
+    (fun (cluster : Cluster.t) ->
+       let ni = Array.length cluster.Cluster.inputs in
+       let no = Array.length cluster.Cluster.outputs in
+       if ni > !max_in then max_in := ni;
+       if no > !max_out then max_out := no)
+    clusters;
+  let scratch_assert = Array.make !max_in 0.0 in
+  let scratch_close = Array.make !max_out 0.0 in
+  Array.iter
+    (fun (cluster : Cluster.t) ->
+       let id = cluster.Cluster.id in
+       let macro =
+         match store.(id) with
+         | Some macro -> macro
+         | None ->
+           let macro = Macro.extract ~passes ~elements cluster in
+           store.(id) <- Some macro;
+           macro
+       in
+       let plan = passes.Passes.plans.(id) in
+       Hb_util.Telemetry.incr c_clusters_evaluated;
+       List.iter
+         (fun cut ->
+            Macro.evaluate macro ~passes ~elements ~plan ~cut
+              ~input_slack:element_input_slack
+              ~output_slack:element_output_slack
+              ~scratch_assert ~scratch_close)
+         plan.Passes.cuts)
+    clusters;
+  let worst = ref Hb_util.Time.infinity in
+  let fold slack =
+    if Hb_util.Time.is_finite slack && slack < !worst then worst := slack
+  in
+  Array.iter fold element_input_slack;
+  Array.iter fold element_output_slack;
+  { element_input_slack; element_output_slack;
+    net_slack = [||]; net_ready = [||]; net_required = [||];
+    worst = !worst;
+  }
+
+let compute_transfer (ctx : Context.t) =
+  let config = ctx.Context.config in
+  if config.Config.macro && not config.Config.rise_fall then compute_macro ctx
+  else compute ctx
+
 let all_positive t =
   let ok slack = not (Hb_util.Time.le slack 0.0) in
   Array.for_all ok t.element_input_slack

@@ -49,6 +49,17 @@ type t = {
     compare the incremental path against a from-scratch recompute. *)
 val compute : ?mode:Block.mode -> ?force:bool -> Context.t -> t
 
+(** [compute_transfer ctx] is the slack snapshot used between slack
+    transfers inside Algorithm 1. When [Config.macro] is set (and the
+    scalar arrival model is in effect), it evaluates through per-cluster
+    interface-arc timing macros ({!Macro}) — element slacks and [worst]
+    are bit-identical to {!compute}, but the net-level arrays are left
+    empty (length 0), since the transfer loop never reads them. Falls
+    back to {!compute} when macros are disabled or [Config.rise_fall] is
+    set. The final slack picture an analysis reports always comes from
+    {!compute}. *)
+val compute_transfer : Context.t -> t
+
 (** [all_positive t] is true when every terminal slack is strictly
     positive — the system "behaves as intended". *)
 val all_positive : t -> bool

@@ -1,0 +1,32 @@
+(* Peak RSS via /proc/self/status. The VmHWM line looks like:
+     VmHWM:     12345 kB
+   Parsing is deliberately forgiving: any failure (missing file, missing
+   line, unexpected unit) degrades to None rather than raising. *)
+
+let parse_vmhwm_line line =
+  match String.split_on_char ':' line with
+  | [ "VmHWM"; rest ] ->
+    let rest = String.trim rest in
+    (match String.split_on_char ' ' rest with
+     | value :: _ ->
+       (match int_of_string_opt value with
+        | Some kb when kb >= 0 -> Some (kb * 1024)
+        | _ -> None)
+     | [] -> None)
+  | _ -> None
+
+let peak_bytes () =
+  match open_in "/proc/self/status" with
+  | exception _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        (match parse_vmhwm_line line with
+         | Some _ as hit -> hit
+         | None -> scan ())
+    in
+    let result = scan () in
+    close_in_noerr ic;
+    result

@@ -1,0 +1,10 @@
+(** Peak resident-set-size introspection.
+
+    Reads the process high-water mark ([VmHWM]) from [/proc/self/status] on
+    Linux.  On platforms without procfs the probe returns [None]; callers
+    must treat the value as best-effort telemetry, never as a correctness
+    input. *)
+
+val peak_bytes : unit -> int option
+(** [peak_bytes ()] is the peak resident set size of the current process in
+    bytes, or [None] when the platform does not expose it. *)

@@ -1,0 +1,19 @@
+type generator = unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+let generators : (string * generator) list =
+  [ ("des", fun () -> Chips.des ());
+    ("alu", fun () -> Chips.alu ());
+    ("sm1f", fun () -> Chips.sm1f ());
+    ("sm1h", fun () -> Chips.sm1h ());
+    ("dsp", fun () -> Chips.dsp ());
+    ("figure1", fun () -> Figures.figure1 ());
+    ("pipeline",
+     fun () -> Pipelines.two_phase ~width:8 ~stages:4 ~gates_per_stage:60 ());
+    ("ring", fun () -> Pipelines.latch_ring ~gates:30 ());
+    ("scale10k", fun () -> Scale.scale10k ());
+    ("scale100k", fun () -> Scale.scale100k ());
+    ("scale1m", fun () -> Scale.scale1m ());
+  ]
+
+let find name = List.assoc_opt name generators
+let names = List.map fst generators

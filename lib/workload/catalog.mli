@@ -1,0 +1,16 @@
+(** The named generator registry shared by the CLI [generate] command
+    and the serve daemon's load-by-generator path, so both front ends
+    offer exactly the same design menu. *)
+
+type generator = unit -> Hb_netlist.Design.t * Hb_clock.System.t
+
+(** Name/constructor pairs, in presentation order. Includes the seed
+    designs (des, alu, sm1f, sm1h, dsp, figure1, pipeline, ring) and
+    the {!Scale} presets (scale10k, scale100k, scale1m). *)
+val generators : (string * generator) list
+
+(** [find name] is the generator registered under [name], if any. *)
+val find : string -> generator option
+
+(** Registered names, in presentation order. *)
+val names : string list

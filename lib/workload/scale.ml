@@ -1,0 +1,119 @@
+(* Tiled Feistel array; see scale.mli for the topology. Cluster
+   granularity is the load-bearing property: every latched bit feeds
+   exactly one S-box input, so no two S-box clouds ever share a net and
+   cluster extraction yields one small cluster per cloud. *)
+
+let sboxes = 8
+let bits = 6
+let width = sboxes * bits (* 48 *)
+
+(* The slow pocket: a [depth]-long inverter chain from input 0, with
+   every output xor-ing the chain tail against one input so all six
+   inputs reach all six outputs. Chain delay ~0.45 ns per stage, far
+   beyond the clock period at the default depth — the cluster's deficit
+   cannot be fixed by borrowing, forcing Algorithm 1 to relax offsets
+   back through the full latch pipeline. *)
+let slow_sbox builder ~prefix ~inputs ~depth =
+  let tail =
+    List.fold_left
+      (fun (stage, from) () ->
+         let net = Printf.sprintf "%s_c%d" prefix stage in
+         Hb_netlist.Builder.add_instance builder
+           ~name:(Printf.sprintf "%s_i%d" prefix stage)
+           ~cell:"inv_x1"
+           ~connections:[ ("a", from); ("y", net) ]
+           ();
+         (stage + 1, net))
+      (0, List.hd inputs)
+      (List.init depth (fun _ -> ()))
+    |> snd
+  in
+  List.mapi
+    (fun k input ->
+       let net = Printf.sprintf "%s_o%d" prefix k in
+       Hb_netlist.Builder.add_instance builder
+         ~name:(Printf.sprintf "%s_x%d" prefix k)
+         ~cell:"xor2_x1"
+         ~connections:[ ("a", tail); ("b", input); ("y", net) ]
+         ();
+       net)
+    inputs
+
+(* Defaults tuned empirically at the 10k preset: period 40 puts the
+   whole array within a fraction of a ns of its constraints (so
+   Algorithm 1 needs many complete-transfer cycles to settle), and an
+   80-inverter pocket (~44 ns) leaves a deficit no amount of borrowing
+   can absorb, driving the partial-transfer phases as well. *)
+let feistel ?(seed = 97L) ?(gates_per_sbox = 36) ?(slow_depth = 80)
+    ?(period = 40.0) ~name ~tiles ~stages () =
+  if tiles < 2 then invalid_arg "Scale.feistel: tiles must be >= 2";
+  if stages < 2 then invalid_arg "Scale.feistel: stages must be >= 2";
+  let system = Clocks.two_phase ~period in
+  let rng = Hb_util.Rng.create seed in
+  let builder =
+    Hb_netlist.Builder.create ~name ~library:(Hb_cell.Library.default ())
+  in
+  Rtl.add_clock_ports builder system;
+  let din =
+    Rtl.input_ports builder ~prefix:"din" ~count:(tiles * width)
+    |> Array.of_list
+  in
+  (* data.(t).(b): the net feeding bit [b] of tile [t]'s next latch bank. *)
+  let data =
+    Array.init tiles (fun t ->
+        Array.init width (fun b -> din.((t * width) + b)))
+  in
+  for s = 0 to stages - 1 do
+    let clock_net = if s mod 2 = 0 then "phi1" else "phi2" in
+    let q =
+      Array.init tiles (fun t ->
+          Rtl.register_bank builder ~cell:"latch" ~clock_net
+            ~prefix:(Printf.sprintf "t%ds%d" t s)
+            ~data:(Array.to_list data.(t))
+          |> Array.of_list)
+    in
+    if s < stages - 1 then
+      for t = 0 to tiles - 1 do
+        for j = 0 to sboxes - 1 do
+          (* Input k of S-box (t, j) reads latched bit
+             6*((j+k) mod 8) + k of tile (t+k) mod tiles — a bijection
+             on (tile, bit), so every latch output is consumed exactly
+             once and clusters never merge. *)
+          let inputs =
+            List.init bits (fun k ->
+                let t' = (t + k) mod tiles in
+                let b' = (bits * ((j + k) mod sboxes)) + k in
+                q.(t').(b'))
+          in
+          let prefix = Printf.sprintf "t%ds%db%d" t s j in
+          let outputs =
+            if t = 0 && j = 0 && s = stages - 2 && slow_depth > 0 then
+              slow_sbox builder ~prefix ~inputs ~depth:slow_depth
+            else
+              (Cloud.grow builder ~rng ~prefix ~inputs ~gates:gates_per_sbox
+                 ~outputs:bits ())
+                .Cloud.output_nets
+          in
+          List.iteri
+            (fun k net -> data.(t).((bits * j) + k) <- net)
+            outputs
+        done
+      done
+    else
+      Array.iteri
+        (fun t latched ->
+           Rtl.output_ports builder
+             ~prefix:(Printf.sprintf "dout%d_" t)
+             (Array.to_list latched))
+        q
+  done;
+  (Hb_netlist.Builder.freeze builder, system)
+
+let scale10k ?slow_depth ?period () =
+  feistel ?slow_depth ?period ~name:"scale10k" ~tiles:4 ~stages:8 ()
+
+let scale100k ?slow_depth ?period () =
+  feistel ?slow_depth ?period ~name:"scale100k" ~tiles:13 ~stages:24 ()
+
+let scale1m ?slow_depth ?period () =
+  feistel ?slow_depth ?period ~name:"scale1m" ~tiles:76 ~stages:40 ()

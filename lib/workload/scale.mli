@@ -1,0 +1,51 @@
+(** Parameterised large-scale benchmark designs (100k–1M cells).
+
+    The generator builds a tiled Feistel-style array: a grid of
+    [tiles] x [stages] 48-bit two-phase latch banks, with eight 6-in/6-out
+    S-box clouds per tile between consecutive banks. Every latched bit
+    feeds {e exactly one} S-box input (the inter-stage wiring is a
+    bijection), so each S-box cloud is its own combinational cluster —
+    the shape the hierarchical timing-macro extractor is built for: many
+    thousands of small verified clusters instead of one monolith.
+
+    The bijection mixes across tiles ([input k] of S-box [(t, j)] reads
+    tile [(t + k) mod tiles]), so the array is globally connected without
+    ever merging clusters.
+
+    One S-box in tile 0's last combinational stage is replaced by a deep
+    inverter chain (the {e slow pocket}): its delay exceeds the clock
+    period, so Algorithm 1 must relax offsets backwards through the whole
+    latch pipeline — the many-iteration regime where macro-level
+    re-evaluation pays. *)
+
+(** [feistel ?seed ?gates_per_sbox ?slow_depth ?period ~name ~tiles
+    ~stages ()] builds the array. Cell count is roughly
+    [tiles * (48 * stages + 8 * gates_per_sbox * (stages - 1))].
+    [slow_depth] is the inverter-chain length of the slow pocket
+    (0 disables it). Raises [Invalid_argument] when [tiles < 2] or
+    [stages < 2]. *)
+val feistel :
+  ?seed:int64 ->
+  ?gates_per_sbox:int ->
+  ?slow_depth:int ->
+  ?period:float ->
+  name:string ->
+  tiles:int ->
+  stages:int ->
+  unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
+
+(** Presets: approximately 10k / 100k / 1M cells. The optional knobs
+    override the tuned slow-pocket depth and clock period. *)
+
+val scale10k :
+  ?slow_depth:int -> ?period:float -> unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
+
+val scale100k :
+  ?slow_depth:int -> ?period:float -> unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
+
+val scale1m :
+  ?slow_depth:int -> ?period:float -> unit ->
+  Hb_netlist.Design.t * Hb_clock.System.t
