@@ -651,32 +651,38 @@ let corners_cmd =
 (* serve                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Pump one channel pair through the daemon. Unlike [Serve.run] this
-   does not tear the session down at end of input, so a socket daemon
-   keeps its loaded design across client connections. *)
-let serve_channel daemon ic oc =
-  try
-    let rec loop () =
-      if not (Hb_sta.Serve.finished daemon) then begin
-        let line = input_line ic in
-        if String.trim line <> "" then begin
-          output_string oc (Hb_sta.Serve.handle_line daemon line);
-          output_char oc '\n';
-          flush oc
-        end;
-        loop ()
-      end
-    in
-    loop ()
-  with
-  | End_of_file -> ()
-  | Sys_error _ -> () (* client went away mid-reply *)
-
 let serve_cmd =
   let run timeout socket telemetry trace prometheus metrics_file flight_file
-      log_level log_file =
+      log_level log_file timing backlog max_clients workers queue max_sessions
+      memory_budget =
     handle_errors (fun () ->
         setup_logging log_level log_file;
+        (* Daemon knobs: flag > .hbt serve-* key > built-in default. The
+           --timing file configures the daemon only; each load request
+           still names its own timing spec. *)
+        let file_config =
+          match timing with
+          | None -> Hb_sta.Config.default
+          | Some path ->
+            Hb_sta.Config_format.parse_file ~base:Hb_sta.Config.default path
+        in
+        let pick flag key = Option.value ~default:key flag in
+        let backlog = pick backlog file_config.Hb_sta.Config.serve_backlog in
+        let max_clients =
+          pick max_clients file_config.Hb_sta.Config.serve_max_clients
+        in
+        let workers =
+          match pick workers file_config.Hb_sta.Config.serve_workers with
+          | 0 -> Hb_util.Pool.recommended_jobs ()
+          | n -> n
+        in
+        let queue = pick queue file_config.Hb_sta.Config.serve_queue in
+        let max_sessions =
+          pick max_sessions file_config.Hb_sta.Config.serve_max_sessions
+        in
+        let memory_budget_mb =
+          pick memory_budget file_config.Hb_sta.Config.serve_memory_budget_mb
+        in
         (* Spans for --trace and observations for the metrics outputs
            both need the registry recording. *)
         if telemetry || trace <> None || prometheus || metrics_file <> None
@@ -694,7 +700,8 @@ let serve_cmd =
         in
         let daemon =
           Hb_sta.Serve.create ~timeout_seconds:timeout ~prometheus ?dump
-            ~generators:Hb_workload.Catalog.generators ()
+            ~generators:Hb_workload.Catalog.generators ~max_sessions
+            ~memory_budget_mb ()
         in
         (* Write trace/metrics exactly once on the way out, whatever the
            exit path: normal return, handle_errors' exit 1, SIGTERM (the
@@ -721,8 +728,6 @@ let serve_cmd =
           end
         in
         at_exit dump_outputs;
-        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
-         with Invalid_argument _ | Sys_error _ -> ());
         (* SIGUSR1: flight-recorder dump on demand, without stopping. *)
         (try
            Sys.set_signal Sys.sigusr1
@@ -735,7 +740,12 @@ let serve_cmd =
                   | None -> prerr_endline doc))
          with Invalid_argument _ | Sys_error _ -> ());
         (match socket with
-         | None -> Hb_sta.Serve.run daemon stdin stdout
+         | None ->
+           (try
+              Sys.set_signal Sys.sigterm
+                (Sys.Signal_handle (fun _ -> exit 143))
+            with Invalid_argument _ | Sys_error _ -> ());
+           Hb_sta.Serve.run daemon stdin stdout
          | Some path ->
            (* A broken client pipe must be an error reply path, not a
               process death. *)
@@ -743,18 +753,128 @@ let serve_cmd =
            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
            (try Unix.unlink path with Unix.Unix_error _ -> ());
            Unix.bind sock (Unix.ADDR_UNIX path);
-           Unix.listen sock 8;
+           Unix.listen sock backlog;
+           (* SIGTERM is a graceful stop: no new accepts, in-flight
+              requests drain, queued ones get shutting_down replies,
+              outputs still flush on the way out. *)
+           (try
+              Sys.set_signal Sys.sigterm
+                (Sys.Signal_handle (fun _ -> Hb_sta.Serve.request_stop daemon))
+            with Invalid_argument _ | Sys_error _ -> ());
+           let sched =
+             Hb_sta.Serve.start_scheduler daemon ~workers ~queue_capacity:queue
+           in
+           (* Connection table: live client fds (so shutdown can unblock
+              idle readers) and reader threads (so teardown can join
+              them). The acceptor wake is a once-only shutdown of the
+              listening socket's receive side, turning a blocked accept
+              into an immediate error. *)
+           let conn_mutex = Mutex.create () in
+           let connections : (Unix.file_descr, unit) Hashtbl.t =
+             Hashtbl.create 16
+           in
+           let reader_threads = ref [] in
+           let active = ref 0 in
+           let acceptor_woken = ref false in
+           let wake_acceptor () =
+             Mutex.lock conn_mutex;
+             let fire = not !acceptor_woken in
+             acceptor_woken := true;
+             Mutex.unlock conn_mutex;
+             if fire then
+               try Unix.shutdown sock Unix.SHUTDOWN_RECEIVE
+               with Unix.Unix_error _ -> ()
+           in
+           let reader fd =
+             let client = Hb_sta.Serve.client daemon in
+             let ic = Unix.in_channel_of_descr fd in
+             let oc = Unix.out_channel_of_descr fd in
+             (try
+                let rec loop () =
+                  let line = input_line ic in
+                  if String.trim line <> "" then begin
+                    let reply = Hb_sta.Serve.submit sched client line in
+                    output_string oc reply;
+                    output_char oc '\n';
+                    flush oc
+                  end;
+                  if not (Hb_sta.Serve.finished daemon) then loop ()
+                in
+                loop ()
+              with End_of_file | Sys_error _ -> ());
+             Hb_sta.Serve.release_client daemon client;
+             Mutex.lock conn_mutex;
+             Hashtbl.remove connections fd;
+             decr active;
+             Hb_sta.Serve.set_active_clients !active;
+             Mutex.unlock conn_mutex;
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             if Hb_sta.Serve.finished daemon then wake_acceptor ()
+           in
            let rec accept_loop () =
              if not (Hb_sta.Serve.finished daemon) then begin
-               let client, _ = Unix.accept sock in
-               let ic = Unix.in_channel_of_descr client in
-               let oc = Unix.out_channel_of_descr client in
-               serve_channel daemon ic oc;
-               (try Unix.close client with Unix.Unix_error _ -> ());
-               accept_loop ()
+               match Unix.accept sock with
+               | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                 accept_loop ()  (* a signal landed; re-check finished *)
+               | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+                 accept_loop ()
+               | exception
+                   Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+                 ()  (* listening socket shut down for teardown *)
+               | fd, _ ->
+                 let admitted =
+                   Mutex.lock conn_mutex;
+                   let ok = !active < max_clients in
+                   if ok then begin
+                     Hashtbl.replace connections fd ();
+                     incr active;
+                     Hb_sta.Serve.set_active_clients !active
+                   end;
+                   Mutex.unlock conn_mutex;
+                   ok
+                 in
+                 if admitted then begin
+                   let th = Thread.create reader fd in
+                   Mutex.lock conn_mutex;
+                   reader_threads := th :: !reader_threads;
+                   Mutex.unlock conn_mutex
+                 end
+                 else begin
+                   (* One structured reply, then the door closes. *)
+                   let oc = Unix.out_channel_of_descr fd in
+                   (try
+                      output_string oc
+                        (Hb_sta.Serve.reject_line daemon ~code:"overloaded"
+                           ~message:
+                             (Printf.sprintf
+                                "connection limit reached (max-clients %d)"
+                                max_clients)
+                           "");
+                      output_char oc '\n';
+                      flush oc
+                    with Sys_error _ -> ());
+                   (try Unix.close fd with Unix.Unix_error _ -> ())
+                 end;
+                 accept_loop ()
              end
            in
            accept_loop ();
+           (* Drain: unblock idle readers (EOF via receive shutdown),
+              let busy ones write their last reply, then stop workers
+              and tear the registry down. *)
+           Hb_sta.Serve.request_stop daemon;
+           Mutex.lock conn_mutex;
+           let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) connections [] in
+           let threads = !reader_threads in
+           Mutex.unlock conn_mutex;
+           List.iter
+             (fun fd ->
+               try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+               with Unix.Unix_error _ -> ())
+             fds;
+           List.iter Thread.join threads;
+           Hb_sta.Serve.stop_scheduler sched;
+           Hb_sta.Serve.shutdown_sessions daemon;
            (try Unix.close sock with Unix.Unix_error _ -> ());
            (try Unix.unlink path with Unix.Unix_error _ -> ()));
         dump_outputs ())
@@ -776,8 +896,57 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix domain socket instead of stdin/stdout; \
-             clients are served one connection at a time and the loaded \
-             design persists across connections.")
+             clients are served concurrently (one reader thread per \
+             connection feeding a bounded request queue executed by a \
+             pool of worker domains) and loaded designs persist in a \
+             shared session registry across connections.")
+  in
+  let serve_timing_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timing" ] ~docv:"FILE"
+          ~doc:
+            "Read daemon defaults (serve-backlog, serve-max-clients, \
+             serve-workers, serve-queue, serve-max-sessions, \
+             serve-memory-budget-mb) from this .hbt timing spec; \
+             explicit flags win. Load requests still name their own \
+             timing spec.")
+  in
+  let serve_opt_int name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+  in
+  let backlog_arg =
+    serve_opt_int "backlog"
+      "Listen backlog of the daemon socket (default 64, or the .hbt \
+       serve-backlog key)."
+  in
+  let max_clients_arg =
+    serve_opt_int "max-clients"
+      "Maximum simultaneous client connections; further connections get \
+       one structured overloaded reply and are closed (default 64)."
+  in
+  let workers_arg =
+    serve_opt_int "workers"
+      "Worker domains executing requests (default: the machine's \
+       recommended domain count). With more than one, per-session \
+       analysis pools are clamped to one job."
+  in
+  let queue_arg =
+    serve_opt_int "queue"
+      "Bound on queued requests; a full queue makes the daemon answer \
+       overloaded instead of queueing without limit (default 64)."
+  in
+  let max_sessions_arg =
+    serve_opt_int "max-sessions"
+      "Resident preprocessed sessions kept in the registry before \
+       least-recently-used unbound ones are evicted; 0 means unlimited \
+       (default 8)."
+  in
+  let memory_budget_arg =
+    serve_opt_int "memory-budget-mb"
+      "Soft RSS budget in megabytes: while current RSS exceeds it, idle \
+       sessions are evicted; 0 means unlimited (default 0)."
   in
   let telemetry_arg =
     Arg.(value & flag & info [ "telemetry" ]
@@ -813,11 +982,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the batch/daemon front end: newline-delimited JSON requests \
-          (load/annotate/analyse/paths/shutdown) against one persistent \
-          analysis session")
+          (load/annotate/analyse/paths/shutdown) against a registry of \
+          persistent analysis sessions shared across concurrent clients")
     Term.(const run $ timeout_arg $ socket_arg $ telemetry_arg $ trace_arg
           $ prometheus_arg $ metrics_file_arg $ flight_file_arg
-          $ log_level_arg $ log_file_arg)
+          $ log_level_arg $ log_file_arg $ serve_timing_arg $ backlog_arg
+          $ max_clients_arg $ workers_arg $ queue_arg $ max_sessions_arg
+          $ memory_budget_arg)
 
 let () =
   let info =

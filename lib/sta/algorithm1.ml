@@ -114,6 +114,7 @@ let run (ctx : Context.t) =
   let complete_phase direction =
     let cycles = ref 0 in
     let rec loop () =
+      Hb_util.Timeout.check ();
       let slacks = Slacks.compute_transfer ctx in
       if Slacks.all_positive slacks then
         (Some (if macro_snapshots then Slacks.compute ctx else slacks),
@@ -145,11 +146,13 @@ let run (ctx : Context.t) =
        (* Iterations 3 and 4: partial transfers, once per complete cycle
           made in the opposite direction. *)
        for _ = 1 to backward_cycles do
+         Hb_util.Timeout.check ();
          Hb_util.Telemetry.incr c_relaxation_iterations;
          let slacks = Slacks.compute_transfer ctx in
          partial_transfer_into ctx slacks Forward ~amounts
        done;
        for _ = 1 to forward_cycles do
+         Hb_util.Timeout.check ();
          Hb_util.Telemetry.incr c_relaxation_iterations;
          let slacks = Slacks.compute_transfer ctx in
          partial_transfer_into ctx slacks Backward ~amounts

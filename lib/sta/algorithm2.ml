@@ -45,6 +45,7 @@ let run (ctx : Context.t) =
   let snatch_phase direction =
     let cycles = ref 0 in
     let rec loop () =
+      Hb_util.Timeout.check ();
       let slacks = Slacks.compute ctx in
       if !cycles >= cap then begin
         capped := true;

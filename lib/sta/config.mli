@@ -70,6 +70,33 @@ type t = {
           with this config; default [Off]. Like [telemetry], a session
           only ever raises the process level (an explicit CLI
           [--log-level] is never silently lowered) *)
+  serve_backlog : int;
+      (** listen(2) backlog of the serve daemon's Unix socket; default 64.
+          [.hbt] directive [serve-backlog] *)
+  serve_max_clients : int;
+      (** maximum simultaneous serve connections; further accepts get a
+          structured [overloaded] reply and are closed. Default 64.
+          [.hbt] directive [serve-max-clients] *)
+  serve_workers : int;
+      (** scheduler worker domains executing serve requests; [0] (the
+          default) picks [Domain.recommended_domain_count ()]. With more
+          than one worker, per-session analysis pools are clamped to one
+          job — concurrency comes from the request scheduler. [.hbt]
+          directive [serve-workers N|auto] *)
+  serve_queue : int;
+      (** admission-control bound on queued serve requests; a full queue
+          yields an immediate [overloaded] reply. Default 64. [.hbt]
+          directive [serve-queue] *)
+  serve_max_sessions : int;
+      (** resident sessions the serve registry keeps before evicting the
+          least recently used unbound one; [0] = unlimited. Default 8.
+          [.hbt] directive [serve-max-sessions] *)
+  serve_memory_budget_mb : int;
+      (** soft RSS budget (megabytes): while current RSS
+          ({!Hb_util.Rss.current_bytes}) exceeds it, idle sessions are
+          evicted LRU-first. [0] (default) = unlimited. Best-effort —
+          never a correctness input. [.hbt] directive
+          [serve-memory-budget-mb] *)
 }
 
 val default : t

@@ -89,6 +89,32 @@ let parse ?(base = Config.default) text =
       in
       if jobs < 1 then fail_line lineno "parallel-jobs: must be >= 1";
       config := { !config with Config.parallel_jobs = jobs }
+    | [ "serve-backlog"; v ] ->
+      let backlog = int_field lineno "serve-backlog" v in
+      if backlog < 1 then fail_line lineno "serve-backlog: must be >= 1";
+      config := { !config with Config.serve_backlog = backlog }
+    | [ "serve-max-clients"; v ] ->
+      let n = int_field lineno "serve-max-clients" v in
+      if n < 1 then fail_line lineno "serve-max-clients: must be >= 1";
+      config := { !config with Config.serve_max_clients = n }
+    | [ "serve-workers"; v ] ->
+      let workers =
+        if v = "auto" then 0 else int_field lineno "serve-workers" v
+      in
+      if workers < 0 then fail_line lineno "serve-workers: must be >= 0";
+      config := { !config with Config.serve_workers = workers }
+    | [ "serve-queue"; v ] ->
+      let n = int_field lineno "serve-queue" v in
+      if n < 1 then fail_line lineno "serve-queue: must be >= 1";
+      config := { !config with Config.serve_queue = n }
+    | [ "serve-max-sessions"; v ] ->
+      let n = int_field lineno "serve-max-sessions" v in
+      if n < 0 then fail_line lineno "serve-max-sessions: must be >= 0";
+      config := { !config with Config.serve_max_sessions = n }
+    | [ "serve-memory-budget-mb"; v ] ->
+      let n = int_field lineno "serve-memory-budget-mb" v in
+      if n < 0 then fail_line lineno "serve-memory-budget-mb: must be >= 0";
+      config := { !config with Config.serve_memory_budget_mb = n }
     | [ direction; port; "clock"; clock; polarity; "pulse"; pulse;
         "offset"; offset ]
       when direction = "input" || direction = "output" ->
@@ -134,6 +160,14 @@ let to_string (config : Config.t) =
   add "macro %s\n" (if config.Config.macro then "on" else "off");
   add "telemetry %s\n" (if config.Config.telemetry then "on" else "off");
   add "log-level %s\n" (Hb_util.Log.level_name config.Config.log_level);
+  add "serve-backlog %d\n" config.Config.serve_backlog;
+  add "serve-max-clients %d\n" config.Config.serve_max_clients;
+  (match config.Config.serve_workers with
+   | 0 -> add "serve-workers auto\n"
+   | n -> add "serve-workers %d\n" n);
+  add "serve-queue %d\n" config.Config.serve_queue;
+  add "serve-max-sessions %d\n" config.Config.serve_max_sessions;
+  add "serve-memory-budget-mb %d\n" config.Config.serve_memory_budget_mb;
   List.iter
     (fun (inst, n) -> add "multicycle %s %d\n" inst n)
     config.Config.multicycle;

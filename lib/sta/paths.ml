@@ -170,6 +170,9 @@ let critical_path (ctx : Context.t) ~endpoint =
 let map_endpoints (ctx : Context.t) endpoints f =
   let count = Array.length endpoints in
   let jobs = Stdlib.min ctx.Context.config.Config.parallel_jobs count in
+  (* Deadline poll per endpoint: no-op on pool worker domains, fires on
+     the inline/submitter domain the serve scheduler guards. *)
+  let f endpoint = Hb_util.Timeout.check (); f endpoint in
   if jobs <= 1 || count <= 1 then Array.map f endpoints
   else
     Hb_util.Pool.map ~label:"paths.endpoints" (Hb_util.Pool.shared ~jobs)

@@ -1,6 +1,8 @@
 module Json = Hb_util.Json
 module Log = Hb_util.Log
 module Telemetry = Hb_util.Telemetry
+module Rwlock = Hb_util.Rwlock
+module Squeue = Hb_util.Squeue
 
 (* One completed request, as kept in the flight-recorder ring. *)
 type summary = {
@@ -14,6 +16,30 @@ type summary = {
 
 let summary_capacity = 64
 
+(* One resident design in the session registry. [e_binds] counts clients
+   currently bound to the entry; both it and the entry list are guarded
+   by the daemon's registry mutex. [e_last_used] is a racy heuristic
+   (concurrent readers stamp it without a lock) — eviction only needs
+   approximate recency. *)
+type entry = {
+  e_key : string;
+  e_session : Session.t;
+  e_lock : Rwlock.t;
+  mutable e_last_used : float;
+  mutable e_binds : int;
+}
+
+(* One connection's server-side state. A connection processes one
+   request at a time (strict request-reply order), so the record needs
+   no lock of its own: [c_entry] is written under the registry mutex by
+   [load]/[release_client] and read by the worker executing the
+   client's next request — the scheduler queue's mutex provides the
+   happens-before edge. *)
+type client = {
+  c_id : int;
+  mutable c_entry : entry option;
+}
+
 type t = {
   timeout_seconds : float;
   library : Hb_cell.Library.t;
@@ -22,29 +48,47 @@ type t = {
   generators :
     (string * (unit -> Hb_netlist.Design.t * Hb_clock.System.t)) list;
       (* named built-in designs servable without files on disk *)
-  mutable session : Session.t option;
-  mutable stopping : bool;
-  mutable rid_seq : int;
+  max_sessions : int;          (* 0 = unlimited *)
+  memory_budget_bytes : int;   (* 0 = unlimited *)
+  reg_mutex : Mutex.t;         (* guards entries + e_binds + c_entry *)
+  mutable entries : entry list;
+  client_seq : int Atomic.t;
+  default_client : client;     (* stdin mode and direct handle_line *)
+  stopping : bool Atomic.t;
+  rid_seq : int Atomic.t;
+  ring_mutex : Mutex.t;        (* guards the flight-recorder ring *)
   summaries : summary option array;
   mutable summary_next : int;
+  mutable scheduler_attached : bool;
+      (* a scheduler owns drain/teardown; [shutdown] only flags stop *)
+  mutable serialize_pool : bool;
+      (* > 1 scheduler domains: clamp per-session analysis pools to one
+         job so deadline checks run on the guarded domain and no two
+         requests race the shared pool's single job slot *)
 }
 
-let c_requests = Hb_util.Telemetry.counter "serve.requests"
-let c_errors = Hb_util.Telemetry.counter "serve.errors"
-let c_timeouts = Hb_util.Telemetry.counter "serve.timeouts"
+let c_requests = Telemetry.counter "serve.requests"
+let c_errors = Telemetry.counter "serve.errors"
+let c_timeouts = Telemetry.counter "serve.timeouts"
+let c_rejected = Telemetry.counter "serve.rejected"
+let c_sessions_shared = Telemetry.counter "serve.sessions_shared"
+let c_session_evictions = Telemetry.counter "serve.session_evictions"
+let g_sessions = Telemetry.gauge "serve.sessions"
+let g_queue_depth = Telemetry.gauge "serve.queue_depth"
+let g_active_clients = Telemetry.gauge "serve.active_clients"
 
 (* Same interned counters the engine layers bump; before/after deltas
    size the per-request work for the histograms below. *)
-let c_clusters_evaluated = Hb_util.Telemetry.counter "slacks.clusters_evaluated"
+let c_clusters_evaluated = Telemetry.counter "slacks.clusters_evaluated"
 
-let h_request_seconds = Hb_util.Telemetry.histogram "serve.request_seconds"
+let h_request_seconds = Telemetry.histogram "serve.request_seconds"
 
 let h_clusters =
-  Hb_util.Telemetry.histogram ~buckets:Hb_util.Telemetry.count_buckets
+  Telemetry.histogram ~buckets:Telemetry.count_buckets
     "serve.clusters_evaluated"
 
 let h_paths =
-  Hb_util.Telemetry.histogram ~buckets:Hb_util.Telemetry.count_buckets
+  Telemetry.histogram ~buckets:Telemetry.count_buckets
     "serve.paths_enumerated"
 
 (* Serve-layer failures that are not analysis errors: protocol problems
@@ -58,26 +102,54 @@ let bad_request fmt =
     fmt
 
 let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump
-    ?(generators = []) () =
+    ?(generators = []) ?(max_sessions = 8) ?(memory_budget_mb = 0) () =
   let library =
     match library with Some l -> l | None -> Hb_cell.Library.default ()
   in
   { timeout_seconds; library; prometheus; dump; generators;
-    session = None; stopping = false;
-    rid_seq = 0;
+    max_sessions = Stdlib.max 0 max_sessions;
+    memory_budget_bytes = Stdlib.max 0 memory_budget_mb * 1024 * 1024;
+    reg_mutex = Mutex.create ();
+    entries = [];
+    client_seq = Atomic.make 1;
+    default_client = { c_id = 0; c_entry = None };
+    stopping = Atomic.make false;
+    rid_seq = Atomic.make 0;
+    ring_mutex = Mutex.create ();
     summaries = Array.make summary_capacity None;
     summary_next = 0;
+    scheduler_attached = false;
+    serialize_pool = false;
   }
 
-let finished t = t.stopping
+let finished t = Atomic.get t.stopping
+let request_stop t = Atomic.set t.stopping true
+
+let client t =
+  let c = { c_id = Atomic.fetch_and_add t.client_seq 1; c_entry = None } in
+  if Log.on Log.Debug then Log.debug "serve.client" [ ("client", Log.Int c.c_id) ];
+  c
+
+let release_client t c =
+  Mutex.lock t.reg_mutex;
+  (match c.c_entry with
+   | Some e -> e.e_binds <- e.e_binds - 1
+   | None -> ());
+  c.c_entry <- None;
+  Mutex.unlock t.reg_mutex
+
+let set_active_clients n = Telemetry.set_gauge g_active_clients (float_of_int n)
 
 (* --- flight recorder ------------------------------------------------- *)
 
 let push_summary t s =
+  Mutex.lock t.ring_mutex;
   t.summaries.(t.summary_next mod summary_capacity) <- Some s;
-  t.summary_next <- t.summary_next + 1
+  t.summary_next <- t.summary_next + 1;
+  Mutex.unlock t.ring_mutex
 
 let recent_summaries t =
+  Mutex.lock t.ring_mutex;
   let out = ref [] in
   let count = Stdlib.min t.summary_next summary_capacity in
   for i = 1 to count do
@@ -88,6 +160,7 @@ let recent_summaries t =
     | Some s -> out := s :: !out
     | None -> ()
   done;
+  Mutex.unlock t.ring_mutex;
   !out
 
 let json_of_log_event (e : Log.event) =
@@ -162,13 +235,90 @@ let req_float name p =
   | Some v -> v
   | None -> bad_request "missing required parameter %S" name
 
-let session t =
-  match t.session with
-  | Some session -> session
-  | None ->
-    raise
-      (Request_error
-         { code = "no_design"; message = "no design loaded; call load first" })
+let no_design () =
+  raise
+    (Request_error
+       { code = "no_design"; message = "no design loaded; call load first" })
+
+let entry_of c = match c.c_entry with Some e -> e | None -> no_design ()
+
+(* --- session registry ------------------------------------------------ *)
+
+(* Evict least-recently-used unbound entries while over either budget.
+   Called with [reg_mutex] held. Bound entries are never evicted; the
+   write lock is immediate on an unbound entry (no client can reach it,
+   so no query is in flight). *)
+let evict_locked t =
+  let over_count () =
+    t.max_sessions > 0 && List.length t.entries > t.max_sessions
+  in
+  let over_memory () =
+    t.memory_budget_bytes > 0
+    && (match Hb_util.Rss.current_bytes () with
+        | Some bytes -> bytes > t.memory_budget_bytes
+        | None -> false)
+  in
+  let rec loop () =
+    if over_count () || over_memory () then begin
+      let victim =
+        List.fold_left
+          (fun acc e ->
+            if e.e_binds > 0 then acc
+            else
+              match acc with
+              | Some best when best.e_last_used <= e.e_last_used -> acc
+              | _ -> Some e)
+          None t.entries
+      in
+      match victim with
+      | None -> ()  (* every resident session is bound; nothing evictable *)
+      | Some victim ->
+        t.entries <- List.filter (fun e -> e != victim) t.entries;
+        Rwlock.with_write victim.e_lock (fun () ->
+            Session.close victim.e_session);
+        Telemetry.incr c_session_evictions;
+        if Log.on Log.Info then
+          Log.info "serve.session_evicted"
+            [ ("key", Log.String victim.e_key) ];
+        loop ()
+    end
+  in
+  loop ();
+  Telemetry.set_gauge g_sessions (float_of_int (List.length t.entries))
+
+let shutdown_sessions t =
+  Mutex.lock t.reg_mutex;
+  let entries = t.entries in
+  t.entries <- [];
+  Telemetry.set_gauge g_sessions 0.0;
+  Mutex.unlock t.reg_mutex;
+  List.iter
+    (fun e -> Rwlock.with_write e.e_lock (fun () -> Session.close e.e_session))
+    entries;
+  Hb_util.Pool.shutdown_shared ()
+
+(* Read-lock fast path: when the session answers the query entirely from
+   its caches it touches no state, so concurrent readers are safe. The
+   cached check is advisory — re-checked under the read lock, falling
+   back to the write lock when a concurrent mutation invalidated it. *)
+let with_session_read ?(constraints = false) ?(hold = false) c f =
+  let e = entry_of c in
+  e.e_last_used <- Unix.gettimeofday ();
+  let s = e.e_session in
+  let fast =
+    if Session.is_cached ~constraints ~hold s then
+      Rwlock.with_read e.e_lock (fun () ->
+          if Session.is_cached ~constraints ~hold s then Some (f s) else None)
+    else None
+  in
+  match fast with
+  | Some result -> result
+  | None -> Rwlock.with_write e.e_lock (fun () -> f s)
+
+let with_session_write c f =
+  let e = entry_of c in
+  e.e_last_used <- Unix.gettimeofday ();
+  Rwlock.with_write e.e_lock (fun () -> f e.e_session)
 
 (* --- method handlers: each returns the "result" value --------------- *)
 
@@ -181,16 +331,18 @@ let loading path f =
      | Some err -> raise (Error.Error (Error.in_file path err))
      | None -> raise e)
 
-let handle_load t p =
-  (* Either a registered generator name, or netlist/clocks file paths. *)
-  let design, system =
+let handle_load t c p =
+  (* Either a registered generator name, or netlist/clocks file paths.
+     The registry key is built from the raw parameters — resolving a hit
+     must not re-parse or regenerate anything. *)
+  let source =
     match opt_text "generator" p with
     | Some name ->
       (match opt_text "netlist" p, opt_text "clocks" p with
        | None, None -> ()
        | _ -> bad_request "generator excludes netlist/clocks");
       (match List.assoc_opt name t.generators with
-       | Some make -> make ()
+       | Some _ -> `Generator name
        | None ->
          bad_request "unknown generator %S%s" name
            (match t.generators with
@@ -201,87 +353,168 @@ let handle_load t p =
     | None ->
       let netlist = req_text "netlist" p in
       let clocks = req_text "clocks" p in
-      let design =
-        loading netlist (fun () ->
-            if Filename.check_suffix netlist ".blif" then
-              Hb_netlist.Blif.parse_file ~library:t.library netlist
-            else Hb_netlist.Hbn_format.parse_file ~library:t.library netlist)
-      in
-      let system =
-        loading clocks (fun () -> Hb_clock.System.parse_file clocks)
-      in
-      (design, system)
+      `Files (netlist, clocks)
   in
-  let config =
-    match opt_text "timing" p with
-    | None -> Config.default
-    | Some path ->
-      loading path (fun () ->
-          Config_format.parse_file ~base:Config.default path)
-  in
-  let config =
-    match opt_int "jobs" p with
-    | None -> config
-    | Some jobs when jobs >= 1 -> { config with Config.parallel_jobs = jobs }
-    | Some jobs -> bad_request "jobs must be >= 1 (got %d)" jobs
-  in
-  let config =
-    match opt_bool "telemetry" p with
-    | None -> config
-    | Some telemetry -> { config with Config.telemetry }
-  in
-  let config =
-    match opt_bool "macro" p with
-    | None -> config
-    | Some macro -> { config with Config.macro }
-  in
-  let delays =
+  let timing = opt_text "timing" p in
+  let explicit_jobs = opt_int "jobs" p in
+  (match explicit_jobs with
+   | Some jobs when jobs < 1 -> bad_request "jobs must be >= 1 (got %d)" jobs
+   | Some jobs when jobs > 1 && t.serialize_pool ->
+     bad_request
+       "jobs must be 1 when the daemon schedules requests across domains \
+        (got %d)" jobs
+   | _ -> ());
+  let telemetry = opt_bool "telemetry" p in
+  let macro = opt_bool "macro" p in
+  let delay_model =
     match opt_text "delay_model" p with
-    | None | Some "lumped" -> Delays.lumped
-    | Some "rc" -> Delays.rc ()
+    | None | Some "lumped" -> `Lumped
+    | Some "rc" -> `Rc
     | Some other -> bad_request "unknown delay model %S (lumped|rc)" other
   in
-  (match t.session with Some old -> Session.close old | None -> ());
-  let fresh = Session.create ~design ~system ~config ~delays () in
-  t.session <- Some fresh;
-  let ctx = Session.context fresh in
-  Json.Obj
-    [ ("design", Json.String design.Hb_netlist.Design.design_name);
-      ( "instances",
-        Json.Number (float_of_int (Hb_netlist.Design.instance_count design)) );
-      ("nets", Json.Number (float_of_int (Hb_netlist.Design.net_count design)));
-      ( "elements",
-        Json.Number (float_of_int (Elements.count ctx.Context.elements)) );
-      ( "clusters",
-        Json.Number
-          (float_of_int (Array.length ctx.Context.table.Cluster.clusters)) );
-    ]
+  let key =
+    Printf.sprintf "%s|timing=%s|jobs=%s|telemetry=%s|macro=%s|delays=%s"
+      (match source with
+       | `Generator name -> "g:" ^ name
+       | `Files (netlist, clocks) -> "f:" ^ netlist ^ ";" ^ clocks)
+      (Option.value ~default:"" timing)
+      (match explicit_jobs with None -> "" | Some j -> string_of_int j)
+      (match telemetry with None -> "" | Some b -> string_of_bool b)
+      (match macro with None -> "" | Some b -> string_of_bool b)
+      (match delay_model with `Lumped -> "lumped" | `Rc -> "rc")
+  in
+  Mutex.lock t.reg_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.reg_mutex)
+    (fun () ->
+      (* Rebind: drop the client's current session first so it can be
+         evicted if this load pushes the registry over budget. *)
+      (match c.c_entry with
+       | Some e -> e.e_binds <- e.e_binds - 1; c.c_entry <- None
+       | None -> ());
+      let shared, e =
+        match List.find_opt (fun e -> String.equal e.e_key key) t.entries with
+        | Some e ->
+          Telemetry.incr c_sessions_shared;
+          if Log.on Log.Info then
+            Log.info "serve.session_shared" [ ("key", Log.String key) ];
+          (true, e)
+        | None ->
+          let design, system =
+            match source with
+            | `Generator name ->
+              (List.assoc name t.generators) ()
+            | `Files (netlist, clocks) ->
+              let design =
+                loading netlist (fun () ->
+                    if Filename.check_suffix netlist ".blif" then
+                      Hb_netlist.Blif.parse_file ~library:t.library netlist
+                    else
+                      Hb_netlist.Hbn_format.parse_file ~library:t.library
+                        netlist)
+              in
+              let system =
+                loading clocks (fun () -> Hb_clock.System.parse_file clocks)
+              in
+              (design, system)
+          in
+          let config =
+            match timing with
+            | None -> Config.default
+            | Some path ->
+              loading path (fun () ->
+                  Config_format.parse_file ~base:Config.default path)
+          in
+          let config =
+            match explicit_jobs with
+            | None -> config
+            | Some jobs -> { config with Config.parallel_jobs = jobs }
+          in
+          let config =
+            if t.serialize_pool && config.Config.parallel_jobs > 1 then begin
+              if Log.on Log.Warn then
+                Log.warn "serve.jobs_clamped"
+                  [ ("requested", Log.Int config.Config.parallel_jobs) ];
+              { config with Config.parallel_jobs = 1 }
+            end
+            else config
+          in
+          let config =
+            match telemetry with
+            | None -> config
+            | Some telemetry -> { config with Config.telemetry }
+          in
+          let config =
+            match macro with
+            | None -> config
+            | Some macro -> { config with Config.macro }
+          in
+          let delays =
+            match delay_model with
+            | `Lumped -> Delays.lumped
+            | `Rc -> Delays.rc ()
+          in
+          let fresh = Session.create ~design ~system ~config ~delays () in
+          let e =
+            { e_key = key;
+              e_session = fresh;
+              e_lock = Rwlock.create ();
+              e_last_used = Unix.gettimeofday ();
+              e_binds = 0;
+            }
+          in
+          t.entries <- e :: t.entries;
+          (false, e)
+      in
+      e.e_binds <- e.e_binds + 1;
+      e.e_last_used <- Unix.gettimeofday ();
+      c.c_entry <- Some e;
+      evict_locked t;
+      let ctx = Session.context e.e_session in
+      let design = ctx.Context.design in
+      Json.Obj
+        [ ("design", Json.String design.Hb_netlist.Design.design_name);
+          ( "instances",
+            Json.Number
+              (float_of_int (Hb_netlist.Design.instance_count design)) );
+          ( "nets",
+            Json.Number (float_of_int (Hb_netlist.Design.net_count design)) );
+          ( "elements",
+            Json.Number (float_of_int (Elements.count ctx.Context.elements)) );
+          ( "clusters",
+            Json.Number
+              (float_of_int (Array.length ctx.Context.table.Cluster.clusters))
+          );
+          ("shared", Json.Bool shared);
+        ])
 
-let handle_analyse t p =
+let handle_analyse c p =
   let generate_constraints =
     Option.value ~default:true (opt_bool "constraints" p)
   in
   let check_hold = Option.value ~default:true (opt_bool "hold" p) in
   let paths = Option.value ~default:0 (opt_int "paths" p) in
-  let report = Session.analyse ~generate_constraints ~check_hold (session t) in
-  (* The report renderer emits a multi-line document; re-parse so it
-     nests compactly inside the one-line reply envelope. *)
-  Json.parse (Json_export.report ~paths report)
+  with_session_read ~constraints:generate_constraints ~hold:check_hold c
+    (fun s ->
+      let report = Session.analyse ~generate_constraints ~check_hold s in
+      (* The report renderer emits a multi-line document; re-parse so it
+         nests compactly inside the one-line reply envelope. *)
+      Json.parse (Json_export.report ~paths report))
 
-let handle_set_delay t p =
+let handle_set_delay c p =
   let instance = req_text "instance" p in
   let rise = req_float "rise" p in
   let fall = req_float "fall" p in
-  Session.set_delay (session t) ~instance ~rise ~fall;
+  with_session_write c (fun s -> Session.set_delay s ~instance ~rise ~fall);
   Json.Obj [ ("instance", Json.String instance) ]
 
-let handle_scale_delay t p =
+let handle_scale_delay c p =
   let instance = req_text "instance" p in
   let factor = req_float "factor" p in
-  Session.scale_delay (session t) ~instance ~factor;
+  with_session_write c (fun s -> Session.scale_delay s ~instance ~factor);
   Json.Obj [ ("instance", Json.String instance) ]
 
-let handle_annotate t p =
+let handle_annotate c p =
   let annotation =
     match opt_text "text" p, opt_text "file" p with
     | Some text, None -> Annotation.parse text
@@ -289,36 +522,37 @@ let handle_annotate t p =
     | Some _, Some _ -> bad_request "give either text or file, not both"
     | None, None -> bad_request "missing required parameter: text or file"
   in
-  let unused = Session.annotate (session t) annotation in
+  let unused = with_session_write c (fun s -> Session.annotate s annotation) in
   Json.Obj
     [ ("entries", Json.Number (float_of_int (Annotation.count annotation)));
       ("unused", Json.List (List.map (fun n -> Json.String n) unused));
     ]
 
-let handle_set_offset t p =
+let handle_set_offset c p =
   let element =
     match opt_int "element" p with
     | Some e -> e
     | None -> bad_request "missing required parameter \"element\""
   in
   let value = req_float "value" p in
-  let s = session t in
-  Session.set_offset s ~element value;
   let actual =
-    Hb_sync.Element.o_dz
-      (Elements.element (Session.context s).Context.elements element)
+    with_session_write c (fun s ->
+        Session.set_offset s ~element value;
+        Hb_sync.Element.o_dz
+          (Elements.element (Session.context s).Context.elements element))
   in
   Json.Obj
     [ ("element", Json.Number (float_of_int element));
       ("offset", Json.Number actual);
     ]
 
-let handle_paths t p =
+let handle_paths c p =
   let limit = Option.value ~default:5 (opt_int "limit" p) in
-  let s = session t in
-  let paths = Session.worst_paths s ~limit in
-  Hb_util.Telemetry.observe h_paths (float_of_int (List.length paths));
-  let elements = (Session.context s).Context.elements in
+  let paths, elements =
+    with_session_read c (fun s ->
+        (Session.worst_paths s ~limit, (Session.context s).Context.elements))
+  in
+  Telemetry.observe h_paths (float_of_int (List.length paths));
   let label e = (Elements.element elements e).Hb_sync.Element.label in
   Json.Obj
     [ ( "paths",
@@ -338,8 +572,8 @@ let handle_paths t p =
              paths) );
     ]
 
-let handle_constraints t =
-  let times = Session.constraints (session t) in
+let handle_constraints c =
+  let times = with_session_read ~constraints:true c Session.constraints in
   let finite a =
     Array.fold_left
       (fun n v -> if Hb_util.Time.is_finite v then n + 1 else n)
@@ -354,8 +588,8 @@ let handle_constraints t =
       ("ready_nets", Json.Number (float_of_int (finite times.Algorithm2.ready)));
     ]
 
-let handle_hold t =
-  let violations = Session.hold (session t) in
+let handle_hold c =
+  let violations = with_session_read ~hold:true c Session.hold in
   Json.Obj
     [ ( "violations",
         Json.List
@@ -369,84 +603,89 @@ let handle_hold t =
     ]
 
 let handle_metrics t p =
-  let snapshot = Hb_util.Telemetry.snapshot () in
+  let snapshot = Telemetry.snapshot () in
   let format =
     match opt_text "format" p with
     | Some f -> f
     | None -> if t.prometheus then "prometheus" else "json"
   in
   match format with
-  | "prometheus" -> Json.String (Hb_util.Telemetry.prometheus snapshot)
+  | "prometheus" -> Json.String (Telemetry.prometheus snapshot)
   | "json" ->
     Json.Obj
       [ ( "counters",
           Json.Obj
             (List.map
                (fun (name, value) -> (name, Json.Number (float_of_int value)))
-               snapshot.Hb_util.Telemetry.counters) );
+               snapshot.Telemetry.counters) );
         ( "gauges",
           Json.Obj
             (List.map
                (fun (name, value) -> (name, Json.Number value))
-               snapshot.Hb_util.Telemetry.gauges) );
+               snapshot.Telemetry.gauges) );
         ( "histograms",
           Json.Obj
             (List.map
-               (fun (h : Hb_util.Telemetry.histogram_snapshot) ->
-                 ( h.Hb_util.Telemetry.h_name,
+               (fun (h : Telemetry.histogram_snapshot) ->
+                 ( h.Telemetry.h_name,
                    Json.Obj
                      [ ( "bounds",
                          Json.List
                            (Array.to_list
                               (Array.map
                                  (fun b -> Json.Number b)
-                                 h.Hb_util.Telemetry.upper_bounds)) );
+                                 h.Telemetry.upper_bounds)) );
                        ( "counts",
                          Json.List
                            (Array.to_list
                               (Array.map
                                  (fun c -> Json.Number (float_of_int c))
-                                 h.Hb_util.Telemetry.bucket_counts)) );
-                       ("sum", Json.Number h.Hb_util.Telemetry.sum);
+                                 h.Telemetry.bucket_counts)) );
+                       ("sum", Json.Number h.Telemetry.sum);
                        ( "count",
-                         Json.Number
-                           (float_of_int h.Hb_util.Telemetry.total) );
+                         Json.Number (float_of_int h.Telemetry.total) );
                      ] ))
-               snapshot.Hb_util.Telemetry.histograms) );
+               snapshot.Telemetry.histograms) );
       ]
   | other -> bad_request "unknown metrics format %S (json|prometheus)" other
 
 let handle_flight t = Json.parse (flight_json t)
 
-(* Busy-wait so the timeout signal is delivered at an OCaml safe point
-   regardless of how the platform treats interrupted sleeps — this is a
-   test hook for exercising the timeout path, not a scheduler. *)
+(* Busy-wait polling the deadline at every iteration — a test hook for
+   exercising the timeout path (the engines poll the same way at their
+   pass boundaries), not a scheduler. *)
 let handle_sleep p =
   let seconds = req_float "seconds" p in
   let deadline = Unix.gettimeofday () +. seconds in
   while Unix.gettimeofday () < deadline do
+    Hb_util.Timeout.check ();
     ignore (Sys.opaque_identity (Unix.gettimeofday ()))
   done;
   Json.Obj [ ("slept", Json.Number seconds) ]
 
 let handle_shutdown t =
-  (match t.session with Some s -> Session.close ~shutdown_pool:true s | None -> ());
-  t.session <- None;
-  t.stopping <- true;
+  Atomic.set t.stopping true;
+  (* With a scheduler attached, teardown belongs to the connection layer
+     (stop accepting, drain in-flight, then stop_scheduler and
+     shutdown_sessions); here, closing sessions under a live scheduler
+     would race requests already executing. Without one — the stdin loop
+     and direct handle_line callers — tear down synchronously, as the
+     single-client daemon always did. *)
+  if not t.scheduler_attached then shutdown_sessions t;
   Json.Obj [ ("stopping", Json.Bool true) ]
 
-let dispatch t ~meth p =
+let dispatch t c ~meth p =
   match meth with
   | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
-  | "load" -> handle_load t p
-  | "analyse" -> handle_analyse t p
-  | "set_delay" -> handle_set_delay t p
-  | "scale_delay" -> handle_scale_delay t p
-  | "annotate" -> handle_annotate t p
-  | "set_offset" -> handle_set_offset t p
-  | "paths" -> handle_paths t p
-  | "constraints" -> handle_constraints t
-  | "hold" -> handle_hold t
+  | "load" -> handle_load t c p
+  | "analyse" -> handle_analyse c p
+  | "set_delay" -> handle_set_delay c p
+  | "scale_delay" -> handle_scale_delay c p
+  | "annotate" -> handle_annotate c p
+  | "set_offset" -> handle_set_offset c p
+  | "paths" -> handle_paths c p
+  | "constraints" -> handle_constraints c
+  | "hold" -> handle_hold c
   | "metrics" -> handle_metrics t p
   | "flight" -> handle_flight t
   | "sleep" -> handle_sleep p
@@ -467,8 +706,8 @@ let ok ~rid ~id result =
   reply ~rid ~id [ ("status", Json.String "ok"); ("result", result) ]
 
 let error ~rid ~id ~code message =
-  Hb_util.Telemetry.incr c_errors;
-  if code = "timeout" then Hb_util.Telemetry.incr c_timeouts;
+  Telemetry.incr c_errors;
+  if code = "timeout" then Telemetry.incr c_timeouts;
   reply ~rid ~id
     [ ("status", Json.String "error");
       ( "error",
@@ -476,17 +715,19 @@ let error ~rid ~id ~code message =
           [ ("code", Json.String code); ("message", Json.String message) ] );
     ]
 
-let next_rid t =
-  t.rid_seq <- t.rid_seq + 1;
-  Printf.sprintf "r%d" t.rid_seq
+let next_rid t = Printf.sprintf "r%d" (Atomic.fetch_and_add t.rid_seq 1 + 1)
 
-let handle_line t line =
-  Hb_util.Telemetry.incr c_requests;
+let handle_line ?client t line =
+  let client = Option.value ~default:t.default_client client in
+  Telemetry.incr c_requests;
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let observing = Hb_util.Telemetry.enabled () in
+  let observing = Telemetry.enabled () in
+  (* Engine-work delta on this domain's shard only: under concurrent
+     serving the global sum would attribute other requests' clusters to
+     this one. *)
   let clusters0 =
-    if observing then Hb_util.Telemetry.read_counter c_clusters_evaluated else 0
+    if observing then Telemetry.read_counter_local c_clusters_evaluated else 0
   in
   let parsed =
     match Json.parse line with
@@ -543,9 +784,9 @@ let handle_line t line =
            Option.value ~default:t.timeout_seconds (opt_float "timeout" request)
          in
          let result =
-           Hb_util.Telemetry.with_tag rid (fun () ->
+           Telemetry.with_tag rid (fun () ->
                Hb_util.Timeout.with_timeout ~seconds (fun () ->
-                   dispatch t ~meth p))
+                   dispatch t client ~meth p))
          in
          ok ~rid ~id result
        with
@@ -563,12 +804,12 @@ let handle_line t line =
   let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
   let cpu_ms = (Sys.time () -. cpu0) *. 1000.0 in
   if observing then begin
-    Hb_util.Telemetry.observe h_request_seconds (wall_ms /. 1000.0);
+    Telemetry.observe h_request_seconds (wall_ms /. 1000.0);
     let clusters =
-      Hb_util.Telemetry.read_counter c_clusters_evaluated - clusters0
+      Telemetry.read_counter_local c_clusters_evaluated - clusters0
     in
     if clusters > 0 then
-      Hb_util.Telemetry.observe h_clusters (float_of_int clusters)
+      Telemetry.observe h_clusters (float_of_int clusters)
   end;
   (* The access log: one Info line per request, id first. *)
   if Log.on Log.Info then
@@ -591,9 +832,147 @@ let handle_line t line =
   if !outcome <> "ok" then dump_flight t;
   text
 
+(* Reply to a request without executing it: the admission-control and
+   shutdown paths. The line is parsed leniently, only to echo id and
+   request_id back; an unparseable line still gets an envelope. Counted
+   in the flight ring and access log, but no flight dump — an overload
+   storm must not amplify into a dump storm. *)
+let reject_line t ~code ~message line =
+  let id, rid, meth =
+    match Json.parse line with
+    | request ->
+      ( Option.value ~default:Json.Null (Json.member "id" request),
+        (match Json.member "request_id" request with
+         | Some (Json.String s) when s <> "" -> s
+         | _ -> next_rid t),
+        (match Json.member "method" request with
+         | Some (Json.String m) -> m
+         | _ -> "?") )
+    | exception _ -> (Json.Null, next_rid t, "?")
+  in
+  if String.equal code "overloaded" then Telemetry.incr c_rejected;
+  let text = error ~rid ~id ~code message in
+  if Log.on Log.Info then
+    Log.info "serve.request"
+      [ ("request_id", Log.String rid);
+        ("method", Log.String meth);
+        ("outcome", Log.String code);
+        ("wall_ms", Log.Float 0.0);
+        ("cpu_ms", Log.Float 0.0);
+      ];
+  push_summary t
+    { rs_ts = Unix.gettimeofday ();
+      rs_id = rid;
+      rs_method = meth;
+      rs_outcome = code;
+      rs_wall_ms = 0.0;
+      rs_cpu_ms = 0.0;
+    };
+  text
+
+(* --- the request scheduler ------------------------------------------- *)
+
+type job = {
+  j_client : client;
+  j_line : string;
+  j_mutex : Mutex.t;
+  j_cond : Condition.t;
+  mutable j_reply : string option;
+}
+
+type scheduler = {
+  s_t : t;
+  s_queue : job Squeue.t;
+  mutable s_domains : unit Domain.t list;
+  s_capacity : int;
+}
+
+let deliver job reply =
+  Mutex.lock job.j_mutex;
+  job.j_reply <- Some reply;
+  Condition.signal job.j_cond;
+  Mutex.unlock job.j_mutex
+
+let worker_loop sched =
+  let t = sched.s_t in
+  let rec loop () =
+    match Squeue.pop sched.s_queue with
+    | None -> ()
+    | Some job ->
+      Telemetry.set_gauge g_queue_depth
+        (float_of_int (Squeue.length sched.s_queue));
+      let reply =
+        if Atomic.get t.stopping then
+          reject_line t ~code:"shutting_down"
+            ~message:"server is shutting down" job.j_line
+        else handle_line ~client:job.j_client t job.j_line
+      in
+      deliver job reply;
+      loop ()
+  in
+  loop ()
+
+let start_scheduler t ~workers ~queue_capacity =
+  let workers = Stdlib.max 1 workers in
+  let queue_capacity = Stdlib.max 1 queue_capacity in
+  t.scheduler_attached <- true;
+  if workers > 1 then t.serialize_pool <- true;
+  let sched =
+    { s_t = t;
+      s_queue = Squeue.create ~capacity:queue_capacity;
+      s_domains = [];
+      s_capacity = queue_capacity;
+    }
+  in
+  sched.s_domains <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop sched));
+  if Log.on Log.Info then
+    Log.info "serve.scheduler"
+      [ ("workers", Log.Int workers); ("queue", Log.Int queue_capacity) ];
+  sched
+
+let submit sched client line =
+  let t = sched.s_t in
+  if Atomic.get t.stopping then
+    reject_line t ~code:"shutting_down" ~message:"server is shutting down" line
+  else begin
+    let job =
+      { j_client = client;
+        j_line = line;
+        j_mutex = Mutex.create ();
+        j_cond = Condition.create ();
+        j_reply = None;
+      }
+    in
+    if Squeue.try_push sched.s_queue job then begin
+      Telemetry.set_gauge g_queue_depth
+        (float_of_int (Squeue.length sched.s_queue));
+      Mutex.lock job.j_mutex;
+      while job.j_reply = None do
+        Condition.wait job.j_cond job.j_mutex
+      done;
+      let reply = Option.get job.j_reply in
+      Mutex.unlock job.j_mutex;
+      reply
+    end
+    else
+      reject_line t ~code:"overloaded"
+        ~message:
+          (Printf.sprintf "request queue is full (capacity %d)"
+             sched.s_capacity)
+        line
+  end
+
+let stop_scheduler sched =
+  Squeue.close sched.s_queue;
+  List.iter Domain.join sched.s_domains;
+  sched.s_domains <- []
+
+(* --- the single-channel loop ----------------------------------------- *)
+
 let run t ic oc =
   let rec loop () =
-    if not t.stopping then
+    if not (finished t) then
       match input_line ic with
       | exception End_of_file -> ()
       | line when String.trim line = "" -> loop ()
@@ -603,13 +982,8 @@ let run t ic oc =
         flush oc;
         loop ()
   in
-  let teardown () =
-    (* End-of-input without shutdown: tear the session down anyway. *)
-    (match t.session with
-     | Some s -> Session.close ~shutdown_pool:true s
-     | None -> ());
-    t.session <- None
-  in
+  (* End-of-input without shutdown: tear the sessions down anyway. *)
+  let teardown () = shutdown_sessions t in
   (* handle_line never raises, but channel IO can: leave a flight dump
      behind before the exception escapes. *)
   match loop () with

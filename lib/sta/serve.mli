@@ -1,5 +1,5 @@
 (** The batch/daemon front end: newline-delimited JSON requests over a
-    channel, one {!Session} behind them.
+    channel, a registry of shared {!Session}s behind them.
 
     Protocol (version {!Json_export.schema_version}): each request is a
     single-line JSON object
@@ -16,22 +16,52 @@
      "error": {"code": "timeout", "message": "..."}}
     v}
 
+    The envelope is unchanged from the single-client daemon — concurrent
+    serving added no fields and bumped no version. Two new error codes
+    exist: [overloaded] (admission control refused the request — the
+    bounded queue was full) and [shutting_down] (the request was queued
+    or received after shutdown began). Both are immediate structured
+    replies, never silent drops.
+
     Methods: [ping], [load] (netlist/clocks/timing paths, or the name
-    of a registered ["generator"] — replaces the current session),
-    [annotate] ([text] or [file]), [set_delay],
-    [scale_delay], [set_offset], [analyse], [paths], [constraints],
-    [hold], [metrics], [flight], [sleep] (test hook) and [shutdown]. A
-    request may carry ["schema_version"]: a value the server doesn't
-    speak is rejected with code ["schema_version"]; absent means
-    current. A request-level ["timeout"] (seconds) overrides the server
-    default.
+    of a registered ["generator"]), [annotate] ([text] or [file]),
+    [set_delay], [scale_delay], [set_offset], [analyse], [paths],
+    [constraints], [hold], [metrics], [flight], [sleep] (test hook) and
+    [shutdown]. A request may carry ["schema_version"]: a value the
+    server doesn't speak is rejected with code ["schema_version"];
+    absent means current. A request-level ["timeout"] (seconds)
+    overrides the server default; budgets are deadline-based
+    ({!Hb_util.Timeout}), checked at engine pass boundaries, and
+    per-domain — safe under concurrent execution.
+
+    {2 Session registry}
+
+    [load] resolves through a registry keyed by the load parameters
+    (source, timing file, jobs, telemetry, macro, delay model): a second
+    client loading the same design binds to the {e same} preprocessed
+    session instead of building its own — the reply carries
+    ["shared": true] and [serve.sessions_shared] counts the hit. Each
+    resident session carries a writer-preferring {!Hb_util.Rwlock}:
+    queries answered entirely from the session's caches
+    ({!Session.is_cached}) run concurrently under the read lock;
+    anything that mutates session state — delay/offset edits, and the
+    first query after one — serializes under the write lock. Sessions
+    no client is bound to are evicted least-recently-used once the
+    registry exceeds [max_sessions] or the process RSS exceeds
+    [memory_budget_mb] ([serve.session_evictions];
+    {!Hb_util.Rss.current_bytes}, best-effort). Loads serialize against
+    each other (preprocessing happens under the registry lock); queries
+    on already-resident sessions do not wait for them.
 
     Every request has a request id — the top-level ["request_id"] string
     when the client supplies one, else a generated ["r<n>"] — echoed in
     the reply envelope, carried by the [serve.request] access-log line
     (request_id/method/outcome/wall_ms/cpu_ms at Info), stamped onto
     every telemetry span the request records (so [--trace] output ties
-    phases back to requests), and kept in the flight-recorder ring.
+    phases back to requests), and kept in the flight-recorder ring. The
+    ring and {!flight_json} are mutex-guarded snapshots, safe under
+    concurrent requests (the log ring and telemetry shards already
+    were).
 
     [metrics] takes an optional ["format"] param: ["json"] (the
     counters/gauges/histograms object) or ["prometheus"] (the result is
@@ -42,8 +72,9 @@
     With telemetry enabled, each request feeds the
     [serve.request_seconds] latency histogram,
     [serve.clusters_evaluated] (before/after delta of the engine's
-    cluster-evaluation counter) and [serve.paths_enumerated] (paths
-    returned by each [paths] request).
+    cluster-evaluation counter, read on the executing domain's shard
+    only) and [serve.paths_enumerated] (paths returned by each [paths]
+    request).
 
     The loop is exit-free by construction: {e every} failure — malformed
     JSON ([bad_request]), a query before [load] ([no_design]), analysis
@@ -54,47 +85,126 @@
     slack cache is invalidated and baseline offsets restored by
     {!Session}); the daemon keeps serving.
 
-    Telemetry: [serve.requests], [serve.errors] and [serve.timeouts]
-    count the request stream. *)
+    Telemetry: [serve.requests], [serve.errors], [serve.timeouts] and
+    [serve.rejected] count the request stream; [serve.sessions],
+    [serve.queue_depth] and [serve.active_clients] gauge the registry,
+    the scheduler queue and the connection layer. *)
 
 type t
 
-(** [create ?timeout_seconds ?library ?prometheus ?dump ?generators ()]
-    prepares a daemon with no design loaded. [timeout_seconds] (default
-    0 = unlimited) bounds each request; [library] (default
-    [Hb_cell.Library.default ()]) resolves cells for [load];
-    [prometheus] (default false) makes Prometheus text the default
-    [metrics] exposition; [dump] receives the flight-recorder JSON
-    document after every error reply and on IO failure in {!run}
-    (exceptions from [dump] are swallowed). [generators] (default [[]])
-    registers named built-in designs [load] can build in-process via its
-    ["generator"] param instead of reading netlist/clocks files — the
-    CLI passes the workload catalog here, keeping this library free of a
-    dependency on the generators. [load] also accepts a boolean
-    ["macro"] param selecting hierarchical timing-macro analysis. *)
+(** [create ?timeout_seconds ?library ?prometheus ?dump ?generators
+    ?max_sessions ?memory_budget_mb ()] prepares a daemon with no design
+    loaded. [timeout_seconds] (default 0 = unlimited) bounds each
+    request; [library] (default [Hb_cell.Library.default ()]) resolves
+    cells for [load]; [prometheus] (default false) makes Prometheus text
+    the default [metrics] exposition; [dump] receives the
+    flight-recorder JSON document after every error reply and on IO
+    failure in {!run} (exceptions from [dump] are swallowed).
+    [generators] (default [[]]) registers named built-in designs [load]
+    can build in-process via its ["generator"] param instead of reading
+    netlist/clocks files — the CLI passes the workload catalog here,
+    keeping this library free of a dependency on the generators. [load]
+    also accepts a boolean ["macro"] param selecting hierarchical
+    timing-macro analysis. [max_sessions] (default 8; 0 = unlimited) and
+    [memory_budget_mb] (default 0 = unlimited) bound the session
+    registry — see the eviction policy above. *)
 val create :
   ?timeout_seconds:float ->
   ?library:Hb_cell.Library.t ->
   ?prometheus:bool ->
   ?dump:(string -> unit) ->
   ?generators:(string * (unit -> Hb_netlist.Design.t * Hb_clock.System.t)) list ->
+  ?max_sessions:int ->
+  ?memory_budget_mb:int ->
   unit ->
   t
+
+(** One connection's server-side identity: which registry session its
+    [load] bound it to. A client processes one request at a time (the
+    protocol is strict request-reply per connection), so the handle
+    needs no locking of its own. *)
+type client
+
+(** [client t] registers a fresh connection handle. *)
+val client : t -> client
+
+(** [release_client t c] drops the client's session binding (making the
+    session evictable once no other client holds it). Call when the
+    connection closes. *)
+val release_client : t -> client -> unit
+
+(** [set_active_clients n] publishes the [serve.active_clients] gauge —
+    the connection layer calls it on connect/disconnect. *)
+val set_active_clients : int -> unit
 
 (** The flight-recorder document, on demand: ring of the last 64 request
     summaries (oldest first: ts/request_id/method/outcome/wall_ms/cpu_ms)
     plus the last 256 structured-log events, as one JSON string. Also
-    what [dump] receives and the [flight] method returns. *)
+    what [dump] receives and the [flight] method returns. Safe to call
+    concurrently with request execution. *)
 val flight_json : t -> string
 
-(** [handle_line t line] processes one request line and returns the
-    reply line (no trailing newline). Never raises. *)
-val handle_line : t -> string -> string
+(** [handle_line ?client t line] processes one request line and returns
+    the reply line (no trailing newline). Never raises. [client]
+    defaults to a daemon-owned handle, preserving the single-client
+    behaviour for direct callers (tests, the stdin loop). *)
+val handle_line : ?client:client -> t -> string -> string
 
-(** [finished t] is true once a [shutdown] request has been served. *)
+(** [reject_line t ~code ~message line] builds the structured error
+    reply for a request that will not execute ([overloaded],
+    [shutting_down]): the line is parsed only to echo [id]/[request_id].
+    Recorded in the flight ring and access log; [serve.rejected] counts
+    [overloaded] rejections. Never raises. *)
+val reject_line : t -> code:string -> message:string -> string -> string
+
+(** [finished t] is true once a [shutdown] request has been served or
+    {!request_stop} called. *)
 val finished : t -> bool
 
+(** [request_stop t] flags shutdown without a client request — the
+    connection layer's SIGTERM hook. Subsequent {!submit}s (and queued
+    requests) get [shutting_down] replies; in-flight requests finish. *)
+val request_stop : t -> unit
+
+(** [shutdown_sessions t] closes every registered session (under its
+    write lock) and tears down the shared domain pool. The connection
+    layer calls it after the scheduler has stopped; with no scheduler
+    attached, the [shutdown] method does this itself. Idempotent. *)
+val shutdown_sessions : t -> unit
+
+(** {2 The request scheduler}
+
+    The concurrent daemon's execution layer: connection readers
+    {!submit} raw request lines into a bounded queue
+    ({!Hb_util.Squeue}), worker domains execute them and hand the reply
+    back. Admission control is the queue bound — a full queue is an
+    immediate [overloaded] reply. One request per client is in flight at
+    a time (the reader thread blocks in {!submit}), which is what makes
+    the client handle lock-free. *)
+
+type scheduler
+
+(** [start_scheduler t ~workers ~queue_capacity] spawns [workers]
+    (>= 1, clamped) worker domains over a queue of [queue_capacity].
+    With more than one worker, sessions loaded thereafter have their
+    analysis pools clamped to one job (an explicit ["jobs"] > 1 becomes
+    [bad_request]); request-level concurrency replaces pool-level
+    parallelism, and deadline budgets stay on the executing domain. *)
+val start_scheduler : t -> workers:int -> queue_capacity:int -> scheduler
+
+(** [submit sched client line] enqueues the request and blocks until its
+    reply is ready. Returns an [overloaded] reply when the queue is
+    full, a [shutting_down] reply once shutdown has begun. Never
+    raises. *)
+val submit : scheduler -> client -> string -> string
+
+(** [stop_scheduler sched] closes the queue, lets workers drain what was
+    already queued (answered with [shutting_down] if {!request_stop} was
+    called, executed normally otherwise) and joins them. *)
+val stop_scheduler : scheduler -> unit
+
 (** [run t ic oc] reads requests from [ic] and writes one flushed reply
-    line each to [oc], until [shutdown] or end of input; the session (if
-    any) and the shared domain pool are torn down on the way out. *)
+    line each to [oc], until [shutdown] or end of input; every session
+    and the shared domain pool are torn down on the way out. The
+    single-channel (stdin) mode — no scheduler involved. *)
 val run : t -> in_channel -> out_channel -> unit

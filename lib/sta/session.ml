@@ -346,6 +346,12 @@ let hold t =
   check_open t;
   ensure_hold t
 
+let is_cached ?(constraints = false) ?(hold = false) t =
+  (not t.closed)
+  && t.analysed <> None
+  && ((not constraints) || t.constraints_cache <> None)
+  && ((not hold) || t.hold_cache <> None)
+
 let close ?(shutdown_pool = false) t =
   if not t.closed then begin
     t.closed <- true;

@@ -164,6 +164,17 @@ val constraints : t -> Algorithm2.constraint_times
     (cached). *)
 val hold : t -> Holdcheck.violation list
 
+(** [is_cached ?constraints ?hold t] is [true] when a query needing the
+    analysis (plus Algorithm 2 constraints and/or hold checks, per the
+    flags) would be served entirely from the session's caches, touching
+    no session state. Queries that are {e not} fully cached mutate the
+    session (offsets are restored and moved by Algorithm 1/2) and must
+    be serialized with other access; fully cached ones are read-only and
+    may run concurrently — the serve layer's read-lock fast path. The
+    answer is advisory: a concurrent mutation can invalidate it, so the
+    caller must re-check under the lock it chose. *)
+val is_cached : ?constraints:bool -> ?hold:bool -> t -> bool
+
 (** [close ?shutdown_pool t] releases the session's caches; further use
     raises {!Error.Error} ([Invalid _]). [shutdown_pool] (default
     [false]) also tears down the process-wide domain pool — for daemon

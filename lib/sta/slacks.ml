@@ -155,6 +155,10 @@ let refresh_cache ~mode ~force (ctx : Context.t) =
          plan.Passes.cuts)
     todo;
   let evaluate i =
+    (* Deadline poll per cluster: a no-op on pool worker domains (their
+       DLS carries no budget), it fires on the inline/submitter domain —
+       the one the serve scheduler guards. *)
+    Hb_util.Timeout.check ();
     let cluster = clusters.(todo.(i)) in
     let plan = passes.Passes.plans.(cluster.Cluster.id) in
     List.iteri
@@ -195,6 +199,7 @@ let compute ?mode ?(force = false) (ctx : Context.t) =
     (* The paper's from-scratch path: evaluate each block inline as the
        aggregation reaches it, exactly as the original engine did. *)
     aggregate ctx ~result_of:(fun cluster ~cut_index:_ ~cut ->
+        Hb_util.Timeout.check ();
         Hb_util.Telemetry.incr c_block_evaluations;
         Block.evaluate ~passes:ctx.Context.passes ~elements:ctx.Context.elements
           ~cluster ~cut ~mode ())

@@ -10,6 +10,7 @@ type job = {
 type t = {
   size : int;
   mutex : Mutex.t;
+  submit : Mutex.t;    (* serializes concurrent submitters of parallel jobs *)
   wake : Condition.t;  (* new job posted, or shutting down *)
   idle : Condition.t;  (* current job fully completed *)
   mutable job : job option;
@@ -85,6 +86,7 @@ let create ~jobs:requested () =
   let t =
     { size;
       mutex = Mutex.create ();
+      submit = Mutex.create ();
       wake = Condition.create ();
       idle = Condition.create ();
       job = None;
@@ -109,35 +111,43 @@ let run ?(label = "pool.job") t ~count work =
       else
         for i = 0 to count - 1 do work i done
     else begin
-      let job =
-        { label; work; count;
-          next = Atomic.make 0;
-          completed = Atomic.make 0;
-          failed = Atomic.make false;
-        }
-      in
-      Mutex.lock t.mutex;
-      if t.stopping then begin
-        Mutex.unlock t.mutex;
-        invalid_arg "Pool.run: pool is shut down"
-      end;
-      t.error <- None;
-      t.job <- Some job;
-      t.epoch <- t.epoch + 1;
-      Condition.broadcast t.wake;
-      Mutex.unlock t.mutex;
-      (* The submitter is a worker too. *)
-      drain t job;
-      Mutex.lock t.mutex;
-      while Atomic.get job.completed < job.count do
-        Condition.wait t.idle t.mutex
-      done;
-      let error = t.error in
-      t.error <- None;
-      Mutex.unlock t.mutex;
-      match error with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
+      (* One parallel job at a time: the pool has a single job slot, so
+         concurrent submitters (e.g. two scheduler domains that both
+         reached a parallel section) must take turns. Inline runs above
+         never contend on this. *)
+      Mutex.lock t.submit;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit)
+        (fun () ->
+          let job =
+            { label; work; count;
+              next = Atomic.make 0;
+              completed = Atomic.make 0;
+              failed = Atomic.make false;
+            }
+          in
+          Mutex.lock t.mutex;
+          if t.stopping then begin
+            Mutex.unlock t.mutex;
+            invalid_arg "Pool.run: pool is shut down"
+          end;
+          t.error <- None;
+          t.job <- Some job;
+          t.epoch <- t.epoch + 1;
+          Condition.broadcast t.wake;
+          Mutex.unlock t.mutex;
+          (* The submitter is a worker too. *)
+          drain t job;
+          Mutex.lock t.mutex;
+          while Atomic.get job.completed < job.count do
+            Condition.wait t.idle t.mutex
+          done;
+          let error = t.error in
+          t.error <- None;
+          Mutex.unlock t.mutex;
+          match error with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
     end
   end
 

@@ -1,11 +1,12 @@
-(* Peak RSS via /proc/self/status. The VmHWM line looks like:
+(* RSS probes via /proc/self/status. The lines of interest look like:
      VmHWM:     12345 kB
+     VmRSS:     12345 kB
    Parsing is deliberately forgiving: any failure (missing file, missing
    line, unexpected unit) degrades to None rather than raising. *)
 
-let parse_vmhwm_line line =
+let parse_field_line ~field line =
   match String.split_on_char ':' line with
-  | [ "VmHWM"; rest ] ->
+  | [ name; rest ] when String.equal name field ->
     let rest = String.trim rest in
     (match String.split_on_char ' ' rest with
      | value :: _ ->
@@ -15,7 +16,7 @@ let parse_vmhwm_line line =
      | [] -> None)
   | _ -> None
 
-let peak_bytes () =
+let scan_status ~field =
   match open_in "/proc/self/status" with
   | exception _ -> None
   | ic ->
@@ -23,10 +24,13 @@ let peak_bytes () =
       match input_line ic with
       | exception End_of_file -> None
       | line ->
-        (match parse_vmhwm_line line with
+        (match parse_field_line ~field line with
          | Some _ as hit -> hit
          | None -> scan ())
     in
     let result = scan () in
     close_in_noerr ic;
     result
+
+let peak_bytes () = scan_status ~field:"VmHWM"
+let current_bytes () = scan_status ~field:"VmRSS"

@@ -1,10 +1,17 @@
-(** Peak resident-set-size introspection.
+(** Resident-set-size introspection.
 
-    Reads the process high-water mark ([VmHWM]) from [/proc/self/status] on
-    Linux.  On platforms without procfs the probe returns [None]; callers
-    must treat the value as best-effort telemetry, never as a correctness
+    Reads the process high-water mark ([VmHWM]) and current resident set
+    ([VmRSS]) from [/proc/self/status] on Linux.  On platforms without
+    procfs the probes return [None]; callers must treat the values as
+    best-effort telemetry or soft budget inputs, never as a correctness
     input. *)
 
 val peak_bytes : unit -> int option
 (** [peak_bytes ()] is the peak resident set size of the current process in
     bytes, or [None] when the platform does not expose it. *)
+
+val current_bytes : unit -> int option
+(** [current_bytes ()] is the current resident set size of the process in
+    bytes, or [None] when the platform does not expose it.  The serve
+    daemon compares this against its memory budget when deciding whether
+    to evict idle sessions. *)

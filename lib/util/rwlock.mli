@@ -1,0 +1,27 @@
+(** Writer-preferring reader-writer lock.
+
+    Any number of readers hold the lock together; a writer holds it
+    alone. Once a writer is waiting, new readers queue behind it, so a
+    continuous stream of read-only timing queries cannot starve a
+    what-if mutation on the same shared session.
+
+    Works across domains and across systhreads (built on [Mutex] /
+    [Condition]). Not reentrant: a holder acquiring the lock again —
+    including a reader asking for the write lock — deadlocks. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** [with_read t f] runs [f ()] holding the read lock; released on
+    return or exception. *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+(** [with_write t f] runs [f ()] holding the write lock; released on
+    return or exception. *)
+val with_write : t -> (unit -> 'a) -> 'a

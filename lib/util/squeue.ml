@@ -1,0 +1,50 @@
+type 'a t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Squeue.create: capacity must be >= 1";
+  {
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.m;
+  let accepted = (not t.closed) && Queue.length t.items < t.capacity in
+  if accepted then begin
+    Queue.add x t.items;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let pop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let item =
+    if Queue.is_empty t.items then None else Some (Queue.pop t.items)
+  in
+  Mutex.unlock t.m;
+  item
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.items in
+  Mutex.unlock t.m;
+  n

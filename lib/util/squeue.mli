@@ -1,0 +1,28 @@
+(** Bounded multi-producer multi-consumer queue.
+
+    The serve daemon's admission-control buffer: connection readers
+    [try_push] requests (never blocking — a full queue is an immediate
+    structured [overloaded] reply, not unbounded queueing) and scheduler
+    worker domains [pop] them. Safe across domains and systhreads. *)
+
+type 'a t
+
+(** [create ~capacity] makes an empty queue holding at most [capacity]
+    items. Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [try_push t x] enqueues [x] and returns [true], or returns [false]
+    without blocking when the queue is full or closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [pop t] blocks until an item is available and returns [Some item],
+    or [None] once the queue is closed and drained. Items pushed before
+    [close] are still delivered. *)
+val pop : 'a t -> 'a option
+
+(** [close t] rejects further pushes and wakes all blocked consumers;
+    already-queued items remain poppable. Idempotent. *)
+val close : 'a t -> unit
+
+(** Current number of queued items (a racy snapshot — for gauges). *)
+val length : 'a t -> int

@@ -206,6 +206,10 @@ let read_counter c =
           if c < Array.length shard.counts then acc + shard.counts.(c) else acc)
         0 !shards)
 
+let read_counter_local c =
+  let shard = my_shard () in
+  if c < Array.length shard.counts then shard.counts.(c) else 0
+
 let record_span shard span_name start_s cpu0 =
   let wall_s = Unix.gettimeofday () -. start_s in
   let cpu_s = Sys.time () -. cpu0 in

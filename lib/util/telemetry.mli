@@ -117,6 +117,12 @@ val span : string -> (unit -> 'a) -> 'a
     before/after deltas of engine counters to size per-request work. *)
 val read_counter : counter -> int
 
+(** [read_counter_local c] reads [c] on the calling domain's shard only
+    (no lock). For before/after deltas of work performed on this domain:
+    under concurrent serving, the global sum would attribute other
+    requests' work to this one. *)
+val read_counter_local : counter -> int
+
 type histogram_snapshot = {
   h_name : string;
   upper_bounds : float array;

@@ -1,33 +1,45 @@
 exception Timeout of float
 
-(* [armed] gates the handler so a signal that fires in the hole between
-   [f] returning and the timer being cleared cannot leak a Timeout into
-   the caller's subsequent code. *)
-let armed = ref false
+(* The active budget of the calling domain: absolute wall-clock deadline
+   plus the configured budget in seconds (carried by the exception). Kept
+   in domain-local storage so concurrent domains guard their requests
+   independently — the property the old process-global ITIMER/SIGALRM
+   implementation could not provide. *)
+let budget_key : (float * float) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let check () =
+  match Domain.DLS.get budget_key with
+  | Some (deadline, seconds) when Unix.gettimeofday () > deadline ->
+    raise (Timeout seconds)
+  | Some _ | None -> ()
+
+let remaining () =
+  match Domain.DLS.get budget_key with
+  | None -> None
+  | Some (deadline, _) -> Some (deadline -. Unix.gettimeofday ())
 
 let with_timeout ~seconds f =
-  if (not (Float.is_finite seconds)) || seconds <= 0.0 then f ()
+  if (not (Float.is_finite seconds)) || seconds <= 0.0 then
+    (* No budget of its own; any enclosing deadline stays in force. *)
+    f ()
   else begin
-    let previous =
-      Sys.signal Sys.sigalrm
-        (Sys.Signal_handle
-           (fun _ -> if !armed then raise (Timeout seconds)))
+    let previous = Domain.DLS.get budget_key in
+    let deadline = Unix.gettimeofday () +. seconds in
+    (* Nested guards keep the tighter deadline, so an inner with_timeout
+       can only shrink the window, never extend the outer one. *)
+    let effective =
+      match previous with
+      | Some (outer_deadline, _) when outer_deadline <= deadline -> previous
+      | Some _ | None -> Some (deadline, seconds)
     in
-    let disarm () =
-      armed := false;
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_interval = 0.0; it_value = 0.0 });
-      Sys.set_signal Sys.sigalrm previous
-    in
-    armed := true;
-    ignore
-      (Unix.setitimer Unix.ITIMER_REAL
-         { Unix.it_interval = 0.0; it_value = seconds });
+    Domain.DLS.set budget_key effective;
     match f () with
-    | result -> disarm (); result
+    | result ->
+      Domain.DLS.set budget_key previous;
+      result
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      disarm ();
+      Domain.DLS.set budget_key previous;
       Printexc.raise_with_backtrace e bt
   end

@@ -1,28 +1,50 @@
-(** Best-effort wall-clock timeouts for long-running analysis calls.
+(** Deadline-based wall-clock budgets for long-running analysis calls.
 
-    Built on [ITIMER_REAL]/[SIGALRM]: the handler raises {!Timeout} at
-    the next OCaml safe point of the domain that receives the signal, so
-    a guarded computation is interrupted mid-flight without polling
-    hooks in the analysis kernels. Two consequences to be aware of:
+    A guarded computation runs with an absolute deadline recorded in the
+    calling domain's local storage; the analysis kernels poll it with
+    {!check} at their pass boundaries (relaxation iterations, snatch
+    cycles, per-cluster block evaluations, per-endpoint path traces), so
+    an expired budget surfaces as {!Timeout} at the next boundary.
 
-    - delivery is {e best effort}: a domain blocked in C code or a
-      condition wait only sees the exception once it returns to OCaml
-      (the {!Pool} submitter, for instance, observes it after the
-      in-flight parallel job drains);
+    This replaces an earlier [ITIMER_REAL]/[SIGALRM] implementation,
+    whose process-global timer and signal disposition were unsound once
+    multiple domains served requests concurrently (one request's timer
+    cleared or fired another's). Consequences of the deadline model:
+
+    - budgets are per-domain: a deadline set on the serving domain is
+      invisible to pool worker domains. The daemon serializes the
+      analysis pool under concurrent serving precisely so the guarded
+      work runs on the guarded domain;
+    - granularity is one pass: a single block evaluation or path trace
+      runs to completion before the deadline is noticed. Pass costs are
+      bounded (the scale engine exists to keep them so), which keeps the
+      overshoot small in practice;
     - the guarded code must be exception-safe. The timing-analysis entry
       points are (the session invalidates its slack cache when an
       analysis is torn down mid-run), but arbitrary callbacks may not
       be.
 
-    Nesting [with_timeout] inside [with_timeout] is not supported: the
-    inner call would clobber the outer timer. The daemon applies one
-    timeout per request, which is the intended shape. *)
+    Nesting is supported: an inner {!with_timeout} keeps the tighter of
+    the two deadlines, so it can shrink but never extend the enclosing
+    budget. *)
 
 exception Timeout of float
 (** Carries the configured budget in seconds. *)
 
-(** [with_timeout ~seconds f] runs [f ()], raising {!Timeout} (inside
-    [f]) when it is still running after [seconds] of wall-clock time.
-    The previous [SIGALRM] disposition and timer are restored on exit.
-    [seconds <= 0] or non-finite runs [f] unguarded. *)
+(** [with_timeout ~seconds f] runs [f ()] under a deadline [seconds] of
+    wall-clock time away; {!check} calls inside [f] raise {!Timeout}
+    once the deadline passes. The previous deadline (if any) is restored
+    on exit. [seconds <= 0] or non-finite adds no budget of its own (an
+    enclosing deadline stays in force). *)
 val with_timeout : seconds:float -> (unit -> 'a) -> 'a
+
+(** [check ()] raises {!Timeout} when the calling domain's active
+    deadline has passed; a no-op (one domain-local read) when no budget
+    is set or time remains. Analysis kernels call this at pass
+    boundaries. *)
+val check : unit -> unit
+
+(** [remaining ()] is [Some seconds] until the calling domain's active
+    deadline (negative once expired), or [None] when no budget is set.
+    For callers that want to stop cleanly before the exception fires. *)
+val remaining : unit -> float option

@@ -554,6 +554,267 @@ let test_serve_observability () =
        ignore (send {|{"id":6,"method":"shutdown"}|}))
 
 (* ------------------------------------------------------------------ *)
+(* concurrent serve: shared sessions, admission control, drain        *)
+(* ------------------------------------------------------------------ *)
+
+let shared_of reply =
+  match Json.member "shared" (reply_result reply) with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail ("load reply without shared flag: " ^ reply)
+
+let telemetry_counter name =
+  let snap = Hb_util.Telemetry.snapshot () in
+  match List.assoc_opt name snap.Hb_util.Telemetry.counters with
+  | Some v -> v
+  | None -> 0
+
+let with_telemetry f =
+  Hb_util.Telemetry.reset ();
+  Hb_util.Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+        Hb_util.Telemetry.set_enabled false;
+        Hb_util.Telemetry.reset ())
+    f
+
+let test_serve_shared_session () =
+  with_telemetry (fun () ->
+      let daemon =
+        Hb_sta.Serve.create
+          ~generators:[ ("pipe", fun () -> pipeline ~period:3.0 ()) ]
+          ()
+      in
+      let sched =
+        Hb_sta.Serve.start_scheduler daemon ~workers:2 ~queue_capacity:8
+      in
+      let a = Hb_sta.Serve.client daemon in
+      let b = Hb_sta.Serve.client daemon in
+      let send client line = Hb_sta.Serve.submit sched client line in
+      let load = {|{"id":1,"method":"load","params":{"generator":"pipe"}}|} in
+      let ra = send a load in
+      Alcotest.(check string) "first load ok" "ok" (reply_status ra);
+      Alcotest.(check bool) "first load is fresh" false (shared_of ra);
+      let rb = send b load in
+      Alcotest.(check string) "second load ok" "ok" (reply_status rb);
+      Alcotest.(check bool) "second load shares the session" true
+        (shared_of rb);
+      Alcotest.(check bool) "share counted" true
+        (telemetry_counter "serve.sessions_shared" >= 1);
+      (* One resident session serves both clients: the second analyse is
+         answered from the shared cache, not recomputed. *)
+      let q =
+        {|{"id":2,"method":"analyse","params":{"constraints":false,"hold":false}}|}
+      in
+      Alcotest.(check string) "a analyses" "ok" (reply_status (send a q));
+      Alcotest.(check string) "b analyses" "ok" (reply_status (send b q));
+      Alcotest.(check int) "one analysis for two clients" 1
+        (telemetry_counter "session.analyses");
+      (* While the scheduler owns the domains, a load asking for its own
+         pool parallelism is refused rather than silently raced. *)
+      Alcotest.(check string) "jobs>1 rejected under scheduler" "bad_request"
+        (reply_error_code
+           (send a
+              {|{"id":3,"method":"load","params":{"generator":"pipe","jobs":4}}|}));
+      Hb_sta.Serve.release_client daemon a;
+      Hb_sta.Serve.release_client daemon b;
+      Hb_sta.Serve.stop_scheduler sched;
+      Hb_sta.Serve.shutdown_sessions daemon)
+
+let test_serve_admission () =
+  with_telemetry (fun () ->
+      let daemon = Hb_sta.Serve.create () in
+      let sched =
+        Hb_sta.Serve.start_scheduler daemon ~workers:1 ~queue_capacity:1
+      in
+      let c1 = Hb_sta.Serve.client daemon in
+      let c2 = Hb_sta.Serve.client daemon in
+      let c3 = Hb_sta.Serve.client daemon in
+      let r1 = ref "" and r2 = ref "" in
+      (* Fill the worker with a sleep, then the queue (capacity 1) with
+         a second one; the third client must get an immediate
+         structured [overloaded], not a stall. *)
+      let t1 =
+        Thread.create
+          (fun () ->
+             r1 :=
+               Hb_sta.Serve.submit sched c1
+                 {|{"id":1,"method":"sleep","params":{"seconds":0.4}}|})
+          ()
+      in
+      Thread.delay 0.1;
+      let t2 =
+        Thread.create
+          (fun () ->
+             r2 :=
+               Hb_sta.Serve.submit sched c2
+                 {|{"id":2,"method":"sleep","params":{"seconds":0.1}}|})
+          ()
+      in
+      Thread.delay 0.1;
+      let rejected =
+        Hb_sta.Serve.submit sched c3 {|{"id":3,"method":"ping"}|}
+      in
+      Alcotest.(check string) "rejected is an error" "error"
+        (reply_status rejected);
+      Alcotest.(check string) "overloaded code" "overloaded"
+        (reply_error_code rejected);
+      Thread.join t1;
+      Thread.join t2;
+      Alcotest.(check string) "first sleep served" "ok" (reply_status !r1);
+      Alcotest.(check string) "queued sleep served" "ok" (reply_status !r2);
+      Alcotest.(check bool) "rejection counted" true
+        (telemetry_counter "serve.rejected" >= 1);
+      Hb_sta.Serve.stop_scheduler sched;
+      Hb_sta.Serve.shutdown_sessions daemon)
+
+let test_serve_drain () =
+  let daemon = Hb_sta.Serve.create () in
+  let sched =
+    Hb_sta.Serve.start_scheduler daemon ~workers:1 ~queue_capacity:4
+  in
+  let c = Hb_sta.Serve.client daemon in
+  Alcotest.(check string) "ping before shutdown" "ok"
+    (reply_status (Hb_sta.Serve.submit sched c {|{"id":1,"method":"ping"}|}));
+  Alcotest.(check string) "shutdown ok" "ok"
+    (reply_status
+       (Hb_sta.Serve.submit sched c {|{"id":2,"method":"shutdown"}|}));
+  Alcotest.(check bool) "daemon finished" true (Hb_sta.Serve.finished daemon);
+  Alcotest.(check string) "late request refused" "shutting_down"
+    (reply_error_code
+       (Hb_sta.Serve.submit sched c {|{"id":3,"method":"ping"}|}));
+  Hb_sta.Serve.stop_scheduler sched;
+  Hb_sta.Serve.shutdown_sessions daemon;
+  (* The SIGTERM path: request_stop drains exactly like a client-issued
+     shutdown. *)
+  let daemon = Hb_sta.Serve.create () in
+  let sched =
+    Hb_sta.Serve.start_scheduler daemon ~workers:1 ~queue_capacity:4
+  in
+  let c = Hb_sta.Serve.client daemon in
+  Hb_sta.Serve.request_stop daemon;
+  Alcotest.(check bool) "finished after request_stop" true
+    (Hb_sta.Serve.finished daemon);
+  Alcotest.(check string) "refused after request_stop" "shutting_down"
+    (reply_error_code
+       (Hb_sta.Serve.submit sched c {|{"id":4,"method":"ping"}|}));
+  Hb_sta.Serve.stop_scheduler sched;
+  Hb_sta.Serve.shutdown_sessions daemon
+
+(* Distinct instances carrying timing arcs, for disjoint edit sets. *)
+let path_instances session n =
+  let ctx = Hb_sta.Session.context session in
+  let design = ctx.Hb_sta.Context.design in
+  let name inst =
+    (Hb_netlist.Design.instance design inst).Hb_netlist.Design.inst_name
+  in
+  let via =
+    Hb_sta.Session.worst_paths session ~limit:50
+    |> List.concat_map (fun (p : Hb_sta.Paths.path) -> p.Hb_sta.Paths.hops)
+    |> List.filter_map (fun (h : Hb_sta.Paths.hop) -> h.Hb_sta.Paths.via)
+  in
+  let arcs =
+    ctx.Hb_sta.Context.table.Hb_sta.Cluster.clusters
+    |> Array.to_list
+    |> List.concat_map (fun (cluster : Hb_sta.Cluster.t) ->
+        Array.to_list cluster.Hb_sta.Cluster.arcs
+        |> List.map (fun arc -> arc.Hb_sta.Cluster.inst))
+  in
+  let uniq = List.sort_uniq compare (via @ arcs) in
+  if List.length uniq < n then
+    Alcotest.fail
+      (Printf.sprintf "need %d instances with arcs, design has %d" n
+         (List.length uniq));
+  List.filteri (fun i _ -> i < n) uniq |> List.map name
+
+(* The acceptance bar for shared sessions: interleaved mutations and
+   reads from two concurrent clients must leave the session in exactly
+   the state the same edits produce serially — the final report
+   (everything but the wall-clock timings) compares equal, text for
+   text. Disjoint instance sets make the edits commute. *)
+let test_serve_concurrent_parity () =
+  let design, system = pipeline ~period:3.0 () in
+  let probe = Hb_sta.Session.create ~design ~system () in
+  let instances = path_instances probe 4 in
+  Hb_sta.Session.close probe;
+  let edits_a =
+    [ (List.nth instances 0, 0.9); (List.nth instances 1, 1.15) ]
+  in
+  let edits_b =
+    [ (List.nth instances 2, 0.8); (List.nth instances 3, 1.2) ]
+  in
+  let scale i (instance, factor) =
+    Printf.sprintf
+      {|{"id":%d,"method":"scale_delay","params":{"instance":"%s","factor":%g}}|}
+      i instance factor
+  in
+  let analyse =
+    {|{"id":99,"method":"analyse","params":{"constraints":false,"hold":false}}|}
+  in
+  let final_report send =
+    let reply = send analyse in
+    Alcotest.(check string) "final analyse ok" "ok" (reply_status reply);
+    match reply_result reply with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> "timings") fields)
+    | _ -> Alcotest.fail "analyse result is not an object"
+  in
+  let generators = [ ("pipe", fun () -> pipeline ~period:3.0 ()) ] in
+  let load = {|{"id":1,"method":"load","params":{"generator":"pipe"}}|} in
+  (* Serial reference: one client applies all four edits, then reads. *)
+  let serial =
+    let daemon = Hb_sta.Serve.create ~generators () in
+    let send line = Hb_sta.Serve.handle_line daemon line in
+    Alcotest.(check string) "serial load" "ok" (reply_status (send load));
+    List.iteri
+      (fun i e ->
+         Alcotest.(check string) "serial edit" "ok"
+           (reply_status (send (scale (10 + i) e))))
+      (edits_a @ edits_b);
+    let report = final_report send in
+    ignore (send {|{"id":100,"method":"shutdown"}|});
+    report
+  in
+  (* Concurrent: two clients interleave the same edits with reads on
+     the shared session behind a two-worker scheduler. *)
+  let concurrent =
+    let daemon = Hb_sta.Serve.create ~generators () in
+    let sched =
+      Hb_sta.Serve.start_scheduler daemon ~workers:2 ~queue_capacity:16
+    in
+    let run edits () =
+      let c = Hb_sta.Serve.client daemon in
+      Alcotest.(check string) "concurrent load" "ok"
+        (reply_status (Hb_sta.Serve.submit sched c load));
+      List.iteri
+        (fun i e ->
+           Alcotest.(check string) "concurrent edit" "ok"
+             (reply_status (Hb_sta.Serve.submit sched c (scale (20 + i) e)));
+           (* An interleaved read: must be a well-formed ok report no
+              matter what the other client has mutated so far. *)
+           Alcotest.(check string) "interleaved analyse" "ok"
+             (reply_status (Hb_sta.Serve.submit sched c analyse)))
+        edits;
+      Hb_sta.Serve.release_client daemon c
+    in
+    let ta = Thread.create (run edits_a) () in
+    let tb = Thread.create (run edits_b) () in
+    Thread.join ta;
+    Thread.join tb;
+    let c = Hb_sta.Serve.client daemon in
+    Alcotest.(check string) "final load ok" "ok"
+      (reply_status (Hb_sta.Serve.submit sched c load));
+    let report =
+      final_report (fun line -> Hb_sta.Serve.submit sched c line)
+    in
+    Hb_sta.Serve.release_client daemon c;
+    Hb_sta.Serve.stop_scheduler sched;
+    Hb_sta.Serve.shutdown_sessions daemon;
+    report
+  in
+  Alcotest.(check string) "concurrent final report equals serial"
+    (Json.to_string serial) (Json.to_string concurrent)
+
+(* ------------------------------------------------------------------ *)
 (* Error, Timeout, Engine.preprocess, Json                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -589,9 +850,13 @@ let test_error_classifier () =
    | Error err ->
      Alcotest.(check string) "wrap code" "invalid" (Hb_sta.Error.code err))
 
+(* Budgets are deadline-based, polled at pass boundaries: guarded work
+   only times out where it calls [Timeout.check], which is what this
+   spin loop stands in for. *)
 let busy_wait seconds =
   let deadline = Unix.gettimeofday () +. seconds in
   while Unix.gettimeofday () < deadline do
+    Hb_util.Timeout.check ();
     ignore (Sys.opaque_identity 0)
   done
 
@@ -600,6 +865,10 @@ let test_timeout_helper () =
     (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 7));
   Alcotest.(check int) "non-positive budget means no limit" 9
     (Hb_util.Timeout.with_timeout ~seconds:0.0 (fun () -> 9));
+  (* Unguarded code never times out: check is a no-op with no budget. *)
+  Hb_util.Timeout.check ();
+  Alcotest.(check bool) "no budget outside a guard" true
+    (Hb_util.Timeout.remaining () = None);
   (match
      Hb_util.Timeout.with_timeout ~seconds:0.1 (fun () ->
          busy_wait 10.0;
@@ -608,11 +877,25 @@ let test_timeout_helper () =
    | _ -> Alcotest.fail "expected a timeout"
    | exception Hb_util.Timeout.Timeout s ->
      Alcotest.(check bool) "budget carried" true (s = 0.1));
-  (* The timer is disarmed afterwards: slow work outside the guard is
+  (* The budget is cleared afterwards: slow work outside the guard is
      safe, and a second guarded call still works. *)
   busy_wait 0.15;
   Alcotest.(check int) "reusable after firing" 3
-    (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 3))
+    (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 3));
+  (* Nesting keeps the tighter deadline: a generous inner budget cannot
+     extend a tight outer one, and the outer budget is the one the
+     exception reports. *)
+  (match
+     Hb_util.Timeout.with_timeout ~seconds:0.2 (fun () ->
+         Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () ->
+             busy_wait 10.0;
+             "finished"))
+   with
+   | _ -> Alcotest.fail "expected the nested call to time out"
+   | exception Hb_util.Timeout.Timeout s ->
+     Alcotest.(check bool) "outer budget wins" true (s = 0.2));
+  Alcotest.(check int) "reusable after nested firing" 4
+    (Hb_util.Timeout.with_timeout ~seconds:5.0 (fun () -> 4))
 
 let test_preprocess_shape () =
   let design, system = pipeline () in
@@ -669,6 +952,12 @@ let () =
        [ Alcotest.test_case "transcript" `Quick test_serve_transcript;
          Alcotest.test_case "run channel" `Quick test_serve_run_channel;
          Alcotest.test_case "observability" `Quick test_serve_observability ]);
+      ("concurrent",
+       [ Alcotest.test_case "shared session" `Quick test_serve_shared_session;
+         Alcotest.test_case "admission control" `Quick test_serve_admission;
+         Alcotest.test_case "graceful drain" `Quick test_serve_drain;
+         Alcotest.test_case "parity vs serial" `Quick
+           test_serve_concurrent_parity ]);
       ("util",
        [ Alcotest.test_case "timeout helper" `Quick test_timeout_helper;
          Alcotest.test_case "preprocess shape" `Quick test_preprocess_shape;
