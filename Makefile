@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench clean golden validate fuzz
 
 all: build
 
@@ -12,11 +12,29 @@ test: build
 # engine, two smallest Table 1 designs) and P2 (k-worst path engine,
 # DES-scale soup) fail hard when an optimised engine diverges from its
 # sequential / seed baseline, and S2 (scale) asserts macro-vs-flat
-# slack parity on the 10k-cell tiled-Feistel design.
+# slack parity on the 10k-cell tiled-Feistel design. The validate step
+# replays the frozen golden QoR corpus and a small fixed-seed
+# differential fuzz batch.
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- --smoke
+	dune exec bin/hummingbird.exe -- validate --corpus test/golden --fuzz 8
+
+# Re-freeze the golden QoR corpus after an intentional engine change.
+# Review the diff before committing: every changed hex float is a
+# bit-level QoR change you are signing off on.
+golden:
+	dune exec bin/hummingbird.exe -- validate --corpus test/golden --update
+
+# Golden gate only (what CI runs on every PR).
+validate:
+	dune exec bin/hummingbird.exe -- validate --corpus test/golden
+
+# Longer differential fuzz session than the check/CI budget.
+fuzz:
+	dune exec bin/hummingbird.exe -- validate --skip-golden --fuzz 200 \
+	  --budget-seconds 120
 
 bench:
 	dune exec bench/main.exe

@@ -1766,6 +1766,50 @@ let serve_socket_client ~path ~clients ~requests =
   exit (if Atomic.get failures > 0 then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
+(* V1 — differential fuzz throughput                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of one full differential pass (all six cross-checks) per fuzzed
+   design, and a hard parity gate on the pinned regression seeds: any
+   divergence fails the bench with the one-line repro, exactly like the
+   P1/P2 engine-parity gates. *)
+let fuzz_bench ?(smoke = false) () =
+  section "V1: differential fuzz — checks per second";
+  let seeds =
+    Hb_workload.Fuzz.regression_seeds
+    @ Hb_workload.Fuzz.seed_list ~base:0xC0FFEEL (if smoke then 8 else 64)
+  in
+  let elapsed = measure ~repeat:1 (fun () ->
+      let outcome = Hb_workload.Fuzz.run seeds in
+      (match outcome.Hb_workload.Fuzz.failures with
+       | [] -> ()
+       | f :: _ ->
+         failwith
+           (Printf.sprintf "V1: fuzz divergence (%s: %s) — repro: %s"
+              f.Hb_workload.Fuzz.check f.Hb_workload.Fuzz.detail
+              (Hb_workload.Fuzz.repro_command f)));
+      outcome)
+  in
+  Printf.printf "%-28s %8s %14s\n" "batch" "seeds" "seeds/s";
+  Printf.printf "%-28s %8d %14.1f\n"
+    (if smoke then "regression + 8 derived" else "regression + 64 derived")
+    (List.length seeds)
+    (float_of_int (List.length seeds) /. elapsed);
+  (* The sabotage detector itself: the injected invalidation
+     off-by-one must be caught within the same seed batch. *)
+  let sabotage = Hb_workload.Fuzz.run ~inject:true seeds in
+  let caught =
+    List.exists
+      (fun f -> f.Hb_workload.Fuzz.check = "cache-coherence")
+      sabotage.Hb_workload.Fuzz.failures
+  in
+  if not caught then
+    failwith "V1: injected cache off-by-one escaped the fuzz batch";
+  Printf.printf "injected off-by-one caught: yes (%d/%d seeds diverge)\n"
+    (List.length sabotage.Hb_workload.Fuzz.failures)
+    sabotage.Hb_workload.Fuzz.seeds_run
+
+(* ------------------------------------------------------------------ *)
 (* uB — bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1865,6 +1909,7 @@ let () =
     session_bench ();
     scale_bench ~smoke:true ();
     serve_load_bench ~smoke:true ();
+    fuzz_bench ~smoke:true ();
     print_newline ()
   end
   else begin
@@ -1887,6 +1932,7 @@ let () =
     session_bench ();
     scale_bench ();
     serve_load_bench ();
+    fuzz_bench ();
     bechamel_suite ();
     print_newline ()
   end

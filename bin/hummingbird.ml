@@ -990,6 +990,144 @@ let serve_cmd =
           $ max_clients_arg $ workers_arg $ queue_arg $ max_sessions_arg
           $ memory_budget_arg)
 
+(* ------------------------------------------------------------------ *)
+(* validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run corpus update designs skip_golden fuzz fuzz_seed budget inject
+      artifact =
+    handle_errors (fun () ->
+        let failed = ref false in
+        if not skip_golden then begin
+          let names =
+            match designs with
+            | [] -> Hb_workload.Golden.default_designs
+            | names -> names
+          in
+          List.iter
+            (fun name ->
+               let actual = Hb_workload.Golden.measure name in
+               if update then begin
+                 Hb_workload.Golden.save ~dir:corpus actual;
+                 Printf.printf "golden %-10s updated\n%!" name
+               end
+               else
+                 match Hb_workload.Golden.load ~dir:corpus name with
+                 | None ->
+                   failed := true;
+                   Printf.printf
+                     "golden %-10s MISSING expectation in %s (run `make \
+                      golden`)\n%!"
+                     name corpus
+                 | Some expected ->
+                   (match Hb_workload.Golden.diff ~expected ~actual with
+                    | [] -> Printf.printf "golden %-10s ok\n%!" name
+                    | diffs ->
+                      failed := true;
+                      Printf.printf "golden %-10s FAIL\n%!" name;
+                      List.iter (Printf.printf "  %s\n") diffs))
+            names
+        end;
+        let seeds =
+          match fuzz_seed with
+          | Some seed -> [ seed ]
+          | None ->
+            if fuzz <= 0 then []
+            else
+              Hb_workload.Fuzz.regression_seeds
+              @ Hb_workload.Fuzz.seed_list ~base:0xC0FFEEL fuzz
+        in
+        if seeds <> [] then begin
+          let on_failure (f : Hb_workload.Fuzz.failure) =
+            failed := true;
+            let p = f.Hb_workload.Fuzz.params in
+            Printf.printf "fuzz FAIL seed 0x%Lx: %s\n  %s\n  repro: %s\n%!"
+              p.Hb_workload.Fuzz.seed f.Hb_workload.Fuzz.check
+              f.Hb_workload.Fuzz.detail
+              (Hb_workload.Fuzz.repro_command f);
+            write_file_atomic artifact
+              (Hb_util.Json.to_string (Hb_workload.Fuzz.failure_json f) ^ "\n")
+          in
+          let outcome =
+            Hb_workload.Fuzz.run ~inject ?budget_seconds:budget ~on_failure
+              seeds
+          in
+          Printf.printf "fuzz: %d of %d seed(s) run, %d divergence(s)\n%!"
+            outcome.Hb_workload.Fuzz.seeds_run (List.length seeds)
+            (List.length outcome.Hb_workload.Fuzz.failures)
+        end;
+        if !failed then exit 1)
+  in
+  let corpus_arg =
+    Arg.(value & opt string "test/golden"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory holding the frozen golden expectations.")
+  in
+  let update_arg =
+    Arg.(value & flag
+         & info [ "update" ]
+             ~doc:"Rewrite the golden corpus from the current engine instead \
+                   of checking against it (what $(b,make golden) runs).")
+  in
+  let designs_arg =
+    Arg.(value & opt_all string []
+         & info [ "design" ] ~docv:"NAME"
+             ~doc:"Validate only the named catalogue design (repeatable; \
+                   default: every seed design plus scale10k).")
+  in
+  let skip_golden_arg =
+    Arg.(value & flag
+         & info [ "skip-golden" ] ~doc:"Skip the golden-corpus gate.")
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 0
+         & info [ "fuzz" ] ~docv:"N"
+             ~doc:"Differentially fuzz $(docv) random seeds (plus the pinned \
+                   regression seeds) through every engine fast path.")
+  in
+  let seed_conv =
+    let parse s =
+      match Int64.of_string_opt s with
+      | Some seed -> Ok seed
+      | None -> Error (`Msg (Printf.sprintf "bad seed %S" s))
+    in
+    Arg.conv (parse, fun ppf s -> Format.fprintf ppf "0x%Lx" s)
+  in
+  let fuzz_seed_arg =
+    Arg.(value & opt (some seed_conv) None
+         & info [ "fuzz-seed" ] ~docv:"SEED"
+             ~doc:"Fuzz exactly this seed (decimal or 0x hex) — the one-line \
+                   repro a fuzz failure prints.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget-seconds" ] ~docv:"SECONDS"
+             ~doc:"Stop starting new fuzz seeds once this much wall time has \
+                   elapsed (the CI time box).")
+  in
+  let inject_arg =
+    Arg.(value & flag
+         & info [ "inject" ]
+             ~doc:"Self-test: sabotage the cache-coherence check by dropping \
+                   one cluster from the invalidation set, proving the fuzzer \
+                   would catch a real invalidation off-by-one.")
+  in
+  let artifact_arg =
+    Arg.(value & opt string "fuzz-failure.json"
+         & info [ "artifact" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON failure artifact (params, check, \
+                   repro command) when a fuzz divergence is found.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Gate the engine against the frozen golden QoR corpus and \
+          differentially fuzz its fast paths (incremental, macro, session, \
+          k-worst, cache coherence) against naive references")
+    Term.(const run $ corpus_arg $ update_arg $ designs_arg $ skip_golden_arg
+          $ fuzz_arg $ fuzz_seed_arg $ budget_arg $ inject_arg $ artifact_arg)
+
 let () =
   let info =
     Cmd.info "hummingbird" ~version:"1.0.0"
@@ -1000,4 +1138,4 @@ let () =
        (Cmd.group info
           [ analyse_cmd; stats_cmd; passes_cmd; generate_cmd; optimise_cmd;
             whatif_cmd; minperiod_cmd; critical_cmd; corners_cmd;
-            timing_cmd; lint_cmd; serve_cmd ]))
+            timing_cmd; lint_cmd; serve_cmd; validate_cmd ]))

@@ -51,8 +51,11 @@ let with_overall_period t period = make ~overall_period:period t.waveforms
 (* .hbc parsing                                                       *)
 (* ------------------------------------------------------------------ *)
 
+exception Parse_error of { line : int; message : string }
+
 let fail_line lineno fmt =
-  Format.kasprintf (fun m -> failwith (Printf.sprintf "clock spec line %d: %s" lineno m)) fmt
+  Format.kasprintf
+    (fun m -> raise (Parse_error { line = lineno; message = m })) fmt
 
 let float_field lineno name value =
   match float_of_string_opt value with
@@ -95,10 +98,12 @@ let parse text =
   in
   List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text);
   match !period with
-  | None -> failwith "clock spec: missing 'period' directive"
+  | None ->
+    raise (Parse_error { line = 0; message = "missing 'period' directive" })
   | Some overall_period ->
     (try make ~overall_period (List.rev !waveforms)
-     with Invalid_argument msg -> failwith (Printf.sprintf "clock spec: %s" msg))
+     with Invalid_argument msg ->
+       raise (Parse_error { line = 0; message = msg }))
 
 let parse_file path =
   let ic = open_in path in

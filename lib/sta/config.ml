@@ -50,6 +50,8 @@ let default =
 let sequential =
   { default with incremental = false; parallel_jobs = 1 }
 
+exception Config_error of string
+
 let port_timing t ~system ~port ~direction =
   match List.assoc_opt port t.port_overrides with
   | Some timing -> timing
@@ -60,11 +62,13 @@ let port_timing t ~system ~port ~direction =
       | None ->
         (match system.Hb_clock.System.waveforms with
          | w :: _ -> w.Hb_clock.Waveform.name
-         | [] -> failwith "Config.port_timing: clock system has no waveforms")
+         | [] ->
+           raise (Config_error "port_timing: clock system has no waveforms"))
     in
     (match Hb_clock.System.find system clock_name with
      | None ->
-       failwith (Printf.sprintf "Config.port_timing: unknown io clock %s" clock_name)
+       raise (Config_error
+                (Printf.sprintf "port_timing: unknown io clock %s" clock_name))
      | Some _ ->
        let edge = Hb_clock.Edge.leading ~clock:clock_name ~pulse:0 in
        let offset =

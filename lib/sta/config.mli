@@ -106,9 +106,16 @@ val default : t
     evaluation path, kept as the parity/benchmark baseline. *)
 val sequential : t
 
+(** Raised by {!port_timing} when the io clock cannot be resolved
+    (empty clock system, or [io_clock] naming an unknown waveform).
+    Classified as a build error by {!Error.of_exn} — [Config] itself
+    sits below [Error] in the module graph and cannot raise the
+    taxonomy directly. *)
+exception Config_error of string
+
 (** [port_timing t ~system ~port] resolves the timing reference for the
     named port.
-    @raise Failure when the io clock cannot be resolved. *)
+    @raise Config_error when the io clock cannot be resolved. *)
 val port_timing :
   t -> system:Hb_clock.System.t -> port:string -> direction:[ `Input | `Output ] ->
   port_timing

@@ -44,7 +44,11 @@ let of_exn = function
   | Hb_util.Json.Parse_error { position; message } ->
     Some (Parse { file = None; line = 0;
                   message = Printf.sprintf "at byte %d: %s" position message })
+  | Hb_clock.System.Parse_error { line; message } ->
+    Some (Parse { file = None; line;
+                  message = Printf.sprintf "clock spec: %s" message })
   | Elements.Build_error message -> Some (Build message)
+  | Config.Config_error message -> Some (Build message)
   | Cluster.Cycle_error message -> Some (Cycle message)
   | Passes.Pass_error message -> Some (Pass message)
   | Hb_util.Timeout.Timeout seconds -> Some (Timeout seconds)

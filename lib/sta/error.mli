@@ -1,7 +1,8 @@
 (** Unified analysis errors.
 
     The stack historically signalled failures through five ad-hoc
-    exceptions ([Hbn_format.Parse_error], [Elements.Build_error],
+    exceptions ([Hbn_format.Parse_error], [Hb_clock.System.Parse_error],
+    [Elements.Build_error], [Config.Config_error],
     [Cluster.Cycle_error], [Passes.Pass_error], [Failure]) plus
     [Sys_error] and, with the daemon, [Hb_util.Timeout.Timeout].
     Embedders — the CLI, the serve loop, library users of {!Session} —

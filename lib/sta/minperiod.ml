@@ -20,7 +20,8 @@ let search ~design ~template ?config
   let template_period = template.Hb_clock.System.overall_period in
   let lo = Option.value ~default:(template_period /. 100.0) lo in
   let hi = Option.value ~default:template_period hi in
-  if lo >= hi then failwith "Minperiod.search: lo must be below hi";
+  if lo >= hi then
+    raise (Error.Error (Error.Invalid "Minperiod.search: lo must be below hi"));
   let evaluations = ref 0 in
   let evaluate period =
     incr evaluations;
@@ -32,10 +33,12 @@ let search ~design ~template ?config
   in
   let ok_hi, slack_hi = evaluate hi in
   if not ok_hi then
-    failwith
-      (Printf.sprintf
-         "Minperiod.search: design misses timing even at %g ns (worst %g)"
-         hi slack_hi);
+    raise
+      (Error.Error
+         (Error.Invalid
+            (Printf.sprintf
+               "Minperiod.search: design misses timing even at %g ns (worst %g)"
+               hi slack_hi)));
   let ok_lo, _ = evaluate lo in
   if ok_lo then
     { min_period = lo; worst_slack_at_min = snd (evaluate lo); evaluations = !evaluations }

@@ -1,0 +1,128 @@
+type verdict = {
+  status : [ `Meets_timing | `Slow_paths ];
+  worst_slack : Hb_util.Time.t;
+  element_input_slack : Hb_util.Time.t array;
+  element_output_slack : Hb_util.Time.t array;
+  paths_walked : int;
+  truncated : bool;
+}
+
+exception Budget_exhausted
+
+(* One flat timing arc, re-derived from the design independently of the
+   cluster builder. Delay arithmetic must match Cluster.extract exactly
+   (dmax = max rise fall of the provider's estimate) so any divergence
+   found downstream is the engine's, not the oracle's. *)
+type flat_arc = {
+  to_net : int;
+  dmax : Hb_util.Time.t;
+}
+
+let flat_arcs ~(design : Hb_netlist.Design.t) ~(delays : Delays.t) =
+  let succ = Array.make (Hb_netlist.Design.net_count design) [] in
+  List.iter
+    (fun inst ->
+       let record = Hb_netlist.Design.instance design inst in
+       let cell = record.Hb_netlist.Design.cell in
+       List.iter
+         (fun out_pin ->
+            let out_name = out_pin.Hb_cell.Cell.pin_name in
+            match Hb_netlist.Design.net_of_pin design ~inst ~pin:out_name with
+            | None -> ()
+            | Some out_net ->
+              List.iter
+                (fun (cell_arc : Hb_cell.Cell.timing_arc) ->
+                   match
+                     Hb_netlist.Design.net_of_pin design ~inst
+                       ~pin:cell_arc.Hb_cell.Cell.from_pin
+                   with
+                   | None -> ()
+                   | Some in_net ->
+                     let rise, fall =
+                       delays.Delays.evaluate ~design ~inst ~arc:cell_arc
+                         ~out_net
+                     in
+                     succ.(in_net) <-
+                       { to_net = out_net; dmax = Hb_util.Time.max rise fall }
+                       :: succ.(in_net))
+                (Hb_cell.Cell.arcs_to cell ~output:out_name))
+         (Hb_cell.Cell.output_pins cell))
+    (Hb_netlist.Design.comb_instances design);
+  (* Cluster.extract conses per cluster and reverses, so its arc order is
+     instance order; mirror that for a faithful left-to-right tie story
+     (slacks are min-folded, so order only matters for readability). *)
+  Array.map List.rev succ
+
+let evaluate ?(delays = Delays.lumped) ?(max_paths = 2_000_000)
+    (ctx : Context.t) =
+  let design = ctx.Context.design in
+  let elements = ctx.Context.elements in
+  let passes = ctx.Context.passes in
+  let count = Elements.count elements in
+  let succ = flat_arcs ~design ~delays in
+  let element_input_slack = Array.make count Hb_util.Time.infinity in
+  let element_output_slack = Array.make count Hb_util.Time.infinity in
+  (* Deadlines: endpoint e constrains its read net in exactly the pass
+     (cut) its output terminal was assigned to. *)
+  let deadlines = Array.make (Hb_netlist.Design.net_count design) [] in
+  let cuts = Hashtbl.create 8 in
+  for e = 0 to count - 1 do
+    match elements.Elements.reads.(e) with
+    | None -> ()
+    | Some net ->
+      let cut = passes.Passes.endpoint_cut.(e) in
+      if cut >= 0 then begin
+        Hashtbl.replace cuts cut ();
+        match Block.closure_time passes (Elements.element elements e) ~cut with
+        | None -> ()
+        | Some closure -> deadlines.(net) <- (e, cut, closure) :: deadlines.(net)
+      end
+  done;
+  let paths = ref 0 in
+  let truncated = ref false in
+  let note slacks e slack = if slack < slacks.(e) then slacks.(e) <- slack in
+  (* Walk every path from one asserted source terminal, accumulating the
+     arrival as a strict left-to-right fold — the textbook longest-path
+     arithmetic, deliberately different from the engine's source-tagged
+     (base, acc) pairs. *)
+  let examine ~cut =
+    let rec walk source net arrival =
+      List.iter
+        (fun (endpoint, ecut, closure) ->
+           if ecut = cut then begin
+             incr paths;
+             if !paths > max_paths then raise Budget_exhausted;
+             let slack = closure -. arrival in
+             note element_input_slack endpoint slack;
+             note element_output_slack source slack
+           end)
+        deadlines.(net);
+      List.iter
+        (fun arc -> walk source arc.to_net (arrival +. arc.dmax))
+        succ.(net)
+    in
+    for e = 0 to count - 1 do
+      match Block.assertion_time passes (Elements.element elements e) ~cut with
+      | None -> ()
+      | Some t -> List.iter (fun net -> walk e net t) elements.Elements.drives.(e)
+    done
+  in
+  (try Hashtbl.iter (fun cut () -> examine ~cut) cuts
+   with Budget_exhausted -> truncated := true);
+  let worst = ref Hb_util.Time.infinity in
+  let positive = ref true in
+  let fold slack =
+    if Hb_util.Time.is_finite slack then begin
+      if slack < !worst then worst := slack;
+      if Hb_util.Time.le slack 0.0 then positive := false
+    end
+  in
+  Array.iter fold element_input_slack;
+  Array.iter fold element_output_slack;
+  { status = (if !positive then `Meets_timing else `Slow_paths);
+    worst_slack = !worst;
+    element_input_slack;
+    element_output_slack;
+    paths_walked = !paths;
+    truncated = !truncated;
+  }

@@ -1,0 +1,72 @@
+(** Frozen golden QoR corpus.
+
+    One JSON expectation file per catalogued design, freezing the
+    quantities that every optimisation layer claims not to change:
+    analysis verdict, worst slack, total negative slack, slow-endpoint
+    count, the k worst path slacks, hold-violation count and (for the
+    small designs) the QoR journal of a short {!Hb_resynth.Loop}
+    optimisation run. [hummingbird validate] re-measures each design
+    with the current engine and fails on any bit-level drift;
+    [make golden] rewrites the corpus after an intentional change.
+
+    Floats are stored as OCaml hex-float strings ([%h]) so the frozen
+    expectation survives the JSON round trip bit-for-bit; a decimal
+    [approx] field rides along for human readers and is ignored on
+    load. *)
+
+(** QoR journal summary of a bounded optimisation run. *)
+type qor = {
+  iterations : int;
+  met_timing : bool;
+  final_worst_slack : float;
+  final_tns : float;
+  deltas : float list;
+      (** per-iteration worst-slack gain, chronological —
+          {!Hb_resynth.Loop.step}[.delta_worst_slack] *)
+}
+
+type expectation = {
+  design : string;        (** {!Catalog} generator name *)
+  instances : int;
+  nets : int;
+  status : string;        (** ["meets_timing"] or ["slow_paths"] *)
+  worst_slack : float;
+  tns : float;            (** sum of finite negative element input slacks *)
+  slow_endpoints : int;   (** count of finite negative element input slacks *)
+  hold_violations : int;
+  path_slacks : float list;
+      (** slacks of the [path_limit] worst paths, worst first *)
+  qor : qor option;       (** [None] for the scale designs *)
+}
+
+(** Designs the corpus covers by default: every catalogued seed design
+    plus [scale10k] (the 100k/1M generators are bench-only). *)
+val default_designs : string list
+
+(** [measure ?path_limit ?qor_iterations name] runs the named catalogue
+    design through the engine at the default configuration and collects
+    its expectation. [path_limit] (default 10) bounds the recorded path
+    slacks; [qor_iterations] (default 5) bounds the optimisation run,
+    which is skipped entirely for [scale*] designs.
+    @raise Invalid_argument on an unknown design name. *)
+val measure : ?path_limit:int -> ?qor_iterations:int -> string -> expectation
+
+(** [diff ~expected ~actual] lists human-readable mismatches, empty when
+    the two agree bit-for-bit (floats compared by [Float.compare]). *)
+val diff : expected:expectation -> actual:expectation -> string list
+
+val to_json : expectation -> Hb_util.Json.t
+
+(** @raise Failure on a malformed or version-incompatible document. *)
+val of_json : Hb_util.Json.t -> expectation
+
+(** [path ~dir name] is the expectation file for [name] under [dir]. *)
+val path : dir:string -> string -> string
+
+(** [save ~dir e] writes the expectation atomically (temp + rename),
+    creating [dir] if needed. *)
+val save : dir:string -> expectation -> unit
+
+(** [load ~dir name] reads a frozen expectation; [None] when absent.
+    @raise Failure on a malformed document. *)
+val load : dir:string -> string -> expectation option

@@ -89,7 +89,7 @@ let test_hbc_parse () =
 
 let expect_parse_failure text =
   match Hb_clock.System.parse text with
-  | exception Failure _ -> ()
+  | exception Hb_clock.System.Parse_error _ -> ()
   | _ -> Alcotest.fail "expected parse failure"
 
 let test_hbc_errors () =

@@ -564,7 +564,7 @@ let test_minperiod_rejects_hopeless () =
   (match
      Hb_sta.Minperiod.search ~design ~template ~hi:1.0 ~lo:0.5 ()
    with
-   | exception Failure _ -> ()
+   | exception Hb_sta.Error.Error (Hb_sta.Error.Invalid _) -> ()
    | _ -> Alcotest.fail "expected failure at hopeless hi")
 
 let test_scaled_system_keeps_duty () =

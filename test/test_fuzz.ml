@@ -1,0 +1,193 @@
+(* Differential fuzz driver + golden corpus tests.
+
+   The injection case is the PR's acceptance criterion: a deliberate
+   off-by-one in the cache invalidation set must be caught by the fuzz
+   driver within the fixed CI seed budget. *)
+
+module Fuzz = Hb_workload.Fuzz
+module Golden = Hb_workload.Golden
+module Json = Hb_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ci_seeds = Fuzz.regression_seeds @ Fuzz.seed_list ~base:0xC0FFEEL 8
+
+let test_regression_seeds_clean () =
+  List.iter
+    (fun seed ->
+       match Fuzz.run_seed seed with
+       | [] -> ()
+       | f :: _ ->
+         Alcotest.failf "seed 0x%Lx diverged: %s: %s (%s)" seed f.Fuzz.check
+           f.Fuzz.detail (Fuzz.repro_command f))
+    ci_seeds
+
+let test_params_deterministic () =
+  let a = Fuzz.params_of_seed 0xDEADBEEFL in
+  let b = Fuzz.params_of_seed 0xDEADBEEFL in
+  Alcotest.(check bool) "same params" true (a = b);
+  let da, _, _ = Fuzz.design_of_params a in
+  let db, _, _ = Fuzz.design_of_params b in
+  Alcotest.(check int) "same instance count"
+    (Hb_netlist.Design.instance_count da)
+    (Hb_netlist.Design.instance_count db)
+
+let test_seed_list_deterministic () =
+  Alcotest.(check (list int64))
+    "same derived seeds"
+    (Fuzz.seed_list ~base:0xC0FFEEL 8)
+    (Fuzz.seed_list ~base:0xC0FFEEL 8)
+
+(* The acceptance criterion: with the deliberate invalidation
+   off-by-one injected, the fixed CI seed list catches the bug, and
+   attributes it to the cache-coherence check. *)
+let test_injection_caught () =
+  let outcome = Fuzz.run ~inject:true ci_seeds in
+  Alcotest.(check bool) "all seeds within budget" true
+    (outcome.Fuzz.seeds_run = List.length ci_seeds);
+  let coherence =
+    List.filter
+      (fun f -> f.Fuzz.check = "cache-coherence")
+      outcome.Fuzz.failures
+  in
+  Alcotest.(check bool) "injected bug caught" true (coherence <> []);
+  (* Only the sabotaged check may fire — the injection must not bleed
+     into the other differential checks. *)
+  List.iter
+    (fun f ->
+       Alcotest.(check string) "only cache-coherence diverges"
+         "cache-coherence" f.Fuzz.check)
+    outcome.Fuzz.failures
+
+let test_budget_stops_early () =
+  let outcome = Fuzz.run ~budget_seconds:0.0 ci_seeds in
+  Alcotest.(check int) "no seeds after expiry" 0 outcome.Fuzz.seeds_run;
+  Alcotest.(check (list string)) "no failures" []
+    (List.map (fun f -> f.Fuzz.check) outcome.Fuzz.failures)
+
+(* [String.contains] is char-only; a tiny substring search keeps the
+   test dependency-free. *)
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_failure_json_fields () =
+  let params = Fuzz.params_of_seed 0xABCDL in
+  let failure = { Fuzz.params; check = "session-parity"; detail = "status" } in
+  let doc = Json.parse (Json.to_string (Fuzz.failure_json failure)) in
+  let text path =
+    match path with
+    | None -> Alcotest.fail "missing artifact field"
+    | Some node ->
+      (match Json.to_text node with
+       | Some s -> s
+       | None -> Alcotest.fail "artifact field is not a string")
+  in
+  Alcotest.(check string) "check field" "session-parity"
+    (text (Json.member "check" doc));
+  Alcotest.(check string) "seed field" "0xabcd"
+    (text (Option.bind (Json.member "params" doc) (Json.member "seed")));
+  Alcotest.(check bool) "repro has the flag" true
+    (contains (text (Json.member "repro" doc)) "--fuzz-seed 0xabcd")
+
+(* ------------------------------------------------------------------ *)
+(* Golden corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hb-golden-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let test_golden_roundtrip () =
+  let dir = temp_dir () in
+  let e = Golden.measure "figure1" in
+  Golden.save ~dir e;
+  match Golden.load ~dir "figure1" with
+  | None -> Alcotest.fail "saved expectation did not load"
+  | Some loaded ->
+    Alcotest.(check (list string)) "bit-identical after round trip" []
+      (Golden.diff ~expected:loaded ~actual:e)
+
+let test_golden_diff_detects_drift () =
+  let e = Golden.measure "ring" in
+  let perturbed =
+    { e with
+      Golden.worst_slack = e.Golden.worst_slack +. 1e-12;
+      Golden.slow_endpoints = e.Golden.slow_endpoints + 1;
+    }
+  in
+  let diffs = Golden.diff ~expected:perturbed ~actual:e in
+  Alcotest.(check bool) "ulp drift detected" true (List.length diffs >= 2)
+
+let test_golden_measure_deterministic () =
+  let a = Golden.measure "pipeline" in
+  let b = Golden.measure "pipeline" in
+  Alcotest.(check (list string)) "same measurement twice" []
+    (Golden.diff ~expected:a ~actual:b)
+
+(* The checked-in corpus itself: dune copies test/golden/*.json next to
+   the test binary (see the dune [deps]), so the frozen expectations
+   must match a fresh measurement of the small designs. scale10k is
+   covered by `hummingbird validate` in CI rather than here. The
+   fallback path keeps `dune exec test/test_fuzz.exe` from the repo
+   root working too. *)
+let corpus_dir () =
+  if Sys.file_exists "golden" then "golden" else "test/golden"
+
+let test_checked_in_corpus () =
+  let dir = corpus_dir () in
+  List.iter
+    (fun name ->
+       match Golden.load ~dir name with
+       | None -> Alcotest.failf "missing frozen expectation for %s" name
+       | Some expected ->
+         let actual = Golden.measure name in
+         (match Golden.diff ~expected ~actual with
+          | [] -> ()
+          | d :: _ -> Alcotest.failf "%s drifted from corpus: %s" name d))
+    [ "figure1"; "ring"; "pipeline" ]
+
+let test_default_designs_cover_catalog () =
+  Alcotest.(check bool) "scale10k included" true
+    (List.mem "scale10k" Golden.default_designs);
+  Alcotest.(check bool) "scale100k excluded" false
+    (List.mem "scale100k" Golden.default_designs);
+  List.iter
+    (fun name ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s is a catalogued generator" name)
+         true
+         (List.mem name Hb_workload.Catalog.names))
+    Golden.default_designs
+
+let () =
+  Alcotest.run "hb_fuzz"
+    [ ("fuzz",
+       [ Alcotest.test_case "regression seeds clean" `Quick
+           test_regression_seeds_clean;
+         Alcotest.test_case "params deterministic" `Quick
+           test_params_deterministic;
+         Alcotest.test_case "seed list deterministic" `Quick
+           test_seed_list_deterministic;
+         Alcotest.test_case "injection caught" `Quick test_injection_caught;
+         Alcotest.test_case "budget stops early" `Quick test_budget_stops_early ]);
+      ("artifact",
+       [ Alcotest.test_case "failure json fields" `Quick
+           test_failure_json_fields ]);
+      ("golden",
+       [ Alcotest.test_case "round trip" `Quick test_golden_roundtrip;
+         Alcotest.test_case "diff detects drift" `Quick
+           test_golden_diff_detects_drift;
+         Alcotest.test_case "measure deterministic" `Quick
+           test_golden_measure_deterministic;
+         Alcotest.test_case "checked-in corpus" `Quick test_checked_in_corpus;
+         Alcotest.test_case "default designs" `Quick
+           test_default_designs_cover_catalog ]);
+    ]

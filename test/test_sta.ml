@@ -769,6 +769,90 @@ let test_settling_minimized_never_worse () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Naive flat-graph reference evaluator                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_reference_ff_chain_golden () =
+  let design = ff_chain_design ~gates:1 () in
+  let ctx, _ = run_algorithm1 design (single_clock ()) in
+  let verdict = Hb_sta.Reference.evaluate ctx in
+  Alcotest.(check bool) "not truncated" false
+    verdict.Hb_sta.Reference.truncated;
+  let inv_delay = cell_arc_delay design "inv_x1" "c1" in
+  let expected = 100.0 -. 1.2 -. inv_delay -. 0.8 in
+  let replicas =
+    Hashtbl.find ctx.Hb_sta.Context.elements.Hb_sta.Elements.replicas_of_inst
+      (inst_id design "ff2")
+  in
+  let slack =
+    List.fold_left
+      (fun acc e ->
+         Stdlib.min acc verdict.Hb_sta.Reference.element_input_slack.(e))
+      infinity replicas
+  in
+  check_time "oracle golden slack" expected slack;
+  Alcotest.(check bool) "oracle meets timing" true
+    (verdict.Hb_sta.Reference.status = `Meets_timing)
+
+let test_reference_too_slow_golden () =
+  let design = ff_chain_design ~gates:1 () in
+  let ctx, _ = run_algorithm1 design (single_clock ~period:2.0 ()) in
+  let verdict = Hb_sta.Reference.evaluate ctx in
+  let inv_delay = cell_arc_delay design "inv_x1" "c1" in
+  let expected = 2.0 -. 1.2 -. inv_delay -. 0.8 in
+  check_time "oracle negative golden slack" expected
+    verdict.Hb_sta.Reference.worst_slack;
+  Alcotest.(check bool) "oracle finds slow paths" true
+    (verdict.Hb_sta.Reference.status = `Slow_paths)
+
+(* On whole designs, the oracle must agree with the block engine at the
+   settled offsets — worst slack, both per-element slack arrays, and
+   the verdict. *)
+let test_reference_matches_block () =
+  (* Infinite slacks (unconstrained elements) must match bit-for-bit;
+     finite ones within the usual tolerance. *)
+  let close a b =
+    Float.compare a b = 0
+    || (Hb_util.Time.is_finite a
+        && Hb_util.Time.is_finite b
+        && Float.abs (a -. b) <= 1e-6)
+  in
+  let check_close name a b =
+    if not (close a b) then
+      Alcotest.failf "%s: engine %h vs oracle %h" name a b
+  in
+  List.iter
+    (fun (design, system) ->
+       let ctx, outcome = run_algorithm1 design system in
+       let block = outcome.Hb_sta.Algorithm1.final in
+       let verdict = Hb_sta.Reference.evaluate ctx in
+       Alcotest.(check bool) "not truncated" false
+         verdict.Hb_sta.Reference.truncated;
+       check_time "worst agrees" block.Hb_sta.Slacks.worst
+         verdict.Hb_sta.Reference.worst_slack;
+       Alcotest.(check bool) "status agrees"
+         (Hb_sta.Slacks.all_positive block)
+         (verdict.Hb_sta.Reference.status = `Meets_timing);
+       Array.iteri
+         (fun e s ->
+            check_close
+              (Printf.sprintf "input slack %d" e)
+              s
+              verdict.Hb_sta.Reference.element_input_slack.(e))
+         block.Hb_sta.Slacks.element_input_slack;
+       Array.iteri
+         (fun e s ->
+            check_close
+              (Printf.sprintf "output slack %d" e)
+              s
+              verdict.Hb_sta.Reference.element_output_slack.(e))
+         block.Hb_sta.Slacks.element_output_slack)
+    [ Hb_workload.Figures.figure1 ();
+      Hb_workload.Pipelines.two_phase ~width:3 ~stages:3 ~gates_per_stage:12 ();
+      (ff_chain_design ~gates:4 (), single_clock ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Hold checks                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -971,6 +1055,10 @@ let () =
       ("baseline",
        [ Alcotest.test_case "block = enumeration" `Quick test_block_matches_enumeration;
          Alcotest.test_case "minimized <= naive" `Quick test_settling_minimized_never_worse ]);
+      ("reference",
+       [ Alcotest.test_case "golden ff chain" `Quick test_reference_ff_chain_golden;
+         Alcotest.test_case "too slow detected" `Quick test_reference_too_slow_golden;
+         Alcotest.test_case "oracle = block" `Quick test_reference_matches_block ]);
       ("holdcheck",
        [ Alcotest.test_case "clean designs" `Quick test_hold_clean_designs;
          Alcotest.test_case "violation injected" `Quick test_hold_violation_injected;
