@@ -1068,7 +1068,7 @@ let telemetry_bench () =
     (fun site ->
        if log_count site <= 0 then
          failwith (Printf.sprintf "P3: log site %s never emitted" site))
-    [ "serve.request"; "session.create"; "session.analyse"; "session.mutate" ];
+    [ "serve.request"; "session.create"; "session.analyse"; "session.apply" ];
   let out = Buffer.create 4096 in
   Printf.bprintf out
     "{\n  \"benchmark\": \"telemetry\",\n  \"design\": \"DES\",\n  \
@@ -1180,7 +1180,10 @@ let session_bench () =
   let session_slacks = Array.make queries 0.0 in
   let session_sweep () =
     for i = 0 to queries - 1 do
-      Hb_sta.Session.scale_delay session ~instance ~factor:(factor i);
+      let _ : Hb_sta.Session.apply_result =
+        Hb_sta.Session.apply session
+          [ Hb_sta.Edit.Scale_delay { instance; factor = factor i } ]
+      in
       let report =
         Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
           session
@@ -1221,6 +1224,157 @@ let session_bench () =
   if speedup < 3.0 then
     failwith
       (Printf.sprintf "P4: session speedup %.2fx is below the 3x bar" speedup)
+
+(* ------------------------------------------------------------------ *)
+(* P5 — snapshot: warm start vs cold preprocess                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The warm-start measurement: save an analysed session (context plus
+   analysis caches) to a snapshot file, then compare time-to-first-report
+   from the snapshot ([Session.of_snapshot] + [analyse], answered from
+   the marshalled caches) against a cold start ([Session.create] +
+   [analyse], full preprocess and relaxation). The restored analysis
+   must be bit-identical to the cold one, and at the 100k preset the
+   warm start must win by >= 10x — otherwise shipping a marshalled
+   context around is pointless. An ECO micro-measurement rides along: a
+   small Resize_gate batch on the restored session, timing the targeted
+   cluster rebuild a warm what-if loop pays per edit. [smoke] keeps the
+   10k preset — parity and plumbing, not the performance gate. *)
+let snapshot_bench ?(smoke = false) () =
+  section "P5: snapshot — warm start vs cold start";
+  let name, make =
+    if smoke then ("scale10k", fun () -> Hb_workload.Scale.scale10k ())
+    else ("scale100k", fun () -> Hb_workload.Scale.scale100k ())
+  in
+  Printf.printf
+    "cold: Session.create + analyse on %s (preprocess, relaxation,\n\
+     hold check). warm: Session.of_snapshot + analyse from a snapshot\n\
+     saved after one analyse — the report comes from the marshalled\n\
+     caches. Bit-identical reports required; wall seconds to first\n\
+     report, median of 3 (session close included in both columns).\n\n"
+    name;
+  let design, system = make () in
+  let snap_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hb_bench_%s_%d.hbs" name (Unix.getpid ()))
+  in
+  let analyse s =
+    Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:true s
+  in
+  (* Reference session: pays the cold start once, donates the snapshot
+     and the parity report. *)
+  let reference = Hb_sta.Session.create ~design ~system () in
+  let cold_report = analyse reference in
+  Hb_sta.Session.save_snapshot reference ~path:snap_path;
+  Hb_sta.Session.close reference;
+  let snap_bytes = (Unix.stat snap_path).Unix.st_size in
+  let cold_s =
+    measure ~repeat:3 (fun () ->
+        let s = Hb_sta.Session.create ~design ~system () in
+        ignore (analyse s : Hb_sta.Session.report);
+        Hb_sta.Session.close s)
+  in
+  let warm_s =
+    measure ~repeat:3 (fun () ->
+        let s = Hb_sta.Session.of_snapshot ~path:snap_path in
+        ignore (analyse s : Hb_sta.Session.report);
+        Hb_sta.Session.close s)
+  in
+  (* Parity is part of the measurement: the restored session's analysis
+     must be bit-identical to the cold one, every element. *)
+  let restored = Hb_sta.Session.of_snapshot ~path:snap_path in
+  let warm_report = analyse restored in
+  let slacks (r : Hb_sta.Engine.report) =
+    r.Hb_sta.Engine.outcome.Hb_sta.Algorithm1.final
+  in
+  let cs = slacks cold_report and ws = slacks warm_report in
+  if
+    Int64.bits_of_float cs.Hb_sta.Slacks.worst
+    <> Int64.bits_of_float ws.Hb_sta.Slacks.worst
+  then
+    failwith
+      (Printf.sprintf "P5: restored worst %h != cold worst %h"
+         ws.Hb_sta.Slacks.worst cs.Hb_sta.Slacks.worst);
+  Array.iteri
+    (fun e cold_slack ->
+       if
+         Int64.bits_of_float cold_slack
+         <> Int64.bits_of_float ws.Hb_sta.Slacks.element_input_slack.(e)
+       then
+         failwith
+           (Printf.sprintf
+              "P5: element %d slack diverges after restore (warm %h, cold %h)"
+              e ws.Hb_sta.Slacks.element_input_slack.(e) cold_slack))
+    cs.Hb_sta.Slacks.element_input_slack;
+  (* ECO micro-measurement: upsize a few worst-path gates on the warm
+     session and re-analyse — the per-edit cost of a restored what-if
+     loop (targeted cluster rebuild, not a fresh preprocess). *)
+  let eco_edits =
+    let targets =
+      Hb_sta.Session.worst_paths restored ~limit:8
+      |> List.concat_map (fun (p : Hb_sta.Paths.path) -> p.Hb_sta.Paths.hops)
+      |> List.filter_map (fun (hop : Hb_sta.Paths.hop) -> hop.Hb_sta.Paths.via)
+      |> List.sort_uniq compare
+    in
+    let edited_design = (Hb_sta.Session.context restored).Hb_sta.Context.design in
+    List.filter_map
+      (fun i ->
+         let inst = Hb_netlist.Design.instance edited_design i in
+         match Hb_cell.Library.upsize lib inst.Hb_netlist.Design.cell with
+         | Some bigger ->
+           Some
+             (Hb_sta.Edit.Resize_gate
+                { instance = inst.Hb_netlist.Design.inst_name; cell = bigger })
+         | None -> None)
+      targets
+    |> fun edits -> List.filteri (fun i _ -> i < 4) edits
+  in
+  let eco_s, eco_rebuilt =
+    match eco_edits with
+    | [] -> (None, 0)
+    | edits ->
+      let rebuilt = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let result = Hb_sta.Session.apply restored edits in
+      ignore (analyse restored : Hb_sta.Session.report);
+      let dt = Unix.gettimeofday () -. t0 in
+      rebuilt := result.Hb_sta.Session.clusters_rebuilt;
+      (Some dt, !rebuilt)
+  in
+  Hb_sta.Session.close restored;
+  Sys.remove snap_path;
+  let speedup = cold_s /. Stdlib.max 1e-9 warm_s in
+  Hb_util.Table.print
+    ~header:
+      [ "design"; "snapshot MB"; "cold s"; "warm s"; "speedup";
+        "eco edits"; "eco s" ]
+    ~align:
+      Hb_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+    [ [ name;
+        Printf.sprintf "%.1f" (float_of_int snap_bytes /. 1048576.0);
+        Printf.sprintf "%.4f" cold_s;
+        Printf.sprintf "%.4f" warm_s;
+        Printf.sprintf "%.1fx" speedup;
+        string_of_int (List.length eco_edits);
+        (match eco_s with Some s -> Printf.sprintf "%.4f" s | None -> "-") ]
+    ];
+  let out = Buffer.create 1024 in
+  Printf.bprintf out
+    "{\n  \"benchmark\": \"snapshot\",\n  \"design\": \"%s\",\n  \
+     \"snapshot_bytes\": %d,\n  \"cold_s\": %.6f,\n  \"warm_s\": %.6f,\n  \
+     \"speedup\": %.2f,\n  \"parity\": \"bit_identical\",\n  \
+     \"eco_edits\": %d,\n  \"eco_clusters_rebuilt\": %d,\n  \"eco_s\": %s\n}\n"
+    name snap_bytes cold_s warm_s speedup (List.length eco_edits) eco_rebuilt
+    (match eco_s with Some s -> Printf.sprintf "%.6f" s | None -> "null");
+  write_file_atomic "BENCH_snapshot.json" (Buffer.contents out);
+  Printf.printf "\nwrote BENCH_snapshot.json\n";
+  (* The acceptance bar: at 100k cells a warm start must beat the cold
+     start to first report by >= 10x. The smoke run checks parity only —
+     a 10k cold start is too quick for a stable ratio. *)
+  if (not smoke) && speedup < 10.0 then
+    failwith
+      (Printf.sprintf "P5: warm-start speedup %.2fx is below the 10x bar"
+         speedup)
 
 (* ------------------------------------------------------------------ *)
 (* S2 — million-cell scale: macro vs flat relaxation                  *)
@@ -1907,6 +2061,7 @@ let () =
       ~ks:[ 10; 100 ] ();
     telemetry_bench ();
     session_bench ();
+    snapshot_bench ~smoke:true ();
     scale_bench ~smoke:true ();
     serve_load_bench ~smoke:true ();
     fuzz_bench ~smoke:true ();
@@ -1930,6 +2085,7 @@ let () =
     path_engine ();
     telemetry_bench ();
     session_bench ();
+    snapshot_bench ();
     scale_bench ();
     serve_load_bench ();
     fuzz_bench ();

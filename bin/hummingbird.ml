@@ -991,14 +991,146 @@ let serve_cmd =
           $ memory_budget_arg)
 
 (* ------------------------------------------------------------------ *)
+(* snapshot                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_cmd =
+  let run netlist clocks generator out warm restore delay_model log_level
+      log_file =
+    handle_errors (fun () ->
+        setup_logging log_level log_file;
+        match restore with
+        | Some path ->
+          (* Restore-and-report: proves the file is loadable by this
+             build and shows what the warm session answers. *)
+          let session = Hb_sta.Session.of_snapshot ~path in
+          let report = Hb_sta.Session.analyse session in
+          Hb_sta.Session.close session;
+          print_string (Hb_sta.Report.summary report);
+          (match report.Hb_sta.Session.outcome.Hb_sta.Algorithm1.status with
+           | Hb_sta.Algorithm1.Meets_timing -> exit 0
+           | Hb_sta.Algorithm1.Slow_paths -> exit 2)
+        | None ->
+          let design, system =
+            match generator, netlist, clocks with
+            | Some name, None, None ->
+              (match List.assoc_opt name generators with
+               | Some make -> make ()
+               | None ->
+                 Printf.eprintf "unknown design %s (expected: %s)\n" name
+                   (String.concat ", " (List.map fst generators));
+                 exit 1)
+            | None, Some n, Some c -> (load_design n, load_clocks c)
+            | _ ->
+              Printf.eprintf
+                "error: give either --generator, or --netlist and --clocks\n";
+              exit 1
+          in
+          let delays =
+            match delay_model with
+            | "lumped" -> Hb_sta.Delays.lumped
+            | "rc" -> Hb_sta.Delays.rc ()
+            | other ->
+              Printf.eprintf
+                "unknown delay model %s (lumped|rc — only providers \
+                 rebuildable by name can be snapshotted)\n"
+                other;
+              exit 1
+          in
+          let session = Hb_sta.Session.create ~design ~system ~delays () in
+          if warm then ignore (Hb_sta.Session.analyse session);
+          Hb_sta.Session.save_snapshot session ~path:out;
+          Hb_sta.Session.close session;
+          Printf.printf "snapshot written to %s%s\n" out
+            (if warm then " (analysis caches included)" else ""))
+  in
+  let netlist =
+    Arg.(value & opt (some file) None
+         & info [ "n"; "netlist" ] ~docv:"FILE.hbn" ~doc:"Netlist to snapshot.")
+  in
+  let clocks =
+    Arg.(value & opt (some file) None
+         & info [ "c"; "clocks" ] ~docv:"FILE.hbc"
+             ~doc:"Clock waveform description.")
+  in
+  let generator =
+    Arg.(value & opt (some string) None
+         & info [ "generator" ] ~docv:"DESIGN"
+             ~doc:(Printf.sprintf
+                     "Snapshot a built-in design instead of files (one of: \
+                      %s)."
+                     (String.concat ", " Hb_workload.Catalog.names)))
+  in
+  let out =
+    Arg.(value & opt string "design.hbs"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the snapshot.")
+  in
+  let warm =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:"Run a full analysis before saving, so the snapshot also \
+                   carries the slack caches and cached query results.")
+  in
+  let restore =
+    Arg.(value & opt (some file) None
+         & info [ "restore" ] ~docv:"FILE"
+             ~doc:"Restore a session from $(docv) and print its analysis \
+                   summary instead of saving one (exit 2 on slow paths).")
+  in
+  let delay_model =
+    Arg.(value & opt string "lumped"
+         & info [ "delay-model" ] ~docv:"MODEL"
+             ~doc:"Component-delay estimator: lumped or rc (providers are \
+                   rebuilt by name on restore).")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Save a preprocessed analysis session to a file, or restore one \
+             — a warm start skips preprocessing entirely")
+    Term.(const run $ netlist $ clocks $ generator $ out $ warm $ restore
+          $ delay_model $ log_level_arg $ log_file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* validate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run corpus update designs skip_golden fuzz fuzz_seed budget inject
-      artifact =
+  let run corpus update designs skip_golden snapshot snapshot_design fuzz
+      fuzz_seed budget inject artifact =
     handle_errors (fun () ->
         let failed = ref false in
+        (* Warm-start gate: a session restored from a snapshot must
+           reproduce the corpus entry of the design it was saved from,
+           bit for bit (QoR journal excepted — the optimiser builds its
+           own sessions). *)
+        (match snapshot, snapshot_design with
+         | None, _ -> ()
+         | Some _, None ->
+           Printf.eprintf "error: --snapshot needs --snapshot-design\n";
+           exit 1
+         | Some path, Some name ->
+           let session = Hb_sta.Session.of_snapshot ~path in
+           let actual = Hb_workload.Golden.measure_restored ~name session in
+           Hb_sta.Session.close session;
+           (match Hb_workload.Golden.load ~dir:corpus name with
+            | None ->
+              failed := true;
+              Printf.printf
+                "snapshot %-10s MISSING expectation in %s (run `make \
+                 golden`)\n%!"
+                name corpus
+            | Some expected ->
+              let expected = { expected with Hb_workload.Golden.qor = None } in
+              (match Hb_workload.Golden.diff ~expected ~actual with
+               | [] ->
+                 Printf.printf "snapshot %-10s ok (restored from %s)\n%!" name
+                   path
+               | diffs ->
+                 failed := true;
+                 Printf.printf "snapshot %-10s FAIL (restored from %s)\n%!"
+                   name path;
+                 List.iter (Printf.printf "  %s\n") diffs)));
         if not skip_golden then begin
           let names =
             match designs with
@@ -1080,6 +1212,18 @@ let validate_cmd =
     Arg.(value & flag
          & info [ "skip-golden" ] ~doc:"Skip the golden-corpus gate.")
   in
+  let snapshot_arg =
+    Arg.(value & opt (some file) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Restore a session from $(docv) and check it against the \
+                   corpus entry named by $(b,--snapshot-design) — the \
+                   warm-start bit-parity gate.")
+  in
+  let snapshot_design_arg =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-design" ] ~docv:"NAME"
+             ~doc:"Corpus design the snapshot was saved from.")
+  in
   let fuzz_arg =
     Arg.(value & opt int 0
          & info [ "fuzz" ] ~docv:"N"
@@ -1126,7 +1270,8 @@ let validate_cmd =
           differentially fuzz its fast paths (incremental, macro, session, \
           k-worst, cache coherence) against naive references")
     Term.(const run $ corpus_arg $ update_arg $ designs_arg $ skip_golden_arg
-          $ fuzz_arg $ fuzz_seed_arg $ budget_arg $ inject_arg $ artifact_arg)
+          $ snapshot_arg $ snapshot_design_arg $ fuzz_arg $ fuzz_seed_arg
+          $ budget_arg $ inject_arg $ artifact_arg)
 
 let () =
   let info =
@@ -1138,4 +1283,4 @@ let () =
        (Cmd.group info
           [ analyse_cmd; stats_cmd; passes_cmd; generate_cmd; optimise_cmd;
             whatif_cmd; minperiod_cmd; critical_cmd; corners_cmd;
-            timing_cmd; lint_cmd; serve_cmd; validate_cmd ]))
+            timing_cmd; lint_cmd; serve_cmd; snapshot_cmd; validate_cmd ]))

@@ -52,9 +52,10 @@ let candidates paths =
 
 let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
   (* One persistent session for the whole loop: preprocessing runs once,
-     and after each upsizing round [update_design] refreshes arc delays
-     in place (the decomposition and pass plans are reused — only cell
-     variants change between iterations). *)
+     and each upsizing round commits as a [Resize_gate] edit batch that
+     rebuilds only the touched clusters (the decomposition and pass
+     plans elsewhere are carried — only cell variants change between
+     iterations). *)
   let session = Hb_sta.Session.create ~design ~system ?config () in
   let rec iterate design iteration previous_worst history =
     let report =
@@ -122,7 +123,24 @@ let optimise ~design ~system ~library ?config ?(max_iterations = 50) () =
                      | [] -> "") );
                 ("changes", Hb_util.Log.Int (List.length changed));
               ];
-          Hb_sta.Session.update_design session ~design:improved;
+          (* Commit the round as a structural edit batch: only the
+             clusters carrying resized gates are re-extracted, the rest
+             keep their graphs, plans and cached slacks. A rejected
+             batch (e.g. a candidate adjacent to a control cone, which
+             the ECO path refuses to touch) falls back to the
+             whole-design refresh that preceded it. *)
+          let edits =
+            List.map
+              (fun (c : Speedup.change) ->
+                 Hb_sta.Edit.Resize_gate
+                   { instance = c.Speedup.inst_name;
+                     cell = Hb_cell.Library.find_exn library c.Speedup.new_cell;
+                   })
+              changed
+          in
+          (match Hb_sta.Session.apply_r session edits with
+           | Ok _ -> ()
+           | Error _ -> Hb_sta.Session.update_design session ~design:improved);
           iterate improved (iteration + 1) (Some worst) (step :: history)
       end
   in

@@ -87,7 +87,7 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then parent.(ra) <- rb
 
-let extract ~design ~elements ?(delays = Delays.lumped) () =
+let extract ~design ~elements ?(delays = Delays.lumped) ?reuse () =
   let net_count = Hb_netlist.Design.net_count design in
   let parent = Array.init net_count (fun i -> i) in
   (* Union all nets touching the same combinational instance. *)
@@ -130,6 +130,30 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
   for net = 0 to net_count - 1 do
     nets.(cluster_of_net.(net)).(local_of_net.(net)) <- net
   done;
+  (* Reuse pass: a cluster whose representative net maps to a keepable
+     old cluster with an identical net array is the same subgraph — the
+     union-find above ran on the whole design, so equal net sets imply
+     equal members, arcs, and terminals. Sharing the old record (only
+     the dense id may differ) skips arc delay evaluation, CSR
+     construction, and the topological sort for untouched clusters,
+     which is almost all of them under an ECO batch. *)
+  let reused = Array.make !cluster_count None in
+  (match reuse with
+   | None -> ()
+   | Some (old_table, keep) ->
+     let old_net_count = Array.length old_table.cluster_of_net in
+     for c = 0 to !cluster_count - 1 do
+       let rep = nets.(c).(0) in
+       if rep < old_net_count then begin
+         let oid = old_table.cluster_of_net.(rep) in
+         if keep oid then begin
+           let old = old_table.clusters.(oid) in
+           if old.nets = nets.(c) then
+             reused.(c) <- Some (if old.id = c then old else { old with id = c })
+         end
+       end
+     done);
+  let fresh c = reused.(c) = None in
   (* Members and arcs. *)
   let members = Array.make !cluster_count [] in
   let rev_arcs = Array.make !cluster_count [] in
@@ -142,7 +166,7 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
          | (_, net) :: _ -> cluster_of_net.(net)
          | [] -> -1
        in
-       if cluster >= 0 then begin
+       if cluster >= 0 && fresh cluster then begin
          members.(cluster) <- inst :: members.(cluster);
          let sense =
            match cell.Hb_cell.Cell.kind with
@@ -188,15 +212,17 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
   for e = 0 to Elements.count elements - 1 do
     List.iter
       (fun net ->
-         rev_inputs.(cluster_of_net.(net)) <-
-           { element = e; net = local_of_net.(net) }
-           :: rev_inputs.(cluster_of_net.(net)))
+         if fresh cluster_of_net.(net) then
+           rev_inputs.(cluster_of_net.(net)) <-
+             { element = e; net = local_of_net.(net) }
+             :: rev_inputs.(cluster_of_net.(net)))
       elements.Elements.drives.(e);
     (match elements.Elements.reads.(e) with
      | Some net ->
-       rev_outputs.(cluster_of_net.(net)) <-
-         { element = e; net = local_of_net.(net) }
-         :: rev_outputs.(cluster_of_net.(net))
+       if fresh cluster_of_net.(net) then
+         rev_outputs.(cluster_of_net.(net)) <-
+           { element = e; net = local_of_net.(net) }
+           :: rev_outputs.(cluster_of_net.(net))
      | None -> ())
   done;
   (* Flat compressed-sparse-row adjacency: [off] has [n + 1] entries and
@@ -222,6 +248,9 @@ let extract ~design ~elements ?(delays = Delays.lumped) () =
   in
   let clusters =
     Array.init !cluster_count (fun c ->
+        match reused.(c) with
+        | Some cluster -> cluster
+        | None ->
         let arcs = Array.of_list (List.rev rev_arcs.(c)) in
         let n = sizes.(c) in
         let succ_off, succ_arc = csr ~n ~arcs ~key:(fun arc -> arc.from_net) in

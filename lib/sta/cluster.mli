@@ -70,15 +70,26 @@ type table = {
 
 exception Cycle_error of string
 
-(** [extract ~design ~elements ?delays ()] partitions the design into
-    clusters and builds their timing graphs. [delays] chooses the
+(** [extract ~design ~elements ?delays ?reuse ()] partitions the design
+    into clusters and builds their timing graphs. [delays] chooses the
     component-delay estimator (default {!Delays.lumped}).
+
+    [reuse] is the incremental-ECO hook: given [(old_table, keep)], any
+    new cluster whose net array is identical to a [keep]-approved old
+    cluster's {e physically shares} that cluster's record (arcs, CSR,
+    topological order — only the dense id is rewritten), skipping arc
+    delay evaluation and sorting for it. Callers must pass a [keep]
+    that rejects every old cluster whose arcs, terminals, or net
+    capacitances an edit may have changed; matching is by net identity
+    only. The result is then bit-identical to a from-scratch extract
+    of the edited design, including cluster id assignment.
     @raise Cycle_error when a cluster's combinational logic contains a
     directed cycle (forbidden by the paper's Section 3 assumptions). *)
 val extract :
   design:Hb_netlist.Design.t ->
   elements:Elements.t ->
   ?delays:Delays.t ->
+  ?reuse:table * (int -> bool) ->
   unit ->
   table
 

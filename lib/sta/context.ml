@@ -174,6 +174,104 @@ let same_edges a b =
       done;
       !equal)
 
+let apply_structural ctx ~design ~touched ?delays () =
+  let old_table = ctx.table in
+  let old_count = Array.length old_table.Cluster.clusters in
+  let keepable = Array.make old_count true in
+  List.iter
+    (fun id ->
+       if id < 0 || id >= old_count then
+         invalid_arg "Context.apply_structural: cluster id out of range";
+       keepable.(id) <- false)
+    touched;
+  (* The element table survives: structural ECO never moves a sync pin,
+     a port, or a control cone (Session.apply rejects such edits), so
+     replication, control delays, reads/drives, and — critically — the
+     live offset/version state all carry over unchanged. *)
+  let elements = Elements.retarget ctx.elements ~design in
+  let table =
+    Cluster.extract ~design ~elements ?delays
+      ~reuse:(old_table, fun id -> keepable.(id))
+      ()
+  in
+  (* Which new clusters physically share an old record. The nets array
+     is the witness: reused records keep the old (non-empty) array,
+     fresh clusters allocate their own. *)
+  let old_net_count = Array.length old_table.Cluster.cluster_of_net in
+  let reused_old_id =
+    Array.map
+      (fun (cluster : Cluster.t) ->
+         let rep = cluster.Cluster.nets.(0) in
+         if rep < old_net_count then begin
+           let oid = old_table.Cluster.cluster_of_net.(rep) in
+           if old_table.Cluster.clusters.(oid).Cluster.nets
+              == cluster.Cluster.nets
+           then Some oid
+           else None
+         end
+         else None)
+      table.Cluster.clusters
+  in
+  let passes =
+    Passes.rebuild ctx.passes ~elements ~table
+      ~reusable:(fun c -> reused_old_id.(c))
+  in
+  let cluster_count = Array.length table.Cluster.clusters in
+  let rebuilt = ref 0 in
+  Array.iter
+    (fun oid -> if oid = None then incr rebuilt)
+    reused_old_id;
+  (* Cache surgery: carry result rows and macros for reused clusters —
+     their arcs, cut lists and element versions are untouched — and
+     start every rebuilt cluster with empty rows, which the refresh
+     logic treats as dirty without any version bump. Buffers of rows
+     that do not carry over are recycled through the arena. *)
+  let slack_cache =
+    match ctx.slack_cache with
+    | None -> None
+    | Some old ->
+      let results =
+        Array.mapi
+          (fun c (plan : Passes.plan) ->
+             match reused_old_id.(c) with
+             | Some oid -> old.results.(oid)
+             | None -> Array.make (List.length plan.Passes.cuts) None)
+          passes.Passes.plans
+      in
+      let carried = Array.make old_count false in
+      Array.iter
+        (function Some oid -> carried.(oid) <- true | None -> ())
+        reused_old_id;
+      Array.iteri
+        (fun oid row ->
+           if not carried.(oid) then
+             Array.iteri
+               (fun cut slot ->
+                  match slot with
+                  | Some result ->
+                    release_result old.arena result;
+                    row.(cut) <- None
+                  | None -> ())
+               row)
+        old.results;
+      Some
+        { old with results; dirty = Array.make cluster_count false }
+  in
+  let macro_cache =
+    match ctx.macro_cache with
+    | None -> None
+    | Some store ->
+      Some
+        (Array.init cluster_count (fun c ->
+             match reused_old_id.(c) with
+             | Some oid -> store.(oid)
+             | None -> None))
+  in
+  ( { ctx with design; elements; table; passes;
+               clusters_of_element = incidence ~elements ~table;
+               slack_cache; macro_cache },
+    !rebuilt )
+
 let update_design ctx ~design ?delays () =
   if Hb_netlist.Design.instance_count design
      <> Hb_netlist.Design.instance_count ctx.design

@@ -83,6 +83,31 @@ val macros : t -> Macro.t option array
     the cache's arena on first use. *)
 val cache_result : cache -> Cluster.t -> cut_index:int -> Block.result
 
+(** [apply_structural ctx ~design ~touched ?delays ()] re-targets the
+    context at a structurally edited design produced by
+    [Hb_netlist.Structural] surgery: net and instance ids are stable,
+    and no edit moved a sync pin, a port, or a control-cone net.
+    [touched] lists the {e old} cluster ids an edit may have changed
+    (new arcs, changed capacitances, membership churn); every other
+    cluster's graph, pass plan, cached slack rows, and timing macro
+    carry over untouched, and rebuilt clusters start with empty cache
+    rows that the incremental refresh picks up as dirty. The element
+    table (with its live offset/version state) is retargeted, not
+    rebuilt. Returns the new context and the number of clusters that
+    were rebuilt from scratch. Nothing is mutated before the new
+    structures are complete, so a raise (e.g. {!Cluster.Cycle_error}
+    on a cycle-creating rewire) leaves the input context fully usable;
+    on success its cache buffers are recycled into the returned
+    context and the old context must be dropped.
+    @raise Invalid_argument on a [touched] id outside the old table. *)
+val apply_structural :
+  t ->
+  design:Hb_netlist.Design.t ->
+  touched:int list ->
+  ?delays:Delays.t ->
+  unit ->
+  t * int
+
 (** [update_design ctx ~design ?delays ()] re-targets the context at a
     topologically identical design (same ports, nets, instances and pin
     connections — only cells/delays may differ, as after gate upsizing).

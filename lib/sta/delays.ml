@@ -43,7 +43,10 @@ let sinks_of_net design out_net =
     net.Hb_netlist.Design.loads
 
 let rc ?(parameters = Hb_rc.Wire_model.default) () =
-  { name = "rc";
+  (* Non-default wire parameters get a distinct name so consumers that
+     reconstruct a provider by name (snapshot restore) can tell they
+     cannot: only "lumped" and "rc" are rebuildable. *)
+  { name = (if parameters = Hb_rc.Wire_model.default then "rc" else "rc-custom");
     evaluate =
       (fun ~design ~inst:_ ~arc ~out_net ->
          let sinks = sinks_of_net design out_net in

@@ -1,0 +1,86 @@
+module Design = Hb_netlist.Design
+
+type t =
+  | Set_delay of { instance : string; rise : float; fall : float }
+  | Scale_delay of { instance : string; factor : float }
+  | Annotate of Annotation.t
+  | Set_offset of { element : int; offset : Hb_util.Time.t }
+  | Insert_buffer of {
+      net : string;
+      cell : Hb_cell.Cell.t;
+      inst_name : string option;
+      net_name : string option;
+    }
+  | Resize_gate of { instance : string; cell : Hb_cell.Cell.t }
+  | Remove_gate of { instance : string }
+  | Rewire_net of { instance : string; pin : string; net : string }
+
+let is_structural = function
+  | Set_delay _ | Scale_delay _ | Annotate _ | Set_offset _ -> false
+  | Insert_buffer _ | Resize_gate _ | Remove_gate _ | Rewire_net _ -> true
+
+let op_name = function
+  | Set_delay _ -> "set_delay"
+  | Scale_delay _ -> "scale_delay"
+  | Annotate _ -> "annotate"
+  | Set_offset _ -> "set_offset"
+  | Insert_buffer _ -> "insert_buffer"
+  | Resize_gate _ -> "resize_gate"
+  | Remove_gate _ -> "remove_gate"
+  | Rewire_net _ -> "rewire_net"
+
+let describe = function
+  | Set_delay { instance; rise; fall } ->
+    Printf.sprintf "set_delay %s rise=%g fall=%g" instance rise fall
+  | Scale_delay { instance; factor } ->
+    Printf.sprintf "scale_delay %s factor=%g" instance factor
+  | Annotate a ->
+    Printf.sprintf "annotate (%d entries)" (List.length (Annotation.entries a))
+  | Set_offset { element; offset } ->
+    Printf.sprintf "set_offset element=%d offset=%g" element offset
+  | Insert_buffer { net; cell; _ } ->
+    Printf.sprintf "insert_buffer %s on net %s" cell.Hb_cell.Cell.name net
+  | Resize_gate { instance; cell } ->
+    Printf.sprintf "resize_gate %s to %s" instance cell.Hb_cell.Cell.name
+  | Remove_gate { instance } -> Printf.sprintf "remove_gate %s" instance
+  | Rewire_net { instance; pin; net } ->
+    Printf.sprintf "rewire_net %s.%s to %s" instance pin net
+
+(* Conservative superset of the nets whose delays or capacitances feed
+   some synchroniser's control-delay trace (Control.cone_of_net walks
+   drivers backward through combinational gates). We mark the control
+   pin nets, then for every combinational gate driving a marked net,
+   mark all of its connection nets — output-net capacitance shifts the
+   cone delay, so siblings count too — and recurse through the gate's
+   inputs. Structural edits are rejected anywhere in this set so
+   control arrival times never change under ECO. *)
+let control_nets design =
+  let n = Design.net_count design in
+  let marked = Array.make n false in
+  let rec mark net =
+    if net < n && not marked.(net) then begin
+      marked.(net) <- true;
+      List.iter
+        (function
+          | Design.Pin { inst; pin = _ } ->
+            let record = Design.instance design inst in
+            if Hb_cell.Kind.is_comb record.Design.cell.Hb_cell.Cell.kind
+            then
+              List.iter (fun (_, peer) -> mark peer)
+                record.Design.connections
+          | Design.Port _ -> ())
+        (Design.net design net).Design.drivers
+    end
+  in
+  List.iter
+    (fun inst ->
+       let record = Design.instance design inst in
+       List.iter
+         (fun (pin, net) ->
+            match Hb_cell.Cell.find_pin record.Design.cell pin with
+            | Some { Hb_cell.Cell.role = Hb_cell.Cell.Control_in; _ } ->
+              mark net
+            | Some _ | None -> ())
+         record.Design.connections)
+    (Design.sync_instances design);
+  marked

@@ -231,6 +231,8 @@ let build ~design ~system ~config =
 
 let count t = Array.length t.all
 let element t i = t.all.(i)
+
+let retarget t ~design = { t with design }
 let save_offsets t = Array.map Hb_sync.Element.o_dz t.all
 
 let restore_offsets t snapshot =

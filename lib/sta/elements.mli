@@ -37,6 +37,16 @@ val build :
 val count : t -> int
 val element : t -> int -> Hb_sync.Element.t
 
+(** [retarget t ~design] repoints the table at an edited design whose
+    synchronising elements, ports, control cones, and their nets are
+    untouched (the guarantee {!Session.apply} enforces for structural
+    ECO commands: edits never reach a control cone, never move a sync
+    pin, and keep net/instance ids stable). The live {!Hb_sync.Element}
+    values — adjustable offsets and version counters included — are
+    shared, so slack caches keyed on element versions stay coherent
+    across the swap. *)
+val retarget : t -> design:Hb_netlist.Design.t -> t
+
 (** [save_offsets t] snapshots every adjustable offset;
     [restore_offsets t snapshot] puts them back. *)
 val save_offsets : t -> Hb_util.Time.t array

@@ -40,10 +40,6 @@ let preprocess ~design ~system ?config ?delays () =
       peak_rss_bytes = Hb_util.Rss.peak_bytes ();
     } )
 
-let preprocess_cpu ~design ~system ?config ?delays () =
-  let context, timings = preprocess ~design ~system ?config ?delays () in
-  (context, timings.preprocess_seconds)
-
 (* One-shot runs are a session with a single query: the session path is
    the only implementation of the analysis flow, so the incremental and
    batch front ends cannot drift apart. The session is not closed — the

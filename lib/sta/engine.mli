@@ -78,14 +78,3 @@ val preprocess :
   ?delays:Delays.t ->
   unit ->
   Context.t * timings
-
-val preprocess_cpu :
-  design:Hb_netlist.Design.t ->
-  system:Hb_clock.System.t ->
-  ?config:Config.t ->
-  ?delays:Delays.t ->
-  unit ->
-  Context.t * float
-[@@alert deprecated
-    "preprocess_cpu returns cpu seconds only; use preprocess, whose \
-     timings record carries both clocks."]

@@ -46,69 +46,59 @@ let linear_time t ~cut ~node =
   let base = t.node_time.(node) -. t.node_time.(first) in
   if node < first then base +. t.system.Hb_clock.System.overall_period else base
 
-let build ~system ~elements ~table =
-  let edges, index = edge_table system in
-  let node_count = Stdlib.max 1 (2 * Array.length edges) in
-  let node_time =
-    if Array.length edges = 0 then [| 0.0 |]
-    else
-      Array.init node_count (fun node -> snd edges.(node / 2))
-  in
-  let plans =
-    Array.map
-      (fun (cluster : Cluster.t) ->
-         (* Requirements: one per connected input/output terminal pair. *)
-         let requirements = ref [] in
-         Array.iteri
-           (fun input_index (input : Cluster.terminal) ->
-              let input_element = Elements.element elements input.Cluster.element in
-              match input_element.Hb_sync.Element.assertion_edge with
-              | None -> ()
-              | Some assertion_edge ->
-                let a_node =
-                  assertion_node_of_index (node_lookup index assertion_edge)
-                in
-                List.iter
-                  (fun output_index ->
-                     let output = cluster.Cluster.outputs.(output_index) in
-                     let output_element =
-                       Elements.element elements output.Cluster.element
-                     in
-                     match output_element.Hb_sync.Element.closure_edge with
-                     | None -> ()
-                     | Some closure_edge ->
-                       let c_node =
-                         closure_node_of_index (node_lookup index closure_edge)
-                       in
-                       requirements :=
-                         { Hb_clock.Break.before = a_node; after = c_node }
-                         :: !requirements)
-                  (Cluster.reachable_outputs cluster
-                     ~input_terminal_index:input_index))
-           cluster.Cluster.inputs;
-         let cuts = Hb_clock.Break.solve ~node_count !requirements in
-         let assignment =
-           Array.map
-             (fun (output : Cluster.terminal) ->
-                let output_element =
-                  Elements.element elements output.Cluster.element
-                in
-                match output_element.Hb_sync.Element.closure_edge with
-                | None -> -1
-                | Some closure_edge ->
-                  let c_node =
-                    closure_node_of_index (node_lookup index closure_edge)
-                  in
-                  Hb_clock.Break.assign ~node_count ~cuts c_node)
-             cluster.Cluster.outputs
+let plan_for ~elements ~index ~node_count (cluster : Cluster.t) =
+  (* Requirements: one per connected input/output terminal pair. *)
+  let requirements = ref [] in
+  Array.iteri
+    (fun input_index (input : Cluster.terminal) ->
+       let input_element = Elements.element elements input.Cluster.element in
+       match input_element.Hb_sync.Element.assertion_edge with
+       | None -> ()
+       | Some assertion_edge ->
+         let a_node =
+           assertion_node_of_index (node_lookup index assertion_edge)
          in
-         { cluster = cluster.Cluster.id; cuts; assignment })
-      table.Cluster.clusters
+         List.iter
+           (fun output_index ->
+              let output = cluster.Cluster.outputs.(output_index) in
+              let output_element =
+                Elements.element elements output.Cluster.element
+              in
+              match output_element.Hb_sync.Element.closure_edge with
+              | None -> ()
+              | Some closure_edge ->
+                let c_node =
+                  closure_node_of_index (node_lookup index closure_edge)
+                in
+                requirements :=
+                  { Hb_clock.Break.before = a_node; after = c_node }
+                  :: !requirements)
+           (Cluster.reachable_outputs cluster
+              ~input_terminal_index:input_index))
+    cluster.Cluster.inputs;
+  let cuts = Hb_clock.Break.solve ~node_count !requirements in
+  let assignment =
+    Array.map
+      (fun (output : Cluster.terminal) ->
+         let output_element =
+           Elements.element elements output.Cluster.element
+         in
+         match output_element.Hb_sync.Element.closure_edge with
+         | None -> -1
+         | Some closure_edge ->
+           let c_node =
+             closure_node_of_index (node_lookup index closure_edge)
+           in
+           Hb_clock.Break.assign ~node_count ~cuts c_node)
+      cluster.Cluster.outputs
   in
-  (* Endpoint → (cluster, output terminal index, assigned cut), so path
-     tracing never scans a cluster's output terminals. An element reads
-     exactly one net, hence appears among at most one cluster's outputs;
-     first-wins within a cluster mirrors the former linear scan. *)
+  { cluster = cluster.Cluster.id; cuts; assignment }
+
+(* Endpoint → (cluster, output terminal index, assigned cut), so path
+   tracing never scans a cluster's output terminals. An element reads
+   exactly one net, hence appears among at most one cluster's outputs;
+   first-wins within a cluster mirrors the former linear scan. *)
+let endpoint_maps ~elements ~table ~plans =
   let element_count = Elements.count elements in
   let endpoint_cluster = Array.make element_count (-1) in
   let endpoint_output = Array.make element_count (-1) in
@@ -126,8 +116,43 @@ let build ~system ~elements ~table =
             end)
          cluster.Cluster.outputs)
     table.Cluster.clusters;
+  (endpoint_cluster, endpoint_output, endpoint_cut)
+
+let build ~system ~elements ~table =
+  let edges, index = edge_table system in
+  let node_count = Stdlib.max 1 (2 * Array.length edges) in
+  let node_time =
+    if Array.length edges = 0 then [| 0.0 |]
+    else
+      Array.init node_count (fun node -> snd edges.(node / 2))
+  in
+  let plans =
+    Array.map (plan_for ~elements ~index ~node_count) table.Cluster.clusters
+  in
+  let endpoint_cluster, endpoint_output, endpoint_cut =
+    endpoint_maps ~elements ~table ~plans
+  in
   { system; node_count; node_time; plans; edge_index = index;
     endpoint_cluster; endpoint_output; endpoint_cut }
+
+let rebuild previous ~elements ~table ~reusable =
+  let plans =
+    Array.map
+      (fun (cluster : Cluster.t) ->
+         match reusable cluster.Cluster.id with
+         | Some old_id ->
+           let old = previous.plans.(old_id) in
+           if old.cluster = cluster.Cluster.id then old
+           else { old with cluster = cluster.Cluster.id }
+         | None ->
+           plan_for ~elements ~index:previous.edge_index
+             ~node_count:previous.node_count cluster)
+      table.Cluster.clusters
+  in
+  let endpoint_cluster, endpoint_output, endpoint_cut =
+    endpoint_maps ~elements ~table ~plans
+  in
+  { previous with plans; endpoint_cluster; endpoint_output; endpoint_cut }
 
 let total_passes t =
   Array.fold_left (fun acc plan -> acc + List.length plan.cuts) 0 t.plans

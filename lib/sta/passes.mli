@@ -63,6 +63,21 @@ val build :
   table:Cluster.table ->
   t
 
+(** [rebuild previous ~elements ~table ~reusable] re-plans after an
+    incremental cluster extraction over the same clock system.
+    [reusable c] names the old cluster id whose graph new cluster [c]
+    physically shares (see [Cluster.extract]'s [reuse]), letting its
+    plan carry over with only the id rewritten; all other clusters are
+    re-solved. Endpoint maps are recomputed in full — they are sized by
+    the element count, which an edit may change. The clock-edge graph
+    ([system], [node_time], [edge_index]) is shared with [previous]. *)
+val rebuild :
+  t ->
+  elements:Elements.t ->
+  table:Cluster.table ->
+  reusable:(int -> int option) ->
+  t
+
 (** [total_passes t] sums pass counts over clusters — the figure the
     paper's "minimum number of settling times" feature minimises. *)
 val total_passes : t -> int

@@ -101,6 +101,35 @@ let bad_request fmt =
     (fun message -> raise (Request_error { code = "bad_request"; message }))
     fmt
 
+(* Unwrap a session [_r] result into the handler's return value, or
+   surface its structured error as the reply envelope's error object.
+   Handlers call only the [_r] forms — the exception forms exist for
+   embedders, not the daemon. *)
+let ok_or_error = function
+  | Ok v -> v
+  | Error err ->
+    raise
+      (Request_error { code = Error.code err; message = Error.to_string err })
+
+(* Apply an edit batch, folding a rejection's failing index and op name
+   into the error message so a client can repair the batch. *)
+let apply_edits s edits =
+  match Session.apply_r s edits with
+  | Ok result -> result
+  | Error { Session.failed_index; error } ->
+    let prefix =
+      match failed_index with
+      | Some i ->
+        (match List.nth_opt edits i with
+         | Some e -> Printf.sprintf "edit %d (%s): " i (Edit.op_name e)
+         | None -> Printf.sprintf "edit %d: " i)
+      | None -> ""
+    in
+    raise
+      (Request_error
+         { code = Error.code error;
+           message = prefix ^ Error.to_string error })
+
 let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump
     ?(generators = []) ?(max_sessions = 8) ?(memory_budget_mb = 0) () =
   let library =
@@ -336,6 +365,23 @@ let handle_load t c p =
      The registry key is built from the raw parameters — resolving a hit
      must not re-parse or regenerate anything. *)
   let source =
+    match opt_text "snapshot" p with
+    | Some path ->
+      (match opt_text "generator" p, opt_text "netlist" p, opt_text "clocks" p
+       with
+       | None, None, None -> ()
+       | _ -> bad_request "snapshot excludes generator/netlist/clocks");
+      List.iter
+        (fun name ->
+          match Json.member name p with
+          | None | Some Json.Null -> ()
+          | Some _ ->
+            bad_request
+              "snapshot excludes %S (a snapshot carries its own \
+               configuration)" name)
+        [ "timing"; "jobs"; "telemetry"; "macro"; "delay_model" ];
+      `Snapshot path
+    | None ->
     match opt_text "generator" p with
     | Some name ->
       (match opt_text "netlist" p, opt_text "clocks" p with
@@ -376,7 +422,8 @@ let handle_load t c p =
     Printf.sprintf "%s|timing=%s|jobs=%s|telemetry=%s|macro=%s|delays=%s"
       (match source with
        | `Generator name -> "g:" ^ name
-       | `Files (netlist, clocks) -> "f:" ^ netlist ^ ";" ^ clocks)
+       | `Files (netlist, clocks) -> "f:" ^ netlist ^ ";" ^ clocks
+       | `Snapshot path -> "s:" ^ path)
       (Option.value ~default:"" timing)
       (match explicit_jobs with None -> "" | Some j -> string_of_int j)
       (match telemetry with None -> "" | Some b -> string_of_bool b)
@@ -400,6 +447,20 @@ let handle_load t c p =
             Log.info "serve.session_shared" [ ("key", Log.String key) ];
           (true, e)
         | None ->
+          let fresh =
+            match source with
+            | `Snapshot path ->
+              let s = ok_or_error (Session.of_snapshot_r ~path) in
+              if t.serialize_pool
+                 && (Session.context s).Context.config.Config.parallel_jobs > 1
+              then begin
+                Session.close s;
+                bad_request
+                  "snapshot %s was saved with jobs > 1; this daemon \
+                   schedules requests across domains" path
+              end;
+              s
+            | (`Generator _ | `Files _) as source ->
           let design, system =
             match source with
             | `Generator name ->
@@ -454,7 +515,9 @@ let handle_load t c p =
             | `Lumped -> Delays.lumped
             | `Rc -> Delays.rc ()
           in
-          let fresh = Session.create ~design ~system ~config ~delays () in
+          ok_or_error
+            (Session.create_r ~design ~system ~config ~delays ())
+          in
           let e =
             { e_key = key;
               e_session = fresh;
@@ -496,7 +559,9 @@ let handle_analyse c p =
   let paths = Option.value ~default:0 (opt_int "paths" p) in
   with_session_read ~constraints:generate_constraints ~hold:check_hold c
     (fun s ->
-      let report = Session.analyse ~generate_constraints ~check_hold s in
+      let report =
+        ok_or_error (Session.analyse_r ~generate_constraints ~check_hold s)
+      in
       (* The report renderer emits a multi-line document; re-parse so it
          nests compactly inside the one-line reply envelope. *)
       Json.parse (Json_export.report ~paths report))
@@ -505,13 +570,19 @@ let handle_set_delay c p =
   let instance = req_text "instance" p in
   let rise = req_float "rise" p in
   let fall = req_float "fall" p in
-  with_session_write c (fun s -> Session.set_delay s ~instance ~rise ~fall);
+  let _ : Session.apply_result =
+    with_session_write c (fun s ->
+        apply_edits s [ Edit.Set_delay { instance; rise; fall } ])
+  in
   Json.Obj [ ("instance", Json.String instance) ]
 
 let handle_scale_delay c p =
   let instance = req_text "instance" p in
   let factor = req_float "factor" p in
-  with_session_write c (fun s -> Session.scale_delay s ~instance ~factor);
+  let _ : Session.apply_result =
+    with_session_write c (fun s ->
+        apply_edits s [ Edit.Scale_delay { instance; factor } ])
+  in
   Json.Obj [ ("instance", Json.String instance) ]
 
 let handle_annotate c p =
@@ -522,7 +593,25 @@ let handle_annotate c p =
     | Some _, Some _ -> bad_request "give either text or file, not both"
     | None, None -> bad_request "missing required parameter: text or file"
   in
-  let unused = with_session_write c (fun s -> Session.annotate s annotation) in
+  let unused =
+    with_session_write c (fun s ->
+        (* [apply] rejects batches naming unknown instances; the legacy
+           annotate contract skips them and reports the names instead. *)
+        let design = (Session.context s).Context.design in
+        let unused = Annotation.unused annotation ~design in
+        let known =
+          List.filter
+            (fun (name, _) -> not (List.mem name unused))
+            (Annotation.entries annotation)
+        in
+        if known <> [] then begin
+          let _ : Session.apply_result =
+            apply_edits s [ Edit.Annotate (Annotation.of_entries known) ]
+          in
+          ()
+        end;
+        unused)
+  in
   Json.Obj
     [ ("entries", Json.Number (float_of_int (Annotation.count annotation)));
       ("unused", Json.List (List.map (fun n -> Json.String n) unused));
@@ -537,7 +626,9 @@ let handle_set_offset c p =
   let value = req_float "value" p in
   let actual =
     with_session_write c (fun s ->
-        Session.set_offset s ~element value;
+        let _ : Session.apply_result =
+          apply_edits s [ Edit.Set_offset { element; offset = value } ]
+        in
         Hb_sync.Element.o_dz
           (Elements.element (Session.context s).Context.elements element))
   in
@@ -546,11 +637,98 @@ let handle_set_offset c p =
       ("offset", Json.Number actual);
     ]
 
+(* One command object of the batch "edit" method → a typed {!Edit.t}.
+   Cell names resolve against the server's library here, so the session
+   layer only ever sees resolved cells. *)
+let edit_of_json t i v =
+  let p =
+    match v with
+    | Json.Obj _ -> v
+    | _ -> bad_request "edit %d: command must be an object" i
+  in
+  let cell_field () =
+    let name = req_text "cell" p in
+    match Hb_cell.Library.find t.library name with
+    | Some cell -> cell
+    | None -> bad_request "edit %d: unknown cell %S" i name
+  in
+  match req_text "op" p with
+  | "set_delay" ->
+    Edit.Set_delay
+      { instance = req_text "instance" p;
+        rise = req_float "rise" p;
+        fall = req_float "fall" p;
+      }
+  | "scale_delay" ->
+    Edit.Scale_delay
+      { instance = req_text "instance" p; factor = req_float "factor" p }
+  | "annotate" ->
+    (match opt_text "text" p with
+     | Some text -> Edit.Annotate (Annotation.parse text)
+     | None -> bad_request "edit %d: annotate needs \"text\"" i)
+  | "set_offset" ->
+    let element =
+      match opt_int "element" p with
+      | Some e -> e
+      | None -> bad_request "edit %d: missing \"element\"" i
+    in
+    Edit.Set_offset { element; offset = req_float "value" p }
+  | "insert_buffer" ->
+    Edit.Insert_buffer
+      { net = req_text "net" p;
+        cell = cell_field ();
+        inst_name = opt_text "inst_name" p;
+        net_name = opt_text "net_name" p;
+      }
+  | "resize_gate" ->
+    Edit.Resize_gate { instance = req_text "instance" p; cell = cell_field () }
+  | "remove_gate" -> Edit.Remove_gate { instance = req_text "instance" p }
+  | "rewire_net" ->
+    Edit.Rewire_net
+      { instance = req_text "instance" p;
+        pin = req_text "pin" p;
+        net = req_text "net" p;
+      }
+  | other -> bad_request "edit %d: unknown op %S" i other
+
+(* The batch edit method: validate-then-apply is atomic in the session,
+   so the reply either reports every command applied or the envelope
+   carries the rejection (failing index and op in the message) and the
+   session is untouched. *)
+let handle_edit t c p =
+  let commands =
+    match Json.member "commands" p with
+    | Some (Json.List l) -> l
+    | Some _ -> bad_request "commands must be a list"
+    | None -> bad_request "missing required parameter \"commands\""
+  in
+  if commands = [] then bad_request "commands must be non-empty";
+  let edits = List.mapi (edit_of_json t) commands in
+  let result = with_session_write c (fun s -> apply_edits s edits) in
+  Json.Obj
+    [ ("applied", Json.Number (float_of_int result.Session.applied));
+      ("structural", Json.Number (float_of_int result.Session.structural));
+      ( "clusters_rebuilt",
+        Json.Number (float_of_int result.Session.clusters_rebuilt) );
+      ( "clusters_invalidated",
+        Json.Number (float_of_int result.Session.clusters_invalidated) );
+      ( "commands",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [ ("op", Json.String (Edit.op_name e));
+                   ("status", Json.String "applied");
+                 ])
+             edits) );
+    ]
+
 let handle_paths c p =
   let limit = Option.value ~default:5 (opt_int "limit" p) in
   let paths, elements =
     with_session_read c (fun s ->
-        (Session.worst_paths s ~limit, (Session.context s).Context.elements))
+        ( ok_or_error (Session.worst_paths_r s ~limit),
+          (Session.context s).Context.elements ))
   in
   Telemetry.observe h_paths (float_of_int (List.length paths));
   let label e = (Elements.element elements e).Hb_sync.Element.label in
@@ -573,7 +751,10 @@ let handle_paths c p =
     ]
 
 let handle_constraints c =
-  let times = with_session_read ~constraints:true c Session.constraints in
+  let times =
+    with_session_read ~constraints:true c (fun s ->
+        ok_or_error (Session.constraints_r s))
+  in
   let finite a =
     Array.fold_left
       (fun n v -> if Hb_util.Time.is_finite v then n + 1 else n)
@@ -589,7 +770,9 @@ let handle_constraints c =
     ]
 
 let handle_hold c =
-  let violations = with_session_read ~hold:true c Session.hold in
+  let violations =
+    with_session_read ~hold:true c (fun s -> ok_or_error (Session.hold_r s))
+  in
   Json.Obj
     [ ( "violations",
         Json.List
@@ -683,6 +866,7 @@ let dispatch t c ~meth p =
   | "scale_delay" -> handle_scale_delay c p
   | "annotate" -> handle_annotate c p
   | "set_offset" -> handle_set_offset c p
+  | "edit" -> handle_edit t c p
   | "paths" -> handle_paths c p
   | "constraints" -> handle_constraints c
   | "hold" -> handle_hold c

@@ -128,50 +128,358 @@ let invalidate t =
   drop_queries t;
   Context.invalidate_cache t.ctx
 
-(* Apply a batch of overrides. [pairs] must already be deduplicated
-   (first occurrence wins) and name only instances present in the
-   design. *)
-let apply_overrides t pairs =
-  if pairs <> [] then begin
-    let insts =
-      List.map
-        (fun (name, _) ->
-           match Hb_netlist.Design.find_instance t.ctx.Context.design name with
-           | Some inst -> inst
-           | None -> invalid "unknown instance %S" name)
-        pairs
-    in
+type apply_result = {
+  applied : int;
+  structural : int;
+  clusters_rebuilt : int;
+  clusters_invalidated : int;
+}
+
+type apply_error = {
+  failed_index : int option;
+  error : Error.t;
+}
+
+(* Rolling state of a batch during validation: commands are simulated
+   against a scratch design (structural surgery is pure, so this never
+   touches the session) and their delay/offset effects are queued. *)
+type staged = {
+  mutable s_design : Hb_netlist.Design.t;
+  mutable s_touched : int list;  (* net ids whose cluster an edit dirties *)
+  mutable s_overrides : (string * Annotation.entry) list;  (* reversed *)
+  mutable s_offsets : (int * Hb_util.Time.t) list;  (* reversed *)
+  mutable s_structural : int;
+}
+
+exception Rejected of int option * Error.t
+
+let reject index fmt =
+  Format.kasprintf
+    (fun m -> raise (Rejected (Some index, Error.Invalid m)))
+    fmt
+
+(* Would moving an input of [inst] onto [target] close a combinational
+   loop? True iff [target] is reachable forward from [inst]'s output
+   nets through combinational gates of [design] (the design {e after}
+   the rewire). Gives cycle errors a per-command attribution instead of
+   a batch-wide extraction failure. *)
+let creates_cycle design ~inst ~target =
+  let visited =
+    Array.make (Hb_netlist.Design.net_count design) false
+  in
+  let exception Found in
+  let rec walk net =
+    if net = target then raise Found;
+    if not visited.(net) then begin
+      visited.(net) <- true;
+      List.iter
+        (function
+          | Hb_netlist.Design.Pin { inst = g; pin = _ } ->
+            let record = Hb_netlist.Design.instance design g in
+            let cell = record.Hb_netlist.Design.cell in
+            if Hb_cell.Kind.is_comb cell.Hb_cell.Cell.kind then
+              List.iter
+                (fun (out : Hb_cell.Cell.pin) ->
+                   match
+                     Hb_netlist.Design.net_of_pin design ~inst:g
+                       ~pin:out.Hb_cell.Cell.pin_name
+                   with
+                   | Some out_net -> walk out_net
+                   | None -> ())
+                (Hb_cell.Cell.output_pins cell)
+          | Hb_netlist.Design.Port _ -> ())
+        (Hb_netlist.Design.net design net).Hb_netlist.Design.loads
+    end
+  in
+  try
+    let record = Hb_netlist.Design.instance design inst in
     List.iter
-      (fun (name, entry) -> Hashtbl.replace t.overrides name entry)
-      pairs;
-    let touched =
-      Cluster.refresh_instance_delays t.ctx.Context.table
-        ~design:t.ctx.Context.design ~insts ~delays:t.delays ()
+      (fun (pin, net) ->
+         match
+           Hb_cell.Cell.find_pin record.Hb_netlist.Design.cell pin
+         with
+         | Some { Hb_cell.Cell.role = Hb_cell.Cell.Data_out; _ } ->
+           walk net
+         | Some _ | None -> ())
+      record.Hb_netlist.Design.connections;
+    false
+  with Found -> true
+
+let validate_batch t commands =
+  let staged =
+    { s_design = t.ctx.Context.design;
+      s_touched = [];
+      s_overrides = [];
+      s_offsets = [];
+      s_structural = 0;
+    }
+  in
+  (* Control cones are invariant under accepted edits (they are exactly
+     what this mark protects), so marking the original design once
+     covers the whole batch; nets appended mid-batch are never
+     control nets. *)
+  let control = lazy (Edit.control_nets t.ctx.Context.design) in
+  let is_control net =
+    let marked = Lazy.force control in
+    net < Array.length marked && marked.(net)
+  in
+  let find_instance i name =
+    match Hb_netlist.Design.find_instance staged.s_design name with
+    | Some inst -> inst
+    | None -> reject i "unknown instance %S" name
+  in
+  let find_net i name =
+    match Hb_netlist.Design.find_net staged.s_design name with
+    | Some net -> net
+    | None -> reject i "unknown net %S" name
+  in
+  let check_gate_nets i inst op =
+    List.iter
+      (fun (_, net) ->
+         if is_control net then
+           reject i "%s: %s touches control net %s" op
+             (Hb_netlist.Design.instance staged.s_design inst)
+               .Hb_netlist.Design.inst_name
+             (Hb_netlist.Design.net staged.s_design net)
+               .Hb_netlist.Design.net_name)
+      (Hb_netlist.Design.instance staged.s_design inst)
+        .Hb_netlist.Design.connections
+  in
+  let surgery i f =
+    try f () with
+    | Invalid_argument m -> raise (Rejected (Some i, Error.Invalid m))
+  in
+  let touch nets = staged.s_touched <- nets @ staged.s_touched in
+  List.iteri
+    (fun i command ->
+       match (command : Edit.t) with
+       | Edit.Set_delay { instance; rise; fall } ->
+         if not (rise >= 0.0 && fall >= 0.0) then
+           reject i "set_delay %s: delays must be non-negative" instance;
+         ignore (find_instance i instance : int);
+         staged.s_overrides <-
+           (instance, Annotation.Fixed { rise; fall })
+           :: staged.s_overrides
+       | Edit.Scale_delay { instance; factor } ->
+         if not (factor > 0.0) then
+           reject i "scale_delay %s: factor must be positive" instance;
+         ignore (find_instance i instance : int);
+         staged.s_overrides <-
+           (instance, Annotation.Scaled factor) :: staged.s_overrides
+       | Edit.Annotate annotation ->
+         (* First occurrence wins within one annotation; unknown names
+            are ignored, as in the legacy [annotate]. *)
+         let seen = Hashtbl.create 16 in
+         List.iter
+           (fun (name, entry) ->
+              if not (Hashtbl.mem seen name) then begin
+                Hashtbl.add seen name ();
+                if
+                  Hb_netlist.Design.find_instance staged.s_design name
+                  <> None
+                then
+                  staged.s_overrides <- (name, entry) :: staged.s_overrides
+              end)
+           (Annotation.entries annotation)
+       | Edit.Set_offset { element; offset } ->
+         if element < 0 || element >= Elements.count t.ctx.Context.elements
+         then reject i "set_offset: element %d out of range" element;
+         staged.s_offsets <- (element, offset) :: staged.s_offsets
+       | Edit.Insert_buffer { net; cell; inst_name; net_name } ->
+         let target = find_net i net in
+         if is_control target then
+           reject i "insert_buffer: net %s is in a control cone" net;
+         let fresh_net = Hb_netlist.Design.net_count staged.s_design in
+         staged.s_design <-
+           surgery i (fun () ->
+               Hb_netlist.Structural.insert_buffer staged.s_design
+                 ~net:target ~cell ?inst_name ?net_name ());
+         touch [ target; fresh_net ];
+         staged.s_structural <- staged.s_structural + 1
+       | Edit.Resize_gate { instance; cell } ->
+         let inst = find_instance i instance in
+         check_gate_nets i inst "resize_gate";
+         let nets =
+           List.map snd
+             (Hb_netlist.Design.instance staged.s_design inst)
+               .Hb_netlist.Design.connections
+         in
+         staged.s_design <-
+           surgery i (fun () ->
+               Hb_netlist.Structural.resize_gate staged.s_design ~inst
+                 ~cell);
+         touch nets;
+         staged.s_structural <- staged.s_structural + 1
+       | Edit.Remove_gate { instance } ->
+         let inst = find_instance i instance in
+         check_gate_nets i inst "remove_gate";
+         let nets =
+           List.map snd
+             (Hb_netlist.Design.instance staged.s_design inst)
+               .Hb_netlist.Design.connections
+         in
+         staged.s_design <-
+           surgery i (fun () ->
+               Hb_netlist.Structural.remove_gate staged.s_design ~inst);
+         touch nets;
+         staged.s_structural <- staged.s_structural + 1
+       | Edit.Rewire_net { instance; pin; net } ->
+         let inst = find_instance i instance in
+         let target = find_net i net in
+         check_gate_nets i inst "rewire_net";
+         if is_control target then
+           reject i "rewire_net: net %s is in a control cone" net;
+         let nets =
+           List.map snd
+             (Hb_netlist.Design.instance staged.s_design inst)
+               .Hb_netlist.Design.connections
+         in
+         staged.s_design <-
+           surgery i (fun () ->
+               Hb_netlist.Structural.rewire_pin staged.s_design ~inst ~pin
+                 ~net:target);
+         if creates_cycle staged.s_design ~inst ~target then
+           raise
+             (Rejected
+                ( Some i,
+                  Error.Cycle
+                    (Printf.sprintf
+                       "rewire_net %s.%s to %s creates a combinational \
+                        cycle"
+                       instance pin net) ));
+         touch (target :: nets);
+         staged.s_structural <- staged.s_structural + 1)
+    commands;
+  staged
+
+let apply_r t commands =
+  match
+    check_open t;
+    validate_batch t commands
+  with
+  | exception Rejected (failed_index, error) ->
+    Error { failed_index; error }
+  | exception Error.Error e -> Error { failed_index = None; error = e }
+  | staged ->
+    (match
+       let rebuilt = ref 0 in
+       let invalidated = ref 0 in
+       (* Structural commit: swap in the edited design, rebuilding only
+          the clusters the touched nets belong to. Nothing below this
+          point raises in practice (validation covered every failure
+          mode); [apply_structural] itself mutates nothing until its
+          result is complete, so a defensive failure here still leaves
+          the session on its old coherent state. *)
+       if staged.s_structural > 0 then begin
+         let old_net_count =
+           Hb_netlist.Design.net_count t.ctx.Context.design
+         in
+         let touched =
+           List.sort_uniq compare
+             (List.filter_map
+                (fun net ->
+                   if net < old_net_count then
+                     Some t.ctx.Context.table.Cluster.cluster_of_net.(net)
+                   else None)
+                staged.s_touched)
+         in
+         let ctx, n =
+           Hb_util.Telemetry.span "session.apply_structural" (fun () ->
+               Context.apply_structural t.ctx ~design:staged.s_design
+                 ~touched ~delays:t.delays ())
+         in
+         t.ctx <- ctx;
+         rebuilt := n
+       end;
+       (* Delay overrides: record them all, then refresh the affected
+          instances' arcs once — the final arc state only depends on
+          the final override table, matching sequential application. *)
+       let overrides = List.rev staged.s_overrides in
+       if overrides <> [] then begin
+         List.iter
+           (fun (name, entry) -> Hashtbl.replace t.overrides name entry)
+           overrides;
+         let insts =
+           List.sort_uniq compare
+             (List.filter_map
+                (fun (name, _) ->
+                   Hb_netlist.Design.find_instance t.ctx.Context.design
+                     name)
+                overrides)
+         in
+         let touched =
+           Cluster.refresh_instance_delays t.ctx.Context.table
+             ~design:t.ctx.Context.design ~insts ~delays:t.delays ()
+         in
+         Context.invalidate_clusters t.ctx touched;
+         invalidated := List.length touched
+       end;
+       List.iter
+         (fun (element, offset) ->
+            let e = Elements.element t.ctx.Context.elements element in
+            Hb_sync.Element.set_o_dz e offset;
+            (* Read back: set_o_dz clamps, boundaries ignore writes. *)
+            t.baseline.(element) <- Hb_sync.Element.o_dz e)
+         (List.rev staged.s_offsets);
+       let changed =
+         staged.s_structural > 0
+         || overrides <> []
+         || staged.s_offsets <> []
+       in
+       if changed then begin
+         Hb_util.Telemetry.incr c_mutations;
+         drop_queries t
+       end;
+       if Hb_util.Log.on Hb_util.Log.Info then
+         Hb_util.Log.info "session.apply"
+           [ ("commands", Hb_util.Log.Int (List.length commands));
+             ("structural", Hb_util.Log.Int staged.s_structural);
+             ("clusters_rebuilt", Hb_util.Log.Int !rebuilt);
+             ("clusters_invalidated", Hb_util.Log.Int !invalidated) ];
+       { applied = List.length commands;
+         structural = staged.s_structural;
+         clusters_rebuilt = !rebuilt;
+         clusters_invalidated = !invalidated;
+       }
+     with
+     | result -> Ok result
+     | exception e ->
+       (* Defensive: an unexpected commit failure may have left arcs
+          half-refreshed; drop every cache so nothing stale is trusted. *)
+       Context.invalidate_cache t.ctx;
+       drop_queries t;
+       (match Error.of_exn e with
+        | Some error -> Error { failed_index = None; error }
+        | None -> raise e))
+
+let apply t commands =
+  match apply_r t commands with
+  | Ok result -> result
+  | Error { failed_index; error } ->
+    let error =
+      match (failed_index, error) with
+      | Some i, Error.Invalid m ->
+        Error.Invalid (Printf.sprintf "edit %d: %s" i m)
+      | Some i, Error.Cycle m ->
+        Error.Cycle (Printf.sprintf "edit %d: %s" i m)
+      | _, e -> e
     in
-    Context.invalidate_clusters t.ctx touched;
-    Hb_util.Telemetry.incr c_mutations;
-    if Hb_util.Log.on Hb_util.Log.Debug then
-      Hb_util.Log.debug "session.mutate"
-        [ ("instances", Hb_util.Log.Int (List.length pairs));
-          ("clusters_invalidated", Hb_util.Log.Int (List.length touched)) ];
-    drop_queries t
-  end
+    raise (Error.Error error)
+
+(* Legacy single-command mutators, kept as thin wrappers over [apply].
+   They re-raise the bare (index-free) error so existing callers see
+   the same messages as before the edit-command redesign. *)
+
+let apply_legacy t command =
+  match apply_r t [ command ] with
+  | Ok _ -> ()
+  | Error { error; _ } -> raise (Error.Error error)
 
 let set_delay t ~instance ~rise ~fall =
-  check_open t;
-  if not (rise >= 0.0 && fall >= 0.0) then
-    invalid "set_delay %s: delays must be non-negative" instance;
-  if Hb_netlist.Design.find_instance t.ctx.Context.design instance = None then
-    invalid "unknown instance %S" instance;
-  apply_overrides t [ (instance, Annotation.Fixed { rise; fall }) ]
+  apply_legacy t (Edit.Set_delay { instance; rise; fall })
 
 let scale_delay t ~instance ~factor =
-  check_open t;
-  if not (factor > 0.0) then
-    invalid "scale_delay %s: factor must be positive" instance;
-  if Hb_netlist.Design.find_instance t.ctx.Context.design instance = None then
-    invalid "unknown instance %S" instance;
-  apply_overrides t [ (instance, Annotation.Scaled factor) ]
+  apply_legacy t (Edit.Scale_delay { instance; factor })
 
 let annotate t annotation =
   check_open t;
@@ -187,20 +495,12 @@ let annotate t annotation =
          | None -> unknown := name :: !unknown
        end)
     (Annotation.entries annotation);
-  apply_overrides t (List.rev !known);
+  if !known <> [] then
+    apply_legacy t (Edit.Annotate (Annotation.of_entries (List.rev !known)));
   List.rev !unknown
 
 let set_offset t ~element offset =
-  check_open t;
-  let elements = t.ctx.Context.elements in
-  if element < 0 || element >= Elements.count elements then
-    invalid "set_offset: element %d out of range" element;
-  let e = Elements.element elements element in
-  Hb_sync.Element.set_o_dz e offset;
-  (* Read back: set_o_dz clamps, and boundaries ignore writes. *)
-  t.baseline.(element) <- Hb_sync.Element.o_dz e;
-  Hb_util.Telemetry.incr c_mutations;
-  drop_queries t
+  apply_legacy t (Edit.Set_offset { element; offset })
 
 let update_design t ~design =
   check_open t;
@@ -342,15 +642,117 @@ let constraints t =
   let times, _, _ = ensure_constraints t in
   times
 
+let constraints_r t = Error.wrap (fun () -> constraints t)
+
 let hold t =
   check_open t;
   ensure_hold t
+
+let hold_r t = Error.wrap (fun () -> hold t)
 
 let is_cached ?(constraints = false) ?(hold = false) t =
   (not t.closed)
   && t.analysed <> None
   && ((not constraints) || t.constraints_cache <> None)
   && ((not hold) || t.hold_cache <> None)
+
+(* Everything a warm replica needs: the preprocessed context (element
+   state, cluster graphs, pass plans, slack/macro caches included — all
+   plain data), the override/offset edit state, and the cached query
+   results. The delay provider is a closure, so it is stored by name
+   and rebuilt on restore; the override wrapper is re-created around
+   the restored table. *)
+type snapshot_state = {
+  sp_ctx : Context.t;
+  sp_overrides : (string * Annotation.entry) list;
+  sp_baseline : Hb_util.Time.t array;
+  sp_base : [ `Lumped | `Rc ];
+  sp_analysed : analysed option;
+  sp_constraints : (Algorithm2.constraint_times * float * float) option;
+  sp_hold : Holdcheck.violation list option;
+}
+
+let save_snapshot t ~path =
+  check_open t;
+  let sp_base =
+    match t.base_delays.Delays.name with
+    | "lumped" -> `Lumped
+    | "rc" -> `Rc
+    | other ->
+      invalid
+        "cannot snapshot a session with delay provider %s (only lumped \
+         and rc can be rebuilt on restore)"
+        other
+  in
+  let state =
+    { sp_ctx = t.ctx;
+      sp_overrides =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.overrides [];
+      sp_baseline = t.baseline;
+      sp_base;
+      sp_analysed = t.analysed;
+      sp_constraints = t.constraints_cache;
+      sp_hold = t.hold_cache;
+    }
+  in
+  let payload =
+    (* No closure flag: a functional value smuggled into the context
+       must fail here, at save, not crash a future restore. *)
+    try Marshal.to_string state []
+    with Invalid_argument m | Failure m ->
+      invalid "snapshot serialisation failed: %s" m
+  in
+  Snapshot.write ~path payload;
+  if Hb_util.Log.on Hb_util.Log.Info then
+    Hb_util.Log.info "session.save_snapshot"
+      [ ("path", Hb_util.Log.String path);
+        ("bytes", Hb_util.Log.Int (String.length payload)) ]
+
+let save_snapshot_r t ~path = Error.wrap (fun () -> save_snapshot t ~path)
+
+let of_snapshot ~path =
+  match Snapshot.read ~path with
+  | Error e -> raise (Error.Error e)
+  | Ok payload ->
+    let state : snapshot_state = Marshal.from_string payload 0 in
+    let config = state.sp_ctx.Context.config in
+    if config.Config.telemetry && not (Hb_util.Telemetry.enabled ())
+    then begin
+      Hb_util.Telemetry.set_enabled true;
+      Hb_util.Telemetry.reset ()
+    end;
+    if config.Config.log_level <> Hb_util.Log.Off
+       && Hb_util.Log.level () = Hb_util.Log.Off
+    then Hb_util.Log.set_level config.Config.log_level;
+    let base_delays =
+      match state.sp_base with
+      | `Lumped -> Delays.lumped
+      | `Rc -> Delays.rc ()
+    in
+    let overrides = Hashtbl.create 16 in
+    List.iter
+      (fun (name, entry) -> Hashtbl.replace overrides name entry)
+      state.sp_overrides;
+    if Hb_util.Log.on Hb_util.Log.Info then
+      Hb_util.Log.info "session.of_snapshot"
+        [ ("path", Hb_util.Log.String path);
+          ("design",
+           Hb_util.Log.String
+             state.sp_ctx.Context.design.Hb_netlist.Design.design_name);
+          ("warm", Hb_util.Log.Bool (state.sp_analysed <> None)) ];
+    { ctx = state.sp_ctx;
+      base_delays;
+      delays = override_provider overrides base_delays;
+      overrides;
+      baseline = state.sp_baseline;
+      pending_preprocess = (0.0, 0.0);
+      analysed = state.sp_analysed;
+      constraints_cache = state.sp_constraints;
+      hold_cache = state.sp_hold;
+      closed = false;
+    }
+
+let of_snapshot_r ~path = Error.wrap (fun () -> of_snapshot ~path)
 
 let close ?(shutdown_pool = false) t =
   if not t.closed then begin

@@ -12,43 +12,48 @@
     mutate-then-query cycle costs one targeted cluster refresh instead
     of a full preprocess.
 
-    {2 Mutators and queries}
+    {2 Edits and queries}
 
-    Mutators ({!set_delay}, {!scale_delay}, {!annotate}, {!set_offset})
-    edit timing data in place: delay edits re-evaluate only the arcs of
-    the touched instances and invalidate only the clusters carrying
-    them; offset edits bump the owning element's version. Queries
-    ({!analyse}, {!worst_paths}, {!constraints}, {!hold}) share one
-    cached Algorithm 1 state — repeated queries without intervening
-    mutations are served from cache, and after a mutation the next query
-    re-runs analysis through the dirty-cluster path, re-evaluating only
-    what the edit disturbed.
+    All mutation goes through {!apply}: a batch of typed {!Edit.t}
+    commands, validated as a whole and applied atomically. Delay edits
+    re-evaluate only the arcs of the touched instances and invalidate
+    only the clusters carrying them; offset edits bump the owning
+    element's version; structural ECO commands (buffer insertion, gate
+    resizing/removal, net rewiring) swap in the edited design and
+    rebuild only the clusters they touch, carrying every other
+    cluster's graph, plan, cached slacks and timing macro across
+    unchanged. Queries ({!analyse_r}, {!worst_paths_r},
+    {!constraints_r}, {!hold_r}) share one cached Algorithm 1 state —
+    repeated queries without intervening edits are served from cache,
+    and after an edit the next query re-runs analysis through the
+    dirty-cluster path, re-evaluating only what the edit disturbed.
 
     Every analysis starts from the session's {e baseline} offsets (the
-    design's initial offsets, plus any {!set_offset} edits), so a
+    design's initial offsets, plus any [Set_offset] edits), so a
     session query returns bit-for-bit the report a fresh
     {!Engine.analyse} would produce on the equivalently edited design —
-    the parity the test-suite asserts.
+    the parity the test-suite asserts, for structural edits too.
 
     {2 Errors}
 
-    Entry points ending in [_r] return [(_, Error.t) result] and raise
-    nothing the classifier knows about; the plain forms are thin
-    wrappers that raise {!Error.Error}. Exceptions thrown mid-analysis
-    (including {!Hb_util.Timeout.Timeout}) leave the session usable: the
-    slack cache is dropped and offsets restored before the exception
+    The [_r] forms are the primary API: they return
+    [(_, Error.t) result] and raise nothing the classifier knows
+    about. The plain forms are thin wrappers that raise
+    {!Error.Error}. Exceptions thrown mid-analysis (including
+    {!Hb_util.Timeout.Timeout}) leave the session usable: the slack
+    cache is dropped and offsets restored before the exception
     propagates.
 
     {2 Telemetry}
 
     Sessions feed the [session.*] counters: [session.analyses] (actual
     Algorithm 1 runs), [session.report_reuses] (queries served from the
-    cached analysis), [session.mutations] (delay/offset edits). *)
+    cached analysis), [session.mutations] (applied edit batches). *)
 
 (** Per-phase cost on both clocks; see {!Engine.timings}. In a session
     the preprocess cost is paid at {!create} and charged to the first
     {!analyse} report; later reports show 0 unless {!update_design}
-    re-preprocessed. *)
+    re-preprocessed. Sessions restored from a snapshot report 0. *)
 type timings = {
   preprocess_seconds : float;
   analysis_seconds : float;
@@ -71,19 +76,12 @@ type report = {
 
 type t
 
-(** [create ~design ~system ?config ?delays ()] preprocesses the design
-    (element table, clusters, pass plans) and returns the live handle.
-    [delays] is the {e base} provider; the session wraps it so later
-    delay overrides apply on top, exactly as {!Annotation.apply} would.
-    Honours [config.telemetry] the same way {!Engine.analyse} does. *)
-val create :
-  design:Hb_netlist.Design.t ->
-  system:Hb_clock.System.t ->
-  ?config:Config.t ->
-  ?delays:Delays.t ->
-  unit ->
-  t
-
+(** [create_r ~design ~system ?config ?delays ()] preprocesses the
+    design (element table, clusters, pass plans) and returns the live
+    handle. [delays] is the {e base} provider; the session wraps it so
+    later delay overrides apply on top, exactly as {!Annotation.apply}
+    would. Honours [config.telemetry] the same way {!Engine.analyse}
+    does. *)
 val create_r :
   design:Hb_netlist.Design.t ->
   system:Hb_clock.System.t ->
@@ -92,76 +90,118 @@ val create_r :
   unit ->
   (t, Error.t) result
 
-(** The live context. Mutators may swap it ({!update_design}); don't
-    cache it across session calls. *)
+(** Exception form of {!create_r}. *)
+val create :
+  design:Hb_netlist.Design.t ->
+  system:Hb_clock.System.t ->
+  ?config:Config.t ->
+  ?delays:Delays.t ->
+  unit ->
+  t
+
+(** The live context. Edits may swap it ({!apply} with structural
+    commands, {!update_design}); don't cache it across session calls. *)
 val context : t -> Context.t
 
-(** {2 Mutators} *)
+(** {2 Edits}
 
-(** [set_delay t ~instance ~rise ~fall] pins every timing arc of
-    [instance] to exactly these delays (an [Annotation.Fixed] override).
-    Only the clusters carrying the instance's arcs are re-evaluated and
-    invalidated. Raises {!Error.Error} ([Invalid _]) on an unknown
-    instance name or negative delay. *)
-val set_delay : t -> instance:string -> rise:float -> fall:float -> unit
+    {!apply_r} is the one mutation entry point. A batch is validated
+    command by command against a scratch copy of the design — later
+    commands see the effects of earlier ones — and nothing touches the
+    session until the whole batch has passed, so a rejected batch is a
+    true no-op. Structural commands are refused when they would touch a
+    control cone (clock trees and enable logic must keep their arrival
+    times) or close a combinational cycle. *)
 
-(** [scale_delay t ~instance ~factor] multiplies the base provider's
-    delays for [instance] by [factor] (an [Annotation.Scaled] override,
-    replacing any previous override for the instance). *)
-val scale_delay : t -> instance:string -> factor:float -> unit
+(** What an applied batch did. *)
+type apply_result = {
+  applied : int;       (** commands in the batch *)
+  structural : int;    (** of which structural ECO commands *)
+  clusters_rebuilt : int;
+      (** clusters re-extracted from scratch by the structural commit;
+          every other cluster carried its graph, plan, cached slack
+          rows and timing macro across unchanged *)
+  clusters_invalidated : int;
+      (** clusters whose cached results were dropped by delay
+          overrides *)
+}
 
-(** [annotate t annotation] folds a parsed [.hbd] annotation into the
-    override table (first entry per instance wins within the annotation,
-    matching {!Annotation.apply}; the batch replaces previous session
-    overrides for the instances it names). Returns the annotated names
-    not present in the design, which are skipped — {!Annotation.unused}
-    semantics. *)
-val annotate : t -> Annotation.t -> string list
+(** Why a batch was rejected. [failed_index] names the offending
+    command (0-based) when the failure is attributable to one. *)
+type apply_error = {
+  failed_index : int option;
+  error : Error.t;
+}
 
-(** [set_offset t ~element offset] writes element [element]'s free
-    offset (clamped to its legal interval, like
-    [Hb_sync.Element.set_o_dz]) and records it in the session baseline,
-    so every later analysis starts from it. Boundary elements are
-    unaffected. Raises {!Error.Error} ([Invalid _]) when [element] is
-    out of range. *)
-val set_offset : t -> element:int -> Hb_util.Time.t -> unit
+val apply_r : t -> Edit.t list -> (apply_result, apply_error) result
+
+(** Exception form of {!apply_r}: raises {!Error.Error} with the
+    command index folded into the message. *)
+val apply : t -> Edit.t list -> apply_result
 
 (** [update_design t ~design] re-targets the session at a topologically
     identical design (see {!Context.update_design}); overrides and
     telemetry survive, the baseline is re-seeded from the new design's
-    initial offsets and every cached query is dropped. *)
+    initial offsets and every cached query is dropped. The whole-design
+    fallback for changes {!apply} cannot express. *)
 val update_design : t -> design:Hb_netlist.Design.t -> unit
 
 (** [invalidate t] drops every cached query result and the slack cache —
     the escape hatch for timing data changed behind the session's back. *)
 val invalidate : t -> unit
 
+(** {2 Legacy mutators}
+
+    One-command wrappers over {!apply}, kept for source compatibility. *)
+
+val set_delay : t -> instance:string -> rise:float -> fall:float -> unit
+[@@alert deprecated "use Session.apply with Edit.Set_delay"]
+
+val scale_delay : t -> instance:string -> factor:float -> unit
+[@@alert deprecated "use Session.apply with Edit.Scale_delay"]
+
+(** Returns the annotated names not present in the design, which are
+    skipped — {!Annotation.unused} semantics. *)
+val annotate : t -> Annotation.t -> string list
+[@@alert deprecated "use Session.apply with Edit.Annotate"]
+
+val set_offset : t -> element:int -> Hb_util.Time.t -> unit
+[@@alert deprecated "use Session.apply with Edit.Set_offset"]
+
 (** {2 Queries} *)
 
-(** [analyse ?generate_constraints ?check_hold t] returns the same
+(** [analyse_r ?generate_constraints ?check_hold t] returns the same
     report {!Engine.analyse} would: Algorithm 1 (cached across calls),
     optionally Algorithm 2 (offsets snapshotted around it) and the hold
-    checks. Repeated calls without intervening mutations reuse every
+    checks. Repeated calls without intervening edits reuse every
     cached phase. *)
-val analyse : ?generate_constraints:bool -> ?check_hold:bool -> t -> report
-
 val analyse_r :
   ?generate_constraints:bool ->
   ?check_hold:bool ->
   t ->
   (report, Error.t) result
 
-(** [worst_paths t ~limit] traces the [limit] worst slack paths of the
-    current analysis (running it if needed). *)
-val worst_paths : t -> limit:int -> Paths.path list
+(** Exception form of {!analyse_r}. *)
+val analyse : ?generate_constraints:bool -> ?check_hold:bool -> t -> report
 
+(** [worst_paths_r t ~limit] traces the [limit] worst slack paths of
+    the current analysis (running it if needed). *)
 val worst_paths_r : t -> limit:int -> (Paths.path list, Error.t) result
 
-(** [constraints t] returns Algorithm 2's constraint times (cached). *)
+(** Exception form of {!worst_paths_r}. *)
+val worst_paths : t -> limit:int -> Paths.path list
+
+(** [constraints_r t] returns Algorithm 2's constraint times (cached). *)
+val constraints_r : t -> (Algorithm2.constraint_times, Error.t) result
+
+(** Exception form of {!constraints_r}. *)
 val constraints : t -> Algorithm2.constraint_times
 
-(** [hold t] returns the supplementary minimum-delay check results
+(** [hold_r t] returns the supplementary minimum-delay check results
     (cached). *)
+val hold_r : t -> (Holdcheck.violation list, Error.t) result
+
+(** Exception form of {!hold_r}. *)
 val hold : t -> Holdcheck.violation list
 
 (** [is_cached ?constraints ?hold t] is [true] when a query needing the
@@ -174,6 +214,36 @@ val hold : t -> Holdcheck.violation list
     answer is advisory: a concurrent mutation can invalidate it, so the
     caller must re-check under the lock it chose. *)
 val is_cached : ?constraints:bool -> ?hold:bool -> t -> bool
+
+(** {2 Snapshots}
+
+    A snapshot is the marshalled session state — preprocessed context,
+    slack/macro caches, override table, baseline offsets and cached
+    query results — wrapped in {!Snapshot}'s self-checking frame.
+    Restoring one skips preprocessing entirely: a warm replica starts
+    answering queries bit-identically to the session that was saved,
+    at a small fraction of the cold-start cost. Snapshots are only
+    readable by the engine build that wrote them (the frame carries an
+    executable fingerprint), and only sessions on the [lumped] or
+    default [rc] delay providers can be saved — providers are closures,
+    rebuilt by name on restore. *)
+
+(** [save_snapshot_r t ~path] writes the session's state atomically to
+    [path]. Fails with [Error.Invalid] on a non-restorable delay
+    provider, [Error.Io] on filesystem trouble. *)
+val save_snapshot_r : t -> path:string -> (unit, Error.t) result
+
+(** Exception form of {!save_snapshot_r}. *)
+val save_snapshot : t -> path:string -> unit
+
+(** [of_snapshot_r ~path] restores a session from a snapshot file.
+    Fails with [Error.Invalid] on a corrupt, truncated,
+    version-mismatched or foreign-build snapshot (see
+    {!Snapshot.read}), [Error.Io] when the file cannot be read. *)
+val of_snapshot_r : path:string -> (t, Error.t) result
+
+(** Exception form of {!of_snapshot_r}. *)
+val of_snapshot : path:string -> t
 
 (** [close ?shutdown_pool t] releases the session's caches; further use
     raises {!Error.Error} ([Invalid _]). [shutdown_pool] (default

@@ -229,18 +229,21 @@ let check_session_parity params ~design ~system ~delays =
         (fun () ->
            for _ = 1 to params.mutations do
              let instance = Hb_util.Rng.choose rng names in
-             let entry =
+             let edit, entry =
                if Hb_util.Rng.bool rng then begin
                  let factor = 0.5 +. Hb_util.Rng.float rng 1.5 in
-                 Hb_sta.Session.scale_delay session ~instance ~factor;
-                 Hb_sta.Annotation.Scaled factor
+                 ( Hb_sta.Edit.Scale_delay { instance; factor },
+                   Hb_sta.Annotation.Scaled factor )
                end
                else begin
                  let rise = 0.05 +. Hb_util.Rng.float rng 1.95 in
                  let fall = 0.05 +. Hb_util.Rng.float rng 1.95 in
-                 Hb_sta.Session.set_delay session ~instance ~rise ~fall;
-                 Hb_sta.Annotation.Fixed { rise; fall }
+                 ( Hb_sta.Edit.Set_delay { instance; rise; fall },
+                   Hb_sta.Annotation.Fixed { rise; fall } )
                end
+             in
+             let _ : Hb_sta.Session.apply_result =
+               Hb_sta.Session.apply session [ edit ]
              in
              Hashtbl.replace finals instance entry;
              (* Query between mutations so the incremental invalidation
@@ -370,6 +373,141 @@ let check_reference ~delays (report : Hb_sta.Engine.report) =
            else None)
   end
 
+(* A session surviving a random structural ECO script (buffer insertion,
+   gate resizing, gate removal through [Session.apply]) vs a fresh
+   engine preprocessing the edited design from scratch. Candidate edits
+   are speculative: the ones the session rejects (control cones, nets
+   without a combinational driver, incompatible cells, tombstoned
+   targets...) must leave it untouched, so a buggy rejection path also
+   shows up as a final divergence. The flat-graph oracle then re-checks
+   the edited design from first principles — see [check_reference]. *)
+let check_structural_parity params ~design ~system ~delays =
+  let library = Hb_cell.Library.default () in
+  let comb_cells =
+    List.filter
+      (fun (c : Hb_cell.Cell.t) -> Hb_cell.Kind.is_comb c.Hb_cell.Cell.kind)
+      (Hb_cell.Library.cells library)
+  in
+  let buffers =
+    Array.of_list
+      (List.filter
+         (fun c ->
+            match
+              ( Hb_cell.Cell.input_pins c,
+                Hb_cell.Cell.output_pins c,
+                Hb_cell.Cell.control_pins c )
+            with
+            | [ _ ], [ _ ], [] -> true
+            | _ -> false)
+         comb_cells)
+  in
+  (* Resize candidates, grouped by exact pin signature so every generated
+     [Resize_gate] is pin-compatible by construction. *)
+  let signature (c : Hb_cell.Cell.t) =
+    List.sort compare
+      (List.map
+         (fun (p : Hb_cell.Cell.pin) -> (p.Hb_cell.Cell.pin_name, p.Hb_cell.Cell.role))
+         c.Hb_cell.Cell.pins)
+  in
+  let by_signature = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+       let key = signature c in
+       Hashtbl.replace by_signature key
+         (c :: Option.value ~default:[] (Hashtbl.find_opt by_signature key)))
+    comb_cells;
+  if Array.length (comb_instance_names design) = 0 || Array.length buffers = 0
+  then None
+  else begin
+    let rng = labelled_rng params "structural" in
+    let session =
+      Hb_sta.Session.create ~design ~system ~config:Hb_sta.Config.default
+        ~delays ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Hb_sta.Session.close session)
+      (fun () ->
+         let random_buffer current =
+           let net =
+             Hb_netlist.Design.net current
+               (Hb_util.Rng.int rng (Hb_netlist.Design.net_count current))
+           in
+           Hb_sta.Edit.Insert_buffer
+             { net = net.Hb_netlist.Design.net_name;
+               cell = Hb_util.Rng.choose rng buffers;
+               inst_name = None;
+               net_name = None;
+             }
+         in
+         let random_comb current =
+           match Array.of_list (Hb_netlist.Design.comb_instances current) with
+           | [||] -> None
+           | insts ->
+             Some (Hb_netlist.Design.instance current
+                     (Hb_util.Rng.choose rng insts))
+         in
+         for _ = 1 to params.mutations do
+           let current =
+             (Hb_sta.Session.context session).Hb_sta.Context.design
+           in
+           let edit =
+             match Hb_util.Rng.int rng 3 with
+             | 0 -> random_buffer current
+             | 1 ->
+               (match random_comb current with
+                | None -> random_buffer current
+                | Some inst ->
+                  let replacements =
+                    List.filter
+                      (fun (c : Hb_cell.Cell.t) ->
+                         c.Hb_cell.Cell.name
+                         <> inst.Hb_netlist.Design.cell.Hb_cell.Cell.name)
+                      (Option.value ~default:[]
+                         (Hashtbl.find_opt by_signature
+                            (signature inst.Hb_netlist.Design.cell)))
+                  in
+                  (match replacements with
+                   | [] -> random_buffer current
+                   | _ :: _ ->
+                     Hb_sta.Edit.Resize_gate
+                       { instance = inst.Hb_netlist.Design.inst_name;
+                         cell =
+                           Hb_util.Rng.choose rng (Array.of_list replacements);
+                       }))
+             | _ ->
+               (match random_comb current with
+                | None -> random_buffer current
+                | Some inst ->
+                  Hb_sta.Edit.Remove_gate
+                    { instance = inst.Hb_netlist.Design.inst_name })
+           in
+           match Hb_sta.Session.apply_r session [ edit ] with
+           | Error _ -> ()
+           | Ok _ ->
+             (* Query between edits so every step exercises the carried
+                caches, not just the last one. *)
+             ignore
+               (Hb_sta.Session.analyse ~generate_constraints:false
+                  ~check_hold:false session)
+         done;
+         let final =
+           Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
+             session
+         in
+         let edited =
+           (Hb_sta.Session.context session).Hb_sta.Context.design
+         in
+         let fresh =
+           analyse ~design:edited ~system ~config:Hb_sta.Config.default ~delays
+         in
+         match
+           diff_outcomes "structural-session-vs-fresh"
+             final.Hb_sta.Engine.outcome fresh.Hb_sta.Engine.outcome
+         with
+         | Some _ as d -> d
+         | None -> check_reference ~delays fresh)
+  end
+
 (* Targeted invalidation after an in-place delay edit vs a forced full
    recompute. [inject] drops one touched cluster from the invalidation
    set — the off-by-one this check exists to catch. *)
@@ -429,6 +567,8 @@ let run_seed ?(inject = false) seed =
   record "engine-parity" engine_diff;
   record "macro-parity" (check_macro_parity ~design ~system ~delays flat);
   record "session-parity" (check_session_parity params ~design ~system ~delays);
+  record "structural-parity"
+    (check_structural_parity params ~design ~system ~delays);
   record "path-parity" (check_path_parity flat);
   record "reference" (check_reference ~delays flat);
   (* Last: it rewrites the context's arc tables in place. *)

@@ -46,6 +46,30 @@ let status_string = function
   | Hb_sta.Algorithm1.Meets_timing -> "meets_timing"
   | Hb_sta.Algorithm1.Slow_paths -> "slow_paths"
 
+(* The measurement shared by both entry points: everything an
+   expectation records that can be read off a finished report. *)
+let of_report ~name ~path_limit ~qor (report : Hb_sta.Engine.report) =
+  let design = report.Hb_sta.Engine.context.Hb_sta.Context.design in
+  let outcome = report.Hb_sta.Engine.outcome in
+  let slacks = outcome.Hb_sta.Algorithm1.final in
+  let tns, slow_endpoints = qor_scalars slacks in
+  let paths =
+    Hb_sta.Paths.worst_paths report.Hb_sta.Engine.context slacks
+      ~limit:path_limit
+  in
+  { design = name;
+    instances = Hb_netlist.Design.instance_count design;
+    nets = Hb_netlist.Design.net_count design;
+    status = status_string outcome.Hb_sta.Algorithm1.status;
+    worst_slack = slacks.Hb_sta.Slacks.worst;
+    tns;
+    slow_endpoints;
+    hold_violations = List.length report.Hb_sta.Engine.hold_violations;
+    path_slacks =
+      List.map (fun (p : Hb_sta.Paths.path) -> p.Hb_sta.Paths.slack) paths;
+    qor;
+  }
+
 let measure ?(path_limit = 10) ?(qor_iterations = 5) name =
   match Catalog.find name with
   | None -> invalid_arg (Printf.sprintf "Golden.measure: unknown design %s" name)
@@ -54,13 +78,6 @@ let measure ?(path_limit = 10) ?(qor_iterations = 5) name =
     let report =
       Hb_sta.Engine.analyse ~design ~system ~generate_constraints:false
         ~check_hold:true ()
-    in
-    let outcome = report.Hb_sta.Engine.outcome in
-    let slacks = outcome.Hb_sta.Algorithm1.final in
-    let tns, slow_endpoints = qor_scalars slacks in
-    let paths =
-      Hb_sta.Paths.worst_paths report.Hb_sta.Engine.context slacks
-        ~limit:path_limit
     in
     let qor =
       if is_scale name then None
@@ -83,18 +100,19 @@ let measure ?(path_limit = 10) ?(qor_iterations = 5) name =
           }
       end
     in
-    { design = name;
-      instances = Hb_netlist.Design.instance_count design;
-      nets = Hb_netlist.Design.net_count design;
-      status = status_string outcome.Hb_sta.Algorithm1.status;
-      worst_slack = slacks.Hb_sta.Slacks.worst;
-      tns;
-      slow_endpoints;
-      hold_violations = List.length report.Hb_sta.Engine.hold_violations;
-      path_slacks =
-        List.map (fun (p : Hb_sta.Paths.path) -> p.Hb_sta.Paths.slack) paths;
-      qor;
-    }
+    of_report ~name ~path_limit ~qor report
+
+(* Corpus measurement against a live session — the warm-start check: a
+   session restored from a snapshot must reproduce the corpus entry of
+   the design it was saved from, bit for bit. No QoR journal: the
+   resynthesis loop builds its own sessions, which would measure the
+   optimiser, not the restored state. Compare against the stored
+   expectation with its [qor] stripped. *)
+let measure_restored ?(path_limit = 10) ~name session =
+  let report =
+    Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:true session
+  in
+  of_report ~name ~path_limit ~qor:None report
 
 (* ------------------------------------------------------------------ *)
 (* Bit-exact float JSON round trip                                    *)

@@ -51,6 +51,15 @@ val default_designs : string list
     @raise Invalid_argument on an unknown design name. *)
 val measure : ?path_limit:int -> ?qor_iterations:int -> string -> expectation
 
+(** [measure_restored ?path_limit ~name session] collects the
+    expectation the live [session] produces — the warm-start check: a
+    session restored from a snapshot must reproduce the corpus entry of
+    the design it was saved from bit for bit. The result carries no QoR
+    journal (the optimiser builds its own sessions), so compare against
+    the stored expectation with its [qor] stripped. *)
+val measure_restored :
+  ?path_limit:int -> name:string -> Hb_sta.Session.t -> expectation
+
 (** [diff ~expected ~actual] lists human-readable mismatches, empty when
     the two agree bit-for-bit (floats compared by [Float.compare]). *)
 val diff : expected:expectation -> actual:expectation -> string list

@@ -172,7 +172,10 @@ let test_invalidation_granularity () =
   (* A single-instance delay edit rebuilds exactly the touched cluster's
      macro. *)
   let _, instance = arc_instance (Hb_sta.Session.context session) in
-  Hb_sta.Session.scale_delay session ~instance ~factor:1.05;
+  let _ : Hb_sta.Session.apply_result =
+    Hb_sta.Session.apply session
+      [ Hb_sta.Edit.Scale_delay { instance; factor = 1.05 } ]
+  in
   ignore
     (Hb_sta.Session.analyse ~generate_constraints:false ~check_hold:false
        session
