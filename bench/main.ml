@@ -1822,6 +1822,186 @@ let serve_load_bench ?(smoke = false) () =
          (clients - 1) shared)
 
 (* ------------------------------------------------------------------ *)
+(* O1: telemetry plane — windowed p99 + SLO burn under heavy load     *)
+(* ------------------------------------------------------------------ *)
+
+let monitor_bench ?(smoke = false) () =
+  section "O1: monitor — windowed p99 under 128 zero-think streams";
+  let streams = 128 in
+  let requests = if smoke then 15 else 50 in
+  let p99_budget_ms = 250.0 in
+  let error_budget = 0.01 in
+  Printf.printf
+    "%d zero-think streams of cached constraints reads against one\n\
+     shared scale10k session; client-observed latency (queue wait +\n\
+     service) feeds a rolling window, exactly what `serve --monitor`\n\
+     exports. Gate: windowed p99 <= %.0f ms and error rate <= %.2f\n\
+     (burn <= 1.0 on both axes).\n\n"
+    streams p99_budget_ms error_budget;
+  Hb_util.Telemetry.reset ();
+  Hb_util.Telemetry.set_enabled true;
+  let daemon =
+    Hb_sta.Serve.create
+      ~generators:[ ("scale10k", fun () -> Hb_workload.Scale.scale10k ()) ]
+      ()
+  in
+  let workers = Stdlib.min 4 (Hb_util.Pool.recommended_jobs ()) in
+  let sched =
+    Hb_sta.Serve.start_scheduler daemon ~workers
+      ~queue_capacity:(2 * streams)
+  in
+  let seq = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let rpc client ~meth params =
+    let id = Atomic.fetch_and_add seq 1 + 1 in
+    let fields =
+      [ ("id", Hb_util.Json.Number (float_of_int id));
+        ("method", Hb_util.Json.String meth) ]
+      @ match params with [] -> [] | p -> [ ("params", Hb_util.Json.Obj p) ]
+    in
+    let reply =
+      Hb_sta.Serve.submit sched client
+        (Hb_util.Json.to_string (Hb_util.Json.Obj fields))
+    in
+    match Hb_util.Json.parse reply with
+    | Hb_util.Json.Obj obj ->
+      (match List.assoc_opt "status" obj with
+       | Some (Hb_util.Json.String "ok") -> obj
+       | _ -> failwith (Printf.sprintf "O1: %s failed: %s" meth reply))
+    | _ -> failwith (Printf.sprintf "O1: unparseable reply: %s" reply)
+  in
+  let guarded f () =
+    try f () with
+    | e ->
+      Atomic.incr errors;
+      Printf.eprintf "O1: stream failed: %s\n%!" (Printexc.to_string e)
+  in
+  let load client =
+    ignore
+      (rpc client ~meth:"load"
+         [ ("generator", Hb_util.Json.String "scale10k") ])
+  in
+  let cached_read client = ignore (rpc client ~meth:"constraints" []) in
+  (* Warm before attaching the SLO tracker: the first load pays scale10k
+     preprocessing (hundreds of ms) and must not land in the window the
+     gate reads — operators attach budgets to steady state, not boot. *)
+  let handles = Array.init streams (fun _ -> Hb_sta.Serve.client daemon) in
+  load handles.(0);
+  cached_read handles.(0);
+  for i = 1 to streams - 1 do
+    load handles.(i)
+  done;
+  let slo =
+    Hb_sta.Serve.Slo.create ~p99_budget_ms ~error_budget ~slots:16
+      ~slot_seconds:0.25 ()
+  in
+  Hb_sta.Serve.attach_slo daemon slo;
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.map
+      (fun h ->
+         Thread.create
+           (guarded (fun () ->
+                for _ = 1 to requests do
+                  cached_read h
+                done))
+           ())
+      handles
+  in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if Atomic.get errors > 0 then failwith "O1: a load stream failed";
+  let status = Hb_sta.Serve.Slo.tick slo in
+  (* Queue wait p99 from the histogram the per-request phase split
+     feeds; any measurable load through a bounded queue must have
+     recorded waits, so an empty histogram means the split is broken. *)
+  let queue_p99_ms =
+    let snap =
+      Hb_util.Telemetry.read_histogram
+        (Hb_util.Telemetry.histogram "serve.queue_wait_seconds")
+    in
+    if snap.Hb_util.Telemetry.total = 0 then
+      failwith "O1: serve.queue_wait_seconds recorded nothing under load";
+    match
+      Hb_util.Telemetry.quantile
+        ~bounds:snap.Hb_util.Telemetry.upper_bounds
+        ~counts:snap.Hb_util.Telemetry.bucket_counts 0.99
+    with
+    | Some s -> s *. 1000.0
+    | None -> 0.0
+  in
+  let total_requests = streams * requests in
+  let rps = float_of_int total_requests /. Stdlib.max 1e-9 wall_s in
+  Array.iter (fun h -> Hb_sta.Serve.release_client daemon h) handles;
+  Hb_sta.Serve.stop_scheduler sched;
+  Hb_sta.Serve.shutdown_sessions daemon;
+  Hb_util.Telemetry.set_enabled false;
+  Hb_util.Telemetry.reset ();
+  let fopt = function
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "-"
+  in
+  Hb_util.Table.print
+    ~header:[ "metric"; "value" ]
+    ~align:Hb_util.Table.[ Left; Right ]
+    [ [ "streams x requests";
+        Printf.sprintf "%d x %d" streams requests ];
+      [ "workers"; string_of_int workers ];
+      [ "wall s"; Printf.sprintf "%.4f" wall_s ];
+      [ "req/s"; Printf.sprintf "%.0f" rps ];
+      [ "window observations";
+        string_of_int status.Hb_sta.Serve.Slo.observations ];
+      [ "windowed p50 ms"; fopt status.Hb_sta.Serve.Slo.p50_ms ];
+      [ "windowed p99 ms"; fopt status.Hb_sta.Serve.Slo.p99_ms ];
+      [ "queue wait p99 ms"; Printf.sprintf "%.3f" queue_p99_ms ];
+      [ "error rate"; fopt status.Hb_sta.Serve.Slo.error_rate ];
+      [ "p99 burn"; fopt status.Hb_sta.Serve.Slo.p99_burn ];
+      [ "error burn"; fopt status.Hb_sta.Serve.Slo.error_burn ] ];
+  let jopt = function
+    | Some v -> Printf.sprintf "%.4f" v
+    | None -> "null"
+  in
+  let out = Buffer.create 1024 in
+  Printf.bprintf out
+    "{\n  \"benchmark\": \"monitor\",\n  \"design\": \"scale10k\",\n  \
+     \"streams\": %d,\n  \"requests_per_stream\": %d,\n  \
+     \"workers\": %d,\n  \"wall_s\": %.4f,\n  \"rps\": %.2f,\n  \
+     \"window_observations\": %d,\n  \"p50_ms\": %s,\n  \
+     \"p99_ms\": %s,\n  \"queue_wait_p99_ms\": %.4f,\n  \
+     \"error_rate\": %s,\n  \"p99_budget_ms\": %.1f,\n  \
+     \"error_budget\": %.3f,\n  \"p99_burn\": %s,\n  \
+     \"error_burn\": %s,\n  \"breached\": %b\n}\n"
+    streams requests workers wall_s rps
+    status.Hb_sta.Serve.Slo.observations
+    (jopt status.Hb_sta.Serve.Slo.p50_ms)
+    (jopt status.Hb_sta.Serve.Slo.p99_ms)
+    queue_p99_ms
+    (jopt status.Hb_sta.Serve.Slo.error_rate)
+    p99_budget_ms error_budget
+    (jopt status.Hb_sta.Serve.Slo.p99_burn)
+    (jopt status.Hb_sta.Serve.Slo.error_burn)
+    status.Hb_sta.Serve.Slo.breached;
+  write_file_atomic "BENCH_monitor.json" (Buffer.contents out);
+  Printf.printf "\nwrote BENCH_monitor.json\n";
+  (* The acceptance bar: the SLO gate itself. A breach here is a real
+     regression in queue discipline or the cached-read fast path. *)
+  if status.Hb_sta.Serve.Slo.observations < total_requests then
+    failwith
+      (Printf.sprintf
+         "O1: window saw %d of %d requests — the rolling window dropped \
+          live observations"
+         status.Hb_sta.Serve.Slo.observations total_requests);
+  if status.Hb_sta.Serve.Slo.breached then
+    failwith
+      (Printf.sprintf
+         "O1: SLO breached — windowed p99 %s ms (budget %.0f), error rate \
+          %s (budget %.2f)"
+         (fopt status.Hb_sta.Serve.Slo.p99_ms)
+         p99_budget_ms
+         (fopt status.Hb_sta.Serve.Slo.error_rate)
+         error_budget)
+
+(* ------------------------------------------------------------------ *)
 (* Socket load client (CI smoke): connect N clients to a running      *)
 (* `hummingbird serve --socket` daemon and drive real traffic.        *)
 (* ------------------------------------------------------------------ *)
@@ -2064,6 +2244,7 @@ let () =
     snapshot_bench ~smoke:true ();
     scale_bench ~smoke:true ();
     serve_load_bench ~smoke:true ();
+    monitor_bench ~smoke:true ();
     fuzz_bench ~smoke:true ();
     print_newline ()
   end
@@ -2088,6 +2269,7 @@ let () =
     snapshot_bench ();
     scale_bench ();
     serve_load_bench ();
+    monitor_bench ();
     fuzz_bench ();
     bechamel_suite ();
     print_newline ()

@@ -654,9 +654,15 @@ let corners_cmd =
 let serve_cmd =
   let run timeout socket telemetry trace prometheus metrics_file flight_file
       log_level log_file timing backlog max_clients workers queue max_sessions
-      memory_budget =
+      memory_budget monitor slo_p99_ms slo_error_rate metrics_interval =
     handle_errors (fun () ->
         setup_logging log_level log_file;
+        (match metrics_interval with
+         | Some i when i <= 0.0 ->
+           failwith "--metrics-interval must be positive"
+         | Some _ when metrics_file = None ->
+           failwith "--metrics-interval requires --metrics-file PATH"
+         | _ -> ());
         (* Daemon knobs: flag > .hbt serve-* key > built-in default. The
            --timing file configures the daemon only; each load request
            still names its own timing spec. *)
@@ -686,6 +692,8 @@ let serve_cmd =
         (* Spans for --trace and observations for the metrics outputs
            both need the registry recording. *)
         if telemetry || trace <> None || prometheus || metrics_file <> None
+           || monitor <> None || slo_p99_ms <> None || slo_error_rate <> None
+           || metrics_interval <> None
         then begin
           Hb_util.Telemetry.set_enabled true;
           Hb_util.Telemetry.reset ()
@@ -728,6 +736,65 @@ let serve_cmd =
           end
         in
         at_exit dump_outputs;
+        (* Telemetry plane: an SLO tracker whenever any monitoring flag
+           is given (so the windowed gauges exist even without explicit
+           budgets), and an HTTP listener started per serve mode — the
+           socket mode passes its scheduler so /readyz can report queue
+           saturation. *)
+        let slo =
+          if
+            monitor <> None || slo_p99_ms <> None || slo_error_rate <> None
+            || metrics_interval <> None
+          then begin
+            let slo =
+              Hb_sta.Serve.Slo.create ?p99_budget_ms:slo_p99_ms
+                ?error_budget:slo_error_rate ()
+            in
+            Hb_sta.Serve.attach_slo daemon slo;
+            Some slo
+          end
+          else None
+        in
+        let monitor_server = ref None in
+        let start_monitor ?scheduler () =
+          match monitor with
+          | None -> ()
+          | Some port ->
+            let m = Hb_sta.Monitor.start ~port ?scheduler ?slo daemon in
+            Hb_util.Log.info "serve.monitor"
+              [ ("port", Hb_util.Log.Int (Hb_sta.Monitor.port m)) ];
+            monitor_server := Some m
+        in
+        let stop_monitor () =
+          match !monitor_server with
+          | Some m ->
+            monitor_server := None;
+            Hb_sta.Monitor.stop m
+          | None -> ()
+        in
+        (* Periodic metrics snapshots for file-based collectors; each
+           rewrite is atomic, so a scraper tailing the path never reads
+           a torn exposition. The loop ends once the exit dump ran. *)
+        (match (metrics_interval, metrics_file) with
+         | Some interval, Some path ->
+           let rec dump_loop () =
+             Thread.delay interval;
+             if not !dumped then begin
+               (match slo with
+                | Some slo ->
+                  ignore (Hb_sta.Serve.Slo.tick slo : Hb_sta.Serve.Slo.status)
+                | None -> ());
+               Hb_util.Telemetry.sample_runtime ();
+               (try
+                  write_file_atomic path
+                    (Hb_util.Telemetry.prometheus
+                       (Hb_util.Telemetry.snapshot ()))
+                with Sys_error _ -> ());
+               dump_loop ()
+             end
+           in
+           ignore (Thread.create dump_loop () : Thread.t)
+         | _ -> ());
         (* SIGUSR1: flight-recorder dump on demand, without stopping. *)
         (try
            Sys.set_signal Sys.sigusr1
@@ -745,6 +812,7 @@ let serve_cmd =
               Sys.set_signal Sys.sigterm
                 (Sys.Signal_handle (fun _ -> exit 143))
             with Invalid_argument _ | Sys_error _ -> ());
+           start_monitor ();
            Hb_sta.Serve.run daemon stdin stdout
          | Some path ->
            (* A broken client pipe must be an error reply path, not a
@@ -764,6 +832,7 @@ let serve_cmd =
            let sched =
              Hb_sta.Serve.start_scheduler daemon ~workers ~queue_capacity:queue
            in
+           start_monitor ~scheduler:sched ();
            (* Connection table: live client fds (so shutdown can unblock
               idle readers) and reader threads (so teardown can join
               them). The acceptor wake is a once-only shutdown of the
@@ -877,6 +946,7 @@ let serve_cmd =
            Hb_sta.Serve.shutdown_sessions daemon;
            (try Unix.close sock with Unix.Unix_error _ -> ());
            (try Unix.unlink path with Unix.Unix_error _ -> ()));
+        stop_monitor ();
         dump_outputs ())
   in
   let timeout_arg =
@@ -978,6 +1048,39 @@ let serve_cmd =
                  events) to $(docv) after every error reply and on \
                  SIGUSR1 (without it, SIGUSR1 dumps to stderr).")
   in
+  let monitor_arg =
+    Arg.(value & opt (some int) None & info [ "monitor" ] ~docv:"PORT"
+           ~doc:"Serve the live telemetry plane over HTTP on \
+                 127.0.0.1:$(docv): $(b,/metrics) (Prometheus text \
+                 exposition, refreshed per scrape), $(b,/healthz), \
+                 $(b,/readyz) (503 while draining or queue-saturated), \
+                 $(b,/flight) and $(b,/buildinfo). Port 0 picks a free \
+                 port (logged as serve.monitor). Implies \
+                 $(b,--telemetry).")
+  in
+  let slo_p99_ms_arg =
+    Arg.(value & opt (some float) None & info [ "slo-p99-ms" ] ~docv:"MS"
+           ~doc:"Latency objective: windowed (last ~60s) p99 of \
+                 client-observed request latency, in milliseconds. Burn \
+                 rate (measured/budget) and breach state are exported as \
+                 hb_slo_* gauges and in $(b,metrics) replies. Implies \
+                 $(b,--telemetry).")
+  in
+  let slo_error_rate_arg =
+    Arg.(value & opt (some float) None & info [ "slo-error-rate" ] ~docv:"RATE"
+           ~doc:"Error-rate objective over the same rolling window, as a \
+                 fraction of requests (e.g. 0.01). Exported like \
+                 $(b,--slo-p99-ms). Implies $(b,--telemetry).")
+  in
+  let metrics_interval_arg =
+    Arg.(value & opt (some float) None
+         & info [ "metrics-interval" ] ~docv:"SECONDS"
+             ~doc:"Rewrite $(b,--metrics-file) atomically every $(docv) \
+                   seconds while serving (instead of only on exit), \
+                   refreshing the runtime gauges and SLO window first. \
+                   Requires $(b,--metrics-file). Implies \
+                   $(b,--telemetry).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -988,7 +1091,8 @@ let serve_cmd =
           $ prometheus_arg $ metrics_file_arg $ flight_file_arg
           $ log_level_arg $ log_file_arg $ serve_timing_arg $ backlog_arg
           $ max_clients_arg $ workers_arg $ queue_arg $ max_sessions_arg
-          $ memory_budget_arg)
+          $ memory_budget_arg $ monitor_arg $ slo_p99_ms_arg
+          $ slo_error_rate_arg $ metrics_interval_arg)
 
 (* ------------------------------------------------------------------ *)
 (* snapshot                                                           *)

@@ -4,13 +4,16 @@ module Telemetry = Hb_util.Telemetry
 module Rwlock = Hb_util.Rwlock
 module Squeue = Hb_util.Squeue
 
-(* One completed request, as kept in the flight-recorder ring. *)
+(* One completed request, as kept in the flight-recorder ring.
+   [rs_wall_ms] is the client-observed latency: scheduler queue wait
+   ([rs_queue_ms]) plus service time. *)
 type summary = {
   rs_ts : float;
   rs_id : string;       (* request id (client-supplied or generated) *)
   rs_method : string;
   rs_outcome : string;  (* "ok" or the error code *)
   rs_wall_ms : float;
+  rs_queue_ms : float;
   rs_cpu_ms : float;
 }
 
@@ -40,6 +43,128 @@ type client = {
   mutable c_entry : entry option;
 }
 
+let c_requests = Telemetry.counter "serve.requests"
+let c_errors = Telemetry.counter "serve.errors"
+let c_timeouts = Telemetry.counter "serve.timeouts"
+let c_rejected = Telemetry.counter "serve.rejected"
+let c_sessions_shared = Telemetry.counter "serve.sessions_shared"
+let c_session_evictions = Telemetry.counter "serve.session_evictions"
+let g_sessions = Telemetry.gauge "serve.sessions"
+let g_queue_depth = Telemetry.gauge "serve.queue_depth"
+let g_active_clients = Telemetry.gauge "serve.active_clients"
+
+(* Same interned counters the engine layers bump; before/after deltas
+   size the per-request work for the histograms below. *)
+let c_clusters_evaluated = Telemetry.counter "slacks.clusters_evaluated"
+
+(* Client-observed request latency: scheduler queue wait + service. *)
+let h_request_seconds = Telemetry.histogram "serve.request_seconds"
+
+(* The queue-wait share alone — the saturation signal. Only the
+   scheduler path feeds it (the stdin loop has no queue). *)
+let h_queue_wait_seconds = Telemetry.histogram "serve.queue_wait_seconds"
+
+let h_clusters =
+  Telemetry.histogram ~buckets:Telemetry.count_buckets
+    "serve.clusters_evaluated"
+
+let h_paths =
+  Telemetry.histogram ~buckets:Telemetry.count_buckets
+    "serve.paths_enumerated"
+
+(* --- the SLO tracker -------------------------------------------------- *)
+
+(* Windowed p50/p99 and error rate over [serve.request_seconds] and the
+   error/request counter pair, against optional budgets. Burn is the
+   windowed value divided by its budget — above 1.0 the objective is
+   being missed right now. [tick] refreshes the [slo.*] gauges, so the
+   burn status rides every Prometheus exposition for free. *)
+module Slo = struct
+  type t = {
+    s_p99_budget_ms : float option;
+    s_error_budget : float option;
+    s_window : Telemetry.window;
+  }
+
+  type status = {
+    window_seconds : float option;
+    observations : int;
+    p50_ms : float option;
+    p99_ms : float option;
+    error_rate : float option;
+    p99_budget_ms : float option;
+    error_budget : float option;
+    p99_burn : float option;
+    error_burn : float option;
+    breached : bool;
+  }
+
+  let g_window_p50 = Telemetry.gauge "slo.window_p50_ms"
+  let g_window_p99 = Telemetry.gauge "slo.window_p99_ms"
+  let g_window_error_rate = Telemetry.gauge "slo.window_error_rate"
+  let g_p99_burn = Telemetry.gauge "slo.p99_burn"
+  let g_error_burn = Telemetry.gauge "slo.error_burn"
+  let g_breached = Telemetry.gauge "slo.breached"
+
+  let create ?p99_budget_ms ?error_budget ?(slots = 60) ?(slot_seconds = 1.0)
+      () =
+    { s_p99_budget_ms = p99_budget_ms;
+      s_error_budget = error_budget;
+      s_window =
+        Telemetry.window ~slots ~slot_seconds ~ratio:(c_errors, c_requests)
+          h_request_seconds;
+    }
+
+  let status t =
+    let ms = Option.map (fun seconds -> seconds *. 1000.0) in
+    let p50_ms = ms (Telemetry.window_quantile t.s_window 0.50) in
+    let p99_ms = ms (Telemetry.window_quantile t.s_window 0.99) in
+    let error_rate = Telemetry.window_ratio t.s_window in
+    let burn value budget =
+      match value, budget with
+      | Some v, Some b when b > 0.0 -> Some (v /. b)
+      | _ -> None
+    in
+    let p99_burn = burn p99_ms t.s_p99_budget_ms in
+    let error_burn = burn error_rate t.s_error_budget in
+    let over = function Some b -> b > 1.0 | None -> false in
+    { window_seconds = Telemetry.window_span t.s_window;
+      observations = Telemetry.window_observations t.s_window;
+      p50_ms; p99_ms; error_rate;
+      p99_budget_ms = t.s_p99_budget_ms;
+      error_budget = t.s_error_budget;
+      p99_burn; error_burn;
+      breached = over p99_burn || over error_burn;
+    }
+
+  let tick t =
+    Telemetry.window_tick t.s_window;
+    let s = status t in
+    let set g = function Some v -> Telemetry.set_gauge g v | None -> () in
+    set g_window_p50 s.p50_ms;
+    set g_window_p99 s.p99_ms;
+    set g_window_error_rate s.error_rate;
+    set g_p99_burn s.p99_burn;
+    set g_error_burn s.error_burn;
+    Telemetry.set_gauge g_breached (if s.breached then 1.0 else 0.0);
+    s
+
+  let status_json s =
+    let opt = function Some v -> Json.Number v | None -> Json.Null in
+    Json.Obj
+      [ ("window_seconds", opt s.window_seconds);
+        ("observations", Json.Number (float_of_int s.observations));
+        ("p50_ms", opt s.p50_ms);
+        ("p99_ms", opt s.p99_ms);
+        ("error_rate", opt s.error_rate);
+        ("p99_budget_ms", opt s.p99_budget_ms);
+        ("error_budget", opt s.error_budget);
+        ("p99_burn", opt s.p99_burn);
+        ("error_burn", opt s.error_burn);
+        ("breached", Json.Bool s.breached);
+      ]
+end
+
 type t = {
   timeout_seconds : float;
   library : Hb_cell.Library.t;
@@ -65,31 +190,9 @@ type t = {
       (* > 1 scheduler domains: clamp per-session analysis pools to one
          job so deadline checks run on the guarded domain and no two
          requests race the shared pool's single job slot *)
+  mutable slo : Slo.t option;
+      (* attached tracker: [metrics] replies and scrapes tick it *)
 }
-
-let c_requests = Telemetry.counter "serve.requests"
-let c_errors = Telemetry.counter "serve.errors"
-let c_timeouts = Telemetry.counter "serve.timeouts"
-let c_rejected = Telemetry.counter "serve.rejected"
-let c_sessions_shared = Telemetry.counter "serve.sessions_shared"
-let c_session_evictions = Telemetry.counter "serve.session_evictions"
-let g_sessions = Telemetry.gauge "serve.sessions"
-let g_queue_depth = Telemetry.gauge "serve.queue_depth"
-let g_active_clients = Telemetry.gauge "serve.active_clients"
-
-(* Same interned counters the engine layers bump; before/after deltas
-   size the per-request work for the histograms below. *)
-let c_clusters_evaluated = Telemetry.counter "slacks.clusters_evaluated"
-
-let h_request_seconds = Telemetry.histogram "serve.request_seconds"
-
-let h_clusters =
-  Telemetry.histogram ~buckets:Telemetry.count_buckets
-    "serve.clusters_evaluated"
-
-let h_paths =
-  Telemetry.histogram ~buckets:Telemetry.count_buckets
-    "serve.paths_enumerated"
 
 (* Serve-layer failures that are not analysis errors: protocol problems
    get their own codes so clients can tell a bad request from a bad
@@ -149,7 +252,10 @@ let create ?(timeout_seconds = 0.0) ?library ?(prometheus = false) ?dump
     summary_next = 0;
     scheduler_attached = false;
     serialize_pool = false;
+    slo = None;
   }
+
+let attach_slo t slo = t.slo <- Some slo
 
 let finished t = Atomic.get t.stopping
 let request_stop t = Atomic.set t.stopping true
@@ -215,6 +321,8 @@ let json_of_summary s =
       ("method", Json.String s.rs_method);
       ("outcome", Json.String s.rs_outcome);
       ("wall_ms", Json.Number s.rs_wall_ms);
+      ("queue_ms", Json.Number s.rs_queue_ms);
+      ("service_ms", Json.Number (s.rs_wall_ms -. s.rs_queue_ms));
       ("cpu_ms", Json.Number s.rs_cpu_ms);
     ]
 
@@ -786,17 +894,28 @@ let handle_hold c =
     ]
 
 let handle_metrics t p =
+  (* A metrics request is a scrape: refresh what only moves on scrape —
+     the runtime gauges and the SLO window — before snapshotting, so
+     both expositions carry current values. *)
+  let slo_status = Option.map Slo.tick t.slo in
+  Telemetry.sample_runtime ();
   let snapshot = Telemetry.snapshot () in
   let format =
     match opt_text "format" p with
     | Some f -> f
     | None -> if t.prometheus then "prometheus" else "json"
   in
+  let slo_field =
+    match slo_status with
+    | None -> []
+    | Some s -> [ ("slo", Slo.status_json s) ]
+  in
   match format with
   | "prometheus" -> Json.String (Telemetry.prometheus snapshot)
   | "json" ->
     Json.Obj
-      [ ( "counters",
+      (slo_field
+       @ [ ( "counters",
           Json.Obj
             (List.map
                (fun (name, value) -> (name, Json.Number (float_of_int value)))
@@ -829,7 +948,7 @@ let handle_metrics t p =
                          Json.Number (float_of_int h.Telemetry.total) );
                      ] ))
                snapshot.Telemetry.histograms) );
-      ]
+         ])
   | other -> bad_request "unknown metrics format %S (json|prometheus)" other
 
 let handle_flight t = Json.parse (flight_json t)
@@ -901,7 +1020,7 @@ let error ~rid ~id ~code message =
 
 let next_rid t = Printf.sprintf "r%d" (Atomic.fetch_and_add t.rid_seq 1 + 1)
 
-let handle_line ?client t line =
+let handle_line ?client ?queue_wait_s t line =
   let client = Option.value ~default:t.default_client client in
   Telemetry.incr c_requests;
   let wall0 = Unix.gettimeofday () in
@@ -985,23 +1104,37 @@ let handle_line ?client t line =
             (* Unrecognised exceptions must not kill the daemon either. *)
             fail ~id ~code:"internal" (Printexc.to_string e)))
   in
-  let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  let service_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  let queue_ms =
+    match queue_wait_s with Some s -> s *. 1000.0 | None -> 0.0
+  in
+  (* What the client saw: its line sat in the scheduler queue before a
+     worker ever started the clock above. *)
+  let wall_ms = queue_ms +. service_ms in
   let cpu_ms = (Sys.time () -. cpu0) *. 1000.0 in
   if observing then begin
     Telemetry.observe h_request_seconds (wall_ms /. 1000.0);
+    (match queue_wait_s with
+     | Some s -> Telemetry.observe h_queue_wait_seconds s
+     | None -> ());
     let clusters =
       Telemetry.read_counter_local c_clusters_evaluated - clusters0
     in
     if clusters > 0 then
       Telemetry.observe h_clusters (float_of_int clusters)
   end;
-  (* The access log: one Info line per request, id first. *)
+  (* The access log: one Info line per request, id first. [wall_ms]
+     stays the headline (queue + service); the split beside it is what
+     makes saturation visible — under load a fast handler with a deep
+     queue shows small service_ms and growing queue_ms. *)
   if Log.on Log.Info then
     Log.info "serve.request"
       [ ("request_id", Log.String rid);
         ("method", Log.String !meth_seen);
         ("outcome", Log.String !outcome);
         ("wall_ms", Log.Float wall_ms);
+        ("queue_ms", Log.Float queue_ms);
+        ("service_ms", Log.Float service_ms);
         ("cpu_ms", Log.Float cpu_ms);
       ];
   push_summary t
@@ -1010,6 +1143,7 @@ let handle_line ?client t line =
       rs_method = !meth_seen;
       rs_outcome = !outcome;
       rs_wall_ms = wall_ms;
+      rs_queue_ms = queue_ms;
       rs_cpu_ms = cpu_ms;
     };
   (* Any structured error reply is a post-mortem trigger. *)
@@ -1050,6 +1184,7 @@ let reject_line t ~code ~message line =
       rs_method = meth;
       rs_outcome = code;
       rs_wall_ms = 0.0;
+      rs_queue_ms = 0.0;
       rs_cpu_ms = 0.0;
     };
   text
@@ -1059,6 +1194,7 @@ let reject_line t ~code ~message line =
 type job = {
   j_client : client;
   j_line : string;
+  j_enqueued_s : float;  (* when [submit] pushed it — queue wait = dequeue - this *)
   j_mutex : Mutex.t;
   j_cond : Condition.t;
   mutable j_reply : string option;
@@ -1085,11 +1221,14 @@ let worker_loop sched =
     | Some job ->
       Telemetry.set_gauge g_queue_depth
         (float_of_int (Squeue.length sched.s_queue));
+      let queue_wait_s =
+        Stdlib.max 0.0 (Unix.gettimeofday () -. job.j_enqueued_s)
+      in
       let reply =
         if Atomic.get t.stopping then
           reject_line t ~code:"shutting_down"
             ~message:"server is shutting down" job.j_line
-        else handle_line ~client:job.j_client t job.j_line
+        else handle_line ~client:job.j_client ~queue_wait_s t job.j_line
       in
       deliver job reply;
       loop ()
@@ -1123,6 +1262,7 @@ let submit sched client line =
     let job =
       { j_client = client;
         j_line = line;
+        j_enqueued_s = Unix.gettimeofday ();
         j_mutex = Mutex.create ();
         j_cond = Condition.create ();
         j_reply = None;
@@ -1151,6 +1291,31 @@ let stop_scheduler sched =
   Squeue.close sched.s_queue;
   List.iter Domain.join sched.s_domains;
   sched.s_domains <- []
+
+let queue_depth sched = Squeue.length sched.s_queue
+let queue_capacity sched = sched.s_capacity
+
+(* --- readiness -------------------------------------------------------- *)
+
+type readiness =
+  | Ready
+  | Draining  (* shutdown has begun; in-flight requests still finish *)
+  | Saturated of { depth : int; capacity : int }
+
+(* What a load balancer should ask before routing here: not draining,
+   and the scheduler queue below its admission bound (at the bound the
+   next request would be rejected [overloaded] anyway). Without a
+   scheduler (the stdin loop) there is no queue to saturate. *)
+let readiness ?scheduler t =
+  if Atomic.get t.stopping then Draining
+  else
+    match scheduler with
+    | None -> Ready
+    | Some sched ->
+      let depth = Squeue.length sched.s_queue in
+      if depth >= sched.s_capacity then
+        Saturated { depth; capacity = sched.s_capacity }
+      else Ready
 
 (* --- the single-channel loop ----------------------------------------- *)
 

@@ -88,9 +88,76 @@
     Telemetry: [serve.requests], [serve.errors], [serve.timeouts] and
     [serve.rejected] count the request stream; [serve.sessions],
     [serve.queue_depth] and [serve.active_clients] gauge the registry,
-    the scheduler queue and the connection layer. *)
+    the scheduler queue and the connection layer.
+
+    Latency accounting: every scheduled request is timestamped at
+    enqueue and dequeue, so [serve.request_seconds] records the
+    client-observed latency (queue wait + service) and
+    [serve.queue_wait_seconds] the queue-wait share alone; the
+    [serve.request] access-log line and flight-recorder summaries carry
+    the same split as [wall_ms]/[queue_ms]/[service_ms]. The stdin loop
+    has no queue — its [queue_ms] is 0 and the queue-wait histogram
+    stays silent.
+
+    {!Slo} tracks windowed p50/p99 and error rate against optional
+    budgets; {!attach_slo} makes every [metrics] reply and scrape tick
+    the tracker and (JSON format) include its status. {!readiness} is
+    the load-balancer probe behind the monitor's [/readyz]. *)
 
 type t
+
+(** {2 SLO tracking} *)
+
+(** Windowed latency/error objectives over the live registry: a
+    {!Hb_util.Telemetry.window} over [serve.request_seconds] with the
+    (errors, requests) counter pair. [tick] refreshes the exported
+    [slo.window_p50_ms], [slo.window_p99_ms], [slo.window_error_rate],
+    [slo.p99_burn], [slo.error_burn] and [slo.breached] gauges, so any
+    Prometheus exposition taken afterwards carries current burn
+    status. Burn = windowed value / budget; breached when any burn
+    exceeds 1. *)
+module Slo : sig
+  type t
+
+  type status = {
+    window_seconds : float option;  (** history the window spans *)
+    observations : int;             (** requests inside the window *)
+    p50_ms : float option;
+    p99_ms : float option;
+    error_rate : float option;      (** errors / requests in-window *)
+    p99_budget_ms : float option;
+    error_budget : float option;
+    p99_burn : float option;        (** p99_ms / budget *)
+    error_burn : float option;
+    breached : bool;                (** any burn > 1.0 *)
+  }
+
+  (** [create ?p99_budget_ms ?error_budget ?slots ?slot_seconds ()] —
+      default window: 60 slots of 1s. Omitted budgets mean the tracker
+      reports windowed values but never breaches on that axis. *)
+  val create :
+    ?p99_budget_ms:float ->
+    ?error_budget:float ->
+    ?slots:int ->
+    ?slot_seconds:float ->
+    unit ->
+    t
+
+  (** Advance the window if a slot boundary is due, refresh the [slo.*]
+      gauges, and return the current status. Thread-safe; scrape
+      handlers call it on every scrape. *)
+  val tick : t -> status
+
+  (** Status without advancing the window or touching gauges. *)
+  val status : t -> status
+
+  val status_json : status -> Hb_util.Json.t
+end
+
+(** [attach_slo t slo] wires the tracker into [metrics] replies: every
+    [metrics] request ticks it, and the JSON format reply gains an
+    ["slo"] status object. *)
+val attach_slo : t -> Slo.t -> unit
 
 (** [create ?timeout_seconds ?library ?prometheus ?dump ?generators
     ?max_sessions ?memory_budget_mb ()] prepares a daemon with no design
@@ -144,11 +211,15 @@ val set_active_clients : int -> unit
     concurrently with request execution. *)
 val flight_json : t -> string
 
-(** [handle_line ?client t line] processes one request line and returns
-    the reply line (no trailing newline). Never raises. [client]
-    defaults to a daemon-owned handle, preserving the single-client
-    behaviour for direct callers (tests, the stdin loop). *)
-val handle_line : ?client:client -> t -> string -> string
+(** [handle_line ?client ?queue_wait_s t line] processes one request
+    line and returns the reply line (no trailing newline). Never
+    raises. [client] defaults to a daemon-owned handle, preserving the
+    single-client behaviour for direct callers (tests, the stdin
+    loop). [queue_wait_s] is how long the line waited in the scheduler
+    queue before execution began (the worker loop passes it): it is
+    added to the reported [wall_ms], fed to [serve.queue_wait_seconds]
+    and logged as [queue_ms]. *)
+val handle_line : ?client:client -> ?queue_wait_s:float -> t -> string -> string
 
 (** [reject_line t ~code ~message line] builds the structured error
     reply for a request that will not execute ([overloaded],
@@ -202,6 +273,30 @@ val submit : scheduler -> client -> string -> string
     already queued (answered with [shutting_down] if {!request_stop} was
     called, executed normally otherwise) and joins them. *)
 val stop_scheduler : scheduler -> unit
+
+(** Racy snapshots of the scheduler queue — gauges and probes only. *)
+val queue_depth : scheduler -> int
+
+val queue_capacity : scheduler -> int
+
+(** {2 Readiness}
+
+    The answer a load balancer needs before routing another request
+    here; the monitor plane's [/readyz] maps [Ready] to 200 and the
+    rest to 503. *)
+
+type readiness =
+  | Ready
+  | Draining
+      (** shutdown has begun ({!request_stop} / SIGTERM / a [shutdown]
+          request); in-flight work still completes *)
+  | Saturated of { depth : int; capacity : int }
+      (** the scheduler queue is at its admission bound — the next
+          request would be answered [overloaded] *)
+
+(** [readiness ?scheduler t]. Without a scheduler (the stdin loop)
+    saturation cannot happen; draining still can. *)
+val readiness : ?scheduler:scheduler -> t -> readiness
 
 (** [run t ic oc] reads requests from [ic] and writes one flushed reply
     line each to [oc], until [shutdown] or end of input; every session

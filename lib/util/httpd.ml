@@ -1,0 +1,173 @@
+(* A deliberately minimal HTTP/1.1 listener for the monitor plane:
+   one accept thread, a fixed handler table, GET only, one response
+   per connection (Connection: close). Scrapers and probes — Prometheus,
+   kubelet-style health checks, curl — all speak this subset. Anything
+   fancier (keep-alive, chunking, POST bodies) is out of scope on
+   purpose: the daemon's real protocol lives on the JSON socket. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  { status; content_type; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_response fd resp =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      resp.status (status_text resp.status) resp.content_type
+      (String.length resp.body)
+  in
+  write_all fd head 0 (String.length head);
+  write_all fd resp.body 0 (String.length resp.body)
+
+(* Read until the header terminator (or a size cap / receive timeout).
+   The request body, if a client sends one anyway, is ignored — every
+   reply closes the connection. *)
+let read_head fd =
+  let limit = 8192 in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec has_terminator () =
+    let s = Buffer.contents buf in
+    let rec scan i =
+      i + 3 < String.length s
+      && (String.sub s i 4 = "\r\n\r\n" || scan (i + 1))
+    in
+    String.length s >= 4 && scan 0
+  and loop () =
+    if has_terminator () then Some (Buffer.contents buf)
+    else if Buffer.length buf > limit then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      | exception Unix.Unix_error _ -> None
+  in
+  loop ()
+
+(* The request line: "GET /path?query HTTP/1.1". The query is dropped —
+   every monitor endpoint is parameterless. *)
+let parse_request_line head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol ->
+    (match String.split_on_char ' ' (String.sub head 0 eol) with
+     | [ meth; target; _version ] ->
+       let path =
+         match String.index_opt target '?' with
+         | Some q -> String.sub target 0 q
+         | None -> target
+       in
+       Some (meth, path)
+     | _ -> None)
+
+let handle_connection handlers fd =
+  let resp =
+    match read_head fd with
+    | None -> response ~status:400 "bad request\n"
+    | Some head ->
+      (match parse_request_line head with
+       | None -> response ~status:400 "bad request\n"
+       | Some (meth, path) ->
+         if meth <> "GET" then
+           response ~status:405 "only GET is served here\n"
+         else
+           (match List.assoc_opt path handlers with
+            | None -> response ~status:404 "not found\n"
+            | Some handler ->
+              (try handler () with
+               | e ->
+                 response ~status:500
+                   ("handler failed: " ^ Printexc.to_string e ^ "\n"))))
+  in
+  try write_response fd resp with Unix.Unix_error _ | Sys_error _ -> ()
+
+let accept_loop t handlers =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.sock with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        loop ()
+      | exception Unix.Unix_error _ ->
+        ()  (* listening socket shut down by [stop] *)
+      | fd, _ ->
+        (* A stalled scraper must not wedge the whole plane: cap how
+           long one connection may take to deliver its request. *)
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        (try handle_connection handlers fd with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+    end
+  in
+  loop ()
+
+let start ?(addr = "127.0.0.1") ~port ~handlers () =
+  (* A scraper disconnecting mid-write must be an EPIPE error on the
+     write, not a process-killing signal. Socket serve mode already
+     ignores SIGPIPE; the stdin daemon and tests rely on this. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t = { sock; port; stopping = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t handlers) ());
+  t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake a blocked accept the same way the serve teardown does:
+       shut the receive side down, join, then close. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (match t.thread with
+     | Some th ->
+       Thread.join th;
+       t.thread <- None
+     | None -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ())
+  end

@@ -1,0 +1,46 @@
+(** A minimal, dependency-free HTTP/1.1 listener for the monitor plane.
+
+    One accept thread serves connections sequentially off a fixed
+    handler table: GET only, one response per connection
+    ([Connection: close]), no keep-alive, no bodies read. That subset
+    is exactly what Prometheus scrapes, load-balancer health probes and
+    [curl] need — the daemon's real protocol stays on the JSON socket.
+
+    Robustness contract: a handler exception becomes a 500 reply, an
+    unknown path a 404, a non-GET method a 405, a malformed or stalled
+    request a 400 (reads carry a 5s receive timeout), and a client
+    disconnect mid-write is swallowed. [start] ignores SIGPIPE
+    process-wide (socket serve mode already does) so a dropped scraper
+    cannot kill the daemon. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+(** [response ?status ?content_type body] — defaults: 200,
+    [text/plain; charset=utf-8]. *)
+val response : ?status:int -> ?content_type:string -> string -> response
+
+type t
+
+(** [start ?addr ~port ~handlers ()] binds [addr] (default 127.0.0.1)
+    : [port] (0 picks a free port — see {!port}), spawns the accept
+    thread and returns immediately. [handlers] maps exact paths (query
+    strings are stripped) to response thunks, looked up per request.
+    Raises [Unix.Unix_error] when the bind fails (port taken,
+    privileged port). *)
+val start :
+  ?addr:string ->
+  port:int ->
+  handlers:(string * (unit -> response)) list ->
+  unit ->
+  t
+
+(** The actually bound port (useful after [~port:0]). *)
+val port : t -> int
+
+(** [stop t] wakes the accept thread, joins it and closes the listening
+    socket. Idempotent. *)
+val stop : t -> unit

@@ -323,6 +323,211 @@ let snapshot () =
       in
       { counters; gauges; histograms; spans })
 
+(* Merge one histogram across the shards without building the whole
+   snapshot — the window ring captures on every slot boundary and the
+   runtime sampler runs on every scrape, so this path stays cheap. *)
+let read_histogram h =
+  locked (fun () ->
+      if h >= !histogram_count then
+        invalid_arg "Telemetry.read_histogram: unregistered histogram";
+      let upper_bounds = Array.copy !histogram_bounds.(h) in
+      let bucket_counts = Array.make (Array.length upper_bounds + 1) 0 in
+      let sum = ref 0.0 in
+      let ordered_shards =
+        List.sort (fun a b -> compare a.shard_domain b.shard_domain) !shards
+      in
+      List.iter
+        (fun shard ->
+          if h < Array.length shard.histo_counts then begin
+            let sc = shard.histo_counts.(h) in
+            for b = 0 to Array.length bucket_counts - 1 do
+              if b < Array.length sc then
+                bucket_counts.(b) <- bucket_counts.(b) + sc.(b)
+            done;
+            sum := !sum +. shard.histo_sums.(h)
+          end)
+        ordered_shards;
+      let total = Array.fold_left ( + ) 0 bucket_counts in
+      { h_name = !histogram_names.(h); upper_bounds; bucket_counts;
+        sum = !sum; total })
+
+(* Quantile by linear interpolation inside the bucket the target
+   observation falls in. The +Inf bucket has no upper edge; it reports
+   the last finite bound — a floor, honest enough for latency gating. *)
+let quantile ~bounds ~counts q =
+  let n = Array.length counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 || Array.length bounds = 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int total in
+    let last_bound = bounds.(Array.length bounds - 1) in
+    let rec scan i acc =
+      if i >= n then Some last_bound
+      else begin
+        let acc' = acc + counts.(i) in
+        if counts.(i) > 0 && float_of_int acc' >= target then
+          if i >= Array.length bounds then Some last_bound
+          else begin
+            let lower = if i = 0 then 0.0 else bounds.(i - 1) in
+            let upper = bounds.(i) in
+            Some
+              (lower
+               +. ((upper -. lower)
+                   *. ((target -. float_of_int acc) /. float_of_int counts.(i))))
+          end
+        else scan (i + 1) acc'
+      end
+    in
+    scan 0 0
+  end
+
+(* --- rolling windows -------------------------------------------------- *)
+
+(* Cumulative captures at slot boundaries; a windowed statistic is the
+   delta between a fresh capture and the oldest retained boundary, so
+   the window spans at most [slots * slot_seconds] of history (exactly
+   how far back depends on when ticks actually arrived — scrapes drive
+   them). *)
+type window_slot = {
+  ws_ts : float;
+  ws_snap : histogram_snapshot;
+  ws_num : int;  (* ratio numerator counter at the boundary *)
+  ws_den : int;
+}
+
+type window = {
+  w_hist : histogram;
+  w_ratio : (counter * counter) option;
+  w_slots : int;
+  w_slot_seconds : float;
+  w_mutex : Mutex.t;
+  w_ring : window_slot option array;
+  mutable w_next : int;       (* boundaries captured so far *)
+  mutable w_last_tick : float;
+}
+
+let window_capture w =
+  let snap = read_histogram w.w_hist in
+  let num, den =
+    match w.w_ratio with
+    | Some (num, den) -> (read_counter num, read_counter den)
+    | None -> (0, 0)
+  in
+  { ws_ts = Unix.gettimeofday (); ws_snap = snap; ws_num = num; ws_den = den }
+
+let window_force_tick w =
+  let slot = window_capture w in
+  Mutex.lock w.w_mutex;
+  w.w_ring.(w.w_next mod w.w_slots) <- Some slot;
+  w.w_next <- w.w_next + 1;
+  w.w_last_tick <- slot.ws_ts;
+  Mutex.unlock w.w_mutex
+
+let window ?(slots = 60) ?(slot_seconds = 1.0) ?ratio hist =
+  if slots < 2 then invalid_arg "Telemetry.window: slots must be >= 2";
+  if not (slot_seconds > 0.0) then
+    invalid_arg "Telemetry.window: slot_seconds must be > 0";
+  let w =
+    { w_hist = hist;
+      w_ratio = ratio;
+      w_slots = slots;
+      w_slot_seconds = slot_seconds;
+      w_mutex = Mutex.create ();
+      w_ring = Array.make slots None;
+      w_next = 0;
+      w_last_tick = neg_infinity;
+    }
+  in
+  window_force_tick w;  (* the baseline boundary *)
+  w
+
+let window_tick w =
+  if Unix.gettimeofday () -. w.w_last_tick >= w.w_slot_seconds then
+    window_force_tick w
+
+(* The fresh capture minus the oldest retained boundary. Deltas are
+   clamped at zero: a [reset] between boundaries would otherwise turn
+   the window negative. *)
+let window_delta w =
+  let current = window_capture w in
+  Mutex.lock w.w_mutex;
+  let oldest =
+    if w.w_next = 0 then None
+    else w.w_ring.(Stdlib.max 0 (w.w_next - w.w_slots) mod w.w_slots)
+  in
+  Mutex.unlock w.w_mutex;
+  match oldest with
+  | None -> None
+  | Some oldest ->
+    let counts =
+      Array.mapi
+        (fun i n -> Stdlib.max 0 (n - oldest.ws_snap.bucket_counts.(i)))
+        current.ws_snap.bucket_counts
+    in
+    Some
+      ( current.ws_snap.upper_bounds,
+        counts,
+        current.ws_ts -. oldest.ws_ts,
+        Stdlib.max 0 (current.ws_num - oldest.ws_num),
+        Stdlib.max 0 (current.ws_den - oldest.ws_den) )
+
+let window_quantile w q =
+  match window_delta w with
+  | None -> None
+  | Some (bounds, counts, _, _, _) -> quantile ~bounds ~counts q
+
+let window_ratio w =
+  match window_delta w with
+  | None -> None
+  | Some (_, _, _, num, den) ->
+    if den <= 0 then None else Some (float_of_int num /. float_of_int den)
+
+let window_span w =
+  match window_delta w with
+  | None -> None
+  | Some (_, _, span, _, _) -> Some span
+
+let window_observations w =
+  match window_delta w with
+  | None -> 0
+  | Some (_, counts, _, _, _) -> Array.fold_left ( + ) 0 counts
+
+(* --- OCaml runtime sampler -------------------------------------------- *)
+
+let g_rt_minor_words = gauge "runtime.gc_minor_words"
+let g_rt_promoted_words = gauge "runtime.gc_promoted_words"
+let g_rt_major_words = gauge "runtime.gc_major_words"
+let g_rt_minor_collections = gauge "runtime.gc_minor_collections"
+let g_rt_major_collections = gauge "runtime.gc_major_collections"
+let g_rt_compactions = gauge "runtime.gc_compactions"
+let g_rt_heap_words = gauge "runtime.gc_heap_words"
+let g_rt_top_heap_words = gauge "runtime.gc_top_heap_words"
+let g_rt_rss_bytes = gauge "runtime.rss_bytes"
+let g_rt_rss_peak_bytes = gauge "runtime.rss_peak_bytes"
+let g_rt_domains = gauge "runtime.domains"
+
+let sample_runtime () =
+  if Atomic.get enabled_flag then begin
+    let s = Gc.quick_stat () in
+    set_gauge g_rt_minor_words s.Gc.minor_words;
+    set_gauge g_rt_promoted_words s.Gc.promoted_words;
+    set_gauge g_rt_major_words s.Gc.major_words;
+    set_gauge g_rt_minor_collections (float_of_int s.Gc.minor_collections);
+    set_gauge g_rt_major_collections (float_of_int s.Gc.major_collections);
+    set_gauge g_rt_compactions (float_of_int s.Gc.compactions);
+    set_gauge g_rt_heap_words (float_of_int s.Gc.heap_words);
+    set_gauge g_rt_top_heap_words (float_of_int s.Gc.top_heap_words);
+    (match Rss.current_bytes () with
+     | Some bytes -> set_gauge g_rt_rss_bytes (float_of_int bytes)
+     | None -> ());
+    (match Rss.peak_bytes () with
+     | Some bytes -> set_gauge g_rt_rss_peak_bytes (float_of_int bytes)
+     | None -> ());
+    let registered = locked (fun () -> List.length !shards) in
+    set_gauge g_rt_domains (float_of_int registered)
+  end
+
 let aggregate_spans snapshot =
   let order = ref [] in
   let totals = Hashtbl.create 16 in

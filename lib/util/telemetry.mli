@@ -142,6 +142,79 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
+(** [read_histogram h] merges [h] alone across the shards right now —
+    the cheap single-metric read the window ring and scrape handlers
+    use. Raises [Invalid_argument] on an unregistered handle. *)
+val read_histogram : histogram -> histogram_snapshot
+
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile (clamped to
+    [0, 1]) of a bucketed distribution: [counts] are non-cumulative
+    per-bucket counts, length [Array.length bounds + 1] (the final slot
+    is the +Inf bucket). Linear interpolation inside the target bucket;
+    an answer landing in the +Inf bucket reports the last finite bound
+    (a floor). [None] when there are no observations. *)
+val quantile : bounds:float array -> counts:int array -> float -> float option
+
+(** {1 Rolling windows}
+
+    A fixed-slot ring of cumulative histogram captures. Ticks record a
+    boundary; windowed statistics are the delta between a fresh capture
+    and the oldest retained boundary, so the window covers at most
+    [slots * slot_seconds] of history. Ticks are driven by the caller
+    (scrape handlers, the SLO tracker, periodic dumps) — an idle window
+    simply spans further back. Thread-safe. *)
+
+type window
+
+(** [window ?slots ?slot_seconds ?ratio h] makes a window over [h]
+    (default 60 slots of 1s) and captures the baseline boundary
+    immediately. [ratio] names a (numerator, denominator) counter pair
+    — e.g. (errors, requests) — tracked at each boundary for
+    {!window_ratio}. Raises [Invalid_argument] when [slots < 2] or
+    [slot_seconds <= 0]. *)
+val window :
+  ?slots:int ->
+  ?slot_seconds:float ->
+  ?ratio:counter * counter ->
+  histogram ->
+  window
+
+(** Record a boundary if at least [slot_seconds] elapsed since the last
+    one; otherwise a no-op. *)
+val window_tick : window -> unit
+
+(** Record a boundary unconditionally (benches bracket a load with
+    forced ticks so the window covers exactly that load). *)
+val window_force_tick : window -> unit
+
+(** The [q]-quantile of the observations inside the window ({!quantile}
+    over the delta); [None] when the window saw none. *)
+val window_quantile : window -> float -> float option
+
+(** numerator/denominator delta over the window; [None] when the
+    denominator did not move or no [ratio] was given. *)
+val window_ratio : window -> float option
+
+(** Seconds between the oldest retained boundary and now. *)
+val window_span : window -> float option
+
+(** Observations of the histogram inside the window. *)
+val window_observations : window -> int
+
+(** {1 Runtime sampler}
+
+    [sample_runtime ()] refreshes the [runtime.*] gauges from
+    [Gc.quick_stat] ([gc_minor_words], [gc_promoted_words],
+    [gc_major_words], [gc_minor_collections], [gc_major_collections],
+    [gc_compactions], [gc_heap_words], [gc_top_heap_words]),
+    {!Hb_util.Rss} ([rss_bytes], [rss_peak_bytes], best-effort) and the
+    shard registry ([runtime.domains]: domains that have recorded
+    telemetry). Call it on scrape — the monitor's [/metrics] handler,
+    the [metrics] serve method and the periodic metrics dump all do —
+    so exported values are at most one scrape old. No-op while
+    disabled. *)
+val sample_runtime : unit -> unit
+
 (** [prometheus snapshot] renders the counters, gauges and histograms in
     Prometheus text exposition format (version 0.0.4): names prefixed
     [hb_] with non-identifier characters mapped to [_], counters

@@ -655,6 +655,112 @@ let test_log_ring () =
       Hb_util.Log.set_sink (fun _ -> failwith "sink boom");
       Hb_util.Log.info "test.ring" [])
 
+(* ------------------------------------------------------------------ *)
+(* Quantiles, rolling windows, runtime sampler                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_reference () =
+  (* Hand-checked distribution: bounds 1/2/5, per-bucket counts
+     2/2/1/1 (last is +Inf), total 6. *)
+  let bounds = [| 1.0; 2.0; 5.0 |] in
+  let counts = [| 2; 2; 1; 1 |] in
+  let q v =
+    match Hb_util.Telemetry.quantile ~bounds ~counts v with
+    | Some x -> x
+    | None -> Alcotest.fail "quantile returned None on populated counts"
+  in
+  (* target 3.0 lands in (1,2]: 1 + (3-2)/2 = 1.5 *)
+  check_float "median interpolates" 1.5 (q 0.5);
+  (* target 0 resolves at the lower edge of the first occupied bucket *)
+  check_float "q=0 lower edge" 0.0 (q 0.0);
+  (* target 5.0 is exactly the cumulative top of (2,5] *)
+  check_float "q=5/6 bucket top" 5.0 (q (5.0 /. 6.0));
+  (* the +Inf bucket answers with the last finite bound, a floor *)
+  check_float "q=1 clamps to last bound" 5.0 (q 1.0);
+  check_float "out-of-range q clamps" 5.0 (q 2.0);
+  (match Hb_util.Telemetry.quantile ~bounds ~counts:[| 0; 0; 0; 0 |] 0.5 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty distribution must be None");
+  (match Hb_util.Telemetry.quantile ~bounds:[||] ~counts:[| 3 |] 0.5 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "no finite bounds must be None")
+
+let test_window_expiry () =
+  with_telemetry (fun () ->
+      let h =
+        Hb_util.Telemetry.histogram ~buckets:[| 1.0; 50.0; 200.0 |]
+          "test.window_expiry"
+      in
+      let w = Hb_util.Telemetry.window ~slots:2 ~slot_seconds:0.01 h in
+      (* Ten slow observations land after the creation baseline. *)
+      for _ = 1 to 10 do
+        Hb_util.Telemetry.observe h 100.0
+      done;
+      Alcotest.(check int) "slow obs visible" 10
+        (Hb_util.Telemetry.window_observations w);
+      (match Hb_util.Telemetry.window_quantile w 0.99 with
+       | Some p99 ->
+         if p99 < 50.0 then
+           Alcotest.failf "p99 %.3f should reflect the 100.0 batch" p99
+       | None -> Alcotest.fail "windowed p99 missing");
+      (* Two forced boundaries on a 2-slot ring: the oldest retained
+         capture now postdates the slow batch, which must fall out. *)
+      Hb_util.Telemetry.window_force_tick w;
+      Hb_util.Telemetry.window_force_tick w;
+      for _ = 1 to 10 do
+        Hb_util.Telemetry.observe h 0.5
+      done;
+      Alcotest.(check int) "only fresh obs in window" 10
+        (Hb_util.Telemetry.window_observations w);
+      (match Hb_util.Telemetry.window_quantile w 0.99 with
+       | Some p99 ->
+         if p99 > 1.0 then
+           Alcotest.failf "p99 %.3f still sees the expired 100.0 batch" p99
+       | None -> Alcotest.fail "windowed p99 missing after expiry"));
+  (* Degenerate geometries are rejected up front. *)
+  List.iter
+    (fun mk ->
+       match mk () with
+       | _ -> Alcotest.fail "expected Invalid_argument"
+       | exception Invalid_argument _ -> ())
+    [ (fun () ->
+        Hb_util.Telemetry.window ~slots:1
+          (Hb_util.Telemetry.histogram "test.window_bad1"));
+      (fun () ->
+        Hb_util.Telemetry.window ~slot_seconds:0.0
+          (Hb_util.Telemetry.histogram "test.window_bad2")) ]
+
+let test_runtime_sampler () =
+  with_telemetry (fun () ->
+      Hb_util.Telemetry.sample_runtime ();
+      let gauge name =
+        let s = Hb_util.Telemetry.snapshot () in
+        match List.assoc_opt name s.Hb_util.Telemetry.gauges with
+        | Some v -> v
+        | None -> Alcotest.fail ("runtime gauge not set: " ^ name)
+      in
+      let minor0 = gauge "runtime.gc_minor_words" in
+      if gauge "runtime.gc_heap_words" <= 0.0 then
+        Alcotest.fail "heap words must be positive";
+      if gauge "runtime.domains" < 1.0 then
+        Alcotest.fail "at least the running domain";
+      if gauge "runtime.rss_bytes" <= 0.0 then
+        Alcotest.fail "rss must be readable on this platform";
+      (* Allocate, resample: the minor-words odometer only goes up.
+         (Gauges max-merge, so monotonicity also survives the merge.) *)
+      let junk = ref [] in
+      for i = 1 to 10_000 do
+        junk := string_of_int i :: !junk
+      done;
+      ignore (List.length !junk);
+      Hb_util.Telemetry.sample_runtime ();
+      let minor1 = gauge "runtime.gc_minor_words" in
+      if minor1 < minor0 then
+        Alcotest.failf "minor words went backwards: %.0f -> %.0f" minor0
+          minor1);
+  (* Disabled registry: sampling is a no-op, not a crash. *)
+  Hb_util.Telemetry.sample_runtime ()
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ prop_modulo_in_range; prop_topo_random_dag; prop_heap_sorts;
@@ -700,6 +806,9 @@ let () =
          Alcotest.test_case "histograms" `Quick test_histogram_basic;
          Alcotest.test_case "histogram parallel merge" `Quick
            test_histogram_parallel_merge;
+         Alcotest.test_case "quantile reference" `Quick test_quantile_reference;
+         Alcotest.test_case "window expiry" `Quick test_window_expiry;
+         Alcotest.test_case "runtime sampler" `Quick test_runtime_sampler;
          Alcotest.test_case "prometheus exposition" `Quick
            test_prometheus_exposition;
          Alcotest.test_case "request tags" `Quick test_telemetry_tags ]);
